@@ -1,0 +1,303 @@
+//! Dense linear-algebra substrate: matrices, generators and the
+//! *sequential reference implementations* the DSM applications are
+//! verified against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major `n × n` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use mc_apps::dense::DenseMatrix;
+/// let mut a = DenseMatrix::zeros(2);
+/// a.set(0, 0, 2.0);
+/// a.set(1, 1, 3.0);
+/// assert_eq!(a.matvec(&[1.0, 1.0]), vec![2.0, 3.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// The dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j]
+    }
+
+    /// Sets entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j] = v;
+    }
+
+    /// `A · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self.get(i, j) * x[j]).sum())
+            .collect()
+    }
+
+    /// `A · Aᵀ` (used to build SPD matrices and verify factorizations).
+    pub fn mul_transpose(&self) -> DenseMatrix {
+        let n = self.n;
+        let mut out = DenseMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += self.get(i, k) * self.get(j, k);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Generates a strictly diagonally dominant system `(A, b)` — guaranteed
+/// Jacobi/Gauss–Seidel convergence — with entries drawn from the seeded
+/// RNG.
+pub fn diag_dominant_system(n: usize, seed: u64) -> (DenseMatrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = DenseMatrix::zeros(n);
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v = rng.gen_range(-1.0..1.0);
+                a.set(i, j, v);
+                row_sum += v.abs();
+            }
+        }
+        // Strict dominance with margin.
+        a.set(i, i, row_sum + rng.gen_range(1.0..2.0));
+    }
+    let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    (a, b)
+}
+
+/// The residual `‖A·x − b‖∞`.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn residual_inf(a: &DenseMatrix, x: &[f64], b: &[f64]) -> f64 {
+    a.matvec(x)
+        .iter()
+        .zip(b)
+        .map(|(ax, bi)| (ax - bi).abs())
+        .fold(0.0, f64::max)
+}
+
+/// `‖x − y‖∞`.
+pub fn diff_inf(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}
+
+/// Sequential Jacobi iteration (the reference for the Fig. 2/3 solvers):
+/// returns `(x, iterations)`. Stops when consecutive iterates differ by
+/// less than `tol` in the ∞-norm or after `max_iters`.
+pub fn jacobi_reference(
+    a: &DenseMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> (Vec<f64>, usize) {
+    let n = a.n();
+    let mut x = vec![0.0; n];
+    for iter in 1..=max_iters {
+        let mut next = vec![0.0; n];
+        for i in 0..n {
+            let sigma: f64 = (0..n).map(|j| a.get(i, j) * x[j]).sum();
+            next[i] = x[i] + (b[i] - sigma) / a.get(i, i);
+        }
+        let delta = diff_inf(&next, &x);
+        x = next;
+        if delta < tol {
+            return (x, iter);
+        }
+    }
+    (x, max_iters)
+}
+
+/// Sequential Gauss–Seidel iteration (the asynchronous-relaxation
+/// reference of Section 7): returns `(x, iterations)`.
+pub fn gauss_seidel_reference(
+    a: &DenseMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> (Vec<f64>, usize) {
+    let n = a.n();
+    let mut x = vec![0.0; n];
+    for iter in 1..=max_iters {
+        let mut delta: f64 = 0.0;
+        for i in 0..n {
+            let sigma: f64 = (0..n).map(|j| a.get(i, j) * x[j]).sum();
+            let next = x[i] + (b[i] - sigma) / a.get(i, i);
+            delta = delta.max((next - x[i]).abs());
+            x[i] = next;
+        }
+        if delta < tol {
+            return (x, iter);
+        }
+    }
+    (x, max_iters)
+}
+
+/// Sequential dense Cholesky `A = L·Lᵀ` (reference for Fig. 5): returns
+/// the lower-triangular factor, or `None` if `A` is not positive
+/// definite.
+pub fn dense_cholesky(a: &DenseMatrix) -> Option<DenseMatrix> {
+    let n = a.n();
+    let mut l = DenseMatrix::zeros(n);
+    for j in 0..n {
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            d -= l.get(j, k) * l.get(j, k);
+        }
+        if d <= 0.0 {
+            return None;
+        }
+        let d = d.sqrt();
+        l.set(j, j, d);
+        for i in (j + 1)..n {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, s / d);
+        }
+    }
+    Some(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let mut a = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&x), x);
+        assert_eq!(a.n(), 3);
+    }
+
+    #[test]
+    fn jacobi_converges_on_dominant_system() {
+        let (a, b) = diag_dominant_system(12, 42);
+        let (x, iters) = jacobi_reference(&a, &b, 1e-10, 1000);
+        assert!(iters < 1000, "converged in {iters}");
+        assert!(residual_inf(&a, &x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn gauss_seidel_converges_faster_than_jacobi() {
+        let (a, b) = diag_dominant_system(16, 7);
+        let (_, ij) = jacobi_reference(&a, &b, 1e-10, 10_000);
+        let (xg, ig) = gauss_seidel_reference(&a, &b, 1e-10, 10_000);
+        assert!(ig <= ij, "GS ({ig}) should not need more sweeps than Jacobi ({ij})");
+        assert!(residual_inf(&a, &xg, &b) < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        // Build an SPD matrix as B·Bᵀ + I.
+        let mut b = DenseMatrix::zeros(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..5 {
+            for j in 0..5 {
+                b.set(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        let mut a = b.mul_transpose();
+        for i in 0..5 {
+            a.set(i, i, a.get(i, i) + 5.0);
+        }
+        let l = dense_cholesky(&a).expect("SPD");
+        let rebuilt = l.mul_transpose();
+        assert!(a.max_abs_diff(&rebuilt) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = DenseMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, -1.0);
+        assert!(dense_cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let (a1, b1) = diag_dominant_system(6, 9);
+        let (a2, b2) = diag_dominant_system(6, 9);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (a3, _) = diag_dominant_system(6, 10);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn diff_and_residual_norms() {
+        assert_eq!(diff_inf(&[1.0, 2.0], &[1.0, 4.5]), 2.5);
+        let mut a = DenseMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, 1.0);
+        assert_eq!(residual_inf(&a, &[1.0, 1.0], &[0.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn dominance_margin_holds() {
+        let (a, _) = diag_dominant_system(10, 1);
+        for i in 0..10 {
+            let off: f64 = (0..10).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+            assert!(a.get(i, i) > off, "row {i} dominated");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # mc-apps — the paper's applications on mixed-consistency DSM
+//!
+//! The three Section 5 application families of *Agrawal, Choy, Leong,
+//! Singh, PODC '94*, each with its sequential reference implementation
+//! and its DSM parallelization:
+//!
+//! * [`solver`] — iterative linear-equation solving (Figures 2 and 3) and
+//!   the asynchronous relaxation of Section 7;
+//! * [`em`] — the electromagnetic-field (FDTD) computation (Figure 4);
+//! * [`cholesky`] — sparse Cholesky factorization (Figure 5), lock-based
+//!   and counter-object variants;
+//!
+//! plus the numeric substrates they need:
+//!
+//! * [`dense`] — dense matrices, diagonally dominant generators, Jacobi /
+//!   Gauss–Seidel / Cholesky references;
+//! * [`sparse`] — sparse SPD matrices (grid Laplacians, random), symbolic
+//!   factorization (fill, elimination tree, dependency counts) and the
+//!   sequential sparse Cholesky reference.
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod dense;
+pub mod em;
+pub mod em2d;
+pub mod solver;
+pub mod sparse;

@@ -1,0 +1,377 @@
+//! Sparse symmetric-positive-definite substrate for the Cholesky
+//! application (Section 5.3 of the paper): matrix generators, symbolic
+//! factorization (fill pattern, elimination tree, column dependency
+//! counts) and a sequential numeric reference.
+//!
+//! The paper's parallel algorithm (Fig. 5) needs exactly the structures
+//! built here: a dependency `count[j]` per column (how many earlier
+//! columns update it) and, per column `j`, the set of later columns it
+//! updates — both derived from the *filled* pattern of `L`, which the
+//! symbolic pass computes (George & Liu \[12\], Rothberg \[27\]).
+//!
+//! Values are stored densely (the simulated DSM addresses entries as
+//! individual shared variables anyway); the *pattern* is what drives
+//! parallelism, fill and dependency counts, matching the paper's usage.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dense::DenseMatrix;
+
+/// A sparse SPD matrix: dense value storage plus an explicit
+/// lower-triangular nonzero pattern.
+#[derive(Clone, Debug)]
+pub struct SpdMatrix {
+    values: DenseMatrix,
+    /// `pattern[i*n + j]` for `i >= j`: structural nonzero of the lower
+    /// triangle (diagonal always set).
+    pattern: Vec<bool>,
+}
+
+impl SpdMatrix {
+    /// Builds from explicit values; the pattern is inferred from nonzero
+    /// entries of the lower triangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not symmetric.
+    pub fn from_dense(values: DenseMatrix) -> Self {
+        let n = values.n();
+        for i in 0..n {
+            for j in 0..i {
+                assert!(
+                    (values.get(i, j) - values.get(j, i)).abs() < 1e-12,
+                    "matrix must be symmetric"
+                );
+            }
+        }
+        let mut pattern = vec![false; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                pattern[i * n + j] = i == j || values.get(i, j) != 0.0;
+            }
+        }
+        SpdMatrix { values, pattern }
+    }
+
+    /// The dimension.
+    pub fn n(&self) -> usize {
+        self.values.n()
+    }
+
+    /// Entry `(i, j)` (full symmetric view).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values.get(i, j)
+    }
+
+    /// Structural nonzero of the lower triangle (`i >= j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i < j`.
+    pub fn lower_nonzero(&self, i: usize, j: usize) -> bool {
+        assert!(i >= j, "lower triangle only");
+        self.pattern[i * self.n() + j]
+    }
+
+    /// The dense value matrix.
+    pub fn dense(&self) -> &DenseMatrix {
+        &self.values
+    }
+
+    /// Number of structural nonzeros in the lower triangle.
+    pub fn lower_nnz(&self) -> usize {
+        self.pattern.iter().filter(|&&b| b).count()
+    }
+}
+
+/// The 5-point-stencil Laplacian of a `k × k` grid (`n = k²`) with a
+/// slightly boosted diagonal: the canonical sparse SPD test matrix, with
+/// the non-uniform elimination structure the paper's Cholesky section is
+/// about.
+pub fn grid_laplacian(k: usize) -> SpdMatrix {
+    let n = k * k;
+    let mut a = DenseMatrix::zeros(n);
+    let idx = |r: usize, c: usize| r * k + c;
+    for r in 0..k {
+        for c in 0..k {
+            let i = idx(r, c);
+            a.set(i, i, 4.1);
+            let mut link = |j: usize| {
+                a.set(i, j, -1.0);
+                a.set(j, i, -1.0);
+            };
+            if r + 1 < k {
+                link(idx(r + 1, c));
+            }
+            if c + 1 < k {
+                link(idx(r, c + 1));
+            }
+        }
+    }
+    SpdMatrix::from_dense(a)
+}
+
+/// A random sparse SPD matrix: a chordal-ish random lower pattern with
+/// `extra` off-diagonal entries, made positive definite by diagonal
+/// dominance.
+pub fn random_sparse_spd(n: usize, extra: usize, seed: u64) -> SpdMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = DenseMatrix::zeros(n);
+    for _ in 0..extra {
+        let i = rng.gen_range(1..n);
+        let j = rng.gen_range(0..i);
+        let v = rng.gen_range(-1.0..1.0f64).mul_add(0.5, 0.75); // in (0.25, 1.25)
+        a.set(i, j, -v);
+        a.set(j, i, -v);
+    }
+    for i in 0..n {
+        let off: f64 = (0..n).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+        a.set(i, i, off + rng.gen_range(0.5..1.5));
+    }
+    SpdMatrix::from_dense(a)
+}
+
+/// The output of symbolic factorization: the filled pattern of `L`, the
+/// elimination tree, and the column dependency structure of Fig. 5.
+#[derive(Clone, Debug)]
+pub struct Symbolic {
+    n: usize,
+    /// Filled lower-triangular pattern of `L` (`filled[i*n + j]`, `i>=j`).
+    filled: Vec<bool>,
+    /// Elimination tree: `parent[j]` = first below-diagonal nonzero row of
+    /// column `j` of `L`.
+    pub parent: Vec<Option<usize>>,
+    /// `count[j]` = number of columns `k < j` that update column `j`
+    /// (the initialization of Fig. 5's `count` array).
+    pub dep_counts: Vec<usize>,
+}
+
+impl Symbolic {
+    /// The dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Structural nonzero of `L` (after fill), `i >= j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i < j`.
+    pub fn l_nonzero(&self, i: usize, j: usize) -> bool {
+        assert!(i >= j, "lower triangle only");
+        self.filled[i * self.n + j]
+    }
+
+    /// The columns `k > j` that column `j` updates (Fig. 5 line 4's
+    /// iteration set): rows of below-diagonal nonzeros of column `j`.
+    pub fn updates_of(&self, j: usize) -> Vec<usize> {
+        ((j + 1)..self.n).filter(|&k| self.l_nonzero(k, j)).collect()
+    }
+
+    /// The row set `{i >= k : L[i][j] != 0}` used when column `j` updates
+    /// column `k` (Fig. 5 line 6's iteration set).
+    pub fn update_rows(&self, j: usize, k: usize) -> Vec<usize> {
+        (k..self.n).filter(|&i| self.l_nonzero(i, j)).collect()
+    }
+
+    /// Total structural nonzeros of `L` (a fill measure).
+    pub fn l_nnz(&self) -> usize {
+        self.filled.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Computes the fill pattern of `L`, the elimination tree and the
+/// dependency counts for `a`.
+///
+/// Right-looking symbolic elimination: when column `k` is eliminated,
+/// every pair of below-diagonal nonzeros `(i, j)` of column `k` with
+/// `i >= j > k` induces a (possibly fill) nonzero `L[i][j]`.
+pub fn symbolic_factorize(a: &SpdMatrix) -> Symbolic {
+    let n = a.n();
+    let mut filled = vec![false; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            filled[i * n + j] = a.lower_nonzero(i, j);
+        }
+    }
+    for k in 0..n {
+        let col: Vec<usize> = ((k + 1)..n).filter(|&i| filled[i * n + k]).collect();
+        for (a_idx, &j) in col.iter().enumerate() {
+            for &i in &col[a_idx..] {
+                filled[i * n + j] = true;
+            }
+        }
+    }
+    let parent: Vec<Option<usize>> = (0..n)
+        .map(|j| ((j + 1)..n).find(|&i| filled[i * n + j]))
+        .collect();
+    let dep_counts: Vec<usize> =
+        (0..n).map(|j| (0..j).filter(|&k| filled[j * n + k]).count()).collect();
+    Symbolic { n, filled, parent, dep_counts }
+}
+
+/// Sequential right-looking sparse Cholesky — the *exact* serial
+/// counterpart of Fig. 5 (same operation order per entry). Returns the
+/// lower factor.
+///
+/// # Panics
+///
+/// Panics if the matrix is not positive definite.
+pub fn sparse_cholesky_reference(a: &SpdMatrix, sym: &Symbolic) -> DenseMatrix {
+    let n = a.n();
+    let mut l = DenseMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..=i {
+            l.set(i, j, a.get(i, j));
+        }
+    }
+    for j in 0..n {
+        let d = l.get(j, j);
+        assert!(d > 0.0, "matrix not positive definite at column {j}");
+        let d = d.sqrt();
+        l.set(j, j, d);
+        for i in (j + 1)..n {
+            if sym.l_nonzero(i, j) {
+                l.set(i, j, l.get(i, j) / d);
+            }
+        }
+        for k in sym.updates_of(j) {
+            let lkj = l.get(k, j);
+            for i in sym.update_rows(j, k) {
+                l.set(i, k, l.get(i, k) - l.get(i, j) * lkj);
+            }
+        }
+    }
+    l
+}
+
+/// `‖L·Lᵀ − A‖_max` — the factorization residual.
+pub fn factorization_residual(a: &SpdMatrix, l: &DenseMatrix) -> f64 {
+    l.mul_transpose().max_abs_diff(a.dense())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::dense_cholesky;
+
+    #[test]
+    fn grid_laplacian_shape() {
+        let a = grid_laplacian(3);
+        assert_eq!(a.n(), 9);
+        assert_eq!(a.get(0, 0), 4.1);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert!(a.lower_nonzero(1, 0));
+        assert!(!a.lower_nonzero(2, 0));
+        assert!(a.lower_nonzero(4, 4));
+    }
+
+    #[test]
+    fn symbolic_fill_is_superset_of_a() {
+        let a = grid_laplacian(4);
+        let sym = symbolic_factorize(&a);
+        for i in 0..a.n() {
+            for j in 0..=i {
+                if a.lower_nonzero(i, j) {
+                    assert!(sym.l_nonzero(i, j));
+                }
+            }
+        }
+        assert!(sym.l_nnz() > a.lower_nnz(), "grid laplacians fill in");
+    }
+
+    #[test]
+    fn symbolic_pattern_covers_numeric_factor() {
+        let a = grid_laplacian(4);
+        let sym = symbolic_factorize(&a);
+        let l = dense_cholesky(a.dense()).expect("SPD");
+        for i in 0..a.n() {
+            for j in 0..=i {
+                if l.get(i, j).abs() > 1e-14 {
+                    assert!(sym.l_nonzero(i, j), "numeric nonzero at ({i},{j}) missed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn etree_parents_increase() {
+        let a = grid_laplacian(3);
+        let sym = symbolic_factorize(&a);
+        for (j, p) in sym.parent.iter().enumerate() {
+            if let Some(p) = p {
+                assert!(*p > j);
+            }
+        }
+        // Last column is the root.
+        assert_eq!(sym.parent[a.n() - 1], None);
+    }
+
+    #[test]
+    fn dep_counts_match_pattern() {
+        let a = random_sparse_spd(12, 14, 5);
+        let sym = symbolic_factorize(&a);
+        assert_eq!(sym.dep_counts[0], 0, "first column depends on nothing");
+        for j in 0..a.n() {
+            let deps = (0..j).filter(|&k| sym.l_nonzero(j, k)).count();
+            assert_eq!(sym.dep_counts[j], deps);
+        }
+        // Cross-check: j appears in updates_of(k) iff k is a dependency.
+        for k in 0..a.n() {
+            for j in sym.updates_of(k) {
+                assert!(sym.l_nonzero(j, k));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_reference_matches_dense() {
+        for (name, a) in [
+            ("grid", grid_laplacian(4)),
+            ("random", random_sparse_spd(15, 20, 11)),
+        ] {
+            let sym = symbolic_factorize(&a);
+            let l_sparse = sparse_cholesky_reference(&a, &sym);
+            let l_dense = dense_cholesky(a.dense()).expect("SPD");
+            assert!(
+                l_sparse.max_abs_diff(&l_dense) < 1e-9,
+                "{name}: sparse vs dense mismatch"
+            );
+            assert!(factorization_residual(&a, &l_sparse) < 1e-9, "{name}");
+        }
+    }
+
+    #[test]
+    fn random_spd_is_positive_definite() {
+        for seed in 0..5 {
+            let a = random_sparse_spd(10, 12, seed);
+            assert!(dense_cholesky(a.dense()).is_some(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_rejected() {
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 1, 1.0);
+        let _ = SpdMatrix::from_dense(m);
+    }
+
+    #[test]
+    fn update_rows_subset() {
+        let a = grid_laplacian(3);
+        let sym = symbolic_factorize(&a);
+        for j in 0..a.n() {
+            for k in sym.updates_of(j) {
+                let rows = sym.update_rows(j, k);
+                assert!(rows.contains(&k), "diagonal target row present");
+                for i in rows {
+                    assert!(i >= k && sym.l_nonzero(i, j));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! The experiment runners: one function per experiment id of DESIGN.md §5.
+
+use mc_apps::cholesky::{run_cholesky, CholeskyConfig, CholeskyVariant};
+use mc_apps::dense::diag_dominant_system;
+use mc_apps::em::{run_fdtd, EmConfig};
+use mc_apps::em2d::{run_fdtd2d, Em2dConfig};
+use mc_apps::solver::{
+    run_async_relaxation, run_barrier_solver, run_handshake_solver, SolverConfig,
+};
+use mc_apps::sparse::{grid_laplacian, random_sparse_spd, symbolic_factorize};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mixed_consistency::{
+    check, LockId, LockPropagation, Loc, Metrics, Mode, ReadLabel, System,
+};
+
+use crate::{metric_cols, speedup, Row, Table};
+
+/// A uniform random read/write workload with no synchronization:
+/// the raw access-cost microbenchmark.
+fn access_workload(mode: Mode, write_frac: f64, procs: usize, ops: usize, seed: u64) -> Metrics {
+    let mut sys = System::new(procs, mode).seed(seed);
+    for p in 0..procs {
+        sys.spawn(move |ctx| {
+            let mut rng = StdRng::seed_from_u64(seed * 131 + p as u64);
+            let mut val = (p as i64 + 1) * 1_000_000;
+            for _ in 0..ops {
+                let loc = Loc(rng.gen_range(0..8u32));
+                if rng.gen_bool(write_frac) {
+                    val += 1;
+                    ctx.write(loc, val);
+                } else {
+                    let label =
+                        if rng.gen_bool(0.5) { ReadLabel::Pram } else { ReadLabel::Causal };
+                    let _ = ctx.read(loc, label);
+                }
+            }
+        });
+    }
+    sys.run().expect("workload runs").metrics
+}
+
+/// **E1** — per-operation access cost of the four protocols
+/// (Sections 1/6: replication makes reads local; SC pays a round trip per
+/// access; causal adds vector bytes to updates).
+pub fn protocols_table(procs: usize, ops: usize) -> Table {
+    let mut rows = Vec::new();
+    for (wl, frac) in [("read-heavy (10% wr)", 0.1), ("write-heavy (50% wr)", 0.5)] {
+        for mode in Mode::ALL {
+            let m = access_workload(mode, frac, procs, ops, 7);
+            let total_ops = (procs * ops) as f64;
+            rows.push(Row::new(
+                vec![("workload", wl.into()), ("mode", mode.to_string())],
+                vec![
+                    ("ns/op", format!("{:.0}", m.finish_time.as_nanos() as f64 / total_ops)),
+                    ("msgs/op", format!("{:.2}", m.messages as f64 / total_ops)),
+                    ("bytes/op", format!("{:.1}", m.bytes as f64 / total_ops)),
+                    ("update bytes", m.kind("update").bytes.to_string()),
+                ],
+            ));
+        }
+    }
+    Table {
+        id: "E1",
+        title: "per-access cost by protocol",
+        paper_ref: "§1/§6 — replicated weak memory vs. sequentially consistent server",
+        rows,
+    }
+}
+
+/// The network model of the paper's era: 10 Mbit/s shared Ethernet with
+/// significant software messaging overhead — bandwidth matters, so the
+/// causal protocol's vector timestamps and the handshake's extra rounds
+/// show up in completion time, as they did on Maya's testbed.
+pub fn ethernet_1994() -> mixed_consistency::LatencyModel {
+    mixed_consistency::LatencyModel {
+        base: mixed_consistency::SimTime::from_micros(300),
+        per_byte_ns: 800, // ≈ 10 Mbit/s
+        jitter: mixed_consistency::SimTime::from_micros(50),
+    }
+}
+
+/// **C1 / F2 / F3** — Figure 2 (barriers, PRAM) vs Figure 3 (handshakes,
+/// causal), sweeping problem size and workers, on the 1994-Ethernet
+/// network model.
+pub fn solver_table() -> Table {
+    let mut rows = Vec::new();
+    for (n, workers) in [(8, 2), (16, 4), (24, 6)] {
+        let (a, b) = diag_dominant_system(n, 2026);
+        let mut cfg = SolverConfig::new(n, workers, Mode::Pram);
+        // Fixed iteration count: the performance comparison must not be
+        // confounded by slightly different stopping points.
+        cfg.tol = 0.0;
+        cfg.max_iters = 25;
+        cfg.latency = Some(ethernet_1994());
+        let bar = run_barrier_solver(&cfg, &a, &b).expect("barrier solver");
+        cfg.mode = Mode::Causal;
+        let hs = run_handshake_solver(&cfg, &a, &b, ReadLabel::Causal).expect("handshake");
+        for (variant, run) in [("Fig.2 barrier/PRAM", &bar), ("Fig.3 handshake/causal", &hs)] {
+            let mut vals = metric_cols(&run.metrics);
+            vals.push(("residual", format!("{:.1e}", run.residual)));
+            rows.push(Row::new(
+                vec![
+                    ("n", n.to_string()),
+                    ("workers", workers.to_string()),
+                    ("variant", variant.into()),
+                ],
+                vals,
+            ));
+        }
+        rows.push(Row::new(
+            vec![
+                ("n", n.to_string()),
+                ("workers", workers.to_string()),
+                ("variant", "→ barrier speedup".into()),
+            ],
+            vec![
+                ("virtual time", speedup(hs.metrics.finish_time, bar.metrics.finish_time)),
+                ("messages", format!("{:.2}×", hs.metrics.messages as f64 / bar.metrics.messages as f64)),
+                ("kbytes", String::new()),
+                ("stall", String::new()),
+                ("residual", String::new()),
+            ],
+        ));
+    }
+    Table {
+        id: "C1",
+        title: "linear solver: barriers (Fig.2) vs handshaking (Fig.3)",
+        paper_ref: "§7 — \"the linear equation solver using barriers has a better performance\"",
+        rows,
+    }
+}
+
+/// **C2 / F5** — Cholesky: locks vs counter objects over several
+/// matrices.
+pub fn cholesky_table() -> Table {
+    let mut rows = Vec::new();
+    let matrices: Vec<(String, mc_apps::sparse::SpdMatrix)> = vec![
+        ("grid 3×3".into(), grid_laplacian(3)),
+        ("grid 4×4".into(), grid_laplacian(4)),
+        ("grid 5×5".into(), grid_laplacian(5)),
+        ("random n=24".into(), random_sparse_spd(24, 40, 9)),
+    ];
+    for (name, a) in &matrices {
+        let sym = symbolic_factorize(a);
+        let cfg = CholeskyConfig { mode: Mode::Mixed, ..CholeskyConfig::new(4) };
+        let locks = run_cholesky(&cfg, a, &sym, CholeskyVariant::Locks).expect("locks");
+        let counters =
+            run_cholesky(&cfg, a, &sym, CholeskyVariant::Counters).expect("counters");
+        for (variant, run) in [("locks (Fig.5)", &locks), ("counters", &counters)] {
+            let lock_msgs = run.metrics.kind("lock_req").count
+                + run.metrics.kind("lock_grant").count
+                + run.metrics.kind("lock_rel").count;
+            let mut vals = metric_cols(&run.metrics);
+            vals.push(("lock msgs", lock_msgs.to_string()));
+            vals.push(("residual", format!("{:.1e}", run.residual)));
+            rows.push(Row::new(
+                vec![("matrix", name.clone()), ("variant", variant.into())],
+                vals,
+            ));
+        }
+        rows.push(Row::new(
+            vec![("matrix", name.clone()), ("variant", "→ counter speedup".into())],
+            vec![
+                ("virtual time", speedup(locks.metrics.finish_time, counters.metrics.finish_time)),
+                ("messages", String::new()),
+                ("kbytes", String::new()),
+                ("stall", String::new()),
+                ("lock msgs", String::new()),
+                ("residual", String::new()),
+            ],
+        ));
+    }
+    Table {
+        id: "C2",
+        title: "sparse Cholesky: critical sections vs counter objects",
+        paper_ref: "§7 — \"an algorithm using counter objects outperforms the lock-based algorithm significantly\"",
+        rows,
+    }
+}
+
+/// **C3** — asynchronous relaxation on PRAM: residual decay without any
+/// synchronization, vs the fully synchronized Figure-2 solver.
+pub fn relaxation_table() -> Table {
+    let mut rows = Vec::new();
+    let n = 16;
+    let (a, b) = diag_dominant_system(n, 4);
+    let mut cfg = SolverConfig::new(n, 4, Mode::Pram);
+    cfg.tol = 1e-8;
+    cfg.max_iters = 400;
+    let bar = run_barrier_solver(&cfg, &a, &b).expect("barrier");
+    let mut vals = metric_cols(&bar.metrics);
+    vals.push(("residual", format!("{:.1e}", bar.residual)));
+    rows.push(Row::new(
+        vec![("variant", "Fig.2 synchronized".into()), ("sweeps", "-".into())],
+        vals,
+    ));
+    for sweeps in [5, 10, 20, 40] {
+        let run = run_async_relaxation(&cfg, &a, &b, sweeps).expect("async");
+        let mut vals = metric_cols(&run.metrics);
+        vals.push(("residual", format!("{:.1e}", run.residual)));
+        rows.push(Row::new(
+            vec![("variant", "async relaxation (PRAM)".into()), ("sweeps", sweeps.to_string())],
+            vals,
+        ));
+    }
+    Table {
+        id: "C3",
+        title: "asynchronous relaxation converges on PRAM",
+        paper_ref: "§7 — \"some asynchronous relaxation algorithms such as Gauss-Seidel iteration converge even with PRAM\"",
+        rows,
+    }
+}
+
+/// The lock-propagation workload: rounds of exclusive critical sections,
+/// each writing `data_locs` locations; the next holder either reads the
+/// data or ignores it.
+fn lock_workload(
+    prop: LockPropagation,
+    consumer_reads: bool,
+    procs: usize,
+    rounds: usize,
+    data_locs: u32,
+) -> Metrics {
+    let mut sys = System::new(procs, Mode::Mixed)
+        .lock_propagation(prop)
+        .seed(11)
+        .latency(ethernet_1994());
+    for p in 0..procs {
+        sys.spawn(move |ctx| {
+            let mut val = (p as i64 + 1) * 10_000;
+            for _ in 0..rounds {
+                ctx.write_lock(LockId(0));
+                if consumer_reads {
+                    for l in 0..data_locs {
+                        let _ = ctx.read_causal(Loc(l));
+                    }
+                }
+                for l in 0..data_locs {
+                    val += 1;
+                    ctx.write(Loc(l), val);
+                }
+                ctx.write_unlock(LockId(0));
+            }
+        });
+    }
+    sys.run().expect("lock workload").metrics
+}
+
+/// **E2** — eager vs lazy vs demand-driven lock propagation
+/// (Section 6's three implementations).
+pub fn locks_table(procs: usize, rounds: usize) -> Table {
+    let mut rows = Vec::new();
+    for (wl, reads) in [("consumer reads data", true), ("data never read", false)] {
+        for prop in LockPropagation::ALL {
+            let m = lock_workload(prop, reads, procs, rounds, 24);
+            rows.push(Row::new(
+                vec![("workload", wl.into()), ("propagation", prop.to_string())],
+                metric_cols(&m),
+            ));
+        }
+    }
+    Table {
+        id: "E2",
+        title: "lock/unlock propagation variants",
+        paper_ref: "§6 — eager vs lazy vs demand-driven implementations of lock/unlock",
+        rows,
+    }
+}
+
+/// **E3** — barrier cost scaling with process count (Section 6's
+/// message-count-vector barrier).
+pub fn barrier_table(rounds: usize) -> Table {
+    let mut rows = Vec::new();
+    for procs in [2, 4, 8, 16] {
+        let mut sys = System::new(procs, Mode::Pram).seed(3);
+        for p in 0..procs as u32 {
+            sys.spawn(move |ctx| {
+                for r in 0..rounds {
+                    ctx.write(Loc(p), (r * 100 + p as usize) as i64);
+                    ctx.barrier();
+                }
+            });
+        }
+        let m = sys.run().expect("barrier workload").metrics;
+        rows.push(Row::new(
+            vec![("procs", procs.to_string()), ("rounds", rounds.to_string())],
+            vec![
+                (
+                    "ns/round",
+                    format!("{:.0}", m.finish_time.as_nanos() as f64 / rounds as f64),
+                ),
+                (
+                    "msgs/round",
+                    format!(
+                        "{:.1}",
+                        (m.kind("barrier_arrive").count + m.kind("barrier_release").count)
+                            as f64
+                            / rounds as f64
+                    ),
+                ),
+                ("total msgs", m.messages.to_string()),
+            ],
+        ));
+    }
+    Table {
+        id: "E3",
+        title: "barrier scaling",
+        paper_ref: "§6 — barrier manager with per-process message-count vectors",
+        rows,
+    }
+}
+
+/// A many-locks workload for the manager-sharding ablation: every
+/// process cycles through `nlocks` independent locks.
+fn sharded_lock_workload(shards: usize, procs: usize, nlocks: u32, rounds: usize) -> Metrics {
+    let mut sys = System::new(procs, Mode::Mixed)
+        .manager_shards(shards)
+        .seed(3)
+        .latency(ethernet_1994());
+    for p in 0..procs {
+        sys.spawn(move |ctx| {
+            for r in 0..rounds {
+                let lock = mixed_consistency::LockId(((p + r) % nlocks as usize) as u32);
+                ctx.with_write_lock(lock, |ctx| {
+                    let v = ctx.read_causal(Loc(lock.0)).expect_i64();
+                    ctx.write(Loc(lock.0), v + 1);
+                });
+            }
+        });
+    }
+    sys.run().expect("sharded workload").metrics
+}
+
+/// **E5** — manager sharding ablation: Section 6 maps every lock "to a
+/// process"; distributing those processes over nodes relieves the
+/// manager's links.
+pub fn sharding_table() -> Table {
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let m = sharded_lock_workload(shards, 6, 8, 8);
+        rows.push(Row::new(
+            vec![("manager shards", shards.to_string())],
+            metric_cols(&m),
+        ));
+    }
+    Table {
+        id: "E5",
+        title: "manager sharding (ablation)",
+        paper_ref: "§6 — \"every lock is mapped to a process called the lock manager\"",
+        rows,
+    }
+}
+
+/// **F4** — FDTD cost across protocols and worker counts (1-D line and
+/// 2-D grid).
+pub fn em_table() -> Table {
+    let mut rows = Vec::new();
+    for workers in [2, 4] {
+        for mode in Mode::ALL {
+            let cfg = EmConfig::new(32, 10, workers, mode);
+            let run = run_fdtd(&cfg).expect("fdtd");
+            rows.push(Row::new(
+                vec![
+                    ("grid", "1-D, 32 nodes".into()),
+                    ("workers", workers.to_string()),
+                    ("mode", mode.to_string()),
+                ],
+                metric_cols(&run.metrics),
+            ));
+        }
+    }
+    for mode in [Mode::Pram, Mode::Sc] {
+        let cfg = Em2dConfig::new(8, 6, 4, mode);
+        let run = run_fdtd2d(&cfg).expect("fdtd2d");
+        rows.push(Row::new(
+            vec![
+                ("grid", "2-D, 8×8".into()),
+                ("workers", "4".into()),
+                ("mode", mode.to_string()),
+            ],
+            metric_cols(&run.metrics),
+        ));
+    }
+    Table {
+        id: "F4",
+        title: "FDTD electromagnetic-field computation",
+        paper_ref: "Figure 4 / §5.2 — PRAM provides the \"ghost copies\" implicitly",
+        rows,
+    }
+}
+
+/// **E4** — checker throughput: wall-clock cost of verifying recorded
+/// histories of growing size.
+pub fn checkers_table() -> Table {
+    let mut rows = Vec::new();
+    for target_ops in [200usize, 600, 1200] {
+        // A mixed workload sized to roughly `target_ops` operations.
+        let procs = 3;
+        let per = target_ops / procs / 2;
+        let mut sys = System::new(procs, Mode::Mixed).seed(5).record(true);
+        for p in 0..procs {
+            sys.spawn(move |ctx| {
+                let mut rng = StdRng::seed_from_u64(p as u64);
+                let mut val = (p as i64 + 1) * 100_000;
+                for _ in 0..per {
+                    let loc = Loc(rng.gen_range(0..6u32));
+                    if rng.gen_bool(0.5) {
+                        val += 1;
+                        ctx.write(loc, val);
+                    } else {
+                        let _ = ctx.read_causal(loc);
+                    }
+                    let _ = ctx.read_pram(loc);
+                }
+            });
+        }
+        let h = sys.run().expect("run").history.expect("recorded");
+        let start = std::time::Instant::now();
+        let verdict = check::check_mixed(&h).is_ok();
+        let elapsed = start.elapsed();
+        rows.push(Row::new(
+            vec![("history ops", h.len().to_string())],
+            vec![
+                ("check wall time", format!("{:.1?}", elapsed)),
+                (
+                    "ops/s",
+                    format!("{:.0}", h.len() as f64 / elapsed.as_secs_f64()),
+                ),
+                ("consistent", verdict.to_string()),
+            ],
+        ));
+    }
+    Table {
+        id: "E4",
+        title: "checker throughput (Definition 4 verification)",
+        paper_ref: "§3 — executable consistency definitions",
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocols_table_shape() {
+        let t = protocols_table(2, 20);
+        assert_eq!(t.rows.len(), 8, "2 workloads x 4 modes");
+        assert!(t.to_markdown().contains("sc"));
+    }
+
+    #[test]
+    fn locks_table_shape() {
+        let t = locks_table(2, 3);
+        assert_eq!(t.rows.len(), 6, "2 workloads x 3 propagations");
+    }
+
+    #[test]
+    fn barrier_table_scales() {
+        let t = barrier_table(3);
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn checkers_table_runs() {
+        let t = checkers_table();
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.rows.iter().all(|r| r.vals[2].1 == "true"));
+    }
+}

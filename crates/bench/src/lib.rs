@@ -1,0 +1,138 @@
+//! # mc-bench — the experiment harness
+//!
+//! Reproduces every figure and every evaluation claim of the paper as a
+//! parameterized experiment producing labeled metric rows (virtual time,
+//! message counts, bytes, stalls). The same runners back:
+//!
+//! * the `report` binary (`cargo run -p mc-bench --bin report`), which
+//!   regenerates the tables recorded in `EXPERIMENTS.md`;
+//! * the Criterion benches (`cargo bench`), which track the wall-clock
+//!   cost of the simulator and checkers themselves.
+//!
+//! Experiment index (see `DESIGN.md` §5): E1 protocol access costs,
+//! C1/F2/F3 solver comparison, C2/F5 Cholesky variants, C3 asynchronous
+//! relaxation, E2 lock propagation variants, E3 barrier scaling, E4
+//! checker throughput, F4 FDTD scaling.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use mixed_consistency::{Metrics, SimTime};
+
+pub mod experiments;
+
+/// One labeled row of an experiment table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Experiment-specific key columns (already formatted).
+    pub keys: Vec<(&'static str, String)>,
+    /// Metric columns.
+    pub vals: Vec<(&'static str, String)>,
+}
+
+impl Row {
+    /// Builds a row from key and value columns.
+    pub fn new(keys: Vec<(&'static str, String)>, vals: Vec<(&'static str, String)>) -> Self {
+        Row { keys, vals }
+    }
+}
+
+/// A titled experiment table, renderable as Markdown.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id (e.g. "C1").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The paper's corresponding claim or figure.
+    pub paper_ref: &'static str,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Renders the table as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### {} — {}", self.id, self.title);
+        let _ = writeln!(s, "*Paper:* {}\n", self.paper_ref);
+        if self.rows.is_empty() {
+            let _ = writeln!(s, "(no rows)");
+            return s;
+        }
+        let header: Vec<&str> = self.rows[0]
+            .keys
+            .iter()
+            .map(|(k, _)| *k)
+            .chain(self.rows[0].vals.iter().map(|(k, _)| *k))
+            .collect();
+        let _ = writeln!(s, "| {} |", header.join(" | "));
+        let _ = writeln!(s, "|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for r in &self.rows {
+            let cells: Vec<&str> = r
+                .keys
+                .iter()
+                .map(|(_, v)| v.as_str())
+                .chain(r.vals.iter().map(|(_, v)| v.as_str()))
+                .collect();
+            let _ = writeln!(s, "| {} |", cells.join(" | "));
+        }
+        s
+    }
+}
+
+/// Formats the standard metric columns from a [`Metrics`].
+pub fn metric_cols(m: &Metrics) -> Vec<(&'static str, String)> {
+    vec![
+        ("virtual time", m.finish_time.to_string()),
+        ("messages", m.messages.to_string()),
+        ("kbytes", format!("{:.1}", m.bytes as f64 / 1024.0)),
+        ("stall", m.stall_time.to_string()),
+    ]
+}
+
+/// Formats a `SimTime` ratio as `x.xx×`.
+pub fn speedup(base: SimTime, other: SimTime) -> String {
+    if other.as_nanos() == 0 {
+        return "∞".into();
+    }
+    format!("{:.2}×", base.as_nanos() as f64 / other.as_nanos() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let t = Table {
+            id: "X0",
+            title: "demo",
+            paper_ref: "none",
+            rows: vec![Row::new(
+                vec![("mode", "pram".into())],
+                vec![("messages", "3".into())],
+            )],
+        };
+        let md = t.to_markdown();
+        assert!(md.contains("| mode | messages |"));
+        assert!(md.contains("| pram | 3 |"));
+        assert!(md.contains("### X0"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table { id: "X1", title: "t", paper_ref: "p", rows: vec![] };
+        assert!(t.to_markdown().contains("(no rows)"));
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(
+            speedup(SimTime::from_nanos(200), SimTime::from_nanos(100)),
+            "2.00×"
+        );
+        assert_eq!(speedup(SimTime::from_nanos(1), SimTime::ZERO), "∞");
+    }
+}

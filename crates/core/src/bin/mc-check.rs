@@ -1,0 +1,130 @@
+//! `mc-check` — check a history trace file against the paper's
+//! consistency definitions.
+//!
+//! ```text
+//! USAGE: mc-check <trace-file> [options]
+//!   --mixed      judge reads by their labels (Definition 4, default)
+//!   --pram       judge every read as a PRAM read (Definition 3)
+//!   --causal     judge every read as a causal read (Definition 2)
+//!   --sc         exact sequential-consistency search (Definition 1)
+//!   --theorem1   check Theorem 1's premises (commutativity + causal)
+//!   --stats      print history statistics
+//!   --dot        print the causality graph in Graphviz format
+//! ```
+//!
+//! The trace format is documented in `mixed_consistency::trace`; recorded
+//! histories serialize to it via `trace::to_text`. Exit status 1 means a
+//! violation was found.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use mixed_consistency::model::{trace, viz};
+use mixed_consistency::{check, commute, sc, History};
+
+/// Prints to stdout ignoring broken pipes (`mc-check … | head` must not
+/// panic).
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(stdout, $($arg)*);
+    }};
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mc-check <trace-file> [--mixed|--pram|--causal|--sc|--theorem1|--stats|--dot]...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let flags: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+    if let Some(bad) = flags.iter().find(|f| {
+        !matches!(**f, "--mixed" | "--pram" | "--causal" | "--sc" | "--theorem1" | "--stats" | "--dot")
+    }) {
+        eprintln!("unknown option {bad}");
+        return usage();
+    }
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mc-check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let history: History = match trace::parse(&text) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("mc-check: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // With no flags, run the three definition checkers; any explicit flag
+    // selects exactly what was asked (so `--dot | dot -Tsvg` stays clean).
+    let run_all = flags.is_empty();
+    let mut failed = false;
+    let mut judge = |name: &str, result: Result<(), String>| match result {
+        Ok(()) => out!("{name:<10} ok"),
+        Err(e) => {
+            out!("{name:<10} VIOLATION\n{e}");
+            failed = true;
+        }
+    };
+
+    if run_all || flags.contains(&"--mixed") {
+        judge("mixed", check::check_mixed(&history).map(|_| ()).map_err(|e| e.to_string()));
+    }
+    if run_all || flags.contains(&"--pram") {
+        judge("pram", check::check_pram(&history).map(|_| ()).map_err(|e| e.to_string()));
+    }
+    if run_all || flags.contains(&"--causal") {
+        judge("causal", check::check_causal(&history).map(|_| ()).map_err(|e| e.to_string()));
+    }
+    if flags.contains(&"--sc") {
+        match sc::check_sequential(&history) {
+            Ok(sc::ScVerdict::SequentiallyConsistent(_)) => judge("sc", Ok(())),
+            Ok(sc::ScVerdict::Unknown) => {
+                out!("{:<10} unknown (budget exhausted)", "sc")
+            }
+            Ok(sc::ScVerdict::NotSequentiallyConsistent) => {
+                judge("sc", Err("no serialization is sequential".to_string()))
+            }
+            Err(e) => judge("sc", Err(e.to_string())),
+        }
+    }
+    if flags.contains(&"--theorem1") {
+        match commute::check_theorem1(&history) {
+            Ok(outcome) if outcome.applies() => {
+                out!("{:<10} premises hold (history is SC)", "theorem1")
+            }
+            Ok(_) => out!("{:<10} premises do not apply", "theorem1"),
+            Err(e) => judge("theorem1", Err(e.to_string())),
+        }
+    }
+    if flags.contains(&"--stats") {
+        match viz::stats(&history) {
+            Ok(s) => out!("{s}"),
+            Err(e) => judge("stats", Err(e.to_string())),
+        }
+    }
+    if flags.contains(&"--dot") {
+        match viz::to_dot(&history) {
+            Ok(d) => {
+                let mut stdout = std::io::stdout().lock();
+                let _ = write!(stdout, "{d}");
+            }
+            Err(e) => judge("dot", Err(e.to_string())),
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,312 @@
+//! Exhaustive schedule exploration: run a program under **every**
+//! scheduler interleaving (up to a budget) and verify each execution.
+//!
+//! The simulator's only nondeterminism under a jitter-free latency model
+//! is the kernel's tie-breaking among same-time actions. Exploration
+//! replaces the random tie-breaker with a replayable decision trace and
+//! enumerates the decision tree depth-first — the systematic-concurrency-
+//! testing approach — so litmus-sized programs can be *proved* (within
+//! the budget) to satisfy their consistency definition on every schedule,
+//! not just on sampled seeds.
+//!
+//! # Examples
+//!
+//! ```
+//! use mixed_consistency::{check, explore, Loc, Mode, System};
+//!
+//! let outcome = explore::explore(
+//!     500,
+//!     || {
+//!         let mut sys = System::new(2, Mode::Mixed)
+//!             .record(true)
+//!             .sim_config(explore::racing_config());
+//!         sys.spawn(|ctx| {
+//!             ctx.write(Loc(0), 1);
+//!             let _ = ctx.read_pram(Loc(1));
+//!         });
+//!         sys.spawn(|ctx| {
+//!             ctx.write(Loc(1), 1);
+//!             let _ = ctx.read_causal(Loc(0));
+//!         });
+//!         sys
+//!     },
+//!     |o| {
+//!         let h = o.history.as_ref().expect("recording enabled");
+//!         check::check_mixed(h).map(|_| ()).map_err(|e| e.to_string())
+//!     },
+//! )?;
+//! assert!(outcome.complete, "every schedule was verified");
+//! assert!(outcome.runs > 1);
+//! # Ok::<(), mixed_consistency::explore::ExploreError>(())
+//! ```
+
+use std::fmt;
+
+use mc_sim::schedule::ReplaySchedule;
+use mc_sim::{DecisionTrace, SimTime};
+
+use crate::system::{Outcome, RunError, System};
+
+/// Summary of an exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreOutcome {
+    /// Number of executions performed.
+    pub runs: usize,
+    /// `true` if the decision tree was exhausted (every schedule seen).
+    pub complete: bool,
+    /// Decision points in the longest execution.
+    pub max_depth: usize,
+}
+
+/// Why an exploration stopped with an error.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// A run failed to execute (deadlock, panic, malformed history).
+    Run {
+        /// Which run (0-based).
+        run: usize,
+        /// The schedule that triggered it.
+        trace: DecisionTrace,
+        /// The underlying failure.
+        source: RunError,
+    },
+    /// The verifier rejected an execution.
+    Verify {
+        /// Which run (0-based).
+        run: usize,
+        /// The schedule that triggered it.
+        trace: DecisionTrace,
+        /// The verifier's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Run { run, source, trace } => {
+                write!(f, "run {run} failed ({} decisions): {source}", trace.choices.len())
+            }
+            ExploreError::Verify { run, message, trace } => {
+                write!(f, "run {run} rejected ({} decisions): {message}", trace.choices.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Explores every schedule of the program built by `make`, calling
+/// `verify` on each execution's [`Outcome`]; stops early after
+/// `max_runs` executions.
+///
+/// `make` must build the *same* program every time (same processes, same
+/// operations); exploration latency jitter is forced to zero so decision
+/// traces are the only nondeterminism.
+///
+/// # Errors
+///
+/// Returns the first failing run or rejected verification, with the
+/// decision trace that reproduces it.
+pub fn explore<M, V>(max_runs: usize, mut make: M, mut verify: V) -> Result<ExploreOutcome, ExploreError>
+where
+    M: FnMut() -> System,
+    V: FnMut(&Outcome) -> Result<(), String>,
+{
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut runs = 0usize;
+    let mut max_depth = 0usize;
+    loop {
+        let mut sys = make();
+        // Jitter would desynchronize decision trees between runs.
+        sys.zero_jitter_for_exploration();
+        let (schedule, trace) = ReplaySchedule::new(prefix.clone());
+        sys.set_schedule(Box::new(schedule));
+        let result = sys.run();
+        let trace: DecisionTrace = trace.lock().expect("trace lock").clone();
+        max_depth = max_depth.max(trace.choices.len());
+        let outcome = match result {
+            Ok(o) => o,
+            Err(source) => return Err(ExploreError::Run { run: runs, trace, source }),
+        };
+        if let Err(message) = verify(&outcome) {
+            return Err(ExploreError::Verify { run: runs, trace, message });
+        }
+        runs += 1;
+
+        match trace.last_branch_point() {
+            None => return Ok(ExploreOutcome { runs, complete: true, max_depth }),
+            Some(i) => {
+                prefix = trace.choices[..i].to_vec();
+                prefix.push(trace.choices[i] + 1);
+            }
+        }
+        if runs >= max_runs {
+            return Ok(ExploreOutcome { runs, complete: false, max_depth });
+        }
+    }
+}
+
+impl System {
+    /// Forces a jitter-free latency model (exploration helper).
+    pub(crate) fn zero_jitter_for_exploration(&mut self) {
+        self.sim_cfg_mut().latency.jitter = SimTime::ZERO;
+    }
+}
+
+/// A simulator configuration that maximizes schedule coverage: zero
+/// latency and zero per-operation cost, so deliveries and process steps
+/// *tie* in virtual time and every interleaving is reachable through
+/// tie-breaking. Use with [`explore`] via
+/// [`System::sim_config`](crate::System::sim_config).
+pub fn racing_config() -> mc_sim::SimConfig {
+    mc_sim::SimConfig {
+        seed: 0,
+        latency: mc_sim::LatencyModel::INSTANT,
+        local_cost: SimTime::ZERO,
+        fifo: true,
+        max_events: 10_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check, sc, LockId, Loc, Mode, ProcId, Value};
+    use mc_proto::Mode as ProtoMode;
+
+    fn _mode_reexport_consistency(m: ProtoMode) -> Mode {
+        m
+    }
+
+    #[test]
+    fn exploration_is_exhaustive_on_store_buffer() {
+        // Dekker on mixed memory: every schedule must be mixed consistent,
+        // and at least one schedule must produce the non-SC outcome
+        // (both reads 0) while others produce SC outcomes.
+        let mut saw_both_zero = false;
+        let mut saw_other = false;
+        let outcome = explore(
+            5_000,
+            || {
+                let mut sys = System::new(2, Mode::Mixed)
+                    .record(true)
+                    .sim_config(racing_config());
+                sys.spawn(|ctx| {
+                    ctx.write(Loc(0), 1);
+                    let _ = ctx.read_causal(Loc(1));
+                });
+                sys.spawn(|ctx| {
+                    ctx.write(Loc(1), 1);
+                    let _ = ctx.read_causal(Loc(0));
+                });
+                sys
+            },
+            |o| {
+                let h = o.history.as_ref().unwrap();
+                check::check_mixed(h).map_err(|e| e.to_string())?;
+                let reads: Vec<Value> = h
+                    .iter()
+                    .filter_map(|(_, op)| match op.kind {
+                        crate::OpKind::Read { value, .. } => Some(value),
+                        _ => None,
+                    })
+                    .collect();
+                if reads == [Value::Int(0), Value::Int(0)] {
+                    saw_both_zero = true;
+                } else {
+                    saw_other = true;
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(outcome.complete, "tree exhausted in {} runs", outcome.runs);
+        assert!(outcome.runs > 2, "multiple schedules explored: {}", outcome.runs);
+        assert!(saw_both_zero, "the store-buffer outcome must be reachable");
+        assert!(saw_other, "ordinary outcomes must be reachable too");
+    }
+
+    #[test]
+    fn exploration_finds_every_lock_order() {
+        // Two processes increment under a lock: every schedule must end
+        // at 2 and be sequentially consistent.
+        let outcome = explore(
+            5_000,
+            || {
+                let mut sys = System::new(2, Mode::Causal)
+                    .record(true)
+                    .sim_config(racing_config());
+                for _ in 0..2 {
+                    sys.spawn(|ctx| {
+                        ctx.with_write_lock(LockId(0), |ctx| {
+                            let v = ctx.read_causal(Loc(0)).expect_i64();
+                            ctx.write(Loc(0), v + 1);
+                        });
+                    });
+                }
+                sys
+            },
+            |o| {
+                if o.final_value(ProcId(0), Loc(0)) != Value::Int(2) {
+                    return Err("lost update".into());
+                }
+                let h = o.history.as_ref().unwrap();
+                match sc::check_sequential(h).map_err(|e| e.to_string())? {
+                    sc::ScVerdict::NotSequentiallyConsistent => {
+                        Err("not SC despite locking + causal reads".into())
+                    }
+                    _ => Ok(()),
+                }
+            },
+        )
+        .unwrap();
+        assert!(outcome.complete);
+        assert!(outcome.runs >= 2);
+    }
+
+    #[test]
+    fn budget_stops_exploration() {
+        let outcome = explore(
+            3,
+            || {
+                let mut sys = System::new(3, Mode::Pram);
+                for p in 0..3u32 {
+                    sys.spawn(move |ctx| {
+                        ctx.write(Loc(p), 1);
+                        let _ = ctx.read_pram(Loc((p + 1) % 3));
+                    });
+                }
+                sys
+            },
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(outcome.runs, 3);
+        assert!(!outcome.complete);
+        assert!(outcome.max_depth > 0);
+    }
+
+    #[test]
+    fn verifier_failures_carry_a_repro_trace() {
+        let err = explore(
+            100,
+            || {
+                let mut sys = System::new(1, Mode::Pram);
+                sys.spawn(|ctx| {
+                    ctx.write(Loc(0), 7);
+                });
+                sys
+            },
+            |_| Err("always reject".into()),
+        )
+        .unwrap_err();
+        assert!(!err.to_string().is_empty());
+        match err {
+            ExploreError::Verify { run: 0, message, .. } => {
+                assert_eq!(message, "always reject");
+            }
+            other => panic!("{other}"),
+        }
+    }
+}

@@ -1,0 +1,672 @@
+//! The user-facing runtime: build a system, spawn processes, run, get
+//! metrics and a checkable history.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use mc_model::{
+    BarrierId, History, HistoryBuilder, LockId, LockMode, Loc, MalformedHistory, OpKind,
+    ProcId, ReadLabel, Value, WriteId,
+};
+use mc_proto::{Dsm, DsmConfig, LockPropagation, Mode, Req, Resp};
+use mc_sim::{Kernel, LatencyModel, Metrics, NodeId, ProcCtx, SimConfig, SimError, SimTime};
+
+/// Error from running a system.
+#[derive(Debug)]
+pub enum RunError {
+    /// The simulation failed (deadlock, process panic, event limit).
+    Sim(SimError),
+    /// The recorded history failed well-formedness validation — this
+    /// indicates a protocol bug (or injected fault) worth investigating.
+    Malformed(MalformedHistory),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "{e}"),
+            RunError::Malformed(e) => write!(f, "recorded history is malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// The result of a completed run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Simulator metrics: virtual time, messages, bytes, stalls.
+    pub metrics: Metrics,
+    /// The recorded history, when recording was enabled.
+    pub history: Option<History>,
+    dsm: Dsm,
+}
+
+impl Outcome {
+    /// The final converged value of `loc`: read from `proc`'s replica in
+    /// the replicated modes (the simulator drains all deliveries before
+    /// finishing, so replicas agree except for concurrent float-counter
+    /// deltas — see the Cholesky discussion), or from the central server
+    /// in SC mode.
+    pub fn final_value(&self, proc: ProcId, loc: Loc) -> Value {
+        if self.dsm.config().mode.is_replicated() {
+            self.dsm.replica(proc).peek(loc)
+        } else {
+            self.dsm.server_value(loc)
+        }
+    }
+
+    /// The protocol's final state.
+    pub fn dsm(&self) -> &Dsm {
+        &self.dsm
+    }
+
+    /// Verifies the recorded history against the consistency definition
+    /// of the protocol the run executed on: Definition 3 for
+    /// [`Mode::Pram`], Definition 2 for [`Mode::Causal`], Definition 4
+    /// for [`Mode::Mixed`], and the exact Definition 1 search for
+    /// [`Mode::Sc`] (`Unknown` verdicts are treated as success; SC runs
+    /// should stay litmus-sized).
+    ///
+    /// # Errors
+    ///
+    /// Returns the checker's error on violation, or [`VerifyError::NotRecorded`]
+    /// if recording was off.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        let h = self.history.as_ref().ok_or(VerifyError::NotRecorded)?;
+        match self.dsm.config().mode {
+            Mode::Pram => {
+                mc_model::check::check_pram(h).map(|_| ()).map_err(VerifyError::Check)
+            }
+            Mode::Causal => {
+                mc_model::check::check_causal(h).map(|_| ()).map_err(VerifyError::Check)
+            }
+            Mode::Mixed => {
+                mc_model::check::check_mixed(h).map(|_| ()).map_err(VerifyError::Check)
+            }
+            Mode::Sc => match mc_model::sc::check_sequential(h) {
+                Err(e) => Err(VerifyError::Check(mc_model::check::CheckError::Causality(e))),
+                Ok(mc_model::sc::ScVerdict::NotSequentiallyConsistent) => {
+                    Err(VerifyError::NotSequentiallyConsistent)
+                }
+                Ok(_) => Ok(()),
+            },
+        }
+    }
+}
+
+/// Error type of [`Outcome::verify`].
+#[derive(Debug)]
+pub enum VerifyError {
+    /// The run did not record a history (enable [`System::record`]).
+    NotRecorded,
+    /// A consistency definition was violated.
+    Check(mc_model::check::CheckError),
+    /// No serialization of the SC run is sequential.
+    NotSequentiallyConsistent,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NotRecorded => write!(f, "history recording was not enabled"),
+            VerifyError::Check(e) => write!(f, "{e}"),
+            VerifyError::NotSequentiallyConsistent => {
+                write!(f, "no serialization is sequential")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Builder for a mixed-consistency DSM system.
+///
+/// # Examples
+///
+/// ```
+/// use mixed_consistency::{Mode, System, Value, Loc};
+///
+/// let mut sys = System::new(2, Mode::Mixed).record(true);
+/// sys.spawn(|ctx| {
+///     ctx.write(Loc(0), 41);
+///     ctx.write(Loc(1), 1); // flag
+/// });
+/// sys.spawn(|ctx| {
+///     ctx.await_eq(Loc(1), 1);
+///     assert_eq!(ctx.read_causal(Loc(0)), Value::Int(41));
+/// });
+/// let outcome = sys.run()?;
+/// let history = outcome.history.expect("recording enabled");
+/// mixed_consistency::check::check_mixed(&history).expect("mixed consistent");
+/// # Ok::<(), mixed_consistency::RunError>(())
+/// ```
+pub struct System {
+    dsm_cfg: DsmConfig,
+    sim_cfg: SimConfig,
+    record: bool,
+    schedule: Option<Box<dyn mc_sim::Schedule>>,
+    #[allow(clippy::type_complexity)]
+    procs: Vec<Box<dyn FnOnce(&mut Ctx<'_>) + Send + 'static>>,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("dsm", &self.dsm_cfg)
+            .field("nprocs", &self.procs.len())
+            .field("record", &self.record)
+            .finish()
+    }
+}
+
+impl System {
+    /// Creates a system of `nprocs` processes running on memory `mode`.
+    pub fn new(nprocs: usize, mode: Mode) -> Self {
+        System {
+            dsm_cfg: DsmConfig::new(nprocs, mode),
+            sim_cfg: SimConfig::default(),
+            record: false,
+            schedule: None,
+            procs: Vec::new(),
+        }
+    }
+
+    /// Selects the lock propagation variant (default: lazy).
+    pub fn lock_propagation(mut self, p: LockPropagation) -> Self {
+        self.dsm_cfg.lock_propagation = p;
+        self
+    }
+
+    /// Restricts a barrier object to a subset of processes (Section
+    /// 3.1.2's sub-group barriers). Unrestricted barriers involve every
+    /// process.
+    pub fn barrier_group(mut self, barrier: BarrierId, group: Vec<ProcId>) -> Self {
+        self.dsm_cfg = self.dsm_cfg.with_barrier_group(barrier, group);
+        self
+    }
+
+    /// Distributes lock/barrier managers over `shards` nodes (Section 6
+    /// maps every synchronization object "to a process"; sharding spreads
+    /// that traffic across links).
+    pub fn manager_shards(mut self, shards: usize) -> Self {
+        self.dsm_cfg = self.dsm_cfg.with_manager_shards(shards);
+        self
+    }
+
+    /// Seeds the schedule and latency jitter.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim_cfg.seed = seed;
+        self
+    }
+
+    /// Sets the network latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.sim_cfg.latency = latency;
+        self
+    }
+
+    /// Overrides the full simulator configuration.
+    pub fn sim_config(mut self, cfg: SimConfig) -> Self {
+        self.sim_cfg = cfg;
+        self
+    }
+
+    /// Enables or disables history recording (default: off).
+    pub fn record(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Replaces the kernel's tie-breaking schedule (used by
+    /// [`crate::explore`]; custom [`mc_sim::Schedule`]s plug in here too).
+    pub fn set_schedule(&mut self, schedule: Box<dyn mc_sim::Schedule>) {
+        self.schedule = Some(schedule);
+    }
+
+    /// Mutable access to the simulator configuration (crate-internal).
+    pub(crate) fn sim_cfg_mut(&mut self) -> &mut SimConfig {
+        &mut self.sim_cfg
+    }
+
+    /// Disables FIFO channels — a fault injection that the consistency
+    /// checkers are expected to catch in PRAM mode.
+    pub fn inject_reordering(mut self) -> Self {
+        self.sim_cfg.fifo = false;
+        self
+    }
+
+    /// Adds the next process (process ids follow spawn order).
+    pub fn spawn<F>(&mut self, f: F) -> ProcId
+    where
+        F: FnOnce(&mut Ctx<'_>) + Send + 'static,
+    {
+        let id = ProcId(self.procs.len() as u32);
+        self.procs.push(Box::new(f));
+        id
+    }
+
+    /// Runs the system to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Sim`] for deadlocks/panics/event limits and
+    /// [`RunError::Malformed`] if the recorded history fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more processes were spawned than `nprocs`.
+    pub fn run(self) -> Result<Outcome, RunError> {
+        let System { dsm_cfg, sim_cfg, record, procs, schedule } = self;
+        // Strict: barriers wait for every configured process, so a
+        // mismatch would deadlock at runtime with a far less helpful
+        // diagnostic than this.
+        assert_eq!(
+            procs.len(),
+            dsm_cfg.nprocs,
+            "spawned {} processes but configured {}",
+            procs.len(),
+            dsm_cfg.nprocs
+        );
+        let recorder: Option<Arc<Mutex<HistoryBuilder>>> = record
+            .then(|| Arc::new(Mutex::new(HistoryBuilder::new(dsm_cfg.nprocs))));
+
+        let nnodes = dsm_cfg.nnodes();
+        let mut kernel = Kernel::new(Dsm::new(dsm_cfg), nnodes, sim_cfg);
+        if let Some(s) = schedule {
+            kernel.set_schedule(s);
+        }
+        for (i, f) in procs.into_iter().enumerate() {
+            let recorder = recorder.clone();
+            kernel.spawn(NodeId(i as u32), move |pctx| {
+                let mut ctx = Ctx { proc: ProcId(i as u32), inner: pctx, recorder };
+                f(&mut ctx);
+            });
+        }
+        let report = kernel.run()?;
+        let history = match recorder {
+            None => None,
+            Some(rec) => {
+                let builder = Arc::try_unwrap(rec)
+                    .expect("all process handles dropped")
+                    .into_inner()
+                    .expect("no poisoned recorder");
+                Some(builder.build().map_err(RunError::Malformed)?)
+            }
+        };
+        Ok(Outcome { metrics: report.metrics, history, dsm: report.protocol })
+    }
+}
+
+/// The per-process handle: the memory and synchronization operations of
+/// the mixed-consistency model.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    proc: ProcId,
+    inner: &'a mut ProcCtx<Dsm>,
+    recorder: Option<Arc<Mutex<HistoryBuilder>>>,
+}
+
+impl Ctx<'_> {
+    /// This process's id.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    fn push(&mut self, kind: OpKind) {
+        if let Some(rec) = &self.recorder {
+            rec.lock().expect("recorder healthy").push(self.proc, kind);
+        }
+    }
+
+    /// Writes `value` to `loc` (non-blocking) and returns the write id.
+    pub fn write(&mut self, loc: Loc, value: impl Into<Value>) -> WriteId {
+        let value = value.into();
+        let Resp::Wrote { id } = self.inner.request(Req::Write { loc, value }) else {
+            unreachable!("write answered with non-write response")
+        };
+        self.push(OpKind::Write { loc, value, id });
+        id
+    }
+
+    /// Applies a commutative increment to the counter at `loc`
+    /// (Section 5.3's abstract objects). Integer deltas apply to integer
+    /// counters, float deltas to float cells (the Cholesky optimization).
+    pub fn add(&mut self, loc: Loc, delta: impl Into<Value>) -> WriteId {
+        let delta = delta.into();
+        let Resp::Wrote { id } = self.inner.request(Req::Update { loc, delta }) else {
+            unreachable!("update answered with non-write response")
+        };
+        self.push(OpKind::Update { loc, delta, id });
+        id
+    }
+
+    /// Reads `loc` with an explicit consistency label.
+    pub fn read(&mut self, loc: Loc, label: ReadLabel) -> Value {
+        let Resp::Value { value, writer } = self.inner.request(Req::Read { loc, label })
+        else {
+            unreachable!("read answered with non-value response")
+        };
+        let recorded_writer = Some(writer.unwrap_or(WriteId::initial(loc)));
+        self.push(OpKind::Read { loc, label, value, writer: recorded_writer });
+        value
+    }
+
+    /// Reads `loc` as a causal read (Definition 2).
+    pub fn read_causal(&mut self, loc: Loc) -> Value {
+        self.read(loc, ReadLabel::Causal)
+    }
+
+    /// Reads `loc` as a PRAM read (Definition 3).
+    pub fn read_pram(&mut self, loc: Loc) -> Value {
+        self.read(loc, ReadLabel::Pram)
+    }
+
+    /// Acquires a lock.
+    pub fn lock(&mut self, lock: LockId, mode: LockMode) {
+        let resp = self.inner.request(Req::Lock { lock, mode });
+        debug_assert_eq!(resp, Resp::Done);
+        self.push(OpKind::Lock { lock, mode });
+    }
+
+    /// Releases a lock.
+    pub fn unlock(&mut self, lock: LockId, mode: LockMode) {
+        let resp = self.inner.request(Req::Unlock { lock, mode });
+        debug_assert_eq!(resp, Resp::Done);
+        self.push(OpKind::Unlock { lock, mode });
+    }
+
+    /// Acquires `lock` in write mode (`wl`).
+    pub fn write_lock(&mut self, lock: LockId) {
+        self.lock(lock, LockMode::Write);
+    }
+
+    /// Releases `lock` from write mode (`wu`).
+    pub fn write_unlock(&mut self, lock: LockId) {
+        self.unlock(lock, LockMode::Write);
+    }
+
+    /// Acquires `lock` in read mode (`rl`).
+    pub fn read_lock(&mut self, lock: LockId) {
+        self.lock(lock, LockMode::Read);
+    }
+
+    /// Releases `lock` from read mode (`ru`).
+    pub fn read_unlock(&mut self, lock: LockId) {
+        self.unlock(lock, LockMode::Read);
+    }
+
+    /// Runs `f` inside a write critical section of `lock`.
+    pub fn with_write_lock<R>(&mut self, lock: LockId, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.write_lock(lock);
+        let r = f(self);
+        self.write_unlock(lock);
+        r
+    }
+
+    /// Arrives at (and passes) the default barrier object.
+    pub fn barrier(&mut self) {
+        self.barrier_on(BarrierId(0));
+    }
+
+    /// Arrives at (and passes) a specific barrier object.
+    pub fn barrier_on(&mut self, barrier: BarrierId) {
+        let Resp::BarrierPassed { round } = self.inner.request(Req::Barrier { barrier })
+        else {
+            unreachable!("barrier answered with non-barrier response")
+        };
+        self.push(OpKind::Barrier { barrier, round: mc_model::BarrierRound(round) });
+    }
+
+    /// Blocks until `loc = value` (`await`, Section 3.1.3) and returns the
+    /// observed value.
+    pub fn await_eq(&mut self, loc: Loc, value: impl Into<Value>) -> Value {
+        let value = value.into();
+        let Resp::Awaited { value: observed, writers } =
+            self.inner.request(Req::Await { loc, value })
+        else {
+            unreachable!("await answered with non-await response")
+        };
+        let writers = if writers.is_empty() {
+            vec![WriteId::initial(loc)]
+        } else {
+            writers
+        };
+        self.push(OpKind::Await { loc, value: observed, writers });
+        observed
+    }
+
+    /// Charges `cost` of virtual compute time (models local work between
+    /// memory operations).
+    pub fn compute(&mut self, cost: SimTime) {
+        self.inner.advance(cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_model::check;
+
+    #[test]
+    fn quick_producer_consumer_records_history() {
+        let mut sys = System::new(2, Mode::Mixed).record(true).seed(3);
+        sys.spawn(|ctx| {
+            ctx.write(Loc(0), 41);
+            ctx.write(Loc(1), 1);
+        });
+        sys.spawn(|ctx| {
+            ctx.await_eq(Loc(1), 1);
+            assert_eq!(ctx.read_causal(Loc(0)), Value::Int(41));
+        });
+        let outcome = sys.run().unwrap();
+        let h = outcome.history.as_ref().unwrap();
+        assert_eq!(h.nprocs(), 2);
+        assert_eq!(h.len(), 4);
+        check::check_mixed(h).unwrap();
+        assert_eq!(outcome.final_value(ProcId(1), Loc(0)), Value::Int(41));
+    }
+
+    #[test]
+    fn lock_history_has_epochs() {
+        let mut sys = System::new(2, Mode::Mixed).record(true);
+        for _ in 0..2 {
+            sys.spawn(|ctx| {
+                ctx.with_write_lock(LockId(0), |ctx| {
+                    let v = ctx.read_causal(Loc(0)).expect_i64();
+                    ctx.write(Loc(0), v + 1);
+                });
+            });
+        }
+        let outcome = sys.run().unwrap();
+        let h = outcome.history.as_ref().unwrap();
+        assert_eq!(h.lock_epochs()[&LockId(0)].len(), 2);
+        check::check_causal(h).unwrap();
+        assert_eq!(outcome.final_value(ProcId(0), Loc(0)), Value::Int(2));
+    }
+
+    #[test]
+    fn barrier_history_rounds() {
+        let mut sys = System::new(3, Mode::Pram).record(true);
+        for i in 0..3u32 {
+            sys.spawn(move |ctx| {
+                ctx.write(Loc(i), i as i64);
+                ctx.barrier();
+                let _ = ctx.read_pram(Loc((i + 1) % 3));
+                ctx.barrier();
+            });
+        }
+        let h = sys.run().unwrap().history.unwrap();
+        assert_eq!(h.barrier_rounds()[&BarrierId(0)].len(), 2);
+        check::check_pram(&h).unwrap();
+        mc_model::programs::check_pram_consistent_program(&h).unwrap();
+    }
+
+    #[test]
+    fn counter_history_checks() {
+        let mut sys = System::new(2, Mode::Mixed).record(true);
+        sys.spawn(|ctx| {
+            ctx.add(Loc(0), -1);
+            ctx.add(Loc(0), -1);
+        });
+        sys.spawn(|ctx| {
+            ctx.await_eq(Loc(0), -2);
+            assert_eq!(ctx.read_causal(Loc(0)), Value::Int(-2));
+        });
+        let h = sys.run().unwrap().history.unwrap();
+        check::check_mixed(&h).unwrap();
+    }
+
+    #[test]
+    fn spawning_too_many_processes_panics() {
+        let mut sys = System::new(1, Mode::Pram);
+        sys.spawn(|_| {});
+        sys.spawn(|_| {});
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sys.run()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn deadlock_surfaces_as_run_error() {
+        let mut sys = System::new(1, Mode::Mixed);
+        sys.spawn(|ctx| {
+            ctx.await_eq(Loc(0), 99);
+        });
+        match sys.run() {
+            Err(RunError::Sim(SimError::Deadlock { .. })) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn compute_advances_virtual_time() {
+        let mut sys = System::new(1, Mode::Pram);
+        sys.spawn(|ctx| {
+            ctx.compute(SimTime::from_millis(3));
+            ctx.write(Loc(0), 1);
+        });
+        let outcome = sys.run().unwrap();
+        assert!(outcome.metrics.finish_time >= SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn subgroup_barriers_synchronize_only_their_group() {
+        // Processes 0/1 phase through barrier b1, processes 2/3 through
+        // b2 — independently. A final global barrier (b0) joins everyone.
+        let mut sys = System::new(4, Mode::Mixed)
+            .record(true)
+            .barrier_group(BarrierId(1), vec![ProcId(0), ProcId(1)])
+            .barrier_group(BarrierId(2), vec![ProcId(2), ProcId(3)]);
+        for p in 0..4u32 {
+            sys.spawn(move |ctx| {
+                let group_bar = if p < 2 { BarrierId(1) } else { BarrierId(2) };
+                let partner = Loc(p ^ 1);
+                for round in 0..2i64 {
+                    ctx.write(Loc(p), round * 10 + p as i64);
+                    ctx.barrier_on(group_bar);
+                    // Ghost read from the partner: must be fresh within
+                    // the group.
+                    let v = ctx.read_pram(partner);
+                    assert_eq!(v, Value::Int(round * 10 + partner.0 as i64));
+                    ctx.barrier_on(group_bar);
+                }
+                ctx.barrier_on(BarrierId(0));
+            });
+        }
+        let outcome = sys.run().unwrap();
+        let h = outcome.history.as_ref().unwrap();
+        // Two rounds x 2 barriers per group, one global round.
+        assert_eq!(h.barrier_rounds()[&BarrierId(1)].len(), 4);
+        assert_eq!(h.barrier_rounds()[&BarrierId(2)].len(), 4);
+        assert_eq!(h.barrier_rounds()[&BarrierId(0)].len(), 1);
+        assert_eq!(h.barrier_rounds()[&BarrierId(1)][0].ops.len(), 2);
+        check::check_mixed(h).unwrap();
+        check::check_pram(h).unwrap();
+    }
+
+    #[test]
+    fn outcome_verify_picks_mode_checker() {
+        for mode in [Mode::Pram, Mode::Causal, Mode::Mixed, Mode::Sc] {
+            let mut sys = System::new(2, mode).record(true);
+            sys.spawn(|ctx| {
+                ctx.write(Loc(0), 3);
+                ctx.write(Loc(1), 1);
+            });
+            sys.spawn(|ctx| {
+                ctx.await_eq(Loc(1), 1);
+                let _ = ctx.read_causal(Loc(0));
+            });
+            let outcome = sys.run().unwrap();
+            outcome.verify().unwrap_or_else(|e| panic!("{mode}: {e}"));
+            // Per-process metrics got recorded.
+            assert!(outcome.metrics.proc(0).syscalls >= 2);
+            assert!(outcome.metrics.proc(1).syscalls >= 2);
+        }
+    }
+
+    #[test]
+    fn verify_requires_recording() {
+        let mut sys = System::new(1, Mode::Pram);
+        sys.spawn(|ctx| {
+            ctx.write(Loc(0), 1);
+        });
+        let outcome = sys.run().unwrap();
+        assert!(matches!(outcome.verify(), Err(VerifyError::NotRecorded)));
+        assert!(VerifyError::NotRecorded.to_string().contains("recording"));
+    }
+
+    #[test]
+    fn manager_sharding_preserves_semantics() {
+        let run = |shards: usize| {
+            let mut sys = System::new(3, Mode::Mixed)
+                .manager_shards(shards)
+                .record(true)
+                .seed(5);
+            for p in 0..3u32 {
+                sys.spawn(move |ctx| {
+                    for round in 0..3 {
+                        let lock = LockId((p + round) % 4);
+                        ctx.with_write_lock(lock, |ctx| {
+                            let v = ctx.read_causal(Loc(lock.0)).expect_i64();
+                            ctx.write(Loc(lock.0), v + 1);
+                        });
+                        ctx.barrier_on(BarrierId(1)); // lives on shard 1 % shards
+                    }
+                });
+            }
+            sys.run().unwrap()
+        };
+        for shards in [1, 2, 3] {
+            let outcome = run(shards);
+            outcome.verify().unwrap_or_else(|e| panic!("{shards} shards: {e}"));
+            // Total increments conserved across lock objects.
+            let total: i64 = (0..4u32)
+                .map(|l| outcome.final_value(ProcId(0), Loc(l)).expect_i64())
+                .sum();
+            assert_eq!(total, 9, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sc_mode_runs_without_recording_replicas() {
+        let mut sys = System::new(2, Mode::Sc).record(true);
+        sys.spawn(|ctx| {
+            ctx.write(Loc(0), 5);
+            ctx.write(Loc(1), 1);
+        });
+        sys.spawn(|ctx| {
+            ctx.await_eq(Loc(1), 1);
+            assert_eq!(ctx.read_causal(Loc(0)), Value::Int(5));
+        });
+        let outcome = sys.run().unwrap();
+        let h = outcome.history.unwrap();
+        check::check_causal(&h).unwrap();
+        assert!(mc_model::sc::check_sequential(&h).unwrap().is_sc());
+    }
+}

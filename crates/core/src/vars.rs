@@ -1,0 +1,186 @@
+//! Shared-variable allocation helpers.
+//!
+//! The model addresses memory by flat [`Loc`] indices; applications think
+//! in scalars, arrays and matrices. [`VarSpace`] is a tiny bump allocator
+//! mapping the latter onto the former.
+
+use mc_model::Loc;
+
+/// Allocator for shared-variable locations.
+///
+/// # Examples
+///
+/// ```
+/// use mixed_consistency::VarSpace;
+/// let mut vars = VarSpace::new();
+/// let done = vars.scalar();
+/// let x = vars.array(4);
+/// let a = vars.matrix(4, 4);
+/// assert_ne!(done, x.at(0));
+/// assert_ne!(a.at(0, 1), a.at(1, 0));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VarSpace {
+    next: u32,
+}
+
+impl VarSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        VarSpace { next: 0 }
+    }
+
+    /// Allocates a single shared variable.
+    pub fn scalar(&mut self) -> Loc {
+        let l = Loc(self.next);
+        self.next += 1;
+        l
+    }
+
+    /// Allocates a 1-dimensional array of `len` variables.
+    pub fn array(&mut self, len: usize) -> VarArray {
+        let base = self.next;
+        self.next += len as u32;
+        VarArray { base, len }
+    }
+
+    /// Allocates a row-major `rows × cols` matrix of variables.
+    pub fn matrix(&mut self, rows: usize, cols: usize) -> VarMatrix {
+        let base = self.next;
+        self.next += (rows * cols) as u32;
+        VarMatrix { base, rows, cols }
+    }
+
+    /// The number of locations allocated so far.
+    pub fn len(&self) -> usize {
+        self.next as usize
+    }
+
+    /// Returns `true` if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.next == 0
+    }
+}
+
+/// A contiguous run of shared variables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VarArray {
+    base: u32,
+    len: usize,
+}
+
+impl VarArray {
+    /// The location of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn at(&self, i: usize) -> Loc {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        Loc(self.base + i as u32)
+    }
+
+    /// The number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the element locations.
+    pub fn iter(&self) -> impl Iterator<Item = Loc> + '_ {
+        (0..self.len).map(|i| self.at(i))
+    }
+}
+
+/// A row-major matrix of shared variables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VarMatrix {
+    base: u32,
+    rows: usize,
+    cols: usize,
+}
+
+impl VarMatrix {
+    /// The location of entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, i: usize, j: usize) -> Loc {
+        assert!(i < self.rows && j < self.cols, "({i},{j}) out of bounds");
+        Loc(self.base + (i * self.cols + j) as u32)
+    }
+
+    /// The number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_disjoint() {
+        let mut v = VarSpace::new();
+        assert!(v.is_empty());
+        let a = v.scalar();
+        let arr = v.array(3);
+        let m = v.matrix(2, 2);
+        let b = v.scalar();
+        let mut all = vec![a, b];
+        all.extend(arr.iter());
+        all.extend((0..2).flat_map(|i| (0..2).map(move |j| m.at(i, j))));
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), all.len());
+        assert_eq!(v.len(), 9);
+    }
+
+    #[test]
+    fn matrix_is_row_major() {
+        let mut v = VarSpace::new();
+        let m = v.matrix(2, 3);
+        assert_eq!(m.at(0, 0), Loc(0));
+        assert_eq!(m.at(0, 2), Loc(2));
+        assert_eq!(m.at(1, 0), Loc(3));
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_checked() {
+        let mut v = VarSpace::new();
+        let a = v.array(2);
+        let _ = a.at(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn matrix_bounds_checked() {
+        let mut v = VarSpace::new();
+        let m = v.matrix(2, 2);
+        let _ = m.at(0, 2);
+    }
+
+    #[test]
+    fn array_iter() {
+        let mut v = VarSpace::new();
+        v.scalar();
+        let a = v.array(2);
+        let locs: Vec<Loc> = a.iter().collect();
+        assert_eq!(locs, vec![Loc(1), Loc(2)]);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+}

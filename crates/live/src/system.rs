@@ -1,0 +1,753 @@
+//! The live executor: processes as threads, links as channels, the
+//! `mc-proto` state machines unchanged.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use mc_model::{
+    BarrierId, BarrierRound, History, HistoryBuilder, LockId, LockMode, Loc,
+    MalformedHistory, OpKind, ProcId, ReadLabel, VClock, Value, WriteId,
+};
+use mc_proto::{DsmConfig, GrantInfo, LockPropagation, Manager, Mode, Msg, Replica, UpdatePayload};
+
+/// What travels on a channel: a protocol message or the shutdown signal.
+enum Wire {
+    Proto { msg: Msg },
+    Shutdown,
+}
+
+/// Node id in the live topology (same layout as the simulator: process
+/// `i` on node `i`, manager shards after).
+type NodeId = usize;
+
+#[derive(Clone)]
+struct Net {
+    senders: Vec<Sender<Wire>>,
+    messages: Arc<AtomicU64>,
+    bytes: Arc<AtomicU64>,
+}
+
+impl Net {
+    fn send(&self, to: NodeId, msg: Msg) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(msg.wire_bytes(), Ordering::Relaxed);
+        // A closed inbox means that node is already shut down — only
+        // possible during teardown, when the message no longer matters.
+        let _ = self.senders[to].send(Wire::Proto { msg });
+    }
+}
+
+/// Error from a live run.
+#[derive(Debug)]
+pub enum LiveError {
+    /// A process thread panicked (deadlock timeouts surface this way,
+    /// with a descriptive payload).
+    ProcPanicked {
+        /// The process that panicked.
+        proc: ProcId,
+        /// The panic message, if it was a string.
+        message: String,
+    },
+    /// The recorded history failed validation.
+    Malformed(MalformedHistory),
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::ProcPanicked { proc, message } => {
+                write!(f, "live process {proc} panicked: {message}")
+            }
+            LiveError::Malformed(e) => write!(f, "recorded history is malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+/// Result of a live run.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// Recorded history, when enabled.
+    pub history: Option<History>,
+    /// Total protocol messages sent.
+    pub messages: u64,
+    /// Total modeled payload bytes.
+    pub bytes: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    replicas: Vec<Replica>,
+    server: Manager,
+    mode: Mode,
+}
+
+impl LiveOutcome {
+    /// The final value of `loc`: from `proc`'s replica in the replicated
+    /// modes (all in-flight updates are drained before shutdown), from
+    /// the server in SC mode.
+    pub fn final_value(&self, proc: ProcId, loc: Loc) -> Value {
+        if self.mode.is_replicated() {
+            self.replicas[proc.index()].peek(loc)
+        } else {
+            self.server.peek(loc)
+        }
+    }
+}
+
+/// Builder for a live (threaded) mixed-consistency system. Mirrors the
+/// simulator-backed `mixed_consistency::System` API.
+pub struct LiveSystem {
+    cfg: DsmConfig,
+    record: bool,
+    timeout: Duration,
+    #[allow(clippy::type_complexity)]
+    procs: Vec<Box<dyn FnOnce(&mut LiveCtx) + Send + 'static>>,
+}
+
+impl fmt::Debug for LiveSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LiveSystem")
+            .field("cfg", &self.cfg)
+            .field("nprocs", &self.procs.len())
+            .finish()
+    }
+}
+
+impl LiveSystem {
+    /// Creates a live system of `nprocs` processes on memory `mode`.
+    pub fn new(nprocs: usize, mode: Mode) -> Self {
+        LiveSystem {
+            cfg: DsmConfig::new(nprocs, mode),
+            record: false,
+            timeout: Duration::from_secs(10),
+            procs: Vec::new(),
+        }
+    }
+
+    /// Selects the lock-propagation variant.
+    pub fn lock_propagation(mut self, p: LockPropagation) -> Self {
+        self.cfg.lock_propagation = p;
+        self
+    }
+
+    /// Enables history recording.
+    pub fn record(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Distributes managers over `shards` nodes.
+    pub fn manager_shards(mut self, shards: usize) -> Self {
+        self.cfg = self.cfg.with_manager_shards(shards);
+        self
+    }
+
+    /// Restricts a barrier to a process subset.
+    pub fn barrier_group(mut self, barrier: BarrierId, group: Vec<ProcId>) -> Self {
+        self.cfg = self.cfg.with_barrier_group(barrier, group);
+        self
+    }
+
+    /// Sets the blocked-operation timeout (default 10 s); a process that
+    /// waits longer panics with a diagnostic, surfacing as
+    /// [`LiveError::ProcPanicked`].
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Adds the next process.
+    pub fn spawn<F>(&mut self, f: F) -> ProcId
+    where
+        F: FnOnce(&mut LiveCtx) + Send + 'static,
+    {
+        let id = ProcId(self.procs.len() as u32);
+        self.procs.push(Box::new(f));
+        id
+    }
+
+    /// Runs all processes to completion on real threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiveError::ProcPanicked`] if any process panicked
+    /// (including blocked-operation timeouts) and
+    /// [`LiveError::Malformed`] if the recorded history fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more processes were spawned than configured.
+    pub fn run(mut self) -> Result<LiveOutcome, LiveError> {
+        assert_eq!(
+            self.procs.len(),
+            self.cfg.nprocs,
+            "spawned {} processes but configured {}",
+            self.procs.len(),
+            self.cfg.nprocs
+        );
+        let cfg = self.cfg.clone();
+        let nnodes = cfg.nnodes();
+        let start = Instant::now();
+
+        let mut senders = Vec::with_capacity(nnodes);
+        let mut receivers = Vec::with_capacity(nnodes);
+        for _ in 0..nnodes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let net = Net {
+            senders,
+            messages: Arc::new(AtomicU64::new(0)),
+            bytes: Arc::new(AtomicU64::new(0)),
+        };
+        let recorder = self
+            .record
+            .then(|| Arc::new(Mutex::new(HistoryBuilder::new(cfg.nprocs))));
+
+        // Manager shard threads (the last `manager_shards` nodes).
+        let mut manager_handles = Vec::new();
+        let mut receivers_iter = receivers.into_iter();
+        let mut proc_rx: Vec<Receiver<Wire>> = Vec::new();
+        for _ in 0..cfg.nprocs {
+            proc_rx.push(receivers_iter.next().expect("receiver per node"));
+        }
+        for rx in receivers_iter {
+            let net = net.clone();
+            let cfg = cfg.clone();
+            manager_handles.push(std::thread::spawn(move || manager_loop(rx, net, cfg)));
+        }
+
+        // Process threads.
+        let (done_tx, done_rx) = unbounded::<u32>();
+        let mut proc_handles = Vec::new();
+        for (i, f) in self.procs.drain(..).enumerate() {
+            let rx = proc_rx.remove(0);
+            let ctx_net = net.clone();
+            let cfg = cfg.clone();
+            let recorder = recorder.clone();
+            let done_tx = done_tx.clone();
+            let timeout = self.timeout;
+            proc_handles.push(std::thread::spawn(move || {
+                let mut ctx = LiveCtx {
+                    proc: ProcId(i as u32),
+                    replica: Replica::new(ProcId(i as u32), cfg.nprocs),
+                    cfg,
+                    inbox: rx,
+                    net: ctx_net,
+                    held: HashMap::new(),
+                    granted: HashMap::new(),
+                    flush_acks: 0,
+                    flush_waiters: Vec::new(),
+                    barrier_next: HashMap::new(),
+                    barrier_released: HashMap::new(),
+                    sc_resp: None,
+                    recorder,
+                    timeout,
+                };
+                // The done signal must fire even on panic (op timeouts
+                // panic by design): the coordinator below waits for
+                // exactly one signal per process, with no wall-clock
+                // limit of its own — long-running programs are fine.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || f(&mut ctx),
+                ));
+                let _ = done_tx.send(i as u32);
+                if let Err(payload) = result {
+                    std::panic::resume_unwind(payload);
+                }
+                // Keep ingesting until shutdown so the replica converges
+                // and other nodes' sends never hit a closed channel.
+                loop {
+                    match ctx.inbox.recv() {
+                        Ok(Wire::Proto { msg }) => ctx.process(msg),
+                        Ok(Wire::Shutdown) | Err(_) => break,
+                    }
+                }
+                ctx.replica
+            }));
+        }
+        drop(done_tx);
+
+        // One done signal per process, however long its program runs;
+        // blocked operations are bounded by the per-op timeout (which
+        // panics, which still sends done), so this cannot hang.
+        let mut finished = 0usize;
+        while finished < proc_handles.len() {
+            match done_rx.recv() {
+                Ok(_) => finished += 1,
+                Err(_) => break, // all senders gone: every thread exited
+            }
+        }
+        for tx in &net.senders {
+            let _ = tx.send(Wire::Shutdown);
+        }
+
+        let mut replicas = Vec::new();
+        for (i, h) in proc_handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(replica) => replicas.push(replica),
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    return Err(LiveError::ProcPanicked { proc: ProcId(i as u32), message });
+                }
+            }
+        }
+        let mut managers: Vec<Manager> = manager_handles
+            .into_iter()
+            .map(|h| h.join().expect("manager threads do not panic"))
+            .collect();
+
+        let history = match recorder {
+            None => None,
+            Some(rec) => {
+                let builder = Arc::try_unwrap(rec)
+                    .expect("all recorder handles dropped")
+                    .into_inner()
+                    .expect("recorder healthy");
+                Some(builder.build().map_err(LiveError::Malformed)?)
+            }
+        };
+        Ok(LiveOutcome {
+            history,
+            messages: net.messages.load(Ordering::Relaxed),
+            bytes: net.bytes.load(Ordering::Relaxed),
+            wall: start.elapsed(),
+            replicas,
+            server: managers.remove(0),
+            mode: cfg.mode,
+        })
+    }
+}
+
+/// One manager shard: receive, dispatch to the shared [`Manager`] state
+/// machine, forward its outbox.
+fn manager_loop(rx: Receiver<Wire>, net: Net, cfg: DsmConfig) -> Manager {
+    let mut manager = Manager::new(cfg.nprocs);
+    loop {
+        match rx.recv() {
+            Ok(Wire::Proto { msg }) => {
+                let out = match msg {
+                    Msg::LockReq { proc, lock, mode } => {
+                        manager.lock_request(proc, lock, mode, &cfg)
+                    }
+                    Msg::LockRel { proc, lock, knowledge, own_count, dirty, .. } => {
+                        manager.lock_release(proc, lock, knowledge, own_count, dirty, &cfg)
+                    }
+                    Msg::BarrierArrive { proc, barrier, round, knowledge } => {
+                        manager.barrier_arrive(proc, barrier, round, knowledge, &cfg)
+                    }
+                    Msg::ScRead { proc, loc } => manager.sc_read(proc, loc),
+                    Msg::ScWrite { writer, loc, payload } => {
+                        manager.sc_write(writer, loc, payload)
+                    }
+                    Msg::ScAwait { proc, loc, value } => manager.sc_await(proc, loc, value),
+                    other => unreachable!("manager received {other:?}"),
+                };
+                for (proc, msg) in out {
+                    net.send(proc.index(), msg);
+                }
+            }
+            Ok(Wire::Shutdown) | Err(_) => return manager,
+        }
+    }
+}
+
+/// The per-process handle of the live executor: the same operation
+/// vocabulary as the simulator-backed `Ctx`.
+pub struct LiveCtx {
+    proc: ProcId,
+    cfg: DsmConfig,
+    replica: Replica,
+    inbox: Receiver<Wire>,
+    net: Net,
+    held: HashMap<LockId, LockMode>,
+    granted: HashMap<LockId, GrantInfo>,
+    flush_acks: usize,
+    flush_waiters: Vec<(ProcId, u32)>,
+    barrier_next: HashMap<BarrierId, u32>,
+    barrier_released: HashMap<(BarrierId, u32), VClock>,
+    sc_resp: Option<Msg>,
+    recorder: Option<Arc<Mutex<HistoryBuilder>>>,
+    timeout: Duration,
+}
+
+impl fmt::Debug for LiveCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LiveCtx").field("proc", &self.proc).finish()
+    }
+}
+
+impl LiveCtx {
+    /// This process's id.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    fn push(&mut self, kind: OpKind) {
+        if let Some(rec) = &self.recorder {
+            rec.lock().expect("recorder healthy").push(self.proc, kind);
+        }
+    }
+
+    /// Applies one incoming protocol message to local state.
+    fn process(&mut self, msg: Msg) {
+        match msg {
+            Msg::Update { writer, loc, payload, deps } => {
+                if self.replica.ingest(writer, loc, payload, deps, self.cfg.mode) {
+                    self.drain_flush_waiters();
+                }
+            }
+            Msg::Flush { from_proc, upto } => {
+                if self.replica.applied[from_proc] >= upto {
+                    self.net.send(from_proc.index(), Msg::FlushAck);
+                } else {
+                    self.flush_waiters.push((from_proc, upto));
+                }
+            }
+            Msg::FlushAck => self.flush_acks += 1,
+            Msg::LockGrant { lock, grant } => {
+                self.granted.insert(lock, grant);
+            }
+            Msg::BarrierRelease { barrier, round, knowledge } => {
+                self.barrier_released.insert((barrier, round), knowledge);
+            }
+            other @ (Msg::ScReadResp { .. } | Msg::ScWriteAck | Msg::ScAwaitResp { .. }) => {
+                self.sc_resp = Some(other);
+            }
+            other => unreachable!("replica received {other:?}"),
+        }
+    }
+
+    fn drain_flush_waiters(&mut self) {
+        let waiters = std::mem::take(&mut self.flush_waiters);
+        for (fp, upto) in waiters {
+            if self.replica.applied[fp] >= upto {
+                self.net.send(fp.index(), Msg::FlushAck);
+            } else {
+                self.flush_waiters.push((fp, upto));
+            }
+        }
+    }
+
+    /// Handles all already-delivered messages without blocking.
+    fn drain(&mut self) {
+        while let Ok(wire) = self.inbox.try_recv() {
+            match wire {
+                Wire::Proto { msg } => self.process(msg),
+                Wire::Shutdown => unreachable!("shutdown during the program"),
+            }
+        }
+    }
+
+    /// Blocks until one more message arrives and handles it.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) after the configured timeout — the
+    /// live executor's deadlock detector.
+    fn step(&mut self, waiting_for: &str) {
+        match self.inbox.recv_timeout(self.timeout) {
+            Ok(Wire::Proto { msg }) => self.process(msg),
+            Ok(Wire::Shutdown) => {
+                panic!("{} received shutdown while waiting for {waiting_for}", self.proc)
+            }
+            Err(_) => panic!(
+                "{} timed out after {:?} waiting for {waiting_for}",
+                self.proc, self.timeout
+            ),
+        }
+    }
+
+    fn broadcast_update(&mut self, msg: Msg) {
+        for i in 0..self.cfg.nprocs {
+            if i != self.proc.index() {
+                self.net.send(i, msg.clone());
+            }
+        }
+    }
+
+    fn do_write(&mut self, loc: Loc, payload: UpdatePayload) -> WriteId {
+        self.drain();
+        if self.cfg.mode == Mode::Sc {
+            self.replica.applied.tick(self.proc);
+            let id = WriteId::new(self.proc, self.replica.applied[self.proc]);
+            self.net.send(
+                self.cfg.manager_node().index(),
+                Msg::ScWrite { writer: id, loc, payload },
+            );
+            loop {
+                match self.sc_resp.take() {
+                    Some(Msg::ScWriteAck) => return id,
+                    Some(other) => unreachable!("expected write ack, got {other:?}"),
+                    None => self.step("SC write ack"),
+                }
+            }
+        }
+        let (id, deps) = self.replica.local_write(loc, payload.clone(), &self.cfg);
+        self.broadcast_update(Msg::Update { writer: id, loc, payload, deps });
+        self.drain_flush_waiters();
+        id
+    }
+
+    /// Writes `value` to `loc` and returns the write identity.
+    pub fn write(&mut self, loc: Loc, value: impl Into<Value>) -> WriteId {
+        let value = value.into();
+        let id = self.do_write(loc, UpdatePayload::Set(value));
+        self.push(OpKind::Write { loc, value, id });
+        id
+    }
+
+    /// Applies a commutative increment (counter objects).
+    pub fn add(&mut self, loc: Loc, delta: impl Into<Value>) -> WriteId {
+        let delta = delta.into();
+        let id = self.do_write(loc, UpdatePayload::Add(delta));
+        self.push(OpKind::Update { loc, delta, id });
+        id
+    }
+
+    /// Reads `loc` with an explicit label.
+    pub fn read(&mut self, loc: Loc, label: ReadLabel) -> Value {
+        self.drain();
+        if self.cfg.mode == Mode::Sc {
+            self.net.send(self.cfg.manager_node().index(), Msg::ScRead { proc: self.proc, loc });
+            loop {
+                match self.sc_resp.take() {
+                    Some(Msg::ScReadResp { value, writer }) => {
+                        let recorded = Some(writer.unwrap_or(WriteId::initial(loc)));
+                        self.push(OpKind::Read { loc, label, value, writer: recorded });
+                        return value;
+                    }
+                    Some(other) => unreachable!("expected read response, got {other:?}"),
+                    None => self.step("SC read response"),
+                }
+            }
+        }
+        let effective = match self.cfg.mode {
+            Mode::Pram => ReadLabel::Pram,
+            Mode::Causal => ReadLabel::Causal,
+            _ => label,
+        };
+        loop {
+            let ready = match effective {
+                ReadLabel::Causal => self.replica.causal_ready(loc),
+                ReadLabel::Pram => self.replica.pram_ready(loc),
+            };
+            if ready {
+                break;
+            }
+            self.step("read visibility");
+        }
+        let value = self.replica.value(loc);
+        let writer = Some(self.replica.writer_of(loc).unwrap_or(WriteId::initial(loc)));
+        self.push(OpKind::Read { loc, label, value, writer });
+        value
+    }
+
+    /// A causal read (Definition 2).
+    pub fn read_causal(&mut self, loc: Loc) -> Value {
+        self.read(loc, ReadLabel::Causal)
+    }
+
+    /// A PRAM read (Definition 3).
+    pub fn read_pram(&mut self, loc: Loc) -> Value {
+        self.read(loc, ReadLabel::Pram)
+    }
+
+    /// Acquires a lock.
+    pub fn lock(&mut self, lock: LockId, mode: LockMode) {
+        assert!(!self.held.contains_key(&lock), "{} re-acquires {lock}", self.proc);
+        self.drain();
+        self.net.send(
+            self.cfg.lock_manager_node(lock).index(),
+            Msg::LockReq { proc: self.proc, lock, mode },
+        );
+        loop {
+            let ready = match self.granted.get(&lock) {
+                None => false,
+                Some(_) if !self.cfg.mode.is_replicated() => true,
+                Some(g) => match self.cfg.lock_propagation {
+                    LockPropagation::Eager | LockPropagation::DemandDriven => true,
+                    LockPropagation::Lazy => {
+                        if g.knowledge.is_empty() {
+                            g.preds.iter().all(|&(q, c)| self.replica.applied[q] >= c)
+                        } else {
+                            self.replica.applied.dominates(&g.knowledge)
+                        }
+                    }
+                },
+            };
+            if ready {
+                break;
+            }
+            self.step("lock grant");
+        }
+        let g = self.granted.remove(&lock).expect("grant present");
+        if self.cfg.lock_propagation == LockPropagation::DemandDriven {
+            self.replica.absorb_demand(&g.demand);
+        } else {
+            self.replica.absorb_sync(&g.knowledge, &g.preds);
+        }
+        self.held.insert(lock, mode);
+        self.push(OpKind::Lock { lock, mode });
+    }
+
+    /// Releases a lock.
+    pub fn unlock(&mut self, lock: LockId, mode: LockMode) {
+        assert_eq!(self.held.get(&lock), Some(&mode), "{} bad unlock", self.proc);
+        self.drain();
+        let eager = self.cfg.lock_propagation == LockPropagation::Eager
+            && self.cfg.mode.is_replicated()
+            && self.cfg.nprocs > 1;
+        if eager {
+            self.flush_acks = 0;
+            let upto = self.replica.own_count();
+            for i in 0..self.cfg.nprocs {
+                if i != self.proc.index() {
+                    self.net.send(i, Msg::Flush { from_proc: self.proc, upto });
+                }
+            }
+            while self.flush_acks < self.cfg.nprocs - 1 {
+                self.step("flush acks");
+            }
+            self.flush_acks = 0;
+        }
+        self.held.remove(&lock);
+        // Record before the release message leaves: the next holder's
+        // grant (and its own record) is causally after this push, keeping
+        // the recorder's epoch order valid.
+        self.push(OpKind::Unlock { lock, mode });
+        let dirty = if self.cfg.lock_propagation == LockPropagation::DemandDriven {
+            self.replica.take_dirty(lock)
+        } else {
+            Vec::new()
+        };
+        let knowledge = if self.cfg.mode.carries_vectors() {
+            self.replica.knowledge()
+        } else {
+            VClock::new(0)
+        };
+        self.net.send(
+            self.cfg.lock_manager_node(lock).index(),
+            Msg::LockRel {
+                proc: self.proc,
+                lock,
+                mode,
+                knowledge,
+                own_count: self.replica.own_count(),
+                dirty,
+            },
+        );
+    }
+
+    /// Write-locks (`wl`).
+    pub fn write_lock(&mut self, lock: LockId) {
+        self.lock(lock, LockMode::Write);
+    }
+
+    /// Write-unlocks (`wu`).
+    pub fn write_unlock(&mut self, lock: LockId) {
+        self.unlock(lock, LockMode::Write);
+    }
+
+    /// Read-locks (`rl`).
+    pub fn read_lock(&mut self, lock: LockId) {
+        self.lock(lock, LockMode::Read);
+    }
+
+    /// Read-unlocks (`ru`).
+    pub fn read_unlock(&mut self, lock: LockId) {
+        self.unlock(lock, LockMode::Read);
+    }
+
+    /// Runs `f` under a write lock.
+    pub fn with_write_lock<R>(&mut self, lock: LockId, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.write_lock(lock);
+        let r = f(self);
+        self.write_unlock(lock);
+        r
+    }
+
+    /// Arrives at (and passes) the default barrier.
+    pub fn barrier(&mut self) {
+        self.barrier_on(BarrierId(0));
+    }
+
+    /// Arrives at (and passes) a barrier object.
+    pub fn barrier_on(&mut self, barrier: BarrierId) {
+        self.drain();
+        let round = {
+            let e = self.barrier_next.entry(barrier).or_insert(0);
+            let r = *e;
+            *e += 1;
+            r
+        };
+        let knowledge = match self.cfg.mode {
+            Mode::Causal | Mode::Mixed => self.replica.knowledge(),
+            Mode::Pram => self.replica.applied.clone(),
+            Mode::Sc => VClock::new(0),
+        };
+        self.net.send(
+            self.cfg.barrier_manager_node(barrier).index(),
+            Msg::BarrierArrive { proc: self.proc, barrier, round, knowledge },
+        );
+        loop {
+            if let Some(k) = self.barrier_released.remove(&(barrier, round)) {
+                if !k.is_empty() {
+                    if self.cfg.mode.carries_vectors() {
+                        self.replica.must_see.merge(&k);
+                    }
+                    self.replica.pram_wait.merge(&k);
+                }
+                break;
+            }
+            self.step("barrier release");
+        }
+        self.push(OpKind::Barrier { barrier, round: BarrierRound(round) });
+    }
+
+    /// Blocks until `loc = value` (`await`).
+    pub fn await_eq(&mut self, loc: Loc, value: impl Into<Value>) -> Value {
+        let value = value.into();
+        self.drain();
+        if self.cfg.mode == Mode::Sc {
+            self.net.send(
+                self.cfg.manager_node().index(),
+                Msg::ScAwait { proc: self.proc, loc, value },
+            );
+            loop {
+                match self.sc_resp.take() {
+                    Some(Msg::ScAwaitResp { value: v, writers }) => {
+                        let writers = if writers.is_empty() {
+                            vec![WriteId::initial(loc)]
+                        } else {
+                            writers
+                        };
+                        self.push(OpKind::Await { loc, value: v, writers });
+                        return v;
+                    }
+                    Some(other) => unreachable!("expected await response, got {other:?}"),
+                    None => self.step("SC await"),
+                }
+            }
+        }
+        while self.replica.value(loc) != value {
+            self.step("await condition");
+        }
+        let mut writers = self.replica.await_writers(loc);
+        if writers.is_empty() {
+            writers.push(WriteId::initial(loc));
+        }
+        self.push(OpKind::Await { loc, value, writers });
+        value
+    }
+}

@@ -1,0 +1,225 @@
+//! End-to-end tests of the live (threaded) executor. Scheduling here is
+//! the OS's — every repetition is a fresh race — so each test loops a few
+//! times and, where recording is on, replays the history through the
+//! formal checkers: real concurrency, same definitions.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mc_live::LiveSystem;
+use mc_model::{check, BarrierId, LockId, Loc, ProcId, Value};
+use mc_proto::{LockPropagation, Mode};
+
+const REPS: usize = 5;
+
+#[test]
+fn producer_consumer_all_modes() {
+    for mode in Mode::ALL {
+        for _ in 0..REPS {
+            let mut sys = LiveSystem::new(2, mode).record(true);
+            sys.spawn(|ctx| {
+                ctx.write(Loc(0), 42);
+                ctx.write(Loc(1), 1);
+            });
+            let seen = Arc::new(Mutex::new(Value::Int(0)));
+            let seen2 = seen.clone();
+            sys.spawn(move |ctx| {
+                ctx.await_eq(Loc(1), Value::Int(1));
+                *seen2.lock().unwrap() = ctx.read_pram(Loc(0));
+            });
+            let outcome = sys.run().unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert_eq!(*seen.lock().unwrap(), Value::Int(42), "{mode}");
+            let h = outcome.history.expect("recorded");
+            check::check_mixed(&h).unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert!(outcome.messages > 0);
+        }
+    }
+}
+
+#[test]
+fn locked_increments_never_lose_updates() {
+    for prop in LockPropagation::ALL {
+        for _ in 0..REPS {
+            let mut sys = LiveSystem::new(3, Mode::Mixed).lock_propagation(prop).record(true);
+            for _ in 0..3 {
+                sys.spawn(|ctx| {
+                    for _ in 0..4 {
+                        ctx.with_write_lock(LockId(0), |ctx| {
+                            let v = ctx.read_causal(Loc(0)).expect_i64();
+                            ctx.write(Loc(0), v + 1);
+                        });
+                    }
+                });
+            }
+            let outcome = sys.run().unwrap_or_else(|e| panic!("{prop}: {e}"));
+            assert_eq!(
+                outcome.final_value(ProcId(0), Loc(0)),
+                Value::Int(12),
+                "{prop}: lost updates on real threads"
+            );
+            let h = outcome.history.expect("recorded");
+            check::check_mixed(&h).unwrap_or_else(|e| panic!("{prop}: {e}"));
+            assert_eq!(h.lock_epochs()[&LockId(0)].len(), 12);
+        }
+    }
+}
+
+#[test]
+fn barrier_phases_on_real_threads() {
+    for _ in 0..REPS {
+        let mut sys = LiveSystem::new(3, Mode::Pram).record(true);
+        for p in 0..3u32 {
+            sys.spawn(move |ctx| {
+                for round in 0..3i64 {
+                    ctx.write(Loc(p), round * 10 + p as i64);
+                    ctx.barrier();
+                    let v = ctx.read_pram(Loc((p + 1) % 3)).expect_i64();
+                    assert_eq!(v, round * 10 + ((p as i64 + 1) % 3), "stale phase read");
+                    ctx.barrier();
+                }
+            });
+        }
+        let outcome = sys.run().unwrap();
+        let h = outcome.history.expect("recorded");
+        check::check_pram(&h).unwrap();
+        mc_model::programs::check_pram_consistent_program(&h).unwrap();
+        assert_eq!(h.barrier_rounds()[&BarrierId(0)].len(), 6);
+    }
+}
+
+#[test]
+fn counters_converge_without_locks() {
+    for _ in 0..REPS {
+        let mut sys = LiveSystem::new(3, Mode::Causal);
+        for _ in 0..3 {
+            sys.spawn(|ctx| {
+                for _ in 0..5 {
+                    ctx.add(Loc(0), -1i64);
+                }
+                ctx.await_eq(Loc(0), Value::Int(-15));
+            });
+        }
+        let outcome = sys.run().unwrap();
+        for p in 0..3 {
+            assert_eq!(outcome.final_value(ProcId(p), Loc(0)), Value::Int(-15));
+        }
+    }
+}
+
+#[test]
+fn sc_mode_serializes_at_the_server() {
+    for _ in 0..REPS {
+        let mut sys = LiveSystem::new(2, Mode::Sc).record(true);
+        sys.spawn(|ctx| {
+            ctx.write(Loc(0), 7);
+            ctx.write(Loc(1), 1);
+        });
+        sys.spawn(|ctx| {
+            ctx.await_eq(Loc(1), Value::Int(1));
+            assert_eq!(ctx.read_causal(Loc(0)), Value::Int(7));
+        });
+        let outcome = sys.run().unwrap();
+        assert_eq!(outcome.final_value(ProcId(0), Loc(0)), Value::Int(7));
+        let h = outcome.history.expect("recorded");
+        assert!(mc_model::sc::check_sequential(&h).unwrap().is_sc());
+    }
+}
+
+#[test]
+fn subgroup_barriers_live() {
+    let mut sys = LiveSystem::new(4, Mode::Mixed)
+        .barrier_group(BarrierId(1), vec![ProcId(0), ProcId(1)])
+        .barrier_group(BarrierId(2), vec![ProcId(2), ProcId(3)]);
+    for p in 0..4u32 {
+        sys.spawn(move |ctx| {
+            let bar = if p < 2 { BarrierId(1) } else { BarrierId(2) };
+            let partner = Loc(p ^ 1);
+            ctx.write(Loc(p), p as i64 + 1);
+            ctx.barrier_on(bar);
+            assert_eq!(ctx.read_pram(partner).expect_i64(), partner.0 as i64 + 1);
+        });
+    }
+    sys.run().unwrap();
+}
+
+#[test]
+fn manager_sharding_live() {
+    let mut sys = LiveSystem::new(3, Mode::Mixed).manager_shards(2);
+    for p in 0..3u32 {
+        sys.spawn(move |ctx| {
+            for r in 0..3 {
+                let lock = LockId((p + r) % 4);
+                ctx.with_write_lock(lock, |ctx| {
+                    let v = ctx.read_causal(Loc(lock.0)).expect_i64();
+                    ctx.write(Loc(lock.0), v + 1);
+                });
+            }
+        });
+    }
+    let outcome = sys.run().unwrap();
+    let total: i64 = (0..4u32)
+        .map(|l| outcome.final_value(ProcId(0), Loc(l)).expect_i64())
+        .sum();
+    assert_eq!(total, 9);
+}
+
+#[test]
+fn long_running_programs_outlive_the_op_timeout() {
+    // Regression: the coordinator must not abort a program whose total
+    // runtime exceeds the per-operation timeout — only a single *blocked
+    // operation* may time out.
+    let mut sys = LiveSystem::new(2, Mode::Mixed)
+        .timeout(Duration::from_millis(150))
+        .record(true);
+    sys.spawn(|ctx| {
+        for i in 0..4i64 {
+            std::thread::sleep(Duration::from_millis(100)); // local work
+            ctx.write(Loc(0), i);
+        }
+        ctx.write(Loc(1), 1);
+    });
+    sys.spawn(|ctx| {
+        ctx.await_eq(Loc(1), Value::Int(1));
+    });
+    let outcome = sys.run().expect("long programs must not be aborted");
+    check::check_mixed(&outcome.history.unwrap()).unwrap();
+}
+
+#[test]
+fn deadlock_times_out_with_diagnostics() {
+    let mut sys = LiveSystem::new(1, Mode::Mixed).timeout(Duration::from_millis(200));
+    sys.spawn(|ctx| {
+        ctx.await_eq(Loc(0), Value::Int(99)); // nobody writes it
+    });
+    match sys.run() {
+        Err(mc_live::LiveError::ProcPanicked { proc, message }) => {
+            assert_eq!(proc, ProcId(0));
+            assert!(message.contains("timed out"), "{message}");
+        }
+        other => panic!("expected timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn histories_from_many_races_all_check() {
+    // The live analogue of the seed sweep: repeat a racy mixed-label
+    // program many times; every recorded history must satisfy
+    // Definition 4.
+    for rep in 0..20 {
+        let mut sys = LiveSystem::new(3, Mode::Mixed).record(true);
+        for p in 0..3u32 {
+            sys.spawn(move |ctx| {
+                ctx.write(Loc(p), p as i64 + 10);
+                let _ = ctx.read_pram(Loc((p + 1) % 3));
+                let _ = ctx.read_causal(Loc((p + 2) % 3));
+                ctx.write(Loc(p), p as i64 + 20);
+            });
+        }
+        let outcome = sys.run().unwrap();
+        let h = outcome.history.expect("recorded");
+        check::check_mixed(&h).unwrap_or_else(|e| {
+            panic!("rep {rep}: real-thread execution violated Definition 4: {e}\n{}",
+                h.to_pretty_string())
+        });
+    }
+}

@@ -1,0 +1,653 @@
+//! The causality relation `;` and its per-process restrictions.
+//!
+//! Section 3 of the paper: the causality relation of a history is the
+//! transitive closure of the union of
+//!
+//! * the **program order** `→` (union of the per-process partial orders),
+//! * the **reads-from** relation `|.`, and
+//! * the **synchronization order** `↦ = ↦lock ∪ ↦bar ∪ ↦await`.
+//!
+//! Causal reads (Definition 2) are judged against `;i,C` — the causality
+//! relation restricted to the operations of `p_i` plus all write and
+//! synchronization operations of other processes.
+//!
+//! PRAM reads (Definition 3) are judged against `;i,P`, built in three
+//! steps (Section 3.2):
+//!
+//! 1. take the **transitive reductions** `↦p_lock`, `↦p_bar`, `↦p_await`
+//!    of the synchronization orders and union them into `↦PRAM`;
+//! 2. keep only the edges of `↦PRAM` incident to operations of `p_i`
+//!    (giving `↦i`) and likewise restrict `|.` to `|.i`;
+//! 3. transitively close `→ ∪ ↦i ∪ |.i` and project onto all operations
+//!    except reads of other processes.
+
+use std::fmt;
+
+use crate::graph::{BitMatrix, CycleError, Digraph};
+use crate::history::History;
+use crate::ids::{OpId, ProcId};
+use crate::op::{Edge, OpKind};
+
+/// The causality structure of a history: the full relation `;`, the
+/// synchronization orders, their transitive reductions, and factories for
+/// the per-process relations.
+///
+/// # Examples
+///
+/// ```
+/// use mc_model::{Causality, HistoryBuilder, Loc, ProcId, ReadLabel, Value};
+/// let mut b = HistoryBuilder::new(2);
+/// let (w, _) = b.push_write(ProcId(0), Loc(0), Value::Int(1));
+/// let r = b.push_read(ProcId(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+/// let h = b.build()?;
+/// let c = Causality::new(&h)?;
+/// assert!(c.precedes(w, r)); // via reads-from
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Causality<'h> {
+    h: &'h History,
+    /// Strict transitive closure of `;`.
+    closure: BitMatrix,
+    /// Strict transitive closure of program order alone.
+    po_closure: BitMatrix,
+    /// Full synchronization-order generating edges, per type.
+    lock_edges: Vec<Edge>,
+    bar_edges: Vec<Edge>,
+    await_edges: Vec<Edge>,
+    /// Transitive reductions, per type (the `↦p_*` relations).
+    reduced_lock: Vec<Edge>,
+    reduced_bar: Vec<Edge>,
+    reduced_await: Vec<Edge>,
+    /// Reads-from edges `w |. r` (non-initial writers only).
+    rf_edges: Vec<Edge>,
+}
+
+/// Error building a causality relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CausalityError {
+    /// The causality relation has a cycle (the paper restricts attention to
+    /// acyclic histories; a cycle means the recording is corrupt).
+    Cyclic(CycleError),
+}
+
+impl fmt::Display for CausalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CausalityError::Cyclic(e) => write!(f, "causality relation is cyclic: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CausalityError {}
+
+impl From<CycleError> for CausalityError {
+    fn from(e: CycleError) -> Self {
+        CausalityError::Cyclic(e)
+    }
+}
+
+/// A restricted, transitively closed relation over a subset of a history's
+/// operations — the concrete form of `;i,C` and `;i,P`.
+#[derive(Debug)]
+pub struct Relation {
+    members: Vec<bool>,
+    closure: BitMatrix,
+}
+
+impl Relation {
+    /// Returns `true` if `op` belongs to the restricted operation set.
+    pub fn contains(&self, op: OpId) -> bool {
+        self.members[op.index()]
+    }
+
+    /// Returns `true` if `a` strictly precedes `b` in the relation.
+    ///
+    /// Both operations must be members; pairs involving non-members are
+    /// never related.
+    pub fn precedes(&self, a: OpId, b: OpId) -> bool {
+        self.contains(a) && self.contains(b) && self.closure.get(a.index(), b.index())
+    }
+
+    /// Iterates over the member operations.
+    pub fn members(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| OpId(i as u32))
+    }
+}
+
+impl<'h> Causality<'h> {
+    /// Builds the causality structure of `h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalityError::Cyclic`] if `;` has a directed cycle.
+    pub fn new(h: &'h History) -> Result<Self, CausalityError> {
+        let n = h.len();
+
+        // Program-order closure (needed for barrier next/prev queries).
+        let mut po_graph = Digraph::new(n);
+        for &(a, b) in h.po_edges() {
+            po_graph.add_edge(a.index(), b.index());
+        }
+        let po_closure = po_graph.transitive_closure()?;
+
+        let lock_edges = Self::build_lock_edges(h);
+        let bar_edges = Self::build_bar_edges(h, &po_closure);
+        let await_edges = Self::build_await_edges(h);
+
+        let reduce = |edges: &[Edge]| -> Result<Vec<Edge>, CycleError> {
+            let mut g = Digraph::new(n);
+            for &(a, b) in edges {
+                g.add_edge(a.index(), b.index());
+            }
+            Ok(g
+                .transitive_reduction()?
+                .edges()
+                .map(|(a, b)| (OpId(a as u32), OpId(b as u32)))
+                .collect())
+        };
+        let reduced_lock = reduce(&lock_edges)?;
+        let reduced_bar = reduce(&bar_edges)?;
+        let reduced_await = reduce(&await_edges)?;
+
+        // Reads-from edges: recorded/resolved writers of reads, plus await
+        // sources (the latter belong to ↦await, not |., and are already in
+        // await_edges).
+        let mut rf_edges = Vec::new();
+        for (id, op) in h.iter() {
+            if op.kind.is_read() {
+                let w = h.reads_from(id);
+                if !w.is_initial() {
+                    if let Some(wop) = h.write_op(w) {
+                        rf_edges.push((wop, id));
+                    }
+                }
+            }
+        }
+
+        // Full causality closure.
+        let mut g = Digraph::new(n);
+        for &(a, b) in h
+            .po_edges()
+            .iter()
+            .chain(&lock_edges)
+            .chain(&bar_edges)
+            .chain(&await_edges)
+            .chain(&rf_edges)
+        {
+            g.add_edge(a.index(), b.index());
+        }
+        let closure = g.transitive_closure()?;
+
+        Ok(Causality {
+            h,
+            closure,
+            po_closure,
+            lock_edges,
+            bar_edges,
+            await_edges,
+            reduced_lock,
+            reduced_bar,
+            reduced_await,
+            rf_edges,
+        })
+    }
+
+    /// Generating edges of `↦lock`: within a write epoch `wl ↦ wu`; within
+    /// a read epoch each `rl ↦` its `ru`; and every operation of an epoch
+    /// `↦` every operation of the next epoch. The transitive closure of
+    /// these edges is the full `↦lock` of Section 3.1.1.
+    fn build_lock_edges(h: &History) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for epochs in h.lock_epochs().values() {
+            for ep in epochs {
+                for &(l, u) in &ep.members {
+                    edges.push((l, u));
+                }
+            }
+            for pair in epochs.windows(2) {
+                let ops_of = |e: &crate::history::LockEpoch| {
+                    e.members
+                        .iter()
+                        .flat_map(|&(l, u)| [l, u])
+                        .collect::<Vec<_>>()
+                };
+                for a in ops_of(&pair[0]) {
+                    for b in ops_of(&pair[1]) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Edges of `↦bar` (Section 3.1.2): for every operation `o` of `p_j`,
+    /// if `o →j b^k_j` then `o ↦ b^k_i` for every participant `p_i`, and
+    /// symmetrically for operations after the barrier. Only the *nearest*
+    /// round is materialized per operation; farther rounds are reachable
+    /// through the barrier-to-barrier chain, so the closure equals the full
+    /// relation.
+    fn build_bar_edges(h: &History, po_closure: &BitMatrix) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for rounds in h.barrier_rounds().values() {
+            // Per process: its own barrier ops in round order.
+            let participants: Vec<ProcId> = rounds
+                .first()
+                .map(|r| r.ops.iter().map(|&o| h.op(o).proc).collect())
+                .unwrap_or_default();
+            for &p in &participants {
+                let mine: Vec<OpId> = rounds
+                    .iter()
+                    .map(|r| {
+                        r.ops
+                            .iter()
+                            .copied()
+                            .find(|&o| h.op(o).proc == p)
+                            .expect("participant present in every round")
+                    })
+                    .collect();
+                for &o in h.proc_ops(p) {
+                    // Nearest barrier after o in program order.
+                    let next = mine
+                        .iter()
+                        .position(|&b| po_closure.get(o.index(), b.index()));
+                    if let Some(k) = next {
+                        for &b in &rounds[k].ops {
+                            edges.push((o, b));
+                        }
+                    }
+                    // Nearest barrier before o in program order.
+                    let prev = mine
+                        .iter()
+                        .rposition(|&b| po_closure.get(b.index(), o.index()));
+                    if let Some(k) = prev {
+                        for &b in &rounds[k].ops {
+                            edges.push((b, o));
+                        }
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Edges of `↦await`: `w ↦ a` for every resolved synchronization source
+    /// of every await (Section 3.1.3).
+    fn build_await_edges(h: &History) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for (id, op) in h.iter() {
+            if let OpKind::Await { .. } = op.kind {
+                for w in h.await_sources(id) {
+                    if !w.is_initial() {
+                        if let Some(wop) = h.write_op(*w) {
+                            edges.push((wop, id));
+                        }
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// The history this structure was built from.
+    pub fn history(&self) -> &'h History {
+        self.h
+    }
+
+    /// Returns `true` if `a ; b` (strictly).
+    pub fn precedes(&self, a: OpId, b: OpId) -> bool {
+        self.closure.get(a.index(), b.index())
+    }
+
+    /// Returns `true` if `a` and `b` are unrelated by `;` (and distinct).
+    pub fn concurrent(&self, a: OpId, b: OpId) -> bool {
+        a != b && !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// Returns `true` if `a →  b` in program order.
+    pub fn po_precedes(&self, a: OpId, b: OpId) -> bool {
+        self.po_closure.get(a.index(), b.index())
+    }
+
+    /// The generating edges of `↦lock`.
+    pub fn lock_edges(&self) -> &[Edge] {
+        &self.lock_edges
+    }
+
+    /// The generating edges of `↦bar`.
+    pub fn bar_edges(&self) -> &[Edge] {
+        &self.bar_edges
+    }
+
+    /// The edges of `↦await`.
+    pub fn await_edges(&self) -> &[Edge] {
+        &self.await_edges
+    }
+
+    /// The reads-from edges `w |. r`.
+    pub fn rf_edges(&self) -> &[Edge] {
+        &self.rf_edges
+    }
+
+    /// The transitive reduction `↦p_lock`.
+    pub fn reduced_lock_edges(&self) -> &[Edge] {
+        &self.reduced_lock
+    }
+
+    /// The transitive reduction `↦p_bar`.
+    pub fn reduced_bar_edges(&self) -> &[Edge] {
+        &self.reduced_bar
+    }
+
+    /// The transitive reduction `↦p_await`.
+    pub fn reduced_await_edges(&self) -> &[Edge] {
+        &self.reduced_await
+    }
+
+    /// The member mask shared by `;i,C` and `;i,P`: the operations of
+    /// `p_i` plus the write and synchronization operations of other
+    /// processes (everything except other processes' reads).
+    fn members_for(&self, i: ProcId) -> Vec<bool> {
+        self.h
+            .ops()
+            .iter()
+            .map(|op| op.proc == i || !op.kind.is_read())
+            .collect()
+    }
+
+    /// Builds `;i,C` — Definition 2's relation: the full causality
+    /// relation restricted to the operations visible to `p_i`.
+    pub fn causal_relation(&self, i: ProcId) -> Relation {
+        Relation { members: self.members_for(i), closure: self.closure.clone() }
+    }
+
+    /// Builds `;i,P` — Definition 3's relation, via the three-step
+    /// construction of Section 3.2.
+    pub fn pram_relation(&self, i: ProcId) -> Relation {
+        self.group_relation(i, std::slice::from_ref(&i))
+    }
+
+    /// Builds the **group causality relation** `;i,G` for `p_i` within a
+    /// process group `G ∋ p_i` — the paper's generalization remark in
+    /// Section 3.2: "the definition can be easily generalized to maintain
+    /// causality across an arbitrary group of processes; PRAM reads and
+    /// causal reads form the two end points of the spectrum."
+    ///
+    /// Construction: keep the synchronization-order reductions and
+    /// reads-from edges *incident to any group member*, close together
+    /// with full program order, and project as in Definition 3. With
+    /// `G = {i}` this is exactly `;i,P`; with `G` = all processes every
+    /// edge survives and the result coincides with `;i,C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a member of `group`.
+    pub fn group_relation(&self, i: ProcId, group: &[ProcId]) -> Relation {
+        assert!(group.contains(&i), "{i} must belong to its own group");
+        let n = self.h.len();
+        let touches_group = |&(a, b): &Edge| {
+            group.contains(&self.h.op(a).proc) || group.contains(&self.h.op(b).proc)
+        };
+        let mut g = Digraph::new(n);
+        for &(a, b) in self.h.po_edges() {
+            g.add_edge(a.index(), b.index());
+        }
+        for e in self
+            .reduced_lock
+            .iter()
+            .chain(&self.reduced_bar)
+            .chain(&self.reduced_await)
+            .filter(|e| touches_group(e))
+        {
+            g.add_edge(e.0.index(), e.1.index());
+        }
+        for e in self.rf_edges.iter().filter(|e| touches_group(e)) {
+            g.add_edge(e.0.index(), e.1.index());
+        }
+        let closure = g
+            .transitive_closure()
+            .expect("subgraph of an acyclic relation is acyclic");
+        Relation { members: self.members_for(i), closure }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::ids::{BarrierId, BarrierRound, LockId, Loc};
+    use crate::op::{LockMode, ReadLabel};
+    use crate::value::Value;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn program_order_is_causal() {
+        let mut b = HistoryBuilder::new(1);
+        let (a, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let (c, _) = b.push_write(p(0), Loc(1), Value::Int(2));
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        assert!(cz.precedes(a, c));
+        assert!(!cz.precedes(c, a));
+        assert!(cz.po_precedes(a, c));
+    }
+
+    #[test]
+    fn reads_from_is_causal() {
+        let mut b = HistoryBuilder::new(2);
+        let (w, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let r = b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        assert!(cz.precedes(w, r));
+        assert_eq!(cz.rf_edges(), &[(w, r)]);
+    }
+
+    #[test]
+    fn transitivity_across_processes() {
+        // w0(x)1 |. r1(x)1 -> w1(y)2 |. r2(y)2 : so w0 ; r2.
+        let mut b = HistoryBuilder::new(3);
+        let (w0, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        b.push_write(p(1), Loc(1), Value::Int(2));
+        let r2 = b.push_read(p(2), Loc(1), ReadLabel::Causal, Value::Int(2));
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        assert!(cz.precedes(w0, r2));
+    }
+
+    #[test]
+    fn concurrent_writes_are_unrelated() {
+        let mut b = HistoryBuilder::new(2);
+        let (a, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let (c, _) = b.push_write(p(1), Loc(0), Value::Int(2));
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        assert!(cz.concurrent(a, c));
+        assert!(!cz.concurrent(a, a));
+    }
+
+    #[test]
+    fn lock_handoff_orders_critical_sections() {
+        // p0: wl, w(x)1, wu ; p1: wl, r(x)1, wu — the grant order makes
+        // p0's write causally precede p1's read even without reads-from.
+        let mut b = HistoryBuilder::new(2);
+        let l = LockId(0);
+        b.push_lock(p(0), l, LockMode::Write);
+        let (w, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let wu0 = b.push_unlock(p(0), l, LockMode::Write);
+        let wl1 = b.push_lock(p(1), l, LockMode::Write);
+        let r = b.push_read(p(1), Loc(1), ReadLabel::Causal, Value::Int(0));
+        b.push_unlock(p(1), l, LockMode::Write);
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        assert!(cz.precedes(wu0, wl1));
+        assert!(cz.precedes(w, r)); // w -> wu0 -> wl1 -> r
+    }
+
+    #[test]
+    fn reduced_lock_is_a_chain() {
+        // Three sequential write epochs: the reduced relation must be the
+        // chain wl0-wu0-wl1-wu1-wl2-wu2 (immediate-predecessor semantics).
+        let mut b = HistoryBuilder::new(3);
+        let l = LockId(0);
+        let mut ops = Vec::new();
+        for i in 0..3 {
+            ops.push(b.push_lock(p(i), l, LockMode::Write));
+            ops.push(b.push_unlock(p(i), l, LockMode::Write));
+        }
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        let mut reduced = cz.reduced_lock_edges().to_vec();
+        reduced.sort();
+        let expect: Vec<Edge> =
+            ops.windows(2).map(|w| (w[0], w[1])).collect();
+        assert_eq!(reduced, expect);
+        // The full relation has the transitive shortcut.
+        assert!(cz
+            .lock_edges()
+            .iter()
+            .any(|&(a, b2)| a == ops[0] && b2 == ops[3])
+            || cz.precedes(ops[0], ops[3]));
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // p0 writes before the barrier; p1 reads after it.
+        let mut b = HistoryBuilder::new(2);
+        let (w, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let b0 = b.push_barrier(p(0), BarrierId(0), BarrierRound(0));
+        let b1 = b.push_barrier(p(1), BarrierId(0), BarrierRound(0));
+        let r = b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(1));
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        assert!(cz.precedes(w, b0));
+        assert!(cz.precedes(w, b1)); // o ↦bar b^k_i for every i
+        assert!(cz.precedes(b0, r)); // b^k_i ↦bar o for post-barrier o
+        assert!(cz.precedes(w, r));
+        // Barrier ops of one round are mutually unordered.
+        assert!(cz.concurrent(b0, b1));
+    }
+
+    #[test]
+    fn barrier_rounds_chain() {
+        let mut b = HistoryBuilder::new(2);
+        let bar = BarrierId(0);
+        let b00 = b.push_barrier(p(0), bar, BarrierRound(0));
+        let b01 = b.push_barrier(p(1), bar, BarrierRound(0));
+        let b10 = b.push_barrier(p(0), bar, BarrierRound(1));
+        let b11 = b.push_barrier(p(1), bar, BarrierRound(1));
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        assert!(cz.precedes(b00, b10));
+        assert!(cz.precedes(b00, b11));
+        assert!(cz.precedes(b01, b10));
+        assert!(cz.concurrent(b10, b11));
+    }
+
+    #[test]
+    fn await_orders_writer_before_awaiter() {
+        let mut b = HistoryBuilder::new(2);
+        let (w, _) = b.push_write(p(0), Loc(0), Value::Int(3));
+        let a = b.push_await(p(1), Loc(0), Value::Int(3));
+        let r = b.push_read(p(1), Loc(1), ReadLabel::Causal, Value::Int(0));
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        assert!(cz.precedes(w, a));
+        assert!(cz.precedes(w, r));
+        assert_eq!(cz.await_edges(), &[(w, a)]);
+    }
+
+    #[test]
+    fn causal_relation_excludes_other_reads() {
+        let mut b = HistoryBuilder::new(2);
+        let (w, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let r0 = b.push_read(p(0), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let r1 = b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        let rel0 = cz.causal_relation(p(0));
+        assert!(rel0.contains(w));
+        assert!(rel0.contains(r0)); // own read
+        assert!(!rel0.contains(r1)); // other process's read
+        assert!(rel0.precedes(w, r0));
+        let rel1 = cz.causal_relation(p(1));
+        assert!(rel1.contains(r1));
+        assert!(!rel1.contains(r0));
+        let member_count = rel1.members().count();
+        assert_eq!(member_count, 2); // w and r1
+    }
+
+    #[test]
+    fn pram_relation_drops_foreign_chains() {
+        // w0(x)1 |. r1(x)1 -> w1(y)2 : p2 never interacts with p0, so
+        // w0 must NOT precede p2's ops in ;2,P, although it does in ;2,C.
+        let mut b = HistoryBuilder::new(3);
+        let (w0, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        b.push_write(p(1), Loc(1), Value::Int(2));
+        let r2 = b.push_read(p(2), Loc(1), ReadLabel::Pram, Value::Int(2));
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+
+        let causal = cz.causal_relation(p(2));
+        assert!(causal.precedes(w0, r2));
+
+        let pram = cz.pram_relation(p(2));
+        assert!(!pram.precedes(w0, r2));
+        // But the direct dependency is kept.
+        let w1_op = OpId(2);
+        assert!(pram.precedes(w1_op, r2));
+    }
+
+    #[test]
+    fn pram_equals_causal_for_two_processes() {
+        // With two processes the paper observes ;i,P and ;i,C coincide.
+        let mut b = HistoryBuilder::new(2);
+        let (w0, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let (w1, _) = b.push_write(p(1), Loc(1), Value::Int(2));
+        let r0 = b.push_read(p(0), Loc(1), ReadLabel::Pram, Value::Int(2));
+        let h = b.build().unwrap();
+        let cz = Causality::new(&h).unwrap();
+        let pram = cz.pram_relation(p(0));
+        let causal = cz.causal_relation(p(0));
+        for a in h.op_ids() {
+            for b2 in h.op_ids() {
+                if causal.contains(a) && causal.contains(b2) {
+                    assert_eq!(
+                        pram.precedes(a, b2),
+                        causal.precedes(a, b2),
+                        "{a} vs {b2}"
+                    );
+                }
+            }
+        }
+        assert!(pram.precedes(w0, r0));
+        assert!(pram.precedes(w1, r0));
+    }
+
+    #[test]
+    fn cyclic_history_is_rejected() {
+        // Two awaits reading each other's future writes create a cycle:
+        // p0: a(x=1); w(y)1   p1: a(y=1); w(x)1
+        let mut b = HistoryBuilder::new(2);
+        b.push_await(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(0), Loc(1), Value::Int(1));
+        b.push_await(p(1), Loc(1), Value::Int(1));
+        b.push_write(p(1), Loc(0), Value::Int(1));
+        let h = b.build().unwrap();
+        assert!(matches!(
+            Causality::new(&h),
+            Err(CausalityError::Cyclic(_))
+        ));
+    }
+}

@@ -1,0 +1,660 @@
+//! Consistency checkers for causal, PRAM, and mixed histories
+//! (Definitions 2, 3 and 4 of the paper).
+//!
+//! Given a well-formed [`History`], these functions decide whether every
+//! read is legal under the corresponding definition. They are the test
+//! oracle of the whole repository: every protocol execution recorded by the
+//! runtime is replayed through them.
+//!
+//! # Counter objects
+//!
+//! The paper extends memory operations to abstract data types (Section 3
+//! and the Cholesky discussion in Section 5.3). Reads of *counter*
+//! locations (locations targeted by commutative updates) do not name a
+//! single overwritable value, so Definitions 2/3 do not apply verbatim.
+//! When a counter location has a uniform delta (the Cholesky case: all
+//! decrements of 1) the checkers verify the equivalent visibility
+//! invariant: the number of updates that causally precede the read is at
+//! most the number of updates the returned value accounts for. Counter
+//! reads outside that shape are skipped and reported in
+//! [`CheckReport::skipped`].
+
+use std::fmt;
+
+use crate::causality::{Causality, CausalityError, Relation};
+use crate::history::History;
+use crate::ids::{Loc, OpId, WriteId};
+use crate::op::{OpKind, ReadLabel};
+use crate::value::Value;
+
+/// A single consistency violation found by a checker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// The offending read.
+    pub read: OpId,
+    /// The label the read was judged under.
+    pub judged_as: ReadLabel,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// The ways a read can violate Definition 2 or 3.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ViolationKind {
+    /// The read returned a write that does not precede it in the relation
+    /// (no `w ;i r`).
+    WriterNotVisible {
+        /// The write the read returned.
+        writer: WriteId,
+    },
+    /// Some operation on the same location with a different value lies
+    /// strictly between the writer and the read (`w ;i o ;i r`).
+    Overwritten {
+        /// The write the read returned.
+        writer: WriteId,
+        /// The intervening operation.
+        by: OpId,
+    },
+    /// The read returned the initial value although a write on the
+    /// location precedes it.
+    StaleInitial {
+        /// The preceding write (or differently-valued read).
+        newer: OpId,
+    },
+    /// A counter read accounts for fewer updates than causally precede it.
+    CounterMissingUpdates {
+        /// Updates that precede the read in the relation.
+        preceding: usize,
+        /// Updates the returned value accounts for.
+        accounted: usize,
+    },
+    /// A counter read's value is not representable as
+    /// `initial + k · delta`.
+    CounterValueUnreachable,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "read {} (as {}): ", self.read, self.judged_as)?;
+        match &self.kind {
+            ViolationKind::WriterNotVisible { writer } => {
+                write!(f, "returned {writer} which is not visible")
+            }
+            ViolationKind::Overwritten { writer, by } => {
+                write!(f, "returned {writer} overwritten by {by}")
+            }
+            ViolationKind::StaleInitial { newer } => {
+                write!(f, "returned the initial value despite visible {newer}")
+            }
+            ViolationKind::CounterMissingUpdates { preceding, accounted } => {
+                write!(
+                    f,
+                    "counter read accounts for {accounted} updates but {preceding} precede it"
+                )
+            }
+            ViolationKind::CounterValueUnreachable => {
+                write!(f, "counter value unreachable from initial value")
+            }
+        }
+    }
+}
+
+/// The outcome of a checker run: violations plus reads that could not be
+/// judged (mixed write/update locations).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckReport {
+    /// All violations found, in operation order.
+    pub violations: Vec<Violation>,
+    /// Reads skipped because their location mixes plain writes with
+    /// commutative updates or uses non-uniform deltas.
+    pub skipped: Vec<OpId>,
+}
+
+impl CheckReport {
+    /// Returns `true` if no violations were found.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Converts the report into a `Result`, erring on any violation.
+    pub fn into_result(self) -> Result<CheckReport, CheckError> {
+        if self.is_consistent() {
+            Ok(self)
+        } else {
+            Err(CheckError::Violations(self))
+        }
+    }
+}
+
+/// Error type of the consistency checkers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckError {
+    /// The history's causality relation is cyclic.
+    Causality(CausalityError),
+    /// Reads violating the checked definition were found.
+    Violations(CheckReport),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Causality(e) => write!(f, "{e}"),
+            CheckError::Violations(r) => {
+                writeln!(f, "{} consistency violation(s):", r.violations.len())?;
+                for v in &r.violations {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<CausalityError> for CheckError {
+    fn from(e: CausalityError) -> Self {
+        CheckError::Causality(e)
+    }
+}
+
+/// How a checker decides which relation each read is judged under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Judging {
+    /// Respect each read's own label (Definition 4, mixed consistency).
+    ByLabel,
+    /// Judge every read as causal (causal memory).
+    AllCausal,
+    /// Judge every read as PRAM (pipelined RAM).
+    AllPram,
+}
+
+/// Checks **mixed consistency** (Definition 4): every read labeled PRAM is
+/// a PRAM read and every read labeled Causal is a causal read.
+///
+/// # Errors
+///
+/// Returns the violations found, or a causality error for cyclic histories.
+pub fn check_mixed(h: &History) -> Result<CheckReport, CheckError> {
+    check_with(h, Judging::ByLabel)
+}
+
+/// Checks whether the history is a **causal history**: all reads are
+/// causal reads, regardless of label.
+///
+/// # Errors
+///
+/// Returns the violations found, or a causality error for cyclic histories.
+pub fn check_causal(h: &History) -> Result<CheckReport, CheckError> {
+    check_with(h, Judging::AllCausal)
+}
+
+/// Checks whether the history is a **PRAM history**: all reads are PRAM
+/// reads, regardless of label.
+///
+/// # Errors
+///
+/// Returns the violations found, or a causality error for cyclic histories.
+pub fn check_pram(h: &History) -> Result<CheckReport, CheckError> {
+    check_with(h, Judging::AllPram)
+}
+
+/// Checks every read against its process's **group causality relation**
+/// `;i,G` (the paper's PRAM↔causal spectrum, Section 3.2): `groups[i]` is
+/// the group of process `i` and must contain it. Singleton groups give
+/// Definition 3 (PRAM), the full process set gives Definition 2 (causal).
+///
+/// # Errors
+///
+/// Returns the violations found, or a causality error for cyclic
+/// histories.
+///
+/// # Panics
+///
+/// Panics if `groups.len() != h.nprocs()` or a group omits its owner.
+pub fn check_grouped(h: &History, groups: &[Vec<crate::ProcId>]) -> Result<CheckReport, CheckError> {
+    assert_eq!(groups.len(), h.nprocs(), "one group per process");
+    let causality = Causality::new(h)?;
+    let mut report = CheckReport::default();
+
+    let mut has_update = std::collections::HashSet::new();
+    let mut has_write = std::collections::HashSet::new();
+    for op in h.ops() {
+        match op.kind {
+            OpKind::Update { loc, .. } => {
+                has_update.insert(loc);
+            }
+            OpKind::Write { loc, .. } => {
+                has_write.insert(loc);
+            }
+            _ => {}
+        }
+    }
+
+    let mut rels: Vec<Option<Relation>> = (0..h.nprocs()).map(|_| None).collect();
+    for (id, op) in h.iter() {
+        let OpKind::Read { loc, label, value, .. } = &op.kind else {
+            continue;
+        };
+        let pi = op.proc.index();
+        let rel = rels[pi]
+            .get_or_insert_with(|| causality.group_relation(op.proc, &groups[pi]));
+        if has_update.contains(loc) {
+            if has_write.contains(loc) {
+                report.skipped.push(id);
+                continue;
+            }
+            match check_counter_read(h, rel, id, *loc, *value, *label) {
+                Ok(Some(v)) => report.violations.push(v),
+                Ok(None) => {}
+                Err(()) => report.skipped.push(id),
+            }
+            continue;
+        }
+        if let Some(kind) = check_plain_read(h, rel, id, *loc, *value) {
+            report.violations.push(Violation { read: id, judged_as: *label, kind });
+        }
+    }
+    report.into_result()
+}
+
+fn check_with(h: &History, judging: Judging) -> Result<CheckReport, CheckError> {
+    let causality = Causality::new(h)?;
+    let mut report = CheckReport::default();
+
+    // Classify locations: counters are locations with commutative updates.
+    let mut has_update = std::collections::HashSet::new();
+    let mut has_write = std::collections::HashSet::new();
+    for op in h.ops() {
+        match op.kind {
+            OpKind::Update { loc, .. } => {
+                has_update.insert(loc);
+            }
+            OpKind::Write { loc, .. } => {
+                has_write.insert(loc);
+            }
+            _ => {}
+        }
+    }
+
+    // Relations are built lazily per process and cached.
+    let mut causal_rel: Vec<Option<Relation>> = (0..h.nprocs()).map(|_| None).collect();
+    let mut pram_rel: Vec<Option<Relation>> = (0..h.nprocs()).map(|_| None).collect();
+
+    for (id, op) in h.iter() {
+        let OpKind::Read { loc, label, value, .. } = &op.kind else {
+            continue;
+        };
+        let judged_as = match judging {
+            Judging::ByLabel => *label,
+            Judging::AllCausal => ReadLabel::Causal,
+            Judging::AllPram => ReadLabel::Pram,
+        };
+        let pi = op.proc.index();
+        let rel: &Relation = match judged_as {
+            ReadLabel::Causal => causal_rel[pi]
+                .get_or_insert_with(|| causality.causal_relation(op.proc)),
+            ReadLabel::Pram => {
+                pram_rel[pi].get_or_insert_with(|| causality.pram_relation(op.proc))
+            }
+        };
+
+        if has_update.contains(loc) {
+            if has_write.contains(loc) {
+                report.skipped.push(id);
+                continue;
+            }
+            match check_counter_read(h, rel, id, *loc, *value, judged_as) {
+                Ok(Some(v)) => report.violations.push(v),
+                Ok(None) => {}
+                Err(()) => report.skipped.push(id),
+            }
+            continue;
+        }
+
+        if let Some(kind) = check_plain_read(h, rel, id, *loc, *value) {
+            report.violations.push(Violation { read: id, judged_as, kind });
+        }
+    }
+    report.into_result()
+}
+
+/// Definitions 2/3 for an ordinary read: the returned write must precede
+/// the read and no differently-valued operation on the location may lie
+/// strictly between them.
+fn check_plain_read(
+    h: &History,
+    rel: &Relation,
+    read: OpId,
+    loc: Loc,
+    value: Value,
+) -> Option<ViolationKind> {
+    let writer = h.reads_from(read);
+    let wop = if writer.is_initial() { None } else { h.write_op(writer) };
+
+    if let Some(w) = wop {
+        if !rel.precedes(w, read) {
+            return Some(ViolationKind::WriterNotVisible { writer });
+        }
+    }
+
+    // Scan for an intervening o(x)u with u != v. Only member operations
+    // count (other processes' reads are invisible to p_i).
+    for (oid, op) in h.iter() {
+        if oid == read || Some(oid) == wop || !rel.contains(oid) {
+            continue;
+        }
+        let (oloc, ovalue) = match &op.kind {
+            OpKind::Write { loc, value, .. } => (*loc, *value),
+            OpKind::Read { loc, value, .. } => (*loc, *value),
+            _ => continue,
+        };
+        if oloc != loc || ovalue == value {
+            continue;
+        }
+        let after_writer = match wop {
+            Some(w) => rel.precedes(w, oid),
+            // The initial write precedes everything.
+            None => true,
+        };
+        if after_writer && rel.precedes(oid, read) {
+            return Some(match wop {
+                Some(_) => ViolationKind::Overwritten { writer, by: oid },
+                None => ViolationKind::StaleInitial { newer: oid },
+            });
+        }
+    }
+    None
+}
+
+/// If every update on `loc` has the same *integer* delta, returns it.
+/// (Float counters are not value-checkable: apply order perturbs low
+/// bits, so reads of them are reported as skipped.)
+fn counter_delta(h: &History, loc: Loc) -> Option<i64> {
+    let mut delta = None;
+    for op in h.ops() {
+        if let OpKind::Update { loc: l, delta: d, .. } = op.kind {
+            if l == loc {
+                match delta {
+                    None => delta = Some(d.as_i64()?),
+                    Some(prev) if Some(prev) != d.as_i64() => return None,
+                    _ => {}
+                }
+            }
+        }
+    }
+    delta.filter(|&d| d != 0)
+}
+
+/// Counter-read visibility: with uniform delta `d`, the returned value
+/// `v = init + k·d` determines the number `k` of accounted updates; every
+/// update preceding the read in the relation must be accounted for.
+/// Returns `Err(())` when the read cannot be judged (non-uniform or
+/// non-integer delta, non-integer initial/returned value) — callers
+/// report those as skipped.
+fn check_counter_read(
+    h: &History,
+    rel: &Relation,
+    read: OpId,
+    loc: Loc,
+    value: Value,
+    judged_as: ReadLabel,
+) -> Result<Option<Violation>, ()> {
+    let delta = counter_delta(h, loc).ok_or(())?;
+    let init = h.initial(loc).as_i64().ok_or(())?;
+    let v = value.as_i64().ok_or(())?;
+    let diff = v - init;
+    if diff % delta != 0 || diff / delta < 0 {
+        return Ok(Some(Violation {
+            read,
+            judged_as,
+            kind: ViolationKind::CounterValueUnreachable,
+        }));
+    }
+    let accounted = (diff / delta) as usize;
+    let preceding = h
+        .iter()
+        .filter(|(oid, op)| {
+            matches!(op.kind, OpKind::Update { loc: l, .. } if l == loc)
+                && rel.precedes(*oid, read)
+        })
+        .count();
+    if preceding > accounted {
+        return Ok(Some(Violation {
+            read,
+            judged_as,
+            kind: ViolationKind::CounterMissingUpdates { preceding, accounted },
+        }));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::ids::ProcId;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    /// The classic causality litmus: PRAM allows it, causal forbids it.
+    fn causality_litmus(label: ReadLabel) -> History {
+        let mut b = HistoryBuilder::new(3);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        b.push_write(p(1), Loc(1), Value::Int(2));
+        b.push_read(p(2), Loc(1), label, Value::Int(2));
+        b.push_read(p(2), Loc(0), label, Value::Int(0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn litmus_is_pram_but_not_causal() {
+        let h = causality_litmus(ReadLabel::Pram);
+        assert!(check_pram(&h).is_ok());
+        let err = check_causal(&h).unwrap_err();
+        let CheckError::Violations(report) = err else { panic!() };
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0].kind,
+            ViolationKind::StaleInitial { .. }
+        ));
+    }
+
+    #[test]
+    fn mixed_respects_labels() {
+        // Labeled PRAM: fine. Labeled causal: violation.
+        assert!(check_mixed(&causality_litmus(ReadLabel::Pram)).is_ok());
+        assert!(check_mixed(&causality_litmus(ReadLabel::Causal)).is_err());
+    }
+
+    #[test]
+    fn fifo_violation_is_caught_by_pram() {
+        // p0 writes x=1 then x=2; p1 reads 2 then 1 — violates FIFO order.
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(0), Loc(0), Value::Int(2));
+        b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(2));
+        b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(1));
+        let h = b.build().unwrap();
+        let err = check_pram(&h).unwrap_err();
+        let CheckError::Violations(report) = err else { panic!() };
+        assert!(matches!(
+            report.violations[0].kind,
+            ViolationKind::Overwritten { .. }
+        ));
+    }
+
+    #[test]
+    fn own_reads_constrain_later_reads() {
+        // A process that read v=2 cannot later read the older v=1
+        // (its own read is part of ;i).
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(0), Loc(0), Value::Int(2));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(2));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        assert!(check_causal(&h).is_err());
+    }
+
+    #[test]
+    fn concurrent_writes_may_be_read_in_any_order() {
+        // w0(x)1 and w1(x)2 are concurrent; p2 and p3 may disagree on the
+        // order under causal memory (this is what distinguishes causal
+        // from sequential consistency).
+        let mut b = HistoryBuilder::new(4);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(1), Loc(0), Value::Int(2));
+        b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(1));
+        b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(2));
+        b.push_read(p(3), Loc(0), ReadLabel::Causal, Value::Int(2));
+        b.push_read(p(3), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        assert!(check_causal(&h).is_ok());
+        assert!(check_pram(&h).is_ok());
+    }
+
+    #[test]
+    fn reading_never_written_value_reports_not_visible() {
+        // Builder would reject unresolvable reads, so record a writer whose
+        // write never becomes visible: writer exists but is causally after.
+        // Simplest stand-in: read returns a write that IS visible — force
+        // WriterNotVisible via an await cycle-free but unordered pair is
+        // impossible with rf in ;, so this kind only fires for counter-free
+        // relations. Covered by construction: rf ⊆ ; makes the writer
+        // always visible; assert exactly that.
+        let mut b = HistoryBuilder::new(2);
+        let (_, w) = b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_read_from(p(1), Loc(0), ReadLabel::Causal, Value::Int(1), w);
+        let h = b.build().unwrap();
+        assert!(check_causal(&h).is_ok());
+    }
+
+    #[test]
+    fn barrier_makes_stale_read_a_violation_even_under_pram() {
+        // p0 writes before the barrier; p1 reads the initial value after
+        // the barrier — illegal even for PRAM reads (↦bar is in ↦PRAM).
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_barrier(p(0), crate::BarrierId(0), crate::BarrierRound(0));
+        b.push_barrier(p(1), crate::BarrierId(0), crate::BarrierRound(0));
+        b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(0));
+        let h = b.build().unwrap();
+        assert!(check_pram(&h).is_err());
+        assert!(check_causal(&h).is_err());
+    }
+
+    #[test]
+    fn lock_chain_is_weaker_for_pram_than_causal() {
+        // Three critical sections: p0 writes x, p1 writes y (no x access),
+        // p2 reads x stale. Causal forbids it (transitive); PRAM allows it
+        // (only the immediate predecessor p1 is synchronized-with).
+        let mut b = HistoryBuilder::new(3);
+        let l = crate::LockId(0);
+        use crate::LockMode::Write as W;
+        b.push_lock(p(0), l, W);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_unlock(p(0), l, W);
+        b.push_lock(p(1), l, W);
+        b.push_write(p(1), Loc(1), Value::Int(2));
+        b.push_unlock(p(1), l, W);
+        b.push_lock(p(2), l, W);
+        b.push_read(p(2), Loc(0), ReadLabel::Pram, Value::Int(0));
+        b.push_unlock(p(2), l, W);
+        let h = b.build().unwrap();
+        assert!(check_pram(&h).is_ok(), "PRAM sees only the immediate predecessor");
+        assert!(check_causal(&h).is_err(), "causal sees the transitive chain");
+    }
+
+    #[test]
+    fn await_transfers_visibility() {
+        // p0: w(x)5; w(flag)1. p1: await(flag=1); r(x) must see 5 under
+        // causal AND under PRAM (direct dependency).
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(5));
+        b.push_write(p(0), Loc(1), Value::Int(1));
+        b.push_await(p(1), Loc(1), Value::Int(1));
+        b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(0));
+        let h = b.build().unwrap();
+        assert!(check_pram(&h).is_err());
+        assert!(check_causal(&h).is_err());
+    }
+
+    #[test]
+    fn counter_reads_check_visibility() {
+        // Two decrements; an await-free causal read that accounts for both.
+        let mut b = HistoryBuilder::new(2);
+        b.set_initial(Loc(0), Value::Int(2));
+        b.push_update(p(0), Loc(0), -1);
+        b.push_update(p(0), Loc(0), -1);
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(0));
+        let h = b.build().unwrap();
+        // p1 never observed the updates causally — value 0 accounts for
+        // both updates, but neither precedes the read, so it's fine.
+        assert!(check_causal(&h).is_ok());
+    }
+
+    #[test]
+    fn counter_read_missing_visible_update_is_violation() {
+        // p0 decrements, then p1 awaits on a flag written after the
+        // decrement, then reads the counter as if nothing happened.
+        let mut b = HistoryBuilder::new(2);
+        b.set_initial(Loc(0), Value::Int(2));
+        b.push_update(p(0), Loc(0), -1);
+        b.push_write(p(0), Loc(1), Value::Int(1));
+        b.push_await(p(1), Loc(1), Value::Int(1));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(2));
+        let h = b.build().unwrap();
+        let err = check_causal(&h).unwrap_err();
+        let CheckError::Violations(r) = err else { panic!() };
+        assert!(matches!(
+            r.violations[0].kind,
+            ViolationKind::CounterMissingUpdates { preceding: 1, accounted: 0 }
+        ));
+    }
+
+    #[test]
+    fn counter_unreachable_value() {
+        let mut b = HistoryBuilder::new(1);
+        b.set_initial(Loc(0), Value::Int(4));
+        b.push_update(p(0), Loc(0), -2);
+        b.push_read(p(0), Loc(0), ReadLabel::Causal, Value::Int(3));
+        let h = b.build().unwrap();
+        let err = check_causal(&h).unwrap_err();
+        let CheckError::Violations(r) = err else { panic!() };
+        assert!(matches!(
+            r.violations[0].kind,
+            ViolationKind::CounterValueUnreachable
+        ));
+    }
+
+    #[test]
+    fn mixed_write_update_location_is_skipped() {
+        let mut b = HistoryBuilder::new(1);
+        b.push_write(p(0), Loc(0), Value::Int(10));
+        b.push_update(p(0), Loc(0), -1);
+        b.push_read_from(
+            p(0),
+            Loc(0),
+            ReadLabel::Causal,
+            Value::Int(9),
+            WriteId::new(p(0), 2),
+        );
+        let h = b.build().unwrap();
+        let report = check_causal(&h).unwrap();
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let h = causality_litmus(ReadLabel::Causal);
+        let err = check_mixed(&h).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("violation"));
+        assert!(text.contains("initial"));
+    }
+}

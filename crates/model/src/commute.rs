@@ -1,0 +1,334 @@
+//! Commutativity (Definition 5) and the Theorem 1 sufficient condition for
+//! sequential consistency.
+//!
+//! Theorem 1 of the paper: *a history is sequentially consistent if every
+//! pair of operations not related by `;` commutes and every read is a
+//! causal read*. The commutativity notion (Definition 5) is semantic — two
+//! operations commute if appending them to any sequential history in either
+//! order yields equivalent sequential histories — but it is decidable
+//! syntactically for the operation vocabulary of the model, which is what
+//! [`ops_commute`] implements:
+//!
+//! * operations on different objects commute;
+//! * reads commute with reads, and with writes of the *same* value;
+//! * writes commute iff they store the same value; commutative updates
+//!   always commute with each other (that is their purpose);
+//! * operations that are never simultaneously enabled (two write-locks on
+//!   one object, an unlock with a conflicting lock) commute vacuously;
+//! * awaits behave like reads of their awaited value.
+
+use std::fmt;
+
+use crate::causality::{Causality, CausalityError};
+use crate::check::{self, CheckError};
+use crate::history::History;
+use crate::ids::OpId;
+use crate::op::{LockMode, OpKind};
+
+/// Decides Definition 5 commutativity for two operations.
+///
+/// The decision follows the case analysis in the module documentation; it
+/// is exact for the model's operation vocabulary.
+pub fn ops_commute(h: &History, a: OpId, b: OpId) -> bool {
+    use OpKind::*;
+    let (ka, kb) = (&h.op(a).kind, &h.op(b).kind);
+
+    // Different objects always commute (and lock objects are disjoint from
+    // memory locations).
+    match (ka.loc(), kb.loc()) {
+        (Some(la), Some(lb)) if la != lb => return true,
+        _ => {}
+    }
+    match (ka.lock(), kb.lock()) {
+        (Some(la), Some(lb)) if la != lb => return true,
+        _ => {}
+    }
+
+    match (ka, kb) {
+        // ---- memory / memory on the same location -------------------------------
+        (Read { value: va, .. }, Read { value: vb, .. }) => {
+            // Both enabled only if memory holds both values: va == vb, and
+            // then they commute; otherwise vacuously.
+            let _ = (va, vb);
+            true
+        }
+        (Read { value: vr, .. }, Write { value: vw, .. })
+        | (Write { value: vw, .. }, Read { value: vr, .. }) => vr == vw,
+        (Write { value: va, .. }, Write { value: vb, .. }) => va == vb,
+        (Update { .. }, Update { .. }) => true,
+        (Update { delta, .. }, Read { .. }) | (Read { .. }, Update { delta, .. }) => {
+            delta.is_zero_delta()
+        }
+        (Update { .. }, Write { .. }) | (Write { .. }, Update { .. }) => false,
+
+        // ---- awaits act like reads of their value --------------------------------
+        (Await { value: vr, .. }, Write { value: vw, .. })
+        | (Write { value: vw, .. }, Await { value: vr, .. }) => vr == vw,
+        (Await { .. }, Update { delta, .. }) | (Update { delta, .. }, Await { .. }) => {
+            delta.is_zero_delta()
+        }
+        (Await { .. }, Await { .. })
+        | (Await { .. }, Read { .. })
+        | (Read { .. }, Await { .. }) => true,
+
+        // ---- lock / lock on the same object --------------------------------------
+        (Lock { mode: ma, .. }, Lock { mode: mb, .. }) => {
+            // Two read-locks commute; any pair involving a write lock is
+            // either never co-enabled (write vs write: both enabled only
+            // when free, but the second grant is then illegal => they do
+            // NOT commute) — per Definition 5 h;wl;wl' is not a sequential
+            // history, so the pair fails.
+            matches!((ma, mb), (LockMode::Read, LockMode::Read))
+        }
+        (Lock { mode: LockMode::Read, .. }, Unlock { mode: LockMode::Read, .. })
+        | (Unlock { mode: LockMode::Read, .. }, Lock { mode: LockMode::Read, .. }) => {
+            // rl_p and ru_q can be co-enabled and the final reader set is
+            // the same in either order.
+            true
+        }
+        (Lock { .. }, Unlock { .. }) | (Unlock { .. }, Lock { .. }) => {
+            // A write lock is enabled only when the object is free, while
+            // an unlock is enabled only while it is held — never
+            // co-enabled, so vacuously commuting. Same for read lock vs
+            // write unlock.
+            true
+        }
+        (Unlock { .. }, Unlock { .. }) => true,
+
+        // ---- barriers are state-neutral ------------------------------------------
+        (Barrier { .. }, _) | (_, Barrier { .. }) => true,
+
+        // ---- remaining object-disjoint combinations -------------------------------
+        _ => true,
+    }
+}
+
+/// A pair of `;`-unrelated operations that fail Definition 5.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NonCommutingPair {
+    /// First operation.
+    pub a: OpId,
+    /// Second operation.
+    pub b: OpId,
+}
+
+impl fmt::Display for NonCommutingPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}) do not commute", self.a, self.b)
+    }
+}
+
+/// The outcome of checking Theorem 1's premises on a history.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Theorem1Outcome {
+    /// Both premises hold: the history is sequentially consistent.
+    Applies,
+    /// At least one premise fails; the theorem is silent (the history may
+    /// or may not be SC).
+    NotApplicable {
+        /// Concurrent pairs failing Definition 5.
+        non_commuting: Vec<NonCommutingPair>,
+        /// Reads failing Definition 2, if any.
+        causal_violations: Option<CheckError>,
+    },
+}
+
+impl Theorem1Outcome {
+    /// Returns `true` if the theorem's premises hold.
+    pub fn applies(&self) -> bool {
+        matches!(self, Theorem1Outcome::Applies)
+    }
+}
+
+/// Checks the premises of **Theorem 1**: every pair of operations not
+/// related by `;` commutes, and every read is a causal read.
+///
+/// When the result [`applies`](Theorem1Outcome::applies), the history is
+/// guaranteed sequentially consistent without running the exponential
+/// search of [`crate::sc::check_sequential`].
+///
+/// # Errors
+///
+/// Returns a [`CausalityError`] if `;` is cyclic.
+pub fn check_theorem1(h: &History) -> Result<Theorem1Outcome, CausalityError> {
+    let causality = Causality::new(h)?;
+    let mut non_commuting = Vec::new();
+    let n = h.len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (a, b) = (OpId(i as u32), OpId(j as u32));
+            if causality.concurrent(a, b) && !ops_commute(h, a, b) {
+                non_commuting.push(NonCommutingPair { a, b });
+            }
+        }
+    }
+    let causal_violations = match check::check_causal(h) {
+        Ok(_) => None,
+        Err(e) => Some(e),
+    };
+    if non_commuting.is_empty() && causal_violations.is_none() {
+        Ok(Theorem1Outcome::Applies)
+    } else {
+        Ok(Theorem1Outcome::NotApplicable { non_commuting, causal_violations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::ids::{LockId, Loc, ProcId};
+    use crate::op::ReadLabel;
+    use crate::sc::{check_sequential, ScVerdict};
+    use crate::value::Value;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn different_locations_commute() {
+        let mut b = HistoryBuilder::new(2);
+        let (w0, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let (w1, _) = b.push_write(p(1), Loc(1), Value::Int(2));
+        let h = b.build().unwrap();
+        assert!(ops_commute(&h, w0, w1));
+    }
+
+    #[test]
+    fn conflicting_writes_do_not_commute() {
+        let mut b = HistoryBuilder::new(2);
+        let (w0, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let (w1, _) = b.push_write(p(1), Loc(0), Value::Int(2));
+        let h = b.build().unwrap();
+        assert!(!ops_commute(&h, w0, w1));
+    }
+
+    #[test]
+    fn same_value_writes_commute() {
+        let mut b = HistoryBuilder::new(2);
+        let (w0, _) = b.push_write(p(0), Loc(0), Value::Int(7));
+        let (w1, _) = b.push_write(p(1), Loc(0), Value::Int(7));
+        let h = b.build().unwrap();
+        assert!(ops_commute(&h, w0, w1));
+    }
+
+    #[test]
+    fn read_vs_conflicting_write() {
+        let mut b = HistoryBuilder::new(2);
+        let (w, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let r = b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let r0 = b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        // Read of the written value commutes with the write...
+        assert!(ops_commute(&h, w, r));
+        // ...and reads always commute with reads.
+        assert!(ops_commute(&h, r, r0));
+    }
+
+    #[test]
+    fn updates_commute_with_updates_but_not_reads() {
+        let mut b = HistoryBuilder::new(2);
+        b.set_initial(Loc(0), Value::Int(5));
+        let (u0, _) = b.push_update(p(0), Loc(0), -1);
+        let (u1, _) = b.push_update(p(1), Loc(0), -1);
+        let r = b.push_read(p(0), Loc(0), ReadLabel::Causal, Value::Int(3));
+        let h = b.build().unwrap();
+        assert!(ops_commute(&h, u0, u1));
+        assert!(!ops_commute(&h, u1, r));
+    }
+
+    #[test]
+    fn lock_commutativity_rules() {
+        use crate::op::LockMode::{Read as R, Write as W};
+        let mut b = HistoryBuilder::new(4);
+        let l = LockId(0);
+        let rl0 = b.push_lock(p(0), l, R);
+        let rl1 = b.push_lock(p(1), l, R);
+        let ru0 = b.push_unlock(p(0), l, R);
+        let ru1 = b.push_unlock(p(1), l, R);
+        let wl = b.push_lock(p(2), l, W);
+        let wu = b.push_unlock(p(2), l, W);
+        let wl2 = b.push_lock(p(3), l, W);
+        let wu2 = b.push_unlock(p(3), l, W);
+        let h = b.build().unwrap();
+        assert!(ops_commute(&h, rl0, rl1));
+        assert!(ops_commute(&h, rl0, ru1));
+        assert!(ops_commute(&h, ru0, ru1));
+        assert!(!ops_commute(&h, wl, wl2), "two write locks fail Definition 5");
+        assert!(!ops_commute(&h, wl, rl0), "write lock vs read lock fails");
+        assert!(ops_commute(&h, wl, wu2), "lock vs unlock never co-enabled");
+        assert!(ops_commute(&h, wu, wu2));
+    }
+
+    #[test]
+    fn theorem1_applies_to_disjoint_writers() {
+        // Each process owns its own location: everything commutes, reads
+        // are causal, so the history is SC by Theorem 1 — confirmed by the
+        // exact checker.
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(1), Loc(1), Value::Int(2));
+        b.push_read(p(0), Loc(1), ReadLabel::Causal, Value::Int(2));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        assert!(check_theorem1(&h).unwrap().applies());
+        assert!(check_sequential(&h).unwrap().is_sc());
+    }
+
+    #[test]
+    fn theorem1_rejects_concurrent_conflicting_writes() {
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(1), Loc(0), Value::Int(2));
+        let h = b.build().unwrap();
+        let outcome = check_theorem1(&h).unwrap();
+        let Theorem1Outcome::NotApplicable { non_commuting, causal_violations } = outcome
+        else {
+            panic!("expected NotApplicable");
+        };
+        assert_eq!(non_commuting.len(), 1);
+        assert!(causal_violations.is_none());
+        assert!(!non_commuting[0].to_string().is_empty());
+    }
+
+    #[test]
+    fn theorem1_rejects_non_causal_reads() {
+        // Stale read after a barrier: commutativity fine (barrier-related
+        // ops are ;-ordered), but the read is not causal.
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_barrier(p(0), crate::BarrierId(0), crate::BarrierRound(0));
+        b.push_barrier(p(1), crate::BarrierId(0), crate::BarrierRound(0));
+        b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(0));
+        let h = b.build().unwrap();
+        let outcome = check_theorem1(&h).unwrap();
+        let Theorem1Outcome::NotApplicable { causal_violations, .. } = outcome else {
+            panic!("expected NotApplicable");
+        };
+        assert!(causal_violations.is_some());
+    }
+
+    #[test]
+    fn theorem1_is_sound_vs_exact_checker() {
+        // Theorem 1 is a *sufficient* condition: wherever it applies, the
+        // exact checker must agree. Locked handoff example:
+        use crate::op::LockMode::Write as W;
+        let mut b = HistoryBuilder::new(2);
+        let l = LockId(0);
+        b.push_lock(p(0), l, W);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_unlock(p(0), l, W);
+        b.push_lock(p(1), l, W);
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        b.push_write(p(1), Loc(0), Value::Int(2));
+        b.push_unlock(p(1), l, W);
+        let h = b.build().unwrap();
+        assert!(check_theorem1(&h).unwrap().applies());
+        assert!(check_sequential(&h).unwrap().is_sc(), "Theorem 1 must imply SC");
+        match check_sequential(&h).unwrap() {
+            ScVerdict::SequentiallyConsistent(_) => {}
+            v => panic!("{v:?}"),
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Identifier newtypes used throughout the model.
+//!
+//! Every entity that the PODC '94 model talks about — processes, memory
+//! locations, lock objects, barrier rounds, operations, and writes — gets its
+//! own newtype so that indices cannot be confused with one another
+//! (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a process `p_i`.
+///
+/// Processes are numbered densely from zero. The special
+/// [`ProcId::INIT`] pseudo-process owns the implicit initial writes that give
+/// every location its starting value.
+///
+/// # Examples
+///
+/// ```
+/// use mc_model::ProcId;
+/// let p = ProcId(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(format!("{p}"), "p2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The pseudo-process that "performs" the initial write of every memory
+    /// location before the execution starts.
+    pub const INIT: ProcId = ProcId(u32::MAX);
+
+    /// Returns the dense index of this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`ProcId::INIT`], which has no dense index.
+    pub fn index(self) -> usize {
+        assert!(self != ProcId::INIT, "ProcId::INIT has no dense index");
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is the initial-value pseudo-process.
+    pub fn is_init(self) -> bool {
+        self == ProcId::INIT
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_init() {
+            write!(f, "p_init")
+        } else {
+            write!(f, "p{}", self.0)
+        }
+    }
+}
+
+/// Identifier of a shared memory location `x`.
+///
+/// Applications typically allocate locations through a
+/// [`mixed-consistency`](https://docs.rs) variable space; the model only
+/// cares about identity.
+///
+/// # Examples
+///
+/// ```
+/// use mc_model::Loc;
+/// assert_eq!(format!("{}", Loc(7)), "x7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Loc(pub u32);
+
+impl Loc {
+    /// Returns the dense index of this location.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Identifier of a read/write lock object `ℓ`.
+///
+/// Lock objects live in a namespace disjoint from memory locations
+/// (Section 3 of the paper: "the lock and barrier operations access a set of
+/// synchronization objects disjoint from the memory locations").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    /// Returns the dense index of this lock object.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Identifier of a barrier object.
+///
+/// A history may use several independent barrier objects (e.g. one per
+/// process subgroup — the paper's parenthetical in Section 3.1.2); rounds of
+/// the same object are numbered by [`BarrierRound`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BarrierId(pub u32);
+
+impl BarrierId {
+    /// Returns the dense index of this barrier object.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BarrierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// The round number `k` of a barrier operation `b^k_j`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BarrierRound(pub u32);
+
+impl BarrierRound {
+    /// Returns the round as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BarrierRound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Index of an operation within a [`History`](crate::History).
+///
+/// `OpId`s are dense indices into the history's operation table and are the
+/// node identifiers of every relation the model computes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// Returns the dense index of this operation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Globally unique identity of a write operation.
+///
+/// The paper assumes "all write operations are associated with distinct
+/// values" so that the reads-from relation is well defined. Instead of
+/// restricting values we tag every write with the identity of its writer and
+/// a per-writer sequence number; the runtime records, for every read, the
+/// `WriteId` it returned.
+///
+/// `seq` is 1-based; the [`WriteId::initial`] constructor builds the identity
+/// of the implicit initial write of a location.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WriteId {
+    /// The process that issued the write (or [`ProcId::INIT`]).
+    pub proc: ProcId,
+    /// 1-based per-process write sequence number. For initial writes this is
+    /// the location index.
+    pub seq: u32,
+}
+
+impl WriteId {
+    /// Creates a new write identity.
+    pub fn new(proc: ProcId, seq: u32) -> Self {
+        WriteId { proc, seq }
+    }
+
+    /// The identity of the implicit initial write of location `loc`.
+    pub fn initial(loc: Loc) -> Self {
+        WriteId { proc: ProcId::INIT, seq: loc.0 }
+    }
+
+    /// Returns `true` if this identifies the initial value of a location.
+    pub fn is_initial(self) -> bool {
+        self.proc.is_init()
+    }
+}
+
+impl fmt::Display for WriteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_initial() {
+            write!(f, "w_init(x{})", self.seq)
+        } else {
+            write!(f, "w[{}#{}]", self.proc, self.seq)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_display_and_index() {
+        assert_eq!(ProcId(0).index(), 0);
+        assert_eq!(ProcId(5).to_string(), "p5");
+        assert_eq!(ProcId::INIT.to_string(), "p_init");
+        assert!(ProcId::INIT.is_init());
+        assert!(!ProcId(3).is_init());
+    }
+
+    #[test]
+    #[should_panic(expected = "no dense index")]
+    fn init_proc_has_no_index() {
+        let _ = ProcId::INIT.index();
+    }
+
+    #[test]
+    fn write_id_initial() {
+        let w = WriteId::initial(Loc(4));
+        assert!(w.is_initial());
+        assert_eq!(w.seq, 4);
+        assert_eq!(w.to_string(), "w_init(x4)");
+        let w2 = WriteId::new(ProcId(1), 9);
+        assert!(!w2.is_initial());
+        assert_eq!(w2.to_string(), "w[p1#9]");
+    }
+
+    #[test]
+    fn id_displays() {
+        assert_eq!(Loc(3).to_string(), "x3");
+        assert_eq!(LockId(2).to_string(), "l2");
+        assert_eq!(BarrierId(1).to_string(), "b1");
+        assert_eq!(BarrierRound(6).to_string(), "k6");
+        assert_eq!(OpId(8).to_string(), "o8");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Loc(1));
+        s.insert(Loc(1));
+        s.insert(Loc(2));
+        assert_eq!(s.len(), 2);
+        assert!(OpId(1) < OpId(2));
+        assert!(ProcId(0) < ProcId(1));
+    }
+}

@@ -1,0 +1,69 @@
+//! # mc-model — the formal model of mixed consistency
+//!
+//! An executable rendering of the memory model from *Agrawal, Choy, Leong,
+//! Singh: "Mixed Consistency: A Model for Parallel Programming", PODC 1994*.
+//!
+//! The crate provides:
+//!
+//! * the vocabulary of the model — [`Op`]s, [`Value`]s, identifier newtypes,
+//!   and [`History`] with its well-formedness conditions (Section 3 of the
+//!   paper);
+//! * the **causality relation** `;` and its per-process restrictions
+//!   `;i,C` (for causal reads) and `;i,P` (the transitive-reduction-based
+//!   PRAM relation) — see [`Causality`];
+//! * **consistency checkers** for Definition 2 (causal reads), Definition 3
+//!   (PRAM reads), Definition 4 (mixed consistency), and Definition 1
+//!   (sequential consistency, exact search) — see [`check`] and [`sc`];
+//! * the **programming conditions** of Section 4: Definition 5
+//!   commutativity, the Theorem 1 sufficient condition for sequential
+//!   consistency, and the Corollary 1/2 entry-consistency and
+//!   PRAM-consistency program checkers — see [`commute`] and [`programs`];
+//! * a library of **litmus histories** including the Figure 1
+//!   lock-and-barrier example — see [`litmus`].
+//!
+//! # Quick example
+//!
+//! The classic causality litmus: `p0` writes `x`, `p1` reads it and then
+//! writes `y`, `p2` reads the new `y` but the *old* `x`. That history is
+//! PRAM but not causal:
+//!
+//! ```
+//! use mc_model::{HistoryBuilder, Loc, ProcId, ReadLabel, Value, check};
+//!
+//! let mut b = HistoryBuilder::new(3);
+//! b.push_write(ProcId(0), Loc(0), Value::Int(1));                       // w0(x)1
+//! b.push_read(ProcId(1), Loc(0), ReadLabel::Pram, Value::Int(1));       // r1(x)1
+//! b.push_write(ProcId(1), Loc(1), Value::Int(2));                       // w1(y)2
+//! b.push_read(ProcId(2), Loc(1), ReadLabel::Pram, Value::Int(2));       // r2(y)2
+//! b.push_read(ProcId(2), Loc(0), ReadLabel::Pram, Value::Int(0));       // r2(x)0 !
+//! let h = b.build()?;
+//!
+//! assert!(check::check_pram(&h).is_ok());      // allowed under PRAM
+//! assert!(check::check_causal(&h).is_err());   // forbidden under causal memory
+//! # Ok::<(), mc_model::MalformedHistory>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod causality;
+pub mod check;
+pub mod commute;
+pub mod graph;
+mod history;
+mod ids;
+pub mod litmus;
+mod op;
+pub mod programs;
+pub mod sc;
+pub mod trace;
+mod value;
+mod vclock;
+pub mod viz;
+
+pub use causality::Causality;
+pub use history::{BarrierRoundOps, History, HistoryBuilder, LockEpoch, MalformedHistory};
+pub use ids::{BarrierId, BarrierRound, LockId, Loc, OpId, ProcId, WriteId};
+pub use op::{Edge, LockMode, Op, OpKind, ReadLabel};
+pub use value::Value;
+pub use vclock::VClock;

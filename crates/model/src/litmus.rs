@@ -1,0 +1,371 @@
+//! A library of canonical litmus histories.
+//!
+//! These small, hand-built histories pin down the boundaries between the
+//! consistency conditions of the paper and are used by the examples, the
+//! benchmark harness and the cross-crate tests. Each function documents
+//! which checkers accept and reject it.
+
+use crate::history::{History, HistoryBuilder};
+use crate::ids::{BarrierId, BarrierRound, LockId, Loc, OpId, ProcId};
+use crate::op::{LockMode, ReadLabel};
+use crate::value::Value;
+
+fn p(i: u32) -> ProcId {
+    ProcId(i)
+}
+
+/// The causality chain litmus (Section 2's motivation for causal memory):
+///
+/// ```text
+/// p0: w(x)1
+/// p1: r(x)1; w(y)2
+/// p2: r(y)2; r(x)0        <- stale x
+/// ```
+///
+/// *PRAM* accepts it (p2 has no direct interaction with p0); *causal
+/// memory* rejects it (w(x)1 ; w(y)2 ; r(y)2 ; r(x)0 transitively).
+/// Reads carry `label`.
+pub fn causality_chain(label: ReadLabel) -> History {
+    let mut b = HistoryBuilder::new(3);
+    b.push_write(p(0), Loc(0), Value::Int(1));
+    b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+    b.push_write(p(1), Loc(1), Value::Int(2));
+    b.push_read(p(2), Loc(1), label, Value::Int(2));
+    b.push_read(p(2), Loc(0), label, Value::Int(0));
+    b.build().expect("litmus history is well-formed")
+}
+
+/// The store-buffer (Dekker) litmus:
+///
+/// ```text
+/// p0: w(x)1; r(y)0
+/// p1: w(y)1; r(x)0
+/// ```
+///
+/// Both reads returning 0 is *causal* (and PRAM) but **not** sequentially
+/// consistent.
+pub fn store_buffer() -> History {
+    let mut b = HistoryBuilder::new(2);
+    b.push_write(p(0), Loc(0), Value::Int(1));
+    b.push_read(p(0), Loc(1), ReadLabel::Causal, Value::Int(0));
+    b.push_write(p(1), Loc(1), Value::Int(1));
+    b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(0));
+    b.build().expect("litmus history is well-formed")
+}
+
+/// Two observers disagreeing on the order of concurrent writes:
+///
+/// ```text
+/// p0: w(x)1          p1: w(x)2
+/// p2: r(x)1; r(x)2   p3: r(x)2; r(x)1
+/// ```
+///
+/// *Causal* (concurrent writes may be observed in different orders) but
+/// **not** sequentially consistent.
+pub fn write_order_disagreement() -> History {
+    let mut b = HistoryBuilder::new(4);
+    b.push_write(p(0), Loc(0), Value::Int(1));
+    b.push_write(p(1), Loc(0), Value::Int(2));
+    b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(1));
+    b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(2));
+    b.push_read(p(3), Loc(0), ReadLabel::Causal, Value::Int(2));
+    b.push_read(p(3), Loc(0), ReadLabel::Causal, Value::Int(1));
+    b.build().expect("litmus history is well-formed")
+}
+
+/// A FIFO (per-writer order) violation:
+///
+/// ```text
+/// p0: w(x)1; w(x)2
+/// p1: r(x)2; r(x)1
+/// ```
+///
+/// Rejected even by *PRAM*.
+pub fn fifo_violation() -> History {
+    let mut b = HistoryBuilder::new(2);
+    b.push_write(p(0), Loc(0), Value::Int(1));
+    b.push_write(p(0), Loc(0), Value::Int(2));
+    b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(2));
+    b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(1));
+    b.build().expect("litmus history is well-formed")
+}
+
+/// A three-way lock handoff where only the *transitive* critical-section
+/// predecessor wrote the data:
+///
+/// ```text
+/// p0: wl; w(x)1; wu
+/// p1: wl; w(y)2; wu      <- touches only y
+/// p2: wl; r(x)0; wu      <- stale x
+/// ```
+///
+/// *PRAM* accepts it (a PRAM read in a critical section observes only the
+/// immediately preceding holder — Section 6); *causal memory* rejects it.
+pub fn lock_transitive_chain() -> History {
+    use LockMode::Write as W;
+    let l = LockId(0);
+    let mut b = HistoryBuilder::new(3);
+    b.push_lock(p(0), l, W);
+    b.push_write(p(0), Loc(0), Value::Int(1));
+    b.push_unlock(p(0), l, W);
+    b.push_lock(p(1), l, W);
+    b.push_write(p(1), Loc(1), Value::Int(2));
+    b.push_unlock(p(1), l, W);
+    b.push_lock(p(2), l, W);
+    b.push_read(p(2), Loc(0), ReadLabel::Pram, Value::Int(0));
+    b.push_unlock(p(2), l, W);
+    b.build().expect("litmus history is well-formed")
+}
+
+/// The operations of [`figure1`], named for assertions and pretty
+/// printing.
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// The constructed history.
+    pub history: History,
+    /// `rl/ru` pairs of the first (read) epoch, one per reader process.
+    pub first_readers: Vec<(OpId, OpId)>,
+    /// The write lock/unlock pair.
+    pub writer: (OpId, OpId),
+    /// `rl/ru` pairs of the second (read) epoch.
+    pub second_readers: Vec<(OpId, OpId)>,
+    /// Barrier operations of the single round, one per process.
+    pub barrier: Vec<OpId>,
+    /// One representative operation of phase `i` (before the barrier).
+    pub phase_i_op: OpId,
+    /// One representative operation of phase `i+1` (after the barrier).
+    pub phase_i1_op: OpId,
+}
+
+/// Reconstructs **Figure 1** of the paper: two concurrent read-locked
+/// sections, a write-locked section, two more read-locked sections, and a
+/// barrier separating computation phases.
+///
+/// The figure illustrates the lock and barrier synchronization orders:
+/// read epochs are ordered around the write epoch, reader pairs within an
+/// epoch stay unordered, and every phase-`i` operation precedes every
+/// phase-`i+1` operation through the barrier.
+pub fn figure1() -> Figure1 {
+    use LockMode::{Read as R, Write as W};
+    let l = LockId(0);
+    let bar = BarrierId(0);
+    let mut b = HistoryBuilder::new(3);
+
+    // Phase i: two concurrent readers (p0, p1), then a writer (p2), then
+    // two more readers (p0, p1) — the diagram's left-to-right order.
+    let rl0 = b.push_lock(p(0), l, R);
+    let rl1 = b.push_lock(p(1), l, R);
+    let (w_x, _) = b.push_write(p(2), Loc(1), Value::Int(10)); // phase-i work
+    let ru0 = b.push_unlock(p(0), l, R);
+    let ru1 = b.push_unlock(p(1), l, R);
+    let wl = b.push_lock(p(2), l, W);
+    let wu = b.push_unlock(p(2), l, W);
+    let rl0b = b.push_lock(p(0), l, R);
+    let rl1b = b.push_lock(p(1), l, R);
+    let ru0b = b.push_unlock(p(0), l, R);
+    let ru1b = b.push_unlock(p(1), l, R);
+
+    let b0 = b.push_barrier(p(0), bar, BarrierRound(0));
+    let b1 = b.push_barrier(p(1), bar, BarrierRound(0));
+    let b2 = b.push_barrier(p(2), bar, BarrierRound(0));
+
+    // Phase i+1: a read that must observe phase-i work.
+    let r_after = b.push_read(p(0), Loc(1), ReadLabel::Pram, Value::Int(10));
+
+    Figure1 {
+        history: b.build().expect("figure 1 history is well-formed"),
+        first_readers: vec![(rl0, ru0), (rl1, ru1)],
+        writer: (wl, wu),
+        second_readers: vec![(rl0b, ru0b), (rl1b, ru1b)],
+        barrier: vec![b0, b1, b2],
+        phase_i_op: w_x,
+        phase_i1_op: r_after,
+    }
+}
+
+/// An entry-consistent transfer: all accesses to `x` under lock `l0`,
+/// causal reads — sequentially consistent by Corollary 1.
+pub fn entry_consistent_transfer() -> History {
+    use LockMode::{Read as R, Write as W};
+    let l = LockId(0);
+    let mut b = HistoryBuilder::new(3);
+    b.push_lock(p(0), l, W);
+    b.push_write(p(0), Loc(0), Value::Int(100));
+    b.push_unlock(p(0), l, W);
+    b.push_lock(p(1), l, W);
+    b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(100));
+    b.push_write(p(1), Loc(0), Value::Int(50));
+    b.push_unlock(p(1), l, W);
+    b.push_lock(p(2), l, R);
+    b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(50));
+    b.push_unlock(p(2), l, R);
+    b.build().expect("litmus history is well-formed")
+}
+
+/// A two-phase barrier program in the shape of Figure 2: phase 0 writes
+/// per-process slots, the barrier flushes, phase 1 reads them crosswise
+/// with PRAM reads — sequentially consistent by Corollary 2.
+pub fn barrier_phase_program() -> History {
+    let bar = BarrierId(0);
+    let mut b = HistoryBuilder::new(2);
+    b.push_write(p(0), Loc(0), Value::Int(1));
+    b.push_write(p(1), Loc(1), Value::Int(2));
+    b.push_barrier(p(0), bar, BarrierRound(0));
+    b.push_barrier(p(1), bar, BarrierRound(0));
+    b.push_read(p(0), Loc(1), ReadLabel::Pram, Value::Int(2));
+    b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(1));
+    b.build().expect("litmus history is well-formed")
+}
+
+/// The producer/consumer await idiom (Section 3.1.3): the producer writes
+/// data then a flag; the consumer awaits the flag and reads the data with
+/// a PRAM read — legal because `↦await` orders the flag write before the
+/// await.
+pub fn producer_consumer_await() -> History {
+    let mut b = HistoryBuilder::new(2);
+    b.push_write(p(0), Loc(0), Value::Int(42)); // data
+    b.push_write(p(0), Loc(1), Value::Int(1)); // flag
+    b.push_await(p(1), Loc(1), Value::Int(1));
+    b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(42));
+    b.build().expect("litmus history is well-formed")
+}
+
+/// The counter-object Cholesky idiom (Section 5.3): two processes
+/// decrement a dependency count initialized to 2; a third awaits zero.
+pub fn counter_await() -> History {
+    let mut b = HistoryBuilder::new(3);
+    b.set_initial(Loc(0), Value::Int(2));
+    let (_, u0) = b.push_update(p(0), Loc(0), -1);
+    let (_, u1) = b.push_update(p(1), Loc(0), -1);
+    b.push(
+        p(2),
+        crate::op::OpKind::Await { loc: Loc(0), value: Value::Int(0), writers: vec![u0, u1] },
+    );
+    b.build().expect("litmus history is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check_causal, check_mixed, check_pram};
+    use crate::commute::check_theorem1;
+    use crate::sc::{check_sequential, ScVerdict};
+    use crate::Causality;
+
+    #[test]
+    fn causality_chain_classification() {
+        let h = causality_chain(ReadLabel::Pram);
+        assert!(check_pram(&h).is_ok());
+        assert!(check_causal(&h).is_err());
+        assert!(check_mixed(&h).is_ok(), "labeled PRAM: allowed");
+        let h = causality_chain(ReadLabel::Causal);
+        assert!(check_mixed(&h).is_err(), "labeled causal: rejected");
+        assert_eq!(
+            check_sequential(&h).unwrap(),
+            ScVerdict::NotSequentiallyConsistent
+        );
+    }
+
+    #[test]
+    fn store_buffer_classification() {
+        let h = store_buffer();
+        assert!(check_causal(&h).is_ok());
+        assert!(check_pram(&h).is_ok());
+        assert_eq!(
+            check_sequential(&h).unwrap(),
+            ScVerdict::NotSequentiallyConsistent
+        );
+    }
+
+    #[test]
+    fn write_order_disagreement_classification() {
+        let h = write_order_disagreement();
+        assert!(check_causal(&h).is_ok());
+        assert_eq!(
+            check_sequential(&h).unwrap(),
+            ScVerdict::NotSequentiallyConsistent
+        );
+    }
+
+    #[test]
+    fn fifo_violation_classification() {
+        let h = fifo_violation();
+        assert!(check_pram(&h).is_err());
+        assert!(check_causal(&h).is_err());
+    }
+
+    #[test]
+    fn lock_chain_classification() {
+        let h = lock_transitive_chain();
+        assert!(check_pram(&h).is_ok());
+        assert!(check_causal(&h).is_err());
+        assert!(check_mixed(&h).is_ok(), "read is labeled PRAM");
+    }
+
+    #[test]
+    fn figure1_synchronization_orders() {
+        let fig = figure1();
+        let h = &fig.history;
+        let cz = Causality::new(h).unwrap();
+
+        // Readers of one epoch are mutually unordered.
+        let (rl0, _) = fig.first_readers[0];
+        let (rl1, ru1) = fig.first_readers[1];
+        assert!(cz.concurrent(rl0, rl1));
+        assert!(cz.concurrent(rl0, ru1));
+
+        // The write epoch is ordered after the first readers and before
+        // the second.
+        let (wl, wu) = fig.writer;
+        assert!(cz.precedes(rl0, wl));
+        assert!(cz.precedes(ru1, wl));
+        let (rl0b, _) = fig.second_readers[0];
+        assert!(cz.precedes(wu, rl0b));
+        assert!(cz.precedes(rl0, rl0b), "epoch order is transitive");
+
+        // Barrier separates phases: phase-i op precedes every barrier op
+        // and every phase-i+1 op.
+        for &b in &fig.barrier {
+            assert!(cz.precedes(fig.phase_i_op, b));
+        }
+        assert!(cz.precedes(fig.phase_i_op, fig.phase_i1_op));
+        // Barrier ops of one round stay mutually unordered.
+        assert!(cz.concurrent(fig.barrier[0], fig.barrier[1]));
+
+        // The history itself is mixed consistent.
+        assert!(check_mixed(h).is_ok());
+    }
+
+    #[test]
+    fn entry_consistent_transfer_is_sc() {
+        let h = entry_consistent_transfer();
+        assert!(check_causal(&h).is_ok());
+        assert!(check_theorem1(&h).unwrap().applies());
+        assert!(check_sequential(&h).unwrap().is_sc());
+        let mapping = crate::programs::infer_lock_mapping(&h).unwrap().unwrap();
+        crate::programs::check_entry_consistent(&h, &mapping).unwrap();
+    }
+
+    #[test]
+    fn barrier_phase_program_is_sc() {
+        let h = barrier_phase_program();
+        assert!(check_pram(&h).is_ok());
+        crate::programs::check_pram_consistent_program(&h).unwrap();
+        assert!(check_sequential(&h).unwrap().is_sc());
+    }
+
+    #[test]
+    fn producer_consumer_await_is_legal() {
+        let h = producer_consumer_await();
+        assert!(check_pram(&h).is_ok());
+        assert!(check_causal(&h).is_ok());
+        assert!(check_sequential(&h).unwrap().is_sc());
+    }
+
+    #[test]
+    fn counter_await_is_legal() {
+        let h = counter_await();
+        assert!(check_mixed(&h).is_ok());
+        assert!(check_sequential(&h).unwrap().is_sc());
+    }
+}

@@ -1,0 +1,299 @@
+//! Operations: the vocabulary of histories.
+//!
+//! Section 3 of the paper: processes issue *memory operations* (reads and
+//! writes, extensible to operations on abstract data types) and
+//! *synchronization operations* (read/write locks, barriers, awaits). Every
+//! operation is modeled by an invocation/response event pair; this module
+//! represents the *completed* operation with both halves merged, which is
+//! all the consistency definitions need (we consider only complete,
+//! well-formed histories, as does the paper).
+
+use std::fmt;
+
+use crate::ids::{BarrierId, BarrierRound, LockId, Loc, OpId, ProcId, WriteId};
+use crate::value::Value;
+
+/// The consistency label carried by a read operation.
+///
+/// Memory operations in the mixed model "consist of writes, and reads that
+/// are labeled either as PRAM or Causal" (Section 3.2). The label selects
+/// which of Definition 2 (causal read) or Definition 3 (PRAM read) the read
+/// must satisfy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReadLabel {
+    /// The read must be a PRAM read (Definition 3).
+    Pram,
+    /// The read must be a causal read (Definition 2).
+    Causal,
+}
+
+impl fmt::Display for ReadLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadLabel::Pram => write!(f, "pram"),
+            ReadLabel::Causal => write!(f, "causal"),
+        }
+    }
+}
+
+/// The mode of a lock operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockMode {
+    /// A shared (read) lock: `rl` / `ru`.
+    Read,
+    /// An exclusive (write) lock: `wl` / `wu`.
+    Write,
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Read => write!(f, "r"),
+            LockMode::Write => write!(f, "w"),
+        }
+    }
+}
+
+/// The kind and payload of an operation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum OpKind {
+    /// A labeled read `r_i(x)v` that returned `value`, reading from
+    /// `writer` (`None` means the writer is resolved at
+    /// [`HistoryBuilder::build`](crate::HistoryBuilder::build) time by
+    /// matching unique write values).
+    Read {
+        /// Location read.
+        loc: Loc,
+        /// Consistency label of the read.
+        label: ReadLabel,
+        /// Value returned.
+        value: Value,
+        /// Identity of the write read from, if recorded by the runtime.
+        writer: Option<WriteId>,
+    },
+    /// A write `w_i(x)v`.
+    Write {
+        /// Location written.
+        loc: Loc,
+        /// Value stored.
+        value: Value,
+        /// Unique identity of this write.
+        id: WriteId,
+    },
+    /// A commutative increment on a counter object (the read/write/decrement
+    /// abstract-data-type extension of Section 5.3). Participates in the
+    /// causality relation exactly like a write. Deltas are integer or
+    /// float [`Value`]s (the paper's Cholesky optimization decrements
+    /// float matrix entries).
+    Update {
+        /// Location (counter) updated.
+        loc: Loc,
+        /// Signed delta applied.
+        delta: Value,
+        /// Unique identity of this update (shares the write namespace).
+        id: WriteId,
+    },
+    /// A lock acquisition `rl(ℓ)` / `wl(ℓ)`.
+    Lock {
+        /// Lock object.
+        lock: LockId,
+        /// Shared or exclusive.
+        mode: LockMode,
+    },
+    /// A lock release `ru(ℓ)` / `wu(ℓ)`.
+    Unlock {
+        /// Lock object.
+        lock: LockId,
+        /// Shared or exclusive.
+        mode: LockMode,
+    },
+    /// A barrier operation `b^k_j` on barrier object `barrier`.
+    Barrier {
+        /// Barrier object.
+        barrier: BarrierId,
+        /// Round index `k` within that object.
+        round: BarrierRound,
+    },
+    /// An `await(x = v)` operation that unblocked after observing `value`.
+    ///
+    /// `writers` records the set of writes/updates whose application
+    /// produced the observed value: for a plain write it is the single
+    /// matching write `w_j(x)v` (Section 3.1.3); for a counter object it is
+    /// every update applied at the observing replica when the condition
+    /// became true.
+    Await {
+        /// Location observed.
+        loc: Loc,
+        /// Value awaited (and observed).
+        value: Value,
+        /// Writes synchronized-with (`w ↦await a` sources).
+        writers: Vec<WriteId>,
+    },
+}
+
+impl OpKind {
+    /// The memory location this operation touches, if any.
+    pub fn loc(&self) -> Option<Loc> {
+        match self {
+            OpKind::Read { loc, .. }
+            | OpKind::Write { loc, .. }
+            | OpKind::Update { loc, .. }
+            | OpKind::Await { loc, .. } => Some(*loc),
+            _ => None,
+        }
+    }
+
+    /// The lock object this operation touches, if any.
+    pub fn lock(&self) -> Option<LockId> {
+        match self {
+            OpKind::Lock { lock, .. } | OpKind::Unlock { lock, .. } => Some(*lock),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for synchronization operations (locks, barriers,
+    /// awaits).
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Lock { .. }
+                | OpKind::Unlock { .. }
+                | OpKind::Barrier { .. }
+                | OpKind::Await { .. }
+        )
+    }
+
+    /// Returns `true` for write-like memory operations (writes and
+    /// commutative updates).
+    pub fn is_write_like(&self) -> bool {
+        matches!(self, OpKind::Write { .. } | OpKind::Update { .. })
+    }
+
+    /// Returns `true` for read operations.
+    pub fn is_read(&self) -> bool {
+        matches!(self, OpKind::Read { .. })
+    }
+
+    /// The write identity produced by this operation, if it is write-like.
+    pub fn write_id(&self) -> Option<WriteId> {
+        match self {
+            OpKind::Write { id, .. } | OpKind::Update { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// A completed operation in a history: an issuing process plus its kind.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Op {
+    /// The process that issued the operation.
+    pub proc: ProcId,
+    /// Kind and payload.
+    pub kind: OpKind,
+}
+
+impl Op {
+    /// Creates a new operation record.
+    pub fn new(proc: ProcId, kind: OpKind) -> Self {
+        Op { proc, kind }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.proc;
+        match &self.kind {
+            OpKind::Read { loc, label, value, .. } => {
+                write!(f, "r_{p}({loc}){value} [{label}]")
+            }
+            OpKind::Write { loc, value, .. } => write!(f, "w_{p}({loc}){value}"),
+            OpKind::Update { loc, delta, .. } => {
+                write!(f, "u_{p}({loc})+={delta}")
+            }
+            OpKind::Lock { lock, mode } => write!(f, "{mode}l_{p}({lock})"),
+            OpKind::Unlock { lock, mode } => write!(f, "{mode}u_{p}({lock})"),
+            OpKind::Barrier { barrier, round } => {
+                write!(f, "b^{}_{p}({barrier})", round.0)
+            }
+            OpKind::Await { loc, value, .. } => {
+                write!(f, "await_{p}({loc}={value})")
+            }
+        }
+    }
+}
+
+/// A convenience alias for an edge between two operations.
+pub type Edge = (OpId, OpId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wid(p: u32, s: u32) -> WriteId {
+        WriteId::new(ProcId(p), s)
+    }
+
+    #[test]
+    fn kind_classification() {
+        let r = OpKind::Read {
+            loc: Loc(0),
+            label: ReadLabel::Pram,
+            value: Value::Int(1),
+            writer: None,
+        };
+        let w = OpKind::Write { loc: Loc(0), value: Value::Int(1), id: wid(0, 1) };
+        let u = OpKind::Update { loc: Loc(1), delta: Value::Int(-1), id: wid(0, 2) };
+        let l = OpKind::Lock { lock: LockId(0), mode: LockMode::Write };
+        let b = OpKind::Barrier { barrier: BarrierId(0), round: BarrierRound(0) };
+        let a = OpKind::Await { loc: Loc(0), value: Value::Int(0), writers: vec![] };
+
+        assert!(r.is_read() && !r.is_write_like() && !r.is_sync());
+        assert!(w.is_write_like() && !w.is_read());
+        assert!(u.is_write_like());
+        assert!(l.is_sync() && b.is_sync() && a.is_sync());
+        assert_eq!(w.write_id(), Some(wid(0, 1)));
+        assert_eq!(r.write_id(), None);
+        assert_eq!(r.loc(), Some(Loc(0)));
+        assert_eq!(l.loc(), None);
+        assert_eq!(l.lock(), Some(LockId(0)));
+        assert_eq!(r.lock(), None);
+        assert_eq!(a.loc(), Some(Loc(0)));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let op = Op::new(
+            ProcId(2),
+            OpKind::Read {
+                loc: Loc(1),
+                label: ReadLabel::Causal,
+                value: Value::Int(3),
+                writer: None,
+            },
+        );
+        assert_eq!(op.to_string(), "r_p2(x1)3 [causal]");
+
+        let w = Op::new(ProcId(1), OpKind::Write { loc: Loc(2), value: Value::Int(4), id: wid(1, 1) });
+        assert_eq!(w.to_string(), "w_p1(x2)4");
+
+        let wl = Op::new(ProcId(0), OpKind::Lock { lock: LockId(3), mode: LockMode::Write });
+        assert_eq!(wl.to_string(), "wl_p0(l3)");
+        let ru = Op::new(ProcId(0), OpKind::Unlock { lock: LockId(3), mode: LockMode::Read });
+        assert_eq!(ru.to_string(), "ru_p0(l3)");
+
+        let b = Op::new(
+            ProcId(4),
+            OpKind::Barrier { barrier: BarrierId(0), round: BarrierRound(7) },
+        );
+        assert_eq!(b.to_string(), "b^7_p4(b0)");
+
+        let u = Op::new(ProcId(0), OpKind::Update { loc: Loc(9), delta: Value::Int(-1), id: wid(0, 3) });
+        assert_eq!(u.to_string(), "u_p0(x9)+=-1");
+
+        let a = Op::new(
+            ProcId(1),
+            OpKind::Await { loc: Loc(0), value: Value::Int(0), writers: vec![] },
+        );
+        assert_eq!(a.to_string(), "await_p1(x0=0)");
+    }
+}

@@ -1,0 +1,537 @@
+//! Program-level conditions: Corollary 1 (entry-consistent programs) and
+//! Corollary 2 (PRAM-consistent phase programs).
+//!
+//! Section 4 of the paper isolates two syntactically checkable program
+//! classes whose executions are sequentially consistent on weaker memory:
+//!
+//! * **Corollary 1** — *entry-consistent* programs: shared variables are
+//!   partitioned, each set guarded by one lock, reads happen under a read
+//!   or write lock, writes under a write lock. With causal reads such
+//!   programs behave sequentially consistently.
+//! * **Corollary 2** — *PRAM-consistent* programs: between consecutive
+//!   barriers each variable is updated at most once and all same-phase
+//!   reads follow the update. With PRAM reads such programs behave
+//!   sequentially consistently.
+//!
+//! The paper notes both definitions "can be easily checked by a compiler";
+//! this module checks them *dynamically* on recorded histories, which is
+//! the natural analogue for a runtime-recorded execution (and is exactly
+//! what a testing harness wants: a per-execution certificate).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::causality::{Causality, CausalityError};
+use crate::history::History;
+use crate::ids::{LockId, Loc, OpId, ProcId};
+use crate::op::{LockMode, OpKind};
+
+/// A mapping from shared variables to the lock guarding them
+/// (Corollary 1's partition: several variables may share one lock).
+pub type LockMapping = HashMap<Loc, LockId>;
+
+/// A violation of the entry-consistency discipline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EntryViolation {
+    /// A location was accessed but has no lock assigned.
+    NoLockAssigned {
+        /// The unguarded access.
+        op: OpId,
+        /// The location involved.
+        loc: Loc,
+    },
+    /// A read happened without holding the assigned lock in any mode.
+    ReadWithoutLock {
+        /// The offending read.
+        op: OpId,
+        /// The lock that should have been held.
+        lock: LockId,
+    },
+    /// A write happened without holding the assigned lock in write mode.
+    WriteWithoutWriteLock {
+        /// The offending write.
+        op: OpId,
+        /// The lock that should have been held.
+        lock: LockId,
+    },
+}
+
+impl fmt::Display for EntryViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryViolation::NoLockAssigned { op, loc } => {
+                write!(f, "{op} accesses {loc} which has no assigned lock")
+            }
+            EntryViolation::ReadWithoutLock { op, lock } => {
+                write!(f, "read {op} without holding {lock}")
+            }
+            EntryViolation::WriteWithoutWriteLock { op, lock } => {
+                write!(f, "write {op} without write-holding {lock}")
+            }
+        }
+    }
+}
+
+/// Returns `true` if operation `op` of process `proc` executes while
+/// `lock` is held by that process in at least `mode`.
+fn held_during(
+    h: &History,
+    causality: &Causality<'_>,
+    op: OpId,
+    proc: ProcId,
+    lock: LockId,
+    mode: LockMode,
+) -> bool {
+    let Some(epochs) = h.lock_epochs().get(&lock) else {
+        return false;
+    };
+    epochs.iter().any(|ep| {
+        let mode_ok = match mode {
+            LockMode::Read => true, // read or write lock both allow reads
+            LockMode::Write => ep.mode == LockMode::Write,
+        };
+        mode_ok
+            && ep.members.iter().any(|&(l, u)| {
+                h.op(l).proc == proc
+                    && causality.po_precedes(l, op)
+                    && causality.po_precedes(op, u)
+            })
+    })
+}
+
+/// Checks the entry-consistency discipline of Corollary 1 against an
+/// explicit variable-to-lock mapping.
+///
+/// Every read of a mapped location must occur inside a read or write
+/// critical section of its lock; every write inside a write critical
+/// section. Commutative updates are treated as writes. Locations absent
+/// from the mapping are reported via
+/// [`EntryViolation::NoLockAssigned`].
+///
+/// # Errors
+///
+/// Returns all violations, or a [`CausalityError`] for cyclic histories.
+pub fn check_entry_consistent(
+    h: &History,
+    mapping: &LockMapping,
+) -> Result<(), EntryCheckError> {
+    let causality = Causality::new(h)?;
+    let mut violations = Vec::new();
+    for (id, op) in h.iter() {
+        let (loc, is_write) = match &op.kind {
+            OpKind::Read { loc, .. } => (*loc, false),
+            OpKind::Write { loc, .. } | OpKind::Update { loc, .. } => (*loc, true),
+            _ => continue,
+        };
+        let Some(&lock) = mapping.get(&loc) else {
+            violations.push(EntryViolation::NoLockAssigned { op: id, loc });
+            continue;
+        };
+        if is_write {
+            if !held_during(h, &causality, id, op.proc, lock, LockMode::Write) {
+                violations.push(EntryViolation::WriteWithoutWriteLock { op: id, lock });
+            }
+        } else if !held_during(h, &causality, id, op.proc, lock, LockMode::Read) {
+            violations.push(EntryViolation::ReadWithoutLock { op: id, lock });
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(EntryCheckError::Violations(violations))
+    }
+}
+
+/// Error type of [`check_entry_consistent`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EntryCheckError {
+    /// The causality relation is cyclic.
+    Causality(CausalityError),
+    /// The discipline was violated.
+    Violations(Vec<EntryViolation>),
+}
+
+impl fmt::Display for EntryCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryCheckError::Causality(e) => write!(f, "{e}"),
+            EntryCheckError::Violations(vs) => {
+                writeln!(f, "{} entry-consistency violation(s):", vs.len())?;
+                for v in vs {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EntryCheckError {}
+
+impl From<CausalityError> for EntryCheckError {
+    fn from(e: CausalityError) -> Self {
+        EntryCheckError::Causality(e)
+    }
+}
+
+/// Infers a variable-to-lock mapping under which the history is
+/// entry-consistent, if one exists.
+///
+/// For each accessed location the candidate set is the intersection, over
+/// all accesses, of the locks held in the required mode; any member is a
+/// valid assignment (the smallest id is chosen). Returns `None` if some
+/// accessed location has an empty candidate set.
+///
+/// # Errors
+///
+/// Returns a [`CausalityError`] for cyclic histories.
+pub fn infer_lock_mapping(h: &History) -> Result<Option<LockMapping>, CausalityError> {
+    let causality = Causality::new(h)?;
+    let all_locks: Vec<LockId> = h.lock_epochs().keys().copied().collect();
+    let mut candidates: HashMap<Loc, Vec<LockId>> = HashMap::new();
+    for (id, op) in h.iter() {
+        let (loc, mode) = match &op.kind {
+            OpKind::Read { loc, .. } => (*loc, LockMode::Read),
+            OpKind::Write { loc, .. } | OpKind::Update { loc, .. } => {
+                (*loc, LockMode::Write)
+            }
+            _ => continue,
+        };
+        let held: Vec<LockId> = all_locks
+            .iter()
+            .copied()
+            .filter(|&l| held_during(h, &causality, id, op.proc, l, mode))
+            .collect();
+        match candidates.get_mut(&loc) {
+            None => {
+                candidates.insert(loc, held);
+            }
+            Some(prev) => prev.retain(|l| held.contains(l)),
+        }
+    }
+    let mut mapping = LockMapping::new();
+    for (loc, cands) in candidates {
+        match cands.first() {
+            Some(&l) => {
+                mapping.insert(loc, l);
+            }
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(mapping))
+}
+
+/// A violation of the PRAM-consistency (phase-program) discipline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PhaseViolation {
+    /// Two writes to the same location in one phase.
+    MultipleWritesInPhase {
+        /// The location written twice.
+        loc: Loc,
+        /// The first write.
+        first: OpId,
+        /// The second write.
+        second: OpId,
+        /// The phase index.
+        phase: usize,
+    },
+    /// A read unordered with a same-phase write of the same location
+    /// (nondeterministic across serializations).
+    ReadNotAfterWrite {
+        /// The offending read.
+        read: OpId,
+        /// The same-phase write it fails to follow.
+        write: OpId,
+        /// The phase index.
+        phase: usize,
+    },
+}
+
+impl fmt::Display for PhaseViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhaseViolation::MultipleWritesInPhase { loc, first, second, phase } => {
+                write!(f, "{loc} written twice in phase {phase} ({first}, {second})")
+            }
+            PhaseViolation::ReadNotAfterWrite { read, write, phase } => {
+                write!(f, "{read} unordered with same-phase write {write} (phase {phase})")
+            }
+        }
+    }
+}
+
+/// Error type of [`check_pram_consistent_program`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PhaseCheckError {
+    /// The causality relation is cyclic.
+    Causality(CausalityError),
+    /// The discipline was violated.
+    Violations(Vec<PhaseViolation>),
+}
+
+impl fmt::Display for PhaseCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhaseCheckError::Causality(e) => write!(f, "{e}"),
+            PhaseCheckError::Violations(vs) => {
+                writeln!(f, "{} phase-discipline violation(s):", vs.len())?;
+                for v in vs {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhaseCheckError {}
+
+impl From<CausalityError> for PhaseCheckError {
+    fn from(e: CausalityError) -> Self {
+        PhaseCheckError::Causality(e)
+    }
+}
+
+/// Checks the PRAM-consistency discipline of Corollary 2: between
+/// consecutive barriers (a *computation phase*), every location is written
+/// at most once, and any same-phase read of a written location is ordered
+/// with the write by the causality relation (reads-after see the value,
+/// program-order-earlier reads are the deterministic read-modify-write
+/// idiom).
+///
+/// An operation's phase is the number of barrier operations preceding it
+/// in its process's program order (all barrier objects pooled); barrier
+/// synchronization aligns these counters across processes.
+///
+/// # Errors
+///
+/// Returns all violations, or a [`CausalityError`] for cyclic histories.
+pub fn check_pram_consistent_program(h: &History) -> Result<(), PhaseCheckError> {
+    let causality = Causality::new(h)?;
+
+    // Phase of each op: number of barrier ops of the same process that
+    // precede it in program order.
+    let mut phase = vec![0usize; h.len()];
+    for (id, op) in h.iter() {
+        let p = op.proc;
+        phase[id.index()] = h
+            .proc_ops(p)
+            .iter()
+            .filter(|&&o| {
+                matches!(h.op(o).kind, OpKind::Barrier { .. })
+                    && causality.po_precedes(o, id)
+            })
+            .count();
+    }
+
+    let mut violations = Vec::new();
+    // Writes per (phase, loc).
+    let mut writes: HashMap<(usize, Loc), OpId> = HashMap::new();
+    for (id, op) in h.iter() {
+        let loc = match &op.kind {
+            OpKind::Write { loc, .. } | OpKind::Update { loc, .. } => *loc,
+            _ => continue,
+        };
+        let ph = phase[id.index()];
+        if let Some(&first) = writes.get(&(ph, loc)) {
+            violations.push(PhaseViolation::MultipleWritesInPhase {
+                loc,
+                first,
+                second: id,
+                phase: ph,
+            });
+        } else {
+            writes.insert((ph, loc), id);
+        }
+    }
+    for (id, op) in h.iter() {
+        let loc = match &op.kind {
+            OpKind::Read { loc, .. } | OpKind::Await { loc, .. } => *loc,
+            _ => continue,
+        };
+        let ph = phase[id.index()];
+        if let Some(&w) = writes.get(&(ph, loc)) {
+            // A same-phase read must be *ordered* with the write: after it
+            // (sees the new value in every serialization) or before it
+            // (the read-modify-write idiom — sees the old value in every
+            // serialization). Only unordered pairs are nondeterministic.
+            if w != id && !causality.precedes(w, id) && !causality.precedes(id, w) {
+                violations.push(PhaseViolation::ReadNotAfterWrite {
+                    read: id,
+                    write: w,
+                    phase: ph,
+                });
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(PhaseCheckError::Violations(violations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::ids::{BarrierId, BarrierRound};
+    use crate::op::ReadLabel;
+    use crate::value::Value;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    fn entry_consistent_history() -> History {
+        use LockMode::{Read as R, Write as W};
+        let mut b = HistoryBuilder::new(2);
+        let l = LockId(0);
+        b.push_lock(p(0), l, W);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_unlock(p(0), l, W);
+        b.push_lock(p(1), l, R);
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        b.push_unlock(p(1), l, R);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn entry_consistent_accepts_disciplined_history() {
+        let h = entry_consistent_history();
+        let mapping: LockMapping = [(Loc(0), LockId(0))].into_iter().collect();
+        check_entry_consistent(&h, &mapping).unwrap();
+    }
+
+    #[test]
+    fn entry_consistent_rejects_unlocked_write() {
+        let mut b = HistoryBuilder::new(1);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        let h = b.build().unwrap();
+        let mapping: LockMapping = [(Loc(0), LockId(0))].into_iter().collect();
+        let err = check_entry_consistent(&h, &mapping).unwrap_err();
+        let EntryCheckError::Violations(vs) = err else { panic!() };
+        assert!(matches!(vs[0], EntryViolation::WriteWithoutWriteLock { .. }));
+    }
+
+    #[test]
+    fn entry_consistent_rejects_read_under_wrong_lock() {
+        use LockMode::Read as R;
+        let mut b = HistoryBuilder::new(1);
+        b.push_lock(p(0), LockId(1), R);
+        b.push_read(p(0), Loc(0), ReadLabel::Causal, Value::Int(0));
+        b.push_unlock(p(0), LockId(1), R);
+        let h = b.build().unwrap();
+        let mapping: LockMapping = [(Loc(0), LockId(0))].into_iter().collect();
+        let err = check_entry_consistent(&h, &mapping).unwrap_err();
+        let EntryCheckError::Violations(vs) = err else { panic!() };
+        assert!(matches!(vs[0], EntryViolation::ReadWithoutLock { .. }));
+    }
+
+    #[test]
+    fn entry_consistent_write_under_read_lock_fails() {
+        use LockMode::Read as R;
+        let mut b = HistoryBuilder::new(1);
+        b.push_lock(p(0), LockId(0), R);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_unlock(p(0), LockId(0), R);
+        let h = b.build().unwrap();
+        let mapping: LockMapping = [(Loc(0), LockId(0))].into_iter().collect();
+        assert!(check_entry_consistent(&h, &mapping).is_err());
+    }
+
+    #[test]
+    fn missing_mapping_is_reported() {
+        let h = entry_consistent_history();
+        let mapping = LockMapping::new();
+        let err = check_entry_consistent(&h, &mapping).unwrap_err();
+        let EntryCheckError::Violations(vs) = err else { panic!() };
+        assert!(vs.iter().all(|v| matches!(v, EntryViolation::NoLockAssigned { .. })));
+    }
+
+    #[test]
+    fn mapping_inference_finds_the_lock() {
+        let h = entry_consistent_history();
+        let mapping = infer_lock_mapping(&h).unwrap().expect("inferable");
+        assert_eq!(mapping.get(&Loc(0)), Some(&LockId(0)));
+        check_entry_consistent(&h, &mapping).unwrap();
+    }
+
+    #[test]
+    fn mapping_inference_fails_for_unguarded_access() {
+        let mut b = HistoryBuilder::new(1);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        let h = b.build().unwrap();
+        assert_eq!(infer_lock_mapping(&h).unwrap(), None);
+    }
+
+    fn phase_program(read_in_write_phase: bool) -> History {
+        // Fig. 2 shape: phase 0 writes temp, barrier, phase 1 reads temp.
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        if read_in_write_phase {
+            b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(0));
+        }
+        b.push_barrier(p(0), BarrierId(0), BarrierRound(0));
+        b.push_barrier(p(1), BarrierId(0), BarrierRound(0));
+        b.push_read(p(1), Loc(0), ReadLabel::Pram, Value::Int(1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn phase_program_accepts_fig2_shape() {
+        check_pram_consistent_program(&phase_program(false)).unwrap();
+    }
+
+    #[test]
+    fn phase_program_rejects_same_phase_unordered_read() {
+        let err = check_pram_consistent_program(&phase_program(true)).unwrap_err();
+        let PhaseCheckError::Violations(vs) = err else { panic!() };
+        assert!(matches!(vs[0], PhaseViolation::ReadNotAfterWrite { .. }));
+    }
+
+    #[test]
+    fn phase_program_rejects_double_write() {
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(1), Loc(0), Value::Int(2));
+        let h = b.build().unwrap();
+        let err = check_pram_consistent_program(&h).unwrap_err();
+        let PhaseCheckError::Violations(vs) = err else { panic!() };
+        assert!(matches!(vs[0], PhaseViolation::MultipleWritesInPhase { .. }));
+    }
+
+    #[test]
+    fn same_process_read_after_write_in_phase_is_fine() {
+        let mut b = HistoryBuilder::new(1);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_read(p(0), Loc(0), ReadLabel::Pram, Value::Int(1));
+        let h = b.build().unwrap();
+        check_pram_consistent_program(&h).unwrap();
+    }
+
+    #[test]
+    fn phases_advance_with_barriers() {
+        // Write in phase 0 and phase 1 to the same loc: allowed (different
+        // phases).
+        let mut b = HistoryBuilder::new(1);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_barrier(p(0), BarrierId(0), BarrierRound(0));
+        b.push_write(p(0), Loc(0), Value::Int(2));
+        let h = b.build().unwrap();
+        check_pram_consistent_program(&h).unwrap();
+    }
+
+    #[test]
+    fn violation_displays() {
+        let v = PhaseViolation::MultipleWritesInPhase {
+            loc: Loc(0),
+            first: OpId(0),
+            second: OpId(1),
+            phase: 0,
+        };
+        assert!(v.to_string().contains("written twice"));
+        let e = EntryViolation::NoLockAssigned { op: OpId(0), loc: Loc(0) };
+        assert!(e.to_string().contains("no assigned lock"));
+    }
+}

@@ -1,0 +1,478 @@
+//! Sequential consistency (Definition 1): serialization replay and an
+//! exact, memoized search for a sequential serialization.
+//!
+//! A history is *sequentially consistent* if at least one serialization — a
+//! total order on its operations respecting the causality relation `;` — is
+//! a *sequential history*, i.e. every read returns the value written by the
+//! most recent write in that order (Section 3.2 of the paper).
+//!
+//! Deciding this is NP-hard in general, so [`check_sequential`] is an exact
+//! backtracking search with state memoization and an explicit budget; it is
+//! intended for the litmus-sized histories used in tests. For polynomially
+//! checkable *sufficient* conditions use the Theorem 1 machinery in
+//! [`crate::commute`].
+
+use std::collections::{HashMap, HashSet};
+
+use crate::causality::{Causality, CausalityError};
+use crate::history::History;
+use crate::ids::{Loc, OpId};
+use crate::op::OpKind;
+use crate::value::Value;
+
+/// Outcome of the sequential-consistency search.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScVerdict {
+    /// A sequential serialization exists; the witness order is returned.
+    SequentiallyConsistent(Vec<OpId>),
+    /// No serialization of the history is sequential.
+    NotSequentiallyConsistent,
+    /// The search exhausted its state budget before deciding.
+    Unknown,
+}
+
+impl ScVerdict {
+    /// Returns `true` for [`ScVerdict::SequentiallyConsistent`].
+    pub fn is_sc(&self) -> bool {
+        matches!(self, ScVerdict::SequentiallyConsistent(_))
+    }
+}
+
+/// Why replaying a serialization failed at some position.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplayError {
+    /// The order is not a permutation of the history's operations.
+    NotAPermutation,
+    /// The order violates the causality relation at this position.
+    CausalityViolated {
+        /// Index in the order where the violation was detected.
+        position: usize,
+    },
+    /// A read or await returned a value different from the current memory.
+    ValueMismatch {
+        /// Index in the order of the offending operation.
+        position: usize,
+        /// The value memory held at that point.
+        expected: Value,
+    },
+    /// An update was applied to a non-integer value.
+    UpdateOnNonInteger {
+        /// Index in the order of the offending operation.
+        position: usize,
+    },
+}
+
+/// Replays `order` as a candidate sequential history.
+///
+/// Checks that the order is a permutation of the operations, respects `;`,
+/// and that every read and await observes the most recent write.
+///
+/// # Errors
+///
+/// Returns the first [`ReplayError`] encountered.
+pub fn replay_serialization(
+    h: &History,
+    causality: &Causality<'_>,
+    order: &[OpId],
+) -> Result<(), ReplayError> {
+    if order.len() != h.len() {
+        return Err(ReplayError::NotAPermutation);
+    }
+    let mut seen = vec![false; h.len()];
+    for &o in order {
+        if seen[o.index()] {
+            return Err(ReplayError::NotAPermutation);
+        }
+        seen[o.index()] = true;
+    }
+    // Causality: for each pair a before b in the order, we must not have
+    // b ; a. Checking all pairs is O(n^2) which is fine at litmus scale.
+    let mut pos = vec![0usize; h.len()];
+    for (i, &o) in order.iter().enumerate() {
+        pos[o.index()] = i;
+    }
+    for (id, _) in h.iter() {
+        for (id2, _) in h.iter() {
+            if causality.precedes(id, id2) && pos[id.index()] > pos[id2.index()] {
+                return Err(ReplayError::CausalityViolated {
+                    position: pos[id.index()],
+                });
+            }
+        }
+    }
+
+    let mut mem: HashMap<Loc, Value> = HashMap::new();
+    let read_mem =
+        |mem: &HashMap<Loc, Value>, loc: Loc| mem.get(&loc).copied().unwrap_or(h.initial(loc));
+    for (i, &o) in order.iter().enumerate() {
+        match &h.op(o).kind {
+            OpKind::Read { loc, value, .. } | OpKind::Await { loc, value, .. } => {
+                let cur = read_mem(&mem, *loc);
+                if cur != *value {
+                    return Err(ReplayError::ValueMismatch { position: i, expected: cur });
+                }
+            }
+            OpKind::Write { loc, value, .. } => {
+                mem.insert(*loc, *value);
+            }
+            OpKind::Update { loc, delta, .. } => {
+                let cur = read_mem(&mem, *loc);
+                let Some(next) = cur.checked_add(*delta) else {
+                    return Err(ReplayError::UpdateOnNonInteger { position: i });
+                };
+                mem.insert(*loc, next);
+            }
+            OpKind::Lock { .. } | OpKind::Unlock { .. } | OpKind::Barrier { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+/// Default state budget for [`check_sequential`].
+pub const DEFAULT_STATE_BUDGET: usize = 2_000_000;
+
+/// Searches for a sequential serialization of `h` with the default budget.
+///
+/// # Errors
+///
+/// Returns a [`CausalityError`] if `;` is cyclic.
+pub fn check_sequential(h: &History) -> Result<ScVerdict, CausalityError> {
+    check_sequential_with_budget(h, DEFAULT_STATE_BUDGET)
+}
+
+/// Searches for a sequential serialization of `h`, visiting at most
+/// `max_states` distinct search states.
+///
+/// The search walks serializations respecting `;` and prunes any prefix in
+/// which a read or await disagrees with the current memory; `(executed
+/// set, memory)` pairs are memoized so equivalent prefixes are explored
+/// once.
+///
+/// # Errors
+///
+/// Returns a [`CausalityError`] if `;` is cyclic.
+pub fn check_sequential_with_budget(
+    h: &History,
+    max_states: usize,
+) -> Result<ScVerdict, CausalityError> {
+    let causality = Causality::new(h)?;
+    let n = h.len();
+    if n == 0 {
+        return Ok(ScVerdict::SequentiallyConsistent(Vec::new()));
+    }
+
+    // Build the generating DAG of ; (same reachability, fewer edges).
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut indeg: Vec<u32> = vec![0; n];
+    let add = |edges: &[(OpId, OpId)], succs: &mut Vec<Vec<u32>>, indeg: &mut Vec<u32>| {
+        for &(a, b) in edges {
+            succs[a.index()].push(b.0);
+            indeg[b.index()] += 1;
+        }
+    };
+    add(h.po_edges(), &mut succs, &mut indeg);
+    add(causality.lock_edges(), &mut succs, &mut indeg);
+    add(causality.bar_edges(), &mut succs, &mut indeg);
+    add(causality.await_edges(), &mut succs, &mut indeg);
+    add(causality.rf_edges(), &mut succs, &mut indeg);
+
+    let mut searcher = Searcher {
+        h,
+        succs,
+        indeg,
+        mem: HashMap::new(),
+        done: vec![false; n],
+        order: Vec::with_capacity(n),
+        visited: HashSet::new(),
+        states: 0,
+        max_states,
+    };
+    let found = searcher.dfs();
+    if found {
+        Ok(ScVerdict::SequentiallyConsistent(searcher.order))
+    } else if searcher.states >= searcher.max_states {
+        Ok(ScVerdict::Unknown)
+    } else {
+        Ok(ScVerdict::NotSequentiallyConsistent)
+    }
+}
+
+struct Searcher<'h> {
+    h: &'h History,
+    succs: Vec<Vec<u32>>,
+    indeg: Vec<u32>,
+    mem: HashMap<Loc, Value>,
+    done: Vec<bool>,
+    order: Vec<OpId>,
+    visited: HashSet<(Vec<u64>, Vec<(Loc, Value)>)>,
+    states: usize,
+    max_states: usize,
+}
+
+impl Searcher<'_> {
+    fn state_key(&self) -> (Vec<u64>, Vec<(Loc, Value)>) {
+        let mut bits = vec![0u64; self.done.len().div_ceil(64)];
+        for (i, &d) in self.done.iter().enumerate() {
+            if d {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let mut mem: Vec<(Loc, Value)> = self.mem.iter().map(|(&l, &v)| (l, v)).collect();
+        mem.sort_by_key(|&(l, _)| l);
+        (bits, mem)
+    }
+
+    fn read_mem(&self, loc: Loc) -> Value {
+        self.mem.get(&loc).copied().unwrap_or(self.h.initial(loc))
+    }
+
+    /// Returns `true` once a full sequential serialization is found.
+    fn dfs(&mut self) -> bool {
+        if self.order.len() == self.done.len() {
+            return true;
+        }
+        if self.states >= self.max_states {
+            return false;
+        }
+        self.states += 1;
+        if !self.visited.insert(self.state_key()) {
+            return false;
+        }
+        let frontier: Vec<usize> = (0..self.done.len())
+            .filter(|&i| !self.done[i] && self.indeg[i] == 0)
+            .collect();
+        for i in frontier {
+            let op = self.h.op(OpId(i as u32));
+            // Value constraint and state delta.
+            let undo: Option<(Loc, Option<Value>)> = match &op.kind {
+                OpKind::Read { loc, value, .. } | OpKind::Await { loc, value, .. } => {
+                    if self.read_mem(*loc) != *value {
+                        continue;
+                    }
+                    None
+                }
+                OpKind::Write { loc, value, .. } => {
+                    let prev = self.mem.insert(*loc, *value);
+                    Some((*loc, prev))
+                }
+                OpKind::Update { loc, delta, .. } => {
+                    let cur = self.read_mem(*loc);
+                    let Some(next) = cur.checked_add(*delta) else {
+                        continue;
+                    };
+                    let prev = self.mem.insert(*loc, next);
+                    Some((*loc, prev))
+                }
+                _ => None,
+            };
+            self.done[i] = true;
+            self.order.push(OpId(i as u32));
+            for s in 0..self.succs[i].len() {
+                let t = self.succs[i][s] as usize;
+                self.indeg[t] -= 1;
+            }
+
+            if self.dfs() {
+                return true;
+            }
+
+            for s in 0..self.succs[i].len() {
+                let t = self.succs[i][s] as usize;
+                self.indeg[t] += 1;
+            }
+            self.order.pop();
+            self.done[i] = false;
+            if let Some((loc, prev)) = undo {
+                match prev {
+                    Some(v) => {
+                        self.mem.insert(loc, v);
+                    }
+                    None => {
+                        self.mem.remove(&loc);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::ids::ProcId;
+    use crate::op::ReadLabel;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn empty_history_is_sc() {
+        let h = HistoryBuilder::new(0).build().unwrap();
+        assert!(check_sequential(&h).unwrap().is_sc());
+    }
+
+    #[test]
+    fn single_write_read_is_sc() {
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        let verdict = check_sequential(&h).unwrap();
+        let ScVerdict::SequentiallyConsistent(order) = &verdict else {
+            panic!("{verdict:?}")
+        };
+        let causality = Causality::new(&h).unwrap();
+        replay_serialization(&h, &causality, order).unwrap();
+    }
+
+    #[test]
+    fn read_your_writes_out_of_order_is_not_sc() {
+        // p0: w(x)1; w(x)2. p1: r(x)2; r(x)1 — no serialization works.
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(0), Loc(0), Value::Int(2));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(2));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        assert_eq!(
+            check_sequential(&h).unwrap(),
+            ScVerdict::NotSequentiallyConsistent
+        );
+    }
+
+    #[test]
+    fn opposite_orders_of_concurrent_writes_are_not_sc() {
+        // Causal but not SC: two observers disagree on the write order.
+        let mut b = HistoryBuilder::new(4);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(1), Loc(0), Value::Int(2));
+        b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(1));
+        b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(2));
+        b.push_read(p(3), Loc(0), ReadLabel::Causal, Value::Int(2));
+        b.push_read(p(3), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        assert!(crate::check::check_causal(&h).is_ok());
+        assert_eq!(
+            check_sequential(&h).unwrap(),
+            ScVerdict::NotSequentiallyConsistent
+        );
+    }
+
+    #[test]
+    fn dekker_litmus_all_zero_is_not_sc() {
+        // w(x)1; r(y)0 || w(y)1; r(x)0 — the classic store-buffer outcome,
+        // forbidden by SC, allowed by causal memory.
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_read(p(0), Loc(1), ReadLabel::Causal, Value::Int(0));
+        b.push_write(p(1), Loc(1), Value::Int(1));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(0));
+        let h = b.build().unwrap();
+        assert!(crate::check::check_causal(&h).is_ok());
+        assert_eq!(
+            check_sequential(&h).unwrap(),
+            ScVerdict::NotSequentiallyConsistent
+        );
+    }
+
+    #[test]
+    fn interleaving_with_constraints_is_found() {
+        // p0: w(x)1; w(y)1. p1: r(y)1; w(x)2. p2: r(x)2; r(x)... must
+        // order p1's write after p0's both. A consistent outcome:
+        let mut b = HistoryBuilder::new(3);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(0), Loc(1), Value::Int(1));
+        b.push_read(p(1), Loc(1), ReadLabel::Causal, Value::Int(1));
+        b.push_write(p(1), Loc(0), Value::Int(2));
+        b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(2));
+        let h = b.build().unwrap();
+        assert!(check_sequential(&h).unwrap().is_sc());
+    }
+
+    #[test]
+    fn updates_serialize_like_increments() {
+        // Two concurrent decrements from 2; a reader sees 0 after awaiting.
+        let mut b = HistoryBuilder::new(3);
+        b.set_initial(Loc(0), Value::Int(2));
+        let (_, u0) = b.push_update(p(0), Loc(0), -1);
+        let (_, u1) = b.push_update(p(1), Loc(0), -1);
+        b.push(
+            p(2),
+            OpKind::Await { loc: Loc(0), value: Value::Int(0), writers: vec![u0, u1] },
+        );
+        let h = b.build().unwrap();
+        assert!(check_sequential(&h).unwrap().is_sc());
+    }
+
+    #[test]
+    fn replay_rejects_bad_orders() {
+        let mut b = HistoryBuilder::new(2);
+        let (w, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let r = b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        let causality = Causality::new(&h).unwrap();
+        // Read before write: value mismatch or causality violation.
+        let err = replay_serialization(&h, &causality, &[r, w]).unwrap_err();
+        assert!(matches!(err, ReplayError::CausalityViolated { .. }));
+        // Wrong length.
+        assert_eq!(
+            replay_serialization(&h, &causality, &[w]),
+            Err(ReplayError::NotAPermutation)
+        );
+        // Duplicates.
+        assert_eq!(
+            replay_serialization(&h, &causality, &[w, w]),
+            Err(ReplayError::NotAPermutation)
+        );
+    }
+
+    #[test]
+    fn replay_detects_value_mismatch() {
+        // Two concurrent writes; a read of the first placed after the
+        // second in the serialization.
+        let mut b = HistoryBuilder::new(3);
+        let (w1, _) = b.push_write(p(0), Loc(0), Value::Int(1));
+        let (w2, _) = b.push_write(p(1), Loc(0), Value::Int(2));
+        let r = b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        let causality = Causality::new(&h).unwrap();
+        // Reads-from makes w1 ; r, but w2 is unordered: w1, w2, r violates
+        // the value constraint only.
+        let err = replay_serialization(&h, &causality, &[w1, w2, r]).unwrap_err();
+        assert!(matches!(err, ReplayError::ValueMismatch { position: 2, .. }));
+        replay_serialization(&h, &causality, &[w2, w1, r]).unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_write(p(1), Loc(1), Value::Int(1));
+        b.push_read(p(0), Loc(1), ReadLabel::Causal, Value::Int(1));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+        let h = b.build().unwrap();
+        assert_eq!(
+            check_sequential_with_budget(&h, 1).unwrap(),
+            ScVerdict::Unknown
+        );
+    }
+
+    #[test]
+    fn sc_respects_barriers() {
+        // A read of a pre-barrier value placed after the barrier cannot be
+        // serialized before the write.
+        let mut b = HistoryBuilder::new(2);
+        b.push_write(p(0), Loc(0), Value::Int(1));
+        b.push_barrier(p(0), crate::BarrierId(0), crate::BarrierRound(0));
+        b.push_barrier(p(1), crate::BarrierId(0), crate::BarrierRound(0));
+        b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(0));
+        let h = b.build().unwrap();
+        assert_eq!(
+            check_sequential(&h).unwrap(),
+            ScVerdict::NotSequentiallyConsistent
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! A line-based text format for histories: persist litmus tests, share
+//! counterexamples, feed the `mc-check` command-line tool.
+//!
+//! The format is one operation per line, in global (grant/completion)
+//! order, with `#` comments:
+//!
+//! ```text
+//! # mixed-consistency history v1
+//! procs 3
+//! init x1 = 5
+//! p0 w x0 42 id=0:1
+//! p1 r pram x0 42 from=0:1
+//! p1 r causal x1 5 from=init
+//! p0 u x2 += -1 id=0:2
+//! p0 wl l0
+//! p0 wu l0
+//! p2 rl l0
+//! p2 ru l0
+//! p0 b b0 k0
+//! p1 a x0 = 42 from=0:1
+//! ```
+//!
+//! Values are `<int>`, `<float with a dot or exponent>`, `true`/`false`.
+//! Write identities are `proc:seq`; `from=` on reads/awaits is optional
+//! (omitted writers are resolved by unique value at build time) and
+//! `from=init` names the initial value. Await sources may list several
+//! ids separated by commas.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::history::{History, HistoryBuilder, MalformedHistory};
+use crate::ids::{BarrierId, BarrierRound, LockId, Loc, ProcId, WriteId};
+use crate::op::{LockMode, OpKind, ReadLabel};
+use crate::value::Value;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceError {
+    /// The line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed operations do not form a well-formed history.
+    Malformed(MalformedHistory),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            TraceError::Malformed(e) => write!(f, "malformed history: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<MalformedHistory> for TraceError {
+    fn from(e: MalformedHistory) -> Self {
+        TraceError::Malformed(e)
+    }
+}
+
+fn fmt_value(v: Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::F64(x) => {
+            let s = format!("{x}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+fn fmt_wid(w: WriteId) -> String {
+    if w.is_initial() {
+        "init".to_string()
+    } else {
+        format!("{}:{}", w.proc.0, w.seq)
+    }
+}
+
+/// Serializes a history to the text format.
+pub fn to_text(h: &History) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# mixed-consistency history v1");
+    let _ = writeln!(out, "procs {}", h.nprocs());
+    // Initial values: emit every location with a non-default initial.
+    let mut locs: Vec<Loc> = h
+        .ops()
+        .iter()
+        .filter_map(|op| op.kind.loc())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    locs.sort();
+    for l in locs {
+        let init = h.initial(l);
+        if init != Value::INITIAL {
+            let _ = writeln!(out, "init x{} = {}", l.0, fmt_value(init));
+        }
+    }
+    for (id, op) in h.iter() {
+        let p = op.proc.0;
+        let line = match &op.kind {
+            OpKind::Write { loc, value, id } => {
+                format!("p{p} w x{} {} id={}", loc.0, fmt_value(*value), fmt_wid(*id))
+            }
+            OpKind::Update { loc, delta, id } => {
+                format!("p{p} u x{} += {} id={}", loc.0, fmt_value(*delta), fmt_wid(*id))
+            }
+            OpKind::Read { loc, label, value, .. } => {
+                let label = match label {
+                    ReadLabel::Pram => "pram",
+                    ReadLabel::Causal => "causal",
+                };
+                format!(
+                    "p{p} r {label} x{} {} from={}",
+                    loc.0,
+                    fmt_value(*value),
+                    fmt_wid(h.reads_from(id))
+                )
+            }
+            OpKind::Lock { lock, mode } => match mode {
+                LockMode::Write => format!("p{p} wl l{}", lock.0),
+                LockMode::Read => format!("p{p} rl l{}", lock.0),
+            },
+            OpKind::Unlock { lock, mode } => match mode {
+                LockMode::Write => format!("p{p} wu l{}", lock.0),
+                LockMode::Read => format!("p{p} ru l{}", lock.0),
+            },
+            OpKind::Barrier { barrier, round } => {
+                format!("p{p} b b{} k{}", barrier.0, round.0)
+            }
+            OpKind::Await { loc, value, .. } => {
+                let sources: Vec<String> =
+                    h.await_sources(id).iter().map(|w| fmt_wid(*w)).collect();
+                format!(
+                    "p{p} a x{} = {} from={}",
+                    loc.0,
+                    fmt_value(*value),
+                    sources.join(",")
+                )
+            }
+        };
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError::Syntax { line, message: message.into() }
+}
+
+fn parse_value(tok: &str, line: usize) -> Result<Value, TraceError> {
+    if tok == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if tok == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if tok.contains('.') || tok.contains('e') || tok.contains("inf") || tok.contains("NaN") {
+        return tok
+            .parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| syntax(line, format!("bad float `{tok}`")));
+    }
+    tok.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| syntax(line, format!("bad value `{tok}`")))
+}
+
+fn parse_prefixed(tok: &str, prefix: char, line: usize) -> Result<u32, TraceError> {
+    tok.strip_prefix(prefix)
+        .and_then(|s| s.parse::<u32>().ok())
+        .ok_or_else(|| syntax(line, format!("expected `{prefix}<n>`, got `{tok}`")))
+}
+
+fn parse_wid(tok: &str, line: usize) -> Result<Option<WriteId>, TraceError> {
+    if tok == "init" {
+        return Ok(None);
+    }
+    let (p, s) = tok
+        .split_once(':')
+        .ok_or_else(|| syntax(line, format!("expected `proc:seq`, got `{tok}`")))?;
+    let proc = p
+        .parse::<u32>()
+        .map_err(|_| syntax(line, format!("bad writer proc `{p}`")))?;
+    let seq = s
+        .parse::<u32>()
+        .map_err(|_| syntax(line, format!("bad writer seq `{s}`")))?;
+    Ok(Some(WriteId::new(ProcId(proc), seq)))
+}
+
+/// Parses the text format back into a validated [`History`].
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] on syntax errors or well-formedness failures.
+pub fn parse(text: &str) -> Result<History, TraceError> {
+    let mut builder: Option<HistoryBuilder> = None;
+    let mut pending_inits: Vec<(Loc, Value)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks[0] == "procs" {
+            if builder.is_some() {
+                return Err(syntax(lineno, "duplicate `procs` line"));
+            }
+            let n = toks
+                .get(1)
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| syntax(lineno, "expected `procs <n>`"))?;
+            let mut b = HistoryBuilder::new(n);
+            for (l, v) in pending_inits.drain(..) {
+                b.set_initial(l, v);
+            }
+            builder = Some(b);
+            continue;
+        }
+        if toks[0] == "init" {
+            // init x<loc> = <value>
+            if toks.len() != 4 || toks[2] != "=" {
+                return Err(syntax(lineno, "expected `init x<loc> = <value>`"));
+            }
+            let loc = Loc(parse_prefixed(toks[1], 'x', lineno)?);
+            let value = parse_value(toks[3], lineno)?;
+            match &mut builder {
+                Some(b) => {
+                    b.set_initial(loc, value);
+                }
+                None => pending_inits.push((loc, value)),
+            }
+            continue;
+        }
+
+        let b = builder
+            .as_mut()
+            .ok_or_else(|| syntax(lineno, "`procs <n>` must precede operations"))?;
+        let proc = ProcId(parse_prefixed(toks[0], 'p', lineno)?);
+        let op = *toks.get(1).ok_or_else(|| syntax(lineno, "missing operation"))?;
+        match op {
+            "w" => {
+                // p w x<loc> <value> id=<wid>
+                if toks.len() != 5 || !toks[4].starts_with("id=") {
+                    return Err(syntax(lineno, "expected `w x<loc> <value> id=<p:s>`"));
+                }
+                let loc = Loc(parse_prefixed(toks[2], 'x', lineno)?);
+                let value = parse_value(toks[3], lineno)?;
+                let id = parse_wid(&toks[4][3..], lineno)?
+                    .ok_or_else(|| syntax(lineno, "writes need a real id"))?;
+                b.push(proc, OpKind::Write { loc, value, id });
+            }
+            "u" => {
+                // p u x<loc> += <delta> id=<wid>
+                if toks.len() != 6 || toks[3] != "+=" || !toks[5].starts_with("id=") {
+                    return Err(syntax(lineno, "expected `u x<loc> += <delta> id=<p:s>`"));
+                }
+                let loc = Loc(parse_prefixed(toks[2], 'x', lineno)?);
+                let delta = parse_value(toks[4], lineno)?;
+                let id = parse_wid(&toks[5][3..], lineno)?
+                    .ok_or_else(|| syntax(lineno, "updates need a real id"))?;
+                b.push(proc, OpKind::Update { loc, delta, id });
+            }
+            "r" => {
+                // p r <label> x<loc> <value> [from=<wid>]
+                if toks.len() < 5 {
+                    return Err(syntax(lineno, "expected `r <label> x<loc> <value> [from=..]`"));
+                }
+                let label = match toks[2] {
+                    "pram" => ReadLabel::Pram,
+                    "causal" => ReadLabel::Causal,
+                    other => return Err(syntax(lineno, format!("bad label `{other}`"))),
+                };
+                let loc = Loc(parse_prefixed(toks[3], 'x', lineno)?);
+                let value = parse_value(toks[4], lineno)?;
+                let writer = match toks.get(5) {
+                    None => None,
+                    Some(t) if t.starts_with("from=") => {
+                        Some(parse_wid(&t[5..], lineno)?.unwrap_or(WriteId::initial(loc)))
+                    }
+                    Some(t) => return Err(syntax(lineno, format!("unexpected `{t}`"))),
+                };
+                b.push(proc, OpKind::Read { loc, label, value, writer });
+            }
+            "wl" | "rl" | "wu" | "ru" => {
+                if toks.len() != 3 {
+                    return Err(syntax(lineno, format!("expected `{op} l<lock>`")));
+                }
+                let lock = LockId(parse_prefixed(toks[2], 'l', lineno)?);
+                let mode = if op.starts_with('w') { LockMode::Write } else { LockMode::Read };
+                if op.ends_with('l') {
+                    b.push(proc, OpKind::Lock { lock, mode });
+                } else {
+                    b.push(proc, OpKind::Unlock { lock, mode });
+                }
+            }
+            "b" => {
+                // p b b<barrier> k<round>
+                if toks.len() != 4 {
+                    return Err(syntax(lineno, "expected `b b<barrier> k<round>`"));
+                }
+                let barrier = BarrierId(parse_prefixed(toks[2], 'b', lineno)?);
+                let round = BarrierRound(parse_prefixed(toks[3], 'k', lineno)?);
+                b.push(proc, OpKind::Barrier { barrier, round });
+            }
+            "a" => {
+                // p a x<loc> = <value> [from=<wid>,<wid>...]
+                if toks.len() < 5 || toks[3] != "=" {
+                    return Err(syntax(lineno, "expected `a x<loc> = <value> [from=..]`"));
+                }
+                let loc = Loc(parse_prefixed(toks[2], 'x', lineno)?);
+                let value = parse_value(toks[4], lineno)?;
+                let writers = match toks.get(5) {
+                    None => Vec::new(),
+                    Some(t) if t.starts_with("from=") => {
+                        let mut ws = Vec::new();
+                        for part in t[5..].split(',') {
+                            ws.push(
+                                parse_wid(part, lineno)?.unwrap_or(WriteId::initial(loc)),
+                            );
+                        }
+                        ws
+                    }
+                    Some(t) => return Err(syntax(lineno, format!("unexpected `{t}`"))),
+                };
+                b.push(proc, OpKind::Await { loc, value, writers });
+            }
+            other => return Err(syntax(lineno, format!("unknown operation `{other}`"))),
+        }
+    }
+    let b = builder.ok_or_else(|| syntax(0, "missing `procs <n>` line"))?;
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus;
+
+    fn roundtrip(h: &History) {
+        let text = to_text(h);
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert_eq!(parsed.len(), h.len());
+        assert_eq!(parsed.nprocs(), h.nprocs());
+        // Structural equality: same ops in the same order.
+        for (a, b) in h.ops().iter().zip(parsed.ops()) {
+            assert_eq!(a.proc, b.proc);
+            // Reads carry resolved writers after parsing; compare the
+            // printable form, which includes everything relevant.
+            assert_eq!(a.to_string(), b.to_string());
+        }
+        // And identical checker verdicts.
+        assert_eq!(
+            crate::check::check_mixed(h).is_ok(),
+            crate::check::check_mixed(&parsed).is_ok()
+        );
+        assert_eq!(to_text(&parsed), text, "serialization is a fixpoint");
+    }
+
+    #[test]
+    fn roundtrip_all_litmuses() {
+        roundtrip(&litmus::causality_chain(ReadLabel::Pram));
+        roundtrip(&litmus::store_buffer());
+        roundtrip(&litmus::write_order_disagreement());
+        roundtrip(&litmus::fifo_violation());
+        roundtrip(&litmus::lock_transitive_chain());
+        roundtrip(&litmus::entry_consistent_transfer());
+        roundtrip(&litmus::barrier_phase_program());
+        roundtrip(&litmus::producer_consumer_await());
+        roundtrip(&litmus::counter_await());
+        roundtrip(&litmus::figure1().history);
+    }
+
+    #[test]
+    fn parse_minimal_by_hand() {
+        let text = "
+# a comment
+procs 2
+init x1 = 5
+p0 w x0 42 id=0:1
+p1 r pram x0 42
+p1 r causal x1 5 from=init
+p1 a x0 = 42 from=0:1
+";
+        let h = parse(text).unwrap();
+        assert_eq!(h.nprocs(), 2);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.initial(Loc(1)), Value::Int(5));
+        crate::check::check_mixed(&h).unwrap();
+    }
+
+    #[test]
+    fn float_values_roundtrip() {
+        let mut b = HistoryBuilder::new(1);
+        b.push_write(ProcId(0), Loc(0), Value::F64(2.5));
+        b.push_write(ProcId(0), Loc(1), Value::F64(3.0));
+        b.push_read(ProcId(0), Loc(0), ReadLabel::Causal, Value::F64(2.5));
+        let h = b.build().unwrap();
+        roundtrip(&h);
+    }
+
+    #[test]
+    fn bool_values_roundtrip() {
+        let mut b = HistoryBuilder::new(1);
+        b.push_write(ProcId(0), Loc(0), Value::Bool(true));
+        b.push_read(ProcId(0), Loc(0), ReadLabel::Pram, Value::Bool(true));
+        roundtrip(&b.build().unwrap());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("procs 1\np0 zz x0").unwrap_err();
+        assert!(matches!(err, TraceError::Syntax { line: 2, .. }), "{err}");
+        let err = parse("p0 w x0 1 id=0:1").unwrap_err();
+        assert!(err.to_string().contains("procs"));
+        let err = parse("procs 1\np0 w x0 zzz id=0:1").unwrap_err();
+        assert!(err.to_string().contains("bad value"), "{err}");
+        let err = parse("procs 1\nprocs 2").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn malformed_histories_are_rejected() {
+        let err = parse("procs 1\np0 wu l0").unwrap_err();
+        assert!(matches!(err, TraceError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn ambiguous_read_reported() {
+        let text = "procs 2\np0 w x0 5 id=0:1\np1 w x0 5 id=1:1\np0 r pram x0 5";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("matches several"), "{err}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Values carried by memory operations.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A value stored in a shared memory location.
+///
+/// The model is value-agnostic; the applications in the paper need integers
+/// (phase counters, dependency counts), floating-point numbers (matrix
+/// entries, field samples) and booleans (`done` flags), so the library ships
+/// a small dynamic value type covering those.
+///
+/// Floating-point values compare **by bit pattern** so that `Value` can be
+/// `Eq + Hash` — the model requires deciding whether a read returned the
+/// value of a particular write, and bitwise identity is the right notion for
+/// that (a write stores exact bits; NaNs with equal bits are equal).
+///
+/// # Examples
+///
+/// ```
+/// use mc_model::Value;
+/// assert_eq!(Value::from(3i64), Value::Int(3));
+/// assert_eq!(Value::from(1.5f64).as_f64(), Some(1.5));
+/// assert_ne!(Value::F64(0.0), Value::F64(-0.0)); // bitwise comparison
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub enum Value {
+    /// A signed integer.
+    Int(i64),
+    /// A double-precision float (compared bitwise).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The default initial value of every memory location.
+    pub const INITIAL: Value = Value::Int(0);
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this is an [`Value::F64`].
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload or panics with a descriptive message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an [`Value::Int`].
+    pub fn expect_i64(self) -> i64 {
+        self.as_i64()
+            .unwrap_or_else(|| panic!("expected Value::Int, got {self:?}"))
+    }
+
+    /// Returns the float payload or panics with a descriptive message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an [`Value::F64`].
+    pub fn expect_f64(self) -> f64 {
+        self.as_f64()
+            .unwrap_or_else(|| panic!("expected Value::F64, got {self:?}"))
+    }
+
+    /// Returns the boolean payload or panics with a descriptive message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Value::Bool`].
+    pub fn expect_bool(self) -> bool {
+        self.as_bool()
+            .unwrap_or_else(|| panic!("expected Value::Bool, got {self:?}"))
+    }
+
+    /// Applies a commutative increment to this value.
+    ///
+    /// This is the semantics of the abstract "counter object" operations of
+    /// Section 5.3 of the paper (read / write / decrement): an integer
+    /// delta applies to an integer payload, a float delta to a float
+    /// payload. Mismatched kinds return `None`.
+    pub fn checked_add_delta(self, delta: i64) -> Option<Value> {
+        self.checked_add(Value::Int(delta))
+    }
+
+    /// Applies a commutative increment carried as a [`Value`].
+    ///
+    /// `Int + Int` and `F64 + F64` succeed; anything else returns `None`.
+    /// (The paper's Cholesky optimization decrements *matrix entries*, so
+    /// float counters are first-class.)
+    pub fn checked_add(self, delta: Value) -> Option<Value> {
+        match (self, delta) {
+            (Value::Int(v), Value::Int(d)) => Some(Value::Int(v.wrapping_add(d))),
+            (Value::F64(v), Value::F64(d)) => Some(Value::F64(v + d)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if applying this value as a delta is a no-op.
+    pub fn is_zero_delta(self) -> bool {
+        matches!(self, Value::Int(0)) || matches!(self, Value::F64(d) if d == 0.0)
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::INITIAL
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Value::F64(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Bool(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Int(3).as_f64(), None);
+        assert_eq!(Value::F64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Bool(true).as_i64(), None);
+        assert_eq!(Value::Int(7).expect_i64(), 7);
+        assert_eq!(Value::F64(1.0).expect_f64(), 1.0);
+        assert!(Value::Bool(true).expect_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Value::Int")]
+    fn expect_i64_panics_on_float() {
+        Value::F64(1.0).expect_i64();
+    }
+
+    #[test]
+    fn float_equality_is_bitwise() {
+        assert_eq!(Value::F64(f64::NAN), Value::F64(f64::NAN));
+        assert_ne!(Value::F64(0.0), Value::F64(-0.0));
+        assert_eq!(Value::F64(1.5), Value::F64(1.5));
+    }
+
+    #[test]
+    fn cross_kind_inequality() {
+        assert_ne!(Value::Int(0), Value::Bool(false));
+        assert_ne!(Value::Int(1), Value::F64(1.0));
+    }
+
+    #[test]
+    fn hashing_respects_equality() {
+        let mut s = HashSet::new();
+        s.insert(Value::F64(f64::NAN));
+        assert!(s.contains(&Value::F64(f64::NAN)));
+        s.insert(Value::Int(1));
+        s.insert(Value::Int(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn delta_application() {
+        assert_eq!(Value::Int(5).checked_add_delta(-2), Some(Value::Int(3)));
+        assert_eq!(Value::F64(1.0).checked_add_delta(1), None);
+        assert_eq!(
+            Value::Int(i64::MAX).checked_add_delta(1),
+            Some(Value::Int(i64::MIN))
+        );
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::F64(0.5).to_string(), "0.5");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::default(), Value::INITIAL);
+    }
+}

@@ -1,0 +1,212 @@
+//! History statistics and Graphviz export.
+//!
+//! Recorded histories are the central artifact of this library; this
+//! module summarizes them ([`stats`]) and renders their causality
+//! structure as a Graphviz digraph ([`to_dot`]) — program order as solid
+//! edges within per-process clusters, reads-from dashed, synchronization
+//! orders dotted.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::causality::Causality;
+use crate::history::History;
+use crate::op::OpKind;
+
+/// Operation and relation counts of a history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistoryStats {
+    /// Total operations.
+    pub ops: usize,
+    /// Read operations.
+    pub reads: usize,
+    /// Plain writes.
+    pub writes: usize,
+    /// Commutative updates.
+    pub updates: usize,
+    /// Lock + unlock operations.
+    pub lock_ops: usize,
+    /// Barrier operations.
+    pub barriers: usize,
+    /// Await operations.
+    pub awaits: usize,
+    /// Operations per process.
+    pub per_proc: Vec<usize>,
+    /// Distinct memory locations touched.
+    pub locations: usize,
+    /// Reads-from edges.
+    pub rf_edges: usize,
+    /// Generating lock-order edges.
+    pub lock_edges: usize,
+    /// Generating barrier-order edges.
+    pub bar_edges: usize,
+    /// Await-order edges.
+    pub await_edges: usize,
+}
+
+impl fmt::Display for HistoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ops ({} reads, {} writes, {} updates, {} lock ops, {} barriers, {} awaits)",
+            self.ops, self.reads, self.writes, self.updates, self.lock_ops, self.barriers,
+            self.awaits
+        )?;
+        writeln!(
+            f,
+            "{} locations; edges: {} rf, {} lock, {} barrier, {} await",
+            self.locations, self.rf_edges, self.lock_edges, self.bar_edges, self.await_edges
+        )?;
+        write!(f, "per process: {:?}", self.per_proc)
+    }
+}
+
+/// Computes summary statistics of a history.
+///
+/// # Errors
+///
+/// Returns the causality error for cyclic histories.
+pub fn stats(h: &History) -> Result<HistoryStats, crate::causality::CausalityError> {
+    let cz = Causality::new(h)?;
+    let mut s = HistoryStats { ops: h.len(), per_proc: vec![0; h.nprocs()], ..Default::default() };
+    let mut locs = std::collections::HashSet::new();
+    for (_, op) in h.iter() {
+        if !op.proc.is_init() {
+            s.per_proc[op.proc.index()] += 1;
+        }
+        if let Some(l) = op.kind.loc() {
+            locs.insert(l);
+        }
+        match op.kind {
+            OpKind::Read { .. } => s.reads += 1,
+            OpKind::Write { .. } => s.writes += 1,
+            OpKind::Update { .. } => s.updates += 1,
+            OpKind::Lock { .. } | OpKind::Unlock { .. } => s.lock_ops += 1,
+            OpKind::Barrier { .. } => s.barriers += 1,
+            OpKind::Await { .. } => s.awaits += 1,
+        }
+    }
+    s.locations = locs.len();
+    s.rf_edges = cz.rf_edges().len();
+    s.lock_edges = cz.reduced_lock_edges().len();
+    s.bar_edges = cz.reduced_bar_edges().len();
+    s.await_edges = cz.await_edges().len();
+    Ok(s)
+}
+
+/// Renders the history's causality structure as a Graphviz digraph.
+///
+/// Per-process clusters hold the program-order chains (solid edges);
+/// reads-from edges are dashed, the *reduced* lock/barrier orders and the
+/// await order are dotted with per-relation colors. Feed the output to
+/// `dot -Tsvg`.
+///
+/// # Errors
+///
+/// Returns the causality error for cyclic histories.
+pub fn to_dot(h: &History) -> Result<String, crate::causality::CausalityError> {
+    let cz = Causality::new(h)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph history {{");
+    let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontsize=10];");
+    for p in 0..h.nprocs() {
+        let _ = writeln!(out, "  subgraph cluster_p{p} {{");
+        let _ = writeln!(out, "    label=\"p{p}\"; style=dashed;");
+        for &id in h.proc_ops(crate::ProcId(p as u32)) {
+            let label = h.op(id).to_string().replace('"', "'");
+            let _ = writeln!(out, "    o{} [label=\"{}\"];", id.index(), label);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for &(a, b) in h.po_edges() {
+        let _ = writeln!(out, "  o{} -> o{};", a.index(), b.index());
+    }
+    for &(a, b) in cz.rf_edges() {
+        let _ = writeln!(
+            out,
+            "  o{} -> o{} [style=dashed, color=red, label=\"rf\"];",
+            a.index(),
+            b.index()
+        );
+    }
+    for &(a, b) in cz.reduced_lock_edges() {
+        let _ = writeln!(
+            out,
+            "  o{} -> o{} [style=dotted, color=blue, label=\"lock\"];",
+            a.index(),
+            b.index()
+        );
+    }
+    for &(a, b) in cz.reduced_bar_edges() {
+        let _ = writeln!(
+            out,
+            "  o{} -> o{} [style=dotted, color=darkgreen, label=\"bar\"];",
+            a.index(),
+            b.index()
+        );
+    }
+    for &(a, b) in cz.await_edges() {
+        let _ = writeln!(
+            out,
+            "  o{} -> o{} [style=dotted, color=purple, label=\"await\"];",
+            a.index(),
+            b.index()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus;
+
+    #[test]
+    fn stats_of_figure1() {
+        let fig = litmus::figure1();
+        let s = stats(&fig.history).unwrap();
+        assert_eq!(s.ops, fig.history.len());
+        assert_eq!(s.barriers, 3);
+        assert_eq!(s.lock_ops, 10, "4 rl + 4 ru + wl + wu");
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.per_proc.iter().sum::<usize>(), s.ops);
+        assert!(s.bar_edges > 0);
+        assert!(s.lock_edges > 0);
+        let text = s.to_string();
+        assert!(text.contains("ops") && text.contains("barrier"));
+    }
+
+    #[test]
+    fn stats_counts_kinds() {
+        let h = litmus::counter_await();
+        let s = stats(&h).unwrap();
+        assert_eq!(s.updates, 2);
+        assert_eq!(s.awaits, 1);
+        assert_eq!(s.await_edges, 2, "both updates are await sources");
+        assert_eq!(s.locations, 1);
+    }
+
+    #[test]
+    fn dot_contains_all_ops_and_relations() {
+        let fig = litmus::figure1();
+        let dot = to_dot(&fig.history).unwrap();
+        assert!(dot.starts_with("digraph history {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for id in fig.history.op_ids() {
+            assert!(dot.contains(&format!("o{} ", id.index())), "node {id}");
+        }
+        assert!(dot.contains("cluster_p0"));
+        assert!(dot.contains("color=blue"), "lock edges present");
+        assert!(dot.contains("color=darkgreen"), "barrier edges present");
+    }
+
+    #[test]
+    fn dot_for_rf_and_await() {
+        let h = litmus::producer_consumer_await();
+        let dot = to_dot(&h).unwrap();
+        assert!(dot.contains("color=red"), "reads-from edge");
+        assert!(dot.contains("color=purple"), "await edge");
+    }
+}

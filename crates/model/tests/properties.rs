@@ -1,0 +1,486 @@
+//! Property-based tests for the formal model.
+//!
+//! * algebraic laws of vector clocks;
+//! * transitive closure/reduction algebra on random DAGs;
+//! * the implication chain **SC ⇒ causal ⇒ PRAM** on randomly generated
+//!   well-formed histories (with unique write values, Definition 1's
+//!   value-matching is identity-matching, so the chain is a theorem —
+//!   the checkers must agree with it on every sample).
+
+use proptest::prelude::*;
+
+use mc_model::graph::Digraph;
+use mc_model::{
+    check, sc, BarrierId, BarrierRound, HistoryBuilder, LockId, LockMode, Loc, OpId,
+    ProcId, ReadLabel, VClock, Value,
+};
+
+// ---------------------------------------------------------------- vclock laws
+
+fn clock(n: usize) -> impl Strategy<Value = VClock> {
+    proptest::collection::vec(0u32..50, n).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn merge_commutes(a in clock(5), b in clock(5)) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_associates(a in clock(4), b in clock(4), c in clock(4)) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_least_upper_bound(a in clock(4), b in clock(4)) {
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(m.dominates(&a));
+        prop_assert!(m.dominates(&b));
+        // Least: any upper bound dominates the merge.
+        let mut ub = a.clone();
+        ub.merge(&b);
+        for (p, c) in ub.clone().iter() {
+            let _ = (p, c);
+        }
+        prop_assert!(ub.dominates(&m) && m.dominates(&ub));
+    }
+
+    #[test]
+    fn dominance_is_a_partial_order(a in clock(4), b in clock(4), c in clock(4)) {
+        // reflexive
+        prop_assert!(a.dominates(&a));
+        // antisymmetric
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+        // transitive
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+    }
+
+    #[test]
+    fn tick_strictly_increases(mut a in clock(4), p in 0u32..4) {
+        let before = a.clone();
+        a.tick(ProcId(p));
+        prop_assert!(a.dominates(&before));
+        prop_assert!(!before.dominates(&a));
+    }
+}
+
+// ------------------------------------------------------------------ DAG algebra
+
+/// Random DAG: edges only from lower to higher node index.
+fn dag(n: usize) -> impl Strategy<Value = Digraph> {
+    proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |pairs| {
+        let mut g = Digraph::new(n);
+        for (a, b) in pairs {
+            if a < b {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn closure_is_transitive_and_contains_edges(g in dag(12)) {
+        let c = g.transitive_closure().unwrap();
+        for (u, v) in g.edges() {
+            prop_assert!(c.get(u, v));
+        }
+        for u in 0..g.len() {
+            for v in 0..g.len() {
+                for w in 0..g.len() {
+                    if c.get(u, v) && c.get(v, w) {
+                        prop_assert!(c.get(u, w), "({u},{v},{w})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_preserves_reachability(g in dag(12)) {
+        let before = g.transitive_closure().unwrap();
+        let red = g.transitive_reduction().unwrap();
+        let after = red.transitive_closure().unwrap();
+        for u in 0..g.len() {
+            for v in 0..g.len() {
+                prop_assert_eq!(before.get(u, v), after.get(u, v), "({},{})", u, v);
+            }
+        }
+        prop_assert!(red.edge_count() <= g.edge_count());
+    }
+
+    #[test]
+    fn reduction_is_minimal(g in dag(9)) {
+        // Removing any edge from the reduction loses reachability.
+        let red = g.transitive_reduction().unwrap();
+        let full = red.transitive_closure().unwrap();
+        let edges: Vec<(usize, usize)> = red.edges().collect();
+        for (skip_idx, &(su, sv)) in edges.iter().enumerate() {
+            let mut g2 = Digraph::new(g.len());
+            for (i, &(u, v)) in edges.iter().enumerate() {
+                if i != skip_idx {
+                    g2.add_edge(u, v);
+                }
+            }
+            let c2 = g2.transitive_closure().unwrap();
+            prop_assert!(
+                !c2.get(su, sv) || !full.get(su, sv),
+                "edge ({su},{sv}) was redundant in the reduction"
+            );
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_edges(g in dag(14)) {
+        let order = g.topo_order().unwrap();
+        let mut pos = vec![0usize; g.len()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+        for (u, v) in g.edges() {
+            prop_assert!(pos[u] < pos[v]);
+        }
+    }
+}
+
+// ------------------------------------------------------ random history generation
+
+/// One generated instruction for the history builder.
+#[derive(Clone, Debug)]
+enum GenOp {
+    Write(u32),
+    Read { loc: u32, pick: u8 },
+    Cs { lock: u32, body: Vec<GenOp> },
+}
+
+fn gen_ops(depth: u32) -> impl Strategy<Value = GenOp> {
+    let leaf = prop_oneof![
+        (0u32..3).prop_map(GenOp::Write),
+        ((0u32..3), any::<u8>()).prop_map(|(loc, pick)| GenOp::Read { loc, pick }),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            4 => leaf,
+            1 => ((0u32..2), proptest::collection::vec(gen_ops(0), 1..3))
+                .prop_map(|(lock, body)| GenOp::Cs { lock, body }),
+        ]
+        .boxed()
+    }
+}
+
+/// A program: per-process op lists plus the number of barrier rounds.
+fn gen_program(
+    nprocs: usize,
+    max_ops: usize,
+) -> impl Strategy<Value = (Vec<Vec<GenOp>>, usize, u64)> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec(gen_ops(1), 1..=max_ops),
+            nprocs..=nprocs,
+        ),
+        0usize..2,
+        any::<u64>(),
+    )
+}
+
+/// Materializes a program into a well-formed history: processes are
+/// interleaved segment-by-segment (critical sections kept atomic so the
+/// derived lock epochs are valid), reads pick among values already
+/// written to the location (or the initial value).
+fn build_history(
+    progs: &[Vec<GenOp>],
+    barrier_rounds: usize,
+    interleave_seed: u64,
+) -> mc_model::History {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let nprocs = progs.len();
+    let mut b = HistoryBuilder::new(nprocs);
+    let mut rng = StdRng::seed_from_u64(interleave_seed);
+
+    // Split each program into `barrier_rounds + 1` chunks.
+    let mut segments: Vec<Vec<Vec<GenOp>>> = Vec::new();
+    for prog in progs {
+        let chunk = prog.len().div_ceil(barrier_rounds + 1).max(1);
+        let mut chunks: Vec<Vec<GenOp>> =
+            prog.chunks(chunk).map(|c| c.to_vec()).collect();
+        chunks.resize(barrier_rounds + 1, Vec::new());
+        segments.push(chunks);
+    }
+
+    // Values written so far per location (for read resolution), with a
+    // global unique-value counter.
+    let mut written: Vec<Vec<i64>> = vec![Vec::new(); 4];
+    let mut next_val = 1i64;
+
+    let mut emit = |b: &mut HistoryBuilder,
+                    p: ProcId,
+                    op: &GenOp,
+                    written: &mut Vec<Vec<i64>>,
+                    next_val: &mut i64,
+                    rng: &mut StdRng| {
+        match op {
+            GenOp::Write(loc) => {
+                let v = *next_val;
+                *next_val += 1;
+                written[*loc as usize].push(v);
+                b.push_write(p, Loc(*loc), Value::Int(v));
+            }
+            GenOp::Read { loc, pick } => {
+                let pool = &written[*loc as usize];
+                let label =
+                    if rng.gen_bool(0.5) { ReadLabel::Pram } else { ReadLabel::Causal };
+                let v = if pool.is_empty() || (*pick as usize) % (pool.len() + 1) == 0 {
+                    0
+                } else {
+                    pool[(*pick as usize) % pool.len()]
+                };
+                b.push_read(p, Loc(*loc), label, Value::Int(v));
+            }
+            GenOp::Cs { .. } => unreachable!("handled by caller"),
+        }
+    };
+
+    for round in 0..=barrier_rounds {
+        // Interleave this round's segments at CS-atomic granularity.
+        let mut queues: Vec<std::collections::VecDeque<GenOp>> = segments
+            .iter()
+            .map(|s| s[round].iter().cloned().collect())
+            .collect();
+        while queues.iter().any(|q| !q.is_empty()) {
+            let p = rng.gen_range(0..nprocs);
+            let Some(op) = queues[p].pop_front() else { continue };
+            let p_id = ProcId(p as u32);
+            match op {
+                GenOp::Cs { lock, ref body } => {
+                    b.push_lock(p_id, LockId(lock), LockMode::Write);
+                    for inner in body {
+                        emit(&mut b, p_id, inner, &mut written, &mut next_val, &mut rng);
+                    }
+                    b.push_unlock(p_id, LockId(lock), LockMode::Write);
+                }
+                ref plain => {
+                    emit(&mut b, p_id, plain, &mut written, &mut next_val, &mut rng)
+                }
+            }
+        }
+        if round < barrier_rounds {
+            for p in 0..nprocs {
+                b.push_barrier(ProcId(p as u32), BarrierId(0), BarrierRound(round as u32));
+            }
+        }
+    }
+    b.build().expect("generated histories are well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Well-formedness: the generator always yields buildable histories
+    /// whose derived structure is sane.
+    #[test]
+    fn generated_histories_are_well_formed(
+        (progs, rounds, seed) in gen_program(3, 4)
+    ) {
+        let h = build_history(&progs, rounds, seed);
+        prop_assert!(h.nprocs() == 3);
+        // The causality relation must be acyclic for generated histories.
+        prop_assert!(mc_model::Causality::new(&h).is_ok());
+    }
+
+    /// The implication chain: causally consistent ⇒ PRAM consistent.
+    #[test]
+    fn causal_implies_pram(
+        (progs, rounds, seed) in gen_program(3, 4)
+    ) {
+        let h = build_history(&progs, rounds, seed);
+        if check::check_causal(&h).is_ok() {
+            prop_assert!(check::check_pram(&h).is_ok(),
+                "causal-ok history failed PRAM check:\n{}", h.to_pretty_string());
+        }
+    }
+
+    /// The implication chain: sequentially consistent ⇒ causally
+    /// consistent (checked on small histories where the exact SC search
+    /// is conclusive).
+    #[test]
+    fn sc_implies_causal(
+        (progs, rounds, seed) in gen_program(2, 3)
+    ) {
+        let h = build_history(&progs, rounds, seed);
+        if h.len() <= 14 {
+            if let Ok(sc::ScVerdict::SequentiallyConsistent(order)) =
+                sc::check_sequential_with_budget(&h, 500_000)
+            {
+                // The witness itself must replay.
+                let cz = mc_model::Causality::new(&h).unwrap();
+                prop_assert!(sc::replay_serialization(&h, &cz, &order).is_ok());
+                prop_assert!(check::check_causal(&h).is_ok(),
+                    "SC history failed causal check:\n{}", h.to_pretty_string());
+            }
+        }
+    }
+
+    /// Theorem 1 soundness on random histories: when its premises hold,
+    /// the exact SC search must never refute it.
+    #[test]
+    fn theorem1_sound(
+        (progs, rounds, seed) in gen_program(2, 3)
+    ) {
+        let h = build_history(&progs, rounds, seed);
+        if h.len() <= 13 && mc_model::commute::check_theorem1(&h).unwrap().applies() {
+            let verdict = sc::check_sequential_with_budget(&h, 500_000).unwrap();
+            prop_assert!(
+                !matches!(verdict, sc::ScVerdict::NotSequentiallyConsistent),
+                "Theorem 1 applied but history is not SC:\n{}",
+                h.to_pretty_string()
+            );
+        }
+    }
+
+    /// Checkers are deterministic (same history, same verdict) and
+    /// violations always reference real read operations.
+    #[test]
+    fn checker_reports_are_sane(
+        (progs, rounds, seed) in gen_program(3, 4)
+    ) {
+        let h = build_history(&progs, rounds, seed);
+        let r1 = check::check_mixed(&h);
+        let r2 = check::check_mixed(&h);
+        prop_assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+        if let Err(check::CheckError::Violations(report)) = r1 {
+            for v in &report.violations {
+                prop_assert!(v.read.index() < h.len());
+                prop_assert!(h.op(v.read).kind.is_read());
+            }
+        }
+    }
+}
+
+// -------------------------------------------------- targeted non-property tests
+
+#[test]
+fn generated_history_smoke() {
+    // A fixed sample through the same machinery, for debuggability.
+    let progs = vec![
+        vec![GenOp::Write(0), GenOp::Read { loc: 0, pick: 1 }],
+        vec![GenOp::Cs { lock: 0, body: vec![GenOp::Write(1)] }],
+    ];
+    let h = build_history(&progs, 1, 7);
+    assert!(h.len() >= 5);
+    assert_eq!(h.barrier_rounds().len(), 1);
+    let _ = check::check_mixed(&h);
+}
+
+#[test]
+fn op_ids_are_dense() {
+    let progs = vec![vec![GenOp::Write(0)], vec![GenOp::Write(1)]];
+    let h = build_history(&progs, 0, 1);
+    let ids: Vec<OpId> = h.op_ids().collect();
+    assert_eq!(ids.len(), h.len());
+}
+
+// ------------------------------------------------ the PRAM↔causal spectrum
+
+mod spectrum {
+    use mc_model::{check, litmus, Causality, ProcId};
+
+    /// On the lock-chain litmus the stale read is legal under `;2,P`
+    /// (singleton group) and illegal for every group containing the
+    /// intermediate process p1 — the spectrum of Section 3.2.
+    #[test]
+    fn group_relation_interpolates_between_pram_and_causal() {
+        let h = litmus::lock_transitive_chain();
+        let p = |i| ProcId(i);
+        let all = vec![p(0), p(1), p(2)];
+
+        // Endpoints agree with the dedicated relations.
+        let cz = Causality::new(&h).unwrap();
+        let pram = cz.pram_relation(p(2));
+        let single = cz.group_relation(p(2), &[p(2)]);
+        let causal = cz.causal_relation(p(2));
+        let full = cz.group_relation(p(2), &all);
+        for a in h.op_ids() {
+            for b in h.op_ids() {
+                assert_eq!(pram.precedes(a, b), single.precedes(a, b), "{a},{b}");
+                if causal.contains(a) && causal.contains(b) {
+                    assert_eq!(causal.precedes(a, b), full.precedes(a, b), "{a},{b}");
+                }
+            }
+        }
+
+        // Checker spectrum: singleton groups = PRAM verdict (legal)…
+        let singletons: Vec<Vec<ProcId>> = (0..3).map(|i| vec![p(i)]).collect();
+        assert!(check::check_grouped(&h, &singletons).is_ok());
+        // …full groups = causal verdict (violation)…
+        let fulls: Vec<Vec<ProcId>> = (0..3).map(|_| all.clone()).collect();
+        assert!(check::check_grouped(&h, &fulls).is_err());
+        // …and the interesting middle point: grouping the reader with the
+        // intermediate lock holder already exposes the transitive chain.
+        let mid = vec![vec![p(0)], vec![p(1)], vec![p(1), p(2)]];
+        assert!(check::check_grouped(&h, &mid).is_err());
+        // Grouping the reader with the original writer alone does NOT: the
+        // chain still passes through p1's reduced lock edges, which touch
+        // the group — verify the precise edge structure instead of guessing.
+        let with_writer = vec![vec![p(0)], vec![p(1)], vec![p(0), p(2)]];
+        let verdict = check::check_grouped(&h, &with_writer);
+        // wu0 ↦ wl1 touches p0 (group member) and wu1 ↦ wl2 touches p2:
+        // the transitive path survives, so this is also a violation.
+        assert!(verdict.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must belong")]
+    fn group_must_contain_owner() {
+        let h = litmus::store_buffer();
+        let cz = Causality::new(&h).unwrap();
+        let _ = cz.group_relation(ProcId(0), &[ProcId(1)]);
+    }
+
+    #[test]
+    fn grouped_matches_dedicated_checkers_on_litmuses() {
+        for h in [
+            litmus::causality_chain(mc_model::ReadLabel::Pram),
+            litmus::store_buffer(),
+            litmus::write_order_disagreement(),
+            litmus::fifo_violation(),
+            litmus::producer_consumer_await(),
+        ] {
+            let n = h.nprocs();
+            let singles: Vec<Vec<ProcId>> =
+                (0..n as u32).map(|i| vec![ProcId(i)]).collect();
+            let all: Vec<ProcId> = (0..n as u32).map(ProcId).collect();
+            let fulls: Vec<Vec<ProcId>> = (0..n).map(|_| all.clone()).collect();
+            assert_eq!(
+                check::check_grouped(&h, &singles).is_ok(),
+                check::check_pram(&h).is_ok(),
+                "PRAM endpoint"
+            );
+            assert_eq!(
+                check::check_grouped(&h, &fulls).is_ok(),
+                check::check_causal(&h).is_ok(),
+                "causal endpoint"
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Protocol configuration: memory mode and lock-propagation variants.
+
+use std::fmt;
+
+/// Which memory consistency protocol the DSM runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Mode {
+    /// Pipelined RAM (Lipton–Sandberg): full replication, FIFO update
+    /// broadcast, apply-on-receipt, local reads. No vector timestamps on
+    /// the wire (Section 6: the overhead "can be avoided" for PRAM).
+    Pram,
+    /// Causal memory (Ahamad et al.): updates carry vector timestamps and
+    /// are applied in causal order; every read is causal.
+    Causal,
+    /// Mixed consistency: the causal substrate with per-read labels —
+    /// causal reads wait for the reader's causal cut, PRAM reads return
+    /// the most recent local value immediately (Section 6).
+    Mixed,
+    /// Sequentially consistent baseline: a central memory server; every
+    /// read and write is a blocking RPC. This is the high-latency
+    /// comparison point of the paper's introduction.
+    Sc,
+}
+
+impl Mode {
+    /// All modes, for sweeps.
+    pub const ALL: [Mode; 4] = [Mode::Pram, Mode::Causal, Mode::Mixed, Mode::Sc];
+
+    /// Returns `true` for the fully replicated (non-server) modes.
+    pub fn is_replicated(self) -> bool {
+        !matches!(self, Mode::Sc)
+    }
+
+    /// Returns `true` if update messages carry vector timestamps.
+    pub fn carries_vectors(self) -> bool {
+        matches!(self, Mode::Causal | Mode::Mixed)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Pram => write!(f, "pram"),
+            Mode::Causal => write!(f, "causal"),
+            Mode::Mixed => write!(f, "mixed"),
+            Mode::Sc => write!(f, "sc"),
+        }
+    }
+}
+
+/// When critical-section updates are propagated to the next lock holder
+/// (Section 6's three implementations of lock/unlock).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockPropagation {
+    /// *Eager*: the releaser broadcasts a flush and collects
+    /// acknowledgements before the lock is released; the grantee never
+    /// stalls on data.
+    Eager,
+    /// *Lazy*: the release carries the releaser's knowledge vector; the
+    /// grant completes only once the grantee's replica has applied it.
+    Lazy,
+    /// *Demand-driven*: the release ships the set of variables written
+    /// before it; the grantee's reads of exactly those variables block
+    /// until the corresponding updates arrive.
+    DemandDriven,
+}
+
+impl LockPropagation {
+    /// All variants, for sweeps.
+    pub const ALL: [LockPropagation; 3] = [
+        LockPropagation::Eager,
+        LockPropagation::Lazy,
+        LockPropagation::DemandDriven,
+    ];
+}
+
+impl fmt::Display for LockPropagation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockPropagation::Eager => write!(f, "eager"),
+            LockPropagation::Lazy => write!(f, "lazy"),
+            LockPropagation::DemandDriven => write!(f, "demand"),
+        }
+    }
+}
+
+/// Configuration of a [`Dsm`](crate::Dsm) instance.
+#[derive(Clone, Debug)]
+pub struct DsmConfig {
+    /// Number of application processes (replica `i` hosts process `i`;
+    /// node `nprocs` is the manager/server).
+    pub nprocs: usize,
+    /// The memory protocol.
+    pub mode: Mode,
+    /// The lock-propagation variant.
+    pub lock_propagation: LockPropagation,
+    /// Barrier participant subsets (Section 3.1.2's parenthetical:
+    /// "a barrier can also be defined for a subset of processes").
+    /// Barrier objects absent from this map involve every process.
+    pub barrier_groups: std::collections::HashMap<mc_model::BarrierId, Vec<mc_model::ProcId>>,
+    /// Number of manager nodes. Section 6 maps *every lock* and *every
+    /// barrier* "to a process"; with more than one shard, objects are
+    /// distributed over manager nodes round-robin by id, spreading
+    /// synchronization traffic across links.
+    pub manager_shards: usize,
+}
+
+impl DsmConfig {
+    /// A configuration with the given process count and mode, lazy locks.
+    pub fn new(nprocs: usize, mode: Mode) -> Self {
+        DsmConfig {
+            nprocs,
+            mode,
+            lock_propagation: LockPropagation::Lazy,
+            barrier_groups: std::collections::HashMap::new(),
+            manager_shards: 1,
+        }
+    }
+
+    /// Distributes lock and barrier managers over `shards` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_manager_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one manager shard");
+        self.manager_shards = shards;
+        self
+    }
+
+    /// Sets the lock-propagation variant.
+    pub fn with_lock_propagation(mut self, p: LockPropagation) -> Self {
+        self.lock_propagation = p;
+        self
+    }
+
+    /// Restricts a barrier object to a subset of processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or mentions an unknown process.
+    pub fn with_barrier_group(
+        mut self,
+        barrier: mc_model::BarrierId,
+        group: Vec<mc_model::ProcId>,
+    ) -> Self {
+        assert!(!group.is_empty(), "barrier group must be non-empty");
+        assert!(
+            group.iter().all(|p| p.index() < self.nprocs),
+            "barrier group mentions an unknown process"
+        );
+        self.barrier_groups.insert(barrier, group);
+        self
+    }
+
+    /// The participants of a barrier object.
+    pub fn barrier_participants(&self, barrier: mc_model::BarrierId) -> Vec<mc_model::ProcId> {
+        self.barrier_groups.get(&barrier).cloned().unwrap_or_else(|| {
+            (0..self.nprocs as u32).map(mc_model::ProcId).collect()
+        })
+    }
+
+    /// Total network nodes: one replica per process plus the manager
+    /// shards.
+    pub fn nnodes(&self) -> usize {
+        self.nprocs + self.manager_shards
+    }
+
+    /// The first manager node (shard 0; also the SC server).
+    pub fn manager_node(&self) -> mc_sim::NodeId {
+        mc_sim::NodeId(self.nprocs as u32)
+    }
+
+    /// The manager node owning lock `lock`.
+    pub fn lock_manager_node(&self, lock: mc_model::LockId) -> mc_sim::NodeId {
+        mc_sim::NodeId((self.nprocs + lock.index() % self.manager_shards) as u32)
+    }
+
+    /// The manager node owning barrier object `barrier`.
+    pub fn barrier_manager_node(&self, barrier: mc_model::BarrierId) -> mc_sim::NodeId {
+        mc_sim::NodeId((self.nprocs + barrier.index() % self.manager_shards) as u32)
+    }
+
+    /// Returns `true` if `node` is a manager shard.
+    pub fn is_manager_node(&self, node: mc_sim::NodeId) -> bool {
+        node.index() >= self.nprocs && node.index() < self.nnodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_properties() {
+        assert!(Mode::Pram.is_replicated());
+        assert!(!Mode::Sc.is_replicated());
+        assert!(Mode::Mixed.carries_vectors());
+        assert!(Mode::Causal.carries_vectors());
+        assert!(!Mode::Pram.carries_vectors());
+        assert_eq!(Mode::ALL.len(), 4);
+        assert_eq!(Mode::Mixed.to_string(), "mixed");
+        assert_eq!(LockPropagation::Eager.to_string(), "eager");
+        assert_eq!(LockPropagation::ALL.len(), 3);
+    }
+
+    #[test]
+    fn config_layout() {
+        let c = DsmConfig::new(4, Mode::Mixed)
+            .with_lock_propagation(LockPropagation::DemandDriven);
+        assert_eq!(c.nnodes(), 5);
+        assert_eq!(c.manager_node(), mc_sim::NodeId(4));
+        assert_eq!(c.lock_propagation, LockPropagation::DemandDriven);
+    }
+}

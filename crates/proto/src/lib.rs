@@ -1,0 +1,39 @@
+//! # mc-proto — the DSM protocols of the mixed-consistency paper
+//!
+//! Implementations of the memory systems described (and implied) by
+//! *Agrawal, Choy, Leong, Singh, PODC '94*, as [`mc_sim::Protocol`]s over
+//! the deterministic simulator:
+//!
+//! * [`Mode::Pram`] — pipelined RAM: FIFO update broadcast, local reads,
+//!   no vector timestamps on the wire;
+//! * [`Mode::Causal`] — causal memory: vector-timestamped updates applied
+//!   in causal order;
+//! * [`Mode::Mixed`] — the paper's contribution: one substrate, per-read
+//!   labels (causal reads wait for the reader's causal cut, PRAM reads
+//!   return the most recent local value);
+//! * [`Mode::Sc`] — the sequentially consistent baseline: a central
+//!   memory server, every access a blocking RPC.
+//!
+//! plus the synchronization subsystem of Sections 3.1 and 6: a read/write
+//! **lock manager** with the three propagation variants
+//! ([`LockPropagation::Eager`], [`LockPropagation::Lazy`],
+//! [`LockPropagation::DemandDriven`]), a counting **barrier manager**, and
+//! **await** operations, and the commutative **counter objects** of
+//! Section 5.3.
+//!
+//! The user-facing API lives in the `mixed-consistency` crate; this crate
+//! is the protocol engine.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dsm;
+pub mod manager;
+pub mod msg;
+pub mod replica;
+
+pub use config::{DsmConfig, LockPropagation, Mode};
+pub use dsm::{Dsm, Req, Resp};
+pub use manager::Manager;
+pub use msg::{GrantInfo, Msg, UpdatePayload};
+pub use replica::Replica;

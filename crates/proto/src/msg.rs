@@ -1,0 +1,256 @@
+//! Wire messages of the DSM protocols.
+//!
+//! Payload byte sizes are *modeled* (they feed the simulator's latency and
+//! byte counters) — the point the paper makes about PRAM is precisely that
+//! its update messages need no vector timestamps, so the models differ per
+//! mode.
+
+use mc_model::{BarrierId, LockId, LockMode, Loc, ProcId, VClock, Value, WriteId};
+
+/// The payload of a memory update: overwrite or commutative increment
+/// (the abstract-data-type extension of Section 5.3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdatePayload {
+    /// Plain write `w(x)v`.
+    Set(Value),
+    /// Commutative `x += delta` (integer or float delta).
+    Add(Value),
+}
+
+/// Everything a lock grant carries to the new holder.
+#[derive(Clone, Debug, Default)]
+pub struct GrantInfo {
+    /// Accumulated knowledge vector of all previous critical sections
+    /// (empty in PRAM mode).
+    pub knowledge: VClock,
+    /// The previous epoch's members with their own-write counts at release
+    /// (the PRAM "immediately preceding process" information).
+    pub preds: Vec<(ProcId, u32)>,
+    /// Demand-driven invalidation set: locations written before earlier
+    /// releases, with the required writer sequence number.
+    pub demand: Vec<(Loc, ProcId, u32)>,
+}
+
+impl GrantInfo {
+    /// Modeled wire size in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        8 + 4 * self.knowledge.len() as u64
+            + 8 * self.preds.len() as u64
+            + 12 * self.demand.len() as u64
+    }
+}
+
+/// A protocol message.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Replicated-memory update broadcast (Section 6). `deps` is the
+    /// writer's vector timestamp in causal/mixed mode, `None` in PRAM
+    /// mode.
+    Update {
+        /// Identity of the write.
+        writer: WriteId,
+        /// Location updated.
+        loc: Loc,
+        /// Overwrite or increment.
+        payload: UpdatePayload,
+        /// Vector timestamp (causal/mixed only).
+        deps: Option<VClock>,
+    },
+    /// Eager unlock: "flush all updates" probe from a releasing process.
+    Flush {
+        /// The releasing process.
+        from_proc: ProcId,
+        /// Acknowledge once this many of its writes are applied.
+        upto: u32,
+    },
+    /// Acknowledgement of a [`Msg::Flush`].
+    FlushAck,
+    /// Lock request to the manager.
+    LockReq {
+        /// Requesting process.
+        proc: ProcId,
+        /// Lock object.
+        lock: LockId,
+        /// Shared or exclusive.
+        mode: LockMode,
+    },
+    /// Lock grant from the manager.
+    LockGrant {
+        /// Lock object.
+        lock: LockId,
+        /// Consistency payload.
+        grant: GrantInfo,
+    },
+    /// Lock release to the manager.
+    LockRel {
+        /// Releasing process.
+        proc: ProcId,
+        /// Lock object.
+        lock: LockId,
+        /// Mode released.
+        mode: LockMode,
+        /// Releaser's knowledge vector (empty in PRAM mode).
+        knowledge: VClock,
+        /// Releaser's own-write count at release.
+        own_count: u32,
+        /// Demand-driven dirty set: locations this process wrote (latest
+        /// own sequence number each) since its previous release of this
+        /// lock.
+        dirty: Vec<(Loc, u32)>,
+    },
+    /// Barrier arrival at the manager (carries the per-process knowledge
+    /// vector — Section 6's message-count vector).
+    BarrierArrive {
+        /// Arriving process.
+        proc: ProcId,
+        /// Barrier object.
+        barrier: BarrierId,
+        /// Round index.
+        round: u32,
+        /// Arriving process's knowledge.
+        knowledge: VClock,
+    },
+    /// Barrier release to every participant.
+    BarrierRelease {
+        /// Barrier object.
+        barrier: BarrierId,
+        /// Round index.
+        round: u32,
+        /// Merged knowledge of all participants.
+        knowledge: VClock,
+    },
+    /// SC server: read request.
+    ScRead {
+        /// Requesting process.
+        proc: ProcId,
+        /// Location.
+        loc: Loc,
+    },
+    /// SC server: read response.
+    ScReadResp {
+        /// Value at the server.
+        value: Value,
+        /// The write that produced it (None = initial).
+        writer: Option<WriteId>,
+    },
+    /// SC server: write/update request.
+    ScWrite {
+        /// Identity of the write.
+        writer: WriteId,
+        /// Location.
+        loc: Loc,
+        /// Overwrite or increment.
+        payload: UpdatePayload,
+    },
+    /// SC server: write acknowledgement.
+    ScWriteAck,
+    /// SC server: register an await watch.
+    ScAwait {
+        /// Requesting process.
+        proc: ProcId,
+        /// Location.
+        loc: Loc,
+        /// Value awaited.
+        value: Value,
+    },
+    /// SC server: await satisfied.
+    ScAwaitResp {
+        /// The observed value.
+        value: Value,
+        /// The writes that produced it.
+        writers: Vec<WriteId>,
+    },
+}
+
+impl Msg {
+    /// Modeled wire size in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Msg::Update { deps, .. } => {
+                24 + deps.as_ref().map_or(0, |d| 4 * d.len() as u64)
+            }
+            Msg::Flush { .. } => 12,
+            Msg::FlushAck => 8,
+            Msg::LockReq { .. } => 13,
+            Msg::LockGrant { grant, .. } => grant.wire_bytes(),
+            Msg::LockRel { knowledge, dirty, .. } => {
+                17 + 4 * knowledge.len() as u64 + 12 * dirty.len() as u64
+            }
+            Msg::BarrierArrive { knowledge, .. } => 16 + 4 * knowledge.len() as u64,
+            Msg::BarrierRelease { knowledge, .. } => 12 + 4 * knowledge.len() as u64,
+            Msg::ScRead { .. } => 12,
+            Msg::ScReadResp { .. } => 24,
+            Msg::ScWrite { .. } => 28,
+            Msg::ScWriteAck => 8,
+            Msg::ScAwait { .. } => 20,
+            Msg::ScAwaitResp { writers, .. } => 16 + 8 * writers.len() as u64,
+        }
+    }
+
+    /// The metrics label of this message.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Update { .. } => "update",
+            Msg::Flush { .. } => "flush",
+            Msg::FlushAck => "flush_ack",
+            Msg::LockReq { .. } => "lock_req",
+            Msg::LockGrant { .. } => "lock_grant",
+            Msg::LockRel { .. } => "lock_rel",
+            Msg::BarrierArrive { .. } => "barrier_arrive",
+            Msg::BarrierRelease { .. } => "barrier_release",
+            Msg::ScRead { .. } => "sc_read",
+            Msg::ScReadResp { .. } => "sc_read_resp",
+            Msg::ScWrite { .. } => "sc_write",
+            Msg::ScWriteAck => "sc_write_ack",
+            Msg::ScAwait { .. } => "sc_await",
+            Msg::ScAwaitResp { .. } => "sc_await_resp",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_bytes_depend_on_vectors() {
+        let small = Msg::Update {
+            writer: WriteId::new(ProcId(0), 1),
+            loc: Loc(0),
+            payload: UpdatePayload::Set(Value::Int(1)),
+            deps: None,
+        };
+        let big = Msg::Update {
+            writer: WriteId::new(ProcId(0), 1),
+            loc: Loc(0),
+            payload: UpdatePayload::Set(Value::Int(1)),
+            deps: Some(VClock::new(8)),
+        };
+        assert_eq!(small.wire_bytes(), 24);
+        assert_eq!(big.wire_bytes(), 24 + 32);
+        assert_eq!(small.kind(), "update");
+    }
+
+    #[test]
+    fn grant_bytes_scale_with_payload() {
+        let mut g = GrantInfo::default();
+        assert_eq!(g.wire_bytes(), 8);
+        g.preds.push((ProcId(0), 3));
+        g.demand.push((Loc(1), ProcId(0), 3));
+        assert_eq!(g.wire_bytes(), 8 + 8 + 12);
+    }
+
+    #[test]
+    fn all_kinds_are_labeled() {
+        let msgs = [
+            Msg::Flush { from_proc: ProcId(0), upto: 1 },
+            Msg::FlushAck,
+            Msg::LockReq { proc: ProcId(0), lock: LockId(0), mode: LockMode::Read },
+            Msg::ScWriteAck,
+        ];
+        for m in msgs {
+            assert!(!m.kind().is_empty());
+            assert!(m.wire_bytes() > 0);
+        }
+    }
+}

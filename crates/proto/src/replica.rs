@@ -1,0 +1,502 @@
+//! Per-process replica state for the replicated memory modes.
+//!
+//! Section 6 of the paper: "The memory is maintained as a set of pages and
+//! each process keeps a local copy of the memory. Read operations are
+//! non-blocking and return local values. ... Each process maintains a
+//! vector timestamp in order to define the causality between operations."
+//!
+//! A [`Replica`] holds one process's copy of every location, its applied
+//! vector, the causal-application buffer, and the synchronization gates:
+//!
+//! * `must_see` — merged knowledge from lock grants and barrier releases;
+//!   **causal reads** block until `applied ≥ must_see`;
+//! * `pram_wait` — per-predecessor write counts from the same events;
+//!   **PRAM reads** block until `applied ≥ pram_wait` (only components of
+//!   direct synchronization predecessors are ever raised);
+//! * `invalid` — demand-driven per-location requirements installed by lock
+//!   grants; reads of exactly those locations block.
+
+use std::collections::HashMap;
+
+use mc_model::{Loc, ProcId, VClock, Value, WriteId};
+
+use crate::config::{DsmConfig, Mode};
+use crate::msg::UpdatePayload;
+
+/// A pending (causally not yet ready) remote update.
+#[derive(Clone, Debug)]
+pub struct PendingUpdate {
+    /// Identity of the write.
+    pub writer: WriteId,
+    /// Location.
+    pub loc: Loc,
+    /// Overwrite or increment.
+    pub payload: UpdatePayload,
+    /// The writer's vector timestamp.
+    pub deps: VClock,
+}
+
+/// One process's local copy of the shared memory plus its consistency
+/// gates.
+#[derive(Debug)]
+pub struct Replica {
+    /// The owning process.
+    pub proc: ProcId,
+    nprocs: usize,
+    store: Vec<Value>,
+    last_writer: Vec<Option<WriteId>>,
+    /// `applied[j]` = number of `p_j`'s updates applied locally
+    /// (`applied[self]` counts own writes).
+    pub applied: VClock,
+    /// Causal-application buffer (causal/mixed modes).
+    pending: Vec<PendingUpdate>,
+    /// Causal-read gate.
+    pub must_see: VClock,
+    /// PRAM-read gate.
+    pub pram_wait: VClock,
+    /// Demand-driven per-location gates: read of `loc` waits until
+    /// `applied[p] >= seq`.
+    pub invalid: HashMap<Loc, (ProcId, u32)>,
+    /// Updates applied per counter location (locations that ever received
+    /// an `Add`), for await synchronization sources.
+    counter_updates: HashMap<Loc, Vec<WriteId>>,
+    /// Demand-driven bookkeeping: every own write (loc, seq) in order.
+    pub write_log: Vec<(Loc, u32)>,
+    /// Per-lock watermark into `write_log` (entries before it were already
+    /// shipped on an earlier release of that lock).
+    pub lock_watermarks: HashMap<mc_model::LockId, usize>,
+}
+
+impl Replica {
+    /// Creates the replica of process `proc` in a system of `nprocs`.
+    pub fn new(proc: ProcId, nprocs: usize) -> Self {
+        Replica {
+            proc,
+            nprocs,
+            store: Vec::new(),
+            last_writer: Vec::new(),
+            applied: VClock::new(nprocs),
+            pending: Vec::new(),
+            must_see: VClock::new(nprocs),
+            pram_wait: VClock::new(nprocs),
+            invalid: HashMap::new(),
+            counter_updates: HashMap::new(),
+            write_log: Vec::new(),
+            lock_watermarks: HashMap::new(),
+        }
+    }
+
+    fn ensure_loc(&mut self, loc: Loc) {
+        if loc.index() >= self.store.len() {
+            self.store.resize(loc.index() + 1, Value::INITIAL);
+            self.last_writer.resize(loc.index() + 1, None);
+        }
+    }
+
+    /// The current local value of `loc`.
+    pub fn value(&mut self, loc: Loc) -> Value {
+        self.ensure_loc(loc);
+        self.store[loc.index()]
+    }
+
+    /// The current local value of `loc` without mutation (for inspection
+    /// of a finished run).
+    pub fn peek(&self, loc: Loc) -> Value {
+        self.store.get(loc.index()).copied().unwrap_or(Value::INITIAL)
+    }
+
+    /// The write that produced the current local value (None = initial).
+    pub fn writer_of(&mut self, loc: Loc) -> Option<WriteId> {
+        self.ensure_loc(loc);
+        self.last_writer[loc.index()]
+    }
+
+    /// The synchronization sources an await observing `loc` records: all
+    /// applied updates for counter locations, the last writer otherwise.
+    pub fn await_writers(&mut self, loc: Loc) -> Vec<WriteId> {
+        if let Some(ups) = self.counter_updates.get(&loc) {
+            return ups.clone();
+        }
+        self.writer_of(loc).into_iter().collect()
+    }
+
+    /// This process's own-write count.
+    pub fn own_count(&self) -> u32 {
+        self.applied[self.proc]
+    }
+
+    /// The process's knowledge vector: everything applied locally plus
+    /// everything it has been told to see. Tags outgoing writes and
+    /// releases.
+    pub fn knowledge(&self) -> VClock {
+        let mut k = self.applied.clone();
+        k.merge(&self.must_see);
+        k
+    }
+
+    /// Performs a local write or update and returns the minted
+    /// [`WriteId`] plus the dependency vector to attach in vector modes.
+    pub fn local_write(&mut self, loc: Loc, payload: UpdatePayload, cfg: &DsmConfig) -> (WriteId, Option<VClock>) {
+        let deps = if cfg.mode.carries_vectors() {
+            let mut k = self.knowledge();
+            k.tick(self.proc);
+            Some(k)
+        } else {
+            None
+        };
+        self.applied.tick(self.proc);
+        let id = WriteId::new(self.proc, self.own_count());
+        self.apply_to_store(id, loc, &payload);
+        self.write_log.push((loc, id.seq));
+        (id, deps)
+    }
+
+    fn apply_to_store(&mut self, writer: WriteId, loc: Loc, payload: &UpdatePayload) {
+        self.ensure_loc(loc);
+        match payload {
+            UpdatePayload::Set(v) => self.store[loc.index()] = *v,
+            UpdatePayload::Add(d) => {
+                let cur = self.store[loc.index()];
+                self.store[loc.index()] = cur.checked_add(*d).unwrap_or_else(|| {
+                    panic!("update delta kind mismatch at {loc} ({cur:?} += {d:?})")
+                });
+                self.counter_updates.entry(loc).or_default().push(writer);
+            }
+        }
+        self.last_writer[loc.index()] = Some(writer);
+    }
+
+    /// Ingests a remote update. In PRAM mode it applies immediately; in
+    /// causal/mixed mode it applies only when causally ready, buffering
+    /// otherwise (and draining the buffer to a fixpoint). Returns `true`
+    /// if at least one update was applied.
+    pub fn ingest(
+        &mut self,
+        writer: WriteId,
+        loc: Loc,
+        payload: UpdatePayload,
+        deps: Option<VClock>,
+        mode: Mode,
+    ) -> bool {
+        if !mode.carries_vectors() {
+            // PRAM: apply on receipt. FIFO links deliver per-sender
+            // in-order; with fault injection they may not, and the
+            // resulting store regressions are exactly what the checkers
+            // must detect.
+            let seen = self.applied.get(writer.proc).max(writer.seq);
+            self.applied.set(writer.proc, seen);
+            self.apply_to_store(writer, loc, &payload);
+            return true;
+        }
+        let deps = deps.expect("vector modes attach deps");
+        self.pending.push(PendingUpdate { writer, loc, payload, deps });
+        self.drain_pending()
+    }
+
+    /// Applies every causally ready buffered update; returns `true` if any
+    /// applied.
+    fn drain_pending(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            let idx = self.pending.iter().position(|u| self.causally_ready(u));
+            let Some(idx) = idx else { return any };
+            let u = self.pending.swap_remove(idx);
+            self.applied.tick(u.writer.proc);
+            debug_assert_eq!(self.applied[u.writer.proc], u.writer.seq);
+            self.apply_to_store(u.writer, u.loc, &u.payload);
+            any = true;
+        }
+    }
+
+    fn causally_ready(&self, u: &PendingUpdate) -> bool {
+        if self.applied[u.writer.proc] + 1 != u.writer.seq {
+            return false;
+        }
+        u.deps
+            .iter()
+            .all(|(p, c)| p == u.writer.proc || self.applied[p] >= c)
+    }
+
+    /// Number of buffered (not yet applied) updates.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Gate for causal reads: the causal cut must be applied locally
+    /// (Section 6: "a causal read can return a value only if all
+    /// preceding operations ... have been performed locally").
+    pub fn causal_ready(&self, loc: Loc) -> bool {
+        self.applied.dominates(&self.must_see) && self.demand_ready(loc)
+    }
+
+    /// Gate for PRAM reads: only direct synchronization predecessors are
+    /// awaited.
+    pub fn pram_ready(&self, loc: Loc) -> bool {
+        self.applied.dominates(&self.pram_wait) && self.demand_ready(loc)
+    }
+
+    fn demand_ready(&self, loc: Loc) -> bool {
+        match self.invalid.get(&loc) {
+            Some(&(p, seq)) => self.applied[p] >= seq,
+            None => true,
+        }
+    }
+
+    /// Merges synchronization knowledge received from a lock grant or
+    /// barrier release into the read gates.
+    pub fn absorb_sync(&mut self, knowledge: &VClock, preds: &[(ProcId, u32)]) {
+        if !knowledge.is_empty() {
+            self.must_see.merge(knowledge);
+        }
+        for &(p, c) in preds {
+            if self.pram_wait[p] < c {
+                self.pram_wait.set(p, c);
+            }
+        }
+    }
+
+    /// Installs demand-driven invalidations from a lock grant.
+    pub fn absorb_demand(&mut self, demand: &[(Loc, ProcId, u32)]) {
+        for &(loc, p, seq) in demand {
+            let e = self.invalid.entry(loc).or_insert((p, seq));
+            // Keep the strongest requirement per location.
+            if (e.0, e.1) != (p, seq) {
+                let cur_ok = self.applied[e.0] >= e.1;
+                let new_ok = self.applied[p] >= seq;
+                if cur_ok || !new_ok {
+                    *e = (p, seq);
+                }
+            }
+        }
+    }
+
+    /// Drains the demand-driven dirty set accumulated since the last
+    /// release of `lock`: the latest own write per location.
+    pub fn take_dirty(&mut self, lock: mc_model::LockId) -> Vec<(Loc, u32)> {
+        let wm = self.lock_watermarks.get(&lock).copied().unwrap_or(0);
+        let mut latest: HashMap<Loc, u32> = HashMap::new();
+        for &(loc, seq) in &self.write_log[wm..] {
+            let e = latest.entry(loc).or_insert(seq);
+            *e = (*e).max(seq);
+        }
+        self.lock_watermarks.insert(lock, self.write_log.len());
+        let mut out: Vec<(Loc, u32)> = latest.into_iter().collect();
+        out.sort_unstable_by_key(|&(l, _)| l);
+        out
+    }
+
+    /// The number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LockPropagation;
+    use mc_model::LockId;
+
+    fn cfg(mode: Mode) -> DsmConfig {
+        DsmConfig { lock_propagation: LockPropagation::Lazy, ..DsmConfig::new(3, mode) }
+    }
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn local_write_and_read() {
+        let mut r = Replica::new(p(0), 3);
+        let (id, deps) = r.local_write(Loc(5), UpdatePayload::Set(Value::Int(9)), &cfg(Mode::Mixed));
+        assert_eq!(id, WriteId::new(p(0), 1));
+        assert_eq!(deps.as_ref().unwrap()[p(0)], 1);
+        assert_eq!(r.value(Loc(5)), Value::Int(9));
+        assert_eq!(r.writer_of(Loc(5)), Some(id));
+        assert_eq!(r.value(Loc(99)), Value::INITIAL);
+        assert_eq!(r.writer_of(Loc(99)), None);
+        assert_eq!(r.own_count(), 1);
+    }
+
+    #[test]
+    fn pram_mode_attaches_no_deps() {
+        let mut r = Replica::new(p(0), 3);
+        let (_, deps) = r.local_write(Loc(0), UpdatePayload::Set(Value::Int(1)), &cfg(Mode::Pram));
+        assert!(deps.is_none());
+    }
+
+    #[test]
+    fn pram_ingest_applies_immediately() {
+        let mut r = Replica::new(p(1), 2);
+        let applied = r.ingest(
+            WriteId::new(p(0), 1),
+            Loc(0),
+            UpdatePayload::Set(Value::Int(7)),
+            None,
+            Mode::Pram,
+        );
+        assert!(applied);
+        assert_eq!(r.value(Loc(0)), Value::Int(7));
+        assert_eq!(r.applied[p(0)], 1);
+    }
+
+    #[test]
+    fn causal_ingest_buffers_out_of_order() {
+        let mut r = Replica::new(p(1), 2);
+        // Writer p0's second write arrives first.
+        let mut deps2: VClock = VClock::new(2);
+        deps2.set(p(0), 2);
+        let applied = r.ingest(
+            WriteId::new(p(0), 2),
+            Loc(0),
+            UpdatePayload::Set(Value::Int(2)),
+            Some(deps2),
+            Mode::Causal,
+        );
+        assert!(!applied);
+        assert_eq!(r.pending_len(), 1);
+        assert_eq!(r.value(Loc(0)), Value::INITIAL);
+
+        // Now the first write arrives: both drain, in order.
+        let mut deps1 = VClock::new(2);
+        deps1.set(p(0), 1);
+        let applied = r.ingest(
+            WriteId::new(p(0), 1),
+            Loc(0),
+            UpdatePayload::Set(Value::Int(1)),
+            Some(deps1),
+            Mode::Causal,
+        );
+        assert!(applied);
+        assert_eq!(r.pending_len(), 0);
+        assert_eq!(r.value(Loc(0)), Value::Int(2), "final value is the later write");
+        assert_eq!(r.applied[p(0)], 2);
+    }
+
+    #[test]
+    fn causal_ingest_waits_for_cross_deps() {
+        // p2's write depends on p0's write (p2 read it before writing).
+        let mut r = Replica::new(p(1), 3);
+        let mut deps = VClock::new(3);
+        deps.set(p(2), 1);
+        deps.set(p(0), 1); // cross dependency
+        assert!(!r.ingest(
+            WriteId::new(p(2), 1),
+            Loc(1),
+            UpdatePayload::Set(Value::Int(5)),
+            Some(deps),
+            Mode::Mixed,
+        ));
+        // p0's write arrives; both apply.
+        let mut deps0 = VClock::new(3);
+        deps0.set(p(0), 1);
+        assert!(r.ingest(
+            WriteId::new(p(0), 1),
+            Loc(0),
+            UpdatePayload::Set(Value::Int(4)),
+            Some(deps0),
+            Mode::Mixed,
+        ));
+        assert_eq!(r.value(Loc(1)), Value::Int(5));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Replica::new(p(1), 2);
+        r.ingest(WriteId::new(p(0), 1), Loc(0), UpdatePayload::Add(Value::Int(-1)), None, Mode::Pram);
+        let (id, _) = r.local_write(Loc(0), UpdatePayload::Add(Value::Int(-1)), &cfg(Mode::Pram));
+        assert_eq!(r.value(Loc(0)), Value::Int(-2));
+        let writers = r.await_writers(Loc(0));
+        assert_eq!(writers.len(), 2);
+        assert!(writers.contains(&id));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta kind mismatch")]
+    fn update_kind_mismatch_panics() {
+        let mut r = Replica::new(p(0), 1);
+        r.local_write(Loc(0), UpdatePayload::Set(Value::F64(1.0)), &cfg(Mode::Pram));
+        r.local_write(Loc(0), UpdatePayload::Add(Value::Int(1)), &cfg(Mode::Pram));
+    }
+
+    #[test]
+    fn float_counters_accumulate() {
+        let mut r = Replica::new(p(0), 1);
+        r.local_write(Loc(0), UpdatePayload::Set(Value::F64(1.0)), &cfg(Mode::Pram));
+        r.local_write(Loc(0), UpdatePayload::Add(Value::F64(-0.25)), &cfg(Mode::Pram));
+        assert_eq!(r.peek(Loc(0)), Value::F64(0.75));
+    }
+
+    #[test]
+    fn gates() {
+        let mut r = Replica::new(p(1), 2);
+        assert!(r.causal_ready(Loc(0)));
+        assert!(r.pram_ready(Loc(0)));
+
+        // A grant tells us to see p0's first write.
+        let mut k = VClock::new(2);
+        k.set(p(0), 1);
+        r.absorb_sync(&k, &[(p(0), 1)]);
+        assert!(!r.causal_ready(Loc(0)));
+        assert!(!r.pram_ready(Loc(0)));
+
+        r.ingest(
+            WriteId::new(p(0), 1),
+            Loc(0),
+            UpdatePayload::Set(Value::Int(1)),
+            Some(k.clone()),
+            Mode::Mixed,
+        );
+        assert!(r.causal_ready(Loc(0)));
+        assert!(r.pram_ready(Loc(0)));
+    }
+
+    #[test]
+    fn demand_gate_blocks_only_named_locations() {
+        let mut r = Replica::new(p(1), 2);
+        r.absorb_demand(&[(Loc(3), p(0), 2)]);
+        assert!(r.causal_ready(Loc(0)), "other locations unaffected");
+        assert!(!r.pram_ready(Loc(3)));
+        // Apply p0's two writes.
+        for s in 1..=2 {
+            r.ingest(
+                WriteId::new(p(0), s),
+                Loc(3),
+                UpdatePayload::Set(Value::Int(s as i64)),
+                None,
+                Mode::Pram,
+            );
+        }
+        assert!(r.pram_ready(Loc(3)));
+    }
+
+    #[test]
+    fn dirty_set_is_per_lock_delta() {
+        let l = LockId(0);
+        let mut r = Replica::new(p(0), 1);
+        let c = cfg(Mode::Pram);
+        r.local_write(Loc(0), UpdatePayload::Set(Value::Int(1)), &c);
+        r.local_write(Loc(1), UpdatePayload::Set(Value::Int(2)), &c);
+        r.local_write(Loc(0), UpdatePayload::Set(Value::Int(3)), &c);
+        let d1 = r.take_dirty(l);
+        assert_eq!(d1, vec![(Loc(0), 3), (Loc(1), 2)]);
+        // Nothing new since.
+        assert!(r.take_dirty(l).is_empty());
+        r.local_write(Loc(1), UpdatePayload::Set(Value::Int(4)), &c);
+        assert_eq!(r.take_dirty(l), vec![(Loc(1), 4)]);
+        // A different lock ships everything.
+        assert_eq!(r.take_dirty(LockId(1)).len(), 2);
+    }
+
+    #[test]
+    fn knowledge_merges_must_see() {
+        let mut r = Replica::new(p(0), 2);
+        r.local_write(Loc(0), UpdatePayload::Set(Value::Int(1)), &cfg(Mode::Mixed));
+        let mut k = VClock::new(2);
+        k.set(p(1), 5);
+        r.absorb_sync(&k, &[]);
+        let know = r.knowledge();
+        assert_eq!(know[p(0)], 1);
+        assert_eq!(know[p(1)], 5);
+    }
+}

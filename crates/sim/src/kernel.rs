@@ -1,0 +1,766 @@
+//! The simulation kernel: deterministic scheduling of process syscalls and
+//! message deliveries.
+//!
+//! Processes are ordinary Rust closures running on OS threads, but **at
+//! most one process thread is ever runnable**: every interaction with the
+//! memory system is a *syscall* that parks the thread on a rendezvous
+//! channel until the kernel schedules it. The kernel interleaves syscalls
+//! and message deliveries by minimum virtual time with seeded
+//! tie-breaking, so a run is a pure function of `(program, SimConfig)` —
+//! re-running with a different seed explores a different interleaving,
+//! which the property-based tests exploit.
+
+use std::cmp::Reverse;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::metrics::Metrics;
+use crate::net::{Delivery, NetCtx, Network, NodeId, SimConfig};
+use crate::schedule::{RandomSchedule, Schedule};
+use crate::time::SimTime;
+
+/// Identifier of a simulated process (the syscall-issuing entity).
+///
+/// Distinct from [`NodeId`]: a process is *bound* to a node (its local
+/// replica), and some nodes (managers) host no process at all.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcToken(pub u32);
+
+impl ProcToken {
+    /// Returns the dense index of this process.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The result of submitting a syscall to a protocol.
+#[derive(Debug)]
+pub enum Poll<R> {
+    /// The request completed; the process resumes with this response.
+    Ready(R),
+    /// The request blocks; the kernel will call
+    /// [`Protocol::poll_blocked`] after subsequent events.
+    Pending,
+}
+
+/// A distributed protocol running over the simulated network.
+///
+/// One `Protocol` value owns the state of *all* nodes (replicas and
+/// managers); the kernel tells it which node an event concerns. This keeps
+/// the trait object-free and lets protocols share lookup tables.
+pub trait Protocol: 'static {
+    /// Network message payload.
+    type Msg: Send + 'static;
+    /// Syscall request issued by processes.
+    type Req: Send + 'static;
+    /// Syscall response returned to processes.
+    type Resp: Send + 'static;
+
+    /// Handles a syscall from `proc` (bound to `node`). Returning
+    /// [`Poll::Pending`] parks the process; the protocol must remember
+    /// enough state to answer a later [`Protocol::poll_blocked`].
+    fn on_request(
+        &mut self,
+        proc: ProcToken,
+        node: NodeId,
+        req: Self::Req,
+        net: &mut NetCtx<'_, Self::Msg>,
+    ) -> Poll<Self::Resp>;
+
+    /// Handles a message delivery at `to`.
+    fn on_message(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        msg: Self::Msg,
+        net: &mut NetCtx<'_, Self::Msg>,
+    );
+
+    /// Re-examines a parked process after an event. Returning `Some`
+    /// resumes it.
+    fn poll_blocked(
+        &mut self,
+        proc: ProcToken,
+        node: NodeId,
+        net: &mut NetCtx<'_, Self::Msg>,
+    ) -> Option<Self::Resp>;
+}
+
+enum ProcEvent<Req> {
+    Request(Req),
+    Charge(SimTime),
+    Done(Option<Box<dyn std::any::Any + Send>>),
+}
+
+enum KernelReply<Resp> {
+    Resp(Resp),
+    Ack,
+}
+
+/// The process-side handle for issuing syscalls.
+///
+/// Handed to each process closure by [`Kernel::spawn`].
+#[derive(Debug)]
+pub struct ProcCtx<P: Protocol> {
+    token: ProcToken,
+    tx: Sender<(u32, ProcEvent<P::Req>)>,
+    rx: Receiver<KernelReply<P::Resp>>,
+}
+
+impl<P: Protocol> ProcCtx<P> {
+    /// This process's token.
+    pub fn token(&self) -> ProcToken {
+        self.token
+    }
+
+    /// Issues a syscall and blocks until the kernel responds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has shut down (deadlock detected elsewhere).
+    pub fn request(&mut self, req: P::Req) -> P::Resp {
+        self.tx
+            .send((self.token.0, ProcEvent::Request(req)))
+            .expect("kernel alive");
+        match self.rx.recv().expect("kernel alive") {
+            KernelReply::Resp(r) => r,
+            KernelReply::Ack => unreachable!("request answered with ack"),
+        }
+    }
+
+    /// Charges `cost` of virtual compute time to this process.
+    ///
+    /// Use to model local computation between memory operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has shut down.
+    pub fn advance(&mut self, cost: SimTime) {
+        self.tx
+            .send((self.token.0, ProcEvent::Charge(cost)))
+            .expect("kernel alive");
+        match self.rx.recv().expect("kernel alive") {
+            KernelReply::Ack => {}
+            KernelReply::Resp(_) => unreachable!("charge answered with response"),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ProcState {
+    Running,
+    Ready,
+    Blocked,
+    Done,
+}
+
+struct ProcSlot<P: Protocol> {
+    node: NodeId,
+    state: ProcState,
+    resp_tx: Sender<KernelReply<P::Resp>>,
+    handle: Option<JoinHandle<()>>,
+    clock: SimTime,
+    ready_at: SimTime,
+    pending: Option<P::Req>,
+    blocked_since: SimTime,
+}
+
+/// Why a simulation run failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// All runnable work was exhausted while processes remained blocked.
+    Deadlock {
+        /// The blocked processes.
+        blocked: Vec<ProcToken>,
+        /// Virtual time of the deadlock.
+        at: SimTime,
+    },
+    /// A process panicked; the payload is re-thrown by [`Kernel::run`]'s
+    /// caller via [`std::panic::resume_unwind`] if desired.
+    ProcPanicked {
+        /// The process that panicked.
+        proc: ProcToken,
+        /// The panic payload.
+        payload: Box<dyn std::any::Any + Send>,
+    },
+    /// The configured event budget was exhausted.
+    EventLimit {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked, at } => {
+                write!(f, "deadlock at {at}: blocked processes {blocked:?}")
+            }
+            SimError::ProcPanicked { proc, .. } => write!(f, "process {proc} panicked"),
+            SimError::EventLimit { limit } => {
+                write!(f, "event limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The result of a completed run.
+#[derive(Debug)]
+pub struct RunReport<P> {
+    /// The final protocol state (for inspection and invariant checks).
+    pub protocol: P,
+    /// Execution metrics.
+    pub metrics: Metrics,
+}
+
+/// The simulation kernel. See the module docs for the scheduling model.
+///
+/// # Examples
+///
+/// ```
+/// use mc_sim::{Kernel, NetCtx, NodeId, Poll, ProcToken, Protocol, SimConfig};
+///
+/// // A trivial "protocol": requests echo their payload locally.
+/// struct Echo;
+/// impl Protocol for Echo {
+///     type Msg = ();
+///     type Req = u32;
+///     type Resp = u32;
+///     fn on_request(&mut self, _: ProcToken, _: NodeId, req: u32,
+///                   _: &mut NetCtx<'_, ()>) -> Poll<u32> {
+///         Poll::Ready(req + 1)
+///     }
+///     fn on_message(&mut self, _: NodeId, _: NodeId, _: (), _: &mut NetCtx<'_, ()>) {}
+///     fn poll_blocked(&mut self, _: ProcToken, _: NodeId,
+///                     _: &mut NetCtx<'_, ()>) -> Option<u32> { None }
+/// }
+///
+/// let mut kernel = Kernel::new(Echo, 1, SimConfig::default());
+/// kernel.spawn(NodeId(0), |ctx| {
+///     assert_eq!(ctx.request(41), 42);
+/// });
+/// let report = kernel.run()?;
+/// assert_eq!(report.metrics.events, 1);
+/// # Ok::<(), mc_sim::SimError>(())
+/// ```
+pub struct Kernel<P: Protocol> {
+    protocol: P,
+    config: SimConfig,
+    network: Network<P::Msg>,
+    rng: StdRng,
+    schedule: Box<dyn Schedule>,
+    metrics: Metrics,
+    procs: Vec<ProcSlot<P>>,
+    inbox_tx: Sender<(u32, ProcEvent<P::Req>)>,
+    inbox_rx: Receiver<(u32, ProcEvent<P::Req>)>,
+    now: SimTime,
+}
+
+impl<P: Protocol> fmt::Debug for Kernel<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("nnodes", &self.network.nnodes)
+            .field("nprocs", &self.procs.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl<P: Protocol> Kernel<P> {
+    /// Creates a kernel over `nnodes` network nodes.
+    pub fn new(protocol: P, nnodes: usize, config: SimConfig) -> Self {
+        let (inbox_tx, inbox_rx) = channel();
+        Kernel {
+            protocol,
+            rng: StdRng::seed_from_u64(config.seed),
+            schedule: Box::new(RandomSchedule::new(config.seed ^ 0x5eed_0fda)),
+            config,
+            network: Network::new(nnodes),
+            metrics: Metrics::new(),
+            procs: Vec::new(),
+            inbox_tx,
+            inbox_rx,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Spawns a process bound to `node` and returns its token.
+    ///
+    /// The closure runs on its own thread but is scheduled cooperatively:
+    /// it only makes progress when the kernel resumes one of its syscalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn spawn<F>(&mut self, node: NodeId, f: F) -> ProcToken
+    where
+        F: FnOnce(&mut ProcCtx<P>) + Send + 'static,
+    {
+        assert!(node.index() < self.network.nnodes, "unknown node {node}");
+        let token = ProcToken(self.procs.len() as u32);
+        let (resp_tx, resp_rx) = channel();
+        let tx = self.inbox_tx.clone();
+        let mut ctx = ProcCtx { token, tx: tx.clone(), rx: resp_rx };
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-proc-{}", token.0))
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(move || f(&mut ctx)));
+                let payload = result.err();
+                // The kernel may already be gone (deadlock shutdown).
+                let _ = tx.send((token.0, ProcEvent::Done(payload)));
+            })
+            .expect("thread spawn");
+        self.procs.push(ProcSlot {
+            node,
+            state: ProcState::Running,
+            resp_tx,
+            handle: Some(handle),
+            clock: SimTime::ZERO,
+            ready_at: SimTime::ZERO,
+            pending: None,
+            blocked_since: SimTime::ZERO,
+        });
+        token
+    }
+
+    /// The kernel's metrics so far (useful between phased runs).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Replaces the tie-breaking schedule (see [`crate::schedule`]).
+    ///
+    /// With [`LatencyModel::INSTANT`](crate::LatencyModel::INSTANT) (or any
+    /// jitter-free model) the schedule is the *only* source of
+    /// nondeterminism, so enumerating decision traces enumerates the
+    /// run's interleavings.
+    pub fn set_schedule(&mut self, schedule: Box<dyn Schedule>) {
+        self.schedule = schedule;
+    }
+
+    fn net_ctx<'a>(
+        now: SimTime,
+        network: &'a mut Network<P::Msg>,
+        rng: &'a mut StdRng,
+        metrics: &'a mut Metrics,
+        config: &'a SimConfig,
+    ) -> NetCtx<'a, P::Msg> {
+        NetCtx { now, net: network, rng, metrics, config }
+    }
+
+    /// Blocks until no process thread is running (all are parked on a
+    /// syscall, blocked, or done).
+    fn settle(&mut self) -> Result<(), SimError> {
+        while self.procs.iter().any(|p| p.state == ProcState::Running) {
+            let (idx, ev) = self.inbox_rx.recv().expect("a running process exists");
+            let slot = &mut self.procs[idx as usize];
+            match ev {
+                ProcEvent::Request(req) => {
+                    slot.pending = Some(req);
+                    slot.ready_at = slot.clock + self.config.local_cost;
+                    slot.state = ProcState::Ready;
+                    self.metrics.record_proc_syscall(idx as usize);
+                }
+                ProcEvent::Charge(cost) => {
+                    slot.clock += cost;
+                    slot.resp_tx
+                        .send(KernelReply::Ack)
+                        .expect("process waiting for ack");
+                }
+                ProcEvent::Done(payload) => {
+                    slot.state = ProcState::Done;
+                    if let Some(payload) = payload {
+                        return Err(SimError::ProcPanicked {
+                            proc: ProcToken(idx),
+                            payload,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resumes process `idx` with `reply` and waits for it to settle.
+    fn resume(&mut self, idx: usize, reply: P::Resp) -> Result<(), SimError> {
+        let slot = &mut self.procs[idx];
+        slot.state = ProcState::Running;
+        slot.clock = self.now;
+        slot.resp_tx
+            .send(KernelReply::Resp(reply))
+            .expect("process waiting for response");
+        self.settle()
+    }
+
+    /// Polls every blocked process (in token order) until a fixpoint.
+    fn poll_blocked_procs(&mut self) -> Result<(), SimError> {
+        loop {
+            let mut progressed = false;
+            for idx in 0..self.procs.len() {
+                if self.procs[idx].state != ProcState::Blocked {
+                    continue;
+                }
+                let node = self.procs[idx].node;
+                let mut ctx = Self::net_ctx(
+                    self.now,
+                    &mut self.network,
+                    &mut self.rng,
+                    &mut self.metrics,
+                    &self.config,
+                );
+                if let Some(resp) =
+                    self.protocol.poll_blocked(ProcToken(idx as u32), node, &mut ctx)
+                {
+                    let stall = self.now.saturating_sub(self.procs[idx].blocked_since);
+                    self.metrics.record_stall(stall);
+                    self.metrics.record_proc_stall(idx, stall);
+                    self.resume(idx, resp)?;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Deadlock`] if blocked processes can never resume;
+    /// * [`SimError::ProcPanicked`] if a process panicked;
+    /// * [`SimError::EventLimit`] if the event budget is exhausted.
+    pub fn run(mut self) -> Result<RunReport<P>, SimError> {
+        let outcome = self.run_inner();
+        // Shut down: drop response senders so stray threads unblock, then
+        // join them (ignoring their shutdown panics).
+        let handles: Vec<JoinHandle<()>> =
+            self.procs.iter_mut().filter_map(|p| p.handle.take()).collect();
+        let senders: Vec<Sender<KernelReply<P::Resp>>> = self
+            .procs
+            .drain(..)
+            .map(|p| p.resp_tx)
+            .collect();
+        drop(senders);
+        for h in handles {
+            let _ = h.join();
+        }
+        match outcome {
+            Ok(()) => {
+                self.metrics.finish_time = self.now;
+                Ok(RunReport { protocol: self.protocol, metrics: self.metrics })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn run_inner(&mut self) -> Result<(), SimError> {
+        self.settle()?;
+        self.poll_blocked_procs()?;
+        loop {
+            if self.metrics.events >= self.config.max_events {
+                return Err(SimError::EventLimit { limit: self.config.max_events });
+            }
+            // Candidates: the earliest delivery and every ready syscall.
+            let delivery_at = self.network.queue.peek().map(|Reverse(d)| d.at);
+            let ready: Vec<(usize, SimTime)> = self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.state == ProcState::Ready)
+                .map(|(i, p)| (i, p.ready_at))
+                .collect();
+
+            let min_time = ready
+                .iter()
+                .map(|&(_, t)| t)
+                .chain(delivery_at)
+                .min();
+            let Some(min_time) = min_time else {
+                // Nothing runnable.
+                let blocked: Vec<ProcToken> = self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.state == ProcState::Blocked)
+                    .map(|(i, _)| ProcToken(i as u32))
+                    .collect();
+                if blocked.is_empty() {
+                    return Ok(()); // all done
+                }
+                return Err(SimError::Deadlock { blocked, at: self.now });
+            };
+            self.now = self.now.max(min_time);
+
+            // Collect all candidates at min_time; break ties with the rng.
+            let mut candidates: Vec<Option<usize>> = ready
+                .iter()
+                .filter(|&&(_, t)| t == min_time)
+                .map(|&(i, _)| Some(i))
+                .collect();
+            if delivery_at == Some(min_time) {
+                candidates.push(None); // None = the delivery
+            }
+            let choice = candidates[self.schedule.choose(candidates.len())];
+
+            self.metrics.events += 1;
+            match choice {
+                None => {
+                    let Reverse(d) = self.network.queue.pop().expect("peeked");
+                    let Delivery { from, to, msg, .. } = d;
+                    let mut ctx = Self::net_ctx(
+                        self.now,
+                        &mut self.network,
+                        &mut self.rng,
+                        &mut self.metrics,
+                        &self.config,
+                    );
+                    self.protocol.on_message(to, from, msg, &mut ctx);
+                }
+                Some(idx) => {
+                    let req = self.procs[idx].pending.take().expect("ready has request");
+                    let (token, node) = (ProcToken(idx as u32), self.procs[idx].node);
+                    let mut ctx = Self::net_ctx(
+                        self.now,
+                        &mut self.network,
+                        &mut self.rng,
+                        &mut self.metrics,
+                        &self.config,
+                    );
+                    match self.protocol.on_request(token, node, req, &mut ctx) {
+                        Poll::Ready(resp) => {
+                            self.resume(idx, resp)?;
+                        }
+                        Poll::Pending => {
+                            self.procs[idx].state = ProcState::Blocked;
+                            self.procs[idx].blocked_since = self.now;
+                        }
+                    }
+                }
+            }
+            self.poll_blocked_procs()?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A tiny replicated-counter protocol for exercising the kernel:
+    /// `Incr` bumps the local copy and broadcasts; `Get` reads the local
+    /// copy; `WaitFor(v)` blocks until the local copy reaches `v`.
+    #[derive(Debug)]
+    struct Counter {
+        copies: Vec<i64>,
+        waiting: Vec<Option<i64>>, // per proc: threshold
+    }
+
+    #[derive(Clone)]
+    struct Bump(i64);
+
+    enum Req {
+        Incr,
+        Get,
+        WaitFor(i64),
+    }
+
+    impl Protocol for Counter {
+        type Msg = Bump;
+        type Req = Req;
+        type Resp = i64;
+
+        fn on_request(
+            &mut self,
+            proc: ProcToken,
+            node: NodeId,
+            req: Req,
+            net: &mut NetCtx<'_, Bump>,
+        ) -> Poll<i64> {
+            match req {
+                Req::Incr => {
+                    self.copies[node.index()] += 1;
+                    net.broadcast(node, "bump", 8, Bump(1));
+                    Poll::Ready(self.copies[node.index()])
+                }
+                Req::Get => Poll::Ready(self.copies[node.index()]),
+                Req::WaitFor(v) => {
+                    if self.copies[node.index()] >= v {
+                        Poll::Ready(self.copies[node.index()])
+                    } else {
+                        self.waiting[proc.index()] = Some(v);
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+
+        fn on_message(&mut self, to: NodeId, _from: NodeId, msg: Bump, _net: &mut NetCtx<'_, Bump>) {
+            self.copies[to.index()] += msg.0;
+        }
+
+        fn poll_blocked(
+            &mut self,
+            proc: ProcToken,
+            node: NodeId,
+            _net: &mut NetCtx<'_, Bump>,
+        ) -> Option<i64> {
+            let v = self.waiting[proc.index()]?;
+            if self.copies[node.index()] >= v {
+                self.waiting[proc.index()] = None;
+                Some(self.copies[node.index()])
+            } else {
+                None
+            }
+        }
+    }
+
+    fn counter(n: usize) -> Counter {
+        Counter { copies: vec![0; n], waiting: vec![None; 8] }
+    }
+
+    #[test]
+    fn basic_request_response() {
+        let mut k = Kernel::new(counter(2), 2, SimConfig::default());
+        let out = Arc::new(Mutex::new(0));
+        let out2 = out.clone();
+        k.spawn(NodeId(0), move |ctx| {
+            ctx.request(Req::Incr);
+            *out2.lock().unwrap() = ctx.request(Req::Get);
+        });
+        let report = k.run().unwrap();
+        assert_eq!(*out.lock().unwrap(), 1);
+        assert_eq!(report.metrics.kind("bump").count, 1);
+        assert!(report.metrics.finish_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn blocking_resumes_on_delivery() {
+        let mut k = Kernel::new(counter(2), 2, SimConfig::default());
+        let got = Arc::new(Mutex::new(0));
+        let got2 = got.clone();
+        k.spawn(NodeId(0), |ctx| {
+            ctx.request(Req::Incr);
+        });
+        k.spawn(NodeId(1), move |ctx| {
+            *got2.lock().unwrap() = ctx.request(Req::WaitFor(1));
+        });
+        let report = k.run().unwrap();
+        assert_eq!(*got.lock().unwrap(), 1);
+        assert_eq!(report.metrics.blocked_syscalls, 1);
+        assert!(report.metrics.stall_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut k = Kernel::new(counter(1), 1, SimConfig::default());
+        k.spawn(NodeId(0), |ctx| {
+            ctx.request(Req::WaitFor(1)); // nobody will increment
+        });
+        match k.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked, vec![ProcToken(0)]);
+            }
+            other => panic!("expected deadlock, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut k = Kernel::new(counter(1), 1, SimConfig::default());
+        k.spawn(NodeId(0), |_ctx| {
+            panic!("boom");
+        });
+        match k.run() {
+            Err(SimError::ProcPanicked { proc, payload }) => {
+                assert_eq!(proc, ProcToken(0));
+                assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+            }
+            other => panic!("expected panic report, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn event_limit_guards_runaway() {
+        let mut cfg = SimConfig::default();
+        cfg.max_events = 10;
+        let mut k = Kernel::new(counter(2), 2, cfg);
+        k.spawn(NodeId(0), |ctx| {
+            for _ in 0..100 {
+                ctx.request(Req::Incr);
+            }
+        });
+        assert!(matches!(k.run(), Err(SimError::EventLimit { limit: 10 })));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let run = |seed: u64| {
+            let mut k = Kernel::new(counter(3), 3, SimConfig::with_seed(seed));
+            for n in 0..3u32 {
+                k.spawn(NodeId(n), move |ctx| {
+                    for _ in 0..5 {
+                        ctx.request(Req::Incr);
+                    }
+                    ctx.request(Req::WaitFor(15));
+                });
+            }
+            let r = k.run().unwrap();
+            (r.metrics.finish_time, r.metrics.messages, r.metrics.events)
+        };
+        assert_eq!(run(42), run(42));
+        assert_eq!(run(7), run(7));
+        // Different seeds explore different schedules (latency jitter).
+        assert_ne!(run(1).0, run(2).0);
+    }
+
+    #[test]
+    fn advance_charges_virtual_time() {
+        let mut k = Kernel::new(counter(1), 1, SimConfig::default());
+        k.spawn(NodeId(0), |ctx| {
+            ctx.advance(SimTime::from_millis(5));
+            ctx.request(Req::Get);
+        });
+        let report = k.run().unwrap();
+        assert!(report.metrics.finish_time >= SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn eventual_delivery_converges_all_copies() {
+        let n = 4;
+        let mut k = Kernel::new(counter(n), n, SimConfig::with_seed(3));
+        for i in 0..n as u32 {
+            k.spawn(NodeId(i), move |ctx| {
+                for _ in 0..3 {
+                    ctx.request(Req::Incr);
+                }
+                ctx.request(Req::WaitFor(3 * 4));
+            });
+        }
+        let report = k.run().unwrap();
+        assert!(report.protocol.copies.iter().all(|&c| c == 12));
+    }
+
+    #[test]
+    fn sim_error_display() {
+        let e = SimError::Deadlock { blocked: vec![ProcToken(1)], at: SimTime::ZERO };
+        assert!(e.to_string().contains("deadlock"));
+        let e = SimError::EventLimit { limit: 5 };
+        assert!(e.to_string().contains("5"));
+    }
+}

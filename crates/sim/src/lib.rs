@@ -1,0 +1,37 @@
+//! # mc-sim — a deterministic discrete-event simulator for message-passing
+//! distributed systems
+//!
+//! This crate is the substrate on which the mixed-consistency DSM protocols
+//! run (replacing the workstation LAN + Maya platform the paper used). It
+//! provides:
+//!
+//! * **virtual time** ([`SimTime`]) and a latency model
+//!   ([`LatencyModel`]): `base + per_byte·size + jitter`;
+//! * a **network** of [`NodeId`] nodes with per-link FIFO delivery (the
+//!   paper's channel assumption) and an opt-out for fault injection;
+//! * a **kernel** ([`Kernel`]) that runs user closures as cooperative
+//!   processes: every memory/synchronization operation is a syscall that
+//!   parks the thread until the kernel schedules it, so executions are
+//!   **bit-for-bit reproducible** from a seed while different seeds explore
+//!   different interleavings;
+//! * exact **metrics** ([`Metrics`]): virtual completion time, message and
+//!   byte counts per message kind, blocking stalls — the quantities that
+//!   differentiate PRAM, causal, and sequentially consistent memory.
+//!
+//! Protocols implement the [`Protocol`] trait; see `mc-proto` for the DSM
+//! protocols of the paper and the crate-level example on [`Kernel`] for a
+//! minimal one.
+
+#![warn(missing_docs)]
+
+mod kernel;
+mod metrics;
+mod net;
+pub mod schedule;
+mod time;
+
+pub use kernel::{Kernel, Poll, ProcCtx, ProcToken, Protocol, RunReport, SimError};
+pub use metrics::{KindStats, Metrics, ProcStats};
+pub use net::{LatencyModel, NetCtx, NodeId, SimConfig};
+pub use schedule::{DecisionTrace, RandomSchedule, ReplaySchedule, Schedule};
+pub use time::SimTime;

@@ -1,0 +1,183 @@
+//! Execution metrics: message counts, bytes, events, stalls.
+//!
+//! The qualitative claims of the paper (Section 7) are about communication
+//! and stall costs, so the simulator accounts for them exactly: every
+//! message carries a static *kind* label and a size, and every blocked
+//! process resume records how long the process stalled.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Per-message-kind counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Number of messages sent.
+    pub count: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+}
+
+/// Per-process counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Syscalls issued by the process.
+    pub syscalls: u64,
+    /// Syscalls that blocked at least once.
+    pub blocked: u64,
+    /// Total virtual time spent blocked.
+    pub stall_time: SimTime,
+}
+
+/// Aggregate metrics of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    per_kind: BTreeMap<&'static str, KindStats>,
+    per_proc: Vec<ProcStats>,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Number of simulator events processed (deliveries + syscalls).
+    pub events: u64,
+    /// Number of syscalls that blocked at least once.
+    pub blocked_syscalls: u64,
+    /// Total virtual time processes spent blocked.
+    pub stall_time: SimTime,
+    /// Virtual time at the end of the run.
+    pub finish_time: SimTime,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one sent message.
+    pub fn record_send(&mut self, kind: &'static str, bytes: u64) {
+        let e = self.per_kind.entry(kind).or_default();
+        e.count += 1;
+        e.bytes += bytes;
+        self.messages += 1;
+        self.bytes += bytes;
+    }
+
+    /// Records a resumed process that stalled for `stall`.
+    pub fn record_stall(&mut self, stall: SimTime) {
+        self.blocked_syscalls += 1;
+        self.stall_time += stall;
+    }
+
+    fn proc_entry(&mut self, proc: usize) -> &mut ProcStats {
+        if proc >= self.per_proc.len() {
+            self.per_proc.resize(proc + 1, ProcStats::default());
+        }
+        &mut self.per_proc[proc]
+    }
+
+    /// Records one syscall issued by `proc`.
+    pub fn record_proc_syscall(&mut self, proc: usize) {
+        self.proc_entry(proc).syscalls += 1;
+    }
+
+    /// Records a stall of `proc`.
+    pub fn record_proc_stall(&mut self, proc: usize, stall: SimTime) {
+        let e = self.proc_entry(proc);
+        e.blocked += 1;
+        e.stall_time += stall;
+    }
+
+    /// Per-process counters (indexed by process token).
+    pub fn proc(&self, proc: usize) -> ProcStats {
+        self.per_proc.get(proc).copied().unwrap_or_default()
+    }
+
+    /// Iterates over all per-process counters.
+    pub fn procs(&self) -> impl Iterator<Item = (usize, ProcStats)> + '_ {
+        self.per_proc.iter().enumerate().map(|(i, &s)| (i, s))
+    }
+
+    /// The counters for one message kind (zero if never sent).
+    pub fn kind(&self, kind: &str) -> KindStats {
+        self.per_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(kind, stats)` in kind order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
+        self.per_kind.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "time={} events={} messages={} bytes={} blocked={} stall={}",
+            self.finish_time,
+            self.events,
+            self.messages,
+            self.bytes,
+            self.blocked_syscalls,
+            self.stall_time
+        )?;
+        for (kind, s) in &self.per_kind {
+            writeln!(f, "  {kind}: {} msgs, {} bytes", s.count, s.bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_accounting() {
+        let mut m = Metrics::new();
+        m.record_send("update", 16);
+        m.record_send("update", 16);
+        m.record_send("grant", 4);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.bytes, 36);
+        assert_eq!(m.kind("update"), KindStats { count: 2, bytes: 32 });
+        assert_eq!(m.kind("grant").count, 1);
+        assert_eq!(m.kind("nonexistent"), KindStats::default());
+        let kinds: Vec<_> = m.kinds().map(|(k, _)| k).collect();
+        assert_eq!(kinds, vec!["grant", "update"]);
+    }
+
+    #[test]
+    fn stall_accounting() {
+        let mut m = Metrics::new();
+        m.record_stall(SimTime::from_micros(5));
+        m.record_stall(SimTime::from_micros(3));
+        assert_eq!(m.blocked_syscalls, 2);
+        assert_eq!(m.stall_time, SimTime::from_micros(8));
+    }
+
+    #[test]
+    fn per_proc_accounting() {
+        let mut m = Metrics::new();
+        m.record_proc_syscall(1);
+        m.record_proc_syscall(1);
+        m.record_proc_stall(1, SimTime::from_micros(2));
+        assert_eq!(m.proc(1).syscalls, 2);
+        assert_eq!(m.proc(1).blocked, 1);
+        assert_eq!(m.proc(1).stall_time, SimTime::from_micros(2));
+        assert_eq!(m.proc(0), ProcStats::default());
+        assert_eq!(m.proc(9), ProcStats::default(), "unknown proc is zeroed");
+        assert_eq!(m.procs().count(), 2);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut m = Metrics::new();
+        m.record_send("update", 8);
+        m.finish_time = SimTime::from_micros(1);
+        let s = m.to_string();
+        assert!(s.contains("messages=1"));
+        assert!(s.contains("update: 1 msgs"));
+    }
+}

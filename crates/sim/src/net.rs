@@ -1,0 +1,338 @@
+//! The simulated message-passing network: FIFO links, latency model,
+//! delivery queue.
+//!
+//! Section 6 of the paper assumes "a message passing system with FIFO
+//! communication channels". The network here delivers every message after
+//! a configurable latency (`base + per_byte·size + jitter`), preserving
+//! per-link FIFO order by default. FIFO can be switched off
+//! ([`SimConfig::fifo`]) to inject the reordering faults the consistency
+//! checkers are expected to catch.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::metrics::Metrics;
+use crate::time::SimTime;
+
+/// Identifier of a network node (a memory replica or a manager).
+///
+/// Nodes are numbered densely from zero; the binding between processes and
+/// nodes is up to the protocol (typically process `i` lives on node `i`
+/// and managers occupy the tail ids).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Message latency model: `base + per_byte·size` plus uniform jitter in
+/// `[0, jitter]`.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyModel {
+    /// Fixed per-message cost.
+    pub base: SimTime,
+    /// Cost per payload byte, in nanoseconds.
+    pub per_byte_ns: u64,
+    /// Upper bound of the uniform jitter term.
+    pub jitter: SimTime,
+}
+
+impl LatencyModel {
+    /// A zero-latency model (useful for algorithmic tests).
+    pub const INSTANT: LatencyModel = LatencyModel {
+        base: SimTime::ZERO,
+        per_byte_ns: 0,
+        jitter: SimTime::ZERO,
+    };
+
+    /// Samples the latency of one message of `bytes` payload bytes.
+    pub fn sample(&self, bytes: u64, rng: &mut StdRng) -> SimTime {
+        let jitter = if self.jitter == SimTime::ZERO {
+            0
+        } else {
+            rng.gen_range(0..=self.jitter.as_nanos())
+        };
+        self.base + SimTime::from_nanos(bytes * self.per_byte_ns + jitter)
+    }
+}
+
+impl Default for LatencyModel {
+    /// A LAN-like default: 5µs base, 2ns/byte, 1µs jitter.
+    fn default() -> Self {
+        LatencyModel {
+            base: SimTime::from_micros(5),
+            per_byte_ns: 2,
+            jitter: SimTime::from_micros(1),
+        }
+    }
+}
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for every random choice (latency jitter, tie-breaking).
+    pub seed: u64,
+    /// The message latency model.
+    pub latency: LatencyModel,
+    /// Virtual cost charged per process syscall.
+    pub local_cost: SimTime,
+    /// Preserve per-link FIFO delivery order (the paper's assumption)
+    /// *and* per-link bandwidth serialization. Disabling injects
+    /// reordering faults and also lifts the bandwidth limit — the
+    /// fault-injection mode deliberately models a lawless network.
+    pub fifo: bool,
+    /// Abort the run after this many simulator events (runaway guard).
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// A configuration with the given seed and defaults elsewhere.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig { seed, ..SimConfig::default() }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            latency: LatencyModel::default(),
+            local_cost: SimTime::from_nanos(100),
+            fifo: true,
+            max_events: 100_000_000,
+        }
+    }
+}
+
+/// A scheduled message delivery.
+#[derive(Debug)]
+pub(crate) struct Delivery<M> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub from: NodeId,
+    pub to: NodeId,
+    pub msg: M,
+}
+
+impl<M> PartialEq for Delivery<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Delivery<M> {}
+
+impl<M> PartialOrd for Delivery<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Delivery<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The network state owned by the kernel.
+#[derive(Debug)]
+pub(crate) struct Network<M> {
+    pub queue: BinaryHeap<Reverse<Delivery<M>>>,
+    pub link_last: HashMap<(NodeId, NodeId), SimTime>,
+    pub next_seq: u64,
+    pub nnodes: usize,
+}
+
+impl<M> Network<M> {
+    pub fn new(nnodes: usize) -> Self {
+        Network {
+            queue: BinaryHeap::new(),
+            link_last: HashMap::new(),
+            next_seq: 0,
+            nnodes,
+        }
+    }
+}
+
+/// The interface protocols use to interact with the network and clock.
+///
+/// Handed to every [`Protocol`](crate::Protocol) callback; sending is
+/// asynchronous (fire-and-forget), matching the paper's non-blocking
+/// update broadcasts.
+#[derive(Debug)]
+pub struct NetCtx<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) net: &'a mut Network<M>,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) config: &'a SimConfig,
+}
+
+impl<M> NetCtx<'_, M> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of network nodes.
+    pub fn nnodes(&self) -> usize {
+        self.net.nnodes
+    }
+
+    /// The seeded random-number generator of the run.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` from `from` to `to`.
+    ///
+    /// `kind` labels the message in the metrics; `bytes` is the modeled
+    /// payload size (it feeds the latency model and byte counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range or if `from == to`
+    /// (local interactions are not messages).
+    pub fn send(&mut self, from: NodeId, to: NodeId, kind: &'static str, bytes: u64, msg: M) {
+        assert!(from.index() < self.net.nnodes, "send from unknown node {from}");
+        assert!(to.index() < self.net.nnodes, "send to unknown node {to}");
+        assert_ne!(from, to, "a node does not message itself");
+        let latency = self.config.latency.sample(bytes, self.rng);
+        let mut at = self.now + latency;
+        if self.config.fifo {
+            // Finite link bandwidth: a link is occupied for the message's
+            // transmission time, so back-to-back sends on one link are
+            // serialized (store-and-forward). This also preserves FIFO.
+            let tx = SimTime::from_nanos(bytes * self.config.latency.per_byte_ns);
+            let last = self.net.link_last.entry((from, to)).or_insert(SimTime::ZERO);
+            if at < *last + tx {
+                at = *last + tx;
+            }
+            *last = at;
+        }
+        let seq = self.net.next_seq;
+        self.net.next_seq += 1;
+        self.metrics.record_send(kind, bytes);
+        self.net.queue.push(Reverse(Delivery { at, seq, from, to, msg }));
+    }
+
+    /// Broadcasts `msg` from `from` to every other node.
+    pub fn broadcast(&mut self, from: NodeId, kind: &'static str, bytes: u64, msg: M)
+    where
+        M: Clone,
+    {
+        for to in 0..self.net.nnodes as u32 {
+            if to != from.0 {
+                self.send(from, NodeId(to), kind, bytes, msg.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx_parts() -> (Network<u32>, StdRng, Metrics, SimConfig) {
+        (
+            Network::new(3),
+            StdRng::seed_from_u64(7),
+            Metrics::new(),
+            SimConfig::with_seed(7),
+        )
+    }
+
+    #[test]
+    fn send_schedules_delivery_after_latency() {
+        let (mut net, mut rng, mut metrics, config) = ctx_parts();
+        let mut ctx = NetCtx { now: SimTime::ZERO, net: &mut net, rng: &mut rng, metrics: &mut metrics, config: &config };
+        ctx.send(NodeId(0), NodeId(1), "test", 8, 42);
+        assert_eq!(metrics.messages, 1);
+        let Reverse(d) = net.queue.pop().unwrap();
+        assert!(d.at >= config.latency.base);
+        assert_eq!(d.msg, 42);
+        assert_eq!((d.from, d.to), (NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn fifo_preserves_link_order() {
+        let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
+        config.latency.jitter = SimTime::from_millis(1); // huge jitter
+        let mut ctx = NetCtx { now: SimTime::ZERO, net: &mut net, rng: &mut rng, metrics: &mut metrics, config: &config };
+        for i in 0..50u32 {
+            ctx.send(NodeId(0), NodeId(1), "test", 0, i);
+        }
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut order = Vec::new();
+        while let Some(Reverse(d)) = net.queue.pop() {
+            assert!((d.at, d.seq) >= last, "heap pops in time order");
+            last = (d.at, d.seq);
+            order.push(d.msg);
+        }
+        // FIFO: payloads in send order.
+        let expect: Vec<u32> = (0..50).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn non_fifo_can_reorder() {
+        let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
+        config.fifo = false;
+        config.latency.jitter = SimTime::from_millis(1);
+        let mut ctx = NetCtx { now: SimTime::ZERO, net: &mut net, rng: &mut rng, metrics: &mut metrics, config: &config };
+        for i in 0..50u32 {
+            ctx.send(NodeId(0), NodeId(1), "test", 0, i);
+        }
+        let mut order = Vec::new();
+        while let Some(Reverse(d)) = net.queue.pop() {
+            order.push(d.msg);
+        }
+        let expect: Vec<u32> = (0..50).collect();
+        assert_ne!(order, expect, "with huge jitter some reordering occurs");
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_else() {
+        let (mut net, mut rng, mut metrics, config) = ctx_parts();
+        let mut ctx = NetCtx { now: SimTime::ZERO, net: &mut net, rng: &mut rng, metrics: &mut metrics, config: &config };
+        ctx.broadcast(NodeId(1), "update", 4, 9);
+        assert_eq!(metrics.messages, 2);
+        let targets: Vec<NodeId> = net.queue.drain().map(|Reverse(d)| d.to).collect();
+        assert!(targets.contains(&NodeId(0)) && targets.contains(&NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not message itself")]
+    fn self_send_panics() {
+        let (mut net, mut rng, mut metrics, config) = ctx_parts();
+        let mut ctx = NetCtx { now: SimTime::ZERO, net: &mut net, rng: &mut rng, metrics: &mut metrics, config: &config };
+        ctx.send(NodeId(0), NodeId(0), "test", 0, 0);
+    }
+
+    #[test]
+    fn latency_model_components() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyModel { base: SimTime::from_micros(5), per_byte_ns: 2, jitter: SimTime::ZERO };
+        assert_eq!(m.sample(100, &mut rng), SimTime::from_nanos(5_200));
+        assert_eq!(LatencyModel::INSTANT.sample(1000, &mut rng), SimTime::ZERO);
+        let j = LatencyModel { base: SimTime::ZERO, per_byte_ns: 0, jitter: SimTime::from_nanos(10) };
+        for _ in 0..100 {
+            assert!(j.sample(0, &mut rng).as_nanos() <= 10);
+        }
+    }
+}

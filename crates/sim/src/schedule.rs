@@ -1,0 +1,151 @@
+//! Pluggable scheduling decisions: seeded randomness by default,
+//! replayable decision traces for exhaustive exploration.
+//!
+//! Whenever several actions are runnable at the same virtual time the
+//! kernel asks its [`Schedule`] which to take. With zero latency jitter,
+//! the entire nondeterminism of a run is this decision sequence — so
+//! enumerating decision traces enumerates schedules, which is what
+//! exhaustive exploration (`mixed_consistency::explore`) does.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of scheduling decisions.
+pub trait Schedule: Send {
+    /// Picks one of `n ≥ 1` runnable candidates (returns an index `< n`).
+    fn choose(&mut self, n: usize) -> usize;
+}
+
+/// The default schedule: uniform seeded choices.
+#[derive(Debug)]
+pub struct RandomSchedule(StdRng);
+
+impl RandomSchedule {
+    /// Creates a random schedule from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSchedule(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl Schedule for RandomSchedule {
+    fn choose(&mut self, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        if n == 1 {
+            0
+        } else {
+            self.0.gen_range(0..n)
+        }
+    }
+}
+
+/// The recorded decisions of one run: the chosen index and the number of
+/// candidates (arity) at every decision point.
+#[derive(Clone, Debug, Default)]
+pub struct DecisionTrace {
+    /// Chosen candidate per decision point.
+    pub choices: Vec<u32>,
+    /// Number of candidates per decision point.
+    pub arities: Vec<u32>,
+}
+
+impl DecisionTrace {
+    /// The deepest decision point with an unexplored sibling, if any.
+    pub fn last_branch_point(&self) -> Option<usize> {
+        (0..self.choices.len())
+            .rev()
+            .find(|&i| self.choices[i] + 1 < self.arities[i])
+    }
+}
+
+/// A schedule that replays a decision prefix, then picks the first
+/// candidate, recording everything — the building block of depth-first
+/// schedule enumeration.
+pub struct ReplaySchedule {
+    prefix: Vec<u32>,
+    pos: usize,
+    trace: Arc<Mutex<DecisionTrace>>,
+}
+
+impl fmt::Debug for ReplaySchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplaySchedule")
+            .field("prefix_len", &self.prefix.len())
+            .field("pos", &self.pos)
+            .finish()
+    }
+}
+
+impl ReplaySchedule {
+    /// Creates a replay schedule; the recorded trace is readable through
+    /// the returned handle after the run.
+    pub fn new(prefix: Vec<u32>) -> (Self, Arc<Mutex<DecisionTrace>>) {
+        let trace = Arc::new(Mutex::new(DecisionTrace::default()));
+        (ReplaySchedule { prefix, pos: 0, trace: trace.clone() }, trace)
+    }
+}
+
+impl Schedule for ReplaySchedule {
+    fn choose(&mut self, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        let choice = if self.pos < self.prefix.len() {
+            // Replaying: the program is deterministic, so the arity at a
+            // replayed position matches the recorded run — clamp anyway
+            // for robustness.
+            (self.prefix[self.pos] as usize).min(n - 1)
+        } else {
+            0
+        };
+        self.pos += 1;
+        let mut t = self.trace.lock().expect("trace lock");
+        t.choices.push(choice as u32);
+        t.arities.push(n as u32);
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_in_range_and_deterministic() {
+        let mut a = RandomSchedule::new(9);
+        let mut b = RandomSchedule::new(9);
+        for n in [1usize, 2, 3, 7] {
+            let ca = a.choose(n);
+            assert_eq!(ca, b.choose(n));
+            assert!(ca < n);
+        }
+    }
+
+    #[test]
+    fn replay_follows_prefix_then_zero() {
+        let (mut s, trace) = ReplaySchedule::new(vec![1, 2]);
+        assert_eq!(s.choose(3), 1);
+        assert_eq!(s.choose(4), 2);
+        assert_eq!(s.choose(5), 0, "past the prefix: first candidate");
+        let t = trace.lock().unwrap();
+        assert_eq!(t.choices, vec![1, 2, 0]);
+        assert_eq!(t.arities, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn replay_clamps_out_of_range_prefix() {
+        let (mut s, _) = ReplaySchedule::new(vec![9]);
+        assert_eq!(s.choose(2), 1);
+    }
+
+    #[test]
+    fn branch_point_detection() {
+        let t = DecisionTrace { choices: vec![0, 1, 0], arities: vec![2, 2, 1] };
+        // Position 2 has arity 1 (no sibling); position 1 chose 1 of 2 (no
+        // sibling left); position 0 chose 0 of 2 — has a sibling.
+        assert_eq!(t.last_branch_point(), Some(0));
+        let done = DecisionTrace { choices: vec![1, 1], arities: vec![2, 2] };
+        assert_eq!(done.last_branch_point(), None);
+        assert_eq!(DecisionTrace::default().last_branch_point(), None);
+    }
+}

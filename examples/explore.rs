@@ -1,0 +1,102 @@
+//! Exhaustive schedule exploration: verify a program's consistency on
+//! EVERY scheduler interleaving, not just sampled seeds.
+//!
+//! The kernel's tie-breaking decisions are the only nondeterminism under
+//! a zero-latency, zero-cost configuration; exploration enumerates the
+//! decision tree depth-first (the systematic concurrency-testing
+//! approach) and runs the checkers on each execution.
+//!
+//! Run with: `cargo run --example explore --release`
+
+use mixed_consistency::{check, explore, sc, Loc, Mode, System, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------ store buffer
+    // Dekker's litmus on mixed memory: count how many schedules realize
+    // each read outcome, verifying Definition 4 on every one.
+    let mut outcomes = std::collections::BTreeMap::<String, usize>::new();
+    let report = explore::explore(
+        20_000,
+        || {
+            let mut sys = System::new(2, Mode::Mixed)
+                .record(true)
+                .sim_config(explore::racing_config());
+            sys.spawn(|ctx| {
+                ctx.write(Loc(0), 1);
+                let _ = ctx.read_causal(Loc(1));
+            });
+            sys.spawn(|ctx| {
+                ctx.write(Loc(1), 1);
+                let _ = ctx.read_causal(Loc(0));
+            });
+            sys
+        },
+        |o| {
+            let h = o.history.as_ref().unwrap();
+            check::check_mixed(h).map_err(|e| e.to_string())?;
+            let reads: Vec<i64> = h
+                .iter()
+                .filter_map(|(_, op)| match op.kind {
+                    mixed_consistency::OpKind::Read { value: Value::Int(v), .. } => Some(v),
+                    _ => None,
+                })
+                .collect();
+            let sc_ok = !matches!(
+                sc::check_sequential(h).map_err(|e| e.to_string())?,
+                sc::ScVerdict::NotSequentiallyConsistent
+            );
+            *outcomes
+                .entry(format!("r0(y)={} r1(x)={} sc={}", reads[0], reads[1], sc_ok))
+                .or_default() += 1;
+            Ok(())
+        },
+    )?;
+
+    println!("store-buffer litmus on mixed memory:");
+    println!(
+        "  explored {} schedules (complete: {}, max depth {})\n",
+        report.runs, report.complete, report.max_depth
+    );
+    println!("  outcome distribution:");
+    for (outcome, count) in &outcomes {
+        println!("    {outcome:<28} x{count}");
+    }
+    println!("\n  every schedule was mixed consistent (Definition 4) ✓");
+    println!("  the sc=false rows are the weak-memory outcomes sequential");
+    println!("  consistency forbids — causal memory permits them.\n");
+
+    // ----------------------------------------------------- message-passing flag
+    // The await idiom is SC on every schedule — exploration *proves* it
+    // for this program size.
+    let report = explore::explore(
+        20_000,
+        || {
+            let mut sys = System::new(2, Mode::Mixed)
+                .record(true)
+                .sim_config(explore::racing_config());
+            sys.spawn(|ctx| {
+                ctx.write(Loc(0), 42);
+                ctx.write(Loc(1), 1);
+            });
+            sys.spawn(|ctx| {
+                ctx.await_eq(Loc(1), 1);
+                assert_eq!(ctx.read_pram(Loc(0)), Value::Int(42));
+            });
+            sys
+        },
+        |o| {
+            let h = o.history.as_ref().unwrap();
+            check::check_mixed(h).map_err(|e| e.to_string())?;
+            match sc::check_sequential(h).map_err(|e| e.to_string())? {
+                sc::ScVerdict::NotSequentiallyConsistent => Err("not SC".into()),
+                _ => Ok(()),
+            }
+        },
+    )?;
+    println!("producer/consumer await idiom:");
+    println!(
+        "  {} schedules, complete: {} — sequentially consistent on ALL of them ✓",
+        report.runs, report.complete
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! The live executor: the same protocol state machines (`mc-proto`'s
+//! `Replica` and `Manager`) running on real OS threads and crossbeam
+//! channels instead of the deterministic simulator — and the recorded
+//! histories still verified against the paper's definitions.
+//!
+//! Run with: `cargo run --example live_threads`
+
+use mc_live::LiveSystem;
+use mixed_consistency::{check, LockId, Loc, Mode, ProcId, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three real threads hammer a lock-protected counter on the mixed
+    // protocol; a fourth phase-steps through barriers.
+    println!("running 20 repetitions of a racy program on real threads...\n");
+    let mut checked = 0usize;
+    let mut total_msgs = 0u64;
+    for _ in 0..20 {
+        let mut sys = LiveSystem::new(4, Mode::Mixed).record(true);
+        for _ in 0..3 {
+            sys.spawn(|ctx| {
+                for _ in 0..5 {
+                    ctx.with_write_lock(LockId(0), |ctx| {
+                        let v = ctx.read_causal(Loc(0)).expect_i64();
+                        ctx.write(Loc(0), v + 1);
+                    });
+                }
+                ctx.barrier();
+            });
+        }
+        sys.spawn(|ctx| {
+            ctx.barrier(); // joins after the writers are done
+            let total = ctx.read_causal(Loc(0));
+            assert_eq!(total, Value::Int(15), "no lost updates");
+        });
+
+        let outcome = sys.run()?;
+        assert_eq!(outcome.final_value(ProcId(0), Loc(0)), Value::Int(15));
+        let history = outcome.history.expect("recorded");
+        check::check_mixed(&history)?;
+        checked += 1;
+        total_msgs += outcome.messages;
+    }
+    println!("  {checked}/20 executions mixed consistent (Definition 4) ✓");
+    println!("  every run summed 3 workers x 5 locked increments to exactly 15 ✓");
+    println!("  average messages per run: {}", total_msgs / 20);
+    println!();
+    println!("the exact same Replica/Manager state machines back both this");
+    println!("executor and the deterministic simulator — consistency holds");
+    println!("under genuine OS-thread concurrency, not just simulated time.");
+    Ok(())
+}
