@@ -1,0 +1,188 @@
+//! Vendored, self-contained subset of the `criterion` API.
+//!
+//! Offline stand-in for the benchmark harness: it runs each closure a
+//! configurable number of iterations, reports mean wall-clock time per
+//! iteration on stdout, and exposes just the API surface
+//! `benches/paper.rs` uses (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`). No statistics, plots, or baselines —
+//! numbers are indicative, not rigorous.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget (upper bound on measuring).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up-time budget (upper bound on warm-up).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    fn run_one(&self, label: &str, mut routine: impl FnMut(&mut Bencher)) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            routine(&mut b);
+        }
+        // Measurement.
+        let mut b = Bencher { iters: self.sample_size as u64, elapsed: Duration::ZERO };
+        let deadline = Instant::now() + self.measurement_time;
+        routine(&mut b);
+        let mut iters = b.iters;
+        let mut elapsed = b.elapsed;
+        while Instant::now() < deadline {
+            let mut more = Bencher { iters: self.sample_size as u64, elapsed: Duration::ZERO };
+            routine(&mut more);
+            iters += more.iters;
+            elapsed += more.elapsed;
+        }
+        let per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        println!("bench {label:<48} {:>12.0} ns/iter ({iters} iters)", per_iter);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function(&mut self, id: impl Display, routine: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, routine);
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(&label, |b| routine(b, input));
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A function-plus-parameter benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id labeled `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Timer handle passed to benchmark routines.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_smoke() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("smoke");
+        let mut ran = 0u64;
+        g.bench_function("id", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("with", 7), &7u32, |b, &x| b.iter(|| black_box(x) * 2));
+        g.finish();
+        assert!(ran > 0);
+    }
+}

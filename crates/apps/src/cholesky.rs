@@ -220,7 +220,9 @@ pub fn run_cholesky(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sparse::{grid_laplacian, random_sparse_spd, sparse_cholesky_reference, symbolic_factorize};
+    use crate::sparse::{
+        grid_laplacian, random_sparse_spd, sparse_cholesky_reference, symbolic_factorize,
+    };
     use mixed_consistency::check;
 
     #[test]
@@ -255,11 +257,7 @@ mod tests {
             let cfg = CholeskyConfig { seed, ..CholeskyConfig::new(3) };
             for variant in [CholeskyVariant::Locks, CholeskyVariant::Counters] {
                 let run = run_cholesky(&cfg, &a, &sym, variant).unwrap();
-                assert!(
-                    run.residual < 1e-8,
-                    "seed {seed} {variant}: residual {}",
-                    run.residual
-                );
+                assert!(run.residual < 1e-8, "seed {seed} {variant}: residual {}", run.residual);
             }
         }
     }

@@ -60,9 +60,7 @@ impl DenseMatrix {
     /// Panics if `x.len() != n`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
-        (0..self.n)
-            .map(|i| (0..self.n).map(|j| self.get(i, j) * x[j]).sum())
-            .collect()
+        (0..self.n).map(|i| (0..self.n).map(|j| self.get(i, j) * x[j]).sum()).collect()
     }
 
     /// `A · Aᵀ` (used to build SPD matrices and verify factorizations).
@@ -88,11 +86,7 @@ impl DenseMatrix {
     /// Panics if dimensions differ.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
         assert_eq!(self.n, other.n);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -124,11 +118,7 @@ pub fn diag_dominant_system(n: usize, seed: u64) -> (DenseMatrix, Vec<f64>) {
 ///
 /// Panics if dimensions differ.
 pub fn residual_inf(a: &DenseMatrix, x: &[f64], b: &[f64]) -> f64 {
-    a.matvec(x)
-        .iter()
-        .zip(b)
-        .map(|(ax, bi)| (ax - bi).abs())
-        .fold(0.0, f64::max)
+    a.matvec(x).iter().zip(b).map(|(ax, bi)| (ax - bi).abs()).fold(0.0, f64::max)
 }
 
 /// `‖x − y‖∞`.

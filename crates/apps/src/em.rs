@@ -42,16 +42,7 @@ pub struct EmConfig {
 impl EmConfig {
     /// A small default configuration.
     pub fn new(cells: usize, steps: usize, workers: usize, mode: Mode) -> Self {
-        EmConfig {
-            cells,
-            steps,
-            workers,
-            mode,
-            seed: 1,
-            record: false,
-            courant: 0.5,
-            flop_ns: 2,
-        }
+        EmConfig { cells, steps, workers, mode, seed: 1, record: false, courant: 0.5, flop_ns: 2 }
     }
 }
 
@@ -202,12 +193,7 @@ mod tests {
     fn pulse_is_centered() {
         let p = initial_pulse(16);
         assert_eq!(p.len(), 16);
-        let max_idx = p
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_idx = p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(max_idx, 8);
     }
 

@@ -241,11 +241,8 @@ mod tests {
     fn initial_field_peaks_at_centre() {
         let k = 9;
         let ez = initial_ez(k);
-        let (max_idx, _) = ez
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let (max_idx, _) =
+            ez.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
         assert_eq!(max_idx, (k / 2) * k + k / 2);
     }
 

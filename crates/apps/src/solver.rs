@@ -17,8 +17,8 @@
 
 use mc_model::History;
 use mixed_consistency::{
-    Loc, Metrics, Mode, ProcId, ReadLabel, RunError, SimTime, System, Value, VarArray,
-    VarMatrix, VarSpace,
+    Loc, Metrics, Mode, ProcId, ReadLabel, RunError, SimTime, System, Value, VarArray, VarMatrix,
+    VarSpace,
 };
 
 use crate::dense::{diff_inf, residual_inf, DenseMatrix};
@@ -118,18 +118,13 @@ fn row_range(n: usize, workers: usize, w: usize) -> std::ops::Range<usize> {
 }
 
 /// Writes the input system into shared memory (done by the coordinator).
-fn write_inputs(
-    ctx: &mut mixed_consistency::Ctx<'_>,
-    lay: &Layout,
-    a: &DenseMatrix,
-    b: &[f64],
-) {
+fn write_inputs(ctx: &mut mixed_consistency::Ctx<'_>, lay: &Layout, a: &DenseMatrix, b: &[f64]) {
     let n = a.n();
-    for i in 0..n {
+    for (i, &bi) in b.iter().enumerate().take(n) {
         for j in 0..n {
             ctx.write(lay.a.at(i, j), a.get(i, j));
         }
-        ctx.write(lay.b.at(i), b[i]);
+        ctx.write(lay.b.at(i), bi);
         ctx.write(lay.x.at(i), 0.0f64);
     }
 }
@@ -166,16 +161,18 @@ fn jacobi_rows(
 /// # Errors
 ///
 /// Propagates simulation/recording failures.
-pub fn run_barrier_solver(cfg: &SolverConfig, a: &DenseMatrix, b: &[f64]) -> Result<SolverRun, RunError> {
+pub fn run_barrier_solver(
+    cfg: &SolverConfig,
+    a: &DenseMatrix,
+    b: &[f64],
+) -> Result<SolverRun, RunError> {
     let n = cfg.n;
     assert!(cfg.workers >= 1, "need at least one worker");
     assert_eq!(a.n(), n, "matrix size must match config");
     let lay = layout(n, cfg.workers);
     let label = ReadLabel::Pram;
 
-    let mut sys = System::new(cfg.workers + 1, cfg.mode)
-        .seed(cfg.seed)
-        .record(cfg.record);
+    let mut sys = System::new(cfg.workers + 1, cfg.mode).seed(cfg.seed).record(cfg.record);
     if let Some(lat) = cfg.latency {
         sys = sys.latency(lat);
     }
@@ -261,9 +258,7 @@ pub fn run_handshake_solver(
     assert_eq!(a.n(), n, "matrix size must match config");
     let lay = layout(n, cfg.workers);
 
-    let mut sys = System::new(cfg.workers + 1, cfg.mode)
-        .seed(cfg.seed)
-        .record(cfg.record);
+    let mut sys = System::new(cfg.workers + 1, cfg.mode).seed(cfg.seed).record(cfg.record);
     if let Some(lat) = cfg.latency {
         sys = sys.latency(lat);
     }
@@ -357,9 +352,7 @@ pub fn run_async_relaxation(
     let lay = layout(n, cfg.workers);
     let label = ReadLabel::Pram;
 
-    let mut sys = System::new(cfg.workers + 1, cfg.mode)
-        .seed(cfg.seed)
-        .record(cfg.record);
+    let mut sys = System::new(cfg.workers + 1, cfg.mode).seed(cfg.seed).record(cfg.record);
     if let Some(lat) = cfg.latency {
         sys = sys.latency(lat);
     }
@@ -416,12 +409,7 @@ fn finish(
 ) -> Result<SolverRun, RunError> {
     let outcome = sys.run()?;
     let x: Vec<f64> = (0..cfg.n)
-        .map(|i| {
-            outcome
-                .final_value(ProcId(0), lay.x.at(i))
-                .as_f64()
-                .unwrap_or(0.0)
-        })
+        .map(|i| outcome.final_value(ProcId(0), lay.x.at(i)).as_f64().unwrap_or(0.0))
         .collect();
     let residual = residual_inf(a, &x, b);
     // Iteration count: the coordinator's handshake/barrier rounds are not
@@ -443,9 +431,8 @@ fn finish(
 /// A loose residual bound implied by the `tol` on iterate differences:
 /// `‖A‖∞ · tol` scaled with a safety factor.
 fn solver_residual_bound(cfg: &SolverConfig, a: &DenseMatrix, _b: &[f64]) -> f64 {
-    let row_norm: f64 = (0..a.n())
-        .map(|i| (0..a.n()).map(|j| a.get(i, j).abs()).sum())
-        .fold(0.0, f64::max);
+    let row_norm: f64 =
+        (0..a.n()).map(|i| (0..a.n()).map(|j| a.get(i, j).abs()).sum()).fold(0.0, f64::max);
     (cfg.tol * row_norm * 100.0).max(1e-9)
 }
 

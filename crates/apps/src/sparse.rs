@@ -203,9 +203,8 @@ pub fn symbolic_factorize(a: &SpdMatrix) -> Symbolic {
             }
         }
     }
-    let parent: Vec<Option<usize>> = (0..n)
-        .map(|j| ((j + 1)..n).find(|&i| filled[i * n + j]))
-        .collect();
+    let parent: Vec<Option<usize>> =
+        (0..n).map(|j| ((j + 1)..n).find(|&i| filled[i * n + j])).collect();
     let dep_counts: Vec<usize> =
         (0..n).map(|j| (0..j).filter(|&k| filled[j * n + k]).count()).collect();
     Symbolic { n, filled, parent, dep_counts }
@@ -329,17 +328,11 @@ mod tests {
 
     #[test]
     fn sparse_reference_matches_dense() {
-        for (name, a) in [
-            ("grid", grid_laplacian(4)),
-            ("random", random_sparse_spd(15, 20, 11)),
-        ] {
+        for (name, a) in [("grid", grid_laplacian(4)), ("random", random_sparse_spd(15, 20, 11))] {
             let sym = symbolic_factorize(&a);
             let l_sparse = sparse_cholesky_reference(&a, &sym);
             let l_dense = dense_cholesky(a.dense()).expect("SPD");
-            assert!(
-                l_sparse.max_abs_diff(&l_dense) < 1e-9,
-                "{name}: sparse vs dense mismatch"
-            );
+            assert!(l_sparse.max_abs_diff(&l_dense) < 1e-9, "{name}: sparse vs dense mismatch");
             assert!(factorization_residual(&a, &l_sparse) < 1e-9, "{name}");
         }
     }

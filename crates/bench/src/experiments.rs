@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mixed_consistency::{
-    check, LockId, LockPropagation, Loc, Metrics, Mode, ReadLabel, System,
+    check, FaultPlan, Loc, LockId, LockPropagation, Metrics, Mode, ReadLabel, SimTime, System,
 };
 
 use crate::{metric_cols, speedup, Row, Table};
@@ -31,8 +31,7 @@ fn access_workload(mode: Mode, write_frac: f64, procs: usize, ops: usize, seed: 
                     val += 1;
                     ctx.write(loc, val);
                 } else {
-                    let label =
-                        if rng.gen_bool(0.5) { ReadLabel::Pram } else { ReadLabel::Causal };
+                    let label = if rng.gen_bool(0.5) { ReadLabel::Pram } else { ReadLabel::Causal };
                     let _ = ctx.read(loc, label);
                 }
             }
@@ -117,7 +116,10 @@ pub fn solver_table() -> Table {
             ],
             vec![
                 ("virtual time", speedup(hs.metrics.finish_time, bar.metrics.finish_time)),
-                ("messages", format!("{:.2}×", hs.metrics.messages as f64 / bar.metrics.messages as f64)),
+                (
+                    "messages",
+                    format!("{:.2}×", hs.metrics.messages as f64 / bar.metrics.messages as f64),
+                ),
                 ("kbytes", String::new()),
                 ("stall", String::new()),
                 ("residual", String::new()),
@@ -146,8 +148,7 @@ pub fn cholesky_table() -> Table {
         let sym = symbolic_factorize(a);
         let cfg = CholeskyConfig { mode: Mode::Mixed, ..CholeskyConfig::new(4) };
         let locks = run_cholesky(&cfg, a, &sym, CholeskyVariant::Locks).expect("locks");
-        let counters =
-            run_cholesky(&cfg, a, &sym, CholeskyVariant::Counters).expect("counters");
+        let counters = run_cholesky(&cfg, a, &sym, CholeskyVariant::Counters).expect("counters");
         for (variant, run) in [("locks (Fig.5)", &locks), ("counters", &counters)] {
             let lock_msgs = run.metrics.kind("lock_req").count
                 + run.metrics.kind("lock_grant").count
@@ -155,10 +156,7 @@ pub fn cholesky_table() -> Table {
             let mut vals = metric_cols(&run.metrics);
             vals.push(("lock msgs", lock_msgs.to_string()));
             vals.push(("residual", format!("{:.1e}", run.residual)));
-            rows.push(Row::new(
-                vec![("matrix", name.clone()), ("variant", variant.into())],
-                vals,
-            ));
+            rows.push(Row::new(vec![("matrix", name.clone()), ("variant", variant.into())], vals));
         }
         rows.push(Row::new(
             vec![("matrix", name.clone()), ("variant", "→ counter speedup".into())],
@@ -223,10 +221,8 @@ fn lock_workload(
     rounds: usize,
     data_locs: u32,
 ) -> Metrics {
-    let mut sys = System::new(procs, Mode::Mixed)
-        .lock_propagation(prop)
-        .seed(11)
-        .latency(ethernet_1994());
+    let mut sys =
+        System::new(procs, Mode::Mixed).lock_propagation(prop).seed(11).latency(ethernet_1994());
     for p in 0..procs {
         sys.spawn(move |ctx| {
             let mut val = (p as i64 + 1) * 10_000;
@@ -287,16 +283,12 @@ pub fn barrier_table(rounds: usize) -> Table {
         rows.push(Row::new(
             vec![("procs", procs.to_string()), ("rounds", rounds.to_string())],
             vec![
-                (
-                    "ns/round",
-                    format!("{:.0}", m.finish_time.as_nanos() as f64 / rounds as f64),
-                ),
+                ("ns/round", format!("{:.0}", m.finish_time.as_nanos() as f64 / rounds as f64)),
                 (
                     "msgs/round",
                     format!(
                         "{:.1}",
-                        (m.kind("barrier_arrive").count + m.kind("barrier_release").count)
-                            as f64
+                        (m.kind("barrier_arrive").count + m.kind("barrier_release").count) as f64
                             / rounds as f64
                     ),
                 ),
@@ -315,10 +307,8 @@ pub fn barrier_table(rounds: usize) -> Table {
 /// A many-locks workload for the manager-sharding ablation: every
 /// process cycles through `nlocks` independent locks.
 fn sharded_lock_workload(shards: usize, procs: usize, nlocks: u32, rounds: usize) -> Metrics {
-    let mut sys = System::new(procs, Mode::Mixed)
-        .manager_shards(shards)
-        .seed(3)
-        .latency(ethernet_1994());
+    let mut sys =
+        System::new(procs, Mode::Mixed).manager_shards(shards).seed(3).latency(ethernet_1994());
     for p in 0..procs {
         sys.spawn(move |ctx| {
             for r in 0..rounds {
@@ -340,10 +330,7 @@ pub fn sharding_table() -> Table {
     let mut rows = Vec::new();
     for shards in [1usize, 2, 4] {
         let m = sharded_lock_workload(shards, 6, 8, 8);
-        rows.push(Row::new(
-            vec![("manager shards", shards.to_string())],
-            metric_cols(&m),
-        ));
+        rows.push(Row::new(vec![("manager shards", shards.to_string())], metric_cols(&m)));
     }
     Table {
         id: "E5",
@@ -375,11 +362,7 @@ pub fn em_table() -> Table {
         let cfg = Em2dConfig::new(8, 6, 4, mode);
         let run = run_fdtd2d(&cfg).expect("fdtd2d");
         rows.push(Row::new(
-            vec![
-                ("grid", "2-D, 8×8".into()),
-                ("workers", "4".into()),
-                ("mode", mode.to_string()),
-            ],
+            vec![("grid", "2-D, 8×8".into()), ("workers", "4".into()), ("mode", mode.to_string())],
             metric_cols(&run.metrics),
         ));
     }
@@ -387,6 +370,62 @@ pub fn em_table() -> Table {
         id: "F4",
         title: "FDTD electromagnetic-field computation",
         paper_ref: "Figure 4 / §5.2 — PRAM provides the \"ghost copies\" implicitly",
+        rows,
+    }
+}
+
+/// **E6** — session-layer overhead vs message-loss rate: the price of
+/// earning back the paper's FIFO-channel assumption over a network that
+/// drops, duplicates, and reorders. Payload traffic is constant across
+/// the sweep; retransmissions, acks, and completion time grow with the
+/// loss rate.
+pub fn faults_table() -> Table {
+    let mut rows = Vec::new();
+    for loss_pct in [0u32, 1, 5, 10, 20] {
+        let drop = f64::from(loss_pct) / 100.0;
+        let mut sys = System::new(3, Mode::Mixed)
+            .seed(17)
+            .faults(
+                FaultPlan::new()
+                    .drop_rate(drop)
+                    .duplicate_rate(drop / 2.0)
+                    .reorder(SimTime::from_micros(20)),
+            )
+            .reliable(true);
+        for _ in 0..3 {
+            sys.spawn(|ctx| {
+                for _ in 0..6 {
+                    ctx.with_write_lock(LockId(0), |ctx| {
+                        let v = ctx.read_causal(Loc(0)).expect_i64();
+                        ctx.write(Loc(0), v + 1);
+                    });
+                }
+            });
+        }
+        let m = sys.run().expect("faulty workload").metrics;
+        let retransmits = m.kind("retransmit").count;
+        let acks = m.kind("session_ack").count;
+        let payload = m.messages - retransmits - acks;
+        rows.push(Row::new(
+            vec![("drop rate", format!("{loss_pct}%"))],
+            vec![
+                ("virtual time", m.finish_time.to_string()),
+                ("messages", m.messages.to_string()),
+                ("retransmits", retransmits.to_string()),
+                ("acks", acks.to_string()),
+                ("faults injected", m.faults.total().to_string()),
+                (
+                    "msg overhead",
+                    format!("{:.0}%", 100.0 * (m.messages as f64 / payload as f64 - 1.0)),
+                ),
+            ],
+        ));
+    }
+    Table {
+        id: "E6",
+        title: "session-layer overhead vs message-loss rate",
+        paper_ref:
+            "§6 — the assumed \"FIFO communication channels\", earned back by retransmission",
         rows,
     }
 }
@@ -424,10 +463,7 @@ pub fn checkers_table() -> Table {
             vec![("history ops", h.len().to_string())],
             vec![
                 ("check wall time", format!("{:.1?}", elapsed)),
-                (
-                    "ops/s",
-                    format!("{:.0}", h.len() as f64 / elapsed.as_secs_f64()),
-                ),
+                ("ops/s", format!("{:.0}", h.len() as f64 / elapsed.as_secs_f64())),
                 ("consistent", verdict.to_string()),
             ],
         ));
@@ -461,6 +497,17 @@ mod tests {
     fn barrier_table_scales() {
         let t = barrier_table(3);
         assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn faults_table_shape() {
+        let t = faults_table();
+        assert_eq!(t.rows.len(), 5, "five loss rates");
+        // No faults fire on the lossless row (jitter-induced spurious
+        // retransmits are possible); heavy loss costs many retransmits.
+        assert_eq!(t.rows[0].vals[4].1, "0");
+        let retx = |i: usize| t.rows[i].vals[2].1.parse::<u64>().unwrap();
+        assert!(retx(4) > retx(0) + 10, "loss must drive retransmissions up");
     }
 
     #[test]

@@ -110,10 +110,7 @@ mod tests {
             id: "X0",
             title: "demo",
             paper_ref: "none",
-            rows: vec![Row::new(
-                vec![("mode", "pram".into())],
-                vec![("messages", "3".into())],
-            )],
+            rows: vec![Row::new(vec![("mode", "pram".into())], vec![("messages", "3".into())])],
         };
         let md = t.to_markdown();
         assert!(md.contains("| mode | messages |"));
@@ -129,10 +126,7 @@ mod tests {
 
     #[test]
     fn speedup_formatting() {
-        assert_eq!(
-            speedup(SimTime::from_nanos(200), SimTime::from_nanos(100)),
-            "2.00×"
-        );
+        assert_eq!(speedup(SimTime::from_nanos(200), SimTime::from_nanos(100)), "2.00×");
         assert_eq!(speedup(SimTime::from_nanos(1), SimTime::ZERO), "∞");
     }
 }

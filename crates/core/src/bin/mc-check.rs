@@ -32,7 +32,9 @@ macro_rules! out {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: mc-check <trace-file> [--mixed|--pram|--causal|--sc|--theorem1|--stats|--dot]...");
+    eprintln!(
+        "usage: mc-check <trace-file> [--mixed|--pram|--causal|--sc|--theorem1|--stats|--dot]..."
+    );
     ExitCode::from(2)
 }
 
@@ -43,7 +45,10 @@ fn main() -> ExitCode {
     };
     let flags: Vec<&str> = args[1..].iter().map(String::as_str).collect();
     if let Some(bad) = flags.iter().find(|f| {
-        !matches!(**f, "--mixed" | "--pram" | "--causal" | "--sc" | "--theorem1" | "--stats" | "--dot")
+        !matches!(
+            **f,
+            "--mixed" | "--pram" | "--causal" | "--sc" | "--theorem1" | "--stats" | "--dot"
+        )
     }) {
         eprintln!("unknown option {bad}");
         return usage();

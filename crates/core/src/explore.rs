@@ -108,7 +108,11 @@ impl std::error::Error for ExploreError {}
 ///
 /// Returns the first failing run or rejected verification, with the
 /// decision trace that reproduces it.
-pub fn explore<M, V>(max_runs: usize, mut make: M, mut verify: V) -> Result<ExploreOutcome, ExploreError>
+pub fn explore<M, V>(
+    max_runs: usize,
+    mut make: M,
+    mut verify: V,
+) -> Result<ExploreOutcome, ExploreError>
 where
     M: FnMut() -> System,
     V: FnMut(&Outcome) -> Result<(), String>,
@@ -164,7 +168,7 @@ pub fn racing_config() -> mc_sim::SimConfig {
         seed: 0,
         latency: mc_sim::LatencyModel::INSTANT,
         local_cost: SimTime::ZERO,
-        fifo: true,
+        faults: mc_sim::FaultPlan::default(),
         max_events: 10_000_000,
     }
 }
@@ -172,7 +176,7 @@ pub fn racing_config() -> mc_sim::SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{check, sc, LockId, Loc, Mode, ProcId, Value};
+    use crate::{check, sc, Loc, LockId, Mode, ProcId, Value};
     use mc_proto::Mode as ProtoMode;
 
     fn _mode_reexport_consistency(m: ProtoMode) -> Mode {
@@ -189,9 +193,7 @@ mod tests {
         let outcome = explore(
             5_000,
             || {
-                let mut sys = System::new(2, Mode::Mixed)
-                    .record(true)
-                    .sim_config(racing_config());
+                let mut sys = System::new(2, Mode::Mixed).record(true).sim_config(racing_config());
                 sys.spawn(|ctx| {
                     ctx.write(Loc(0), 1);
                     let _ = ctx.read_causal(Loc(1));
@@ -234,9 +236,7 @@ mod tests {
         let outcome = explore(
             5_000,
             || {
-                let mut sys = System::new(2, Mode::Causal)
-                    .record(true)
-                    .sim_config(racing_config());
+                let mut sys = System::new(2, Mode::Causal).record(true).sim_config(racing_config());
                 for _ in 0..2 {
                     sys.spawn(|ctx| {
                         ctx.with_write_lock(LockId(0), |ctx| {

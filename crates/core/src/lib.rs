@@ -70,8 +70,11 @@ pub use vars::{VarArray, VarMatrix, VarSpace};
 pub use mc_model as model;
 
 pub use mc_model::{
-    check, commute, litmus, programs, sc, trace, viz, BarrierId, History, LockId, LockMode, Loc,
+    check, commute, litmus, programs, sc, trace, viz, BarrierId, History, Loc, LockId, LockMode,
     OpKind, ProcId, ReadLabel, Value, WriteId,
 };
-pub use mc_proto::{DsmConfig, LockPropagation, Mode};
-pub use mc_sim::{LatencyModel, Metrics, SimConfig, SimError, SimTime};
+pub use mc_proto::{DsmConfig, LockPropagation, Mode, SessionConfig};
+pub use mc_sim::{
+    Crash, FaultPlan, FaultStats, LatencyModel, Metrics, NodeId, Partition, SimConfig, SimError,
+    SimTime,
+};

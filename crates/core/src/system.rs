@@ -5,11 +5,13 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use mc_model::{
-    BarrierId, History, HistoryBuilder, LockId, LockMode, Loc, MalformedHistory, OpKind,
-    ProcId, ReadLabel, Value, WriteId,
+    BarrierId, History, HistoryBuilder, Loc, LockId, LockMode, MalformedHistory, OpKind, ProcId,
+    ReadLabel, Value, WriteId,
 };
 use mc_proto::{Dsm, DsmConfig, LockPropagation, Mode, Req, Resp};
-use mc_sim::{Kernel, LatencyModel, Metrics, NodeId, ProcCtx, SimConfig, SimError, SimTime};
+use mc_sim::{
+    FaultPlan, Kernel, LatencyModel, Metrics, NodeId, ProcCtx, SimConfig, SimError, SimTime,
+};
 
 /// Error from running a system.
 #[derive(Debug)]
@@ -81,15 +83,11 @@ impl Outcome {
     pub fn verify(&self) -> Result<(), VerifyError> {
         let h = self.history.as_ref().ok_or(VerifyError::NotRecorded)?;
         match self.dsm.config().mode {
-            Mode::Pram => {
-                mc_model::check::check_pram(h).map(|_| ()).map_err(VerifyError::Check)
-            }
+            Mode::Pram => mc_model::check::check_pram(h).map(|_| ()).map_err(VerifyError::Check),
             Mode::Causal => {
                 mc_model::check::check_causal(h).map(|_| ()).map_err(VerifyError::Check)
             }
-            Mode::Mixed => {
-                mc_model::check::check_mixed(h).map(|_| ()).map_err(VerifyError::Check)
-            }
+            Mode::Mixed => mc_model::check::check_mixed(h).map(|_| ()).map_err(VerifyError::Check),
             Mode::Sc => match mc_model::sc::check_sequential(h) {
                 Err(e) => Err(VerifyError::Check(mc_model::check::CheckError::Causality(e))),
                 Ok(mc_model::sc::ScVerdict::NotSequentiallyConsistent) => {
@@ -235,10 +233,31 @@ impl System {
         &mut self.sim_cfg
     }
 
+    /// Installs a network fault-injection plan: seeded message drops,
+    /// duplicates, reordering, timed partitions, and node crash/restart
+    /// windows (see [`FaultPlan`]). Combine with [`System::reliable`] to
+    /// run the session layer that masks the faults, or leave it off to
+    /// let the consistency checkers catch the resulting anomalies.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.sim_cfg.faults = plan;
+        self
+    }
+
+    /// Enables the reliable-delivery session layer
+    /// ([`mc_proto::session`]): per-link sequence numbers,
+    /// acknowledgements, and retransmission with exponential backoff. It
+    /// restores the FIFO-channel assumption of the paper's Section 6 over
+    /// a faulty network.
+    pub fn reliable(mut self, reliable: bool) -> Self {
+        self.dsm_cfg.reliable = reliable;
+        self
+    }
+
     /// Disables FIFO channels — a fault injection that the consistency
     /// checkers are expected to catch in PRAM mode.
+    #[deprecated(note = "use `faults(FaultPlan::new().reorder(jitter))` instead")]
     pub fn inject_reordering(mut self) -> Self {
-        self.sim_cfg.fifo = false;
+        self.sim_cfg.faults.reorder = Some(SimTime::from_micros(40));
         self
     }
 
@@ -274,8 +293,8 @@ impl System {
             procs.len(),
             dsm_cfg.nprocs
         );
-        let recorder: Option<Arc<Mutex<HistoryBuilder>>> = record
-            .then(|| Arc::new(Mutex::new(HistoryBuilder::new(dsm_cfg.nprocs))));
+        let recorder: Option<Arc<Mutex<HistoryBuilder>>> =
+            record.then(|| Arc::new(Mutex::new(HistoryBuilder::new(dsm_cfg.nprocs))));
 
         let nnodes = dsm_cfg.nnodes();
         let mut kernel = Kernel::new(Dsm::new(dsm_cfg), nnodes, sim_cfg);
@@ -349,8 +368,7 @@ impl Ctx<'_> {
 
     /// Reads `loc` with an explicit consistency label.
     pub fn read(&mut self, loc: Loc, label: ReadLabel) -> Value {
-        let Resp::Value { value, writer } = self.inner.request(Req::Read { loc, label })
-        else {
+        let Resp::Value { value, writer } = self.inner.request(Req::Read { loc, label }) else {
             unreachable!("read answered with non-value response")
         };
         let recorded_writer = Some(writer.unwrap_or(WriteId::initial(loc)));
@@ -417,8 +435,7 @@ impl Ctx<'_> {
 
     /// Arrives at (and passes) a specific barrier object.
     pub fn barrier_on(&mut self, barrier: BarrierId) {
-        let Resp::BarrierPassed { round } = self.inner.request(Req::Barrier { barrier })
-        else {
+        let Resp::BarrierPassed { round } = self.inner.request(Req::Barrier { barrier }) else {
             unreachable!("barrier answered with non-barrier response")
         };
         self.push(OpKind::Barrier { barrier, round: mc_model::BarrierRound(round) });
@@ -433,11 +450,7 @@ impl Ctx<'_> {
         else {
             unreachable!("await answered with non-await response")
         };
-        let writers = if writers.is_empty() {
-            vec![WriteId::initial(loc)]
-        } else {
-            writers
-        };
+        let writers = if writers.is_empty() { vec![WriteId::initial(loc)] } else { writers };
         self.push(OpKind::Await { loc, value: observed, writers });
         observed
     }
@@ -624,10 +637,7 @@ mod tests {
     #[test]
     fn manager_sharding_preserves_semantics() {
         let run = |shards: usize| {
-            let mut sys = System::new(3, Mode::Mixed)
-                .manager_shards(shards)
-                .record(true)
-                .seed(5);
+            let mut sys = System::new(3, Mode::Mixed).manager_shards(shards).record(true).seed(5);
             for p in 0..3u32 {
                 sys.spawn(move |ctx| {
                     for round in 0..3 {
@@ -646,11 +656,96 @@ mod tests {
             let outcome = run(shards);
             outcome.verify().unwrap_or_else(|e| panic!("{shards} shards: {e}"));
             // Total increments conserved across lock objects.
-            let total: i64 = (0..4u32)
-                .map(|l| outcome.final_value(ProcId(0), Loc(l)).expect_i64())
-                .sum();
+            let total: i64 =
+                (0..4u32).map(|l| outcome.final_value(ProcId(0), Loc(l)).expect_i64()).sum();
             assert_eq!(total, 9, "{shards} shards");
         }
+    }
+
+    #[test]
+    fn faulty_network_with_session_layer_still_satisfies_definitions() {
+        // The issue's acceptance bar: >=5% drop, duplication, and a timed
+        // partition (cutting node 0 off from everyone, manager included).
+        // With the session layer on, every recorded history must still
+        // pass the Definition 4 checker and no increment may be lost.
+        for seed in [1u64, 7, 23] {
+            let plan = FaultPlan::new()
+                .drop_rate(0.05)
+                .duplicate_rate(0.05)
+                .reorder(SimTime::from_micros(30))
+                .partition(
+                    vec![NodeId(0)],
+                    vec![NodeId(1), NodeId(2), NodeId(3)],
+                    SimTime::from_micros(150),
+                    SimTime::from_micros(450),
+                );
+            let mut sys =
+                System::new(3, Mode::Mixed).record(true).seed(seed).faults(plan).reliable(true);
+            for _ in 0..3 {
+                sys.spawn(|ctx| {
+                    for _ in 0..4 {
+                        ctx.with_write_lock(LockId(0), |ctx| {
+                            let v = ctx.read_causal(Loc(0)).expect_i64();
+                            ctx.write(Loc(0), v + 1);
+                        });
+                    }
+                });
+            }
+            let outcome = sys.run().unwrap();
+            outcome.verify().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(
+                outcome.final_value(ProcId(0), Loc(0)),
+                Value::Int(12),
+                "seed {seed}: no increment lost"
+            );
+            assert!(outcome.metrics.faults.total() > 0, "seed {seed}: faults fired");
+            assert!(
+                outcome.metrics.kind("retransmit").count > 0,
+                "seed {seed}: the session layer had to work"
+            );
+        }
+    }
+
+    #[test]
+    fn unreliable_duplication_is_caught_by_the_pram_checker() {
+        // With the session layer off, a duplicated update can trail its
+        // original long enough to overwrite a newer write from the same
+        // sender — a reader then travels backwards in that sender's order,
+        // which the Definition 2 checker rejects. The same seed with the
+        // session layer on is clean: duplicates are suppressed by
+        // sequence number.
+        let plan = || FaultPlan::new().duplicate_rate(0.4).reorder(SimTime::from_micros(60));
+        let build = |seed: u64, reliable: bool| {
+            let mut sys = System::new(2, Mode::Pram)
+                .record(true)
+                .seed(seed)
+                .faults(plan())
+                .reliable(reliable);
+            sys.spawn(|ctx| {
+                for v in 1..=6i64 {
+                    ctx.write(Loc(0), v);
+                    ctx.compute(SimTime::from_micros(15));
+                }
+                ctx.write(Loc(1), 1);
+            });
+            sys.spawn(|ctx| {
+                ctx.await_eq(Loc(1), 1);
+                for _ in 0..10 {
+                    let _ = ctx.read_pram(Loc(0));
+                    ctx.compute(SimTime::from_micros(25));
+                }
+            });
+            sys
+        };
+        let caught = (0..60u64).find(|&seed| {
+            matches!(build(seed, false).run().unwrap().verify(), Err(VerifyError::Check(_)))
+        });
+        let seed = caught.expect("some seed must expose the duplication to the checker");
+        build(seed, true)
+            .run()
+            .unwrap()
+            .verify()
+            .expect("the session layer masks the same fault plan");
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! crate is the *deployment-shaped* executor: every process is an OS
 //! thread, every link a crossbeam channel (FIFO per sender — the paper's
 //! channel assumption), and the manager shards are threads of their own.
+//! [`LiveSystem::lossy`] revokes the reliability half of that assumption
+//! (seeded, deterministic per-message drops) and [`LiveSystem::reliable`]
+//! earns it back with the same `mc_proto::session` layer the simulator
+//! uses — retransmission driven by wall-clock ticks instead of virtual
+//! timers.
 //! **The protocol state machines are the exact same types** —
 //! [`mc_proto::Replica`] and [`mc_proto::Manager`] — so a green run here
 //! demonstrates the protocols survive genuine concurrency, not just

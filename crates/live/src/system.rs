@@ -3,21 +3,26 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use mc_model::{
-    BarrierId, BarrierRound, History, HistoryBuilder, LockId, LockMode, Loc,
-    MalformedHistory, OpKind, ProcId, ReadLabel, VClock, Value, WriteId,
+    BarrierId, BarrierRound, History, HistoryBuilder, Loc, LockId, LockMode, MalformedHistory,
+    OpKind, ProcId, ReadLabel, VClock, Value, WriteId,
 };
-use mc_proto::{DsmConfig, GrantInfo, LockPropagation, Manager, Mode, Msg, Replica, UpdatePayload};
+use mc_proto::{
+    DsmConfig, GrantInfo, LockPropagation, Manager, Mode, Msg, Replica, Session, SessionConfig,
+    UpdatePayload,
+};
 
-/// What travels on a channel: a protocol message or the shutdown signal.
+/// What travels on a channel: a protocol message (tagged with the sending
+/// node, which the session layer needs to identify the link) or the
+/// shutdown signal.
 enum Wire {
-    Proto { msg: Msg },
+    Proto { from: NodeId, msg: Msg },
     Shutdown,
 }
 
@@ -25,20 +30,113 @@ enum Wire {
 /// `i` on node `i`, manager shards after).
 type NodeId = usize;
 
+/// How often a node with unacknowledged session payloads retransmits.
+/// Wall-clock ticks stand in for the simulator's per-link timers; the
+/// period is coarse enough that a healthy ack always wins the race.
+const RETX_TICK: Duration = Duration::from_millis(1);
+
+/// SplitMix64: a statistically solid 64-bit mixer, enough for loss rolls.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[derive(Clone)]
 struct Net {
     senders: Vec<Sender<Wire>>,
     messages: Arc<AtomicU64>,
     bytes: Arc<AtomicU64>,
+    /// Drop probability per message (the lossy-channel shim).
+    loss: f64,
+    seed: u64,
+    rolls: Arc<AtomicU64>,
+    /// Messages eaten by the lossy shim (intentional).
+    lost: Arc<AtomicU64>,
+    /// Messages that hit an already-closed inbox (a bug unless the run is
+    /// already shutting down — asserted zero at teardown).
+    closed_dropped: Arc<AtomicU64>,
+    shutting_down: Arc<AtomicBool>,
 }
 
 impl Net {
-    fn send(&self, to: NodeId, msg: Msg) {
+    fn send(&self, from: NodeId, to: NodeId, msg: Msg) {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(msg.wire_bytes(), Ordering::Relaxed);
-        // A closed inbox means that node is already shut down — only
-        // possible during teardown, when the message no longer matters.
-        let _ = self.senders[to].send(Wire::Proto { msg });
+        if self.loss > 0.0 {
+            let n = self.rolls.fetch_add(1, Ordering::Relaxed);
+            let r = splitmix64(self.seed ^ n) as f64 / u64::MAX as f64;
+            if r < self.loss {
+                self.lost.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if self.senders[to].send(Wire::Proto { from, msg }).is_err()
+            && !self.shutting_down.load(Ordering::SeqCst)
+        {
+            // A closed inbox before shutdown begins means a message was
+            // silently lost while the run still depended on it.
+            self.closed_dropped.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Converts a live node id into the simulator's node-id type, which keys
+/// the shared session state machines.
+fn nid(node: NodeId) -> mc_sim::NodeId {
+    mc_sim::NodeId(node as u32)
+}
+
+/// Sends `msg` from `from` to `to`, wrapping it with a session sequence
+/// number when the session layer is on.
+fn sess_send(net: &Net, session: &mut Option<Session>, from: NodeId, to: NodeId, msg: Msg) {
+    match session {
+        None => net.send(from, to, msg),
+        Some(s) => {
+            let wrapped = s.sender(nid(from), nid(to)).wrap(msg);
+            net.send(from, to, wrapped);
+        }
+    }
+}
+
+/// Filters one arriving message through the session layer: acks are
+/// consumed, data is sequenced (answering with a cumulative ack) and the
+/// in-order payloads are returned for dispatch. Without a session the
+/// message passes through untouched.
+fn sess_receive(
+    net: &Net,
+    session: &mut Option<Session>,
+    me: NodeId,
+    from: NodeId,
+    msg: Msg,
+) -> Vec<Msg> {
+    let Some(s) = session else { return vec![msg] };
+    match msg {
+        Msg::SessAck { upto } => {
+            let cfg = s.cfg;
+            s.sender(nid(me), nid(from)).on_ack(upto, &cfg);
+            Vec::new()
+        }
+        Msg::SessData { seq, inner } => {
+            let (ready, upto) = s.receiver(nid(from), nid(me)).on_data(seq, *inner);
+            // Acks travel raw: sessioning them would recurse forever.
+            net.send(me, from, Msg::SessAck { upto });
+            ready
+        }
+        other => vec![other],
+    }
+}
+
+/// Retransmits every unacknowledged payload on every outgoing link of
+/// `me`. Called on wall-clock ticks while anything is outstanding.
+fn sess_retransmit(net: &Net, session: &mut Option<Session>, me: NodeId) {
+    let Some(s) = session else { return };
+    let cfg = s.cfg;
+    for ((_, to), tx) in s.senders_mut() {
+        for (seq, inner) in tx.on_timeout(&cfg) {
+            net.send(me, to.index(), Msg::SessData { seq, inner: Box::new(inner) });
+        }
     }
 }
 
@@ -79,6 +177,13 @@ pub struct LiveOutcome {
     pub messages: u64,
     /// Total modeled payload bytes.
     pub bytes: u64,
+    /// Messages eaten by the lossy-channel shim (zero unless
+    /// [`LiveSystem::lossy`] was configured).
+    pub lost: u64,
+    /// Messages that found their destination inbox already closed before
+    /// shutdown began. Always zero on a successful run (asserted at
+    /// teardown); exposed so the invariant is visible.
+    pub dropped_sends: u64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     replicas: Vec<Replica>,
@@ -105,6 +210,8 @@ pub struct LiveSystem {
     cfg: DsmConfig,
     record: bool,
     timeout: Duration,
+    loss: f64,
+    seed: u64,
     #[allow(clippy::type_complexity)]
     procs: Vec<Box<dyn FnOnce(&mut LiveCtx) + Send + 'static>>,
 }
@@ -125,8 +232,35 @@ impl LiveSystem {
             cfg: DsmConfig::new(nprocs, mode),
             record: false,
             timeout: Duration::from_secs(10),
+            loss: 0.0,
+            seed: 0,
             procs: Vec::new(),
         }
+    }
+
+    /// Installs the lossy-channel shim: every message is independently
+    /// dropped with probability `loss` (rolls are derived from `seed`, so
+    /// the drop pattern over send order is reproducible). Pair with
+    /// [`LiveSystem::reliable`] — raw protocols over lossy channels block
+    /// forever and surface as per-operation timeouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= loss < 1.0`.
+    pub fn lossy(mut self, loss: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss probability must be in [0, 1)");
+        self.loss = loss;
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the reliable-delivery session layer
+    /// ([`mc_proto::session`]) on every node: per-link sequence numbers,
+    /// cumulative acks, and tick-driven retransmission — the same state
+    /// machines the simulator exercises, glued to wall-clock time.
+    pub fn reliable(mut self, reliable: bool) -> Self {
+        self.cfg.reliable = reliable;
+        self
     }
 
     /// Selects the lock-propagation variant.
@@ -205,10 +339,14 @@ impl LiveSystem {
             senders,
             messages: Arc::new(AtomicU64::new(0)),
             bytes: Arc::new(AtomicU64::new(0)),
+            loss: self.loss,
+            seed: self.seed,
+            rolls: Arc::new(AtomicU64::new(0)),
+            lost: Arc::new(AtomicU64::new(0)),
+            closed_dropped: Arc::new(AtomicU64::new(0)),
+            shutting_down: Arc::new(AtomicBool::new(false)),
         };
-        let recorder = self
-            .record
-            .then(|| Arc::new(Mutex::new(HistoryBuilder::new(cfg.nprocs))));
+        let recorder = self.record.then(|| Arc::new(Mutex::new(HistoryBuilder::new(cfg.nprocs))));
 
         // Manager shard threads (the last `manager_shards` nodes).
         let mut manager_handles = Vec::new();
@@ -217,10 +355,11 @@ impl LiveSystem {
         for _ in 0..cfg.nprocs {
             proc_rx.push(receivers_iter.next().expect("receiver per node"));
         }
-        for rx in receivers_iter {
+        for (shard, rx) in receivers_iter.enumerate() {
             let net = net.clone();
             let cfg = cfg.clone();
-            manager_handles.push(std::thread::spawn(move || manager_loop(rx, net, cfg)));
+            let node = cfg.nprocs + shard;
+            manager_handles.push(std::thread::spawn(move || manager_loop(rx, net, cfg, node)));
         }
 
         // Process threads.
@@ -237,6 +376,7 @@ impl LiveSystem {
                 let mut ctx = LiveCtx {
                     proc: ProcId(i as u32),
                     replica: Replica::new(ProcId(i as u32), cfg.nprocs),
+                    session: cfg.reliable.then(|| Session::new(SessionConfig::default())),
                     cfg,
                     inbox: rx,
                     net: ctx_net,
@@ -254,19 +394,31 @@ impl LiveSystem {
                 // panic by design): the coordinator below waits for
                 // exactly one signal per process, with no wall-clock
                 // limit of its own — long-running programs are fine.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                    || f(&mut ctx),
-                ));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                 let _ = done_tx.send(i as u32);
                 if let Err(payload) = result {
                     std::panic::resume_unwind(payload);
                 }
                 // Keep ingesting until shutdown so the replica converges
-                // and other nodes' sends never hit a closed channel.
+                // and other nodes' sends never hit a closed channel. With
+                // the session layer on, keep retransmitting too: a peer
+                // may still be blocked on a payload the network ate.
                 loop {
-                    match ctx.inbox.recv() {
-                        Ok(Wire::Proto { msg }) => ctx.process(msg),
-                        Ok(Wire::Shutdown) | Err(_) => break,
+                    let wire = if ctx.session.is_some() {
+                        match ctx.inbox.recv_timeout(RETX_TICK) {
+                            Ok(w) => Some(w),
+                            Err(RecvTimeoutError::Timeout) => {
+                                ctx.retransmit();
+                                continue;
+                            }
+                            Err(RecvTimeoutError::Disconnected) => None,
+                        }
+                    } else {
+                        ctx.inbox.recv().ok()
+                    };
+                    match wire {
+                        Some(Wire::Proto { from, msg }) => ctx.receive(from, msg),
+                        Some(Wire::Shutdown) | None => break,
                     }
                 }
                 ctx.replica
@@ -284,6 +436,10 @@ impl LiveSystem {
                 Err(_) => break, // all senders gone: every thread exited
             }
         }
+        // From here on, sends may legitimately race closing inboxes
+        // (e.g. a retransmission of an already-consumed grant whose ack
+        // was lost), so stop treating them as silent losses.
+        net.shutting_down.store(true, Ordering::SeqCst);
         for tx in &net.senders {
             let _ = tx.send(Wire::Shutdown);
         }
@@ -317,10 +473,17 @@ impl LiveSystem {
                 Some(builder.build().map_err(LiveError::Malformed)?)
             }
         };
+        let dropped_sends = net.closed_dropped.load(Ordering::SeqCst);
+        assert_eq!(
+            dropped_sends, 0,
+            "messages were silently lost on closed inboxes before shutdown"
+        );
         Ok(LiveOutcome {
             history,
             messages: net.messages.load(Ordering::Relaxed),
             bytes: net.bytes.load(Ordering::Relaxed),
+            lost: net.lost.load(Ordering::Relaxed),
+            dropped_sends,
             wall: start.elapsed(),
             replicas,
             server: managers.remove(0),
@@ -329,35 +492,52 @@ impl LiveSystem {
     }
 }
 
-/// One manager shard: receive, dispatch to the shared [`Manager`] state
-/// machine, forward its outbox.
-fn manager_loop(rx: Receiver<Wire>, net: Net, cfg: DsmConfig) -> Manager {
+/// One manager shard: receive (through the session filter), dispatch to
+/// the shared [`Manager`] state machine, forward its outbox — and, with
+/// the session layer on, retransmit unacknowledged grants/releases on
+/// wall-clock ticks.
+fn manager_loop(rx: Receiver<Wire>, net: Net, cfg: DsmConfig, node: NodeId) -> Manager {
     let mut manager = Manager::new(cfg.nprocs);
+    let mut session = cfg.reliable.then(|| Session::new(SessionConfig::default()));
     loop {
-        match rx.recv() {
-            Ok(Wire::Proto { msg }) => {
-                let out = match msg {
-                    Msg::LockReq { proc, lock, mode } => {
-                        manager.lock_request(proc, lock, mode, &cfg)
+        let wire = if session.is_some() {
+            match rx.recv_timeout(RETX_TICK) {
+                Ok(w) => Some(w),
+                Err(RecvTimeoutError::Timeout) => {
+                    sess_retransmit(&net, &mut session, node);
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => None,
+            }
+        } else {
+            rx.recv().ok()
+        };
+        match wire {
+            Some(Wire::Proto { from, msg }) => {
+                for msg in sess_receive(&net, &mut session, node, from, msg) {
+                    let out = match msg {
+                        Msg::LockReq { proc, lock, mode } => {
+                            manager.lock_request(proc, lock, mode, &cfg)
+                        }
+                        Msg::LockRel { proc, lock, knowledge, own_count, dirty, .. } => {
+                            manager.lock_release(proc, lock, knowledge, own_count, dirty, &cfg)
+                        }
+                        Msg::BarrierArrive { proc, barrier, round, knowledge } => {
+                            manager.barrier_arrive(proc, barrier, round, knowledge, &cfg)
+                        }
+                        Msg::ScRead { proc, loc } => manager.sc_read(proc, loc),
+                        Msg::ScWrite { writer, loc, payload } => {
+                            manager.sc_write(writer, loc, payload)
+                        }
+                        Msg::ScAwait { proc, loc, value } => manager.sc_await(proc, loc, value),
+                        other => unreachable!("manager received {other:?}"),
+                    };
+                    for (proc, msg) in out {
+                        sess_send(&net, &mut session, node, proc.index(), msg);
                     }
-                    Msg::LockRel { proc, lock, knowledge, own_count, dirty, .. } => {
-                        manager.lock_release(proc, lock, knowledge, own_count, dirty, &cfg)
-                    }
-                    Msg::BarrierArrive { proc, barrier, round, knowledge } => {
-                        manager.barrier_arrive(proc, barrier, round, knowledge, &cfg)
-                    }
-                    Msg::ScRead { proc, loc } => manager.sc_read(proc, loc),
-                    Msg::ScWrite { writer, loc, payload } => {
-                        manager.sc_write(writer, loc, payload)
-                    }
-                    Msg::ScAwait { proc, loc, value } => manager.sc_await(proc, loc, value),
-                    other => unreachable!("manager received {other:?}"),
-                };
-                for (proc, msg) in out {
-                    net.send(proc.index(), msg);
                 }
             }
-            Ok(Wire::Shutdown) | Err(_) => return manager,
+            Some(Wire::Shutdown) | None => return manager,
         }
     }
 }
@@ -368,6 +548,7 @@ pub struct LiveCtx {
     proc: ProcId,
     cfg: DsmConfig,
     replica: Replica,
+    session: Option<Session>,
     inbox: Receiver<Wire>,
     net: Net,
     held: HashMap<LockId, LockMode>,
@@ -399,6 +580,25 @@ impl LiveCtx {
         }
     }
 
+    /// Sends a protocol message, through the session layer when it is on.
+    fn send(&mut self, to: NodeId, msg: Msg) {
+        sess_send(&self.net, &mut self.session, self.proc.index(), to, msg);
+    }
+
+    /// Filters one arriving wire message through the session layer and
+    /// applies whatever is deliverable.
+    fn receive(&mut self, from: NodeId, msg: Msg) {
+        let me = self.proc.index();
+        for inner in sess_receive(&self.net, &mut self.session, me, from, msg) {
+            self.process(inner);
+        }
+    }
+
+    /// Retransmits every unacknowledged session payload.
+    fn retransmit(&mut self) {
+        sess_retransmit(&self.net, &mut self.session, self.proc.index());
+    }
+
     /// Applies one incoming protocol message to local state.
     fn process(&mut self, msg: Msg) {
         match msg {
@@ -409,7 +609,7 @@ impl LiveCtx {
             }
             Msg::Flush { from_proc, upto } => {
                 if self.replica.applied[from_proc] >= upto {
-                    self.net.send(from_proc.index(), Msg::FlushAck);
+                    self.send(from_proc.index(), Msg::FlushAck);
                 } else {
                     self.flush_waiters.push((from_proc, upto));
                 }
@@ -432,7 +632,7 @@ impl LiveCtx {
         let waiters = std::mem::take(&mut self.flush_waiters);
         for (fp, upto) in waiters {
             if self.replica.applied[fp] >= upto {
-                self.net.send(fp.index(), Msg::FlushAck);
+                self.send(fp.index(), Msg::FlushAck);
             } else {
                 self.flush_waiters.push((fp, upto));
             }
@@ -443,35 +643,48 @@ impl LiveCtx {
     fn drain(&mut self) {
         while let Ok(wire) = self.inbox.try_recv() {
             match wire {
-                Wire::Proto { msg } => self.process(msg),
+                Wire::Proto { from, msg } => self.receive(from, msg),
                 Wire::Shutdown => unreachable!("shutdown during the program"),
             }
         }
     }
 
-    /// Blocks until one more message arrives and handles it.
+    /// Blocks until one more message arrives and handles it. With the
+    /// session layer on, waits in [`RETX_TICK`] slices, retransmitting
+    /// unacknowledged payloads between them.
     ///
     /// # Panics
     ///
     /// Panics (with a description) after the configured timeout — the
     /// live executor's deadlock detector.
     fn step(&mut self, waiting_for: &str) {
-        match self.inbox.recv_timeout(self.timeout) {
-            Ok(Wire::Proto { msg }) => self.process(msg),
-            Ok(Wire::Shutdown) => {
-                panic!("{} received shutdown while waiting for {waiting_for}", self.proc)
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let wait = if self.session.is_some() {
+                RETX_TICK.min(deadline.saturating_duration_since(Instant::now()))
+            } else {
+                self.timeout
+            };
+            match self.inbox.recv_timeout(wait) {
+                Ok(Wire::Proto { from, msg }) => return self.receive(from, msg),
+                Ok(Wire::Shutdown) => {
+                    panic!("{} received shutdown while waiting for {waiting_for}", self.proc)
+                }
+                Err(RecvTimeoutError::Timeout) if Instant::now() < deadline => {
+                    self.retransmit();
+                }
+                Err(_) => panic!(
+                    "{} timed out after {:?} waiting for {waiting_for}",
+                    self.proc, self.timeout
+                ),
             }
-            Err(_) => panic!(
-                "{} timed out after {:?} waiting for {waiting_for}",
-                self.proc, self.timeout
-            ),
         }
     }
 
     fn broadcast_update(&mut self, msg: Msg) {
         for i in 0..self.cfg.nprocs {
             if i != self.proc.index() {
-                self.net.send(i, msg.clone());
+                self.send(i, msg.clone());
             }
         }
     }
@@ -481,10 +694,7 @@ impl LiveCtx {
         if self.cfg.mode == Mode::Sc {
             self.replica.applied.tick(self.proc);
             let id = WriteId::new(self.proc, self.replica.applied[self.proc]);
-            self.net.send(
-                self.cfg.manager_node().index(),
-                Msg::ScWrite { writer: id, loc, payload },
-            );
+            self.send(self.cfg.manager_node().index(), Msg::ScWrite { writer: id, loc, payload });
             loop {
                 match self.sc_resp.take() {
                     Some(Msg::ScWriteAck) => return id,
@@ -519,7 +729,7 @@ impl LiveCtx {
     pub fn read(&mut self, loc: Loc, label: ReadLabel) -> Value {
         self.drain();
         if self.cfg.mode == Mode::Sc {
-            self.net.send(self.cfg.manager_node().index(), Msg::ScRead { proc: self.proc, loc });
+            self.send(self.cfg.manager_node().index(), Msg::ScRead { proc: self.proc, loc });
             loop {
                 match self.sc_resp.take() {
                     Some(Msg::ScReadResp { value, writer }) => {
@@ -567,7 +777,7 @@ impl LiveCtx {
     pub fn lock(&mut self, lock: LockId, mode: LockMode) {
         assert!(!self.held.contains_key(&lock), "{} re-acquires {lock}", self.proc);
         self.drain();
-        self.net.send(
+        self.send(
             self.cfg.lock_manager_node(lock).index(),
             Msg::LockReq { proc: self.proc, lock, mode },
         );
@@ -613,7 +823,7 @@ impl LiveCtx {
             let upto = self.replica.own_count();
             for i in 0..self.cfg.nprocs {
                 if i != self.proc.index() {
-                    self.net.send(i, Msg::Flush { from_proc: self.proc, upto });
+                    self.send(i, Msg::Flush { from_proc: self.proc, upto });
                 }
             }
             while self.flush_acks < self.cfg.nprocs - 1 {
@@ -631,12 +841,9 @@ impl LiveCtx {
         } else {
             Vec::new()
         };
-        let knowledge = if self.cfg.mode.carries_vectors() {
-            self.replica.knowledge()
-        } else {
-            VClock::new(0)
-        };
-        self.net.send(
+        let knowledge =
+            if self.cfg.mode.carries_vectors() { self.replica.knowledge() } else { VClock::new(0) };
+        self.send(
             self.cfg.lock_manager_node(lock).index(),
             Msg::LockRel {
                 proc: self.proc,
@@ -696,7 +903,7 @@ impl LiveCtx {
             Mode::Pram => self.replica.applied.clone(),
             Mode::Sc => VClock::new(0),
         };
-        self.net.send(
+        self.send(
             self.cfg.barrier_manager_node(barrier).index(),
             Msg::BarrierArrive { proc: self.proc, barrier, round, knowledge },
         );
@@ -720,18 +927,15 @@ impl LiveCtx {
         let value = value.into();
         self.drain();
         if self.cfg.mode == Mode::Sc {
-            self.net.send(
+            self.send(
                 self.cfg.manager_node().index(),
                 Msg::ScAwait { proc: self.proc, loc, value },
             );
             loop {
                 match self.sc_resp.take() {
                     Some(Msg::ScAwaitResp { value: v, writers }) => {
-                        let writers = if writers.is_empty() {
-                            vec![WriteId::initial(loc)]
-                        } else {
-                            writers
-                        };
+                        let writers =
+                            if writers.is_empty() { vec![WriteId::initial(loc)] } else { writers };
                         self.push(OpKind::Await { loc, value: v, writers });
                         return v;
                     }

@@ -7,7 +7,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use mc_live::LiveSystem;
-use mc_model::{check, BarrierId, LockId, Loc, ProcId, Value};
+use mc_model::{check, BarrierId, Loc, LockId, ProcId, Value};
 use mc_proto::{LockPropagation, Mode};
 
 const REPS: usize = 5;
@@ -157,9 +157,7 @@ fn manager_sharding_live() {
         });
     }
     let outcome = sys.run().unwrap();
-    let total: i64 = (0..4u32)
-        .map(|l| outcome.final_value(ProcId(0), Loc(l)).expect_i64())
-        .sum();
+    let total: i64 = (0..4u32).map(|l| outcome.final_value(ProcId(0), Loc(l)).expect_i64()).sum();
     assert_eq!(total, 9);
 }
 
@@ -168,9 +166,7 @@ fn long_running_programs_outlive_the_op_timeout() {
     // Regression: the coordinator must not abort a program whose total
     // runtime exceeds the per-operation timeout — only a single *blocked
     // operation* may time out.
-    let mut sys = LiveSystem::new(2, Mode::Mixed)
-        .timeout(Duration::from_millis(150))
-        .record(true);
+    let mut sys = LiveSystem::new(2, Mode::Mixed).timeout(Duration::from_millis(150)).record(true);
     sys.spawn(|ctx| {
         for i in 0..4i64 {
             std::thread::sleep(Duration::from_millis(100)); // local work
@@ -201,6 +197,75 @@ fn deadlock_times_out_with_diagnostics() {
 }
 
 #[test]
+fn lossy_channels_with_session_layer_still_converge() {
+    // A quarter of all messages (updates, grants, acks alike) vanish;
+    // the session layer's retransmission must mask every loss, for all
+    // three lock-propagation variants, and the histories must still
+    // satisfy Definition 4.
+    for prop in LockPropagation::ALL {
+        for rep in 0..3u64 {
+            let mut sys = LiveSystem::new(3, Mode::Mixed)
+                .lock_propagation(prop)
+                .lossy(0.25, rep)
+                .reliable(true)
+                .record(true);
+            for _ in 0..3 {
+                sys.spawn(|ctx| {
+                    for _ in 0..3 {
+                        ctx.with_write_lock(LockId(0), |ctx| {
+                            let v = ctx.read_causal(Loc(0)).expect_i64();
+                            ctx.write(Loc(0), v + 1);
+                        });
+                    }
+                    ctx.barrier();
+                    assert_eq!(ctx.read_causal(Loc(0)), Value::Int(9), "lost an increment");
+                });
+            }
+            let outcome = sys.run().unwrap_or_else(|e| panic!("{prop} rep {rep}: {e}"));
+            assert!(outcome.lost > 0, "{prop} rep {rep}: the shim dropped nothing");
+            assert_eq!(outcome.dropped_sends, 0, "{prop} rep {rep}");
+            let h = outcome.history.expect("recorded");
+            check::check_mixed(&h).unwrap_or_else(|e| panic!("{prop} rep {rep}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn sc_server_survives_lossy_links_with_session() {
+    for rep in 0..3u64 {
+        let mut sys = LiveSystem::new(2, Mode::Sc).lossy(0.3, 100 + rep).reliable(true);
+        sys.spawn(|ctx| {
+            ctx.write(Loc(0), 7);
+            ctx.write(Loc(1), 1);
+        });
+        sys.spawn(|ctx| {
+            ctx.await_eq(Loc(1), Value::Int(1));
+            assert_eq!(ctx.read_causal(Loc(0)), Value::Int(7));
+        });
+        let outcome = sys.run().unwrap_or_else(|e| panic!("rep {rep}: {e}"));
+        assert_eq!(outcome.final_value(ProcId(0), Loc(0)), Value::Int(7));
+        assert!(outcome.lost > 0, "rep {rep}");
+    }
+}
+
+#[test]
+fn clean_runs_report_zero_silent_drops() {
+    // The teardown invariant made visible: on a quiet network nothing is
+    // lost on closed inboxes and the lossy counter stays zero.
+    let mut sys = LiveSystem::new(2, Mode::Mixed);
+    sys.spawn(|ctx| {
+        ctx.write(Loc(0), 1);
+        ctx.write(Loc(1), 1);
+    });
+    sys.spawn(|ctx| {
+        ctx.await_eq(Loc(1), Value::Int(1));
+    });
+    let outcome = sys.run().unwrap();
+    assert_eq!(outcome.dropped_sends, 0);
+    assert_eq!(outcome.lost, 0);
+}
+
+#[test]
 fn histories_from_many_races_all_check() {
     // The live analogue of the seed sweep: repeat a racy mixed-label
     // program many times; every recorded history must satisfy
@@ -218,8 +283,10 @@ fn histories_from_many_races_all_check() {
         let outcome = sys.run().unwrap();
         let h = outcome.history.expect("recorded");
         check::check_mixed(&h).unwrap_or_else(|e| {
-            panic!("rep {rep}: real-thread execution violated Definition 4: {e}\n{}",
-                h.to_pretty_string())
+            panic!(
+                "rep {rep}: real-thread execution violated Definition 4: {e}\n{}",
+                h.to_pretty_string()
+            )
         });
     }
 }

@@ -111,11 +111,7 @@ impl Relation {
 
     /// Iterates over the member operations.
     pub fn members(&self) -> impl Iterator<Item = OpId> + '_ {
-        self.members
-            .iter()
-            .enumerate()
-            .filter(|(_, &m)| m)
-            .map(|(i, _)| OpId(i as u32))
+        self.members.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| OpId(i as u32))
     }
 }
 
@@ -144,8 +140,7 @@ impl<'h> Causality<'h> {
             for &(a, b) in edges {
                 g.add_edge(a.index(), b.index());
             }
-            Ok(g
-                .transitive_reduction()?
+            Ok(g.transitive_reduction()?
                 .edges()
                 .map(|(a, b)| (OpId(a as u32), OpId(b as u32)))
                 .collect())
@@ -211,10 +206,7 @@ impl<'h> Causality<'h> {
             }
             for pair in epochs.windows(2) {
                 let ops_of = |e: &crate::history::LockEpoch| {
-                    e.members
-                        .iter()
-                        .flat_map(|&(l, u)| [l, u])
-                        .collect::<Vec<_>>()
+                    e.members.iter().flat_map(|&(l, u)| [l, u]).collect::<Vec<_>>()
                 };
                 for a in ops_of(&pair[0]) {
                     for b in ops_of(&pair[1]) {
@@ -253,18 +245,14 @@ impl<'h> Causality<'h> {
                     .collect();
                 for &o in h.proc_ops(p) {
                     // Nearest barrier after o in program order.
-                    let next = mine
-                        .iter()
-                        .position(|&b| po_closure.get(o.index(), b.index()));
+                    let next = mine.iter().position(|&b| po_closure.get(o.index(), b.index()));
                     if let Some(k) = next {
                         for &b in &rounds[k].ops {
                             edges.push((o, b));
                         }
                     }
                     // Nearest barrier before o in program order.
-                    let prev = mine
-                        .iter()
-                        .rposition(|&b| po_closure.get(b.index(), o.index()));
+                    let prev = mine.iter().rposition(|&b| po_closure.get(b.index(), o.index()));
                     if let Some(k) = prev {
                         for &b in &rounds[k].ops {
                             edges.push((b, o));
@@ -353,11 +341,7 @@ impl<'h> Causality<'h> {
     /// `p_i` plus the write and synchronization operations of other
     /// processes (everything except other processes' reads).
     fn members_for(&self, i: ProcId) -> Vec<bool> {
-        self.h
-            .ops()
-            .iter()
-            .map(|op| op.proc == i || !op.kind.is_read())
-            .collect()
+        self.h.ops().iter().map(|op| op.proc == i || !op.kind.is_read()).collect()
     }
 
     /// Builds `;i,C` — Definition 2's relation: the full causality
@@ -409,9 +393,7 @@ impl<'h> Causality<'h> {
         for e in self.rf_edges.iter().filter(|e| touches_group(e)) {
             g.add_edge(e.0.index(), e.1.index());
         }
-        let closure = g
-            .transitive_closure()
-            .expect("subgraph of an acyclic relation is acyclic");
+        let closure = g.transitive_closure().expect("subgraph of an acyclic relation is acyclic");
         Relation { members: self.members_for(i), closure }
     }
 }
@@ -420,7 +402,7 @@ impl<'h> Causality<'h> {
 mod tests {
     use super::*;
     use crate::history::HistoryBuilder;
-    use crate::ids::{BarrierId, BarrierRound, LockId, Loc};
+    use crate::ids::{BarrierId, BarrierRound, Loc, LockId};
     use crate::op::{LockMode, ReadLabel};
     use crate::value::Value;
 
@@ -508,15 +490,13 @@ mod tests {
         let cz = Causality::new(&h).unwrap();
         let mut reduced = cz.reduced_lock_edges().to_vec();
         reduced.sort();
-        let expect: Vec<Edge> =
-            ops.windows(2).map(|w| (w[0], w[1])).collect();
+        let expect: Vec<Edge> = ops.windows(2).map(|w| (w[0], w[1])).collect();
         assert_eq!(reduced, expect);
         // The full relation has the transitive shortcut.
-        assert!(cz
-            .lock_edges()
-            .iter()
-            .any(|&(a, b2)| a == ops[0] && b2 == ops[3])
-            || cz.precedes(ops[0], ops[3]));
+        assert!(
+            cz.lock_edges().iter().any(|&(a, b2)| a == ops[0] && b2 == ops[3])
+                || cz.precedes(ops[0], ops[3])
+        );
     }
 
     #[test]
@@ -623,11 +603,7 @@ mod tests {
         for a in h.op_ids() {
             for b2 in h.op_ids() {
                 if causal.contains(a) && causal.contains(b2) {
-                    assert_eq!(
-                        pram.precedes(a, b2),
-                        causal.precedes(a, b2),
-                        "{a} vs {b2}"
-                    );
+                    assert_eq!(pram.precedes(a, b2), causal.precedes(a, b2), "{a} vs {b2}");
                 }
             }
         }
@@ -645,9 +621,6 @@ mod tests {
         b.push_await(p(1), Loc(1), Value::Int(1));
         b.push_write(p(1), Loc(0), Value::Int(1));
         let h = b.build().unwrap();
-        assert!(matches!(
-            Causality::new(&h),
-            Err(CausalityError::Cyclic(_))
-        ));
+        assert!(matches!(Causality::new(&h), Err(CausalityError::Cyclic(_))));
     }
 }

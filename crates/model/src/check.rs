@@ -212,7 +212,10 @@ pub fn check_pram(h: &History) -> Result<CheckReport, CheckError> {
 /// # Panics
 ///
 /// Panics if `groups.len() != h.nprocs()` or a group omits its owner.
-pub fn check_grouped(h: &History, groups: &[Vec<crate::ProcId>]) -> Result<CheckReport, CheckError> {
+pub fn check_grouped(
+    h: &History,
+    groups: &[Vec<crate::ProcId>],
+) -> Result<CheckReport, CheckError> {
     assert_eq!(groups.len(), h.nprocs(), "one group per process");
     let causality = Causality::new(h)?;
     let mut report = CheckReport::default();
@@ -237,8 +240,7 @@ pub fn check_grouped(h: &History, groups: &[Vec<crate::ProcId>]) -> Result<Check
             continue;
         };
         let pi = op.proc.index();
-        let rel = rels[pi]
-            .get_or_insert_with(|| causality.group_relation(op.proc, &groups[pi]));
+        let rel = rels[pi].get_or_insert_with(|| causality.group_relation(op.proc, &groups[pi]));
         if has_update.contains(loc) {
             if has_write.contains(loc) {
                 report.skipped.push(id);
@@ -292,11 +294,10 @@ fn check_with(h: &History, judging: Judging) -> Result<CheckReport, CheckError> 
         };
         let pi = op.proc.index();
         let rel: &Relation = match judged_as {
-            ReadLabel::Causal => causal_rel[pi]
-                .get_or_insert_with(|| causality.causal_relation(op.proc)),
-            ReadLabel::Pram => {
-                pram_rel[pi].get_or_insert_with(|| causality.pram_relation(op.proc))
+            ReadLabel::Causal => {
+                causal_rel[pi].get_or_insert_with(|| causality.causal_relation(op.proc))
             }
+            ReadLabel::Pram => pram_rel[pi].get_or_insert_with(|| causality.pram_relation(op.proc)),
         };
 
         if has_update.contains(loc) {
@@ -415,8 +416,7 @@ fn check_counter_read(
     let preceding = h
         .iter()
         .filter(|(oid, op)| {
-            matches!(op.kind, OpKind::Update { loc: l, .. } if l == loc)
-                && rel.precedes(*oid, read)
+            matches!(op.kind, OpKind::Update { loc: l, .. } if l == loc) && rel.precedes(*oid, read)
         })
         .count();
     if preceding > accounted {
@@ -457,10 +457,7 @@ mod tests {
         let err = check_causal(&h).unwrap_err();
         let CheckError::Violations(report) = err else { panic!() };
         assert_eq!(report.violations.len(), 1);
-        assert!(matches!(
-            report.violations[0].kind,
-            ViolationKind::StaleInitial { .. }
-        ));
+        assert!(matches!(report.violations[0].kind, ViolationKind::StaleInitial { .. }));
     }
 
     #[test]
@@ -481,10 +478,7 @@ mod tests {
         let h = b.build().unwrap();
         let err = check_pram(&h).unwrap_err();
         let CheckError::Violations(report) = err else { panic!() };
-        assert!(matches!(
-            report.violations[0].kind,
-            ViolationKind::Overwritten { .. }
-        ));
+        assert!(matches!(report.violations[0].kind, ViolationKind::Overwritten { .. }));
     }
 
     #[test]
@@ -625,10 +619,7 @@ mod tests {
         let h = b.build().unwrap();
         let err = check_causal(&h).unwrap_err();
         let CheckError::Violations(r) = err else { panic!() };
-        assert!(matches!(
-            r.violations[0].kind,
-            ViolationKind::CounterValueUnreachable
-        ));
+        assert!(matches!(r.violations[0].kind, ViolationKind::CounterValueUnreachable));
     }
 
     #[test]
@@ -636,13 +627,7 @@ mod tests {
         let mut b = HistoryBuilder::new(1);
         b.push_write(p(0), Loc(0), Value::Int(10));
         b.push_update(p(0), Loc(0), -1);
-        b.push_read_from(
-            p(0),
-            Loc(0),
-            ReadLabel::Causal,
-            Value::Int(9),
-            WriteId::new(p(0), 2),
-        );
+        b.push_read_from(p(0), Loc(0), ReadLabel::Causal, Value::Int(9), WriteId::new(p(0), 2));
         let h = b.build().unwrap();
         let report = check_causal(&h).unwrap();
         assert_eq!(report.skipped.len(), 1);

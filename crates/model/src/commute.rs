@@ -162,10 +162,7 @@ pub fn check_theorem1(h: &History) -> Result<Theorem1Outcome, CausalityError> {
             }
         }
     }
-    let causal_violations = match check::check_causal(h) {
-        Ok(_) => None,
-        Err(e) => Some(e),
-    };
+    let causal_violations = check::check_causal(h).err();
     if non_commuting.is_empty() && causal_violations.is_none() {
         Ok(Theorem1Outcome::Applies)
     } else {
@@ -177,7 +174,7 @@ pub fn check_theorem1(h: &History) -> Result<Theorem1Outcome, CausalityError> {
 mod tests {
     use super::*;
     use crate::history::HistoryBuilder;
-    use crate::ids::{LockId, Loc, ProcId};
+    use crate::ids::{Loc, LockId, ProcId};
     use crate::op::ReadLabel;
     use crate::sc::{check_sequential, ScVerdict};
     use crate::value::Value;
@@ -283,8 +280,7 @@ mod tests {
         b.push_write(p(1), Loc(0), Value::Int(2));
         let h = b.build().unwrap();
         let outcome = check_theorem1(&h).unwrap();
-        let Theorem1Outcome::NotApplicable { non_commuting, causal_violations } = outcome
-        else {
+        let Theorem1Outcome::NotApplicable { non_commuting, causal_violations } = outcome else {
             panic!("expected NotApplicable");
         };
         assert_eq!(non_commuting.len(), 1);

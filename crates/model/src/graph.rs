@@ -94,11 +94,7 @@ impl BitMatrix {
         RowIter {
             words: &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row],
             word_idx: 0,
-            current: if self.words_per_row == 0 {
-                0
-            } else {
-                self.bits[i * self.words_per_row]
-            },
+            current: if self.words_per_row == 0 { 0 } else { self.bits[i * self.words_per_row] },
             n: self.n,
         }
     }
@@ -218,10 +214,7 @@ impl Digraph {
 
     /// All edges as `(u, v)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adj
-            .iter()
-            .enumerate()
-            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v as usize)))
+        self.adj.iter().enumerate().flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v as usize)))
     }
 
     /// The number of edges (counting duplicates).
@@ -240,8 +233,7 @@ impl Digraph {
         for (_, v) in self.edges() {
             indeg[v] += 1;
         }
-        let mut stack: Vec<usize> =
-            (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut stack: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = stack.pop() {
             order.push(u);
@@ -299,14 +291,11 @@ impl Digraph {
         let mut out = Digraph::new(self.len());
         for u in 0..self.len() {
             let mut kept: Vec<usize> = Vec::new();
-            let mut succs: Vec<usize> =
-                self.adj[u].iter().map(|&v| v as usize).collect();
+            let mut succs: Vec<usize> = self.adj[u].iter().map(|&v| v as usize).collect();
             succs.sort_unstable();
             succs.dedup();
             for &v in &succs {
-                let transitive = succs
-                    .iter()
-                    .any(|&z| z != v && z != u && closure.get(z, v));
+                let transitive = succs.iter().any(|&z| z != v && z != u && closure.get(z, v));
                 if !transitive {
                     kept.push(v);
                 }
@@ -323,11 +312,7 @@ impl FromIterator<(usize, usize)> for Digraph {
     /// Builds a graph sized to the largest mentioned node.
     fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> Self {
         let edges: Vec<(usize, usize)> = iter.into_iter().collect();
-        let n = edges
-            .iter()
-            .map(|&(u, v)| u.max(v) + 1)
-            .max()
-            .unwrap_or(0);
+        let n = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
         let mut g = Digraph::new(n);
         for (u, v) in edges {
             g.add_edge(u, v);
@@ -433,9 +418,23 @@ mod tests {
         // Random-ish layered DAG; reduction must preserve the closure.
         let mut g = Digraph::new(12);
         let edges = [
-            (0, 3), (0, 4), (1, 4), (2, 5), (3, 6), (4, 6), (4, 7),
-            (5, 8), (6, 9), (7, 9), (8, 10), (9, 11), (0, 6), (1, 9),
-            (2, 10), (3, 9), (0, 11),
+            (0, 3),
+            (0, 4),
+            (1, 4),
+            (2, 5),
+            (3, 6),
+            (4, 6),
+            (4, 7),
+            (5, 8),
+            (6, 9),
+            (7, 9),
+            (8, 10),
+            (9, 11),
+            (0, 6),
+            (1, 9),
+            (2, 10),
+            (3, 9),
+            (0, 11),
         ];
         for (u, v) in edges {
             g.add_edge(u, v);

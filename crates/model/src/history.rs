@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::graph::Digraph;
-use crate::ids::{BarrierId, BarrierRound, LockId, Loc, OpId, ProcId, WriteId};
+use crate::ids::{BarrierId, BarrierRound, Loc, LockId, OpId, ProcId, WriteId};
 use crate::op::{Edge, LockMode, Op, OpKind, ReadLabel};
 use crate::value::Value;
 
@@ -236,8 +236,7 @@ impl History {
     ///
     /// Panics if `read` is not a `Read` operation.
     pub fn reads_from(&self, read: OpId) -> WriteId {
-        self.rf[read.index()]
-            .unwrap_or_else(|| panic!("{read} is not a read operation"))
+        self.rf[read.index()].unwrap_or_else(|| panic!("{read} is not a read operation"))
     }
 
     /// The resolved synchronization sources of an await operation.
@@ -375,7 +374,12 @@ impl HistoryBuilder {
 
     /// Convenience: pushes a commutative update, minting a fresh
     /// [`WriteId`], and returns `(op, write_id)`.
-    pub fn push_update(&mut self, proc: ProcId, loc: Loc, delta: impl Into<Value>) -> (OpId, WriteId) {
+    pub fn push_update(
+        &mut self,
+        proc: ProcId,
+        loc: Loc,
+        delta: impl Into<Value>,
+    ) -> (OpId, WriteId) {
         let seq = &mut self.write_seq[proc.index()];
         *seq += 1;
         let id = WriteId::new(proc, *seq);
@@ -384,13 +388,7 @@ impl HistoryBuilder {
     }
 
     /// Convenience: pushes a read whose writer will be resolved by value.
-    pub fn push_read(
-        &mut self,
-        proc: ProcId,
-        loc: Loc,
-        label: ReadLabel,
-        value: Value,
-    ) -> OpId {
+    pub fn push_read(&mut self, proc: ProcId, loc: Loc, label: ReadLabel, value: Value) -> OpId {
         self.push(proc, OpKind::Read { loc, label, value, writer: None })
     }
 
@@ -417,12 +415,7 @@ impl HistoryBuilder {
     }
 
     /// Convenience: pushes a barrier operation.
-    pub fn push_barrier(
-        &mut self,
-        proc: ProcId,
-        barrier: BarrierId,
-        round: BarrierRound,
-    ) -> OpId {
+    pub fn push_barrier(&mut self, proc: ProcId, barrier: BarrierId, round: BarrierRound) -> OpId {
         self.push(proc, OpKind::Barrier { barrier, round })
     }
 
@@ -448,15 +441,7 @@ impl HistoryBuilder {
     /// Returns a [`MalformedHistory`] describing the first violated
     /// well-formedness condition.
     pub fn build(self) -> Result<History, MalformedHistory> {
-        let HistoryBuilder {
-            nprocs,
-            ops,
-            po_edges,
-            per_proc,
-            initial,
-            proc_is_chain,
-            ..
-        } = self;
+        let HistoryBuilder { nprocs, ops, po_edges, per_proc, initial, proc_is_chain, .. } = self;
 
         // -- program order sanity ------------------------------------------------
         for &(a, b) in &po_edges {
@@ -467,8 +452,7 @@ impl HistoryBuilder {
         // Per-process closure (needed for conditions 2 and 4 and lock-pair
         // ordering). Also detects cycles.
         let mut proc_closure = Vec::with_capacity(nprocs);
-        for p in 0..nprocs {
-            let local_ids = &per_proc[p];
+        for (p, local_ids) in per_proc.iter().enumerate() {
             let index_of: HashMap<OpId, usize> =
                 local_ids.iter().enumerate().map(|(i, &o)| (o, i)).collect();
             let mut g = Digraph::new(local_ids.len());
@@ -502,8 +486,7 @@ impl HistoryBuilder {
                         continue;
                     }
                     let (ka, kb) = (&ops[a.index()].kind, &ops[b.index()].kind);
-                    if matches!(ka, OpKind::Barrier { .. })
-                        || matches!(kb, OpKind::Barrier { .. })
+                    if matches!(ka, OpKind::Barrier { .. }) || matches!(kb, OpKind::Barrier { .. })
                     {
                         let o = if matches!(ka, OpKind::Barrier { .. }) { a } else { b };
                         return Err(MalformedHistory::BarrierNotTotallyOrdered(o));
@@ -538,8 +521,9 @@ impl HistoryBuilder {
         let mut epochs: BTreeMap<LockId, Vec<LockEpoch>> = BTreeMap::new();
         let mut held: HashMap<(ProcId, LockId), (LockMode, OpId)> = HashMap::new();
 
-        let close_epoch = |lock: LockId, cur: &mut Cur,
-                               epochs: &mut BTreeMap<LockId, Vec<LockEpoch>>|
+        let close_epoch = |lock: LockId,
+                           cur: &mut Cur,
+                           epochs: &mut BTreeMap<LockId, Vec<LockEpoch>>|
          -> Result<(), MalformedHistory> {
             match std::mem::replace(cur, Cur::Idle) {
                 Cur::Idle => {}
@@ -582,9 +566,8 @@ impl HistoryBuilder {
                     match mode {
                         LockMode::Write => {
                             // All previous holders must have released.
-                            close_epoch(*lock, cur, &mut epochs).map_err(|_| {
-                                MalformedHistory::ConflictingLockGrant(id)
-                            })?;
+                            close_epoch(*lock, cur, &mut epochs)
+                                .map_err(|_| MalformedHistory::ConflictingLockGrant(id))?;
                             *cur = Cur::Write { lock_op: id, holder: op.proc, unlocked: false };
                         }
                         LockMode::Read => match cur {
@@ -671,37 +654,28 @@ impl HistoryBuilder {
             let mut out = Vec::new();
             for (round, mut round_ops) in rounds {
                 round_ops.sort_by_key(|o| ops[o.index()].proc);
-                let procs: Vec<ProcId> =
-                    round_ops.iter().map(|o| ops[o.index()].proc).collect();
+                let procs: Vec<ProcId> = round_ops.iter().map(|o| ops[o.index()].proc).collect();
                 for w in procs.windows(2) {
                     if w[0] == w[1] {
-                        return Err(MalformedHistory::DuplicateBarrierArrival(
-                            round_ops[0],
-                        ));
+                        return Err(MalformedHistory::DuplicateBarrierArrival(round_ops[0]));
                     }
                 }
                 match &participants {
                     None => participants = Some(procs),
                     Some(expect) => {
                         if *expect != procs {
-                            return Err(MalformedHistory::BarrierParticipantsChanged(
-                                bar, round,
-                            ));
+                            return Err(MalformedHistory::BarrierParticipantsChanged(bar, round));
                         }
                     }
                 }
                 out.push(BarrierRoundOps { round, ops: round_ops });
             }
             // Each process must pass rounds in increasing program order.
-            for p in 0..nprocs {
-                let (index_of, closure) = &proc_closure[p];
+            for (p, (index_of, closure)) in proc_closure.iter().enumerate() {
                 let mine: Vec<OpId> = out
                     .iter()
                     .filter_map(|r| {
-                        r.ops
-                            .iter()
-                            .copied()
-                            .find(|o| ops[o.index()].proc == ProcId(p as u32))
+                        r.ops.iter().copied().find(|o| ops[o.index()].proc == ProcId(p as u32))
                     })
                     .collect();
                 for w in mine.windows(2) {
@@ -714,8 +688,7 @@ impl HistoryBuilder {
         }
 
         // -- reads-from resolution ---------------------------------------------
-        let initial_of =
-            |loc: Loc| initial.get(&loc).copied().unwrap_or(Value::INITIAL);
+        let initial_of = |loc: Loc| initial.get(&loc).copied().unwrap_or(Value::INITIAL);
         let mut rf: Vec<Option<WriteId>> = vec![None; ops.len()];
         let mut await_src: Vec<Vec<WriteId>> = vec![Vec::new(); ops.len()];
         for (i, op) in ops.iter().enumerate() {
@@ -735,9 +708,7 @@ impl HistoryBuilder {
                                 match &ops[wop.index()].kind {
                                     OpKind::Write { loc: wl, value: wv, .. } => {
                                         if wl != loc || wv != value {
-                                            return Err(
-                                                MalformedHistory::ReadValueMismatch(id),
-                                            );
+                                            return Err(MalformedHistory::ReadValueMismatch(id));
                                         }
                                     }
                                     // Reads of counter locations record the
@@ -746,16 +717,10 @@ impl HistoryBuilder {
                                     // running sum, so no equality check.
                                     OpKind::Update { loc: wl, .. } => {
                                         if wl != loc {
-                                            return Err(
-                                                MalformedHistory::ReadValueMismatch(id),
-                                            );
+                                            return Err(MalformedHistory::ReadValueMismatch(id));
                                         }
                                     }
-                                    _ => {
-                                        return Err(MalformedHistory::UnresolvableRead(
-                                            id,
-                                        ))
-                                    }
+                                    _ => return Err(MalformedHistory::UnresolvableRead(id)),
                                 }
                             }
                             *w
@@ -772,9 +737,9 @@ impl HistoryBuilder {
                                     _ => None,
                                 })
                                 .collect();
-                            let loc_has_updates = ops.iter().any(|o| {
-                                matches!(o.kind, OpKind::Update { loc: l, .. } if l == *loc)
-                            });
+                            let loc_has_updates = ops.iter().any(
+                                |o| matches!(o.kind, OpKind::Update { loc: l, .. } if l == *loc),
+                            );
                             match matches.len() {
                                 1 => matches[0],
                                 0 if initial_of(*loc) == *value => WriteId::initial(*loc),
@@ -897,10 +862,7 @@ mod tests {
         b.push_write(p(0), Loc(0), Value::Int(5));
         b.push_write(p(1), Loc(0), Value::Int(5));
         b.push_read(p(0), Loc(0), ReadLabel::Causal, Value::Int(5));
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::AmbiguousRead(_))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::AmbiguousRead(_))));
     }
 
     #[test]
@@ -917,10 +879,7 @@ mod tests {
     fn unresolvable_read_is_rejected() {
         let mut b = HistoryBuilder::new(1);
         b.push_read(p(0), Loc(0), ReadLabel::Pram, Value::Int(42));
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::UnresolvableRead(_))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::UnresolvableRead(_))));
     }
 
     #[test]
@@ -928,10 +887,7 @@ mod tests {
         let mut b = HistoryBuilder::new(1);
         let (_, w) = b.push_write(p(0), Loc(0), Value::Int(1));
         b.push_read_from(p(0), Loc(0), ReadLabel::Pram, Value::Int(2), w);
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::ReadValueMismatch(_))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::ReadValueMismatch(_))));
     }
 
     #[test]
@@ -990,10 +946,7 @@ mod tests {
     fn unmatched_unlock_is_rejected() {
         let mut b = HistoryBuilder::new(1);
         b.push_unlock(p(0), LockId(0), LockMode::Write);
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::UnmatchedUnlock(_))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::UnmatchedUnlock(_))));
     }
 
     #[test]
@@ -1001,10 +954,7 @@ mod tests {
         let mut b = HistoryBuilder::new(1);
         b.push_lock(p(0), LockId(0), LockMode::Write);
         b.push_unlock(p(0), LockId(0), LockMode::Read);
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::UnmatchedUnlock(_))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::UnmatchedUnlock(_))));
     }
 
     #[test]
@@ -1021,10 +971,7 @@ mod tests {
         let mut b = HistoryBuilder::new(2);
         b.push_lock(p(0), LockId(0), LockMode::Read);
         b.push_lock(p(1), LockId(0), LockMode::Write);
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::ConflictingLockGrant(_))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::ConflictingLockGrant(_))));
     }
 
     #[test]
@@ -1032,20 +979,14 @@ mod tests {
         let mut b = HistoryBuilder::new(2);
         b.push_lock(p(0), LockId(0), LockMode::Write);
         b.push_lock(p(1), LockId(0), LockMode::Read);
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::ConflictingLockGrant(_))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::ConflictingLockGrant(_))));
     }
 
     #[test]
     fn lock_held_at_end_is_rejected() {
         let mut b = HistoryBuilder::new(1);
         b.push_lock(p(0), LockId(0), LockMode::Write);
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::LockHeldAtEnd(_, _))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::LockHeldAtEnd(_, _))));
     }
 
     #[test]
@@ -1068,10 +1009,7 @@ mod tests {
         let mut b = HistoryBuilder::new(1);
         b.push_barrier(p(0), BarrierId(0), BarrierRound(0));
         b.push_barrier(p(0), BarrierId(0), BarrierRound(0));
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::DuplicateBarrierArrival(_))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::DuplicateBarrierArrival(_))));
     }
 
     #[test]
@@ -1080,10 +1018,7 @@ mod tests {
         b.push_barrier(p(0), BarrierId(0), BarrierRound(0));
         b.push_barrier(p(1), BarrierId(0), BarrierRound(0));
         b.push_barrier(p(0), BarrierId(0), BarrierRound(1));
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::BarrierParticipantsChanged(_, _))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::BarrierParticipantsChanged(_, _))));
     }
 
     #[test]
@@ -1109,13 +1044,24 @@ mod tests {
         // (the forall of Fig. 3), then joins.
         let mut b = HistoryBuilder::new(1);
         let (root, _) = b.push_write(p(0), Loc(0), Value::Int(1));
-        let wa =
-            b.push_after(p(0), OpKind::Write { loc: Loc(1), value: Value::Int(2), id: WriteId::new(p(0), 100) }, &[root]);
-        let _wb =
-            b.push_after(p(0), OpKind::Write { loc: Loc(2), value: Value::Int(3), id: WriteId::new(p(0), 101) }, &[root]);
+        let wa = b.push_after(
+            p(0),
+            OpKind::Write { loc: Loc(1), value: Value::Int(2), id: WriteId::new(p(0), 100) },
+            &[root],
+        );
+        let _wb = b.push_after(
+            p(0),
+            OpKind::Write { loc: Loc(2), value: Value::Int(3), id: WriteId::new(p(0), 101) },
+            &[root],
+        );
         let _join = b.push_after(
             p(0),
-            OpKind::Read { loc: Loc(1), label: ReadLabel::Causal, value: Value::Int(2), writer: None },
+            OpKind::Read {
+                loc: Loc(1),
+                label: ReadLabel::Causal,
+                value: Value::Int(2),
+                writer: None,
+            },
             &[wa],
         );
         let h = b.build().unwrap();
@@ -1126,29 +1072,35 @@ mod tests {
     fn concurrent_same_object_rejected() {
         let mut b = HistoryBuilder::new(1);
         let (root, _) = b.push_write(p(0), Loc(9), Value::Int(1));
-        b.push_after(p(0), OpKind::Write { loc: Loc(0), value: Value::Int(2), id: WriteId::new(p(0), 100) }, &[root]);
+        b.push_after(
+            p(0),
+            OpKind::Write { loc: Loc(0), value: Value::Int(2), id: WriteId::new(p(0), 100) },
+            &[root],
+        );
         // Concurrent with the previous op, same location 0.
-        b.push_after(p(0), OpKind::Write { loc: Loc(0), value: Value::Int(3), id: WriteId::new(p(0), 101) }, &[root]);
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::ConcurrentSameObject(_, _))
-        ));
+        b.push_after(
+            p(0),
+            OpKind::Write { loc: Loc(0), value: Value::Int(3), id: WriteId::new(p(0), 101) },
+            &[root],
+        );
+        assert!(matches!(b.build(), Err(MalformedHistory::ConcurrentSameObject(_, _))));
     }
 
     #[test]
     fn concurrent_barrier_rejected() {
         let mut b = HistoryBuilder::new(1);
         let (root, _) = b.push_write(p(0), Loc(0), Value::Int(1));
-        b.push_after(p(0), OpKind::Write { loc: Loc(1), value: Value::Int(2), id: WriteId::new(p(0), 100) }, &[root]);
+        b.push_after(
+            p(0),
+            OpKind::Write { loc: Loc(1), value: Value::Int(2), id: WriteId::new(p(0), 100) },
+            &[root],
+        );
         b.push_after(
             p(0),
             OpKind::Barrier { barrier: BarrierId(0), round: BarrierRound(0) },
             &[root],
         );
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::BarrierNotTotallyOrdered(_))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::BarrierNotTotallyOrdered(_))));
     }
 
     #[test]
@@ -1157,10 +1109,7 @@ mod tests {
         let id = WriteId::new(p(0), 1);
         b.push(p(0), OpKind::Write { loc: Loc(0), value: Value::Int(1), id });
         b.push(p(0), OpKind::Write { loc: Loc(1), value: Value::Int(2), id });
-        assert!(matches!(
-            b.build(),
-            Err(MalformedHistory::DuplicateWriteId(_))
-        ));
+        assert!(matches!(b.build(), Err(MalformedHistory::DuplicateWriteId(_))));
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod viz;
 
 pub use causality::Causality;
 pub use history::{BarrierRoundOps, History, HistoryBuilder, LockEpoch, MalformedHistory};
-pub use ids::{BarrierId, BarrierRound, LockId, Loc, OpId, ProcId, WriteId};
+pub use ids::{BarrierId, BarrierRound, Loc, LockId, OpId, ProcId, WriteId};
 pub use op::{Edge, LockMode, Op, OpKind, ReadLabel};
 pub use value::Value;
 pub use vclock::VClock;

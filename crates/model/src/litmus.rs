@@ -6,7 +6,7 @@
 //! which checkers accept and reject it.
 
 use crate::history::{History, HistoryBuilder};
-use crate::ids::{BarrierId, BarrierRound, LockId, Loc, OpId, ProcId};
+use crate::ids::{BarrierId, BarrierRound, Loc, LockId, OpId, ProcId};
 use crate::op::{LockMode, ReadLabel};
 use crate::value::Value;
 
@@ -260,10 +260,7 @@ mod tests {
         assert!(check_mixed(&h).is_ok(), "labeled PRAM: allowed");
         let h = causality_chain(ReadLabel::Causal);
         assert!(check_mixed(&h).is_err(), "labeled causal: rejected");
-        assert_eq!(
-            check_sequential(&h).unwrap(),
-            ScVerdict::NotSequentiallyConsistent
-        );
+        assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
     }
 
     #[test]
@@ -271,20 +268,14 @@ mod tests {
         let h = store_buffer();
         assert!(check_causal(&h).is_ok());
         assert!(check_pram(&h).is_ok());
-        assert_eq!(
-            check_sequential(&h).unwrap(),
-            ScVerdict::NotSequentiallyConsistent
-        );
+        assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
     }
 
     #[test]
     fn write_order_disagreement_classification() {
         let h = write_order_disagreement();
         assert!(check_causal(&h).is_ok());
-        assert_eq!(
-            check_sequential(&h).unwrap(),
-            ScVerdict::NotSequentiallyConsistent
-        );
+        assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
     }
 
     #[test]

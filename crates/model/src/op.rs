@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use crate::ids::{BarrierId, BarrierRound, LockId, Loc, OpId, ProcId, WriteId};
+use crate::ids::{BarrierId, BarrierRound, Loc, LockId, OpId, ProcId, WriteId};
 use crate::value::Value;
 
 /// The consistency label carried by a read operation.
@@ -273,7 +273,8 @@ mod tests {
         );
         assert_eq!(op.to_string(), "r_p2(x1)3 [causal]");
 
-        let w = Op::new(ProcId(1), OpKind::Write { loc: Loc(2), value: Value::Int(4), id: wid(1, 1) });
+        let w =
+            Op::new(ProcId(1), OpKind::Write { loc: Loc(2), value: Value::Int(4), id: wid(1, 1) });
         assert_eq!(w.to_string(), "w_p1(x2)4");
 
         let wl = Op::new(ProcId(0), OpKind::Lock { lock: LockId(3), mode: LockMode::Write });
@@ -281,13 +282,14 @@ mod tests {
         let ru = Op::new(ProcId(0), OpKind::Unlock { lock: LockId(3), mode: LockMode::Read });
         assert_eq!(ru.to_string(), "ru_p0(l3)");
 
-        let b = Op::new(
-            ProcId(4),
-            OpKind::Barrier { barrier: BarrierId(0), round: BarrierRound(7) },
-        );
+        let b =
+            Op::new(ProcId(4), OpKind::Barrier { barrier: BarrierId(0), round: BarrierRound(7) });
         assert_eq!(b.to_string(), "b^7_p4(b0)");
 
-        let u = Op::new(ProcId(0), OpKind::Update { loc: Loc(9), delta: Value::Int(-1), id: wid(0, 3) });
+        let u = Op::new(
+            ProcId(0),
+            OpKind::Update { loc: Loc(9), delta: Value::Int(-1), id: wid(0, 3) },
+        );
         assert_eq!(u.to_string(), "u_p0(x9)+=-1");
 
         let a = Op::new(

@@ -23,7 +23,7 @@ use std::fmt;
 
 use crate::causality::{Causality, CausalityError};
 use crate::history::History;
-use crate::ids::{LockId, Loc, OpId, ProcId};
+use crate::ids::{Loc, LockId, OpId, ProcId};
 use crate::op::{LockMode, OpKind};
 
 /// A mapping from shared variables to the lock guarding them
@@ -92,9 +92,7 @@ fn held_during(
         };
         mode_ok
             && ep.members.iter().any(|&(l, u)| {
-                h.op(l).proc == proc
-                    && causality.po_precedes(l, op)
-                    && causality.po_precedes(op, u)
+                h.op(l).proc == proc && causality.po_precedes(l, op) && causality.po_precedes(op, u)
             })
     })
 }
@@ -111,10 +109,7 @@ fn held_during(
 /// # Errors
 ///
 /// Returns all violations, or a [`CausalityError`] for cyclic histories.
-pub fn check_entry_consistent(
-    h: &History,
-    mapping: &LockMapping,
-) -> Result<(), EntryCheckError> {
+pub fn check_entry_consistent(h: &History, mapping: &LockMapping) -> Result<(), EntryCheckError> {
     let causality = Causality::new(h)?;
     let mut violations = Vec::new();
     for (id, op) in h.iter() {
@@ -192,9 +187,7 @@ pub fn infer_lock_mapping(h: &History) -> Result<Option<LockMapping>, CausalityE
     for (id, op) in h.iter() {
         let (loc, mode) = match &op.kind {
             OpKind::Read { loc, .. } => (*loc, LockMode::Read),
-            OpKind::Write { loc, .. } | OpKind::Update { loc, .. } => {
-                (*loc, LockMode::Write)
-            }
+            OpKind::Write { loc, .. } | OpKind::Update { loc, .. } => (*loc, LockMode::Write),
             _ => continue,
         };
         let held: Vec<LockId> = all_locks
@@ -318,8 +311,7 @@ pub fn check_pram_consistent_program(h: &History) -> Result<(), PhaseCheckError>
             .proc_ops(p)
             .iter()
             .filter(|&&o| {
-                matches!(h.op(o).kind, OpKind::Barrier { .. })
-                    && causality.po_precedes(o, id)
+                matches!(h.op(o).kind, OpKind::Barrier { .. }) && causality.po_precedes(o, id)
             })
             .count();
     }

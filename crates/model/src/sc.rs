@@ -94,9 +94,7 @@ pub fn replay_serialization(
     for (id, _) in h.iter() {
         for (id2, _) in h.iter() {
             if causality.precedes(id, id2) && pos[id.index()] > pos[id2.index()] {
-                return Err(ReplayError::CausalityViolated {
-                    position: pos[id.index()],
-                });
+                return Err(ReplayError::CausalityViolated { position: pos[id.index()] });
             }
         }
     }
@@ -197,6 +195,10 @@ pub fn check_sequential_with_budget(
     }
 }
 
+/// Memoization key: a bitset of completed ops plus the memory contents
+/// they produced.
+type StateKey = (Vec<u64>, Vec<(Loc, Value)>);
+
 struct Searcher<'h> {
     h: &'h History,
     succs: Vec<Vec<u32>>,
@@ -204,13 +206,13 @@ struct Searcher<'h> {
     mem: HashMap<Loc, Value>,
     done: Vec<bool>,
     order: Vec<OpId>,
-    visited: HashSet<(Vec<u64>, Vec<(Loc, Value)>)>,
+    visited: HashSet<StateKey>,
     states: usize,
     max_states: usize,
 }
 
 impl Searcher<'_> {
-    fn state_key(&self) -> (Vec<u64>, Vec<(Loc, Value)>) {
+    fn state_key(&self) -> StateKey {
         let mut bits = vec![0u64; self.done.len().div_ceil(64)];
         for (i, &d) in self.done.iter().enumerate() {
             if d {
@@ -238,9 +240,8 @@ impl Searcher<'_> {
         if !self.visited.insert(self.state_key()) {
             return false;
         }
-        let frontier: Vec<usize> = (0..self.done.len())
-            .filter(|&i| !self.done[i] && self.indeg[i] == 0)
-            .collect();
+        let frontier: Vec<usize> =
+            (0..self.done.len()).filter(|&i| !self.done[i] && self.indeg[i] == 0).collect();
         for i in frontier {
             let op = self.h.op(OpId(i as u32));
             // Value constraint and state delta.
@@ -321,9 +322,7 @@ mod tests {
         b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
         let h = b.build().unwrap();
         let verdict = check_sequential(&h).unwrap();
-        let ScVerdict::SequentiallyConsistent(order) = &verdict else {
-            panic!("{verdict:?}")
-        };
+        let ScVerdict::SequentiallyConsistent(order) = &verdict else { panic!("{verdict:?}") };
         let causality = Causality::new(&h).unwrap();
         replay_serialization(&h, &causality, order).unwrap();
     }
@@ -337,10 +336,7 @@ mod tests {
         b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(2));
         b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
         let h = b.build().unwrap();
-        assert_eq!(
-            check_sequential(&h).unwrap(),
-            ScVerdict::NotSequentiallyConsistent
-        );
+        assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
     }
 
     #[test]
@@ -355,10 +351,7 @@ mod tests {
         b.push_read(p(3), Loc(0), ReadLabel::Causal, Value::Int(1));
         let h = b.build().unwrap();
         assert!(crate::check::check_causal(&h).is_ok());
-        assert_eq!(
-            check_sequential(&h).unwrap(),
-            ScVerdict::NotSequentiallyConsistent
-        );
+        assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
     }
 
     #[test]
@@ -372,10 +365,7 @@ mod tests {
         b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(0));
         let h = b.build().unwrap();
         assert!(crate::check::check_causal(&h).is_ok());
-        assert_eq!(
-            check_sequential(&h).unwrap(),
-            ScVerdict::NotSequentiallyConsistent
-        );
+        assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
     }
 
     #[test]
@@ -399,10 +389,7 @@ mod tests {
         b.set_initial(Loc(0), Value::Int(2));
         let (_, u0) = b.push_update(p(0), Loc(0), -1);
         let (_, u1) = b.push_update(p(1), Loc(0), -1);
-        b.push(
-            p(2),
-            OpKind::Await { loc: Loc(0), value: Value::Int(0), writers: vec![u0, u1] },
-        );
+        b.push(p(2), OpKind::Await { loc: Loc(0), value: Value::Int(0), writers: vec![u0, u1] });
         let h = b.build().unwrap();
         assert!(check_sequential(&h).unwrap().is_sc());
     }
@@ -418,10 +405,7 @@ mod tests {
         let err = replay_serialization(&h, &causality, &[r, w]).unwrap_err();
         assert!(matches!(err, ReplayError::CausalityViolated { .. }));
         // Wrong length.
-        assert_eq!(
-            replay_serialization(&h, &causality, &[w]),
-            Err(ReplayError::NotAPermutation)
-        );
+        assert_eq!(replay_serialization(&h, &causality, &[w]), Err(ReplayError::NotAPermutation));
         // Duplicates.
         assert_eq!(
             replay_serialization(&h, &causality, &[w, w]),
@@ -454,10 +438,7 @@ mod tests {
         b.push_read(p(0), Loc(1), ReadLabel::Causal, Value::Int(1));
         b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
         let h = b.build().unwrap();
-        assert_eq!(
-            check_sequential_with_budget(&h, 1).unwrap(),
-            ScVerdict::Unknown
-        );
+        assert_eq!(check_sequential_with_budget(&h, 1).unwrap(), ScVerdict::Unknown);
     }
 
     #[test]
@@ -470,9 +451,6 @@ mod tests {
         b.push_barrier(p(1), crate::BarrierId(0), crate::BarrierRound(0));
         b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(0));
         let h = b.build().unwrap();
-        assert_eq!(
-            check_sequential(&h).unwrap(),
-            ScVerdict::NotSequentiallyConsistent
-        );
+        assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
     }
 }

@@ -30,7 +30,7 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use crate::history::{History, HistoryBuilder, MalformedHistory};
-use crate::ids::{BarrierId, BarrierRound, LockId, Loc, ProcId, WriteId};
+use crate::ids::{BarrierId, BarrierRound, Loc, LockId, ProcId, WriteId};
 use crate::op::{LockMode, OpKind, ReadLabel};
 use crate::value::Value;
 
@@ -143,12 +143,7 @@ pub fn to_text(h: &History) -> String {
             OpKind::Await { loc, value, .. } => {
                 let sources: Vec<String> =
                     h.await_sources(id).iter().map(|w| fmt_wid(*w)).collect();
-                format!(
-                    "p{p} a x{} = {} from={}",
-                    loc.0,
-                    fmt_value(*value),
-                    sources.join(",")
-                )
+                format!("p{p} a x{} = {} from={}", loc.0, fmt_value(*value), sources.join(","))
             }
         };
         let _ = writeln!(out, "{line}");
@@ -173,9 +168,7 @@ fn parse_value(tok: &str, line: usize) -> Result<Value, TraceError> {
             .map(Value::F64)
             .map_err(|_| syntax(line, format!("bad float `{tok}`")));
     }
-    tok.parse::<i64>()
-        .map(Value::Int)
-        .map_err(|_| syntax(line, format!("bad value `{tok}`")))
+    tok.parse::<i64>().map(Value::Int).map_err(|_| syntax(line, format!("bad value `{tok}`")))
 }
 
 fn parse_prefixed(tok: &str, prefix: char, line: usize) -> Result<u32, TraceError> {
@@ -191,12 +184,8 @@ fn parse_wid(tok: &str, line: usize) -> Result<Option<WriteId>, TraceError> {
     let (p, s) = tok
         .split_once(':')
         .ok_or_else(|| syntax(line, format!("expected `proc:seq`, got `{tok}`")))?;
-    let proc = p
-        .parse::<u32>()
-        .map_err(|_| syntax(line, format!("bad writer proc `{p}`")))?;
-    let seq = s
-        .parse::<u32>()
-        .map_err(|_| syntax(line, format!("bad writer seq `{s}`")))?;
+    let proc = p.parse::<u32>().map_err(|_| syntax(line, format!("bad writer proc `{p}`")))?;
+    let seq = s.parse::<u32>().map_err(|_| syntax(line, format!("bad writer seq `{s}`")))?;
     Ok(Some(WriteId::new(ProcId(proc), seq)))
 }
 
@@ -329,9 +318,7 @@ pub fn parse(text: &str) -> Result<History, TraceError> {
                     Some(t) if t.starts_with("from=") => {
                         let mut ws = Vec::new();
                         for part in t[5..].split(',') {
-                            ws.push(
-                                parse_wid(part, lineno)?.unwrap_or(WriteId::initial(loc)),
-                            );
+                            ws.push(parse_wid(part, lineno)?.unwrap_or(WriteId::initial(loc)));
                         }
                         ws
                     }

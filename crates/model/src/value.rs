@@ -67,8 +67,7 @@ impl Value {
     ///
     /// Panics if the value is not an [`Value::Int`].
     pub fn expect_i64(self) -> i64 {
-        self.as_i64()
-            .unwrap_or_else(|| panic!("expected Value::Int, got {self:?}"))
+        self.as_i64().unwrap_or_else(|| panic!("expected Value::Int, got {self:?}"))
     }
 
     /// Returns the float payload or panics with a descriptive message.
@@ -77,8 +76,7 @@ impl Value {
     ///
     /// Panics if the value is not an [`Value::F64`].
     pub fn expect_f64(self) -> f64 {
-        self.as_f64()
-            .unwrap_or_else(|| panic!("expected Value::F64, got {self:?}"))
+        self.as_f64().unwrap_or_else(|| panic!("expected Value::F64, got {self:?}"))
     }
 
     /// Returns the boolean payload or panics with a descriptive message.
@@ -87,8 +85,7 @@ impl Value {
     ///
     /// Panics if the value is not a [`Value::Bool`].
     pub fn expect_bool(self) -> bool {
-        self.as_bool()
-            .unwrap_or_else(|| panic!("expected Value::Bool, got {self:?}"))
+        self.as_bool().unwrap_or_else(|| panic!("expected Value::Bool, got {self:?}"))
     }
 
     /// Applies a commutative increment to this value.
@@ -242,10 +239,7 @@ mod tests {
     fn delta_application() {
         assert_eq!(Value::Int(5).checked_add_delta(-2), Some(Value::Int(3)));
         assert_eq!(Value::F64(1.0).checked_add_delta(1), None);
-        assert_eq!(
-            Value::Int(i64::MAX).checked_add_delta(1),
-            Some(Value::Int(i64::MIN))
-        );
+        assert_eq!(Value::Int(i64::MAX).checked_add_delta(1), Some(Value::Int(i64::MIN)));
     }
 
     #[test]

@@ -109,10 +109,7 @@ impl VClock {
 
     /// Iterates over `(ProcId, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcId, u32)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (ProcId(i as u32), c))
+        self.counts.iter().enumerate().map(|(i, &c)| (ProcId(i as u32), c))
     }
 
     /// The sum of all components (total writes covered).

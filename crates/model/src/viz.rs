@@ -49,7 +49,12 @@ impl fmt::Display for HistoryStats {
         writeln!(
             f,
             "{} ops ({} reads, {} writes, {} updates, {} lock ops, {} barriers, {} awaits)",
-            self.ops, self.reads, self.writes, self.updates, self.lock_ops, self.barriers,
+            self.ops,
+            self.reads,
+            self.writes,
+            self.updates,
+            self.lock_ops,
+            self.barriers,
             self.awaits
         )?;
         writeln!(

@@ -11,8 +11,8 @@ use proptest::prelude::*;
 
 use mc_model::graph::Digraph;
 use mc_model::{
-    check, sc, BarrierId, BarrierRound, HistoryBuilder, LockId, LockMode, Loc, OpId,
-    ProcId, ReadLabel, VClock, Value,
+    check, sc, BarrierId, BarrierRound, HistoryBuilder, Loc, LockId, LockMode, OpId, ProcId,
+    ReadLabel, VClock, Value,
 };
 
 // ---------------------------------------------------------------- vclock laws
@@ -222,8 +222,7 @@ fn build_history(
     let mut segments: Vec<Vec<Vec<GenOp>>> = Vec::new();
     for prog in progs {
         let chunk = prog.len().div_ceil(barrier_rounds + 1).max(1);
-        let mut chunks: Vec<Vec<GenOp>> =
-            prog.chunks(chunk).map(|c| c.to_vec()).collect();
+        let mut chunks: Vec<Vec<GenOp>> = prog.chunks(chunk).map(|c| c.to_vec()).collect();
         chunks.resize(barrier_rounds + 1, Vec::new());
         segments.push(chunks);
     }
@@ -233,12 +232,12 @@ fn build_history(
     let mut written: Vec<Vec<i64>> = vec![Vec::new(); 4];
     let mut next_val = 1i64;
 
-    let mut emit = |b: &mut HistoryBuilder,
-                    p: ProcId,
-                    op: &GenOp,
-                    written: &mut Vec<Vec<i64>>,
-                    next_val: &mut i64,
-                    rng: &mut StdRng| {
+    let emit = |b: &mut HistoryBuilder,
+                p: ProcId,
+                op: &GenOp,
+                written: &mut Vec<Vec<i64>>,
+                next_val: &mut i64,
+                rng: &mut StdRng| {
         match op {
             GenOp::Write(loc) => {
                 let v = *next_val;
@@ -248,9 +247,8 @@ fn build_history(
             }
             GenOp::Read { loc, pick } => {
                 let pool = &written[*loc as usize];
-                let label =
-                    if rng.gen_bool(0.5) { ReadLabel::Pram } else { ReadLabel::Causal };
-                let v = if pool.is_empty() || (*pick as usize) % (pool.len() + 1) == 0 {
+                let label = if rng.gen_bool(0.5) { ReadLabel::Pram } else { ReadLabel::Causal };
+                let v = if pool.is_empty() || (*pick as usize).is_multiple_of(pool.len() + 1) {
                     0
                 } else {
                     pool[(*pick as usize) % pool.len()]
@@ -263,10 +261,8 @@ fn build_history(
 
     for round in 0..=barrier_rounds {
         // Interleave this round's segments at CS-atomic granularity.
-        let mut queues: Vec<std::collections::VecDeque<GenOp>> = segments
-            .iter()
-            .map(|s| s[round].iter().cloned().collect())
-            .collect();
+        let mut queues: Vec<std::collections::VecDeque<GenOp>> =
+            segments.iter().map(|s| s[round].iter().cloned().collect()).collect();
         while queues.iter().any(|q| !q.is_empty()) {
             let p = rng.gen_range(0..nprocs);
             let Some(op) = queues[p].pop_front() else { continue };
@@ -279,9 +275,7 @@ fn build_history(
                     }
                     b.push_unlock(p_id, LockId(lock), LockMode::Write);
                 }
-                ref plain => {
-                    emit(&mut b, p_id, plain, &mut written, &mut next_val, &mut rng)
-                }
+                ref plain => emit(&mut b, p_id, plain, &mut written, &mut next_val, &mut rng),
             }
         }
         if round < barrier_rounds {
@@ -467,8 +461,7 @@ mod spectrum {
             litmus::producer_consumer_await(),
         ] {
             let n = h.nprocs();
-            let singles: Vec<Vec<ProcId>> =
-                (0..n as u32).map(|i| vec![ProcId(i)]).collect();
+            let singles: Vec<Vec<ProcId>> = (0..n as u32).map(|i| vec![ProcId(i)]).collect();
             let all: Vec<ProcId> = (0..n as u32).map(ProcId).collect();
             let fulls: Vec<Vec<ProcId>> = (0..n).map(|_| all.clone()).collect();
             assert_eq!(

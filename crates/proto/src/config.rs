@@ -67,11 +67,8 @@ pub enum LockPropagation {
 
 impl LockPropagation {
     /// All variants, for sweeps.
-    pub const ALL: [LockPropagation; 3] = [
-        LockPropagation::Eager,
-        LockPropagation::Lazy,
-        LockPropagation::DemandDriven,
-    ];
+    pub const ALL: [LockPropagation; 3] =
+        [LockPropagation::Eager, LockPropagation::Lazy, LockPropagation::DemandDriven];
 }
 
 impl fmt::Display for LockPropagation {
@@ -103,6 +100,12 @@ pub struct DsmConfig {
     /// distributed over manager nodes round-robin by id, spreading
     /// synchronization traffic across links.
     pub manager_shards: usize,
+    /// Run the reliable-delivery session layer (see [`crate::session`])
+    /// under the protocol: per-link sequencing, acknowledgements, and
+    /// retransmission. Off by default — the quiet simulated network
+    /// already provides FIFO channels; turn it on when a
+    /// [`FaultPlan`](mc_sim::FaultPlan) attacks them.
+    pub reliable: bool,
 }
 
 impl DsmConfig {
@@ -114,7 +117,14 @@ impl DsmConfig {
             lock_propagation: LockPropagation::Lazy,
             barrier_groups: std::collections::HashMap::new(),
             manager_shards: 1,
+            reliable: false,
         }
+    }
+
+    /// Enables or disables the reliable-delivery session layer.
+    pub fn with_reliable(mut self, reliable: bool) -> Self {
+        self.reliable = reliable;
+        self
     }
 
     /// Distributes lock and barrier managers over `shards` nodes.
@@ -155,9 +165,10 @@ impl DsmConfig {
 
     /// The participants of a barrier object.
     pub fn barrier_participants(&self, barrier: mc_model::BarrierId) -> Vec<mc_model::ProcId> {
-        self.barrier_groups.get(&barrier).cloned().unwrap_or_else(|| {
-            (0..self.nprocs as u32).map(mc_model::ProcId).collect()
-        })
+        self.barrier_groups
+            .get(&barrier)
+            .cloned()
+            .unwrap_or_else(|| (0..self.nprocs as u32).map(mc_model::ProcId).collect())
     }
 
     /// Total network nodes: one replica per process plus the manager
@@ -206,8 +217,7 @@ mod tests {
 
     #[test]
     fn config_layout() {
-        let c = DsmConfig::new(4, Mode::Mixed)
-            .with_lock_propagation(LockPropagation::DemandDriven);
+        let c = DsmConfig::new(4, Mode::Mixed).with_lock_propagation(LockPropagation::DemandDriven);
         assert_eq!(c.nnodes(), 5);
         assert_eq!(c.manager_node(), mc_sim::NodeId(4));
         assert_eq!(c.lock_propagation, LockPropagation::DemandDriven);

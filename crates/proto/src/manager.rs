@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use mc_model::{BarrierId, LockId, LockMode, Loc, ProcId, VClock, Value, WriteId};
+use mc_model::{BarrierId, Loc, LockId, LockMode, ProcId, VClock, Value, WriteId};
 
 use crate::config::{DsmConfig, LockPropagation};
 use crate::msg::{GrantInfo, Msg, UpdatePayload};
@@ -104,10 +104,8 @@ impl Manager {
         dirty: Vec<(Loc, u32)>,
         cfg: &DsmConfig,
     ) -> Outbox {
-        let st = self
-            .locks
-            .get_mut(&lock)
-            .unwrap_or_else(|| panic!("release of unknown lock {lock}"));
+        let st =
+            self.locks.get_mut(&lock).unwrap_or_else(|| panic!("release of unknown lock {lock}"));
         let pos = st
             .holders
             .iter()
@@ -187,10 +185,7 @@ impl Manager {
         cfg: &DsmConfig,
     ) -> Outbox {
         let participants = cfg.barrier_participants(barrier);
-        assert!(
-            participants.contains(&proc),
-            "{proc} is not a participant of {barrier}"
-        );
+        assert!(participants.contains(&proc), "{proc} is not a participant of {barrier}");
         let arrived = self.arrivals.entry((barrier, round)).or_default();
         assert!(
             arrived.iter().all(|&(p, _)| p != proc),
@@ -201,7 +196,8 @@ impl Manager {
             return Vec::new();
         }
         let arrived = self.arrivals.remove(&(barrier, round)).expect("present");
-        let mut merged = VClock::new(if arrived[0].1.is_empty() { self.nprocs } else { arrived[0].1.len() });
+        let mut merged =
+            VClock::new(if arrived[0].1.is_empty() { self.nprocs } else { arrived[0].1.len() });
         for (_, k) in &arrived {
             if !k.is_empty() {
                 merged.merge(k);
@@ -209,9 +205,7 @@ impl Manager {
         }
         participants
             .into_iter()
-            .map(|p| {
-                (p, Msg::BarrierRelease { barrier, round, knowledge: merged.clone() })
-            })
+            .map(|p| (p, Msg::BarrierRelease { barrier, round, knowledge: merged.clone() }))
             .collect()
     }
 
@@ -276,12 +270,7 @@ impl Manager {
         if let Some(ups) = self.counter_updates.get(&loc) {
             return ups.clone();
         }
-        self.last_writer
-            .get(loc.index())
-            .copied()
-            .flatten()
-            .into_iter()
-            .collect()
+        self.last_writer.get(loc.index()).copied().flatten().into_iter().collect()
     }
 
     fn fire_watches(&mut self) -> Outbox {
@@ -381,12 +370,12 @@ mod tests {
     #[test]
     fn demand_map_accumulates_latest() {
         let mut m = Manager::new(2);
-        let c = DsmConfig::new(2, Mode::Pram)
-            .with_lock_propagation(LockPropagation::DemandDriven);
+        let c = DsmConfig::new(2, Mode::Pram).with_lock_propagation(LockPropagation::DemandDriven);
         m.lock_request(p(0), LockId(0), LockMode::Write, &c);
         m.lock_release(p(0), LockId(0), VClock::new(0), 2, vec![(Loc(0), 2)], &c);
         m.lock_request(p(1), LockId(0), LockMode::Write, &c.clone());
-        let out = m.lock_release(p(1), LockId(0), VClock::new(0), 1, vec![(Loc(0), 1), (Loc(1), 1)], &c);
+        let out =
+            m.lock_release(p(1), LockId(0), VClock::new(0), 1, vec![(Loc(0), 1), (Loc(1), 1)], &c);
         assert!(out.is_empty());
         let out = m.lock_request(p(0), LockId(0), LockMode::Write, &c);
         let (_, Msg::LockGrant { grant, .. }) = &out[0] else { panic!() };
@@ -440,8 +429,7 @@ mod tests {
     #[test]
     fn subgroup_barrier_releases_only_the_group() {
         let mut m = Manager::new(3);
-        let c = DsmConfig::new(3, Mode::Mixed)
-            .with_barrier_group(BarrierId(1), vec![p(0), p(2)]);
+        let c = DsmConfig::new(3, Mode::Mixed).with_barrier_group(BarrierId(1), vec![p(0), p(2)]);
         assert!(m.barrier_arrive(p(0), BarrierId(1), 0, k(&[1, 0, 0]), &c).is_empty());
         let out = m.barrier_arrive(p(2), BarrierId(1), 0, k(&[0, 0, 2]), &c);
         assert_eq!(out.len(), 2, "only the two group members are released");
@@ -453,8 +441,7 @@ mod tests {
     #[should_panic(expected = "not a participant")]
     fn outsider_arrival_panics() {
         let mut m = Manager::new(3);
-        let c = DsmConfig::new(3, Mode::Mixed)
-            .with_barrier_group(BarrierId(1), vec![p(0), p(2)]);
+        let c = DsmConfig::new(3, Mode::Mixed).with_barrier_group(BarrierId(1), vec![p(0), p(2)]);
         m.barrier_arrive(p(1), BarrierId(1), 0, VClock::new(0), &c);
     }
 
@@ -481,9 +468,7 @@ mod tests {
         assert!(m.sc_await(p(1), Loc(0), Value::Int(3)).is_empty());
         let out = m.sc_write(WriteId::new(p(0), 1), Loc(0), UpdatePayload::Set(Value::Int(3)));
         assert_eq!(out.len(), 2, "ack + await response");
-        assert!(out
-            .iter()
-            .any(|(to, msg)| *to == p(1) && matches!(msg, Msg::ScAwaitResp { .. })));
+        assert!(out.iter().any(|(to, msg)| *to == p(1) && matches!(msg, Msg::ScAwaitResp { .. })));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! its update messages need no vector timestamps, so the models differ per
 //! mode.
 
-use mc_model::{BarrierId, LockId, LockMode, Loc, ProcId, VClock, Value, WriteId};
+use mc_model::{BarrierId, Loc, LockId, LockMode, ProcId, VClock, Value, WriteId};
 
 /// The payload of a memory update: overwrite or commutative increment
 /// (the abstract-data-type extension of Section 5.3).
@@ -160,15 +160,27 @@ pub enum Msg {
         /// The writes that produced it.
         writers: Vec<WriteId>,
     },
+    /// Reliable-session wrapper (see [`crate::session`]): `inner` is the
+    /// `seq`-th payload on its directed sender→receiver link.
+    SessData {
+        /// Per-link sequence number (first payload is 1).
+        seq: u64,
+        /// The wrapped protocol message.
+        inner: Box<Msg>,
+    },
+    /// Cumulative session acknowledgement: every payload with sequence
+    /// number ≤ `upto` on this link has been delivered in order.
+    SessAck {
+        /// Highest in-order sequence number delivered.
+        upto: u64,
+    },
 }
 
 impl Msg {
     /// Modeled wire size in bytes.
     pub fn wire_bytes(&self) -> u64 {
         match self {
-            Msg::Update { deps, .. } => {
-                24 + deps.as_ref().map_or(0, |d| 4 * d.len() as u64)
-            }
+            Msg::Update { deps, .. } => 24 + deps.as_ref().map_or(0, |d| 4 * d.len() as u64),
             Msg::Flush { .. } => 12,
             Msg::FlushAck => 8,
             Msg::LockReq { .. } => 13,
@@ -184,6 +196,9 @@ impl Msg {
             Msg::ScWriteAck => 8,
             Msg::ScAwait { .. } => 20,
             Msg::ScAwaitResp { writers, .. } => 16 + 8 * writers.len() as u64,
+            // Session header: 8-byte sequence number on top of the payload.
+            Msg::SessData { inner, .. } => 8 + inner.wire_bytes(),
+            Msg::SessAck { .. } => 12,
         }
     }
 
@@ -204,6 +219,8 @@ impl Msg {
             Msg::ScWriteAck => "sc_write_ack",
             Msg::ScAwait { .. } => "sc_await",
             Msg::ScAwaitResp { .. } => "sc_await_resp",
+            Msg::SessData { .. } => "sess_data",
+            Msg::SessAck { .. } => "session_ack",
         }
     }
 }

@@ -136,7 +136,12 @@ impl Replica {
 
     /// Performs a local write or update and returns the minted
     /// [`WriteId`] plus the dependency vector to attach in vector modes.
-    pub fn local_write(&mut self, loc: Loc, payload: UpdatePayload, cfg: &DsmConfig) -> (WriteId, Option<VClock>) {
+    pub fn local_write(
+        &mut self,
+        loc: Loc,
+        payload: UpdatePayload,
+        cfg: &DsmConfig,
+    ) -> (WriteId, Option<VClock>) {
         let deps = if cfg.mode.carries_vectors() {
             let mut k = self.knowledge();
             k.tick(self.proc);
@@ -212,9 +217,7 @@ impl Replica {
         if self.applied[u.writer.proc] + 1 != u.writer.seq {
             return false;
         }
-        u.deps
-            .iter()
-            .all(|(p, c)| p == u.writer.proc || self.applied[p] >= c)
+        u.deps.iter().all(|(p, c)| p == u.writer.proc || self.applied[p] >= c)
     }
 
     /// Number of buffered (not yet applied) updates.
@@ -308,7 +311,8 @@ mod tests {
     #[test]
     fn local_write_and_read() {
         let mut r = Replica::new(p(0), 3);
-        let (id, deps) = r.local_write(Loc(5), UpdatePayload::Set(Value::Int(9)), &cfg(Mode::Mixed));
+        let (id, deps) =
+            r.local_write(Loc(5), UpdatePayload::Set(Value::Int(9)), &cfg(Mode::Mixed));
         assert_eq!(id, WriteId::new(p(0), 1));
         assert_eq!(deps.as_ref().unwrap()[p(0)], 1);
         assert_eq!(r.value(Loc(5)), Value::Int(9));
@@ -403,7 +407,13 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut r = Replica::new(p(1), 2);
-        r.ingest(WriteId::new(p(0), 1), Loc(0), UpdatePayload::Add(Value::Int(-1)), None, Mode::Pram);
+        r.ingest(
+            WriteId::new(p(0), 1),
+            Loc(0),
+            UpdatePayload::Add(Value::Int(-1)),
+            None,
+            Mode::Pram,
+        );
         let (id, _) = r.local_write(Loc(0), UpdatePayload::Add(Value::Int(-1)), &cfg(Mode::Pram));
         assert_eq!(r.value(Loc(0)), Value::Int(-2));
         let writers = r.await_writers(Loc(0));

@@ -95,6 +95,13 @@ pub trait Protocol: 'static {
         node: NodeId,
         net: &mut NetCtx<'_, Self::Msg>,
     ) -> Option<Self::Resp>;
+
+    /// Handles the expiration of a timer armed with
+    /// [`NetCtx::set_timer`] at `node` with `token`. The default does
+    /// nothing — only protocols that arm timers need to override it.
+    fn on_timer(&mut self, node: NodeId, token: u64, net: &mut NetCtx<'_, Self::Msg>) {
+        let _ = (node, token, net);
+    }
 }
 
 enum ProcEvent<Req> {
@@ -130,9 +137,7 @@ impl<P: Protocol> ProcCtx<P> {
     ///
     /// Panics if the kernel has shut down (deadlock detected elsewhere).
     pub fn request(&mut self, req: P::Req) -> P::Resp {
-        self.tx
-            .send((self.token.0, ProcEvent::Request(req)))
-            .expect("kernel alive");
+        self.tx.send((self.token.0, ProcEvent::Request(req))).expect("kernel alive");
         match self.rx.recv().expect("kernel alive") {
             KernelReply::Resp(r) => r,
             KernelReply::Ack => unreachable!("request answered with ack"),
@@ -147,9 +152,7 @@ impl<P: Protocol> ProcCtx<P> {
     ///
     /// Panics if the kernel has shut down.
     pub fn advance(&mut self, cost: SimTime) {
-        self.tx
-            .send((self.token.0, ProcEvent::Charge(cost)))
-            .expect("kernel alive");
+        self.tx.send((self.token.0, ProcEvent::Charge(cost))).expect("kernel alive");
         match self.rx.recv().expect("kernel alive") {
             KernelReply::Ack => {}
             KernelReply::Resp(_) => unreachable!("charge answered with response"),
@@ -376,17 +379,12 @@ impl<P: Protocol> Kernel<P> {
                 }
                 ProcEvent::Charge(cost) => {
                     slot.clock += cost;
-                    slot.resp_tx
-                        .send(KernelReply::Ack)
-                        .expect("process waiting for ack");
+                    slot.resp_tx.send(KernelReply::Ack).expect("process waiting for ack");
                 }
                 ProcEvent::Done(payload) => {
                     slot.state = ProcState::Done;
                     if let Some(payload) = payload {
-                        return Err(SimError::ProcPanicked {
-                            proc: ProcToken(idx),
-                            payload,
-                        });
+                        return Err(SimError::ProcPanicked { proc: ProcToken(idx), payload });
                     }
                 }
             }
@@ -399,9 +397,7 @@ impl<P: Protocol> Kernel<P> {
         let slot = &mut self.procs[idx];
         slot.state = ProcState::Running;
         slot.clock = self.now;
-        slot.resp_tx
-            .send(KernelReply::Resp(reply))
-            .expect("process waiting for response");
+        slot.resp_tx.send(KernelReply::Resp(reply)).expect("process waiting for response");
         self.settle()
     }
 
@@ -450,11 +446,8 @@ impl<P: Protocol> Kernel<P> {
         // join them (ignoring their shutdown panics).
         let handles: Vec<JoinHandle<()>> =
             self.procs.iter_mut().filter_map(|p| p.handle.take()).collect();
-        let senders: Vec<Sender<KernelReply<P::Resp>>> = self
-            .procs
-            .drain(..)
-            .map(|p| p.resp_tx)
-            .collect();
+        let senders: Vec<Sender<KernelReply<P::Resp>>> =
+            self.procs.drain(..).map(|p| p.resp_tx).collect();
         drop(senders);
         for h in handles {
             let _ = h.join();
@@ -475,8 +468,10 @@ impl<P: Protocol> Kernel<P> {
             if self.metrics.events >= self.config.max_events {
                 return Err(SimError::EventLimit { limit: self.config.max_events });
             }
-            // Candidates: the earliest delivery and every ready syscall.
+            // Candidates: the earliest delivery, the earliest timer, and
+            // every ready syscall.
             let delivery_at = self.network.queue.peek().map(|Reverse(d)| d.at);
+            let timer_at = self.network.timers.peek().map(|Reverse(t)| t.at);
             let ready: Vec<(usize, SimTime)> = self
                 .procs
                 .iter()
@@ -485,11 +480,7 @@ impl<P: Protocol> Kernel<P> {
                 .map(|(i, p)| (i, p.ready_at))
                 .collect();
 
-            let min_time = ready
-                .iter()
-                .map(|&(_, t)| t)
-                .chain(delivery_at)
-                .min();
+            let min_time = ready.iter().map(|&(_, t)| t).chain(delivery_at).chain(timer_at).min();
             let Some(min_time) = min_time else {
                 // Nothing runnable.
                 let blocked: Vec<ProcToken> = self
@@ -507,19 +498,28 @@ impl<P: Protocol> Kernel<P> {
             self.now = self.now.max(min_time);
 
             // Collect all candidates at min_time; break ties with the rng.
-            let mut candidates: Vec<Option<usize>> = ready
+            #[derive(Clone, Copy)]
+            enum Cand {
+                Deliver,
+                Timer,
+                Syscall(usize),
+            }
+            let mut candidates: Vec<Cand> = ready
                 .iter()
                 .filter(|&&(_, t)| t == min_time)
-                .map(|&(i, _)| Some(i))
+                .map(|&(i, _)| Cand::Syscall(i))
                 .collect();
             if delivery_at == Some(min_time) {
-                candidates.push(None); // None = the delivery
+                candidates.push(Cand::Deliver);
+            }
+            if timer_at == Some(min_time) {
+                candidates.push(Cand::Timer);
             }
             let choice = candidates[self.schedule.choose(candidates.len())];
 
             self.metrics.events += 1;
             match choice {
-                None => {
+                Cand::Deliver => {
                     let Reverse(d) = self.network.queue.pop().expect("peeked");
                     let Delivery { from, to, msg, .. } = d;
                     let mut ctx = Self::net_ctx(
@@ -531,7 +531,19 @@ impl<P: Protocol> Kernel<P> {
                     );
                     self.protocol.on_message(to, from, msg, &mut ctx);
                 }
-                Some(idx) => {
+                Cand::Timer => {
+                    let Reverse(t) = self.network.timers.pop().expect("peeked");
+                    self.metrics.timers_fired += 1;
+                    let mut ctx = Self::net_ctx(
+                        self.now,
+                        &mut self.network,
+                        &mut self.rng,
+                        &mut self.metrics,
+                        &self.config,
+                    );
+                    self.protocol.on_timer(t.node, t.token, &mut ctx);
+                }
+                Cand::Syscall(idx) => {
                     let req = self.procs[idx].pending.take().expect("ready has request");
                     let (token, node) = (ProcToken(idx as u32), self.procs[idx].node);
                     let mut ctx = Self::net_ctx(
@@ -610,7 +622,13 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, to: NodeId, _from: NodeId, msg: Bump, _net: &mut NetCtx<'_, Bump>) {
+        fn on_message(
+            &mut self,
+            to: NodeId,
+            _from: NodeId,
+            msg: Bump,
+            _net: &mut NetCtx<'_, Bump>,
+        ) {
             self.copies[to.index()] += msg.0;
         }
 
@@ -697,8 +715,7 @@ mod tests {
 
     #[test]
     fn event_limit_guards_runaway() {
-        let mut cfg = SimConfig::default();
-        cfg.max_events = 10;
+        let cfg = SimConfig { max_events: 10, ..SimConfig::default() };
         let mut k = Kernel::new(counter(2), 2, cfg);
         k.spawn(NodeId(0), |ctx| {
             for _ in 0..100 {
@@ -754,6 +771,53 @@ mod tests {
         }
         let report = k.run().unwrap();
         assert!(report.protocol.copies.iter().all(|&c| c == 12));
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_drive_the_protocol() {
+        struct TimerProto {
+            fired: Vec<u64>,
+        }
+        impl Protocol for TimerProto {
+            type Msg = ();
+            type Req = ();
+            type Resp = Vec<u64>;
+            fn on_request(
+                &mut self,
+                _proc: ProcToken,
+                node: NodeId,
+                _req: (),
+                net: &mut NetCtx<'_, ()>,
+            ) -> Poll<Vec<u64>> {
+                net.set_timer(node, SimTime::from_micros(30), 3);
+                net.set_timer(node, SimTime::from_micros(10), 1);
+                net.set_timer(node, SimTime::from_micros(20), 2);
+                Poll::Pending
+            }
+            fn on_message(&mut self, _: NodeId, _: NodeId, _: (), _: &mut NetCtx<'_, ()>) {}
+            fn poll_blocked(
+                &mut self,
+                _proc: ProcToken,
+                _node: NodeId,
+                _net: &mut NetCtx<'_, ()>,
+            ) -> Option<Vec<u64>> {
+                (self.fired.len() == 3).then(|| self.fired.clone())
+            }
+            fn on_timer(&mut self, _node: NodeId, token: u64, _net: &mut NetCtx<'_, ()>) {
+                self.fired.push(token);
+            }
+        }
+        let mut k = Kernel::new(TimerProto { fired: Vec::new() }, 1, SimConfig::default());
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = got.clone();
+        k.spawn(NodeId(0), move |ctx| {
+            *got2.lock().unwrap() = ctx.request(());
+        });
+        let report = k.run().unwrap();
+        assert_eq!(*got.lock().unwrap(), vec![1, 2, 3], "expirations in time order");
+        assert_eq!(report.metrics.timers_set, 3);
+        assert_eq!(report.metrics.timers_fired, 3);
+        assert!(report.metrics.finish_time >= SimTime::from_micros(30));
     }
 
     #[test]

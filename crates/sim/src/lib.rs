@@ -8,7 +8,11 @@
 //! * **virtual time** ([`SimTime`]) and a latency model
 //!   ([`LatencyModel`]): `base + per_byte·size + jitter`;
 //! * a **network** of [`NodeId`] nodes with per-link FIFO delivery (the
-//!   paper's channel assumption) and an opt-out for fault injection;
+//!   paper's channel assumption) and a composable [`FaultPlan`] that
+//!   attacks it: seeded message drops, duplicates, reordering, timed
+//!   partitions, and node crash/restart windows;
+//! * **protocol timers** ([`NetCtx::set_timer`] /
+//!   [`Protocol::on_timer`]) so protocols can retransmit and recover;
 //! * a **kernel** ([`Kernel`]) that runs user closures as cooperative
 //!   processes: every memory/synchronization operation is a syscall that
 //!   parks the thread until the kernel schedules it, so executions are
@@ -31,7 +35,7 @@ pub mod schedule;
 mod time;
 
 pub use kernel::{Kernel, Poll, ProcCtx, ProcToken, Protocol, RunReport, SimError};
-pub use metrics::{KindStats, Metrics, ProcStats};
-pub use net::{LatencyModel, NetCtx, NodeId, SimConfig};
+pub use metrics::{FaultStats, KindStats, Metrics, ProcStats};
+pub use net::{Crash, FaultPlan, LatencyModel, NetCtx, NodeId, Partition, SimConfig};
 pub use schedule::{DecisionTrace, RandomSchedule, ReplaySchedule, Schedule};
 pub use time::SimTime;

@@ -30,6 +30,27 @@ pub struct ProcStats {
     pub stall_time: SimTime,
 }
 
+/// Counters of injected network faults (see
+/// [`FaultPlan`](crate::FaultPlan)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages suppressed by the random drop probability.
+    pub dropped: u64,
+    /// Extra deliveries injected by the duplication probability.
+    pub duplicated: u64,
+    /// Messages suppressed because a partition severed the link.
+    pub partition_dropped: u64,
+    /// Messages suppressed by a node crash (sent or wiped while down).
+    pub crash_dropped: u64,
+}
+
+impl FaultStats {
+    /// Total number of faults injected.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.partition_dropped + self.crash_dropped
+    }
+}
+
 /// Aggregate metrics of one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -39,7 +60,8 @@ pub struct Metrics {
     pub messages: u64,
     /// Total payload bytes sent.
     pub bytes: u64,
-    /// Number of simulator events processed (deliveries + syscalls).
+    /// Number of simulator events processed (deliveries + syscalls +
+    /// timer expirations).
     pub events: u64,
     /// Number of syscalls that blocked at least once.
     pub blocked_syscalls: u64,
@@ -47,6 +69,12 @@ pub struct Metrics {
     pub stall_time: SimTime,
     /// Virtual time at the end of the run.
     pub finish_time: SimTime,
+    /// Injected network faults.
+    pub faults: FaultStats,
+    /// Protocol timers armed.
+    pub timers_set: u64,
+    /// Protocol timers that expired.
+    pub timers_fired: u64,
 }
 
 impl Metrics {
@@ -122,6 +150,19 @@ impl fmt::Display for Metrics {
             self.blocked_syscalls,
             self.stall_time
         )?;
+        if self.faults.total() > 0 {
+            writeln!(
+                f,
+                "  faults: dropped={} duplicated={} partitioned={} crashed={}",
+                self.faults.dropped,
+                self.faults.duplicated,
+                self.faults.partition_dropped,
+                self.faults.crash_dropped
+            )?;
+        }
+        if self.timers_set > 0 {
+            writeln!(f, "  timers: set={} fired={}", self.timers_set, self.timers_fired)?;
+        }
         for (kind, s) in &self.per_kind {
             writeln!(f, "  {kind}: {} msgs, {} bytes", s.count, s.bytes)?;
         }

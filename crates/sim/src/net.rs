@@ -1,12 +1,16 @@
 //! The simulated message-passing network: FIFO links, latency model,
-//! delivery queue.
+//! delivery queue, and composable fault injection.
 //!
 //! Section 6 of the paper assumes "a message passing system with FIFO
 //! communication channels". The network here delivers every message after
 //! a configurable latency (`base + per_byte·size + jitter`), preserving
-//! per-link FIFO order by default. FIFO can be switched off
-//! ([`SimConfig::fifo`]) to inject the reordering faults the consistency
-//! checkers are expected to catch.
+//! per-link FIFO order by default. That assumption can be *attacked* with
+//! a [`FaultPlan`]: per-message drop and duplication probabilities,
+//! reordering, timed partitions between node sets, and scheduled node
+//! crash/restart windows that wipe in-flight deliveries. All faults are
+//! drawn from the run's seeded RNG, so a faulty run is exactly as
+//! reproducible as a clean one, and every injected fault is counted in
+//! [`Metrics::faults`](crate::Metrics).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -53,11 +57,8 @@ pub struct LatencyModel {
 
 impl LatencyModel {
     /// A zero-latency model (useful for algorithmic tests).
-    pub const INSTANT: LatencyModel = LatencyModel {
-        base: SimTime::ZERO,
-        per_byte_ns: 0,
-        jitter: SimTime::ZERO,
-    };
+    pub const INSTANT: LatencyModel =
+        LatencyModel { base: SimTime::ZERO, per_byte_ns: 0, jitter: SimTime::ZERO };
 
     /// Samples the latency of one message of `bytes` payload bytes.
     pub fn sample(&self, bytes: u64, rng: &mut StdRng) -> SimTime {
@@ -81,20 +82,192 @@ impl Default for LatencyModel {
     }
 }
 
+/// A timed network partition separating node set `a` from node set `b`.
+///
+/// While `from <= now < until`, every message between a node in `a` and a
+/// node in `b` (either direction) is silently dropped. Nodes in neither
+/// set are unaffected.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: Vec<NodeId>,
+    /// The other side of the cut.
+    pub b: Vec<NodeId>,
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Partition end (exclusive) — the heal time.
+    pub until: SimTime,
+}
+
+impl Partition {
+    fn severs(&self, x: NodeId, y: NodeId, at: SimTime) -> bool {
+        if at < self.from || at >= self.until {
+            return false;
+        }
+        let (in_a_x, in_b_x) = (self.a.contains(&x), self.b.contains(&x));
+        let (in_a_y, in_b_y) = (self.a.contains(&y), self.b.contains(&y));
+        (in_a_x && in_b_y) || (in_b_x && in_a_y)
+    }
+}
+
+/// A scheduled crash (and optional restart) of one node.
+///
+/// While a node is down it neither sends nor receives: messages it would
+/// have sent are suppressed and messages arriving at it are wiped —
+/// including messages already in flight when the crash hits. The
+/// *process* bound to the node keeps its program state (the paper's
+/// processes are not the failure unit; the network interface is), so
+/// after `restart_at` the protocol must re-earn convergence from its
+/// peers — exactly what the session layer's retransmission provides.
+#[derive(Clone, Copy, Debug)]
+pub struct Crash {
+    /// The crashing node.
+    pub node: NodeId,
+    /// Crash time (inclusive).
+    pub at: SimTime,
+    /// Restart time (exclusive end of the outage), or `None` to stay down.
+    pub restart_at: Option<SimTime>,
+}
+
+impl Crash {
+    fn down(&self, node: NodeId, at: SimTime) -> bool {
+        node == self.node && at >= self.at && self.restart_at.map(|r| at < r).unwrap_or(true)
+    }
+}
+
+/// A composable, seeded fault-injection plan for the network.
+///
+/// The default plan is quiet: reliable FIFO links, the paper's Section 6
+/// assumption. Builder methods switch individual faults on; everything is
+/// decided from the run's seeded RNG and the virtual clock, so runs stay
+/// deterministic per seed.
+///
+/// # Examples
+///
+/// ```
+/// use mc_sim::{FaultPlan, NodeId, SimTime};
+///
+/// let plan = FaultPlan::new()
+///     .drop_rate(0.05)
+///     .duplicate_rate(0.02)
+///     .reorder(SimTime::from_micros(40))
+///     .partition(vec![NodeId(0)], vec![NodeId(1)],
+///                SimTime::from_millis(1), SimTime::from_millis(2))
+///     .crash(NodeId(2), SimTime::from_millis(3), Some(SimTime::from_millis(4)));
+/// assert!(!plan.is_quiet());
+/// assert!(plan.is_down(NodeId(2), SimTime::from_millis(3)));
+/// assert!(!plan.is_down(NodeId(2), SimTime::from_millis(4)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop: f64,
+    /// Probability in `[0, 1]` that a message is delivered twice; the
+    /// duplicate trails the original by an independent latency sample.
+    pub duplicate: f64,
+    /// Extra delivery jitter enabling reordering. `Some(j)` lifts per-link
+    /// FIFO serialization and adds uniform extra delay in `[0, j]`.
+    pub reorder: Option<SimTime>,
+    /// Timed partitions between node sets.
+    pub partitions: Vec<Partition>,
+    /// Scheduled node outages.
+    pub crashes: Vec<Crash>,
+}
+
+impl FaultPlan {
+    /// A quiet plan (reliable FIFO network).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the per-message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn drop_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop rate {p} out of [0,1]");
+        self.drop = p;
+        self
+    }
+
+    /// Sets the per-message duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn duplicate_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplicate rate {p} out of [0,1]");
+        self.duplicate = p;
+        self
+    }
+
+    /// Enables reordering: lifts per-link FIFO serialization and adds
+    /// uniform extra delivery jitter in `[0, jitter]`.
+    pub fn reorder(mut self, jitter: SimTime) -> Self {
+        self.reorder = Some(jitter);
+        self
+    }
+
+    /// Adds a timed partition between node sets `a` and `b`, active for
+    /// `from <= now < until`.
+    pub fn partition(
+        mut self,
+        a: Vec<NodeId>,
+        b: Vec<NodeId>,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.partitions.push(Partition { a, b, from, until });
+        self
+    }
+
+    /// Schedules a crash of `node` at `at`, restarting at `restart_at`
+    /// (or never, if `None`).
+    pub fn crash(mut self, node: NodeId, at: SimTime, restart_at: Option<SimTime>) -> Self {
+        self.crashes.push(Crash { node, at, restart_at });
+        self
+    }
+
+    /// `true` if the plan injects no faults at all.
+    pub fn is_quiet(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.reorder.is_none()
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// `true` if `node` is crashed at time `at`.
+    pub fn is_down(&self, node: NodeId, at: SimTime) -> bool {
+        self.crashes.iter().any(|c| c.down(node, at))
+    }
+
+    /// `true` if a partition severs the `x`–`y` link at time `at`.
+    pub fn is_partitioned(&self, x: NodeId, y: NodeId, at: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.severs(x, y, at))
+    }
+
+    /// `true` if `node` crashes within the half-open window `(after, upto]`
+    /// — i.e. a message in flight over that window would be wiped.
+    fn crashes_within(&self, node: NodeId, after: SimTime, upto: SimTime) -> bool {
+        self.crashes.iter().any(|c| c.node == node && c.at > after && c.at <= upto)
+    }
+}
+
 /// Simulation configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Seed for every random choice (latency jitter, tie-breaking).
+    /// Seed for every random choice (latency jitter, tie-breaking, faults).
     pub seed: u64,
     /// The message latency model.
     pub latency: LatencyModel,
     /// Virtual cost charged per process syscall.
     pub local_cost: SimTime,
-    /// Preserve per-link FIFO delivery order (the paper's assumption)
-    /// *and* per-link bandwidth serialization. Disabling injects
-    /// reordering faults and also lifts the bandwidth limit — the
-    /// fault-injection mode deliberately models a lawless network.
-    pub fifo: bool,
+    /// The fault-injection plan. The default ([`FaultPlan::is_quiet`])
+    /// preserves per-link FIFO delivery (the paper's assumption) *and*
+    /// per-link bandwidth serialization.
+    pub faults: FaultPlan,
     /// Abort the run after this many simulator events (runaway guard).
     pub max_events: u64,
 }
@@ -112,7 +285,7 @@ impl Default for SimConfig {
             seed: 0,
             latency: LatencyModel::default(),
             local_cost: SimTime::from_nanos(100),
-            fifo: true,
+            faults: FaultPlan::default(),
             max_events: 100_000_000,
         }
     }
@@ -148,12 +321,35 @@ impl<M> Ord for Delivery<M> {
     }
 }
 
+/// A pending protocol timer (see [`NetCtx::set_timer`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct TimerEntry {
+    pub at: SimTime,
+    pub seq: u64,
+    pub node: NodeId,
+    pub token: u64,
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
 /// The network state owned by the kernel.
 #[derive(Debug)]
 pub(crate) struct Network<M> {
     pub queue: BinaryHeap<Reverse<Delivery<M>>>,
     pub link_last: HashMap<(NodeId, NodeId), SimTime>,
     pub next_seq: u64,
+    pub timers: BinaryHeap<Reverse<TimerEntry>>,
+    pub next_timer_seq: u64,
     pub nnodes: usize,
 }
 
@@ -163,6 +359,8 @@ impl<M> Network<M> {
             queue: BinaryHeap::new(),
             link_last: HashMap::new(),
             next_seq: 0,
+            timers: BinaryHeap::new(),
+            next_timer_seq: 0,
             nnodes,
         }
     }
@@ -198,35 +396,103 @@ impl<M> NetCtx<'_, M> {
         self.rng
     }
 
-    /// Sends `msg` from `from` to `to`.
+    /// The active fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.config.faults
+    }
+
+    /// Schedules a protocol timer at `node`, `delay` from now.
+    ///
+    /// When it expires the kernel calls
+    /// [`Protocol::on_timer`](crate::Protocol::on_timer) with `token`.
+    /// Timers cannot be cancelled; protocols that re-arm conditionally
+    /// should treat stale expirations as no-ops.
+    pub fn set_timer(&mut self, node: NodeId, delay: SimTime, token: u64) {
+        assert!(node.index() < self.net.nnodes, "timer on unknown node {node}");
+        let seq = self.net.next_timer_seq;
+        self.net.next_timer_seq += 1;
+        self.metrics.timers_set += 1;
+        self.net.timers.push(Reverse(TimerEntry { at: self.now + delay, seq, node, token }));
+    }
+
+    /// Sends `msg` from `from` to `to`, subject to the fault plan.
     ///
     /// `kind` labels the message in the metrics; `bytes` is the modeled
-    /// payload size (it feeds the latency model and byte counters).
+    /// payload size (it feeds the latency model and byte counters). The
+    /// send is counted in the metrics even when a fault then suppresses
+    /// its delivery — the sender paid for it either way.
     ///
     /// # Panics
     ///
     /// Panics if either node id is out of range or if `from == to`
     /// (local interactions are not messages).
-    pub fn send(&mut self, from: NodeId, to: NodeId, kind: &'static str, bytes: u64, msg: M) {
+    pub fn send(&mut self, from: NodeId, to: NodeId, kind: &'static str, bytes: u64, msg: M)
+    where
+        M: Clone,
+    {
         assert!(from.index() < self.net.nnodes, "send from unknown node {from}");
         assert!(to.index() < self.net.nnodes, "send to unknown node {to}");
         assert_ne!(from, to, "a node does not message itself");
+        self.metrics.record_send(kind, bytes);
+
+        let faults = &self.config.faults;
+        if faults.is_down(from, self.now) {
+            // A crashed node's sends never reach the wire.
+            self.metrics.faults.crash_dropped += 1;
+            return;
+        }
+        if faults.is_partitioned(from, to, self.now) {
+            self.metrics.faults.partition_dropped += 1;
+            return;
+        }
+        if faults.drop > 0.0 && self.rng.gen_bool(faults.drop) {
+            self.metrics.faults.dropped += 1;
+            return;
+        }
+
         let latency = self.config.latency.sample(bytes, self.rng);
         let mut at = self.now + latency;
-        if self.config.fifo {
-            // Finite link bandwidth: a link is occupied for the message's
-            // transmission time, so back-to-back sends on one link are
-            // serialized (store-and-forward). This also preserves FIFO.
-            let tx = SimTime::from_nanos(bytes * self.config.latency.per_byte_ns);
-            let last = self.net.link_last.entry((from, to)).or_insert(SimTime::ZERO);
-            if at < *last + tx {
-                at = *last + tx;
+        match faults.reorder {
+            None => {
+                // Finite link bandwidth: a link is occupied for the
+                // message's transmission time, so back-to-back sends on one
+                // link are serialized (store-and-forward). This also
+                // preserves FIFO.
+                let tx = SimTime::from_nanos(bytes * self.config.latency.per_byte_ns);
+                let last = self.net.link_last.entry((from, to)).or_insert(SimTime::ZERO);
+                if at < *last + tx {
+                    at = *last + tx;
+                }
+                *last = at;
             }
-            *last = at;
+            Some(jitter) if jitter > SimTime::ZERO => {
+                at += SimTime::from_nanos(self.rng.gen_range(0..=jitter.as_nanos()));
+            }
+            Some(_) => {}
+        }
+
+        let duplicate = faults.duplicate > 0.0 && self.rng.gen_bool(faults.duplicate);
+        self.deliver_or_wipe(from, to, at, msg.clone());
+        if duplicate {
+            // The duplicate trails the original by an independent latency
+            // sample — like a retransmission by a confused switch — and is
+            // never FIFO-serialized, so it can land out of order.
+            self.metrics.faults.duplicated += 1;
+            let extra = self.config.latency.sample(bytes, self.rng);
+            let dup_at = at + extra;
+            self.deliver_or_wipe(from, to, dup_at, msg);
+        }
+    }
+
+    /// Queues one delivery unless a crash wipes it in flight.
+    fn deliver_or_wipe(&mut self, from: NodeId, to: NodeId, at: SimTime, msg: M) {
+        let faults = &self.config.faults;
+        if faults.is_down(to, at) || faults.crashes_within(to, self.now, at) {
+            self.metrics.faults.crash_dropped += 1;
+            return;
         }
         let seq = self.net.next_seq;
         self.net.next_seq += 1;
-        self.metrics.record_send(kind, bytes);
         self.net.queue.push(Reverse(Delivery { at, seq, from, to, msg }));
     }
 
@@ -249,18 +515,19 @@ mod tests {
     use rand::SeedableRng;
 
     fn ctx_parts() -> (Network<u32>, StdRng, Metrics, SimConfig) {
-        (
-            Network::new(3),
-            StdRng::seed_from_u64(7),
-            Metrics::new(),
-            SimConfig::with_seed(7),
-        )
+        (Network::new(3), StdRng::seed_from_u64(7), Metrics::new(), SimConfig::with_seed(7))
     }
 
     #[test]
     fn send_schedules_delivery_after_latency() {
         let (mut net, mut rng, mut metrics, config) = ctx_parts();
-        let mut ctx = NetCtx { now: SimTime::ZERO, net: &mut net, rng: &mut rng, metrics: &mut metrics, config: &config };
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+        };
         ctx.send(NodeId(0), NodeId(1), "test", 8, 42);
         assert_eq!(metrics.messages, 1);
         let Reverse(d) = net.queue.pop().unwrap();
@@ -273,7 +540,13 @@ mod tests {
     fn fifo_preserves_link_order() {
         let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
         config.latency.jitter = SimTime::from_millis(1); // huge jitter
-        let mut ctx = NetCtx { now: SimTime::ZERO, net: &mut net, rng: &mut rng, metrics: &mut metrics, config: &config };
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+        };
         for i in 0..50u32 {
             ctx.send(NodeId(0), NodeId(1), "test", 0, i);
         }
@@ -290,11 +563,16 @@ mod tests {
     }
 
     #[test]
-    fn non_fifo_can_reorder() {
+    fn reordering_fault_can_reorder() {
         let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
-        config.fifo = false;
-        config.latency.jitter = SimTime::from_millis(1);
-        let mut ctx = NetCtx { now: SimTime::ZERO, net: &mut net, rng: &mut rng, metrics: &mut metrics, config: &config };
+        config.faults = FaultPlan::new().reorder(SimTime::from_millis(1));
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+        };
         for i in 0..50u32 {
             ctx.send(NodeId(0), NodeId(1), "test", 0, i);
         }
@@ -303,13 +581,213 @@ mod tests {
             order.push(d.msg);
         }
         let expect: Vec<u32> = (0..50).collect();
-        assert_ne!(order, expect, "with huge jitter some reordering occurs");
+        assert_ne!(order, expect, "with huge extra jitter some reordering occurs");
+    }
+
+    #[test]
+    fn drop_faults_suppress_deliveries_but_count_sends() {
+        let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
+        config.faults = FaultPlan::new().drop_rate(0.5);
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+        };
+        for i in 0..200u32 {
+            ctx.send(NodeId(0), NodeId(1), "test", 0, i);
+        }
+        assert_eq!(metrics.messages, 200, "sends are counted before faults");
+        let delivered = net.queue.len() as u64;
+        assert_eq!(delivered + metrics.faults.dropped, 200);
+        assert!(metrics.faults.dropped > 50, "p=0.5 drops roughly half");
+        assert!(delivered > 50);
+    }
+
+    #[test]
+    fn duplicate_faults_add_trailing_copies() {
+        let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
+        config.faults = FaultPlan::new().duplicate_rate(1.0);
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+        };
+        ctx.send(NodeId(0), NodeId(1), "test", 0, 7);
+        assert_eq!(metrics.messages, 1);
+        assert_eq!(metrics.faults.duplicated, 1);
+        let mut ats = Vec::new();
+        while let Some(Reverse(d)) = net.queue.pop() {
+            assert_eq!(d.msg, 7);
+            ats.push(d.at);
+        }
+        assert_eq!(ats.len(), 2);
+        assert!(ats[1] > ats[0], "duplicate trails the original");
+    }
+
+    #[test]
+    fn partitions_cut_both_directions_then_heal() {
+        let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
+        config.faults = FaultPlan::new().partition(
+            vec![NodeId(0)],
+            vec![NodeId(1)],
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
+        {
+            let mut ctx = NetCtx {
+                now: SimTime::ZERO,
+                net: &mut net,
+                rng: &mut rng,
+                metrics: &mut metrics,
+                config: &config,
+            };
+            ctx.send(NodeId(0), NodeId(1), "test", 0, 1);
+            ctx.send(NodeId(1), NodeId(0), "test", 0, 2);
+            // A link outside the cut is unaffected.
+            ctx.send(NodeId(2), NodeId(0), "test", 0, 3);
+        }
+        assert_eq!(metrics.faults.partition_dropped, 2);
+        assert_eq!(net.queue.len(), 1);
+        // After the heal everything flows again.
+        let mut ctx = NetCtx {
+            now: SimTime::from_millis(1),
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+        };
+        ctx.send(NodeId(0), NodeId(1), "test", 0, 4);
+        assert_eq!(metrics.faults.partition_dropped, 2);
+        assert_eq!(net.queue.len(), 2);
+    }
+
+    #[test]
+    fn crashes_wipe_in_flight_and_suppress_io() {
+        let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
+        config.latency = LatencyModel::INSTANT;
+        config.faults = FaultPlan::new().crash(
+            NodeId(1),
+            SimTime::from_micros(10),
+            Some(SimTime::from_micros(20)),
+        );
+        // In flight across the crash time: wiped.
+        {
+            let mut cfg2 = config.clone();
+            cfg2.latency = LatencyModel {
+                base: SimTime::from_micros(15),
+                per_byte_ns: 0,
+                jitter: SimTime::ZERO,
+            };
+            let mut ctx = NetCtx {
+                now: SimTime::ZERO,
+                net: &mut net,
+                rng: &mut rng,
+                metrics: &mut metrics,
+                config: &cfg2,
+            };
+            ctx.send(NodeId(0), NodeId(1), "test", 0, 1);
+        }
+        assert_eq!(metrics.faults.crash_dropped, 1);
+        // Arriving while down: wiped.
+        {
+            let mut ctx = NetCtx {
+                now: SimTime::from_micros(12),
+                net: &mut net,
+                rng: &mut rng,
+                metrics: &mut metrics,
+                config: &config,
+            };
+            ctx.send(NodeId(0), NodeId(1), "test", 0, 2);
+        }
+        assert_eq!(metrics.faults.crash_dropped, 2);
+        // Sent by the crashed node while down: suppressed.
+        {
+            let mut ctx = NetCtx {
+                now: SimTime::from_micros(12),
+                net: &mut net,
+                rng: &mut rng,
+                metrics: &mut metrics,
+                config: &config,
+            };
+            ctx.send(NodeId(1), NodeId(0), "test", 0, 3);
+        }
+        assert_eq!(metrics.faults.crash_dropped, 3);
+        assert!(net.queue.is_empty());
+        // After restart the node participates again.
+        let mut ctx = NetCtx {
+            now: SimTime::from_micros(25),
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+        };
+        ctx.send(NodeId(0), NodeId(1), "test", 0, 4);
+        ctx.send(NodeId(1), NodeId(0), "test", 0, 5);
+        assert_eq!(net.queue.len(), 2);
+        assert_eq!(metrics.faults.crash_dropped, 3);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net: Network<u32> = Network::new(3);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut metrics = Metrics::new();
+            let mut config = SimConfig::with_seed(seed);
+            config.faults = FaultPlan::new()
+                .drop_rate(0.2)
+                .duplicate_rate(0.2)
+                .reorder(SimTime::from_micros(50));
+            let mut ctx = NetCtx {
+                now: SimTime::ZERO,
+                net: &mut net,
+                rng: &mut rng,
+                metrics: &mut metrics,
+                config: &config,
+            };
+            for i in 0..500u32 {
+                ctx.send(NodeId(0), NodeId(1), "test", 4, i);
+            }
+            (metrics.faults, net.queue.len())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0, run(12).0, "different seeds draw different faults");
+    }
+
+    #[test]
+    fn timers_are_ordered_and_counted() {
+        let (mut net, mut rng, mut metrics, config) = ctx_parts();
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+        };
+        ctx.set_timer(NodeId(1), SimTime::from_micros(30), 7);
+        ctx.set_timer(NodeId(0), SimTime::from_micros(10), 3);
+        assert_eq!(metrics.timers_set, 2);
+        let Reverse(first) = net.timers.pop().unwrap();
+        assert_eq!((first.node, first.token), (NodeId(0), 3));
+        let Reverse(second) = net.timers.pop().unwrap();
+        assert_eq!((second.node, second.token), (NodeId(1), 7));
+        assert!(second.at > first.at);
     }
 
     #[test]
     fn broadcast_reaches_everyone_else() {
         let (mut net, mut rng, mut metrics, config) = ctx_parts();
-        let mut ctx = NetCtx { now: SimTime::ZERO, net: &mut net, rng: &mut rng, metrics: &mut metrics, config: &config };
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+        };
         ctx.broadcast(NodeId(1), "update", 4, 9);
         assert_eq!(metrics.messages, 2);
         let targets: Vec<NodeId> = net.queue.drain().map(|Reverse(d)| d.to).collect();
@@ -320,17 +798,25 @@ mod tests {
     #[should_panic(expected = "does not message itself")]
     fn self_send_panics() {
         let (mut net, mut rng, mut metrics, config) = ctx_parts();
-        let mut ctx = NetCtx { now: SimTime::ZERO, net: &mut net, rng: &mut rng, metrics: &mut metrics, config: &config };
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+        };
         ctx.send(NodeId(0), NodeId(0), "test", 0, 0);
     }
 
     #[test]
     fn latency_model_components() {
         let mut rng = StdRng::seed_from_u64(1);
-        let m = LatencyModel { base: SimTime::from_micros(5), per_byte_ns: 2, jitter: SimTime::ZERO };
+        let m =
+            LatencyModel { base: SimTime::from_micros(5), per_byte_ns: 2, jitter: SimTime::ZERO };
         assert_eq!(m.sample(100, &mut rng), SimTime::from_nanos(5_200));
         assert_eq!(LatencyModel::INSTANT.sample(1000, &mut rng), SimTime::ZERO);
-        let j = LatencyModel { base: SimTime::ZERO, per_byte_ns: 0, jitter: SimTime::from_nanos(10) };
+        let j =
+            LatencyModel { base: SimTime::ZERO, per_byte_ns: 0, jitter: SimTime::from_nanos(10) };
         for _ in 0..100 {
             assert!(j.sample(0, &mut rng).as_nanos() <= 10);
         }

@@ -54,9 +54,7 @@ pub struct DecisionTrace {
 impl DecisionTrace {
     /// The deepest decision point with an unexplored sibling, if any.
     pub fn last_branch_point(&self) -> Option<usize> {
-        (0..self.choices.len())
-            .rev()
-            .find(|&i| self.choices[i] + 1 < self.arities[i])
+        (0..self.choices.len()).rev().find(|&i| self.choices[i] + 1 < self.arities[i])
     }
 }
 

@@ -12,10 +12,7 @@ use mixed_consistency::{check, sc, ReadLabel};
 fn classify(name: &str, h: &mixed_consistency::History) {
     let pram = check::check_pram(h).is_ok();
     let causal = check::check_causal(h).is_ok();
-    let seq = matches!(
-        sc::check_sequential(h),
-        Ok(sc::ScVerdict::SequentiallyConsistent(_))
-    );
+    let seq = matches!(sc::check_sequential(h), Ok(sc::ScVerdict::SequentiallyConsistent(_)));
     println!("{name:<28} pram={pram:<5} causal={causal:<5} sc={seq}");
 }
 
@@ -45,14 +42,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (wl, wu) = fig.writer;
     println!("concurrent readers unordered : rl0 ∦ rl1 = {}", cz.concurrent(rl0, rl1));
     println!("readers before writer        : ru1 ↦ wl  = {}", cz.precedes(ru1, wl));
-    println!("writer before second readers : wu ↦ rl0' = {}",
-        cz.precedes(wu, fig.second_readers[0].0));
-    println!("phase i op ; every barrier op: {}",
-        fig.barrier.iter().all(|&b| cz.precedes(fig.phase_i_op, b)));
-    println!("phase i op ; phase i+1 op    : {}",
-        cz.precedes(fig.phase_i_op, fig.phase_i1_op));
-    println!("barrier ops mutually unordered: {}",
-        cz.concurrent(fig.barrier[0], fig.barrier[1]));
+    println!(
+        "writer before second readers : wu ↦ rl0' = {}",
+        cz.precedes(wu, fig.second_readers[0].0)
+    );
+    println!(
+        "phase i op ; every barrier op: {}",
+        fig.barrier.iter().all(|&b| cz.precedes(fig.phase_i_op, b))
+    );
+    println!("phase i op ; phase i+1 op    : {}", cz.precedes(fig.phase_i_op, fig.phase_i1_op));
+    println!("barrier ops mutually unordered: {}", cz.concurrent(fig.barrier[0], fig.barrier[1]));
 
     check::check_mixed(h)?;
     println!("\nFigure 1 history is mixed consistent ✓");

@@ -51,12 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         times.push(run.metrics.finish_time);
     }
 
-    println!(
-        "\nclaim C2: counters {} < locks {} : {}",
-        times[1],
-        times[0],
-        times[1] < times[0]
-    );
+    println!("\nclaim C2: counters {} < locks {} : {}", times[1], times[0], times[1] < times[0]);
     println!("(the counter variant eliminates every lock round-trip; its updates");
     println!(" commute, so causal memory suffices without critical sections)");
     Ok(())

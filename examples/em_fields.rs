@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (e_ref, _) = fdtd_reference(&cfg);
 
     println!("1-D FDTD, {} E-nodes, {} steps, {} workers\n", cfg.cells, cfg.steps, cfg.workers);
-    println!("{:<10} {:>14} {:>10} {:>10} {:>10}", "mode", "virtual time", "messages", "kbytes", "bit-exact");
+    println!(
+        "{:<10} {:>14} {:>10} {:>10} {:>10}",
+        "mode", "virtual time", "messages", "kbytes", "bit-exact"
+    );
 
     for mode in [Mode::Pram, Mode::Causal, Mode::Mixed, Mode::Sc] {
         let run = run_fdtd(&EmConfig { mode, ..cfg.clone() })?;

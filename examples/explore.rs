@@ -18,9 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = explore::explore(
         20_000,
         || {
-            let mut sys = System::new(2, Mode::Mixed)
-                .record(true)
-                .sim_config(explore::racing_config());
+            let mut sys =
+                System::new(2, Mode::Mixed).record(true).sim_config(explore::racing_config());
             sys.spawn(|ctx| {
                 ctx.write(Loc(0), 1);
                 let _ = ctx.read_causal(Loc(1));
@@ -71,9 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = explore::explore(
         20_000,
         || {
-            let mut sys = System::new(2, Mode::Mixed)
-                .record(true)
-                .sim_config(explore::racing_config());
+            let mut sys =
+                System::new(2, Mode::Mixed).record(true).sim_config(explore::racing_config());
             sys.spawn(|ctx| {
                 ctx.write(Loc(0), 42);
                 ctx.write(Loc(1), 1);

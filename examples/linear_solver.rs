@@ -20,10 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (a, b) = diag_dominant_system(n, 2026);
 
     let (x_ref, iters_ref) = jacobi_reference(&a, &b, 1e-9, 500);
-    println!("sequential Jacobi reference: {iters_ref} iterations, residual {:.2e}\n",
-        residual_inf(&a, &x_ref, &b));
+    println!(
+        "sequential Jacobi reference: {iters_ref} iterations, residual {:.2e}\n",
+        residual_inf(&a, &x_ref, &b)
+    );
 
-    println!("{:<34} {:>14} {:>10} {:>12} {:>12}", "variant", "virtual time", "messages", "kbytes", "residual");
+    println!(
+        "{:<34} {:>14} {:>10} {:>12} {:>12}",
+        "variant", "virtual time", "messages", "kbytes", "residual"
+    );
 
     // Figure 2: barriers + PRAM reads (PRAM-consistent program,
     // Corollary 2 ⇒ sequentially consistent behaviour).
@@ -63,10 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hs.metrics.messages,
         bar.metrics.messages < hs.metrics.messages
     );
-    println!(
-        "claim C3: async relaxation on PRAM converged (residual {:.2e})",
-        gs.residual
-    );
+    println!("claim C3: async relaxation on PRAM converged (residual {:.2e})", gs.residual);
     Ok(())
 }
 

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --example live_threads`
 
 use mc_live::LiveSystem;
-use mixed_consistency::{check, LockId, Loc, Mode, ProcId, Value};
+use mixed_consistency::{check, Loc, LockId, Mode, ProcId, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three real threads hammer a lock-protected counter on the mixed

@@ -23,10 +23,7 @@ fn barrier_solver_matrix() {
             cfg.seed = 17;
             let run = run_barrier_solver(&cfg, &a, &b).unwrap();
             assert!(run.converged, "{mode}/{workers}: residual {}", run.residual);
-            assert!(
-                diff_inf(&run.x, &x_ref) < 1e-6,
-                "{mode}/{workers}: wrong solution"
-            );
+            assert!(diff_inf(&run.x, &x_ref) < 1e-6, "{mode}/{workers}: wrong solution");
         }
     }
 }
@@ -112,10 +109,7 @@ fn cholesky_matrix() {
                 if variant == CholeskyVariant::Locks {
                     // The lock variant is deterministic arithmetic: exact
                     // match with the sequential reference.
-                    assert!(
-                        run.l.max_abs_diff(&l_ref) < 1e-9,
-                        "{mode}/{variant}/{workers}"
-                    );
+                    assert!(run.l.max_abs_diff(&l_ref) < 1e-9, "{mode}/{variant}/{workers}");
                 }
             }
         }
@@ -167,8 +161,5 @@ fn pram_reads_on_handshake_violate_causality_on_pram_memory() {
             break;
         }
     }
-    assert!(
-        violation_found,
-        "no seed exposed the Fig.3-with-PRAM-reads causality violation"
-    );
+    assert!(violation_found, "no seed exposed the Fig.3-with-PRAM-reads causality violation");
 }

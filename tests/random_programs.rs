@@ -10,7 +10,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mixed_consistency::{
-    check, sc, LockId, LockPropagation, Loc, Mode, ReadLabel, System, Value,
+    check, sc, FaultPlan, Loc, LockId, LockPropagation, Mode, NodeId, ReadLabel, SimTime, System,
+    Value,
 };
 
 /// One generated instruction.
@@ -102,10 +103,7 @@ fn run_and_record(
     progs: &[Vec<Instr>],
     seed: u64,
 ) -> mixed_consistency::History {
-    let mut sys = System::new(progs.len(), mode)
-        .lock_propagation(prop)
-        .seed(seed)
-        .record(true);
+    let mut sys = System::new(progs.len(), mode).lock_propagation(prop).seed(seed).record(true);
     for prog in progs {
         let prog = prog.clone();
         sys.spawn(move |ctx| execute(ctx, &prog));
@@ -195,8 +193,10 @@ fn sc_protocol_is_sequentially_consistent_on_small_runs() {
             }
             sc::ScVerdict::Unknown => {} // budget exhausted: inconclusive
             sc::ScVerdict::NotSequentiallyConsistent => {
-                panic!("seed {seed}: SC protocol produced non-SC history\n{}",
-                    h.to_pretty_string());
+                panic!(
+                    "seed {seed}: SC protocol produced non-SC history\n{}",
+                    h.to_pretty_string()
+                );
             }
         }
         // SC histories satisfy the weaker definitions too.
@@ -218,7 +218,7 @@ fn injected_reordering_is_caught_on_pram() {
                 per_byte_ns: 0,
                 jitter: mixed_consistency::SimTime::from_micros(40),
             })
-            .inject_reordering();
+            .faults(FaultPlan::new().reorder(SimTime::from_micros(40)));
         sys.spawn(|ctx| {
             for v in 1..=12i64 {
                 ctx.write(Loc(0), v);
@@ -238,6 +238,53 @@ fn injected_reordering_is_caught_on_pram() {
         }
     }
     assert!(caught, "reordering injection never produced a detectable violation");
+}
+
+#[test]
+fn random_programs_under_random_faults_with_session_stay_consistent() {
+    // The robustness property: random programs on a randomly faulty
+    // network (loss, duplication, reordering, sometimes a timed
+    // partition) with the session layer on must always terminate and
+    // always yield mixed-consistent histories — the session restores
+    // exactly the channel assumptions the protocols were built on.
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0xFA_0175 ^ seed);
+        let progs = generate(3, 8, seed);
+        let mut plan = FaultPlan::new()
+            .drop_rate(rng.gen_range(0.0..0.15))
+            .duplicate_rate(rng.gen_range(0.0..0.15))
+            .reorder(SimTime::from_micros(rng.gen_range(1..60)));
+        if rng.gen_bool(0.5) {
+            // Cut one replica off from everyone (manager node 3
+            // included) for a while.
+            let victim = NodeId(rng.gen_range(0..3u32));
+            let others: Vec<NodeId> = (0..4u32).filter(|&n| n != victim.0).map(NodeId).collect();
+            let from = rng.gen_range(0..200u64);
+            plan = plan.partition(
+                vec![victim],
+                others,
+                SimTime::from_micros(from),
+                SimTime::from_micros(from + rng.gen_range(50..300u64)),
+            );
+        }
+        let mut sys = System::new(progs.len(), Mode::Mixed)
+            .seed(seed)
+            .record(true)
+            .faults(plan)
+            .reliable(true);
+        for prog in &progs {
+            let prog = prog.clone();
+            sys.spawn(move |ctx| execute(ctx, &prog));
+        }
+        let outcome = sys.run().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let h = outcome.history.expect("recording enabled");
+        if let Err(e) = check::check_mixed(&h) {
+            panic!(
+                "seed {seed}: faults leaked through the session layer: {e}\n{}",
+                h.to_pretty_string()
+            );
+        }
+    }
 }
 
 #[test]

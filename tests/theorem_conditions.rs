@@ -8,9 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mixed_consistency::model::programs;
-use mixed_consistency::{
-    check, commute, sc, LockId, Loc, Mode, ProcId, ReadLabel, System, Value,
-};
+use mixed_consistency::{check, commute, sc, Loc, LockId, Mode, ProcId, ReadLabel, System, Value};
 
 /// An entry-consistent random program: every location is guarded by a
 /// dedicated lock; reads take read or write locks, writes take write
@@ -43,11 +41,7 @@ fn entry_consistent_system(seed: u64, nprocs: usize, ops: usize) -> System {
 #[test]
 fn corollary_1_entry_consistent_executions_are_sc() {
     for seed in 0..6 {
-        let h = entry_consistent_system(seed, 2, 3)
-            .run()
-            .unwrap()
-            .history
-            .unwrap();
+        let h = entry_consistent_system(seed, 2, 3).run().unwrap().history.unwrap();
         // The discipline holds…
         let mapping = programs::infer_lock_mapping(&h)
             .unwrap()
@@ -71,11 +65,7 @@ fn corollary_1_theorem_1_premises_hold() {
     // Larger runs where exact SC search is infeasible: Theorem 1's
     // polynomial premises certify sequential consistency instead.
     for seed in 0..4 {
-        let h = entry_consistent_system(seed, 3, 6)
-            .run()
-            .unwrap()
-            .history
-            .unwrap();
+        let h = entry_consistent_system(seed, 3, 6).run().unwrap().history.unwrap();
         let outcome = commute::check_theorem1(&h).unwrap();
         assert!(
             outcome.applies(),
@@ -148,9 +138,7 @@ fn final_states_match_a_sequential_execution() {
             // Replay the witness sequentially and compare final values.
             let mut mem = std::collections::HashMap::new();
             for op in &order {
-                if let mixed_consistency::OpKind::Write { loc, value, .. } =
-                    &h.op(*op).kind
-                {
+                if let mixed_consistency::OpKind::Write { loc, value, .. } = &h.op(*op).kind {
                     mem.insert(*loc, *value);
                 }
             }
