@@ -476,6 +476,86 @@ pub fn checkers_table() -> Table {
     }
 }
 
+/// **E7** — stateless model checking: schedules explored by naive
+/// depth-first enumeration vs dynamic partial-order reduction on the
+/// litmus programs, with identical outcome coverage by construction
+/// (the conformance suite in `tests/explore_litmus.rs` asserts it).
+pub fn exploration_table() -> Table {
+    use mixed_consistency::explore::{explore_with, ExploreOptions};
+    use mixed_consistency::{ProgSpec, SpecOp};
+
+    let w = |loc: u32, value: i64| SpecOp::Write { loc: Loc(loc), value };
+    let r = |loc: u32, label: ReadLabel| SpecOp::Read { loc: Loc(loc), label };
+    let programs: Vec<(&str, ProgSpec)> = vec![
+        (
+            "store-buffer",
+            ProgSpec::new(Mode::Mixed)
+                .proc(vec![w(0, 1), r(1, ReadLabel::Causal)])
+                .proc(vec![w(1, 1), r(0, ReadLabel::Causal)]),
+        ),
+        (
+            "causality-chain",
+            ProgSpec::new(Mode::Mixed)
+                .proc(vec![w(0, 1)])
+                .proc(vec![r(0, ReadLabel::Causal), w(1, 2)])
+                .proc(vec![r(1, ReadLabel::Pram), r(0, ReadLabel::Pram)]),
+        ),
+        (
+            "wrc",
+            ProgSpec::new(Mode::Mixed)
+                .proc(vec![w(0, 1)])
+                .proc(vec![r(0, ReadLabel::Causal), w(1, 1)])
+                .proc(vec![r(1, ReadLabel::Pram), r(0, ReadLabel::Pram)]),
+        ),
+        (
+            "2+2w",
+            ProgSpec::new(Mode::Mixed)
+                .proc(vec![w(0, 1), w(1, 2)])
+                .proc(vec![w(1, 1), w(0, 2)])
+                .proc(vec![r(0, ReadLabel::Causal), r(0, ReadLabel::Causal)]),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, spec) in &programs {
+        let run = |dpor: bool| {
+            let start = std::time::Instant::now();
+            let out = explore_with(
+                ExploreOptions::new().dpor(dpor).max_runs(3_000_000),
+                || spec.build_system(),
+                |o| {
+                    check::check_mixed(o.history.as_ref().expect("recording enabled"))
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                },
+            )
+            .expect("litmus programs are consistent");
+            (out, start.elapsed())
+        };
+        let (naive, naive_t) = run(false);
+        let (dpor, dpor_t) = run(true);
+        assert!(naive.complete && dpor.complete, "{name}: exploration must exhaust");
+        rows.push(Row::new(
+            vec![("program", (*name).to_string())],
+            vec![
+                ("naive runs", naive.runs.to_string()),
+                ("dpor runs", dpor.runs.to_string()),
+                ("pruned", dpor.pruned.to_string()),
+                ("outcomes", dpor.unique_outcomes.to_string()),
+                ("reduction", format!("{:.1}x", naive.runs as f64 / dpor.runs as f64)),
+                ("dpor scheds/s", format!("{:.0}", dpor.runs as f64 / dpor_t.as_secs_f64())),
+                ("naive scheds/s", format!("{:.0}", naive.runs as f64 / naive_t.as_secs_f64())),
+            ],
+        ));
+    }
+    Table {
+        id: "E7",
+        title: "schedule exploration: naive DFS vs dynamic partial-order reduction",
+        paper_ref: "§2/§4 — exhaustive interleaving coverage for the litmus programs",
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,5 +595,18 @@ mod tests {
         let t = checkers_table();
         assert_eq!(t.rows.len(), 3);
         assert!(t.rows.iter().all(|r| r.vals[2].1 == "true"));
+    }
+
+    #[test]
+    fn exploration_table_reduces() {
+        let t = exploration_table();
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let naive: u64 = row.vals[0].1.parse().unwrap();
+            let dpor: u64 = row.vals[1].1.parse().unwrap();
+            assert!(dpor <= naive, "{}: reduction must not expand", row.keys[0].1);
+            let reduction: f64 = row.vals[4].1.trim_end_matches('x').parse().unwrap();
+            assert!(reduction >= 5.0, "{}: {reduction}x < 5x", row.keys[0].1);
+        }
     }
 }

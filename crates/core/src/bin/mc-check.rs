@@ -10,17 +10,21 @@
 //!   --theorem1   check Theorem 1's premises (commutativity + causal)
 //!   --stats      print history statistics
 //!   --dot        print the causality graph in Graphviz format
+//!   --replay     treat <file> as a repro artifact produced by
+//!                exploration and re-execute it deterministically
 //! ```
 //!
 //! The trace format is documented in `mixed_consistency::trace`; recorded
-//! histories serialize to it via `trace::to_text`. Exit status 1 means a
-//! violation was found.
+//! histories serialize to it via `trace::to_text`. Repro artifacts are
+//! documented in `mixed_consistency::repro`. Exit status 1 means a
+//! violation was found (or, under `--replay`, that the recorded failure
+//! reproduced).
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use mixed_consistency::model::{trace, viz};
-use mixed_consistency::{check, commute, sc, History};
+use mixed_consistency::{check, commute, sc, History, Repro};
 
 /// Prints to stdout ignoring broken pipes (`mc-check … | head` must not
 /// panic).
@@ -33,9 +37,29 @@ macro_rules! out {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mc-check <trace-file> [--mixed|--pram|--causal|--sc|--theorem1|--stats|--dot]..."
+        "usage: mc-check <trace-file> \
+         [--mixed|--pram|--causal|--sc|--theorem1|--stats|--dot|--replay]..."
     );
     ExitCode::from(2)
+}
+
+/// Re-executes a repro artifact; exit 1 when the recorded failure
+/// reproduces, 0 when it no longer does.
+fn replay(path: &str, text: &str) -> ExitCode {
+    let repro = match Repro::parse(text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mc-check: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if repro.replay() {
+        out!("replay     REPRODUCED\n{}", repro.replay_message());
+        ExitCode::from(1)
+    } else {
+        out!("replay     not reproduced ({})", repro.replay_message());
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -47,7 +71,14 @@ fn main() -> ExitCode {
     if let Some(bad) = flags.iter().find(|f| {
         !matches!(
             **f,
-            "--mixed" | "--pram" | "--causal" | "--sc" | "--theorem1" | "--stats" | "--dot"
+            "--mixed"
+                | "--pram"
+                | "--causal"
+                | "--sc"
+                | "--theorem1"
+                | "--stats"
+                | "--dot"
+                | "--replay"
         )
     }) {
         eprintln!("unknown option {bad}");
@@ -61,6 +92,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if flags.contains(&"--replay") {
+        return replay(path, &text);
+    }
     let history: History = match trace::parse(&text) {
         Ok(h) => h,
         Err(e) => {

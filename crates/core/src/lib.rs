@@ -60,9 +60,13 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod progspec;
+pub mod repro;
 mod system;
 mod vars;
 
+pub use progspec::{ProgSpec, SpecOp};
+pub use repro::Repro;
 pub use system::{Ctx, Outcome, RunError, System, VerifyError};
 pub use vars::{VarArray, VarMatrix, VarSpace};
 
@@ -75,6 +79,6 @@ pub use mc_model::{
 };
 pub use mc_proto::{DsmConfig, LockPropagation, Mode, SessionConfig};
 pub use mc_sim::{
-    Crash, FaultPlan, FaultStats, LatencyModel, Metrics, NodeId, Partition, SimConfig, SimError,
-    SimTime,
+    ActionId, Crash, DecisionTrace, FaultBudget, FaultPlan, FaultStats, LatencyModel, Metrics,
+    NodeId, Partition, SimConfig, SimError, SimTime, StepInfo, StepKind, Touch,
 };

@@ -1,0 +1,334 @@
+//! Serializable program specifications.
+//!
+//! Exploration and counterexample minimization need programs as *data*:
+//! a [`ProgSpec`] describes the per-process operation lists of a closed
+//! program, can be shrunk structurally (dropping operations, lock pairs,
+//! barrier rounds), rebuilt into a runnable [`System`], and round-tripped
+//! through a line-oriented text format — which is how `mc-check --replay`
+//! reconstructs a failing run from a repro artifact.
+
+use std::fmt::Write as _;
+
+use mc_proto::{LockPropagation, Mode};
+
+use crate::explore::racing_config;
+use crate::system::{Ctx, System};
+use crate::{BarrierId, Loc, LockId, LockMode, ReadLabel};
+
+/// One operation of a [`ProgSpec`] process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpecOp {
+    /// `ctx.write(loc, value)`.
+    Write {
+        /// Target location.
+        loc: Loc,
+        /// Written value.
+        value: i64,
+    },
+    /// `ctx.add(loc, delta)` (commutative counter increment).
+    Add {
+        /// Target location.
+        loc: Loc,
+        /// The delta.
+        delta: i64,
+    },
+    /// `ctx.read(loc, label)`, result discarded (the recorded history
+    /// keeps the observed value for the checkers).
+    Read {
+        /// Read location.
+        loc: Loc,
+        /// Consistency label of the read.
+        label: ReadLabel,
+    },
+    /// `ctx.lock(lock, mode)`.
+    Lock {
+        /// The lock object.
+        lock: LockId,
+        /// Read or write mode.
+        mode: LockMode,
+    },
+    /// `ctx.unlock(lock, mode)`.
+    Unlock {
+        /// The lock object.
+        lock: LockId,
+        /// Read or write mode.
+        mode: LockMode,
+    },
+    /// `ctx.barrier_on(barrier)`.
+    Barrier {
+        /// The barrier object.
+        barrier: BarrierId,
+    },
+    /// `ctx.await_eq(loc, value)`.
+    Await {
+        /// Awaited location.
+        loc: Loc,
+        /// Value to wait for.
+        value: i64,
+    },
+}
+
+/// A closed, serializable program: memory mode, lock propagation
+/// variant, and one operation list per process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProgSpec {
+    /// The memory mode the program runs on.
+    pub mode: Mode,
+    /// The lock propagation variant.
+    pub lock_propagation: LockPropagation,
+    /// Per-process operation lists (process ids follow index order).
+    pub procs: Vec<Vec<SpecOp>>,
+}
+
+impl ProgSpec {
+    /// Creates an empty spec on `mode` with the default (lazy) lock
+    /// propagation.
+    pub fn new(mode: Mode) -> Self {
+        ProgSpec { mode, lock_propagation: LockPropagation::Lazy, procs: Vec::new() }
+    }
+
+    /// Appends a process with the given operations.
+    pub fn proc(mut self, ops: Vec<SpecOp>) -> Self {
+        self.procs.push(ops);
+        self
+    }
+
+    /// Total operation count across processes.
+    pub fn len(&self) -> usize {
+        self.procs.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if no process has any operation.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds the runnable [`System`] for this spec: recording on, racing
+    /// (zero-latency, zero-cost) simulator configuration so exploration
+    /// reaches every interleaving through tie-breaking.
+    pub fn build_system(&self) -> System {
+        let mut sys = System::new(self.procs.len(), self.mode)
+            .lock_propagation(self.lock_propagation)
+            .record(true)
+            .sim_config(racing_config());
+        for ops in &self.procs {
+            let ops = ops.clone();
+            sys.spawn(move |ctx| run_ops(ctx, &ops));
+        }
+        sys
+    }
+
+    /// Renders the spec in the line-oriented text format accepted by
+    /// [`ProgSpec::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "mode {}", self.mode);
+        let _ = writeln!(out, "locks {}", prop_name(self.lock_propagation));
+        for (p, ops) in self.procs.iter().enumerate() {
+            let _ = writeln!(out, "proc {p}");
+            for op in ops {
+                let _ = writeln!(out, "  {}", op_text(op));
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`ProgSpec::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<ProgSpec, String> {
+        let mut mode = None;
+        let mut prop = LockPropagation::Lazy;
+        let mut procs: Vec<Vec<SpecOp>> = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            let err = |msg: &str| format!("line {}: {msg}: {line:?}", ln + 1);
+            match words[0] {
+                "mode" => {
+                    mode = Some(
+                        parse_mode(words.get(1).copied().unwrap_or(""))
+                            .ok_or_else(|| err("unknown mode"))?,
+                    );
+                }
+                "locks" => {
+                    prop = parse_prop(words.get(1).copied().unwrap_or(""))
+                        .ok_or_else(|| err("unknown lock propagation"))?;
+                }
+                "proc" => {
+                    let idx: usize =
+                        words.get(1).and_then(|w| w.parse().ok()).ok_or_else(|| err("bad proc"))?;
+                    if idx != procs.len() {
+                        return Err(err("processes must appear in order"));
+                    }
+                    procs.push(Vec::new());
+                }
+                _ => {
+                    let op = parse_op(&words).ok_or_else(|| err("unknown operation"))?;
+                    procs.last_mut().ok_or_else(|| err("operation before any proc"))?.push(op);
+                }
+            }
+        }
+        Ok(ProgSpec { mode: mode.ok_or("missing `mode` line")?, lock_propagation: prop, procs })
+    }
+}
+
+fn run_ops(ctx: &mut Ctx<'_>, ops: &[SpecOp]) {
+    for op in ops {
+        match *op {
+            SpecOp::Write { loc, value } => {
+                ctx.write(loc, value);
+            }
+            SpecOp::Add { loc, delta } => {
+                ctx.add(loc, delta);
+            }
+            SpecOp::Read { loc, label } => {
+                let _ = ctx.read(loc, label);
+            }
+            SpecOp::Lock { lock, mode } => ctx.lock(lock, mode),
+            SpecOp::Unlock { lock, mode } => ctx.unlock(lock, mode),
+            SpecOp::Barrier { barrier } => ctx.barrier_on(barrier),
+            SpecOp::Await { loc, value } => {
+                ctx.await_eq(loc, value);
+            }
+        }
+    }
+}
+
+fn op_text(op: &SpecOp) -> String {
+    match *op {
+        SpecOp::Write { loc, value } => format!("w {} {}", loc.0, value),
+        SpecOp::Add { loc, delta } => format!("add {} {}", loc.0, delta),
+        SpecOp::Read { loc, label } => {
+            format!("r {} {}", loc.0, if label == ReadLabel::Pram { "pram" } else { "causal" })
+        }
+        SpecOp::Lock { lock, mode } => {
+            format!("l {} {}", lock.0, if mode == LockMode::Write { "w" } else { "r" })
+        }
+        SpecOp::Unlock { lock, mode } => {
+            format!("u {} {}", lock.0, if mode == LockMode::Write { "w" } else { "r" })
+        }
+        SpecOp::Barrier { barrier } => format!("b {}", barrier.0),
+        SpecOp::Await { loc, value } => format!("await {} {}", loc.0, value),
+    }
+}
+
+fn parse_op(words: &[&str]) -> Option<SpecOp> {
+    let n1 = |i: usize| words.get(i).and_then(|w| w.parse::<u32>().ok());
+    let i1 = |i: usize| words.get(i).and_then(|w| w.parse::<i64>().ok());
+    Some(match words[0] {
+        "w" => SpecOp::Write { loc: Loc(n1(1)?), value: i1(2)? },
+        "add" => SpecOp::Add { loc: Loc(n1(1)?), delta: i1(2)? },
+        "r" => SpecOp::Read {
+            loc: Loc(n1(1)?),
+            label: match *words.get(2)? {
+                "pram" => ReadLabel::Pram,
+                "causal" => ReadLabel::Causal,
+                _ => return None,
+            },
+        },
+        "l" | "u" => {
+            let mode = match *words.get(2)? {
+                "w" => LockMode::Write,
+                "r" => LockMode::Read,
+                _ => return None,
+            };
+            if words[0] == "l" {
+                SpecOp::Lock { lock: LockId(n1(1)?), mode }
+            } else {
+                SpecOp::Unlock { lock: LockId(n1(1)?), mode }
+            }
+        }
+        "b" => SpecOp::Barrier { barrier: BarrierId(n1(1)?) },
+        "await" => SpecOp::Await { loc: Loc(n1(1)?), value: i1(2)? },
+        _ => return None,
+    })
+}
+
+fn parse_mode(s: &str) -> Option<Mode> {
+    Mode::ALL.into_iter().find(|m| m.to_string() == s)
+}
+
+fn prop_name(p: LockPropagation) -> &'static str {
+    match p {
+        LockPropagation::Eager => "eager",
+        LockPropagation::Lazy => "lazy",
+        LockPropagation::DemandDriven => "demand",
+    }
+}
+
+fn parse_prop(s: &str) -> Option<LockPropagation> {
+    LockPropagation::ALL.into_iter().find(|&p| prop_name(p) == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+
+    fn sample() -> ProgSpec {
+        ProgSpec::new(Mode::Mixed)
+            .proc(vec![
+                SpecOp::Write { loc: Loc(0), value: 1 },
+                SpecOp::Lock { lock: LockId(0), mode: LockMode::Write },
+                SpecOp::Add { loc: Loc(1), delta: -1 },
+                SpecOp::Unlock { lock: LockId(0), mode: LockMode::Write },
+                SpecOp::Barrier { barrier: BarrierId(0) },
+            ])
+            .proc(vec![
+                SpecOp::Read { loc: Loc(0), label: ReadLabel::Causal },
+                SpecOp::Read { loc: Loc(1), label: ReadLabel::Pram },
+                SpecOp::Barrier { barrier: BarrierId(0) },
+            ])
+    }
+
+    #[test]
+    fn text_round_trip_is_identity() {
+        let spec = sample();
+        let text = spec.to_text();
+        let back = ProgSpec::parse(&text).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn await_round_trips() {
+        let spec = ProgSpec::new(Mode::Pram)
+            .proc(vec![SpecOp::Write { loc: Loc(1), value: 1 }])
+            .proc(vec![
+                SpecOp::Await { loc: Loc(1), value: 1 },
+                SpecOp::Read { loc: Loc(0), label: ReadLabel::Pram },
+            ]);
+        assert_eq!(ProgSpec::parse(&spec.to_text()).unwrap(), spec);
+    }
+
+    #[test]
+    fn built_system_runs_and_records() {
+        let outcome = sample().build_system().run().unwrap();
+        let h = outcome.history.expect("recording enabled");
+        assert_eq!(h.nprocs(), 2);
+        assert_eq!(h.len(), sample().len());
+        check::check_mixed(&h).unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ProgSpec::parse("mode bogus").is_err());
+        assert!(ProgSpec::parse("mode pram\nw 0 1").is_err(), "op before proc");
+        assert!(ProgSpec::parse("proc 0").is_err(), "missing mode");
+        assert!(ProgSpec::parse("mode pram\nproc 1").is_err(), "out-of-order proc");
+        assert!(ProgSpec::parse("mode pram\nproc 0\n  frobnicate 1").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let spec = ProgSpec::parse("# hello\nmode sc\n\nproc 0\n  w 0 3\n").unwrap();
+        assert_eq!(spec.mode, Mode::Sc);
+        assert_eq!(spec.procs, vec![vec![SpecOp::Write { loc: Loc(0), value: 3 }]]);
+    }
+}

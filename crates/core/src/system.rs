@@ -253,11 +253,14 @@ impl System {
         self
     }
 
-    /// Disables FIFO channels — a fault injection that the consistency
-    /// checkers are expected to catch in PRAM mode.
-    #[deprecated(note = "use `faults(FaultPlan::new().reorder(jitter))` instead")]
-    pub fn inject_reordering(mut self) -> Self {
-        self.sim_cfg.faults.reorder = Some(SimTime::from_micros(40));
+    /// Enables fault *exploration*: each message send becomes a decision
+    /// point (deliver / drop / duplicate, within the budget) and the
+    /// budget's listed nodes may crash at any scheduling step — see
+    /// [`mc_sim::FaultBudget`]. Meant for [`crate::explore`], where the
+    /// decision trace then enumerates fault placements exhaustively
+    /// instead of sampling them from a [`FaultPlan`].
+    pub fn explore_faults(mut self, budget: mc_sim::FaultBudget) -> Self {
+        self.sim_cfg.explore_faults = Some(budget);
         self
     }
 

@@ -262,6 +262,32 @@ impl History {
         self.ops.iter().enumerate().map(|(i, op)| (OpId(i as u32), op))
     }
 
+    /// A hash identifying the observable content of the history: its
+    /// operations rendered in canonical per-process program order. Two
+    /// executions with equal signatures made the same operations
+    /// observe the same values in the same per-process order —
+    /// program order and reads-from resolution are derived from
+    /// exactly that data, so any per-history checker verdict is
+    /// identical, which is what lets exploration deduplicate
+    /// verification work. Deliberately *not* the global interleaving
+    /// order: equivalent interleavings of independent operations must
+    /// hash alike, or partial-order reduction would count each
+    /// equivalence class once per representative it happens to run.
+    pub fn signature(&self) -> u64 {
+        use std::fmt::Write as _;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        let mut s = String::new();
+        for per_proc in &self.per_proc {
+            for &id in per_proc {
+                let _ = writeln!(s, "{}", self.ops[id.index()]);
+            }
+            s.push('\n');
+        }
+        s.hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// Renders the history one operation per line — useful in test
     /// failures.
     pub fn to_pretty_string(&self) -> String {

@@ -73,6 +73,80 @@ pub fn write_order_disagreement() -> History {
     b.build().expect("litmus history is well-formed")
 }
 
+/// IRIW — independent reads of independent writes:
+///
+/// ```text
+/// p0: w(x)1          p1: w(y)1
+/// p2: r(x)1; r(y)0   p3: r(y)1; r(x)0
+/// ```
+///
+/// The observers disagree on the order of two *causally independent*
+/// writes. *PRAM*, *causal*, and *mixed* all accept it (concurrent
+/// writes may be observed in either order); sequential consistency
+/// rejects it — this is the classic boundary showing that causal memory
+/// does not totally order independent writes.
+pub fn iriw() -> History {
+    let mut b = HistoryBuilder::new(4);
+    b.push_write(p(0), Loc(0), Value::Int(1));
+    b.push_write(p(1), Loc(1), Value::Int(1));
+    b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(1));
+    b.push_read(p(2), Loc(1), ReadLabel::Causal, Value::Int(0));
+    b.push_read(p(3), Loc(1), ReadLabel::Causal, Value::Int(1));
+    b.push_read(p(3), Loc(0), ReadLabel::Causal, Value::Int(0));
+    b.build().expect("litmus history is well-formed")
+}
+
+/// WRC — write-to-read causality:
+///
+/// ```text
+/// p0: w(x)1
+/// p1: r(x)1; w(y)1
+/// p2: r(y)1; r(x)0       <- stale x
+/// ```
+///
+/// `p1` observes `w(x)1` before producing `w(y)1`, so the writes are
+/// causally ordered through the read; `p2` sees the effect but not the
+/// cause. *PRAM* accepts it (`p2` has no direct interaction with `p0`);
+/// *causal memory* rejects it. The checker used by *mixed* follows
+/// `label`: `ReadLabel::Pram` reads make the history acceptable,
+/// `ReadLabel::Causal` reads make it a violation. Same boundary as
+/// [`causality_chain`], in the canonical message-passing shape.
+pub fn wrc(label: ReadLabel) -> History {
+    let mut b = HistoryBuilder::new(3);
+    b.push_write(p(0), Loc(0), Value::Int(1));
+    b.push_read(p(1), Loc(0), ReadLabel::Causal, Value::Int(1));
+    b.push_write(p(1), Loc(1), Value::Int(1));
+    b.push_read(p(2), Loc(1), label, Value::Int(1));
+    b.push_read(p(2), Loc(0), label, Value::Int(0));
+    b.build().expect("litmus history is well-formed")
+}
+
+/// 2+2W — two writers, two locations, opposite program orders:
+///
+/// ```text
+/// p0: w(x)1; w(y)2   p1: w(y)1; w(x)2
+/// p2: r(x)2; r(x)1   p3: r(y)2; r(y)1
+/// ```
+///
+/// Each observer sees one location's writes in the order `2` then `1`.
+/// Any single serialization would need
+/// `w(y)1 < w(x)2 < w(x)1 < w(y)2 < w(y)1` — a cycle — so sequential
+/// consistency rejects it; *PRAM*, *causal*, and *mixed* accept it
+/// (each observer's view respects program order and causality; the
+/// write-write order is only constrained per observer).
+pub fn two_plus_two_w() -> History {
+    let mut b = HistoryBuilder::new(4);
+    b.push_write(p(0), Loc(0), Value::Int(1));
+    b.push_write(p(0), Loc(1), Value::Int(2));
+    b.push_write(p(1), Loc(1), Value::Int(1));
+    b.push_write(p(1), Loc(0), Value::Int(2));
+    b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(2));
+    b.push_read(p(2), Loc(0), ReadLabel::Causal, Value::Int(1));
+    b.push_read(p(3), Loc(1), ReadLabel::Causal, Value::Int(2));
+    b.push_read(p(3), Loc(1), ReadLabel::Causal, Value::Int(1));
+    b.build().expect("litmus history is well-formed")
+}
+
 /// A FIFO (per-writer order) violation:
 ///
 /// ```text
@@ -275,6 +349,35 @@ mod tests {
     fn write_order_disagreement_classification() {
         let h = write_order_disagreement();
         assert!(check_causal(&h).is_ok());
+        assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
+    }
+
+    #[test]
+    fn iriw_classification() {
+        let h = iriw();
+        assert!(check_pram(&h).is_ok());
+        assert!(check_causal(&h).is_ok());
+        assert!(check_mixed(&h).is_ok());
+        assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
+    }
+
+    #[test]
+    fn wrc_classification() {
+        let h = wrc(ReadLabel::Pram);
+        assert!(check_pram(&h).is_ok());
+        assert!(check_causal(&h).is_err());
+        assert!(check_mixed(&h).is_ok(), "labeled PRAM: allowed");
+        let h = wrc(ReadLabel::Causal);
+        assert!(check_mixed(&h).is_err(), "labeled causal: rejected");
+        assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
+    }
+
+    #[test]
+    fn two_plus_two_w_classification() {
+        let h = two_plus_two_w();
+        assert!(check_pram(&h).is_ok());
+        assert!(check_causal(&h).is_ok());
+        assert!(check_mixed(&h).is_ok());
         assert_eq!(check_sequential(&h).unwrap(), ScVerdict::NotSequentiallyConsistent);
     }
 

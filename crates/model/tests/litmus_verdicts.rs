@@ -1,0 +1,71 @@
+//! The full verdict matrix of the litmus library: every litmus history
+//! against every checker (PRAM / causal / mixed / sequential
+//! consistency), pinned as a table so a checker regression shows up as
+//! a one-line diff.
+
+use mc_model::check::{check_causal, check_mixed, check_pram};
+use mc_model::litmus;
+use mc_model::sc::{check_sequential, ScVerdict};
+use mc_model::{History, ReadLabel};
+
+/// `(name, history, pram, causal, mixed, sc)` — `true` means accepted.
+fn matrix() -> Vec<(&'static str, History, bool, bool, bool, bool)> {
+    vec![
+        (
+            "causality_chain(pram)",
+            litmus::causality_chain(ReadLabel::Pram),
+            true,
+            false,
+            true,
+            false,
+        ),
+        (
+            "causality_chain(causal)",
+            litmus::causality_chain(ReadLabel::Causal),
+            true,
+            false,
+            false,
+            false,
+        ),
+        ("store_buffer", litmus::store_buffer(), true, true, true, false),
+        ("write_order_disagreement", litmus::write_order_disagreement(), true, true, true, false),
+        ("iriw", litmus::iriw(), true, true, true, false),
+        ("wrc(pram)", litmus::wrc(ReadLabel::Pram), true, false, true, false),
+        ("wrc(causal)", litmus::wrc(ReadLabel::Causal), true, false, false, false),
+        ("two_plus_two_w", litmus::two_plus_two_w(), true, true, true, false),
+        ("fifo_violation", litmus::fifo_violation(), false, false, false, false),
+        ("lock_transitive_chain", litmus::lock_transitive_chain(), true, false, true, false),
+        ("figure1", litmus::figure1().history, true, true, true, true),
+        ("entry_consistent_transfer", litmus::entry_consistent_transfer(), true, true, true, true),
+        ("barrier_phase_program", litmus::barrier_phase_program(), true, true, true, true),
+        ("producer_consumer_await", litmus::producer_consumer_await(), true, true, true, true),
+        ("counter_await", litmus::counter_await(), true, true, true, true),
+    ]
+}
+
+#[test]
+fn every_litmus_verdict_is_pinned() {
+    for (name, h, pram, causal, mixed, sc) in matrix() {
+        assert_eq!(check_pram(&h).is_ok(), pram, "{name}: PRAM (Definition 3)");
+        assert_eq!(check_causal(&h).is_ok(), causal, "{name}: causal (Definition 2)");
+        assert_eq!(check_mixed(&h).is_ok(), mixed, "{name}: mixed (Definition 4)");
+        let verdict = check_sequential(&h).expect("well-formed");
+        assert_ne!(verdict, ScVerdict::Unknown, "{name}: SC search must be decisive");
+        assert_eq!(verdict.is_sc(), sc, "{name}: sequential consistency (Definition 1)");
+    }
+}
+
+#[test]
+fn acceptance_is_monotone_in_strength() {
+    // SC ⊆ causal ⊆ PRAM: anything SC-acceptable is causal-acceptable,
+    // anything causal-acceptable is PRAM-acceptable (Section 2 of the
+    // paper); the litmus matrix must respect the hierarchy.
+    for (name, _h, pram, causal, _mixed, sc) in matrix() {
+        if sc {
+            assert!(causal, "{name}: SC-consistent history must be causal");
+        }
+        if causal {
+            assert!(pram, "{name}: causal history must be PRAM");
+        }
+    }
+}

@@ -21,7 +21,7 @@ use rand::SeedableRng;
 
 use crate::metrics::Metrics;
 use crate::net::{Delivery, NetCtx, Network, NodeId, SimConfig};
-use crate::schedule::{RandomSchedule, Schedule};
+use crate::schedule::{ActionId, RandomSchedule, Schedule, Touch};
 use crate::time::SimTime;
 
 /// Identifier of a simulated process (the syscall-issuing entity).
@@ -360,8 +360,9 @@ impl<P: Protocol> Kernel<P> {
         rng: &'a mut StdRng,
         metrics: &'a mut Metrics,
         config: &'a SimConfig,
+        sched: Option<&'a mut dyn Schedule>,
     ) -> NetCtx<'a, P::Msg> {
-        NetCtx { now, net: network, rng, metrics, config }
+        NetCtx { now, net: network, rng, metrics, config, sched }
     }
 
     /// Blocks until no process thread is running (all are parked on a
@@ -416,6 +417,7 @@ impl<P: Protocol> Kernel<P> {
                     &mut self.rng,
                     &mut self.metrics,
                     &self.config,
+                    Some(&mut *self.schedule),
                 );
                 if let Some(resp) =
                     self.protocol.poll_blocked(ProcToken(idx as u32), node, &mut ctx)
@@ -423,6 +425,9 @@ impl<P: Protocol> Kernel<P> {
                     let stall = self.now.saturating_sub(self.procs[idx].blocked_since);
                     self.metrics.record_stall(stall);
                     self.metrics.record_proc_stall(idx, stall);
+                    // The resumed process reads node-local state: its
+                    // node's state joins the current step's footprint.
+                    self.network.touched.push(Touch::State(node));
                     self.resume(idx, resp)?;
                     progressed = true;
                 }
@@ -497,61 +502,96 @@ impl<P: Protocol> Kernel<P> {
             };
             self.now = self.now.max(min_time);
 
-            // Collect all candidates at min_time; break ties with the rng.
+            // Collect all candidates at min_time; delegate the tie-break
+            // to the schedule, describing each candidate so recording
+            // schedules can reason about what the choices *were*. Under
+            // fault exploration, every not-yet-crashed budgeted node may
+            // also crash instead — enumerating crash timing.
             #[derive(Clone, Copy)]
             enum Cand {
                 Deliver,
                 Timer,
                 Syscall(usize),
+                Crash(NodeId),
             }
-            let mut candidates: Vec<Cand> = ready
-                .iter()
-                .filter(|&&(_, t)| t == min_time)
-                .map(|&(i, _)| Cand::Syscall(i))
-                .collect();
+            let mut candidates: Vec<Cand> = Vec::new();
+            let mut ids: Vec<ActionId> = Vec::new();
+            for &(i, t) in &ready {
+                if t == min_time {
+                    candidates.push(Cand::Syscall(i));
+                    ids.push(ActionId::Syscall { proc: i as u32 });
+                }
+            }
             if delivery_at == Some(min_time) {
+                let d = &self.network.queue.peek().expect("nonempty").0;
                 candidates.push(Cand::Deliver);
+                ids.push(ActionId::Deliver { from: d.from, to: d.to, seq: d.seq });
             }
             if timer_at == Some(min_time) {
+                let t = &self.network.timers.peek().expect("nonempty").0;
                 candidates.push(Cand::Timer);
+                ids.push(ActionId::Timer { node: t.node, seq: t.seq });
             }
-            let choice = candidates[self.schedule.choose(candidates.len())];
+            if let Some(budget) = &self.config.explore_faults {
+                for &node in &budget.crashes {
+                    if !self.network.is_downed(node) {
+                        candidates.push(Cand::Crash(node));
+                        ids.push(ActionId::Crash { node });
+                    }
+                }
+            }
+            let choice = candidates[self.schedule.choose_action(&ids)];
 
             self.metrics.events += 1;
+            // Each step's conflict footprint starts from its primary node
+            // and accumulates send destinations, timer targets, and
+            // resumed processes as the step executes.
+            self.network.touched.clear();
             match choice {
                 Cand::Deliver => {
                     let Reverse(d) = self.network.queue.pop().expect("peeked");
                     let Delivery { from, to, msg, .. } = d;
+                    // Delivery dequeues at `to` *and* mutates its replica.
+                    self.network.touched.push(Touch::Queue(to));
+                    self.network.touched.push(Touch::State(to));
                     let mut ctx = Self::net_ctx(
                         self.now,
                         &mut self.network,
                         &mut self.rng,
                         &mut self.metrics,
                         &self.config,
+                        Some(&mut *self.schedule),
                     );
                     self.protocol.on_message(to, from, msg, &mut ctx);
                 }
                 Cand::Timer => {
                     let Reverse(t) = self.network.timers.pop().expect("peeked");
                     self.metrics.timers_fired += 1;
+                    self.network.touched.push(Touch::Queue(t.node));
+                    self.network.touched.push(Touch::State(t.node));
                     let mut ctx = Self::net_ctx(
                         self.now,
                         &mut self.network,
                         &mut self.rng,
                         &mut self.metrics,
                         &self.config,
+                        Some(&mut *self.schedule),
                     );
                     self.protocol.on_timer(t.node, t.token, &mut ctx);
                 }
                 Cand::Syscall(idx) => {
                     let req = self.procs[idx].pending.take().expect("ready has request");
                     let (token, node) = (ProcToken(idx as u32), self.procs[idx].node);
+                    // A syscall reads and writes its own node's replica;
+                    // any sends it issues add queue touches elsewhere.
+                    self.network.touched.push(Touch::State(node));
                     let mut ctx = Self::net_ctx(
                         self.now,
                         &mut self.network,
                         &mut self.rng,
                         &mut self.metrics,
                         &self.config,
+                        Some(&mut *self.schedule),
                     );
                     match self.protocol.on_request(token, node, req, &mut ctx) {
                         Poll::Ready(resp) => {
@@ -563,8 +603,15 @@ impl<P: Protocol> Kernel<P> {
                         }
                     }
                 }
+                Cand::Crash(node) => {
+                    // A crash silences the node and purges its queue.
+                    self.network.touched.push(Touch::State(node));
+                    self.network.touched.push(Touch::Queue(node));
+                    self.network.crash_node(node);
+                }
             }
             self.poll_blocked_procs()?;
+            self.schedule.record_footprint(&self.network.touched);
         }
     }
 }
@@ -818,6 +865,71 @@ mod tests {
         assert_eq!(report.metrics.timers_set, 3);
         assert_eq!(report.metrics.timers_fired, 3);
         assert!(report.metrics.finish_time >= SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn explored_crash_candidate_silences_a_node() {
+        use crate::net::FaultBudget;
+        let cfg = SimConfig {
+            explore_faults: Some(FaultBudget::new().crash_of(NodeId(1))),
+            ..Default::default()
+        };
+        let mut k = Kernel::new(counter(2), 2, cfg);
+        k.spawn(NodeId(0), |ctx| {
+            ctx.request(Req::Incr);
+            ctx.request(Req::Get);
+        });
+        // Crash actions are appended last, so always picking the final
+        // candidate crashes n1 at the first opportunity.
+        struct PickLast;
+        impl Schedule for PickLast {
+            fn choose(&mut self, n: usize) -> usize {
+                n - 1
+            }
+        }
+        k.set_schedule(Box::new(PickLast));
+        let report = k.run().unwrap();
+        assert_eq!(report.protocol.copies[0], 1);
+        assert_eq!(report.protocol.copies[1], 0, "n1 crashed before the bump arrived");
+    }
+
+    #[test]
+    fn replay_schedule_records_action_identities_and_footprints() {
+        use crate::schedule::{ReplaySchedule, StepKind};
+        let mut k = Kernel::new(counter(2), 2, SimConfig::default());
+        let (sched, trace) = ReplaySchedule::new(Vec::new());
+        k.set_schedule(Box::new(sched));
+        k.spawn(NodeId(0), |ctx| {
+            ctx.request(Req::Incr);
+        });
+        k.spawn(NodeId(1), |ctx| {
+            ctx.request(Req::WaitFor(1));
+        });
+        k.run().unwrap();
+        let t = trace.lock().unwrap();
+        assert!(!t.steps.is_empty());
+        assert_eq!(t.steps.len(), t.choices.len());
+        for (i, s) in t.steps.iter().enumerate() {
+            match &s.kind {
+                StepKind::Sched { candidates } => {
+                    assert_eq!(candidates.len() as u32, t.arities[i]);
+                    assert!(!s.footprint.is_empty(), "every step touches its primary node");
+                }
+                StepKind::Fault { .. } => panic!("no fault budget configured"),
+            }
+        }
+        // The Incr broadcast makes its send destination's queue part of
+        // the syscall step's footprint, next to the issuing node's state.
+        let incr = t
+            .steps
+            .iter()
+            .find(|s| {
+                matches!(&s.kind, StepKind::Sched { candidates }
+                    if candidates.contains(&ActionId::Syscall { proc: 0 }))
+            })
+            .expect("a step offering P0's syscall");
+        assert!(incr.footprint.contains(&Touch::State(NodeId(0))));
+        assert!(incr.footprint.contains(&Touch::Queue(NodeId(1))));
     }
 
     #[test]

@@ -36,6 +36,8 @@ mod time;
 
 pub use kernel::{Kernel, Poll, ProcCtx, ProcToken, Protocol, RunReport, SimError};
 pub use metrics::{FaultStats, KindStats, Metrics, ProcStats};
-pub use net::{Crash, FaultPlan, LatencyModel, NetCtx, NodeId, Partition, SimConfig};
-pub use schedule::{DecisionTrace, RandomSchedule, ReplaySchedule, Schedule};
+pub use net::{Crash, FaultBudget, FaultPlan, LatencyModel, NetCtx, NodeId, Partition, SimConfig};
+pub use schedule::{
+    ActionId, DecisionTrace, RandomSchedule, ReplaySchedule, Schedule, StepInfo, StepKind, Touch,
+};
 pub use time::SimTime;

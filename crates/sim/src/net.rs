@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::metrics::Metrics;
+use crate::schedule::{Schedule, Touch};
 use crate::time::SimTime;
 
 /// Identifier of a network node (a memory replica or a manager).
@@ -255,6 +256,60 @@ impl FaultPlan {
     }
 }
 
+/// A budget of *explored* faults, as opposed to the *sampled* faults of
+/// [`FaultPlan`].
+///
+/// Under a fault plan, whether a given message is dropped is a coin flip
+/// from the run's RNG — good for statistical testing, invisible to
+/// exhaustive exploration. Under a fault budget, each message send
+/// becomes a recorded *decision point* ([`Schedule::choose_fault`]):
+/// deliver, drop (while drops remain in the budget), or duplicate (while
+/// duplicates remain). Listed nodes may additionally crash at any
+/// scheduling point, permanently. Exploration then enumerates every
+/// combination of fault placements alongside every schedule, and any
+/// violation found is replayable from its decision trace alone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultBudget {
+    /// Maximum number of message drops per run.
+    pub max_drops: u32,
+    /// Maximum number of message duplications per run.
+    pub max_duplicates: u32,
+    /// Nodes that may crash (permanently) at any scheduling point.
+    pub crashes: Vec<NodeId>,
+}
+
+impl FaultBudget {
+    /// An empty budget (no faults explored).
+    pub fn new() -> Self {
+        FaultBudget::default()
+    }
+
+    /// Allows up to `n` message drops per run.
+    pub fn drops(mut self, n: u32) -> Self {
+        self.max_drops = n;
+        self
+    }
+
+    /// Allows up to `n` message duplications per run.
+    pub fn duplicates(mut self, n: u32) -> Self {
+        self.max_duplicates = n;
+        self
+    }
+
+    /// Allows `node` to crash permanently at any scheduling point.
+    pub fn crash_of(mut self, node: NodeId) -> Self {
+        if !self.crashes.contains(&node) {
+            self.crashes.push(node);
+        }
+        self
+    }
+
+    /// `true` if the budget admits no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.max_drops == 0 && self.max_duplicates == 0 && self.crashes.is_empty()
+    }
+}
+
 /// Simulation configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -268,6 +323,11 @@ pub struct SimConfig {
     /// preserves per-link FIFO delivery (the paper's assumption) *and*
     /// per-link bandwidth serialization.
     pub faults: FaultPlan,
+    /// Fault *exploration* budget: when set, each message send becomes a
+    /// schedule decision point (deliver / drop / duplicate) and the listed
+    /// nodes may crash at any step — see [`FaultBudget`]. Orthogonal to
+    /// the sampled `faults` plan; meant for exhaustive exploration.
+    pub explore_faults: Option<FaultBudget>,
     /// Abort the run after this many simulator events (runaway guard).
     pub max_events: u64,
 }
@@ -286,6 +346,7 @@ impl Default for SimConfig {
             latency: LatencyModel::default(),
             local_cost: SimTime::from_nanos(100),
             faults: FaultPlan::default(),
+            explore_faults: None,
             max_events: 100_000_000,
         }
     }
@@ -351,6 +412,17 @@ pub(crate) struct Network<M> {
     pub timers: BinaryHeap<Reverse<TimerEntry>>,
     pub next_timer_seq: u64,
     pub nnodes: usize,
+    /// Message drops spent from the [`FaultBudget`] this run.
+    pub drops_used: u32,
+    /// Message duplications spent from the [`FaultBudget`] this run.
+    pub dups_used: u32,
+    /// Nodes crashed by *explored* crash actions (permanent).
+    pub downed: Vec<NodeId>,
+    /// State and queue accesses since the last footprint flush: every
+    /// send destination and timer target of the currently executing step
+    /// (queue touches), plus whatever the kernel attributes to the step
+    /// itself.
+    pub touched: Vec<Touch>,
 }
 
 impl<M> Network<M> {
@@ -362,7 +434,32 @@ impl<M> Network<M> {
             timers: BinaryHeap::new(),
             next_timer_seq: 0,
             nnodes,
+            drops_used: 0,
+            dups_used: 0,
+            downed: Vec::new(),
+            touched: Vec::new(),
         }
+    }
+
+    /// `true` if `node` was taken down by an explored crash action.
+    pub fn is_downed(&self, node: NodeId) -> bool {
+        self.downed.contains(&node)
+    }
+
+    /// Executes an explored crash: `node` goes down permanently,
+    /// in-flight deliveries to it are wiped, and its pending timers are
+    /// cancelled (unlike [`FaultPlan::crash`] outages, explored crashes
+    /// are final, so a downed node's timers can never fire again — leaving
+    /// them queued would only manufacture unreachable decision points).
+    pub fn crash_node(&mut self, node: NodeId) {
+        if self.is_downed(node) {
+            return;
+        }
+        self.downed.push(node);
+        let queue = std::mem::take(&mut self.queue);
+        self.queue = queue.into_iter().filter(|Reverse(d)| d.to != node).collect();
+        let timers = std::mem::take(&mut self.timers);
+        self.timers = timers.into_iter().filter(|Reverse(t)| t.node != node).collect();
     }
 }
 
@@ -371,13 +468,25 @@ impl<M> Network<M> {
 /// Handed to every [`Protocol`](crate::Protocol) callback; sending is
 /// asynchronous (fire-and-forget), matching the paper's non-blocking
 /// update broadcasts.
-#[derive(Debug)]
 pub struct NetCtx<'a, M> {
     pub(crate) now: SimTime,
     pub(crate) net: &'a mut Network<M>,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) metrics: &'a mut Metrics,
     pub(crate) config: &'a SimConfig,
+    /// The run's schedule, consulted for explored fault decisions
+    /// (`None` when no exploration is in progress).
+    pub(crate) sched: Option<&'a mut dyn Schedule>,
+}
+
+impl<M: fmt::Debug> fmt::Debug for NetCtx<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetCtx")
+            .field("now", &self.now)
+            .field("net", &self.net)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<M> NetCtx<'_, M> {
@@ -409,6 +518,13 @@ impl<M> NetCtx<'_, M> {
     /// should treat stale expirations as no-ops.
     pub fn set_timer(&mut self, node: NodeId, delay: SimTime, token: u64) {
         assert!(node.index() < self.net.nnodes, "timer on unknown node {node}");
+        // Arming a timer only enqueues at `node`; it reads no replica
+        // state there, so it commutes with `node`'s local operations.
+        self.net.touched.push(Touch::Queue(node));
+        if self.net.is_downed(node) {
+            // An explored crash is permanent: the timer could never fire.
+            return;
+        }
         let seq = self.net.next_timer_seq;
         self.net.next_timer_seq += 1;
         self.metrics.timers_set += 1;
@@ -434,9 +550,16 @@ impl<M> NetCtx<'_, M> {
         assert!(to.index() < self.net.nnodes, "send to unknown node {to}");
         assert_ne!(from, to, "a node does not message itself");
         self.metrics.record_send(kind, bytes);
+        // The destination's *queue* joins the sending step's conflict
+        // footprint whether or not the message survives the fault
+        // gauntlet: the attempt already orders this step against other
+        // queue activity at `to` (deliveries, competing sends) — but a
+        // send reads none of `to`'s replica state, so it commutes with
+        // `to`'s purely local steps.
+        self.net.touched.push(Touch::Queue(to));
 
         let faults = &self.config.faults;
-        if faults.is_down(from, self.now) {
+        if faults.is_down(from, self.now) || self.net.is_downed(from) {
             // A crashed node's sends never reach the wire.
             self.metrics.faults.crash_dropped += 1;
             return;
@@ -471,7 +594,32 @@ impl<M> NetCtx<'_, M> {
             Some(_) => {}
         }
 
-        let duplicate = faults.duplicate > 0.0 && self.rng.gen_bool(faults.duplicate);
+        // Explored fault decision: with a budget and a schedule present,
+        // this send's fate is a recorded branch point. Option 0 is always
+        // "deliver"; drop and duplicate follow while their budgets last.
+        let mut explored_duplicate = false;
+        if let Some(budget) = &self.config.explore_faults {
+            if let Some(sched) = self.sched.as_deref_mut() {
+                let can_drop = self.net.drops_used < budget.max_drops;
+                let can_dup = self.net.dups_used < budget.max_duplicates;
+                let n = 1 + usize::from(can_drop) + usize::from(can_dup);
+                if n > 1 {
+                    let choice = sched.choose_fault(from, to, n);
+                    if can_drop && choice == 1 {
+                        self.net.drops_used += 1;
+                        self.metrics.faults.dropped += 1;
+                        return;
+                    }
+                    if choice == n - 1 && can_dup && choice > 0 {
+                        self.net.dups_used += 1;
+                        explored_duplicate = true;
+                    }
+                }
+            }
+        }
+
+        let duplicate =
+            explored_duplicate || (faults.duplicate > 0.0 && self.rng.gen_bool(faults.duplicate));
         self.deliver_or_wipe(from, to, at, msg.clone());
         if duplicate {
             // The duplicate trails the original by an independent latency
@@ -487,7 +635,10 @@ impl<M> NetCtx<'_, M> {
     /// Queues one delivery unless a crash wipes it in flight.
     fn deliver_or_wipe(&mut self, from: NodeId, to: NodeId, at: SimTime, msg: M) {
         let faults = &self.config.faults;
-        if faults.is_down(to, at) || faults.crashes_within(to, self.now, at) {
+        if self.net.is_downed(to)
+            || faults.is_down(to, at)
+            || faults.crashes_within(to, self.now, at)
+        {
             self.metrics.faults.crash_dropped += 1;
             return;
         }
@@ -527,6 +678,7 @@ mod tests {
             rng: &mut rng,
             metrics: &mut metrics,
             config: &config,
+            sched: None,
         };
         ctx.send(NodeId(0), NodeId(1), "test", 8, 42);
         assert_eq!(metrics.messages, 1);
@@ -546,6 +698,7 @@ mod tests {
             rng: &mut rng,
             metrics: &mut metrics,
             config: &config,
+            sched: None,
         };
         for i in 0..50u32 {
             ctx.send(NodeId(0), NodeId(1), "test", 0, i);
@@ -572,6 +725,7 @@ mod tests {
             rng: &mut rng,
             metrics: &mut metrics,
             config: &config,
+            sched: None,
         };
         for i in 0..50u32 {
             ctx.send(NodeId(0), NodeId(1), "test", 0, i);
@@ -594,6 +748,7 @@ mod tests {
             rng: &mut rng,
             metrics: &mut metrics,
             config: &config,
+            sched: None,
         };
         for i in 0..200u32 {
             ctx.send(NodeId(0), NodeId(1), "test", 0, i);
@@ -615,6 +770,7 @@ mod tests {
             rng: &mut rng,
             metrics: &mut metrics,
             config: &config,
+            sched: None,
         };
         ctx.send(NodeId(0), NodeId(1), "test", 0, 7);
         assert_eq!(metrics.messages, 1);
@@ -644,6 +800,7 @@ mod tests {
                 rng: &mut rng,
                 metrics: &mut metrics,
                 config: &config,
+                sched: None,
             };
             ctx.send(NodeId(0), NodeId(1), "test", 0, 1);
             ctx.send(NodeId(1), NodeId(0), "test", 0, 2);
@@ -659,6 +816,7 @@ mod tests {
             rng: &mut rng,
             metrics: &mut metrics,
             config: &config,
+            sched: None,
         };
         ctx.send(NodeId(0), NodeId(1), "test", 0, 4);
         assert_eq!(metrics.faults.partition_dropped, 2);
@@ -688,6 +846,7 @@ mod tests {
                 rng: &mut rng,
                 metrics: &mut metrics,
                 config: &cfg2,
+                sched: None,
             };
             ctx.send(NodeId(0), NodeId(1), "test", 0, 1);
         }
@@ -700,6 +859,7 @@ mod tests {
                 rng: &mut rng,
                 metrics: &mut metrics,
                 config: &config,
+                sched: None,
             };
             ctx.send(NodeId(0), NodeId(1), "test", 0, 2);
         }
@@ -712,6 +872,7 @@ mod tests {
                 rng: &mut rng,
                 metrics: &mut metrics,
                 config: &config,
+                sched: None,
             };
             ctx.send(NodeId(1), NodeId(0), "test", 0, 3);
         }
@@ -724,6 +885,7 @@ mod tests {
             rng: &mut rng,
             metrics: &mut metrics,
             config: &config,
+            sched: None,
         };
         ctx.send(NodeId(0), NodeId(1), "test", 0, 4);
         ctx.send(NodeId(1), NodeId(0), "test", 0, 5);
@@ -748,6 +910,7 @@ mod tests {
                 rng: &mut rng,
                 metrics: &mut metrics,
                 config: &config,
+                sched: None,
             };
             for i in 0..500u32 {
                 ctx.send(NodeId(0), NodeId(1), "test", 4, i);
@@ -767,6 +930,7 @@ mod tests {
             rng: &mut rng,
             metrics: &mut metrics,
             config: &config,
+            sched: None,
         };
         ctx.set_timer(NodeId(1), SimTime::from_micros(30), 7);
         ctx.set_timer(NodeId(0), SimTime::from_micros(10), 3);
@@ -787,6 +951,7 @@ mod tests {
             rng: &mut rng,
             metrics: &mut metrics,
             config: &config,
+            sched: None,
         };
         ctx.broadcast(NodeId(1), "update", 4, 9);
         assert_eq!(metrics.messages, 2);
@@ -804,8 +969,137 @@ mod tests {
             rng: &mut rng,
             metrics: &mut metrics,
             config: &config,
+            sched: None,
         };
         ctx.send(NodeId(0), NodeId(0), "test", 0, 0);
+    }
+
+    /// A schedule that returns a fixed fault choice at every fault
+    /// decision point (and 0 elsewhere).
+    struct FixedFault(usize);
+
+    impl Schedule for FixedFault {
+        fn choose(&mut self, _n: usize) -> usize {
+            0
+        }
+        fn choose_fault(&mut self, _from: NodeId, _to: NodeId, n: usize) -> usize {
+            self.0.min(n - 1)
+        }
+    }
+
+    #[test]
+    fn fault_budget_branches_drop_until_spent() {
+        let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
+        config.explore_faults = Some(FaultBudget::new().drops(2));
+        let mut sched = FixedFault(1); // always pick "drop" while allowed
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+            sched: Some(&mut sched),
+        };
+        for i in 0..5u32 {
+            ctx.send(NodeId(0), NodeId(1), "test", 0, i);
+        }
+        assert_eq!(metrics.faults.dropped, 2, "budget caps explored drops");
+        assert_eq!(net.queue.len(), 3, "remaining sends deliver normally");
+        assert_eq!(net.drops_used, 2);
+    }
+
+    #[test]
+    fn fault_budget_duplicate_option_spends_budget() {
+        let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
+        config.latency = LatencyModel::INSTANT;
+        config.explore_faults = Some(FaultBudget::new().duplicates(1));
+        let mut sched = FixedFault(1); // with only dup available: option 1
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+            sched: Some(&mut sched),
+        };
+        ctx.send(NodeId(0), NodeId(1), "test", 0, 7);
+        ctx.send(NodeId(0), NodeId(1), "test", 0, 8);
+        assert_eq!(metrics.faults.duplicated, 1);
+        assert_eq!(net.queue.len(), 3, "one original duplicated, one plain");
+        assert_eq!(net.dups_used, 1);
+    }
+
+    #[test]
+    fn fault_budget_without_schedule_delivers_everything() {
+        let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
+        config.explore_faults = Some(FaultBudget::new().drops(5).duplicates(5));
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+            sched: None,
+        };
+        for i in 0..4u32 {
+            ctx.send(NodeId(0), NodeId(1), "test", 0, i);
+        }
+        assert_eq!(net.queue.len(), 4);
+        assert_eq!(metrics.faults.dropped, 0);
+    }
+
+    #[test]
+    fn explored_crash_is_permanent_and_purges_state() {
+        let (mut net, mut rng, mut metrics, config) = ctx_parts();
+        {
+            let mut ctx = NetCtx {
+                now: SimTime::ZERO,
+                net: &mut net,
+                rng: &mut rng,
+                metrics: &mut metrics,
+                config: &config,
+                sched: None,
+            };
+            ctx.send(NodeId(0), NodeId(1), "test", 0, 1);
+            ctx.send(NodeId(0), NodeId(2), "test", 0, 2);
+            ctx.set_timer(NodeId(1), SimTime::from_micros(5), 9);
+            ctx.set_timer(NodeId(2), SimTime::from_micros(5), 9);
+        }
+        net.crash_node(NodeId(1));
+        assert!(net.is_downed(NodeId(1)));
+        assert_eq!(net.queue.len(), 1, "delivery to the downed node wiped");
+        assert_eq!(net.timers.len(), 1, "timer at the downed node cancelled");
+        // While down: no new I/O or timers involving the node.
+        let mut ctx = NetCtx {
+            now: SimTime::from_micros(1),
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+            sched: None,
+        };
+        ctx.send(NodeId(0), NodeId(1), "test", 0, 3);
+        ctx.send(NodeId(1), NodeId(0), "test", 0, 4);
+        ctx.set_timer(NodeId(1), SimTime::from_micros(5), 9);
+        assert_eq!(net.queue.len(), 1);
+        assert_eq!(net.timers.len(), 1);
+        assert_eq!(metrics.faults.crash_dropped, 2);
+    }
+
+    #[test]
+    fn sends_and_timers_record_touched_nodes() {
+        let (mut net, mut rng, mut metrics, config) = ctx_parts();
+        let mut ctx = NetCtx {
+            now: SimTime::ZERO,
+            net: &mut net,
+            rng: &mut rng,
+            metrics: &mut metrics,
+            config: &config,
+            sched: None,
+        };
+        ctx.send(NodeId(0), NodeId(2), "test", 0, 1);
+        ctx.set_timer(NodeId(1), SimTime::from_micros(5), 0);
+        assert_eq!(net.touched, vec![Touch::Queue(NodeId(2)), Touch::Queue(NodeId(1))]);
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! the entire nondeterminism of a run is this decision sequence — so
 //! enumerating decision traces enumerates schedules, which is what
 //! exhaustive exploration (`mixed_consistency::explore`) does.
+//!
+//! Beyond the bare chosen index, the kernel also reports *what* the
+//! candidates were ([`ActionId`]) and *which nodes* each executed step
+//! touched ([`Schedule::record_footprint`]). A recording schedule keeps
+//! this per-decision metadata in [`DecisionTrace::steps`], which is what
+//! dynamic partial-order reduction needs to compute the dependency
+//! relation between steps. Fault exploration adds a second kind of
+//! decision point ([`Schedule::choose_fault`]): whether an individual
+//! message send is delivered, dropped, or duplicated.
 
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -13,10 +22,154 @@ use std::sync::{Arc, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::net::NodeId;
+
+/// The identity of one schedulable kernel action.
+///
+/// Identities are stable under deterministic replay: the same decision
+/// prefix always reproduces the same candidate sets, because delivery and
+/// timer sequence numbers are assigned deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ActionId {
+    /// Resume process `proc`'s pending syscall.
+    Syscall {
+        /// The process token index.
+        proc: u32,
+    },
+    /// Deliver the earliest queued message.
+    Deliver {
+        /// Sender node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// The delivery's global sequence number.
+        seq: u64,
+    },
+    /// Fire the earliest pending protocol timer.
+    Timer {
+        /// The node the timer belongs to.
+        node: NodeId,
+        /// The timer's global sequence number.
+        seq: u64,
+    },
+    /// Crash `node` permanently (offered only under fault exploration,
+    /// see [`crate::FaultBudget::crash_of`]).
+    Crash {
+        /// The crashing node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionId::Syscall { proc } => write!(f, "syscall(P{proc})"),
+            ActionId::Deliver { from, to, seq } => write!(f, "deliver({from}->{to}#{seq})"),
+            ActionId::Timer { node, seq } => write!(f, "timer({node}#{seq})"),
+            ActionId::Crash { node } => write!(f, "crash({node})"),
+        }
+    }
+}
+
+/// One element of a step's conflict footprint: which *part* of a node
+/// the step accessed.
+///
+/// The split matters for the precision of partial-order reduction. A
+/// message send only **enqueues** at the destination — it reads and
+/// writes nothing of the destination's replica state — so a send and a
+/// remote node's local read commute. Delivering, by contrast, dequeues
+/// *and* mutates the replica. Keeping queue access apart from state
+/// access lets the dependency relation see that distinction: two steps
+/// are dependent iff their footprints share an element, and
+/// `Queue(n)` ≠ `State(n)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Touch {
+    /// The step read or wrote node-local replica state (memory copies,
+    /// protocol tables, a blocked process's resumption condition).
+    State(NodeId),
+    /// The step enqueued into or dequeued from the node's delivery or
+    /// timer queue.
+    Queue(NodeId),
+}
+
+impl Touch {
+    /// The node this touch concerns, ignoring which part.
+    pub fn node(self) -> NodeId {
+        match self {
+            Touch::State(n) | Touch::Queue(n) => n,
+        }
+    }
+}
+
+impl fmt::Display for Touch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Touch::State(n) => write!(f, "state({n})"),
+            Touch::Queue(n) => write!(f, "queue({n})"),
+        }
+    }
+}
+
+/// What a recorded decision point was about.
+#[derive(Clone, Debug)]
+pub enum StepKind {
+    /// A scheduling decision among same-time candidates.
+    Sched {
+        /// The candidate actions, in the kernel's canonical order.
+        candidates: Vec<ActionId>,
+    },
+    /// A fault decision for one message send (option 0 always means
+    /// "deliver normally"; further options are drop and duplicate, in
+    /// that order, subject to the remaining [`crate::FaultBudget`]).
+    Fault {
+        /// Sender node of the message being decided.
+        from: NodeId,
+        /// Destination node of the message being decided.
+        to: NodeId,
+    },
+}
+
+/// Metadata recorded for one decision point of a run.
+#[derive(Clone, Debug)]
+pub struct StepInfo {
+    /// What the decision was about.
+    pub kind: StepKind,
+    /// The node state and queue accesses of the step executed at this
+    /// decision point (filled in for scheduling steps once the step
+    /// completes; empty for fault steps). This is the step's conflict
+    /// footprint: two steps with disjoint footprints commute.
+    pub footprint: Vec<Touch>,
+}
+
 /// A source of scheduling decisions.
 pub trait Schedule: Send {
     /// Picks one of `n ≥ 1` runnable candidates (returns an index `< n`).
     fn choose(&mut self, n: usize) -> usize;
+
+    /// Picks among *described* candidates. The default forwards to
+    /// [`Schedule::choose`] with the candidate count, so plain schedules
+    /// behave exactly as before; recording schedules override this to
+    /// remember the candidate identities.
+    fn choose_action(&mut self, candidates: &[ActionId]) -> usize {
+        self.choose(candidates.len())
+    }
+
+    /// Picks a fault option for one message send under fault exploration
+    /// (`n ≥ 2`; option 0 = deliver). Only called when
+    /// [`crate::SimConfig::explore_faults`] is set. The default delivers,
+    /// so random testing is unaffected by an accidental budget.
+    fn choose_fault(&mut self, from: NodeId, to: NodeId, n: usize) -> usize {
+        let _ = (from, to, n);
+        0
+    }
+
+    /// Reports the conflict footprint of the scheduling step that just
+    /// executed (its primary node's state and/or queue plus every send
+    /// destination's queue, timer target's queue, and resumed process's
+    /// state). Default: ignored.
+    fn record_footprint(&mut self, touched: &[Touch]) {
+        let _ = touched;
+    }
 }
 
 /// The default schedule: uniform seeded choices.
@@ -42,13 +195,17 @@ impl Schedule for RandomSchedule {
 }
 
 /// The recorded decisions of one run: the chosen index and the number of
-/// candidates (arity) at every decision point.
+/// candidates (arity) at every decision point, plus per-decision
+/// metadata ([`StepInfo`]) when recorded through a [`ReplaySchedule`].
 #[derive(Clone, Debug, Default)]
 pub struct DecisionTrace {
     /// Chosen candidate per decision point.
     pub choices: Vec<u32>,
     /// Number of candidates per decision point.
     pub arities: Vec<u32>,
+    /// Candidate identities and executed footprints per decision point
+    /// (empty when the producing schedule does not record them).
+    pub steps: Vec<StepInfo>,
 }
 
 impl DecisionTrace {
@@ -61,10 +218,27 @@ impl DecisionTrace {
 /// A schedule that replays a decision prefix, then picks the first
 /// candidate, recording everything — the building block of depth-first
 /// schedule enumeration.
+///
+/// With [`ReplaySchedule::with_sleep`], the blind tail beyond the
+/// prefix instead picks the first candidate *not* in an online sleep
+/// set — the set of actions already explored from an equivalent state,
+/// maintained from the caller-provided per-position additions and the
+/// executed footprints. This lets a partial-order-reducing explorer
+/// avoid running schedules it would only discard as redundant.
 pub struct ReplaySchedule {
     prefix: Vec<u32>,
     pos: usize,
+    last_sched: Option<usize>,
     trace: Arc<Mutex<DecisionTrace>>,
+    /// Per-decision-position sleep additions: actions (with their
+    /// observed footprints) fully explored from the state at that
+    /// position, joining the sleep set once the position's step runs.
+    plan: Vec<Vec<(ActionId, Vec<Touch>)>>,
+    /// The online sleep set, filtered against each executed footprint.
+    sleep: Vec<(ActionId, Vec<Touch>)>,
+    /// Additions staged by the current step, applied at footprint time.
+    pending: Vec<(ActionId, Vec<Touch>)>,
+    steer: bool,
 }
 
 impl fmt::Debug for ReplaySchedule {
@@ -81,12 +255,50 @@ impl ReplaySchedule {
     /// the returned handle after the run.
     pub fn new(prefix: Vec<u32>) -> (Self, Arc<Mutex<DecisionTrace>>) {
         let trace = Arc::new(Mutex::new(DecisionTrace::default()));
-        (ReplaySchedule { prefix, pos: 0, trace: trace.clone() }, trace)
+        (
+            ReplaySchedule {
+                prefix,
+                pos: 0,
+                last_sched: None,
+                trace: trace.clone(),
+                plan: Vec::new(),
+                sleep: Vec::new(),
+                pending: Vec::new(),
+                steer: false,
+            },
+            trace,
+        )
     }
-}
 
-impl Schedule for ReplaySchedule {
-    fn choose(&mut self, n: usize) -> usize {
+    /// Creates a sleep-steered replay schedule. `plan[i]` lists the
+    /// actions (with footprints) already fully explored from the state
+    /// reached at decision position `i`; they enter the sleep set when
+    /// that position's step executes, and each entry leaves the set as
+    /// soon as an executed footprint intersects it. Beyond the prefix,
+    /// the first candidate *not* asleep is chosen — picking an asleep
+    /// action would replay a schedule equivalent to one already run.
+    pub fn with_sleep(
+        prefix: Vec<u32>,
+        plan: Vec<Vec<(ActionId, Vec<Touch>)>>,
+    ) -> (Self, Arc<Mutex<DecisionTrace>>) {
+        let trace = Arc::new(Mutex::new(DecisionTrace::default()));
+        (
+            ReplaySchedule {
+                prefix,
+                pos: 0,
+                last_sched: None,
+                trace: trace.clone(),
+                plan,
+                sleep: Vec::new(),
+                pending: Vec::new(),
+                steer: true,
+            },
+            trace,
+        )
+    }
+
+    /// The next choice: replay the prefix, then pick the first candidate.
+    fn next(&mut self, n: usize) -> usize {
         debug_assert!(n >= 1);
         let choice = if self.pos < self.prefix.len() {
             // Replaying: the program is deterministic, so the arity at a
@@ -97,10 +309,72 @@ impl Schedule for ReplaySchedule {
             0
         };
         self.pos += 1;
+        choice
+    }
+
+    fn record(&mut self, choice: usize, n: usize, kind: StepKind) {
         let mut t = self.trace.lock().expect("trace lock");
         t.choices.push(choice as u32);
         t.arities.push(n as u32);
+        t.steps.push(StepInfo { kind, footprint: Vec::new() });
+    }
+}
+
+impl Schedule for ReplaySchedule {
+    fn choose(&mut self, n: usize) -> usize {
+        let choice = self.next(n);
+        self.last_sched = Some(self.pos - 1);
+        self.record(choice, n, StepKind::Sched { candidates: Vec::new() });
         choice
+    }
+
+    fn choose_action(&mut self, candidates: &[ActionId]) -> usize {
+        let p = self.pos;
+        let choice = if self.steer && p >= self.prefix.len() {
+            self.pos += 1;
+            // Steer around the sleep set: picking an asleep candidate
+            // would only rediscover an already-explored equivalence
+            // class. When every candidate is asleep the state is fully
+            // covered; pick 0 and let the explorer prune the run.
+            (0..candidates.len())
+                .find(|&c| !self.sleep.iter().any(|(a, _)| *a == candidates[c]))
+                .unwrap_or(0)
+        } else {
+            self.next(candidates.len())
+        };
+        if self.steer {
+            self.pending = self.plan.get(p).cloned().unwrap_or_default();
+        }
+        self.last_sched = Some(p);
+        self.record(choice, candidates.len(), StepKind::Sched { candidates: candidates.to_vec() });
+        choice
+    }
+
+    fn choose_fault(&mut self, from: NodeId, to: NodeId, n: usize) -> usize {
+        let choice = self.next(n);
+        self.record(choice, n, StepKind::Fault { from, to });
+        choice
+    }
+
+    fn record_footprint(&mut self, touched: &[Touch]) {
+        let Some(i) = self.last_sched else { return };
+        {
+            let mut t = self.trace.lock().expect("trace lock");
+            let fp = &mut t.steps[i].footprint;
+            for &n in touched {
+                if !fp.contains(&n) {
+                    fp.push(n);
+                }
+            }
+        }
+        if self.steer {
+            // Sleep-set transition: actions proven-explored at this
+            // state stay asleep below it unless the executed step's
+            // footprint intersects theirs (a dependent step wakes them).
+            let staged = std::mem::take(&mut self.pending);
+            self.sleep.extend(staged);
+            self.sleep.retain(|(_, f)| f.iter().all(|x| !touched.contains(x)));
+        }
     }
 }
 
@@ -128,6 +402,7 @@ mod tests {
         let t = trace.lock().unwrap();
         assert_eq!(t.choices, vec![1, 2, 0]);
         assert_eq!(t.arities, vec![3, 4, 5]);
+        assert_eq!(t.steps.len(), 3);
     }
 
     #[test]
@@ -138,12 +413,61 @@ mod tests {
 
     #[test]
     fn branch_point_detection() {
-        let t = DecisionTrace { choices: vec![0, 1, 0], arities: vec![2, 2, 1] };
+        let t =
+            DecisionTrace { choices: vec![0, 1, 0], arities: vec![2, 2, 1], ..Default::default() };
         // Position 2 has arity 1 (no sibling); position 1 chose 1 of 2 (no
         // sibling left); position 0 chose 0 of 2 — has a sibling.
         assert_eq!(t.last_branch_point(), Some(0));
-        let done = DecisionTrace { choices: vec![1, 1], arities: vec![2, 2] };
+        let done = DecisionTrace { choices: vec![1, 1], arities: vec![2, 2], ..Default::default() };
         assert_eq!(done.last_branch_point(), None);
         assert_eq!(DecisionTrace::default().last_branch_point(), None);
+    }
+
+    #[test]
+    fn action_identities_and_footprints_are_recorded() {
+        let (mut s, trace) = ReplaySchedule::new(vec![1]);
+        let cands = [
+            ActionId::Syscall { proc: 0 },
+            ActionId::Deliver { from: NodeId(0), to: NodeId(1), seq: 3 },
+        ];
+        assert_eq!(s.choose_action(&cands), 1);
+        s.record_footprint(&[
+            Touch::State(NodeId(1)),
+            Touch::Queue(NodeId(2)),
+            Touch::State(NodeId(1)),
+        ]);
+        // A fault decision interleaves without disturbing the footprint
+        // attribution (it attaches to the last *scheduling* step).
+        assert_eq!(s.choose_fault(NodeId(0), NodeId(1), 2), 0);
+        s.record_footprint(&[Touch::State(NodeId(0))]);
+        let t = trace.lock().unwrap();
+        assert_eq!(t.choices, vec![1, 0]);
+        match &t.steps[0].kind {
+            StepKind::Sched { candidates } => assert_eq!(candidates.as_slice(), &cands),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(t.steps[1].kind, StepKind::Fault { .. }));
+        assert_eq!(
+            t.steps[0].footprint,
+            vec![Touch::State(NodeId(1)), Touch::Queue(NodeId(2)), Touch::State(NodeId(0))]
+        );
+        assert!(t.steps[1].footprint.is_empty());
+    }
+
+    #[test]
+    fn fault_choices_default_to_deliver() {
+        let mut s = RandomSchedule::new(1);
+        assert_eq!(s.choose_fault(NodeId(0), NodeId(1), 3), 0);
+    }
+
+    #[test]
+    fn action_id_display() {
+        assert_eq!(ActionId::Syscall { proc: 2 }.to_string(), "syscall(P2)");
+        assert_eq!(
+            ActionId::Deliver { from: NodeId(0), to: NodeId(1), seq: 5 }.to_string(),
+            "deliver(n0->n1#5)"
+        );
+        assert_eq!(ActionId::Timer { node: NodeId(3), seq: 1 }.to_string(), "timer(n3#1)");
+        assert_eq!(ActionId::Crash { node: NodeId(2) }.to_string(), "crash(n2)");
     }
 }
