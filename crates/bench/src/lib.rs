@@ -82,6 +82,107 @@ impl Table {
     }
 }
 
+/// Metric columns whose values are wall-clock measurements and therefore
+/// hardware-dependent: a baseline diff compares them with a tolerance
+/// band instead of exactly. Every other column is deterministic (fixed
+/// seeds, virtual time) and must match a committed baseline byte-for-byte.
+pub const WALL_COLS: &[&str] = &["check wall time", "ops/s", "dpor scheds/s", "naive scheds/s"];
+
+/// True when `col` holds a wall-clock (nondeterministic) measurement.
+pub fn is_wall_col(col: &str) -> bool {
+    WALL_COLS.contains(&col)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full machine-readable report: experiment id → titled row
+/// list, each row split into `counters` (deterministic, diffed exactly)
+/// and `wall` (wall-clock, diffed with a tolerance band). Every scalar is
+/// a string and every metric sits on its own line, so two reports can be
+/// compared line-by-line without a JSON parser (`bench_diff` does exactly
+/// that; the `date` line is exempt).
+pub fn report_json(date: &str, tables: &[Table]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"mc-bench/1\",");
+    let _ = writeln!(s, "  \"date\": \"{}\",", json_escape(date));
+    let _ =
+        writeln!(s, "  \"command\": \"cargo run -p mc-bench --bin report --release -- --json\",");
+    s.push_str("  \"experiments\": {\n");
+    for (ti, t) in tables.iter().enumerate() {
+        let _ = writeln!(s, "    \"{}\": {{", json_escape(t.id));
+        let _ = writeln!(s, "      \"title\": \"{}\",", json_escape(t.title));
+        let _ = writeln!(s, "      \"paper\": \"{}\",", json_escape(t.paper_ref));
+        s.push_str("      \"rows\": [\n");
+        for (ri, r) in t.rows.iter().enumerate() {
+            let key: Vec<String> = r.keys.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            s.push_str("        {\n");
+            let _ = writeln!(s, "          \"key\": \"{}\",", json_escape(&key.join(" ")));
+            for (section, wall) in [("counters", false), ("wall", true)] {
+                let cols: Vec<&(&'static str, String)> =
+                    r.vals.iter().filter(|(k, _)| is_wall_col(k) == wall).collect();
+                let trail = if wall { "" } else { "," };
+                if cols.is_empty() {
+                    let _ = writeln!(s, "          \"{section}\": {{}}{trail}");
+                    continue;
+                }
+                let _ = writeln!(s, "          \"{section}\": {{");
+                for (ci, (k, v)) in cols.iter().enumerate() {
+                    let comma = if ci + 1 < cols.len() { "," } else { "" };
+                    let _ = writeln!(
+                        s,
+                        "            \"{}\": \"{}\"{comma}",
+                        json_escape(k),
+                        json_escape(v)
+                    );
+                }
+                let _ = writeln!(s, "          }}{trail}");
+            }
+            let comma = if ri + 1 < t.rows.len() { "," } else { "" };
+            let _ = writeln!(s, "        }}{comma}");
+        }
+        s.push_str("      ]\n");
+        let comma = if ti + 1 < tables.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Formats `secs` seconds since the Unix epoch as a UTC `YYYY-MM-DD`
+/// date (Howard Hinnant's `civil_from_days` algorithm — no external
+/// date crate needed).
+pub fn utc_date(secs: u64) -> String {
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 /// Formats the standard metric columns from a [`Metrics`].
 pub fn metric_cols(m: &Metrics) -> Vec<(&'static str, String)> {
     vec![
@@ -128,5 +229,70 @@ mod tests {
     fn speedup_formatting() {
         assert_eq!(speedup(SimTime::from_nanos(200), SimTime::from_nanos(100)), "2.00×");
         assert_eq!(speedup(SimTime::from_nanos(1), SimTime::ZERO), "∞");
+    }
+
+    #[test]
+    fn utc_date_handles_epoch_and_leap_years() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(86_399), "1970-01-01");
+        assert_eq!(utc_date(86_400), "1970-01-02");
+        // 2000-02-29 00:00:00 UTC — a century leap day.
+        assert_eq!(utc_date(951_782_400), "2000-02-29");
+    }
+
+    #[test]
+    fn report_json_splits_counters_from_wall_and_is_line_oriented() {
+        let t = Table {
+            id: "E4",
+            title: "demo \"quoted\"",
+            paper_ref: "none",
+            rows: vec![Row::new(
+                vec![("n", "4".into()), ("mode", "mixed".into())],
+                vec![
+                    ("messages", "3".into()),
+                    ("check wall time", "1.5ms".into()),
+                    ("ops/s", "1200".into()),
+                ],
+            )],
+        };
+        let json = report_json("2026-08-05", &[t]);
+        assert!(json.contains("\"key\": \"n=4 mode=mixed\""));
+        assert!(json.contains("\"date\": \"2026-08-05\""));
+        assert!(json.contains("\"title\": \"demo \\\"quoted\\\"\""));
+        // Every metric sits alone on its own line.
+        assert!(json
+            .lines()
+            .any(|l| l.trim() == "\"messages\": \"3\"," || l.trim() == "\"messages\": \"3\""));
+        // The wall-clock columns land in the wall section, after counters.
+        let counters = json.find("\"counters\"").unwrap();
+        let wall = json.find("\"wall\"").unwrap();
+        let msgs = json.find("\"messages\"").unwrap();
+        let wt = json.find("\"check wall time\"").unwrap();
+        assert!(counters < msgs && msgs < wall && wall < wt);
+        assert!(json.find("\"ops/s\"").unwrap() > wall);
+        // Deterministic: same input, same bytes.
+        let t2 = Table {
+            id: "E4",
+            title: "demo \"quoted\"",
+            paper_ref: "none",
+            rows: vec![Row::new(
+                vec![("n", "4".into()), ("mode", "mixed".into())],
+                vec![
+                    ("messages", "3".into()),
+                    ("check wall time", "1.5ms".into()),
+                    ("ops/s", "1200".into()),
+                ],
+            )],
+        };
+        assert_eq!(json, report_json("2026-08-05", &[t2]));
+    }
+
+    #[test]
+    fn wall_cols_cover_every_nondeterministic_column() {
+        for c in ["check wall time", "ops/s", "dpor scheds/s", "naive scheds/s"] {
+            assert!(is_wall_col(c));
+        }
+        assert!(!is_wall_col("messages"));
+        assert!(!is_wall_col("virtual time"));
     }
 }

@@ -79,6 +79,7 @@ pub use mc_model::{
 };
 pub use mc_proto::{DsmConfig, LockPropagation, Mode, SessionConfig};
 pub use mc_sim::{
-    ActionId, Crash, DecisionTrace, FaultBudget, FaultPlan, FaultStats, LatencyModel, Metrics,
-    NodeId, Partition, SimConfig, SimError, SimTime, StepInfo, StepKind, Touch,
+    ActionId, Crash, DecisionTrace, FaultBudget, FaultPlan, FaultStats, Histogram, LatencyModel,
+    Metrics, NodeId, Partition, SimConfig, SimError, SimTime, StepInfo, StepKind, Touch,
+    TraceEvent, Tracer,
 };

@@ -47,6 +47,10 @@ pub struct Outcome {
     pub metrics: Metrics,
     /// The recorded history, when recording was enabled.
     pub history: Option<History>,
+    /// The structured event trace, when [`System::trace`] was enabled:
+    /// message/syscall/stall spans and timer/fault instants keyed by
+    /// virtual time, exportable as JSONL or a Chrome/Perfetto trace.
+    pub trace: Option<mc_sim::Tracer>,
     dsm: Dsm,
 }
 
@@ -149,6 +153,7 @@ pub struct System {
     dsm_cfg: DsmConfig,
     sim_cfg: SimConfig,
     record: bool,
+    trace: bool,
     schedule: Option<Box<dyn mc_sim::Schedule>>,
     #[allow(clippy::type_complexity)]
     procs: Vec<Box<dyn FnOnce(&mut Ctx<'_>) + Send + 'static>>,
@@ -171,6 +176,7 @@ impl System {
             dsm_cfg: DsmConfig::new(nprocs, mode),
             sim_cfg: SimConfig::default(),
             record: false,
+            trace: false,
             schedule: None,
             procs: Vec::new(),
         }
@@ -219,6 +225,20 @@ impl System {
     /// Enables or disables history recording (default: off).
     pub fn record(mut self, record: bool) -> Self {
         self.record = record;
+        self
+    }
+
+    /// Enables or disables structured tracing (default: off).
+    ///
+    /// A traced run collects a [`mc_sim::Tracer`] in
+    /// [`Outcome::trace`]: a span per message (tagged with the vector
+    /// timestamp it carries), a span per syscall and per stall, and
+    /// instants for timers and injected faults — all keyed by virtual
+    /// time, so traces are deterministic per seed. Export with
+    /// [`mc_sim::Tracer::to_jsonl`] or
+    /// [`mc_sim::Tracer::to_chrome_trace`] (loads in Perfetto).
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -285,7 +305,7 @@ impl System {
     ///
     /// Panics if more processes were spawned than `nprocs`.
     pub fn run(self) -> Result<Outcome, RunError> {
-        let System { dsm_cfg, sim_cfg, record, procs, schedule } = self;
+        let System { dsm_cfg, sim_cfg, record, trace, procs, schedule } = self;
         // Strict: barriers wait for every configured process, so a
         // mismatch would deadlock at runtime with a far less helpful
         // diagnostic than this.
@@ -301,6 +321,9 @@ impl System {
 
         let nnodes = dsm_cfg.nnodes();
         let mut kernel = Kernel::new(Dsm::new(dsm_cfg), nnodes, sim_cfg);
+        if trace {
+            kernel.enable_tracing();
+        }
         if let Some(s) = schedule {
             kernel.set_schedule(s);
         }
@@ -322,7 +345,7 @@ impl System {
                 Some(builder.build().map_err(RunError::Malformed)?)
             }
         };
-        Ok(Outcome { metrics: report.metrics, history, dsm: report.protocol })
+        Ok(Outcome { metrics: report.metrics, history, trace: report.trace, dsm: report.protocol })
     }
 }
 

@@ -17,6 +17,7 @@ use mc_proto::{
     DsmConfig, GrantInfo, LockPropagation, Manager, Mode, Msg, Replica, Session, SessionConfig,
     UpdatePayload,
 };
+use mc_sim::{SimTime, TraceEvent, Tracer};
 
 /// What travels on a channel: a protocol message (tagged with the sending
 /// node, which the session layer needs to identify the link) or the
@@ -58,9 +59,40 @@ struct Net {
     /// already shutting down — asserted zero at teardown).
     closed_dropped: Arc<AtomicU64>,
     shutting_down: Arc<AtomicBool>,
+    /// Shared structured-event tracer, when enabled. Live events are keyed
+    /// by wall-clock time since `epoch`, reusing the simulator's trace
+    /// format (so the same Perfetto/JSONL exporters apply).
+    tracer: Option<Arc<Mutex<Tracer>>>,
+    epoch: Instant,
 }
 
 impl Net {
+    /// Records an instant event on the shared tracer (no-op when tracing
+    /// is off), stamped with the wall-clock offset from the run start.
+    fn trace_instant(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) {
+        let Some(tracer) = &self.tracer else { return };
+        let t = SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64);
+        tracer.lock().expect("tracer healthy").record(TraceEvent {
+            t,
+            dur: None,
+            cat,
+            name: name.to_string(),
+            track: to as u32,
+            args: vec![
+                ("from", from.to_string()),
+                ("to", to.to_string()),
+                ("bytes", bytes.to_string()),
+            ],
+        });
+    }
+
     fn send(&self, from: NodeId, to: NodeId, msg: Msg) {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(msg.wire_bytes(), Ordering::Relaxed);
@@ -69,9 +101,17 @@ impl Net {
             let r = splitmix64(self.seed ^ n) as f64 / u64::MAX as f64;
             if r < self.loss {
                 self.lost.fetch_add(1, Ordering::Relaxed);
+                self.trace_instant("fault", "drop", from, to, msg.wire_bytes());
                 return;
             }
         }
+        // Name session-wrapped payloads by what they carry: "update" is
+        // a more useful track label than "sess_data".
+        let kind = match &msg {
+            Msg::SessData { inner, .. } => inner.kind(),
+            m => m.kind(),
+        };
+        self.trace_instant("msg", kind, from, to, msg.wire_bytes());
         if self.senders[to].send(Wire::Proto { from, msg }).is_err()
             && !self.shutting_down.load(Ordering::SeqCst)
         {
@@ -186,6 +226,10 @@ pub struct LiveOutcome {
     pub dropped_sends: u64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
+    /// Structured event trace when [`LiveSystem::trace`] was enabled,
+    /// keyed by wall-clock time since the run started. Exportable as
+    /// JSONL or a Chrome/Perfetto trace, like the simulator's.
+    pub trace: Option<Tracer>,
     replicas: Vec<Replica>,
     server: Manager,
     mode: Mode,
@@ -209,6 +253,7 @@ impl LiveOutcome {
 pub struct LiveSystem {
     cfg: DsmConfig,
     record: bool,
+    trace: bool,
     timeout: Duration,
     loss: f64,
     seed: u64,
@@ -231,6 +276,7 @@ impl LiveSystem {
         LiveSystem {
             cfg: DsmConfig::new(nprocs, mode),
             record: false,
+            trace: false,
             timeout: Duration::from_secs(10),
             loss: 0.0,
             seed: 0,
@@ -272,6 +318,15 @@ impl LiveSystem {
     /// Enables history recording.
     pub fn record(mut self, record: bool) -> Self {
         self.record = record;
+        self
+    }
+
+    /// Enables structured event tracing: every message send (and lossy
+    /// drop) is recorded on a shared tracer, keyed by wall-clock time
+    /// since the run started, and returned on
+    /// [`LiveOutcome::trace`].
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -345,6 +400,8 @@ impl LiveSystem {
             lost: Arc::new(AtomicU64::new(0)),
             closed_dropped: Arc::new(AtomicU64::new(0)),
             shutting_down: Arc::new(AtomicBool::new(false)),
+            tracer: self.trace.then(|| Arc::new(Mutex::new(Tracer::new()))),
+            epoch: start,
         };
         let recorder = self.record.then(|| Arc::new(Mutex::new(HistoryBuilder::new(cfg.nprocs))));
 
@@ -478,6 +535,7 @@ impl LiveSystem {
             dropped_sends, 0,
             "messages were silently lost on closed inboxes before shutdown"
         );
+        let trace = net.tracer.as_ref().map(|tr| tr.lock().expect("tracer healthy").clone());
         Ok(LiveOutcome {
             history,
             messages: net.messages.load(Ordering::Relaxed),
@@ -485,6 +543,7 @@ impl LiveSystem {
             lost: net.lost.load(Ordering::Relaxed),
             dropped_sends,
             wall: start.elapsed(),
+            trace,
             replicas,
             server: managers.remove(0),
             mode: cfg.mode,

@@ -290,3 +290,39 @@ fn histories_from_many_races_all_check() {
         });
     }
 }
+
+#[test]
+fn live_tracing_records_message_events() {
+    let mut sys = LiveSystem::new(2, Mode::Causal).trace(true).reliable(true);
+    sys.spawn(|ctx| {
+        ctx.write(Loc(0), 7);
+        ctx.write(Loc(1), 1);
+    });
+    sys.spawn(|ctx| {
+        ctx.await_eq(Loc(1), Value::Int(1));
+        assert_eq!(ctx.read_causal(Loc(0)), Value::Int(7));
+    });
+    let outcome = sys.run().unwrap();
+    let trace = outcome.trace.expect("tracing enabled");
+    assert!(!trace.is_empty());
+    // Every event is a message (or a lossy drop, impossible here), on a
+    // wall-clock timeline that only moves forward within the run.
+    let mut update_events = 0;
+    for ev in trace.events() {
+        assert!(matches!(ev.cat, "msg" | "fault"), "unexpected category {}", ev.cat);
+        if ev.name == "update" {
+            update_events += 1;
+        }
+    }
+    assert!(update_events > 0, "the causal writes must broadcast updates");
+    // The exporters accept the live trace unchanged.
+    assert!(trace.to_jsonl().contains("\"cat\": \"msg\""));
+    assert!(trace.to_chrome_trace().contains("\"traceEvents\""));
+
+    // Off by default: no tracer, no trace.
+    let mut quiet = LiveSystem::new(1, Mode::Causal);
+    quiet.spawn(|ctx| {
+        ctx.write(Loc(0), 1);
+    });
+    assert!(quiet.run().unwrap().trace.is_none());
+}

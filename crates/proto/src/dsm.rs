@@ -199,7 +199,19 @@ impl Dsm {
     /// enabled. Sessioned payloads keep their *inner* kind in the metrics
     /// (the 8-byte header shows up in the byte counters); retransmissions
     /// and acks are labeled `retransmit` / `session_ack`.
+    ///
+    /// With tracing on, an update's vector timestamp is attached to the
+    /// message span the network just recorded — the same clocks that
+    /// order causal delivery double as trace metadata.
     fn send(&mut self, net: &mut NetCtx<'_, Msg>, from: NodeId, to: NodeId, msg: Msg) {
+        let vclock = if net.tracing() {
+            match &msg {
+                Msg::Update { deps: Some(deps), .. } => Some(deps.to_string()),
+                _ => None,
+            }
+        } else {
+            None
+        };
         match &mut self.session {
             None => {
                 let (kind, bytes) = (msg.kind(), msg.wire_bytes());
@@ -216,6 +228,9 @@ impl Dsm {
                 }
                 net.send(from, to, kind, wrapped.wire_bytes(), wrapped);
             }
+        }
+        if let Some(v) = vclock {
+            net.trace_annotate("vclock", v);
         }
     }
 
@@ -449,17 +464,24 @@ impl Protocol for Dsm {
         let (from, to) = session::token_link(token);
         debug_assert_eq!(from, node, "timer fires at the sending node");
         let tx = s.sender(from, to);
+        // The interval this expiry actually waited is the rto the timer
+        // was armed with — sample it *before* `on_timeout` doubles it.
+        let waited = tx.rto();
         let rexmit = tx.on_timeout(&cfg);
         if rexmit.is_empty() {
             // Everything acked since the timer was armed: let it lapse.
             tx.timer_armed = false;
             return;
         }
+        net.record_rto(waited);
         let rto = tx.rto();
         net.set_timer(node, rto, token);
         for (seq, inner) in rexmit {
             let m = Msg::SessData { seq, inner: Box::new(inner) };
             net.send(from, to, "retransmit", m.wire_bytes(), m);
+            if net.tracing() {
+                net.trace_annotate("seq", seq.to_string());
+            }
         }
     }
 }

@@ -64,6 +64,9 @@ pub fn token_link(token: u64) -> (NodeId, NodeId) {
 pub struct LinkSender {
     next_seq: u64,
     unacked: BTreeMap<u64, Msg>,
+    /// Highest cumulative acknowledgement seen (the watermark deciding
+    /// whether an ack is new information).
+    acked_upto: u64,
     rto: SimTime,
     /// Whether a retransmission timer is currently scheduled for this
     /// link. Maintained by the glue: timers cannot be cancelled, so a
@@ -78,6 +81,7 @@ impl LinkSender {
         LinkSender {
             next_seq: 0,
             unacked: BTreeMap::new(),
+            acked_upto: 0,
             rto: cfg.initial_rto,
             timer_armed: false,
         }
@@ -92,12 +96,15 @@ impl LinkSender {
     }
 
     /// Handles a cumulative acknowledgement: everything up to `upto` is
-    /// delivered. Stale and duplicated acks are harmless. A genuine
-    /// acknowledgement of outstanding data resets the backoff.
+    /// delivered. Stale and duplicated acks are harmless. The backoff is
+    /// reset **only when the cumulative watermark advances** — a
+    /// duplicated or reordered copy of an old ack acknowledges nothing
+    /// new and must not defeat exponential backoff under a reorder-heavy
+    /// fault plan.
     pub fn on_ack(&mut self, upto: u64, cfg: &SessionConfig) {
-        let before = self.unacked.len();
         self.unacked.retain(|&seq, _| seq > upto);
-        if self.unacked.len() < before {
+        if upto > self.acked_upto {
+            self.acked_upto = upto;
             self.rto = cfg.initial_rto;
         }
     }
@@ -118,6 +125,11 @@ impl LinkSender {
     /// The current retransmission timeout.
     pub fn rto(&self) -> SimTime {
         self.rto
+    }
+
+    /// The highest cumulative acknowledgement received so far.
+    pub fn acked_upto(&self) -> u64 {
+        self.acked_upto
     }
 
     /// Whether any payload awaits acknowledgement.
@@ -355,6 +367,35 @@ mod tests {
         // A duplicate of the *old* ack acknowledges nothing new.
         tx.on_ack(1, &cfg);
         assert_eq!(tx.rto(), backed_off);
+    }
+
+    #[test]
+    fn duplicate_cumulative_ack_under_backoff_does_not_reset_rto() {
+        // Regression: the backoff reset used to key off "the unacked set
+        // shrank"; it must key off "the cumulative watermark advanced".
+        let cfg = SessionConfig::default();
+        let mut tx = LinkSender::new(&cfg);
+        tx.wrap(payload(1));
+        tx.wrap(payload(2));
+        tx.on_ack(1, &cfg);
+        assert_eq!(tx.acked_upto(), 1);
+        assert_eq!(tx.rto(), cfg.initial_rto, "advancing ack resets");
+        // Seq 2 keeps timing out; backoff builds up.
+        tx.on_timeout(&cfg);
+        tx.on_timeout(&cfg);
+        let backed_off = tx.rto();
+        assert_eq!(backed_off, SimTime::from_micros(200));
+        // The network replays the old cumulative ack: nothing new is
+        // acknowledged, so the built-up backoff must survive.
+        tx.on_ack(1, &cfg);
+        tx.on_ack(0, &cfg);
+        assert_eq!(tx.rto(), backed_off, "duplicate ack must not reset backoff");
+        assert_eq!(tx.acked_upto(), 1);
+        // Only the ack that finally covers seq 2 resets it.
+        tx.on_ack(2, &cfg);
+        assert_eq!(tx.acked_upto(), 2);
+        assert_eq!(tx.rto(), cfg.initial_rto);
+        assert!(!tx.has_unacked());
     }
 
     #[test]

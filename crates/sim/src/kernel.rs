@@ -23,6 +23,7 @@ use crate::metrics::Metrics;
 use crate::net::{Delivery, NetCtx, Network, NodeId, SimConfig};
 use crate::schedule::{ActionId, RandomSchedule, Schedule, Touch};
 use crate::time::SimTime;
+use crate::trace::{TraceEvent, Tracer};
 
 /// Identifier of a simulated process (the syscall-issuing entity).
 ///
@@ -227,6 +228,9 @@ pub struct RunReport<P> {
     pub protocol: P,
     /// Execution metrics.
     pub metrics: Metrics,
+    /// The structured event trace, when the run had tracing enabled (see
+    /// [`Kernel::enable_tracing`]).
+    pub trace: Option<Tracer>,
 }
 
 /// The simulation kernel. See the module docs for the scheduling model.
@@ -344,6 +348,17 @@ impl<P: Protocol> Kernel<P> {
         &self.metrics
     }
 
+    /// Enables structured tracing for this run.
+    ///
+    /// Every message, syscall, stall, timer, and injected fault is then
+    /// recorded as a [`TraceEvent`] keyed by virtual time; the collected
+    /// [`Tracer`] comes back in [`RunReport::trace`]. Off by default —
+    /// when disabled the instrumentation sites cost one `Option` check
+    /// each, so untraced runs pay nothing measurable.
+    pub fn enable_tracing(&mut self) {
+        self.network.tracer = Some(Tracer::new());
+    }
+
     /// Replaces the tie-breaking schedule (see [`crate::schedule`]).
     ///
     /// With [`LatencyModel::INSTANT`](crate::LatencyModel::INSTANT) (or any
@@ -425,6 +440,16 @@ impl<P: Protocol> Kernel<P> {
                     let stall = self.now.saturating_sub(self.procs[idx].blocked_since);
                     self.metrics.record_stall(stall);
                     self.metrics.record_proc_stall(idx, stall);
+                    if let Some(tr) = self.network.tracer.as_mut() {
+                        tr.record(TraceEvent {
+                            t: self.procs[idx].blocked_since,
+                            dur: Some(stall),
+                            cat: "stall",
+                            name: "blocked".to_string(),
+                            track: node.0,
+                            args: vec![("proc", idx.to_string())],
+                        });
+                    }
                     // The resumed process reads node-local state: its
                     // node's state joins the current step's footprint.
                     self.network.touched.push(Touch::State(node));
@@ -460,7 +485,19 @@ impl<P: Protocol> Kernel<P> {
         match outcome {
             Ok(()) => {
                 self.metrics.finish_time = self.now;
-                Ok(RunReport { protocol: self.protocol, metrics: self.metrics })
+                // On normal completion nothing is left in flight (queued
+                // deliveries and armed timers are always runnable events),
+                // so the conservation laws must balance exactly.
+                self.metrics.timers_pending = self.network.timers.len() as u64;
+                let queued = self.network.queue.len() as u64;
+                if let Err(e) = self.metrics.check_conservation(queued) {
+                    panic!("metrics accounting bug: {e}");
+                }
+                Ok(RunReport {
+                    protocol: self.protocol,
+                    metrics: self.metrics,
+                    trace: self.network.tracer.take(),
+                })
             }
             Err(e) => Err(e),
         }
@@ -550,7 +587,8 @@ impl<P: Protocol> Kernel<P> {
             match choice {
                 Cand::Deliver => {
                     let Reverse(d) = self.network.queue.pop().expect("peeked");
-                    let Delivery { from, to, msg, .. } = d;
+                    let Delivery { from, to, sent, msg, .. } = d;
+                    self.metrics.record_delivery(self.now.saturating_sub(sent));
                     // Delivery dequeues at `to` *and* mutates its replica.
                     self.network.touched.push(Touch::Queue(to));
                     self.network.touched.push(Touch::State(to));
@@ -567,6 +605,16 @@ impl<P: Protocol> Kernel<P> {
                 Cand::Timer => {
                     let Reverse(t) = self.network.timers.pop().expect("peeked");
                     self.metrics.timers_fired += 1;
+                    if let Some(tr) = self.network.tracer.as_mut() {
+                        tr.record(TraceEvent {
+                            t: self.now,
+                            dur: None,
+                            cat: "timer",
+                            name: "timer_fired".to_string(),
+                            track: t.node.0,
+                            args: vec![("token", t.token.to_string())],
+                        });
+                    }
                     self.network.touched.push(Touch::Queue(t.node));
                     self.network.touched.push(Touch::State(t.node));
                     let mut ctx = Self::net_ctx(
@@ -582,6 +630,20 @@ impl<P: Protocol> Kernel<P> {
                 Cand::Syscall(idx) => {
                     let req = self.procs[idx].pending.take().expect("ready has request");
                     let (token, node) = (ProcToken(idx as u32), self.procs[idx].node);
+                    if let Some(tr) = self.network.tracer.as_mut() {
+                        // Span from the syscall's issue (before the charged
+                        // local cost) to the moment it is serviced.
+                        let issued =
+                            self.procs[idx].ready_at.saturating_sub(self.config.local_cost);
+                        tr.record(TraceEvent {
+                            t: issued,
+                            dur: Some(self.now.saturating_sub(issued)),
+                            cat: "syscall",
+                            name: "syscall".to_string(),
+                            track: node.0,
+                            args: vec![("proc", idx.to_string())],
+                        });
+                    }
                     // A syscall reads and writes its own node's replica;
                     // any sends it issues add queue touches elsewhere.
                     self.network.touched.push(Touch::State(node));
@@ -604,10 +666,27 @@ impl<P: Protocol> Kernel<P> {
                     }
                 }
                 Cand::Crash(node) => {
-                    // A crash silences the node and purges its queue.
+                    // A crash silences the node and purges its queue. The
+                    // wiped in-flight deliveries and cancelled timers join
+                    // the fault/timer accounting so conservation holds.
                     self.network.touched.push(Touch::State(node));
                     self.network.touched.push(Touch::Queue(node));
-                    self.network.crash_node(node);
+                    let (wiped, cancelled) = self.network.crash_node(node);
+                    self.metrics.faults.crash_dropped += wiped;
+                    self.metrics.timers_cancelled += cancelled;
+                    if let Some(tr) = self.network.tracer.as_mut() {
+                        tr.record(TraceEvent {
+                            t: self.now,
+                            dur: None,
+                            cat: "fault",
+                            name: "crash".to_string(),
+                            track: node.0,
+                            args: vec![
+                                ("wiped_deliveries", wiped.to_string()),
+                                ("cancelled_timers", cancelled.to_string()),
+                            ],
+                        });
+                    }
                 }
             }
             self.poll_blocked_procs()?;
@@ -930,6 +1009,144 @@ mod tests {
             .expect("a step offering P0's syscall");
         assert!(incr.footprint.contains(&Touch::State(NodeId(0))));
         assert!(incr.footprint.contains(&Touch::Queue(NodeId(1))));
+    }
+
+    #[test]
+    fn message_and_timer_conservation_under_seeded_fault_plans() {
+        use crate::net::FaultPlan;
+        let plans: Vec<FaultPlan> = vec![
+            FaultPlan::new(),
+            FaultPlan::new().drop_rate(0.3),
+            FaultPlan::new().duplicate_rate(0.4),
+            FaultPlan::new().drop_rate(0.2).duplicate_rate(0.2).reorder(SimTime::from_micros(50)),
+            FaultPlan::new().partition(
+                vec![NodeId(0)],
+                vec![NodeId(1)],
+                SimTime::ZERO,
+                SimTime::from_micros(40),
+            ),
+            FaultPlan::new().duplicate_rate(0.3).crash(
+                NodeId(1),
+                SimTime::from_micros(10),
+                Some(SimTime::from_micros(30)),
+            ),
+            FaultPlan::new().drop_rate(0.5).crash(NodeId(2), SimTime::from_micros(5), None),
+        ];
+        for (p, plan) in plans.iter().enumerate() {
+            for seed in [1u64, 7, 23] {
+                let mut cfg = SimConfig::with_seed(seed);
+                cfg.faults = plan.clone();
+                let mut k = Kernel::new(counter(3), 3, cfg);
+                for n in 0..3u32 {
+                    k.spawn(NodeId(n), move |ctx| {
+                        for _ in 0..10 {
+                            ctx.request(Req::Incr);
+                        }
+                    });
+                }
+                // `run` itself asserts conservation; re-check explicitly
+                // so a violation names the offending plan and seed.
+                let m = k.run().unwrap_or_else(|e| panic!("plan {p} seed {seed}: {e}")).metrics;
+                m.check_conservation(0).unwrap_or_else(|e| panic!("plan {p} seed {seed}: {e}"));
+                assert_eq!(
+                    m.messages + m.faults.duplicated,
+                    m.delivered + m.faults.dropped_total(),
+                    "plan {p} seed {seed}"
+                );
+                assert_eq!(m.delivered, m.delivery_hist.count(), "plan {p} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn explored_crash_cancels_timers_and_keeps_conservation() {
+        use crate::net::FaultBudget;
+
+        /// Arms one far-future timer on node 1, then returns.
+        struct Arm;
+        impl Protocol for Arm {
+            type Msg = ();
+            type Req = ();
+            type Resp = ();
+            fn on_request(
+                &mut self,
+                _proc: ProcToken,
+                _node: NodeId,
+                _req: (),
+                net: &mut NetCtx<'_, ()>,
+            ) -> Poll<()> {
+                net.set_timer(NodeId(1), SimTime::from_millis(10), 7);
+                Poll::Ready(())
+            }
+            fn on_message(&mut self, _: NodeId, _: NodeId, _: (), _: &mut NetCtx<'_, ()>) {}
+            fn poll_blocked(
+                &mut self,
+                _: ProcToken,
+                _: NodeId,
+                _: &mut NetCtx<'_, ()>,
+            ) -> Option<()> {
+                None
+            }
+        }
+
+        let cfg = SimConfig {
+            explore_faults: Some(FaultBudget::new().crash_of(NodeId(1))),
+            ..Default::default()
+        };
+        let mut k = Kernel::new(Arm, 2, cfg);
+        k.spawn(NodeId(0), |ctx| ctx.request(()));
+        // Serve the syscall first (arming the timer), then crash n1
+        // (cancelling it) — crash candidates are appended last.
+        struct Seq(usize);
+        impl Schedule for Seq {
+            fn choose(&mut self, n: usize) -> usize {
+                self.0 += 1;
+                if self.0 == 1 {
+                    0
+                } else {
+                    n - 1
+                }
+            }
+        }
+        k.set_schedule(Box::new(Seq(0)));
+        let m = k.run().unwrap().metrics;
+        assert_eq!(m.timers_set, 1);
+        assert_eq!(m.timers_fired, 0, "the timer never fired");
+        assert_eq!(m.timers_cancelled, 1, "the crash cancelled it");
+        assert_eq!(m.timers_pending, 0);
+    }
+
+    #[test]
+    fn tracing_disabled_yields_no_trace() {
+        let mut k = Kernel::new(counter(1), 1, SimConfig::default());
+        k.spawn(NodeId(0), |ctx| {
+            ctx.request(Req::Get);
+        });
+        assert!(k.run().unwrap().trace.is_none());
+    }
+
+    #[test]
+    fn tracing_captures_kernel_and_network_events_deterministically() {
+        let run = || {
+            let mut k = Kernel::new(counter(2), 2, SimConfig::with_seed(5));
+            k.enable_tracing();
+            k.spawn(NodeId(0), |ctx| {
+                ctx.request(Req::Incr);
+            });
+            k.spawn(NodeId(1), move |ctx| {
+                ctx.request(Req::WaitFor(1));
+            });
+            k.run().unwrap().trace.expect("tracing was enabled")
+        };
+        let tr = run();
+        let cats: Vec<&str> = tr.events().map(|e| e.cat).collect();
+        assert!(cats.contains(&"syscall"), "syscall spans recorded: {cats:?}");
+        assert!(cats.contains(&"msg"), "message spans recorded: {cats:?}");
+        assert!(cats.contains(&"stall"), "stall span recorded: {cats:?}");
+        let msg = tr.events().find(|e| e.cat == "msg").unwrap();
+        assert_eq!(msg.name, "bump");
+        assert!(msg.dur.is_some(), "messages trace as spans");
+        assert_eq!(tr.to_jsonl(), run().to_jsonl(), "same seed, byte-identical trace");
     }
 
     #[test]

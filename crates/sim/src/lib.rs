@@ -33,11 +33,13 @@ mod metrics;
 mod net;
 pub mod schedule;
 mod time;
+pub mod trace;
 
 pub use kernel::{Kernel, Poll, ProcCtx, ProcToken, Protocol, RunReport, SimError};
-pub use metrics::{FaultStats, KindStats, Metrics, ProcStats};
+pub use metrics::{FaultStats, Histogram, KindStats, Metrics, ProcStats};
 pub use net::{Crash, FaultBudget, FaultPlan, LatencyModel, NetCtx, NodeId, Partition, SimConfig};
 pub use schedule::{
     ActionId, DecisionTrace, RandomSchedule, ReplaySchedule, Schedule, StepInfo, StepKind, Touch,
 };
 pub use time::SimTime;
+pub use trace::{TraceEvent, Tracer};

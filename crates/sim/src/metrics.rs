@@ -49,6 +49,130 @@ impl FaultStats {
     pub fn total(&self) -> u64 {
         self.dropped + self.duplicated + self.partition_dropped + self.crash_dropped
     }
+
+    /// Total number of message copies suppressed (each suppressed copy is
+    /// counted in exactly one of the three drop buckets; duplicates are
+    /// extra copies, not suppressions, so they are excluded here).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped + self.partition_dropped + self.crash_dropped
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`] (covers the full `u64`
+/// nanosecond range).
+const HIST_BUCKETS: usize = 65;
+
+/// A deterministic log₂-bucketed histogram of [`SimTime`] durations.
+///
+/// Bucket `i` holds durations `d` with `⌊log₂ d⌋ = i - 1` (bucket 0 holds
+/// exactly zero), so the bucket layout is fixed and seed-independent:
+/// identical runs produce byte-identical histograms. Quantiles are
+/// resolved to the upper bound of the containing bucket, clamped to the
+/// recorded maximum — exact enough for the order-of-magnitude stall/RTO
+/// distributions the paper's cost claims are about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_of(nanos: u64) -> usize {
+        (u64::BITS - nanos.leading_zeros()) as usize
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimTime) {
+        let n = d.as_nanos();
+        self.buckets[Self::bucket_of(n)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(n);
+        self.min = self.min.min(n);
+        self.max = self.max.max(n);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> SimTime {
+        SimTime::from_nanos(self.sum)
+    }
+
+    /// Smallest recorded sample (zero when empty).
+    pub fn min(&self) -> SimTime {
+        SimTime::from_nanos(if self.count == 0 { 0 } else { self.min })
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimTime {
+        SimTime::from_nanos(self.max)
+    }
+
+    /// Mean sample (zero when empty).
+    pub fn mean(&self) -> SimTime {
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_nanos(self.sum / self.count)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), resolved to the upper bound of
+    /// the containing log₂ bucket and clamped to the recorded maximum.
+    pub fn quantile(&self, q: f64) -> SimTime {
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i is 2^i - 1 (bucket 0 is exactly 0).
+                let hi = if i == 0 { 0 } else { (1u64 << i.min(63)).saturating_sub(1) };
+                return SimTime::from_nanos(hi.min(self.max).max(self.min));
+            }
+        }
+        self.max()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
 }
 
 /// Aggregate metrics of one simulation run.
@@ -71,10 +195,23 @@ pub struct Metrics {
     pub finish_time: SimTime,
     /// Injected network faults.
     pub faults: FaultStats,
+    /// Message copies delivered to a protocol (duplicate copies count).
+    pub delivered: u64,
     /// Protocol timers armed.
     pub timers_set: u64,
     /// Protocol timers that expired.
     pub timers_fired: u64,
+    /// Protocol timers wiped by a crash before they could fire.
+    pub timers_cancelled: u64,
+    /// Protocol timers still armed when the run ended.
+    pub timers_pending: u64,
+    /// Distribution of per-stall blocked durations.
+    pub stall_hist: Histogram,
+    /// Distribution of message delivery latencies (send to delivery).
+    pub delivery_hist: Histogram,
+    /// Distribution of retransmission timeouts actually waited by the
+    /// session layer (recorded at each retransmission).
+    pub rto_hist: Histogram,
 }
 
 impl Metrics {
@@ -96,6 +233,57 @@ impl Metrics {
     pub fn record_stall(&mut self, stall: SimTime) {
         self.blocked_syscalls += 1;
         self.stall_time += stall;
+        self.stall_hist.record(stall);
+    }
+
+    /// Records one message copy handed to the protocol after spending
+    /// `latency` in flight.
+    pub fn record_delivery(&mut self, latency: SimTime) {
+        self.delivered += 1;
+        self.delivery_hist.record(latency);
+    }
+
+    /// Records the backoff interval a session-layer retransmission waited.
+    pub fn record_rto(&mut self, rto: SimTime) {
+        self.rto_hist.record(rto);
+    }
+
+    /// Checks the message and timer conservation laws:
+    ///
+    /// * every copy put in flight (`messages` sends plus `duplicated`
+    ///   extra copies) is either delivered, suppressed by exactly one
+    ///   fault bucket, or still queued;
+    /// * every timer armed either fired, was cancelled by a crash, or is
+    ///   still pending.
+    ///
+    /// `queued` is the number of deliveries still in flight when the run
+    /// ended (zero on normal completion — in-flight deliveries are always
+    /// runnable events).
+    pub fn check_conservation(&self, queued: u64) -> Result<(), String> {
+        let copies = self.messages + self.faults.duplicated;
+        let accounted = self.delivered + self.faults.dropped_total() + queued;
+        if copies != accounted {
+            return Err(format!(
+                "message conservation violated: {} sent + {} duplicated != \
+                 {} delivered + {} dropped + {} partition_dropped + \
+                 {} crash_dropped + {queued} queued",
+                self.messages,
+                self.faults.duplicated,
+                self.delivered,
+                self.faults.dropped,
+                self.faults.partition_dropped,
+                self.faults.crash_dropped,
+            ));
+        }
+        let timer_accounted = self.timers_fired + self.timers_cancelled + self.timers_pending;
+        if self.timers_set != timer_accounted {
+            return Err(format!(
+                "timer conservation violated: {} set != {} fired + \
+                 {} cancelled + {} pending",
+                self.timers_set, self.timers_fired, self.timers_cancelled, self.timers_pending,
+            ));
+        }
+        Ok(())
     }
 
     fn proc_entry(&mut self, proc: usize) -> &mut ProcStats {
@@ -142,10 +330,11 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "time={} events={} messages={} bytes={} blocked={} stall={}",
+            "time={} events={} messages={} delivered={} bytes={} blocked={} stall={}",
             self.finish_time,
             self.events,
             self.messages,
+            self.delivered,
             self.bytes,
             self.blocked_syscalls,
             self.stall_time
@@ -161,7 +350,20 @@ impl fmt::Display for Metrics {
             )?;
         }
         if self.timers_set > 0 {
-            writeln!(f, "  timers: set={} fired={}", self.timers_set, self.timers_fired)?;
+            writeln!(
+                f,
+                "  timers: set={} fired={} cancelled={} pending={}",
+                self.timers_set, self.timers_fired, self.timers_cancelled, self.timers_pending
+            )?;
+        }
+        if !self.stall_hist.is_empty() {
+            writeln!(f, "  stall: {}", self.stall_hist)?;
+        }
+        if !self.delivery_hist.is_empty() {
+            writeln!(f, "  delivery latency: {}", self.delivery_hist)?;
+        }
+        if !self.rto_hist.is_empty() {
+            writeln!(f, "  rto: {}", self.rto_hist)?;
         }
         for (kind, s) in &self.per_kind {
             writeln!(f, "  {kind}: {} msgs, {} bytes", s.count, s.bytes)?;
@@ -220,5 +422,74 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("messages=1"));
         assert!(s.contains("update: 1 msgs"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_deterministic() {
+        let mut h = Histogram::new();
+        for ns in [0u64, 1, 2, 3, 1_000, 1_000_000, u64::MAX] {
+            h.record(SimTime::from_nanos(ns));
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), SimTime::ZERO);
+        assert_eq!(h.max(), SimTime::from_nanos(u64::MAX));
+        let h2 = {
+            let mut h2 = Histogram::new();
+            for ns in [0u64, 1, 2, 3, 1_000, 1_000_000, u64::MAX] {
+                h2.record(SimTime::from_nanos(ns));
+            }
+            h2
+        };
+        assert_eq!(h, h2, "identical inputs give identical histograms");
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let mut h = Histogram::new();
+        for us in 1..=100u64 {
+            h.record(SimTime::from_micros(us));
+        }
+        assert!(h.quantile(0.0) >= h.min());
+        assert!(h.quantile(1.0) <= h.max());
+        // p50 of 1..=100µs lies in the 64µs..128µs bucket, clamped to max.
+        let p50 = h.quantile(0.5).as_nanos();
+        assert!((50_000..=131_072).contains(&p50), "p50 = {p50}ns");
+        assert_eq!(h.mean(), SimTime::from_nanos(50_500));
+        assert_eq!(Histogram::new().quantile(0.5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn delivery_and_rto_recording() {
+        let mut m = Metrics::new();
+        m.record_delivery(SimTime::from_micros(7));
+        m.record_delivery(SimTime::from_micros(9));
+        m.record_rto(SimTime::from_micros(50));
+        assert_eq!(m.delivered, 2);
+        assert_eq!(m.delivery_hist.count(), 2);
+        assert_eq!(m.rto_hist.count(), 1);
+        assert_eq!(m.rto_hist.sum(), SimTime::from_micros(50));
+    }
+
+    #[test]
+    fn conservation_checks() {
+        let mut m = Metrics::new();
+        m.record_send("update", 8);
+        m.record_send("update", 8);
+        m.faults.duplicated = 1;
+        m.record_delivery(SimTime::ZERO);
+        m.record_delivery(SimTime::ZERO);
+        m.faults.dropped = 1;
+        assert!(m.check_conservation(0).is_ok());
+        m.faults.dropped = 0;
+        let err = m.check_conservation(0).unwrap_err();
+        assert!(err.contains("message conservation"), "{err}");
+        m.faults.dropped = 1;
+        m.timers_set = 3;
+        m.timers_fired = 1;
+        let err = m.check_conservation(0).unwrap_err();
+        assert!(err.contains("timer conservation"), "{err}");
+        m.timers_cancelled = 1;
+        m.timers_pending = 1;
+        assert!(m.check_conservation(0).is_ok());
     }
 }

@@ -22,6 +22,7 @@ use rand::Rng;
 use crate::metrics::Metrics;
 use crate::schedule::{Schedule, Touch};
 use crate::time::SimTime;
+use crate::trace::{TraceEvent, Tracer};
 
 /// Identifier of a network node (a memory replica or a manager).
 ///
@@ -359,6 +360,8 @@ pub(crate) struct Delivery<M> {
     pub seq: u64,
     pub from: NodeId,
     pub to: NodeId,
+    /// When the message was sent (feeds the delivery-latency histogram).
+    pub sent: SimTime,
     pub msg: M,
 }
 
@@ -423,6 +426,9 @@ pub(crate) struct Network<M> {
     /// (queue touches), plus whatever the kernel attributes to the step
     /// itself.
     pub touched: Vec<Touch>,
+    /// The structured event trace, when tracing is enabled
+    /// (see [`Kernel::enable_tracing`](crate::Kernel::enable_tracing)).
+    pub tracer: Option<Tracer>,
 }
 
 impl<M> Network<M> {
@@ -438,6 +444,7 @@ impl<M> Network<M> {
             dups_used: 0,
             downed: Vec::new(),
             touched: Vec::new(),
+            tracer: None,
         }
     }
 
@@ -451,15 +458,23 @@ impl<M> Network<M> {
     /// cancelled (unlike [`FaultPlan::crash`] outages, explored crashes
     /// are final, so a downed node's timers can never fire again — leaving
     /// them queued would only manufacture unreachable decision points).
-    pub fn crash_node(&mut self, node: NodeId) {
+    ///
+    /// Returns `(wiped_deliveries, cancelled_timers)` so the caller can
+    /// keep the conservation counters honest.
+    pub fn crash_node(&mut self, node: NodeId) -> (u64, u64) {
         if self.is_downed(node) {
-            return;
+            return (0, 0);
         }
         self.downed.push(node);
         let queue = std::mem::take(&mut self.queue);
+        let in_flight = queue.len();
         self.queue = queue.into_iter().filter(|Reverse(d)| d.to != node).collect();
+        let wiped = (in_flight - self.queue.len()) as u64;
         let timers = std::mem::take(&mut self.timers);
+        let armed = timers.len();
         self.timers = timers.into_iter().filter(|Reverse(t)| t.node != node).collect();
+        let cancelled = (armed - self.timers.len()) as u64;
+        (wiped, cancelled)
     }
 }
 
@@ -510,6 +525,49 @@ impl<M> NetCtx<'_, M> {
         &self.config.faults
     }
 
+    /// `true` when structured tracing is enabled for this run.
+    pub fn tracing(&self) -> bool {
+        self.net.tracer.is_some()
+    }
+
+    /// Appends a key/value annotation to the most recently traced event.
+    ///
+    /// Protocols use this right after a [`send`](NetCtx::send) to attach
+    /// metadata the network layer cannot know — notably the vector
+    /// timestamp travelling on an update message. A no-op when tracing is
+    /// disabled, so callers may annotate unconditionally. Callers that
+    /// build an expensive annotation string should gate on
+    /// [`tracing`](NetCtx::tracing) first.
+    pub fn trace_annotate(&mut self, key: &'static str, value: String) {
+        if let Some(tr) = self.net.tracer.as_mut() {
+            tr.annotate_last(key, value);
+        }
+    }
+
+    /// Records the backoff interval a retransmission waited, feeding the
+    /// RTO histogram in [`Metrics`].
+    pub fn record_rto(&mut self, rto: SimTime) {
+        self.metrics.record_rto(rto);
+    }
+
+    /// Records a fault instant in the trace (no-op when tracing is off).
+    fn trace_fault(&mut self, name: &'static str, from: NodeId, to: NodeId, kind: &'static str) {
+        if let Some(tr) = self.net.tracer.as_mut() {
+            tr.record(TraceEvent {
+                t: self.now,
+                dur: None,
+                cat: "fault",
+                name: name.to_string(),
+                track: to.0,
+                args: vec![
+                    ("from", from.0.to_string()),
+                    ("to", to.0.to_string()),
+                    ("kind", kind.to_string()),
+                ],
+            });
+        }
+    }
+
     /// Schedules a protocol timer at `node`, `delay` from now.
     ///
     /// When it expires the kernel calls
@@ -528,7 +586,21 @@ impl<M> NetCtx<'_, M> {
         let seq = self.net.next_timer_seq;
         self.net.next_timer_seq += 1;
         self.metrics.timers_set += 1;
-        self.net.timers.push(Reverse(TimerEntry { at: self.now + delay, seq, node, token }));
+        let at = self.now + delay;
+        self.net.timers.push(Reverse(TimerEntry { at, seq, node, token }));
+        if let Some(tr) = self.net.tracer.as_mut() {
+            tr.record(TraceEvent {
+                t: self.now,
+                dur: None,
+                cat: "timer",
+                name: "timer_set".to_string(),
+                track: node.0,
+                args: vec![
+                    ("token", token.to_string()),
+                    ("fires_at_ns", at.as_nanos().to_string()),
+                ],
+            });
+        }
     }
 
     /// Sends `msg` from `from` to `to`, subject to the fault plan.
@@ -562,14 +634,17 @@ impl<M> NetCtx<'_, M> {
         if faults.is_down(from, self.now) || self.net.is_downed(from) {
             // A crashed node's sends never reach the wire.
             self.metrics.faults.crash_dropped += 1;
+            self.trace_fault("crash_drop", from, to, kind);
             return;
         }
         if faults.is_partitioned(from, to, self.now) {
             self.metrics.faults.partition_dropped += 1;
+            self.trace_fault("partition_drop", from, to, kind);
             return;
         }
         if faults.drop > 0.0 && self.rng.gen_bool(faults.drop) {
             self.metrics.faults.dropped += 1;
+            self.trace_fault("drop", from, to, kind);
             return;
         }
 
@@ -608,6 +683,7 @@ impl<M> NetCtx<'_, M> {
                     if can_drop && choice == 1 {
                         self.net.drops_used += 1;
                         self.metrics.faults.dropped += 1;
+                        self.trace_fault("drop", from, to, kind);
                         return;
                     }
                     if choice == n - 1 && can_dup && choice > 0 {
@@ -620,31 +696,57 @@ impl<M> NetCtx<'_, M> {
 
         let duplicate =
             explored_duplicate || (faults.duplicate > 0.0 && self.rng.gen_bool(faults.duplicate));
-        self.deliver_or_wipe(from, to, at, msg.clone());
+        self.deliver_or_wipe(from, to, at, kind, bytes, msg.clone());
         if duplicate {
             // The duplicate trails the original by an independent latency
             // sample — like a retransmission by a confused switch — and is
             // never FIFO-serialized, so it can land out of order.
             self.metrics.faults.duplicated += 1;
+            self.trace_fault("duplicate", from, to, kind);
             let extra = self.config.latency.sample(bytes, self.rng);
             let dup_at = at + extra;
-            self.deliver_or_wipe(from, to, dup_at, msg);
+            self.deliver_or_wipe(from, to, dup_at, kind, bytes, msg);
         }
     }
 
     /// Queues one delivery unless a crash wipes it in flight.
-    fn deliver_or_wipe(&mut self, from: NodeId, to: NodeId, at: SimTime, msg: M) {
+    fn deliver_or_wipe(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        at: SimTime,
+        kind: &'static str,
+        bytes: u64,
+        msg: M,
+    ) {
         let faults = &self.config.faults;
         if self.net.is_downed(to)
             || faults.is_down(to, at)
             || faults.crashes_within(to, self.now, at)
         {
             self.metrics.faults.crash_dropped += 1;
+            self.trace_fault("crash_drop", from, to, kind);
             return;
         }
         let seq = self.net.next_seq;
         self.net.next_seq += 1;
-        self.net.queue.push(Reverse(Delivery { at, seq, from, to, msg }));
+        self.net.queue.push(Reverse(Delivery { at, seq, from, to, sent: self.now, msg }));
+        if let Some(tr) = self.net.tracer.as_mut() {
+            // The in-flight message renders as a span on the sender's
+            // track, from the send to the scheduled delivery.
+            tr.record(TraceEvent {
+                t: self.now,
+                dur: Some(at.saturating_sub(self.now)),
+                cat: "msg",
+                name: kind.to_string(),
+                track: from.0,
+                args: vec![
+                    ("from", from.0.to_string()),
+                    ("to", to.0.to_string()),
+                    ("bytes", bytes.to_string()),
+                ],
+            });
+        }
     }
 
     /// Broadcasts `msg` from `from` to every other node.
@@ -1065,10 +1167,12 @@ mod tests {
             ctx.set_timer(NodeId(1), SimTime::from_micros(5), 9);
             ctx.set_timer(NodeId(2), SimTime::from_micros(5), 9);
         }
-        net.crash_node(NodeId(1));
+        let (wiped, cancelled) = net.crash_node(NodeId(1));
+        assert_eq!((wiped, cancelled), (1, 1), "crash reports what it wiped");
         assert!(net.is_downed(NodeId(1)));
         assert_eq!(net.queue.len(), 1, "delivery to the downed node wiped");
         assert_eq!(net.timers.len(), 1, "timer at the downed node cancelled");
+        assert_eq!(net.crash_node(NodeId(1)), (0, 0), "second crash is a no-op");
         // While down: no new I/O or timers involving the node.
         let mut ctx = NetCtx {
             now: SimTime::from_micros(1),
@@ -1100,6 +1204,49 @@ mod tests {
         ctx.send(NodeId(0), NodeId(2), "test", 0, 1);
         ctx.set_timer(NodeId(1), SimTime::from_micros(5), 0);
         assert_eq!(net.touched, vec![Touch::Queue(NodeId(2)), Touch::Queue(NodeId(1))]);
+    }
+
+    #[test]
+    fn tracing_records_spans_faults_and_annotations() {
+        let (mut net, mut rng, mut metrics, mut config) = ctx_parts();
+        net.tracer = Some(Tracer::new());
+        config.faults = FaultPlan::new().drop_rate(1.0);
+        {
+            let mut ctx = NetCtx {
+                now: SimTime::ZERO,
+                net: &mut net,
+                rng: &mut rng,
+                metrics: &mut metrics,
+                config: &config,
+                sched: None,
+            };
+            assert!(ctx.tracing());
+            ctx.send(NodeId(0), NodeId(1), "update", 8, 1);
+        }
+        config.faults = FaultPlan::new();
+        {
+            let mut ctx = NetCtx {
+                now: SimTime::ZERO,
+                net: &mut net,
+                rng: &mut rng,
+                metrics: &mut metrics,
+                config: &config,
+                sched: None,
+            };
+            ctx.send(NodeId(0), NodeId(1), "update", 8, 2);
+            ctx.trace_annotate("vclock", "[1, 0, 0]".to_string());
+            ctx.set_timer(NodeId(0), SimTime::from_micros(5), 3);
+            ctx.record_rto(SimTime::from_micros(50));
+        }
+        let tr = net.tracer.take().unwrap();
+        let events: Vec<_> = tr.events().collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!((events[0].cat, events[0].name.as_str()), ("fault", "drop"));
+        assert_eq!((events[1].cat, events[1].name.as_str()), ("msg", "update"));
+        assert!(events[1].dur.is_some(), "messages trace as spans");
+        assert!(events[1].args.iter().any(|(k, v)| *k == "vclock" && v == "[1, 0, 0]"));
+        assert_eq!(events[2].name, "timer_set");
+        assert_eq!(metrics.rto_hist.count(), 1);
     }
 
     #[test]

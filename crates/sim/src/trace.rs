@@ -1,0 +1,279 @@
+//! Structured execution tracing.
+//!
+//! When enabled (see [`Kernel::enable_tracing`](crate::Kernel)) the
+//! simulator records one [`TraceEvent`] per interesting occurrence — a
+//! span per message (send → delivery, with the protocol's vector
+//! timestamp attached when one travels on the message), a span per stall,
+//! and instants for syscalls, timers, and injected faults. The trace is
+//! keyed by virtual [`SimTime`], so two runs from the same seed produce
+//! byte-identical traces.
+//!
+//! Tracing is strictly opt-in: a disabled tracer is an `Option::None`
+//! checked once per site, so the instrumented paths cost nothing beyond a
+//! branch when tracing is off.
+//!
+//! Two export formats are supported:
+//!
+//! * [`Tracer::to_jsonl`] — one JSON object per line, easy to grep and to
+//!   post-process;
+//! * [`Tracer::to_chrome_trace`] — the Chrome trace-event JSON array that
+//!   `chrome://tracing` and <https://ui.perfetto.dev> load directly.
+//!   Virtual nanoseconds are mapped to trace microseconds, node ids to
+//!   Perfetto threads.
+//!
+//! All JSON is hand-rolled (the workspace vendors no serialization
+//! crates); [`json_escape`] covers the string subset we emit.
+
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// One recorded occurrence: an instant (`dur == None`) or a span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual start time.
+    pub t: SimTime,
+    /// Span duration; `None` marks an instant event.
+    pub dur: Option<SimTime>,
+    /// Category: `"msg"`, `"syscall"`, `"stall"`, `"timer"`, `"fault"`.
+    pub cat: &'static str,
+    /// Event name (message kind, syscall name, fault flavor, …).
+    pub name: String,
+    /// Track the event renders on (node / process index).
+    pub track: u32,
+    /// Free-form key/value annotations (`from`, `to`, `bytes`, `vclock`…).
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl TraceEvent {
+    fn args_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (k, v)) in self.args.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\": \"{}\"", json_escape(k), json_escape(v));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"t_ns\": {}, \"cat\": \"{}\", \"name\": \"{}\", \"track\": {}",
+            self.t.as_nanos(),
+            json_escape(self.cat),
+            json_escape(&self.name),
+            self.track
+        );
+        if let Some(d) = self.dur {
+            let _ = write!(s, ", \"dur_ns\": {}", d.as_nanos());
+        }
+        let _ = write!(s, ", \"args\": {}}}", self.args_json());
+        s
+    }
+
+    /// Renders the event in Chrome trace-event format (`ph: "X"` complete
+    /// span or `ph: "i"` instant; `ts`/`dur` in microseconds).
+    pub fn to_chrome(&self) -> String {
+        let ts = self.t.as_nanos() as f64 / 1_000.0;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"pid\": 1, \"tid\": {}, \"ts\": {ts}",
+            json_escape(&self.name),
+            json_escape(self.cat),
+            self.track
+        );
+        match self.dur {
+            Some(d) => {
+                let dur = d.as_nanos() as f64 / 1_000.0;
+                let _ = write!(s, ", \"ph\": \"X\", \"dur\": {dur}");
+            }
+            None => {
+                let _ = write!(s, ", \"ph\": \"i\", \"s\": \"t\"");
+            }
+        }
+        let _ = write!(s, ", \"args\": {}}}", self.args_json());
+        s
+    }
+}
+
+/// Collects [`TraceEvent`]s during a run and exports them.
+///
+/// Obtain one from [`RunReport::trace`](crate::RunReport) after running a
+/// kernel with tracing enabled.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Records a fully-formed event.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Records an instant event.
+    pub fn instant(&mut self, t: SimTime, cat: &'static str, name: impl Into<String>, track: u32) {
+        self.record(TraceEvent { t, dur: None, cat, name: name.into(), track, args: Vec::new() });
+    }
+
+    /// Records a span.
+    pub fn span(
+        &mut self,
+        t: SimTime,
+        dur: SimTime,
+        cat: &'static str,
+        name: impl Into<String>,
+        track: u32,
+    ) {
+        self.record(TraceEvent {
+            t,
+            dur: Some(dur),
+            cat,
+            name: name.into(),
+            track,
+            args: Vec::new(),
+        });
+    }
+
+    /// Appends a key/value annotation to the most recently recorded
+    /// event, if any. Protocols use this to attach metadata (e.g. a
+    /// vector timestamp) to the message span the network just recorded.
+    pub fn annotate_last(&mut self, key: &'static str, value: String) {
+        if let Some(ev) = self.events.last_mut() {
+            ev.args.push((key, value));
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the recorded events in record order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Renders the whole trace as JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for ev in &self.events {
+            s.push_str(&ev.to_jsonl());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Renders the whole trace as a Chrome trace-event JSON array that
+    /// Perfetto / `chrome://tracing` load directly.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut s = String::from("{\"traceEvents\": [\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            s.push_str(&ev.to_chrome());
+            if i + 1 < self.events.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("], \"displayTimeUnit\": \"ns\"}\n");
+        s
+    }
+
+    /// Writes the JSONL rendering to `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Writes the Chrome-trace rendering to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tracer {
+        let mut tr = Tracer::new();
+        tr.span(SimTime::from_micros(1), SimTime::from_micros(3), "msg", "update", 0);
+        tr.annotate_last("from", "0".to_string());
+        tr.annotate_last("vclock", "[1, 0]".to_string());
+        tr.instant(SimTime::from_micros(2), "fault", "drop", 1);
+        tr
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let tr = sample();
+        let jsonl = tr.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"dur_ns\": 3000"));
+        assert!(lines[0].contains("\"vclock\": \"[1, 0]\""));
+        assert!(lines[1].contains("\"cat\": \"fault\""));
+        assert!(!lines[1].contains("dur_ns"), "instants carry no duration");
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_and_instants() {
+        let tr = sample();
+        let chrome = tr.to_chrome_trace();
+        assert!(chrome.starts_with("{\"traceEvents\": ["));
+        assert!(chrome.contains("\"ph\": \"X\""), "span event present");
+        assert!(chrome.contains("\"dur\": 3"), "3µs span duration");
+        assert!(chrome.contains("\"ph\": \"i\""), "instant event present");
+        assert!(chrome.contains("\"ts\": 1"), "1µs start");
+        assert!(chrome.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn annotate_last_on_empty_is_a_no_op() {
+        let mut tr = Tracer::new();
+        tr.annotate_last("k", "v".to_string());
+        assert!(tr.is_empty());
+        assert_eq!(tr.len(), 0);
+    }
+}
