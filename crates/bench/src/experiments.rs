@@ -40,6 +40,45 @@ fn access_workload(mode: Mode, write_frac: f64, procs: usize, ops: usize, seed: 
     sys.run().expect("workload runs").metrics
 }
 
+/// The same access mix with batched update propagation switchable — the
+/// E8 comparison axis — plus a barrier every [`SYNC_PERIOD`] operations.
+/// The barriers bound the coalescing window (an unsynchronized workload
+/// coalesces an entire run into one batch per process, which measures
+/// nothing): each phase's buffered writes must flush before the arrival
+/// message, in both configurations, so the reduction reported is the
+/// per-phase one a synchronized program actually sees.
+fn batched_access_workload(
+    mode: Mode,
+    write_frac: f64,
+    procs: usize,
+    ops: usize,
+    seed: u64,
+    batch: Option<mixed_consistency::BatchPolicy>,
+) -> Metrics {
+    const SYNC_PERIOD: usize = 25;
+    let mut sys = System::new(procs, mode).seed(seed).batching(batch);
+    for p in 0..procs {
+        sys.spawn(move |ctx| {
+            let mut rng = StdRng::seed_from_u64(seed * 131 + p as u64);
+            let mut val = (p as i64 + 1) * 1_000_000;
+            for i in 0..ops {
+                let loc = Loc(rng.gen_range(0..8u32));
+                if rng.gen_bool(write_frac) {
+                    val += 1;
+                    ctx.write(loc, val);
+                } else {
+                    let label = if rng.gen_bool(0.5) { ReadLabel::Pram } else { ReadLabel::Causal };
+                    let _ = ctx.read(loc, label);
+                }
+                if (i + 1) % SYNC_PERIOD == 0 {
+                    ctx.barrier();
+                }
+            }
+        });
+    }
+    sys.run().expect("workload runs").metrics
+}
+
 /// **E1** — per-operation access cost of the four protocols
 /// (Sections 1/6: replication makes reads local; SC pays a round trip per
 /// access; causal adds vector bytes to updates).
@@ -64,6 +103,60 @@ pub fn protocols_table(procs: usize, ops: usize) -> Table {
         id: "E1",
         title: "per-access cost by protocol",
         paper_ref: "§1/§6 — replicated weak memory vs. sequentially consistent server",
+        rows,
+    }
+}
+
+/// One E8 datapoint: (msgs/op, bytes/op) with batching off and on, same
+/// workload, same seed. Shared by the table and its acceptance test.
+fn batching_datapoint(mode: Mode, write_frac: f64, procs: usize, ops: usize) -> [f64; 4] {
+    let total_ops = (procs * ops) as f64;
+    let off = batched_access_workload(mode, write_frac, procs, ops, 7, None);
+    let on = batched_access_workload(
+        mode,
+        write_frac,
+        procs,
+        ops,
+        7,
+        Some(mixed_consistency::BatchPolicy::default()),
+    );
+    [
+        off.messages as f64 / total_ops,
+        on.messages as f64 / total_ops,
+        off.bytes as f64 / total_ops,
+        on.bytes as f64 / total_ops,
+    ]
+}
+
+/// **E8** — batched, coalesced, delta-compressed update propagation:
+/// wire traffic per operation with batching off vs. on
+/// ([`mixed_consistency::BatchPolicy::default`]), across the replicated
+/// modes. Coalescing collapses same-location writes inside a batch
+/// window and delta compression strips unchanged vector components, so
+/// the win grows with write intensity and with vector-carrying modes.
+pub fn batching_table(procs: usize, ops: usize) -> Table {
+    let mut rows = Vec::new();
+    for (wl, frac) in [("read-heavy (10% wr)", 0.1), ("write-heavy (50% wr)", 0.5)] {
+        for mode in [Mode::Pram, Mode::Causal, Mode::Mixed] {
+            let [msgs_off, msgs_on, bytes_off, bytes_on] =
+                batching_datapoint(mode, frac, procs, ops);
+            rows.push(Row::new(
+                vec![("workload", wl.into()), ("mode", mode.to_string())],
+                vec![
+                    ("msgs/op off", format!("{msgs_off:.2}")),
+                    ("msgs/op on", format!("{msgs_on:.2}")),
+                    ("msg reduction", format!("{:.1}x", msgs_off / msgs_on)),
+                    ("bytes/op off", format!("{bytes_off:.1}")),
+                    ("bytes/op on", format!("{bytes_on:.1}")),
+                    ("byte reduction", format!("{:.0}%", 100.0 * (1.0 - bytes_on / bytes_off))),
+                ],
+            ));
+        }
+    }
+    Table {
+        id: "E8",
+        title: "batched update propagation",
+        paper_ref: "§6 — update propagation cost; coalesced batches and delta-compressed vectors",
         rows,
     }
 }
@@ -565,6 +658,40 @@ mod tests {
         let t = protocols_table(2, 20);
         assert_eq!(t.rows.len(), 8, "2 workloads x 4 modes");
         assert!(t.to_markdown().contains("sc"));
+    }
+
+    #[test]
+    fn batching_table_meets_acceptance() {
+        // The issue's acceptance floor: in every cell batching must not
+        // cost bytes, and on the write-heavy causal workload it must cut
+        // messages by >=2x and bytes by >=30%.
+        for (frac, write_heavy) in [(0.1, false), (0.5, true)] {
+            for mode in [Mode::Pram, Mode::Causal, Mode::Mixed] {
+                let [msgs_off, msgs_on, bytes_off, bytes_on] =
+                    batching_datapoint(mode, frac, 4, 200);
+                assert!(
+                    bytes_on <= bytes_off,
+                    "{mode} frac {frac}: batching cost bytes ({bytes_on} > {bytes_off})"
+                );
+                if write_heavy && mode == Mode::Causal {
+                    assert!(
+                        msgs_off >= 2.0 * msgs_on,
+                        "write-heavy causal: msgs/op {msgs_off} -> {msgs_on} is under 2x"
+                    );
+                    assert!(
+                        bytes_on <= 0.7 * bytes_off,
+                        "write-heavy causal: bytes/op {bytes_off} -> {bytes_on} is under 30%"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batching_table_shape() {
+        let t = batching_table(2, 40);
+        assert_eq!(t.rows.len(), 6, "2 workloads x 3 replicated modes");
+        assert!(t.to_markdown().contains("msg reduction"));
     }
 
     #[test]

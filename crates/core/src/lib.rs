@@ -77,7 +77,7 @@ pub use mc_model::{
     check, commute, litmus, programs, sc, trace, viz, BarrierId, History, Loc, LockId, LockMode,
     OpKind, ProcId, ReadLabel, Value, WriteId,
 };
-pub use mc_proto::{DsmConfig, LockPropagation, Mode, SessionConfig};
+pub use mc_proto::{BatchPolicy, DsmConfig, LockPropagation, Mode, SessionConfig};
 pub use mc_sim::{
     ActionId, Crash, DecisionTrace, FaultBudget, FaultPlan, FaultStats, Histogram, LatencyModel,
     Metrics, NodeId, Partition, SimConfig, SimError, SimTime, StepInfo, StepKind, Touch,

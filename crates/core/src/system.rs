@@ -273,6 +273,23 @@ impl System {
         self
     }
 
+    /// Enables (`Some`) or disables (`None`, the default) batched,
+    /// coalesced, delta-compressed update propagation
+    /// ([`mc_proto::BatchPolicy`]). Buffered writes flush before every
+    /// synchronization message, so the mixed-consistency semantics are
+    /// unchanged — only the wire traffic is.
+    pub fn batching(mut self, batch: Option<mc_proto::BatchPolicy>) -> Self {
+        self.dsm_cfg.batch = batch;
+        self
+    }
+
+    /// Sets the replica store pre-sizing hint (number of shared
+    /// locations the program uses).
+    pub fn locations(mut self, locations: usize) -> Self {
+        self.dsm_cfg.locations = locations;
+        self
+    }
+
     /// Enables fault *exploration*: each message send becomes a decision
     /// point (deliver / drop / duplicate, within the budget) and the
     /// budget's listed nodes may crash at any scheduling step — see

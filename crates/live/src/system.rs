@@ -14,8 +14,8 @@ use mc_model::{
     OpKind, ProcId, ReadLabel, VClock, Value, WriteId,
 };
 use mc_proto::{
-    DsmConfig, GrantInfo, LockPropagation, Manager, Mode, Msg, Replica, Session, SessionConfig,
-    UpdatePayload,
+    BatchEntry, BatchPolicy, DsmConfig, GrantInfo, LockPropagation, Manager, Mode, Msg, Replica,
+    Session, SessionConfig, UpdatePayload,
 };
 use mc_sim::{SimTime, TraceEvent, Tracer};
 
@@ -35,6 +35,23 @@ type NodeId = usize;
 /// Wall-clock ticks stand in for the simulator's per-link timers; the
 /// period is coarse enough that a healthy ack always wins the race.
 const RETX_TICK: Duration = Duration::from_millis(1);
+
+/// One process's outgoing update buffer (batching enabled only) — the
+/// live twin of the simulator protocol's batch state, flushed on sync
+/// operations, at the size limit, and on wall-clock age checks.
+#[derive(Default)]
+struct LiveBatch {
+    first_seq: u32,
+    upto: u32,
+    entries: Vec<BatchEntry>,
+    /// Latest entry index per location (coalescing target).
+    last_idx: HashMap<Loc, usize>,
+    /// Dependency vector of the last buffered write (vector modes).
+    deps: Option<VClock>,
+    /// When the buffer last became non-empty (the wall-clock flush
+    /// window starts here).
+    since: Option<Instant>,
+}
 
 /// SplitMix64: a statistically solid 64-bit mixer, enough for loss rolls.
 fn splitmix64(mut z: u64) -> u64 {
@@ -309,6 +326,22 @@ impl LiveSystem {
         self
     }
 
+    /// Enables (or disables) batched update propagation. Buffered writes
+    /// are flushed before every synchronization send, at the size limit,
+    /// and once the wall-clock [`BatchPolicy::max_delay_micros`] window
+    /// elapses (checked on operation entry and whenever a process is
+    /// about to block).
+    pub fn batching(mut self, batch: Option<BatchPolicy>) -> Self {
+        self.cfg.batch = batch;
+        self
+    }
+
+    /// Presizes every replica's store for `locations` locations.
+    pub fn locations(mut self, locations: usize) -> Self {
+        self.cfg.locations = locations;
+        self
+    }
+
     /// Selects the lock-propagation variant.
     pub fn lock_propagation(mut self, p: LockPropagation) -> Self {
         self.cfg.lock_propagation = p;
@@ -432,7 +465,8 @@ impl LiveSystem {
             proc_handles.push(std::thread::spawn(move || {
                 let mut ctx = LiveCtx {
                     proc: ProcId(i as u32),
-                    replica: Replica::new(ProcId(i as u32), cfg.nprocs),
+                    replica: Replica::new(ProcId(i as u32), cfg.nprocs)
+                        .with_store_capacity(cfg.locations),
                     session: cfg.reliable.then(|| Session::new(SessionConfig::default())),
                     cfg,
                     inbox: rx,
@@ -444,6 +478,9 @@ impl LiveSystem {
                     barrier_next: HashMap::new(),
                     barrier_released: HashMap::new(),
                     sc_resp: None,
+                    batch: LiveBatch::default(),
+                    link_clock_out: HashMap::new(),
+                    link_clock_in: HashMap::new(),
                     recorder,
                     timeout,
                 };
@@ -452,6 +489,11 @@ impl LiveSystem {
                 // exactly one signal per process, with no wall-clock
                 // limit of its own — long-running programs are fine.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+                // Push out any still-buffered writes before signalling
+                // done: the coordinator broadcasts shutdown once every
+                // done signal is in, and sends racing that broadcast may
+                // land after a peer's ingest loop has exited.
+                ctx.flush_updates();
                 let _ = done_tx.send(i as u32);
                 if let Err(payload) = result {
                     std::panic::resume_unwind(payload);
@@ -617,6 +659,13 @@ pub struct LiveCtx {
     barrier_next: HashMap<BarrierId, u32>,
     barrier_released: HashMap<(BarrierId, u32), VClock>,
     sc_resp: Option<Msg>,
+    batch: LiveBatch,
+    /// Per destination process: the dependency clock as last sent on that
+    /// link (delta-compression shadow copy, sender side).
+    link_clock_out: HashMap<NodeId, VClock>,
+    /// Per source process: the dependency clock as last received on that
+    /// link (delta-compression shadow copy, receiver side).
+    link_clock_in: HashMap<NodeId, VClock>,
     recorder: Option<Arc<Mutex<HistoryBuilder>>>,
     timeout: Duration,
 }
@@ -666,6 +715,32 @@ impl LiveCtx {
                     self.drain_flush_waiters();
                 }
             }
+            Msg::UpdateBatch { proc, first_seq, upto, entries, delta, ack } => {
+                // A piggybacked ack covers the reverse link, sparing a
+                // standalone SessAck's information (the standalone still
+                // travels; cumulative acks are idempotent).
+                if let Some(acked) = ack {
+                    if let Some(s) = &mut self.session {
+                        let scfg = s.cfg;
+                        s.sender(nid(self.proc.index()), nid(proc.index())).on_ack(acked, &scfg);
+                    }
+                }
+                // Reconstruct the full dependency clock from the
+                // per-link delta against this link's shadow copy.
+                let deps = delta.map(|dv| {
+                    let prev = self
+                        .link_clock_in
+                        .entry(proc.index())
+                        .or_insert_with(|| VClock::new(self.cfg.nprocs));
+                    for (q, c) in dv {
+                        prev.set(q, c);
+                    }
+                    prev.clone()
+                });
+                if self.replica.ingest_batch(proc, first_seq, upto, entries, deps, self.cfg.mode) {
+                    self.drain_flush_waiters();
+                }
+            }
             Msg::Flush { from_proc, upto } => {
                 if self.replica.applied[from_proc] >= upto {
                     self.send(from_proc.index(), Msg::FlushAck);
@@ -698,7 +773,10 @@ impl LiveCtx {
         }
     }
 
-    /// Handles all already-delivered messages without blocking.
+    /// Handles all already-delivered messages without blocking, then
+    /// flushes the outgoing batch if its wall-clock window has elapsed —
+    /// the live twin of the simulator's flush timer, checked on every
+    /// operation entry.
     fn drain(&mut self) {
         while let Ok(wire) = self.inbox.try_recv() {
             match wire {
@@ -706,6 +784,7 @@ impl LiveCtx {
                 Wire::Shutdown => unreachable!("shutdown during the program"),
             }
         }
+        self.maybe_flush_aged();
     }
 
     /// Blocks until one more message arrives and handles it. With the
@@ -717,6 +796,11 @@ impl LiveCtx {
     /// Panics (with a description) after the configured timeout — the
     /// live executor's deadlock detector.
     fn step(&mut self, waiting_for: &str) {
+        // About to park: never sit on buffered writes another process
+        // might be waiting for — there is no background timer thread, so
+        // blocking is the flush point (the sim's timer fires within
+        // `max_delay_micros`; parking flushes at least that eagerly).
+        self.flush_updates();
         let deadline = Instant::now() + self.timeout;
         loop {
             let wait = if self.session.is_some() {
@@ -763,9 +847,123 @@ impl LiveCtx {
             }
         }
         let (id, deps) = self.replica.local_write(loc, payload.clone(), &self.cfg);
-        self.broadcast_update(Msg::Update { writer: id, loc, payload, deps });
+        if let Some(policy) = self.cfg.batch {
+            self.buffer_write(loc, payload, id, deps, policy);
+        } else {
+            self.broadcast_update(Msg::Update { writer: id, loc, payload, deps });
+        }
         self.drain_flush_waiters();
         id
+    }
+
+    /// Buffers an outgoing update, coalescing with an earlier buffered
+    /// write to the same location (`Set` last-write-wins, `Add` sums);
+    /// force-flushes at the batch-size limit.
+    fn buffer_write(
+        &mut self,
+        loc: Loc,
+        payload: UpdatePayload,
+        id: WriteId,
+        deps: Option<VClock>,
+        policy: BatchPolicy,
+    ) {
+        let b = &mut self.batch;
+        if b.entries.is_empty() {
+            b.first_seq = id.seq;
+            b.since = Some(Instant::now());
+        }
+        b.upto = id.seq;
+        b.deps = deps;
+        let coalesced = match b.last_idx.get(&loc) {
+            Some(&idx) => {
+                let e = &mut b.entries[idx];
+                match (&mut e.payload, &payload) {
+                    (UpdatePayload::Set(cur), UpdatePayload::Set(v)) => {
+                        *cur = *v;
+                        e.writer = id;
+                        true
+                    }
+                    (UpdatePayload::Add(cur), UpdatePayload::Add(d)) => match cur.checked_add(*d) {
+                        Some(sum) => {
+                            *cur = sum;
+                            e.adds.push(id.seq);
+                            e.writer = id;
+                            true
+                        }
+                        None => false,
+                    },
+                    // Kind mismatch: a fresh entry keeps application order.
+                    _ => false,
+                }
+            }
+            None => false,
+        };
+        if !coalesced {
+            let adds = match &payload {
+                UpdatePayload::Add(_) => vec![id.seq],
+                UpdatePayload::Set(_) => Vec::new(),
+            };
+            b.last_idx.insert(loc, b.entries.len());
+            b.entries.push(BatchEntry { loc, payload, writer: id, adds });
+        }
+        if b.entries.len() >= policy.max_updates {
+            self.flush_updates();
+        }
+    }
+
+    /// Sends the buffered batch to every peer, delta-compressing the
+    /// dependency vector against each link's shadow clock and
+    /// piggybacking a cumulative session ack when the session layer has
+    /// delivered anything from that peer.
+    fn flush_updates(&mut self) {
+        if self.cfg.batch.is_none() || self.batch.entries.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.batch.entries);
+        self.batch.last_idx.clear();
+        self.batch.since = None;
+        let (first_seq, upto) = (self.batch.first_seq, self.batch.upto);
+        let deps = self.batch.deps.take();
+        let me = self.proc.index();
+        for to in 0..self.cfg.nprocs {
+            if to == me {
+                continue;
+            }
+            let delta = deps.as_ref().map(|d| {
+                let prev =
+                    self.link_clock_out.entry(to).or_insert_with(|| VClock::new(self.cfg.nprocs));
+                let changed: Vec<(ProcId, u32)> = (0..self.cfg.nprocs as u32)
+                    .map(ProcId)
+                    .filter(|&q| d[q] != prev[q])
+                    .map(|q| (q, d[q]))
+                    .collect();
+                *prev = d.clone();
+                changed
+            });
+            let ack = self.session.as_mut().and_then(|s| {
+                let acked = s.receiver(nid(to), nid(me)).delivered();
+                (acked > 0).then_some(acked)
+            });
+            let msg = Msg::UpdateBatch {
+                proc: self.proc,
+                first_seq,
+                upto,
+                entries: entries.clone(),
+                delta,
+                ack,
+            };
+            self.send(to, msg);
+        }
+    }
+
+    /// Flushes if the buffered batch has outlived its wall-clock window.
+    fn maybe_flush_aged(&mut self) {
+        let Some(policy) = self.cfg.batch else { return };
+        if let Some(since) = self.batch.since {
+            if since.elapsed() >= Duration::from_micros(policy.max_delay_micros) {
+                self.flush_updates();
+            }
+        }
     }
 
     /// Writes `value` to `loc` and returns the write identity.
@@ -874,6 +1072,10 @@ impl LiveCtx {
     pub fn unlock(&mut self, lock: LockId, mode: LockMode) {
         assert_eq!(self.held.get(&lock), Some(&mode), "{} bad unlock", self.proc);
         self.drain();
+        // Everything written inside the critical section must be on the
+        // wire before the release (and before eager flush probes quote
+        // `own_count`): the next holder's grant orders after these sends.
+        self.flush_updates();
         let eager = self.cfg.lock_propagation == LockPropagation::Eager
             && self.cfg.mode.is_replicated()
             && self.cfg.nprocs > 1;
@@ -951,6 +1153,9 @@ impl LiveCtx {
     /// Arrives at (and passes) a barrier object.
     pub fn barrier_on(&mut self, barrier: BarrierId) {
         self.drain();
+        // Pre-barrier writes must precede the arrival: the release's
+        // knowledge vector points peers at them.
+        self.flush_updates();
         let round = {
             let e = self.barrier_next.entry(barrier).or_insert(0);
             let r = *e;

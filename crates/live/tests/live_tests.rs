@@ -326,3 +326,98 @@ fn live_tracing_records_message_events() {
     });
     assert!(quiet.run().unwrap().trace.is_none());
 }
+
+#[test]
+fn batched_runs_converge_and_check_on_real_threads() {
+    // Same programs, batching on: coalesced batches + delta-compressed
+    // vectors must produce the same results the unbatched paths do, and
+    // the recorded histories must still satisfy Definition 4.
+    for mode in [Mode::Pram, Mode::Causal, Mode::Mixed] {
+        for _ in 0..REPS {
+            let mut sys = LiveSystem::new(3, mode)
+                .batching(Some(mc_proto::BatchPolicy::default()))
+                .record(true);
+            for p in 0..3u32 {
+                sys.spawn(move |ctx| {
+                    for i in 0..10i64 {
+                        ctx.write(Loc(p), i);
+                    }
+                    ctx.add(Loc(3), 1);
+                    ctx.barrier();
+                    for q in 0..3u32 {
+                        assert_eq!(ctx.read_causal(Loc(q)), Value::Int(9), "{mode}: stale");
+                    }
+                    assert_eq!(ctx.read_causal(Loc(3)), Value::Int(3), "{mode}: lost add");
+                });
+            }
+            let outcome = sys.run().unwrap_or_else(|e| panic!("{mode}: {e}"));
+            let h = outcome.history.expect("recorded");
+            check::check_mixed(&h).unwrap_or_else(|e| panic!("{mode}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn batched_writes_cut_live_traffic() {
+    // 30 same-location writes per process coalesce into a handful of
+    // batch frames: the batched run must move well under half the
+    // messages of the unbatched one.
+    let run = |batch: Option<mc_proto::BatchPolicy>| {
+        let mut sys = LiveSystem::new(3, Mode::Causal).batching(batch);
+        for p in 0..3u32 {
+            sys.spawn(move |ctx| {
+                for i in 0..30i64 {
+                    ctx.write(Loc(p), i);
+                }
+                ctx.barrier();
+                for q in 0..3u32 {
+                    assert_eq!(ctx.read_causal(Loc(q)), Value::Int(29));
+                }
+            });
+        }
+        sys.run().expect("clean run")
+    };
+    let unbatched = run(None);
+    let batched = run(Some(mc_proto::BatchPolicy::default()));
+    assert!(
+        batched.messages * 2 <= unbatched.messages,
+        "batched {} vs unbatched {} messages",
+        batched.messages,
+        unbatched.messages
+    );
+    assert!(
+        batched.bytes < unbatched.bytes,
+        "batched {} vs unbatched {} bytes",
+        batched.bytes,
+        unbatched.bytes
+    );
+}
+
+#[test]
+fn batched_lossy_session_still_converges() {
+    // Batching stacked under the session layer on lossy links: the
+    // piggybacked acks ride batch frames and retransmission masks every
+    // drop.
+    for rep in 0..3u64 {
+        let mut sys = LiveSystem::new(3, Mode::Mixed)
+            .lossy(0.2, 900 + rep)
+            .reliable(true)
+            .batching(Some(mc_proto::BatchPolicy::default()))
+            .record(true);
+        for p in 0..3u32 {
+            sys.spawn(move |ctx| {
+                for i in 0..5i64 {
+                    ctx.write(Loc(p), i);
+                }
+                ctx.barrier();
+                for q in 0..3u32 {
+                    assert_eq!(ctx.read_causal(Loc(q)), Value::Int(4), "rep {rep}: stale");
+                }
+            });
+        }
+        let outcome = sys.run().unwrap_or_else(|e| panic!("rep {rep}: {e}"));
+        assert!(outcome.lost > 0, "rep {rep}: the shim dropped nothing");
+        let h = outcome.history.expect("recorded");
+        check::check_mixed(&h).unwrap_or_else(|e| panic!("rep {rep}: {e}"));
+    }
+}

@@ -81,6 +81,39 @@ impl fmt::Display for LockPropagation {
     }
 }
 
+/// When buffered updates are force-flushed into an
+/// [`UpdateBatch`](crate::Msg::UpdateBatch), beyond the mandatory
+/// flush-before-sync points (lock release, barrier arrival, blocking
+/// await). Batching exploits the FIFO-channel assumption the protocol
+/// already relies on: a batch applied atomically at the receiver is
+/// indistinguishable from its member updates delivered back to back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BatchPolicy {
+    /// Flush once this many (coalesced) entries are buffered.
+    pub max_updates: usize,
+    /// Flush at most this long (virtual time in the simulator, wall
+    /// clock in the live executor) after the first buffered update —
+    /// the liveness backstop for processes that stop writing without
+    /// synchronizing.
+    pub max_delay_micros: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_updates: 16, max_delay_micros: 25 }
+    }
+}
+
+impl BatchPolicy {
+    /// A policy with no delay window: updates buffer only until the
+    /// next scheduling point (the flush timer is armed at zero delay).
+    /// Useful for exploration, where virtual-time windows would hide
+    /// interleavings behind the end of the program.
+    pub fn immediate() -> Self {
+        BatchPolicy { max_delay_micros: 0, ..BatchPolicy::default() }
+    }
+}
+
 /// Configuration of a [`Dsm`](crate::Dsm) instance.
 #[derive(Clone, Debug)]
 pub struct DsmConfig {
@@ -106,6 +139,18 @@ pub struct DsmConfig {
     /// already provides FIFO channels; turn it on when a
     /// [`FaultPlan`](mc_sim::FaultPlan) attacks them.
     pub reliable: bool,
+    /// Batched/coalesced update propagation. `None` (the default)
+    /// broadcasts one [`Msg::Update`](crate::Msg::Update) per write, as
+    /// in the paper's Section 6 sketch; `Some` buffers and coalesces
+    /// writes per the policy, flushing before every synchronization
+    /// message so the `↦lock`/`↦bar` orders of Definitions 2–4 are
+    /// preserved by construction.
+    pub batch: Option<BatchPolicy>,
+    /// Number of shared-memory locations the application uses, used to
+    /// pre-size replica stores so the hot read path needs no growth
+    /// checks. Accesses beyond this hint still work (the store grows on
+    /// the write path).
+    pub locations: usize,
 }
 
 impl DsmConfig {
@@ -118,12 +163,26 @@ impl DsmConfig {
             barrier_groups: std::collections::HashMap::new(),
             manager_shards: 1,
             reliable: false,
+            batch: None,
+            locations: 64,
         }
     }
 
     /// Enables or disables the reliable-delivery session layer.
     pub fn with_reliable(mut self, reliable: bool) -> Self {
         self.reliable = reliable;
+        self
+    }
+
+    /// Enables (`Some`) or disables (`None`) batched update propagation.
+    pub fn with_batching(mut self, batch: Option<BatchPolicy>) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the store pre-sizing hint.
+    pub fn with_locations(mut self, locations: usize) -> Self {
+        self.locations = locations;
         self
     }
 
@@ -221,5 +280,17 @@ mod tests {
         assert_eq!(c.nnodes(), 5);
         assert_eq!(c.manager_node(), mc_sim::NodeId(4));
         assert_eq!(c.lock_propagation, LockPropagation::DemandDriven);
+    }
+
+    #[test]
+    fn batch_policy_defaults() {
+        let c = DsmConfig::new(2, Mode::Causal);
+        assert_eq!(c.batch, None, "batching is opt-in");
+        let c = c.with_batching(Some(BatchPolicy::default()));
+        let p = c.batch.unwrap();
+        assert!(p.max_updates > 1);
+        assert!(p.max_delay_micros > 0);
+        assert_eq!(BatchPolicy::immediate().max_delay_micros, 0);
+        assert_eq!(BatchPolicy::immediate().max_updates, p.max_updates);
     }
 }

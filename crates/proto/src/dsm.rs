@@ -12,9 +12,39 @@ use mc_sim::{NetCtx, NodeId, Poll, ProcToken, Protocol};
 
 use crate::config::{DsmConfig, LockPropagation, Mode};
 use crate::manager::Manager;
-use crate::msg::{GrantInfo, Msg, UpdatePayload};
+use crate::msg::{BatchEntry, GrantInfo, Msg, UpdatePayload};
 use crate::replica::Replica;
 use crate::session::{self, Session, SessionConfig};
+
+/// Timer-token namespace bit for batch flush timers. Session link
+/// tokens pack two 32-bit node ids, so their bit 63 is always clear;
+/// flush tokens set it and carry the flushing process in the low bits.
+const FLUSH_TOKEN_BIT: u64 = 1 << 63;
+
+fn flush_token(p: ProcId) -> u64 {
+    FLUSH_TOKEN_BIT | p.0 as u64
+}
+
+/// One process's outgoing update buffer (batching enabled only).
+/// Entries coalesce same-location writes: `Set` last-write-wins, `Add`
+/// sums — each against the *latest* entry for the location, so a
+/// kind mismatch starts a new entry and order is preserved.
+#[derive(Debug, Default)]
+struct OutBatch {
+    /// First own-write sequence number buffered.
+    first_seq: u32,
+    /// Last own-write sequence number buffered.
+    upto: u32,
+    entries: Vec<BatchEntry>,
+    /// Latest entry index per location (coalescing target).
+    last_idx: HashMap<Loc, usize>,
+    /// Dependency vector of the last buffered write (vector modes).
+    deps: Option<VClock>,
+    /// Whether a flush timer is pending for this process. Timers cannot
+    /// be cancelled, so a timer that fires after a sync-triggered flush
+    /// clears the flag and flushes whatever (possibly nothing) is there.
+    timer_armed: bool,
+}
 
 /// A memory or synchronization operation submitted by a process.
 #[derive(Clone, Debug)]
@@ -144,6 +174,14 @@ pub struct Dsm {
     sc_pending_write: Vec<Option<WriteId>>,
     /// Reliable-delivery session layer (`Some` iff [`DsmConfig::reliable`]).
     session: Option<Session>,
+    /// Per-process outgoing update buffers (used iff [`DsmConfig::batch`]).
+    out_batches: Vec<OutBatch>,
+    /// Sender-side shadow of the dependency clock last transmitted on
+    /// each directed replica link (vector-clock delta compression).
+    link_clock_out: HashMap<(NodeId, NodeId), VClock>,
+    /// Receiver-side shadow clocks reconstructing full vectors from
+    /// per-link deltas.
+    link_clock_in: HashMap<(NodeId, NodeId), VClock>,
 }
 
 impl Dsm {
@@ -151,7 +189,9 @@ impl Dsm {
     pub fn new(cfg: DsmConfig) -> Self {
         let n = cfg.nprocs;
         Dsm {
-            replicas: (0..n).map(|i| Replica::new(ProcId(i as u32), n)).collect(),
+            replicas: (0..n)
+                .map(|i| Replica::new(ProcId(i as u32), n).with_store_capacity(cfg.locations))
+                .collect(),
             managers: (0..cfg.manager_shards).map(|_| Manager::new(n)).collect(),
             blocked: vec![None; n],
             held: vec![HashMap::new(); n],
@@ -163,6 +203,9 @@ impl Dsm {
             sc_resp: vec![None; n],
             sc_pending_write: vec![None; n],
             session: cfg.reliable.then(|| Session::new(SessionConfig::default())),
+            out_batches: (0..n).map(|_| OutBatch::default()).collect(),
+            link_clock_out: HashMap::new(),
+            link_clock_in: HashMap::new(),
             cfg,
         }
     }
@@ -202,11 +245,30 @@ impl Dsm {
     ///
     /// With tracing on, an update's vector timestamp is attached to the
     /// message span the network just recorded — the same clocks that
-    /// order causal delivery double as trace metadata.
+    /// order causal delivery double as trace metadata. Batch frames are
+    /// annotated with their member writes instead (sequence range plus
+    /// the coalesced per-location entries).
     fn send(&mut self, net: &mut NetCtx<'_, Msg>, from: NodeId, to: NodeId, msg: Msg) {
-        let vclock = if net.tracing() {
+        let annotation: Option<(&'static str, String)> = if net.tracing() {
             match &msg {
-                Msg::Update { deps: Some(deps), .. } => Some(deps.to_string()),
+                Msg::Update { deps: Some(deps), .. } => Some(("vclock", deps.to_string())),
+                Msg::UpdateBatch { first_seq, upto, entries, delta, .. } => {
+                    let members: Vec<String> = entries
+                        .iter()
+                        .map(|e| match e.payload {
+                            UpdatePayload::Set(_) => e.loc.to_string(),
+                            UpdatePayload::Add(_) => format!("{}+{}", e.loc, e.adds.len()),
+                        })
+                        .collect();
+                    Some((
+                        "batch",
+                        format!(
+                            "w{first_seq}..={upto} [{}] Δ{}",
+                            members.join(","),
+                            delta.as_ref().map_or(0, Vec::len)
+                        ),
+                    ))
+                }
                 _ => None,
             }
         } else {
@@ -229,8 +291,122 @@ impl Dsm {
                 net.send(from, to, kind, wrapped.wire_bytes(), wrapped);
             }
         }
-        if let Some(v) = vclock {
-            net.trace_annotate("vclock", v);
+        if let Some((key, v)) = annotation {
+            net.trace_annotate(key, v);
+        }
+    }
+
+    /// Buffers a local write into the process's outgoing batch,
+    /// coalescing against the latest entry for the location, arming the
+    /// flush timer on the empty→non-empty transition, and force-flushing
+    /// at the policy's size limit.
+    fn buffer_write(
+        &mut self,
+        p: ProcId,
+        loc: Loc,
+        payload: UpdatePayload,
+        id: WriteId,
+        deps: Option<VClock>,
+        net: &mut NetCtx<'_, Msg>,
+    ) {
+        let policy = self.cfg.batch.expect("batching enabled");
+        let b = &mut self.out_batches[p.index()];
+        if b.entries.is_empty() {
+            b.first_seq = id.seq;
+            if !b.timer_armed {
+                b.timer_armed = true;
+                let delay = mc_sim::SimTime::from_micros(policy.max_delay_micros);
+                net.set_timer(Self::proc_node(p), delay, flush_token(p));
+            }
+        }
+        b.upto = id.seq;
+        b.deps = deps;
+        let coalesced = match b.last_idx.get(&loc) {
+            Some(&idx) => {
+                let e = &mut b.entries[idx];
+                match (&mut e.payload, &payload) {
+                    (UpdatePayload::Set(cur), UpdatePayload::Set(v)) => {
+                        *cur = *v;
+                        e.writer = id;
+                        true
+                    }
+                    (UpdatePayload::Add(cur), UpdatePayload::Add(d)) => match cur.checked_add(*d) {
+                        Some(sum) => {
+                            *cur = sum;
+                            e.adds.push(id.seq);
+                            e.writer = id;
+                            true
+                        }
+                        None => false,
+                    },
+                    // Kind mismatch: a fresh entry keeps application order.
+                    _ => false,
+                }
+            }
+            None => false,
+        };
+        if !coalesced {
+            let adds = match &payload {
+                UpdatePayload::Add(_) => vec![id.seq],
+                UpdatePayload::Set(_) => Vec::new(),
+            };
+            b.last_idx.insert(loc, b.entries.len());
+            b.entries.push(BatchEntry { loc, payload, writer: id, adds });
+        }
+        if b.entries.len() >= policy.max_updates {
+            self.flush_updates(p, net);
+        }
+    }
+
+    /// Flushes the process's outgoing batch (no-op when empty or when
+    /// batching is off) to every peer replica, attaching a per-link
+    /// dependency-clock delta and — when the session layer runs — a
+    /// piggybacked cumulative ack for the reverse link. Called before
+    /// every message that establishes `↦lock`/`↦bar` order, at the size
+    /// limit, and on the delay timer.
+    fn flush_updates(&mut self, p: ProcId, net: &mut NetCtx<'_, Msg>) {
+        if self.cfg.batch.is_none() {
+            return;
+        }
+        let b = &mut self.out_batches[p.index()];
+        if b.entries.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut b.entries);
+        b.last_idx.clear();
+        let (first_seq, upto) = (b.first_seq, b.upto);
+        let deps = b.deps.take();
+        let from = Self::proc_node(p);
+        for j in 0..self.cfg.nprocs as u32 {
+            if j == p.0 {
+                continue;
+            }
+            let to = NodeId(j);
+            // Delta compression: only the components that changed since
+            // the last update frame on this directed link go on the
+            // wire, as absolute values; FIFO delivery (native or
+            // restored by the session layer) keeps both shadow clocks
+            // in lockstep.
+            let delta = deps.as_ref().map(|d| {
+                let prev = self
+                    .link_clock_out
+                    .entry((from, to))
+                    .or_insert_with(|| VClock::new(self.cfg.nprocs));
+                let changed: Vec<(ProcId, u32)> = (0..self.cfg.nprocs as u32)
+                    .map(ProcId)
+                    .filter(|&q| d[q] != prev[q])
+                    .map(|q| (q, d[q]))
+                    .collect();
+                *prev = d.clone();
+                changed
+            });
+            let ack = self.session.as_mut().and_then(|s| {
+                let upto = s.receiver(to, from).delivered();
+                (upto > 0).then_some(upto)
+            });
+            let msg =
+                Msg::UpdateBatch { proc: p, first_seq, upto, entries: entries.clone(), delta, ack };
+            self.send(net, from, to, msg);
         }
     }
 
@@ -277,7 +453,12 @@ impl Dsm {
     }
 
     /// Sends the release to the manager, shipping demand/lazy metadata.
+    /// Buffered updates flush first: the release establishes `↦lock`
+    /// order, so every write program-ordered before it must already be
+    /// on the wire (FIFO links then deliver them ahead of any knowledge
+    /// derived from this release).
     fn finish_release(&mut self, proc: ProcId, lock: LockId, net: &mut NetCtx<'_, Msg>) {
+        self.flush_updates(proc, net);
         let mode = self.held[proc.index()]
             .remove(&lock)
             .unwrap_or_else(|| panic!("{proc} releases {lock} it does not hold"));
@@ -378,6 +559,9 @@ impl Protocol for Dsm {
                     && self.cfg.mode.is_replicated()
                     && self.cfg.nprocs > 1;
                 if eager_flush {
+                    // Buffered updates must precede the flush probes on
+                    // every link, or peers could never reach `upto`.
+                    self.flush_updates(p, net);
                     let upto = self.replicas[p.index()].own_count();
                     self.flush_acks[p.index()] = 0;
                     for i in 0..self.cfg.nprocs as u32 {
@@ -399,6 +583,10 @@ impl Protocol for Dsm {
                     *e += 1;
                     r
                 };
+                // The arrival establishes `↦bar` order: flush first so
+                // participants released with our knowledge can apply
+                // the writes it promises.
+                self.flush_updates(p, net);
                 let knowledge = self.sync_knowledge(p);
                 self.send(
                     net,
@@ -418,6 +606,9 @@ impl Protocol for Dsm {
                 match self.await_ready(p, loc, value) {
                     Some(resp) => Poll::Ready(resp),
                     None => {
+                        // Blocking on a flag others may in turn await:
+                        // don't sit on unflushed writes while parked.
+                        self.flush_updates(p, net);
                         self.blocked[p.index()] = Some(Blocked::Await { loc, value });
                         Poll::Pending
                     }
@@ -459,6 +650,13 @@ impl Protocol for Dsm {
     }
 
     fn on_timer(&mut self, node: NodeId, token: u64, net: &mut NetCtx<'_, Msg>) {
+        if token & FLUSH_TOKEN_BIT != 0 {
+            let p = ProcId((token & !FLUSH_TOKEN_BIT) as u32);
+            debug_assert_eq!(node, Self::proc_node(p), "flush timer fires at the writer");
+            self.out_batches[p.index()].timer_armed = false;
+            self.flush_updates(p, net);
+            return;
+        }
         let Some(s) = &mut self.session else { return };
         let cfg = s.cfg;
         let (from, to) = session::token_link(token);
@@ -516,6 +714,40 @@ impl Dsm {
         match msg {
             Msg::Update { writer, loc, payload, deps } => {
                 let applied = self.replicas[i].ingest(writer, loc, payload, deps, self.cfg.mode);
+                if applied {
+                    self.drain_flush_waiters(to, net);
+                }
+            }
+            Msg::UpdateBatch { proc, first_seq, upto, entries, delta, ack } => {
+                // A piggybacked ack covers the reverse link, sparing a
+                // standalone SessAck's information (the standalone still
+                // travels; cumulative acks are idempotent).
+                if let Some(upto) = ack {
+                    if let Some(s) = &mut self.session {
+                        let cfg = s.cfg;
+                        s.sender(to, from).on_ack(upto, &cfg);
+                    }
+                }
+                // Reconstruct the full dependency clock from the
+                // per-link delta against this link's shadow copy.
+                let deps = delta.map(|dv| {
+                    let prev = self
+                        .link_clock_in
+                        .entry((from, to))
+                        .or_insert_with(|| VClock::new(self.cfg.nprocs));
+                    for (q, c) in dv {
+                        prev.set(q, c);
+                    }
+                    prev.clone()
+                });
+                let applied = self.replicas[i].ingest_batch(
+                    proc,
+                    first_seq,
+                    upto,
+                    entries,
+                    deps,
+                    self.cfg.mode,
+                );
                 if applied {
                     self.drain_flush_waiters(to, net);
                 }
@@ -643,8 +875,12 @@ impl Dsm {
             return Poll::Pending;
         }
         let (id, deps) = self.replicas[p.index()].local_write(loc, payload.clone(), &self.cfg);
-        let msg = Msg::Update { writer: id, loc, payload, deps };
-        self.broadcast_update(net, p, msg);
+        if self.cfg.batch.is_some() {
+            self.buffer_write(p, loc, payload, id, deps, net);
+        } else {
+            let msg = Msg::Update { writer: id, loc, payload, deps };
+            self.broadcast_update(net, p, msg);
+        }
         // The local apply may satisfy pending flush probes.
         self.drain_flush_waiters(node, net);
         Poll::Ready(Resp::Wrote { id })
@@ -1064,6 +1300,149 @@ mod tests {
         });
         // The panic happens on the kernel thread (protocol code).
         let _ = k.run();
+    }
+
+    #[test]
+    fn batched_writes_converge_and_reduce_traffic() {
+        use crate::config::BatchPolicy;
+        let run = |batch: Option<BatchPolicy>| {
+            let cfg = DsmConfig::new(3, Mode::Causal).with_batching(batch);
+            let mut k = kernel_cfg(cfg, 5);
+            for i in 0..3u32 {
+                k.spawn(NodeId(i), move |ctx| {
+                    for j in 0..10 {
+                        write(ctx, i, j as i64);
+                    }
+                    barrier(ctx);
+                    let mut s = 0;
+                    for q in 0..3 {
+                        s += read(ctx, q, ReadLabel::Causal).expect_i64();
+                    }
+                    assert_eq!(s, 27, "every replica sees the final values");
+                });
+            }
+            let report = k.run().unwrap();
+            for i in 0..3 {
+                for q in 0..3u32 {
+                    assert_eq!(report.protocol.replica(ProcId(i)).peek(Loc(q)), Value::Int(9));
+                }
+            }
+            report.metrics
+        };
+        let unbatched = run(None);
+        let batched = run(Some(BatchPolicy::default()));
+        assert_eq!(batched.kind("update").count, 0, "every update rides a batch");
+        assert!(batched.kind("update_batch").count > 0);
+        assert!(
+            batched.messages * 2 <= unbatched.messages,
+            "10 same-location writes coalesce: {} vs {}",
+            batched.messages,
+            unbatched.messages
+        );
+        assert!(batched.bytes < unbatched.bytes, "{} vs {}", batched.bytes, unbatched.bytes);
+    }
+
+    #[test]
+    fn flush_timer_delivers_without_synchronization() {
+        use crate::config::BatchPolicy;
+        for mode in [Mode::Pram, Mode::Causal, Mode::Mixed] {
+            let cfg = DsmConfig::new(2, mode).with_batching(Some(BatchPolicy::default()));
+            let mut k = kernel_cfg(cfg, 1);
+            let seen = Arc::new(Mutex::new(Value::Int(-1)));
+            let seen2 = seen.clone();
+            k.spawn(NodeId(0), |ctx| {
+                write(ctx, 0, 42);
+                write(ctx, 1, 1); // flag — nothing ever syncs explicitly
+            });
+            k.spawn(NodeId(1), move |ctx| {
+                ctx.request(Req::Await { loc: Loc(1), value: Value::Int(1) });
+                *seen2.lock().unwrap() = read(ctx, 0, ReadLabel::Causal);
+            });
+            k.run().unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert_eq!(*seen.lock().unwrap(), Value::Int(42), "{mode}");
+        }
+    }
+
+    #[test]
+    fn size_limit_forces_intermediate_flushes() {
+        use crate::config::BatchPolicy;
+        let policy = BatchPolicy { max_updates: 4, max_delay_micros: 10_000 };
+        let cfg = DsmConfig::new(2, Mode::Pram).with_batching(Some(policy));
+        let mut k = kernel_cfg(cfg, 2);
+        k.spawn(NodeId(0), |ctx| {
+            for j in 0..8u32 {
+                write(ctx, j, 1); // distinct locations: no coalescing
+            }
+        });
+        k.spawn(NodeId(1), |_ctx| {});
+        let report = k.run().unwrap();
+        assert_eq!(
+            report.metrics.kind("update_batch").count,
+            2,
+            "8 distinct-location writes at max_updates=4 make exactly 2 batches"
+        );
+        assert_eq!(report.protocol.replica(ProcId(1)).peek(Loc(7)), Value::Int(1));
+    }
+
+    #[test]
+    fn batched_counters_converge_on_await() {
+        use crate::config::BatchPolicy;
+        for mode in [Mode::Pram, Mode::Causal, Mode::Mixed] {
+            let cfg = DsmConfig::new(3, mode).with_batching(Some(BatchPolicy::default()));
+            let mut k = kernel_cfg(cfg, 3);
+            for i in 0..3u32 {
+                k.spawn(NodeId(i), move |ctx| {
+                    for _ in 0..4 {
+                        ctx.request(Req::Update { loc: Loc(0), delta: Value::Int(-1) });
+                    }
+                    match ctx.request(Req::Await { loc: Loc(0), value: Value::Int(-12) }) {
+                        Resp::Awaited { writers, .. } => {
+                            assert_eq!(writers.len(), 12, "every member write is credited")
+                        }
+                        other => panic!("{other:?}"),
+                    }
+                });
+            }
+            k.run().unwrap_or_else(|e| panic!("{mode}: {e}"));
+        }
+    }
+
+    #[test]
+    fn batched_session_masks_faults_with_piggybacked_acks() {
+        use crate::config::BatchPolicy;
+        use mc_sim::{FaultPlan, SimTime};
+        let faults =
+            FaultPlan::new().drop_rate(0.1).duplicate_rate(0.1).reorder(SimTime::from_micros(40));
+        for mode in [Mode::Pram, Mode::Causal, Mode::Mixed] {
+            let cfg = DsmConfig::new(3, mode)
+                .with_reliable(true)
+                .with_batching(Some(BatchPolicy::default()));
+            let nnodes = cfg.nnodes();
+            let mut k = Kernel::new(Dsm::new(cfg), nnodes, faulty_sim(9, faults.clone()));
+            for i in 0..3u32 {
+                k.spawn(NodeId(i), move |ctx| {
+                    for _ in 0..5 {
+                        ctx.request(Req::Lock { lock: LockId(0), mode: LockMode::Write });
+                        let v = read(ctx, 0, ReadLabel::Causal).expect_i64();
+                        write(ctx, 0, v + 1);
+                        ctx.request(Req::Unlock { lock: LockId(0), mode: LockMode::Write });
+                    }
+                });
+            }
+            let report = k.run().unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert!(report.metrics.faults.total() > 0, "{mode}: faults were injected");
+            let dsm = &report.protocol;
+            assert_eq!(dsm.session().unwrap().total_unacked(), 0, "{mode}: session drained");
+            for i in 0..3 {
+                let r = dsm.replica(ProcId(i));
+                for j in 0..3 {
+                    assert_eq!(r.applied[ProcId(j)], 5, "{mode} replica {i} applied all of p{j}");
+                }
+                if mode.carries_vectors() {
+                    assert_eq!(r.peek(Loc(0)), Value::Int(15), "{mode} replica {i} converged");
+                }
+            }
+        }
     }
 
     #[test]

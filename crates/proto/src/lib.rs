@@ -33,9 +33,9 @@ pub mod msg;
 pub mod replica;
 pub mod session;
 
-pub use config::{DsmConfig, LockPropagation, Mode};
+pub use config::{BatchPolicy, DsmConfig, LockPropagation, Mode};
 pub use dsm::{Dsm, Req, Resp};
 pub use manager::Manager;
-pub use msg::{GrantInfo, Msg, UpdatePayload};
+pub use msg::{BatchEntry, GrantInfo, Msg, UpdatePayload};
 pub use replica::Replica;
 pub use session::{LinkReceiver, LinkSender, Session, SessionConfig};

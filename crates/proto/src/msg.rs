@@ -40,6 +40,33 @@ impl GrantInfo {
     }
 }
 
+/// One coalesced entry of a [`Msg::UpdateBatch`]: the surviving value
+/// for a location after last-write-wins (`Set`) or summing (`Add`)
+/// coalescing within the batch window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchEntry {
+    /// Location updated.
+    pub loc: Loc,
+    /// The coalesced payload: the last `Set`, or the summed `Add` delta.
+    pub payload: UpdatePayload,
+    /// The last member write coalesced into this entry (the surviving
+    /// `last_writer` identity at the receiver).
+    pub writer: WriteId,
+    /// For `Add` entries: the own-sequence numbers of *every* member
+    /// write, so the receiver can credit each writer identity to its
+    /// counter (`await` on counters needs all of them, not just the
+    /// last). Empty for `Set` entries.
+    pub adds: Vec<u32>,
+}
+
+impl BatchEntry {
+    /// Modeled wire size in bytes: location + tagged payload + writer
+    /// sequence (16), plus 4 per extra coalesced `Add` member.
+    pub fn wire_bytes(&self) -> u64 {
+        16 + 4 * self.adds.len() as u64
+    }
+}
+
 /// A protocol message.
 #[derive(Clone, Debug)]
 pub enum Msg {
@@ -55,6 +82,31 @@ pub enum Msg {
         payload: UpdatePayload,
         /// Vector timestamp (causal/mixed only).
         deps: Option<VClock>,
+    },
+    /// A batch of coalesced updates from one process, covering its own
+    /// writes `first_seq..=upto` in sequence order. Applied atomically
+    /// at the receiver — indistinguishable, over a FIFO link, from the
+    /// member [`Msg::Update`]s delivered back to back.
+    UpdateBatch {
+        /// The writing process.
+        proc: ProcId,
+        /// First own-write sequence number covered by this batch.
+        first_seq: u32,
+        /// Last own-write sequence number covered by this batch.
+        upto: u32,
+        /// Coalesced per-location entries, in batch-buffer order.
+        entries: Vec<BatchEntry>,
+        /// Delta-compressed dependency clock (causal/mixed only): the
+        /// components of the sender's vector timestamp *at the last
+        /// member write* that changed since the previous update message
+        /// on this directed link, as absolute values. The receiver
+        /// reconstructs the full clock from its per-link shadow copy.
+        /// `None` in PRAM mode.
+        delta: Option<Vec<(ProcId, u32)>>,
+        /// Piggybacked session acknowledgement for the reverse link
+        /// (highest in-order sequence number delivered), when the
+        /// session layer is running.
+        ack: Option<u64>,
     },
     /// Eager unlock: "flush all updates" probe from a releasing process.
     Flush {
@@ -181,10 +233,21 @@ impl Msg {
     pub fn wire_bytes(&self) -> u64 {
         match self {
             Msg::Update { deps, .. } => 24 + deps.as_ref().map_or(0, |d| 4 * d.len() as u64),
+            // Batch header: proc + first_seq + upto + entry count (16),
+            // then the entries, 8 per transmitted clock-delta component,
+            // and 8 for a piggybacked ack when present.
+            Msg::UpdateBatch { entries, delta, ack, .. } => {
+                16 + entries.iter().map(BatchEntry::wire_bytes).sum::<u64>()
+                    + delta.as_ref().map_or(0, |d| 8 * d.len() as u64)
+                    + ack.map_or(0, |_| 8)
+            }
             Msg::Flush { .. } => 12,
             Msg::FlushAck => 8,
             Msg::LockReq { .. } => 13,
-            Msg::LockGrant { grant, .. } => grant.wire_bytes(),
+            // Lock-id header (8) on top of the grant payload — the
+            // payload alone was counted before, undercounting every
+            // grant by its header.
+            Msg::LockGrant { grant, .. } => 8 + grant.wire_bytes(),
             Msg::LockRel { knowledge, dirty, .. } => {
                 17 + 4 * knowledge.len() as u64 + 12 * dirty.len() as u64
             }
@@ -206,6 +269,7 @@ impl Msg {
     pub fn kind(&self) -> &'static str {
         match self {
             Msg::Update { .. } => "update",
+            Msg::UpdateBatch { .. } => "update_batch",
             Msg::Flush { .. } => "flush",
             Msg::FlushAck => "flush_ack",
             Msg::LockReq { .. } => "lock_req",
@@ -269,5 +333,115 @@ mod tests {
             assert!(!m.kind().is_empty());
             assert!(m.wire_bytes() > 0);
         }
+    }
+
+    /// Pins the byte formula of *every* message variant: any change to
+    /// the wire model must be deliberate (it shifts every bench
+    /// baseline). Notably, `LockGrant` counts its 8-byte lock-id header
+    /// on top of the grant payload — an earlier version dropped it.
+    #[test]
+    fn wire_bytes_pinned_for_every_variant() {
+        let wid = WriteId::new(ProcId(1), 7);
+        let vc = |n: usize| VClock::new(n);
+        let set = UpdatePayload::Set(Value::Int(5));
+
+        // Update: 24 header/payload + 4 per clock component.
+        let m = Msg::Update { writer: wid, loc: Loc(2), payload: set.clone(), deps: None };
+        assert_eq!(m.wire_bytes(), 24);
+        let m = Msg::Update { writer: wid, loc: Loc(2), payload: set.clone(), deps: Some(vc(3)) };
+        assert_eq!(m.wire_bytes(), 24 + 4 * 3);
+
+        // UpdateBatch: 16 header + Σ entry (16 + 4·adds) + 8 per delta
+        // component + 8 if an ack rides along.
+        let entries = vec![
+            BatchEntry { loc: Loc(0), payload: set.clone(), writer: wid, adds: vec![] },
+            BatchEntry {
+                loc: Loc(1),
+                payload: UpdatePayload::Add(Value::Int(3)),
+                writer: wid,
+                adds: vec![5, 6, 7],
+            },
+        ];
+        let m = Msg::UpdateBatch {
+            proc: ProcId(1),
+            first_seq: 5,
+            upto: 7,
+            entries: entries.clone(),
+            delta: None,
+            ack: None,
+        };
+        assert_eq!(m.wire_bytes(), 16 + 16 + (16 + 4 * 3));
+        let m = Msg::UpdateBatch {
+            proc: ProcId(1),
+            first_seq: 5,
+            upto: 7,
+            entries,
+            delta: Some(vec![(ProcId(1), 7), (ProcId(2), 4)]),
+            ack: Some(9),
+        };
+        assert_eq!(m.wire_bytes(), 16 + 16 + (16 + 4 * 3) + 8 * 2 + 8);
+        assert_eq!(m.kind(), "update_batch");
+
+        assert_eq!(Msg::Flush { from_proc: ProcId(0), upto: 1 }.wire_bytes(), 12);
+        assert_eq!(Msg::FlushAck.wire_bytes(), 8);
+        assert_eq!(
+            Msg::LockReq { proc: ProcId(0), lock: LockId(0), mode: LockMode::Write }.wire_bytes(),
+            13
+        );
+
+        // LockGrant: 8-byte lock id + grant payload
+        // (8 + 4·knowledge + 8·preds + 12·demand).
+        let grant = GrantInfo {
+            knowledge: vc(3),
+            preds: vec![(ProcId(0), 2)],
+            demand: vec![(Loc(1), ProcId(0), 2), (Loc(2), ProcId(1), 1)],
+        };
+        let m = Msg::LockGrant { lock: LockId(4), grant };
+        assert_eq!(m.wire_bytes(), 8 + (8 + 4 * 3 + 8 + 12 * 2));
+        let empty = Msg::LockGrant { lock: LockId(4), grant: GrantInfo::default() };
+        assert_eq!(empty.wire_bytes(), 8 + 8, "grant header must include the lock id");
+
+        // LockRel: 17 + 4·knowledge + 12·dirty.
+        let m = Msg::LockRel {
+            proc: ProcId(0),
+            lock: LockId(1),
+            mode: LockMode::Write,
+            knowledge: vc(2),
+            own_count: 4,
+            dirty: vec![(Loc(0), 4)],
+        };
+        assert_eq!(m.wire_bytes(), 17 + 4 * 2 + 12);
+
+        let m = Msg::BarrierArrive {
+            proc: ProcId(0),
+            barrier: mc_model::BarrierId(0),
+            round: 1,
+            knowledge: vc(2),
+        };
+        assert_eq!(m.wire_bytes(), 16 + 4 * 2);
+        let m = Msg::BarrierRelease { barrier: mc_model::BarrierId(0), round: 1, knowledge: vc(2) };
+        assert_eq!(m.wire_bytes(), 12 + 4 * 2);
+
+        assert_eq!(Msg::ScRead { proc: ProcId(0), loc: Loc(0) }.wire_bytes(), 12);
+        assert_eq!(
+            Msg::ScReadResp { value: Value::Int(0), writer: None }.wire_bytes(),
+            24,
+            "responses reserve the writer-id slot whether or not it is filled"
+        );
+        assert_eq!(Msg::ScWrite { writer: wid, loc: Loc(0), payload: set }.wire_bytes(), 28);
+        assert_eq!(Msg::ScWriteAck.wire_bytes(), 8);
+        assert_eq!(
+            Msg::ScAwait { proc: ProcId(0), loc: Loc(0), value: Value::Int(1) }.wire_bytes(),
+            20
+        );
+        assert_eq!(
+            Msg::ScAwaitResp { value: Value::Int(1), writers: vec![wid, wid] }.wire_bytes(),
+            16 + 8 * 2
+        );
+
+        // Session wrapper: 8-byte sequence header on the inner payload.
+        let m = Msg::SessData { seq: 3, inner: Box::new(Msg::FlushAck) };
+        assert_eq!(m.wire_bytes(), 8 + 8);
+        assert_eq!(Msg::SessAck { upto: 3 }.wire_bytes(), 12);
     }
 }

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use mc_model::{Loc, ProcId, VClock, Value, WriteId};
 
 use crate::config::{DsmConfig, Mode};
-use crate::msg::UpdatePayload;
+use crate::msg::{BatchEntry, UpdatePayload};
 
 /// A pending (causally not yet ready) remote update.
 #[derive(Clone, Debug)]
@@ -34,6 +34,21 @@ pub struct PendingUpdate {
     pub payload: UpdatePayload,
     /// The writer's vector timestamp.
     pub deps: VClock,
+}
+
+/// A pending (causally not yet ready) remote update batch, applied
+/// atomically once its first member is next in the sender's sequence
+/// and the last member's cross-process dependencies are met.
+#[derive(Clone, Debug)]
+struct PendingBatch {
+    proc: ProcId,
+    first_seq: u32,
+    upto: u32,
+    entries: Vec<BatchEntry>,
+    /// Dependency vector of the *last* member write. Deps are monotone
+    /// in batch order (same sender, program order), so the last
+    /// member's vector covers every member's cross-process needs.
+    deps: VClock,
 }
 
 /// One process's local copy of the shared memory plus its consistency
@@ -50,6 +65,8 @@ pub struct Replica {
     pub applied: VClock,
     /// Causal-application buffer (causal/mixed modes).
     pending: Vec<PendingUpdate>,
+    /// Causal-application buffer for whole batches.
+    pending_batches: Vec<PendingBatch>,
     /// Causal-read gate.
     pub must_see: VClock,
     /// PRAM-read gate.
@@ -77,6 +94,7 @@ impl Replica {
             last_writer: Vec::new(),
             applied: VClock::new(nprocs),
             pending: Vec::new(),
+            pending_batches: Vec::new(),
             must_see: VClock::new(nprocs),
             pram_wait: VClock::new(nprocs),
             invalid: HashMap::new(),
@@ -86,6 +104,18 @@ impl Replica {
         }
     }
 
+    /// Pre-sizes the store to `locations`, so the hot read path never
+    /// pays a growth check — reads against a pre-sized store are plain
+    /// bounds-checked indexing with no mutation. Writes beyond the hint
+    /// still grow the store on demand.
+    pub fn with_store_capacity(mut self, locations: usize) -> Self {
+        if locations > self.store.len() {
+            self.store.resize(locations, Value::INITIAL);
+            self.last_writer.resize(locations, None);
+        }
+        self
+    }
+
     fn ensure_loc(&mut self, loc: Loc) {
         if loc.index() >= self.store.len() {
             self.store.resize(loc.index() + 1, Value::INITIAL);
@@ -93,27 +123,27 @@ impl Replica {
         }
     }
 
-    /// The current local value of `loc`.
-    pub fn value(&mut self, loc: Loc) -> Value {
-        self.ensure_loc(loc);
-        self.store[loc.index()]
-    }
-
-    /// The current local value of `loc` without mutation (for inspection
-    /// of a finished run).
-    pub fn peek(&self, loc: Loc) -> Value {
+    /// The current local value of `loc`. Never-written locations (in
+    /// particular anything beyond the pre-sized store) read as
+    /// [`Value::INITIAL`].
+    pub fn value(&self, loc: Loc) -> Value {
         self.store.get(loc.index()).copied().unwrap_or(Value::INITIAL)
     }
 
+    /// The current local value of `loc` (alias of [`Replica::value`],
+    /// kept for inspection of a finished run).
+    pub fn peek(&self, loc: Loc) -> Value {
+        self.value(loc)
+    }
+
     /// The write that produced the current local value (None = initial).
-    pub fn writer_of(&mut self, loc: Loc) -> Option<WriteId> {
-        self.ensure_loc(loc);
-        self.last_writer[loc.index()]
+    pub fn writer_of(&self, loc: Loc) -> Option<WriteId> {
+        self.last_writer.get(loc.index()).copied().flatten()
     }
 
     /// The synchronization sources an await observing `loc` records: all
     /// applied updates for counter locations, the last writer otherwise.
-    pub fn await_writers(&mut self, loc: Loc) -> Vec<WriteId> {
+    pub fn await_writers(&self, loc: Loc) -> Vec<WriteId> {
         if let Some(ups) = self.counter_updates.get(&loc) {
             return ups.clone();
         }
@@ -198,19 +228,79 @@ impl Replica {
         self.drain_pending()
     }
 
-    /// Applies every causally ready buffered update; returns `true` if any
-    /// applied.
+    /// Ingests a remote update batch covering the sender's own writes
+    /// `first_seq..=upto`. In PRAM mode the batch applies on receipt; in
+    /// causal/mixed mode it applies atomically once the sender sequence
+    /// is contiguous and the last member's cross-process dependencies
+    /// are met, buffering otherwise. Atomic application over a FIFO
+    /// link is indistinguishable from the member updates delivered back
+    /// to back, which is why batching preserves Definitions 2–4.
+    /// Returns `true` if anything was applied.
+    pub fn ingest_batch(
+        &mut self,
+        proc: ProcId,
+        first_seq: u32,
+        upto: u32,
+        entries: Vec<BatchEntry>,
+        deps: Option<VClock>,
+        mode: Mode,
+    ) -> bool {
+        if !mode.carries_vectors() {
+            let seen = self.applied.get(proc).max(upto);
+            for e in &entries {
+                self.apply_batch_entry(proc, e);
+            }
+            self.applied.set(proc, seen);
+            return true;
+        }
+        let deps = deps.expect("vector modes attach deps");
+        self.pending_batches.push(PendingBatch { proc, first_seq, upto, entries, deps });
+        self.drain_pending()
+    }
+
+    /// Applies every causally ready buffered update or batch (each can
+    /// unblock the other); returns `true` if any applied.
     fn drain_pending(&mut self) -> bool {
         let mut any = false;
         loop {
-            let idx = self.pending.iter().position(|u| self.causally_ready(u));
-            let Some(idx) = idx else { return any };
-            let u = self.pending.swap_remove(idx);
-            self.applied.tick(u.writer.proc);
-            debug_assert_eq!(self.applied[u.writer.proc], u.writer.seq);
-            self.apply_to_store(u.writer, u.loc, &u.payload);
-            any = true;
+            if let Some(idx) = self.pending.iter().position(|u| self.causally_ready(u)) {
+                let u = self.pending.swap_remove(idx);
+                self.applied.tick(u.writer.proc);
+                debug_assert_eq!(self.applied[u.writer.proc], u.writer.seq);
+                self.apply_to_store(u.writer, u.loc, &u.payload);
+                any = true;
+                continue;
+            }
+            if let Some(idx) = self.pending_batches.iter().position(|b| self.batch_ready(b)) {
+                let b = self.pending_batches.swap_remove(idx);
+                for e in &b.entries {
+                    self.apply_batch_entry(b.proc, e);
+                }
+                self.applied.set(b.proc, b.upto);
+                any = true;
+                continue;
+            }
+            return any;
         }
+    }
+
+    /// Applies one coalesced batch entry: `Set` installs the surviving
+    /// value, `Add` applies the summed delta and credits every member
+    /// write identity to the counter.
+    fn apply_batch_entry(&mut self, proc: ProcId, e: &BatchEntry) {
+        self.ensure_loc(e.loc);
+        match &e.payload {
+            UpdatePayload::Set(v) => self.store[e.loc.index()] = *v,
+            UpdatePayload::Add(d) => {
+                let cur = self.store[e.loc.index()];
+                self.store[e.loc.index()] = cur.checked_add(*d).unwrap_or_else(|| {
+                    panic!("update delta kind mismatch at {} ({cur:?} += {d:?})", e.loc)
+                });
+                let ups = self.counter_updates.entry(e.loc).or_default();
+                ups.extend(e.adds.iter().map(|&s| WriteId::new(proc, s)));
+            }
+        }
+        self.last_writer[e.loc.index()] = Some(e.writer);
     }
 
     fn causally_ready(&self, u: &PendingUpdate) -> bool {
@@ -220,9 +310,16 @@ impl Replica {
         u.deps.iter().all(|(p, c)| p == u.writer.proc || self.applied[p] >= c)
     }
 
-    /// Number of buffered (not yet applied) updates.
+    fn batch_ready(&self, b: &PendingBatch) -> bool {
+        if self.applied[b.proc] + 1 != b.first_seq {
+            return false;
+        }
+        b.deps.iter().all(|(p, c)| p == b.proc || self.applied[p] >= c)
+    }
+
+    /// Number of buffered (not yet applied) updates and batches.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending.len() + self.pending_batches.len()
     }
 
     /// Gate for causal reads: the causal cut must be applied locally
@@ -496,6 +593,106 @@ mod tests {
         assert_eq!(r.take_dirty(l), vec![(Loc(1), 4)]);
         // A different lock ships everything.
         assert_eq!(r.take_dirty(LockId(1)).len(), 2);
+    }
+
+    #[test]
+    fn presized_store_reads_without_growth() {
+        let r = Replica::new(p(0), 2).with_store_capacity(16);
+        assert_eq!(r.value(Loc(15)), Value::INITIAL);
+        assert_eq!(r.writer_of(Loc(15)), None);
+        // Beyond the hint still answers (initial), and writing there grows.
+        assert_eq!(r.value(Loc(40)), Value::INITIAL);
+        let mut r = r;
+        r.local_write(Loc(40), UpdatePayload::Set(Value::Int(1)), &cfg(Mode::Pram));
+        assert_eq!(r.value(Loc(40)), Value::Int(1));
+    }
+
+    #[test]
+    fn pram_batch_applies_immediately() {
+        let mut r = Replica::new(p(1), 2);
+        let e = |loc: u32, v: i64, seq: u32| BatchEntry {
+            loc: Loc(loc),
+            payload: UpdatePayload::Set(Value::Int(v)),
+            writer: WriteId::new(p(0), seq),
+            adds: vec![],
+        };
+        assert!(r.ingest_batch(p(0), 1, 3, vec![e(0, 7, 2), e(1, 9, 3)], None, Mode::Pram));
+        assert_eq!(r.value(Loc(0)), Value::Int(7));
+        assert_eq!(r.value(Loc(1)), Value::Int(9));
+        assert_eq!(r.applied[p(0)], 3);
+        assert_eq!(r.writer_of(Loc(1)), Some(WriteId::new(p(0), 3)));
+    }
+
+    #[test]
+    fn causal_batch_waits_for_sequence_and_deps() {
+        let mut r = Replica::new(p(2), 3);
+        // Batch covering p0's writes 2..=3 arrives before write 1: buffered.
+        let mut deps = VClock::new(3);
+        deps.set(p(0), 3);
+        let e = BatchEntry {
+            loc: Loc(0),
+            payload: UpdatePayload::Set(Value::Int(3)),
+            writer: WriteId::new(p(0), 3),
+            adds: vec![],
+        };
+        assert!(!r.ingest_batch(p(0), 2, 3, vec![e], Some(deps), Mode::Causal));
+        assert_eq!(r.pending_len(), 1);
+        // Write 1 (as a singleton) unblocks the batch atomically.
+        let mut d1 = VClock::new(3);
+        d1.set(p(0), 1);
+        assert!(r.ingest(
+            WriteId::new(p(0), 1),
+            Loc(0),
+            UpdatePayload::Set(Value::Int(1)),
+            Some(d1),
+            Mode::Causal,
+        ));
+        assert_eq!(r.pending_len(), 0);
+        assert_eq!(r.applied[p(0)], 3);
+        assert_eq!(r.value(Loc(0)), Value::Int(3));
+    }
+
+    #[test]
+    fn causal_batch_waits_for_cross_deps() {
+        let mut r = Replica::new(p(2), 3);
+        // p1's batch depends on p0's first write.
+        let mut deps = VClock::new(3);
+        deps.set(p(1), 1);
+        deps.set(p(0), 1);
+        let e = BatchEntry {
+            loc: Loc(1),
+            payload: UpdatePayload::Set(Value::Int(5)),
+            writer: WriteId::new(p(1), 1),
+            adds: vec![],
+        };
+        assert!(!r.ingest_batch(p(1), 1, 1, vec![e], Some(deps), Mode::Mixed));
+        let mut d0 = VClock::new(3);
+        d0.set(p(0), 1);
+        assert!(r.ingest(
+            WriteId::new(p(0), 1),
+            Loc(0),
+            UpdatePayload::Set(Value::Int(4)),
+            Some(d0),
+            Mode::Mixed,
+        ));
+        assert_eq!(r.value(Loc(1)), Value::Int(5));
+    }
+
+    #[test]
+    fn batch_add_entry_credits_every_member() {
+        let mut r = Replica::new(p(1), 2);
+        // Three coalesced Adds from p0 (seqs 1..=3) summed into one entry.
+        let e = BatchEntry {
+            loc: Loc(0),
+            payload: UpdatePayload::Add(Value::Int(3)),
+            writer: WriteId::new(p(0), 3),
+            adds: vec![1, 2, 3],
+        };
+        assert!(r.ingest_batch(p(0), 1, 3, vec![e], None, Mode::Pram));
+        assert_eq!(r.value(Loc(0)), Value::Int(3));
+        let writers = r.await_writers(Loc(0));
+        assert_eq!(writers.len(), 3);
+        assert!(writers.contains(&WriteId::new(p(0), 2)));
     }
 
     #[test]

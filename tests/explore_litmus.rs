@@ -73,25 +73,31 @@ fn two_plus_two_w() -> ProgSpec {
 /// equivalence class, so only an interleaving-insensitive projection
 /// can be compared between naive and reduced exploration.
 fn outcomes(spec: &ProgSpec, options: ExploreOptions) -> (ExploreOutcome, BTreeSet<Vec<i64>>) {
+    outcomes_with(spec, options, || spec.build_system())
+}
+
+/// Like [`outcomes`], but with a custom system builder (e.g. the same
+/// spec with batching enabled).
+fn outcomes_with(
+    spec: &ProgSpec,
+    options: ExploreOptions,
+    build: impl Fn() -> mixed_consistency::System + Send + Sync,
+) -> (ExploreOutcome, BTreeSet<Vec<i64>>) {
     let seen = Mutex::new(BTreeSet::new());
-    let out = explore_with(
-        options,
-        || spec.build_system(),
-        |o| {
-            let h = o.history.as_ref().expect("recording enabled");
-            check::check_mixed(h).map_err(|e| e.to_string())?;
-            let mut reads: Vec<(u32, i64)> = h
-                .iter()
-                .filter_map(|(_, op)| match op.kind {
-                    OpKind::Read { value: Value::Int(v), .. } => Some((op.proc.0, v)),
-                    _ => None,
-                })
-                .collect();
-            reads.sort_by_key(|&(p, _)| p);
-            seen.lock().unwrap().insert(reads.into_iter().map(|(_, v)| v).collect::<Vec<i64>>());
-            Ok(())
-        },
-    )
+    let out = explore_with(options, build, |o| {
+        let h = o.history.as_ref().expect("recording enabled");
+        check::check_mixed(h).map_err(|e| e.to_string())?;
+        let mut reads: Vec<(u32, i64)> = h
+            .iter()
+            .filter_map(|(_, op)| match op.kind {
+                OpKind::Read { value: Value::Int(v), .. } => Some((op.proc.0, v)),
+                _ => None,
+            })
+            .collect();
+        reads.sort_by_key(|&(p, _)| p);
+        seen.lock().unwrap().insert(reads.into_iter().map(|(_, v)| v).collect::<Vec<i64>>());
+        Ok(())
+    })
     .unwrap_or_else(|e| panic!("{}: {e}", spec.to_text()));
     (out, seen.into_inner().unwrap())
 }
@@ -165,4 +171,67 @@ fn dpor_parallel_workers_agree_on_litmus_outcomes() {
     let (par, par_set) = outcomes(&spec, ExploreOptions::new().workers(4));
     assert!(seq.complete && par.complete);
     assert_eq!(seq_set, par_set, "worker split must not change the outcome set");
+}
+
+/// Batching conformance: explores `spec` with batching enabled and
+/// compares against the unbatched DPOR outcome set.
+///
+/// Two regimes, two claims:
+///
+/// * [`BatchPolicy::immediate`] (zero-delay flush timer) — every flush
+///   races the surrounding operations exactly like an unbatched send,
+///   so the outcome set must be *identical*;
+/// * [`BatchPolicy::default`] (delayed flush) — the delay narrows the
+///   race window, so the batched set must be a non-empty *subset* of
+///   the unbatched set (batching may remove interleavings, never invent
+///   new observations), and every execution stays checker-green (the
+///   `check_mixed` call inside [`outcomes_with`] enforces that).
+fn batched_conformance(name: &str, spec: &ProgSpec) {
+    let opts = || ExploreOptions::new().max_runs(3_000_000);
+    let (base, base_set) = outcomes(spec, opts());
+    assert!(base.complete, "{name}: unbatched DPOR must exhaust the tree");
+
+    let immediate = mixed_consistency::BatchPolicy::immediate();
+    let (imm, imm_set) =
+        outcomes_with(spec, opts(), || spec.build_system().batching(Some(immediate)));
+    assert!(imm.complete, "{name}: batched (immediate) DPOR must exhaust the tree");
+    assert_eq!(imm_set, base_set, "{name}: zero-delay batching changed the observable outcome set");
+
+    let default = mixed_consistency::BatchPolicy::default();
+    let (def, def_set) =
+        outcomes_with(spec, opts(), || spec.build_system().batching(Some(default)));
+    assert!(def.complete, "{name}: batched (default) DPOR must exhaust the tree");
+    assert!(!def_set.is_empty(), "{name}: batched litmus program must produce reads");
+    assert!(
+        def_set.is_subset(&base_set),
+        "{name}: delayed batching invented outcomes: {:?} not in {:?}",
+        def_set.difference(&base_set).collect::<Vec<_>>(),
+        base_set
+    );
+    println!(
+        "{name}: unbatched {} outcomes, batched immediate {} / default {}",
+        base_set.len(),
+        imm_set.len(),
+        def_set.len()
+    );
+}
+
+#[test]
+fn batched_iriw_conformance() {
+    batched_conformance("iriw", &iriw());
+}
+
+#[test]
+fn batched_wrc_conformance() {
+    batched_conformance("wrc", &wrc());
+}
+
+#[test]
+fn batched_two_plus_two_w_conformance() {
+    batched_conformance("two_plus_two_w", &two_plus_two_w());
+}
+
+#[test]
+fn batched_store_buffer_conformance() {
+    batched_conformance("store_buffer", &store_buffer());
 }
