@@ -654,10 +654,11 @@ fn explore_subtree(shared: &Shared<'_>, pinned: Vec<u32>) -> bool {
                         let n = candidates.len();
                         let mut backtrack = vec![!opts.dpor; n];
                         backtrack[chosen] = true;
-                        // Crash timing is enumerated exhaustively: crash
-                        // steps are not schedule-equivalent to anything.
+                        // Crash and crash-recover timing is enumerated
+                        // exhaustively: these steps are not
+                        // schedule-equivalent to anything.
                         for (i, a) in candidates.iter().enumerate() {
-                            if matches!(a, ActionId::Crash { .. }) {
+                            if matches!(a, ActionId::Crash { .. } | ActionId::CrashRecover { .. }) {
                                 backtrack[i] = true;
                             }
                         }
@@ -1067,5 +1068,118 @@ mod tests {
         .unwrap();
         assert!(out.complete);
         assert!(out.runs > 2, "crash timings must branch: {} runs", out.runs);
+    }
+
+    #[test]
+    fn crash_recover_exploration_never_loses_acked_writes() {
+        // The headline durability property: with a WAL (append-before-ack)
+        // and crash-recovery enabled, *no acknowledged write is ever lost*,
+        // no matter where the crash lands. Node 0 writes x=1, x=2, then a
+        // flag; node 1 awaits the flag and causally reads x. The budget
+        // lets node 0 crash-and-recover at every explored step — including
+        // between the WAL append and the broadcast, between coalesced
+        // batches, and after partial acks. Every branch that completes
+        // must show the full write history intact on the reborn node and
+        // x=2 at the reader (the flag causally follows x=2, so a lost
+        // acked write would surface as a stale read or a checker failure).
+        let out = explore_with(
+            ExploreOptions::new().allow_deadlock(true).max_runs(50_000),
+            || {
+                let mut sys = System::new(2, Mode::Causal)
+                    .record(true)
+                    .sim_config(racing_config())
+                    .reliable(true)
+                    .durability(Some(mc_proto::DurabilityPolicy::new(2)))
+                    .explore_faults(mc_sim::FaultBudget::new().crash_recover_of(mc_sim::NodeId(0)));
+                sys.spawn(|ctx| {
+                    ctx.write(Loc(0), 1);
+                    ctx.write(Loc(0), 2);
+                    ctx.write(Loc(1), 1);
+                });
+                sys.spawn(|ctx| {
+                    ctx.await_eq(Loc(1), 1);
+                    let _ = ctx.read_causal(Loc(0));
+                });
+                sys
+            },
+            |o| {
+                o.verify().map_err(|e| e.to_string())?;
+                let writer = o.dsm().replica(ProcId(0));
+                if writer.applied[ProcId(0)] != 3 {
+                    return Err(format!(
+                        "acked writes lost across recovery: writer replayed {} of 3",
+                        writer.applied[ProcId(0)]
+                    ));
+                }
+                if o.final_value(ProcId(1), Loc(0)) != Value::Int(2) {
+                    return Err(format!(
+                        "reader converged to {:?}, expected Int(2)",
+                        o.final_value(ProcId(1), Loc(0))
+                    ));
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(out.complete);
+        assert!(out.runs > 2, "recovery timings must branch: {} runs", out.runs);
+    }
+
+    #[test]
+    fn batched_and_unbatched_crash_recovery_converge_identically() {
+        // Satellite litmus: a crash can land between coalescing a batch
+        // and flushing it. Whatever the batching policy, the *final*
+        // convergence outcomes reachable across all explored crash
+        // points must be identical — batching may reorder intermediate
+        // visibility (batches apply atomically) but must never change
+        // what the cluster settles on after recovery.
+        use std::collections::BTreeSet;
+
+        fn outcome_set(batch: Option<mc_proto::BatchPolicy>) -> BTreeSet<(i64, i64, i64, i64)> {
+            let set = Mutex::new(BTreeSet::new());
+            let out = explore_with(
+                ExploreOptions::new().allow_deadlock(true).max_runs(50_000),
+                move || {
+                    let mut sys = System::new(2, Mode::Causal)
+                        .record(true)
+                        .sim_config(racing_config())
+                        .reliable(true)
+                        .batching(batch)
+                        .durability(Some(mc_proto::DurabilityPolicy::new(2)))
+                        .explore_faults(
+                            mc_sim::FaultBudget::new().crash_recover_of(mc_sim::NodeId(1)),
+                        );
+                    sys.spawn(|ctx| {
+                        ctx.write(Loc(0), 7);
+                        ctx.write(Loc(1), 8);
+                    });
+                    sys.spawn(|ctx| {
+                        ctx.await_eq(Loc(1), 8);
+                    });
+                    sys
+                },
+                |o| {
+                    let val = |p: u32, l: u32| {
+                        o.final_value(ProcId(p), Loc(l)).as_i64().expect("int values only")
+                    };
+                    set.lock().unwrap().insert((val(0, 0), val(0, 1), val(1, 0), val(1, 1)));
+                    o.verify().map_err(|e| e.to_string())
+                },
+            )
+            .unwrap();
+            assert!(out.complete);
+            set.into_inner().unwrap()
+        }
+
+        let unbatched = outcome_set(None);
+        let batched = outcome_set(Some(mc_proto::BatchPolicy::immediate()));
+        assert!(
+            unbatched.contains(&(7, 8, 7, 8)),
+            "full convergence must be reachable: {unbatched:?}"
+        );
+        assert_eq!(
+            unbatched, batched,
+            "batched recovery must settle on the same outcome set as unbatched"
+        );
     }
 }

@@ -77,9 +77,11 @@ pub use mc_model::{
     check, commute, litmus, programs, sc, trace, viz, BarrierId, History, Loc, LockId, LockMode,
     OpKind, ProcId, ReadLabel, Value, WriteId,
 };
-pub use mc_proto::{BatchPolicy, DsmConfig, LockPropagation, Mode, SessionConfig};
+pub use mc_proto::{
+    BatchPolicy, DsmConfig, DurabilityPolicy, LockPropagation, MemDisk, Mode, SessionConfig,
+};
 pub use mc_sim::{
-    ActionId, Crash, DecisionTrace, FaultBudget, FaultPlan, FaultStats, Histogram, LatencyModel,
-    Metrics, NodeId, Partition, SimConfig, SimError, SimTime, StepInfo, StepKind, Touch,
-    TraceEvent, Tracer,
+    ActionId, Crash, DecisionTrace, DurabilityStats, FaultBudget, FaultPlan, FaultStats, Histogram,
+    LatencyModel, Metrics, NodeId, Partition, SimConfig, SimError, SimTime, StepInfo, StepKind,
+    Touch, TraceEvent, Tracer,
 };

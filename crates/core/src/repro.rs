@@ -47,6 +47,10 @@ pub struct Repro {
     pub budget: Option<FaultBudget>,
     /// The decision prefix to replay (all later decisions are 0).
     pub trace: Vec<u32>,
+    /// Pre-seeded replica disk images (`(proc, serialized MemDisk)`),
+    /// for repros that start from a specific durable state — e.g. a
+    /// torn WAL tail a reborn node must recover through.
+    pub disks: Vec<(u32, Vec<u8>)>,
     /// The program.
     pub spec: ProgSpec,
 }
@@ -77,10 +81,21 @@ impl RunResult {
 
 /// Runs the spec once under the given decision prefix and classifies
 /// the result.
-fn run_once(spec: &ProgSpec, budget: Option<&FaultBudget>, prefix: &[u32]) -> RunResult {
+fn run_once(
+    spec: &ProgSpec,
+    budget: Option<&FaultBudget>,
+    prefix: &[u32],
+    disks: &[(u32, Vec<u8>)],
+) -> RunResult {
     let mut sys = spec.build_system();
     if let Some(b) = budget {
         sys = sys.explore_faults(b.clone());
+    }
+    for (p, image) in disks {
+        match mc_proto::MemDisk::from_image(image) {
+            Some(disk) => sys = sys.seed_disk(crate::ProcId(*p), disk),
+            None => return RunResult::RunFail(format!("disk image for proc {p} is malformed")),
+        }
     }
     sys.zero_jitter_for_exploration();
     let (schedule, _trace) = ReplaySchedule::new(prefix.to_vec());
@@ -161,8 +176,9 @@ pub fn find_and_minimize(
     // Shortest failing prefix: decisions beyond the prefix default to 0
     // on replay, so trailing decisions that the failure does not depend
     // on can simply be cut.
-    let same =
-        |prefix: &[u32]| run_once(&spec, budget, prefix).kind(options.allow_deadlock) == Some(kind);
+    let same = |prefix: &[u32]| {
+        run_once(&spec, budget, prefix, &[]).kind(options.allow_deadlock) == Some(kind)
+    };
     if let Some(cut) = (0..=trace.len()).find(|&i| same(&trace[..i])) {
         trace.truncate(cut);
     }
@@ -192,6 +208,7 @@ pub fn find_and_minimize(
         allow_deadlock: options.allow_deadlock,
         budget: budget.cloned(),
         trace,
+        disks: Vec::new(),
         spec,
     })
 }
@@ -270,13 +287,14 @@ impl Repro {
     /// Returns `true` if the recorded failure category reproduces,
     /// `false` if the run passes (or deadlocks tolerably).
     pub fn replay(&self) -> bool {
-        run_once(&self.spec, self.budget.as_ref(), &self.trace).kind(self.allow_deadlock)
+        run_once(&self.spec, self.budget.as_ref(), &self.trace, &self.disks)
+            .kind(self.allow_deadlock)
             == Some(self.kind)
     }
 
     /// The message the replayed failure produces now (for display).
     pub fn replay_message(&self) -> String {
-        match run_once(&self.spec, self.budget.as_ref(), &self.trace) {
+        match run_once(&self.spec, self.budget.as_ref(), &self.trace, &self.disks) {
             RunResult::Pass => "run passed".to_string(),
             RunResult::Deadlock(m) | RunResult::RunFail(m) | RunResult::VerifyFail(m) => m,
         }
@@ -309,10 +327,18 @@ impl Repro {
                 let nodes: Vec<String> = b.crashes.iter().map(|n| n.0.to_string()).collect();
                 let _ = writeln!(out, "fault-crashes {}", nodes.join(" "));
             }
+            if !b.recovers.is_empty() {
+                let nodes: Vec<String> = b.recovers.iter().map(|n| n.0.to_string()).collect();
+                let _ = writeln!(out, "fault-recovers {}", nodes.join(" "));
+            }
         }
         if !self.trace.is_empty() {
             let steps: Vec<String> = self.trace.iter().map(u32::to_string).collect();
             let _ = writeln!(out, "trace {}", steps.join(" "));
+        }
+        for (p, image) in &self.disks {
+            let hex: String = image.iter().map(|b| format!("{b:02x}")).collect();
+            let _ = writeln!(out, "disk {p} {hex}");
         }
         out.push_str(&self.spec.to_text());
         out
@@ -330,6 +356,7 @@ impl Repro {
         let mut budget = FaultBudget::new();
         let mut has_budget = false;
         let mut trace = Vec::new();
+        let mut disks = Vec::new();
         let mut spec_text = String::new();
         let mut in_spec = false;
         for (ln, raw) in text.lines().enumerate() {
@@ -369,10 +396,30 @@ impl Repro {
                     }
                     has_budget = true;
                 }
+                "fault-recovers" => {
+                    for w in rest.split_whitespace() {
+                        let n: u32 = w.parse().map_err(|_| err("bad recover node"))?;
+                        budget.recovers.push(NodeId(n));
+                    }
+                    has_budget = true;
+                }
                 "trace" => {
                     for w in rest.split_whitespace() {
                         trace.push(w.parse().map_err(|_| err("bad trace step"))?);
                     }
+                }
+                "disk" => {
+                    let (proc, hex) = rest.split_once(' ').ok_or_else(|| err("bad disk line"))?;
+                    let proc: u32 = proc.parse().map_err(|_| err("bad disk proc"))?;
+                    let hex = hex.trim();
+                    if hex.len() % 2 != 0 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                        return Err(err("bad disk hex"));
+                    }
+                    let bytes = (0..hex.len())
+                        .step_by(2)
+                        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
+                        .collect();
+                    disks.push((proc, bytes));
                 }
                 _ => {
                     // The spec begins at its `mode` line.
@@ -388,6 +435,7 @@ impl Repro {
             allow_deadlock,
             budget: has_budget.then_some(budget),
             trace,
+            disks,
             spec: ProgSpec::parse(&spec_text)?,
         })
     }
@@ -457,5 +505,54 @@ mod tests {
         assert!(Repro::parse("mode pram\nproc 0").is_err(), "missing kind");
         assert!(Repro::parse("kind verify\ntrace x\nmode pram\nproc 0").is_err());
         assert!(Repro::parse("kind verify\nfault-drops many\nmode pram\nproc 0").is_err());
+        assert!(Repro::parse("kind verify\nfault-recovers x\nmode pram\nproc 0").is_err());
+        assert!(Repro::parse("kind verify\ndisk 0 zz\nmode pram\nproc 0").is_err());
+        assert!(Repro::parse("kind verify\ndisk 0 abc\nmode pram\nproc 0").is_err(), "odd hex");
+    }
+
+    #[test]
+    fn recovery_artifact_round_trips_and_replays() {
+        // A recovery repro carries three extra ingredients: the
+        // crash-recover budget, the spec's durability cadence, and the
+        // pre-crash durable disk image the reborn node recovers from.
+        // The program deadlocks (awaits a value nobody writes), so the
+        // Run failure reproduces under any replayed decision prefix.
+        let mut disk = mc_proto::MemDisk::new();
+        disk.append(&mc_proto::WalRecord::Incarnation { incarnation: 1 }.encode());
+        disk.sync();
+        let repro = Repro {
+            kind: FailureKind::Run,
+            reason: "deadlock: process 0 awaits a value never written".to_string(),
+            allow_deadlock: false,
+            budget: Some(FaultBudget::new().crash_recover_of(NodeId(0))),
+            trace: Vec::new(),
+            disks: vec![(0, disk.image())],
+            spec: ProgSpec::new(Mode::Pram)
+                .durable(2)
+                .proc(vec![SpecOp::Await { loc: Loc(0), value: 1 }]),
+        };
+        let text = repro.to_text();
+        assert!(text.contains("fault-recovers 0"), "{text}");
+        assert!(text.contains("durability 2"), "{text}");
+        assert!(text.contains("disk 0 "), "{text}");
+        let back = Repro::parse(&text).expect("parses");
+        assert_eq!(back, repro);
+        assert!(back.replay(), "the recovery repro reproduces: {}", back.replay_message());
+    }
+
+    #[test]
+    fn malformed_disk_image_fails_the_replay_cleanly() {
+        let repro = Repro {
+            kind: FailureKind::Run,
+            reason: String::new(),
+            allow_deadlock: false,
+            budget: None,
+            trace: Vec::new(),
+            disks: vec![(0, vec![0x7f, 0x00])],
+            spec: ProgSpec::new(Mode::Pram)
+                .durable(2)
+                .proc(vec![SpecOp::Write { loc: Loc(0), value: 1 }]),
+        };
+        assert!(repro.replay_message().contains("malformed"));
     }
 }

@@ -155,6 +155,7 @@ pub struct System {
     record: bool,
     trace: bool,
     schedule: Option<Box<dyn mc_sim::Schedule>>,
+    seed_disks: Vec<(ProcId, mc_proto::MemDisk)>,
     #[allow(clippy::type_complexity)]
     procs: Vec<Box<dyn FnOnce(&mut Ctx<'_>) + Send + 'static>>,
 }
@@ -178,8 +179,17 @@ impl System {
             record: false,
             trace: false,
             schedule: None,
+            seed_disks: Vec::new(),
             procs: Vec::new(),
         }
+    }
+
+    /// Pre-seeds `proc`'s replica disk before the run — the durable
+    /// image a reborn node recovers from. Lets repro artifacts (and
+    /// corruption tests) start a run from an exact on-disk state.
+    pub fn seed_disk(mut self, proc: ProcId, disk: mc_proto::MemDisk) -> Self {
+        self.seed_disks.push((proc, disk));
+        self
     }
 
     /// Selects the lock propagation variant (default: lazy).
@@ -290,6 +300,20 @@ impl System {
         self
     }
 
+    /// Enables (`Some`) or disables (`None`, the default) durable crash
+    /// recovery ([`mc_proto::DurabilityPolicy`]): every replica keeps a
+    /// write-ahead log with append-before-ack for its own writes plus
+    /// compacted snapshots, so a crash-recover fault (timed via
+    /// [`FaultPlan::crash_recover`], or explored via
+    /// [`mc_sim::FaultBudget::crash_recover_of`]) rebuilds the replica
+    /// from disk and fetches only the missing delta from peers. Combine
+    /// with [`System::reliable`] so the recovery handshake survives the
+    /// same faults it repairs.
+    pub fn durability(mut self, policy: Option<mc_proto::DurabilityPolicy>) -> Self {
+        self.dsm_cfg.durability = policy;
+        self
+    }
+
     /// Enables fault *exploration*: each message send becomes a decision
     /// point (deliver / drop / duplicate, within the budget) and the
     /// budget's listed nodes may crash at any scheduling step — see
@@ -322,7 +346,7 @@ impl System {
     ///
     /// Panics if more processes were spawned than `nprocs`.
     pub fn run(self) -> Result<Outcome, RunError> {
-        let System { dsm_cfg, sim_cfg, record, trace, procs, schedule } = self;
+        let System { dsm_cfg, sim_cfg, record, trace, procs, schedule, seed_disks } = self;
         // Strict: barriers wait for every configured process, so a
         // mismatch would deadlock at runtime with a far less helpful
         // diagnostic than this.
@@ -337,7 +361,11 @@ impl System {
             record.then(|| Arc::new(Mutex::new(HistoryBuilder::new(dsm_cfg.nprocs))));
 
         let nnodes = dsm_cfg.nnodes();
-        let mut kernel = Kernel::new(Dsm::new(dsm_cfg), nnodes, sim_cfg);
+        let mut dsm = Dsm::new(dsm_cfg);
+        for (p, disk) in seed_disks {
+            dsm.set_disk(p, disk);
+        }
+        let mut kernel = Kernel::new(dsm, nnodes, sim_cfg);
         if trace {
             kernel.enable_tracing();
         }

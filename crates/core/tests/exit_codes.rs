@@ -20,9 +20,33 @@ fn passing_artifact() -> String {
         allow_deadlock: false,
         budget: None,
         trace: Vec::new(),
+        disks: Vec::new(),
         spec: ProgSpec::new(Mode::Causal)
             .proc(vec![SpecOp::Write { loc: Loc(0), value: 1 }])
             .proc(vec![SpecOp::Read { loc: Loc(0), label: ReadLabel::Causal }]),
+    }
+    .to_text()
+}
+
+/// A recovery repro: a durable single-process program that deadlocks
+/// (awaits a value nobody writes), carrying a crash-recover fault budget
+/// and the pre-crash durable disk image of replica 0.
+fn recovery_artifact() -> String {
+    let mut disk = mixed_consistency::MemDisk::new();
+    disk.append(&mc_proto::WalRecord::Incarnation { incarnation: 1 }.encode());
+    disk.sync();
+    Repro {
+        kind: FailureKind::Run,
+        reason: "deadlock after recovery".to_string(),
+        allow_deadlock: false,
+        budget: Some(
+            mixed_consistency::FaultBudget::new().crash_recover_of(mixed_consistency::NodeId(0)),
+        ),
+        trace: Vec::new(),
+        disks: vec![(0, disk.image())],
+        spec: ProgSpec::new(Mode::Pram)
+            .durable(2)
+            .proc(vec![SpecOp::Await { loc: Loc(0), value: 1 }]),
     }
     .to_text()
 }
@@ -69,6 +93,20 @@ fn mc_check_exit_codes_cover_the_documented_contract() {
             flags: &["--replay"],
             expect: 0,
             output_contains: "not reproduced",
+        },
+        Case {
+            name: "recovery repro that reproduces exits 1",
+            content: Some(recovery_artifact()),
+            flags: &["--replay"],
+            expect: 1,
+            output_contains: "REPRODUCED",
+        },
+        Case {
+            name: "recovery repro with garbage disk hex exits 2",
+            content: Some(recovery_artifact().replace("disk 0 ", "disk 0 zz")),
+            flags: &["--replay"],
+            expect: 2,
+            output_contains: "bad disk hex",
         },
         Case {
             name: "garbage artifact exits 2",

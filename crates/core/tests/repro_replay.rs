@@ -78,6 +78,7 @@ fn passing_artifact_exits_zero() {
         allow_deadlock: false,
         budget: None,
         trace: Vec::new(),
+        disks: Vec::new(),
         spec: ProgSpec::new(Mode::Causal)
             .proc(vec![SpecOp::Write { loc: Loc(0), value: 1 }])
             .proc(vec![SpecOp::Read { loc: Loc(0), label: ReadLabel::Causal }]),

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -14,10 +15,11 @@ use mc_model::{
     OpKind, ProcId, ReadLabel, VClock, Value, WriteId,
 };
 use mc_proto::{
-    BatchEntry, BatchPolicy, DsmConfig, GrantInfo, LockPropagation, Manager, Mode, Msg, Replica,
-    Session, SessionConfig, UpdatePayload,
+    decode_wal, BatchEntry, BatchPolicy, DsmConfig, DurabilityPolicy, FileDisk, GrantInfo,
+    LockPropagation, Manager, Mode, Msg, Replica, Session, SessionConfig, Snapshot, UpdatePayload,
+    WalRecord, WalTail,
 };
-use mc_sim::{SimTime, TraceEvent, Tracer};
+use mc_sim::{DurabilityStats, SimTime, TraceEvent, Tracer};
 
 /// What travels on a channel: a protocol message (tagged with the sending
 /// node, which the session layer needs to identify the link) or the
@@ -51,6 +53,17 @@ struct LiveBatch {
     /// When the buffer last became non-empty (the wall-clock flush
     /// window starts here).
     since: Option<Instant>,
+}
+
+/// Shared durability counters, aggregated into [`LiveOutcome::wal`] at
+/// teardown (the live twin of the simulator's `Metrics::wal`).
+#[derive(Default)]
+struct WalCounters {
+    appends: AtomicU64,
+    synced: AtomicU64,
+    replayed: AtomicU64,
+    snapshots: AtomicU64,
+    recoveries: AtomicU64,
 }
 
 /// SplitMix64: a statistically solid 64-bit mixer, enough for loss rolls.
@@ -170,15 +183,17 @@ fn sess_receive(
 ) -> Vec<Msg> {
     let Some(s) = session else { return vec![msg] };
     match msg {
-        Msg::SessAck { upto } => {
+        Msg::SessAck { upto, epoch } => {
             let cfg = s.cfg;
-            s.sender(nid(me), nid(from)).on_ack(upto, &cfg);
+            s.sender(nid(me), nid(from)).on_ack(upto, epoch, &cfg);
             Vec::new()
         }
-        Msg::SessData { seq, inner } => {
-            let (ready, upto) = s.receiver(nid(from), nid(me)).on_data(seq, *inner);
+        Msg::SessData { seq, epoch, inner } => {
+            let rx = s.receiver(nid(from), nid(me));
+            let (ready, upto) = rx.on_data(seq, epoch, *inner);
+            let ack_epoch = rx.epoch();
             // Acks travel raw: sessioning them would recurse forever.
-            net.send(me, from, Msg::SessAck { upto });
+            net.send(me, from, Msg::SessAck { upto, epoch: ack_epoch });
             ready
         }
         other => vec![other],
@@ -191,8 +206,9 @@ fn sess_retransmit(net: &Net, session: &mut Option<Session>, me: NodeId) {
     let Some(s) = session else { return };
     let cfg = s.cfg;
     for ((_, to), tx) in s.senders_mut() {
+        let epoch = tx.epoch();
         for (seq, inner) in tx.on_timeout(&cfg) {
-            net.send(me, to.index(), Msg::SessData { seq, inner: Box::new(inner) });
+            net.send(me, to.index(), Msg::SessData { seq, epoch, inner: Box::new(inner) });
         }
     }
 }
@@ -247,6 +263,11 @@ pub struct LiveOutcome {
     /// keyed by wall-clock time since the run started. Exportable as
     /// JSONL or a Chrome/Perfetto trace, like the simulator's.
     pub trace: Option<Tracer>,
+    /// Durability counters when [`LiveSystem::durability`] was enabled
+    /// (all zero otherwise). `lost` stays zero here: live records lost
+    /// to a `kill -9` die with the process and are only observable as
+    /// the torn tail the next incarnation recovers through.
+    pub wal: DurabilityStats,
     replicas: Vec<Replica>,
     server: Manager,
     mode: Mode,
@@ -263,6 +284,17 @@ impl LiveOutcome {
             self.server.peek(loc)
         }
     }
+
+    /// The replica incarnation number `proc` finished on (0 for a node
+    /// that never crash-recovered).
+    pub fn incarnation(&self, proc: ProcId) -> u32 {
+        self.replicas[proc.index()].incarnation
+    }
+
+    /// `proc`'s final applied vector clock.
+    pub fn applied(&self, proc: ProcId) -> &VClock {
+        &self.replicas[proc.index()].applied
+    }
 }
 
 /// Builder for a live (threaded) mixed-consistency system. Mirrors the
@@ -274,6 +306,7 @@ pub struct LiveSystem {
     timeout: Duration,
     loss: f64,
     seed: u64,
+    durability_dir: Option<PathBuf>,
     #[allow(clippy::type_complexity)]
     procs: Vec<Box<dyn FnOnce(&mut LiveCtx) + Send + 'static>>,
 }
@@ -297,8 +330,24 @@ impl LiveSystem {
             timeout: Duration::from_secs(10),
             loss: 0.0,
             seed: 0,
+            durability_dir: None,
             procs: Vec::new(),
         }
+    }
+
+    /// Enables durable replicas: each process appends to a write-ahead
+    /// log under `dir/replica-{i}` (own writes fsynced before the write
+    /// returns — the append-before-ack discipline), compacts into a
+    /// snapshot on the policy's cadence, and **recovers from existing
+    /// state at startup**: snapshot plus the valid WAL prefix are
+    /// replayed (a torn tail from a `kill -9` is truncated, a corrupt
+    /// frame mid-log panics with a diagnostic), the incarnation number
+    /// is bumped and persisted, and peers are asked for the missing
+    /// update delta. Pair with [`LiveSystem::reliable`].
+    pub fn durability(mut self, policy: DurabilityPolicy, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.durability = Some(policy);
+        self.durability_dir = Some(dir.into());
+        self
     }
 
     /// Installs the lossy-channel shim: every message is independently
@@ -437,6 +486,7 @@ impl LiveSystem {
             epoch: start,
         };
         let recorder = self.record.then(|| Arc::new(Mutex::new(HistoryBuilder::new(cfg.nprocs))));
+        let walc = Arc::new(WalCounters::default());
 
         // Manager shard threads (the last `manager_shards` nodes).
         let mut manager_handles = Vec::new();
@@ -462,12 +512,22 @@ impl LiveSystem {
             let recorder = recorder.clone();
             let done_tx = done_tx.clone();
             let timeout = self.timeout;
+            let walc = walc.clone();
+            let durability_dir = self.durability_dir.clone();
             proc_handles.push(std::thread::spawn(move || {
+                let (replica, disk, recovered) =
+                    open_replica(ProcId(i as u32), &cfg, durability_dir.as_deref(), &walc);
+                let mut session = cfg.reliable.then(|| Session::new(SessionConfig::default()));
+                if let Some(s) = &mut session {
+                    // The reborn incarnation fences this node's session
+                    // epochs above anything a previous life could have
+                    // acked (matters once transports outlive processes).
+                    s.set_base_epoch(nid(i), replica.incarnation);
+                }
                 let mut ctx = LiveCtx {
                     proc: ProcId(i as u32),
-                    replica: Replica::new(ProcId(i as u32), cfg.nprocs)
-                        .with_store_capacity(cfg.locations),
-                    session: cfg.reliable.then(|| Session::new(SessionConfig::default())),
+                    replica,
+                    session,
                     cfg,
                     inbox: rx,
                     net: ctx_net,
@@ -483,7 +543,29 @@ impl LiveSystem {
                     link_clock_in: HashMap::new(),
                     recorder,
                     timeout,
+                    disk,
+                    records_since_snap: 0,
+                    last_snap: Instant::now(),
+                    recover_seen: HashMap::new(),
+                    walc,
                 };
+                if recovered {
+                    // Ask every peer for the updates this node's disk
+                    // never made durable; responses arrive during (or
+                    // after) the program and unblock its read gates.
+                    let req = Msg::RecoverReq {
+                        proc: ctx.proc,
+                        incarnation: ctx.replica.incarnation,
+                        applied: ctx.replica.applied.clone(),
+                    };
+                    for peer in 0..ctx.cfg.nprocs {
+                        if peer != i {
+                            // Raw: recovery must not ride the sessions it
+                            // is in the middle of re-fencing.
+                            ctx.net.send(i, peer, req.clone());
+                        }
+                    }
+                }
                 // The done signal must fire even on panic (op timeouts
                 // panic by design): the coordinator below waits for
                 // exactly one signal per process, with no wall-clock
@@ -520,6 +602,9 @@ impl LiveSystem {
                         Some(Wire::Shutdown) | None => break,
                     }
                 }
+                // Final fsync: a clean shutdown leaves no staged records
+                // behind (only a kill can lose appended work).
+                ctx.wal_sync();
                 ctx.replica
             }));
         }
@@ -578,8 +663,17 @@ impl LiveSystem {
             "messages were silently lost on closed inboxes before shutdown"
         );
         let trace = net.tracer.as_ref().map(|tr| tr.lock().expect("tracer healthy").clone());
+        let wal = DurabilityStats {
+            appends: walc.appends.load(Ordering::Relaxed),
+            synced: walc.synced.load(Ordering::Relaxed),
+            lost: 0,
+            replayed: walc.replayed.load(Ordering::Relaxed),
+            snapshots: walc.snapshots.load(Ordering::Relaxed),
+            recoveries: walc.recoveries.load(Ordering::Relaxed),
+        };
         Ok(LiveOutcome {
             history,
+            wal,
             messages: net.messages.load(Ordering::Relaxed),
             bytes: net.bytes.load(Ordering::Relaxed),
             lost: net.lost.load(Ordering::Relaxed),
@@ -591,6 +685,73 @@ impl LiveSystem {
             mode: cfg.mode,
         })
     }
+}
+
+/// Opens (and, when prior state exists, recovers) process `proc`'s
+/// replica. Returns the replica, the opened disk (durability on only),
+/// and whether a recovery happened.
+///
+/// Recovery order: decode the snapshot, replay the WAL's valid prefix
+/// through the normal ingest machinery, truncate a torn tail (the
+/// expected `kill -9` residue), bump and persist the incarnation. A
+/// corrupt frame *before* the tail is a real integrity failure and
+/// panics with a diagnostic rather than silently dropping durable state.
+fn open_replica(
+    proc: ProcId,
+    cfg: &DsmConfig,
+    dir: Option<&std::path::Path>,
+    walc: &WalCounters,
+) -> (Replica, Option<FileDisk>, bool) {
+    let fresh = || Replica::new(proc, cfg.nprocs).with_store_capacity(cfg.locations);
+    let (Some(_), Some(dir)) = (cfg.durability, dir) else { return (fresh(), None, false) };
+    let rdir = dir.join(format!("replica-{}", proc.index()));
+    let (snap_bytes, log_bytes) =
+        FileDisk::load(&rdir).unwrap_or_else(|e| panic!("{proc}: cannot load {rdir:?}: {e}"));
+    let had_state = snap_bytes.is_some() || !log_bytes.is_empty();
+    let mut replica = match &snap_bytes {
+        Some(b) => match Snapshot::decode(b) {
+            Ok(snap) => {
+                Replica::from_snapshot(proc, cfg.nprocs, &snap).with_store_capacity(cfg.locations)
+            }
+            Err(e) => panic!("{proc}: snapshot in {rdir:?} is corrupt: {e}"),
+        },
+        None => fresh(),
+    };
+    let (records, tail) = decode_wal(&log_bytes);
+    let valid_len = match tail {
+        WalTail::Clean => log_bytes.len(),
+        WalTail::Torn { at } => at,
+        WalTail::Corrupt { at } => {
+            // A CRC failure with more frames behind it would mean durable
+            // records silently vanish; all observed kill patterns tear
+            // only the tail, so refuse anything else loudly.
+            panic!("{proc}: wal in {rdir:?} has a corrupt frame at byte {at}")
+        }
+    };
+    if valid_len < log_bytes.len() {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(rdir.join("wal.log"))
+            .unwrap_or_else(|e| panic!("{proc}: cannot reopen wal: {e}"));
+        f.set_len(valid_len as u64).unwrap_or_else(|e| panic!("{proc}: cannot truncate wal: {e}"));
+        f.sync_all().unwrap_or_else(|e| panic!("{proc}: cannot sync truncated wal: {e}"));
+    }
+    walc.replayed.fetch_add(records.len() as u64, Ordering::Relaxed);
+    for rec in records {
+        replica.replay_record(rec, cfg.mode);
+    }
+    let mut disk = FileDisk::open(&rdir).unwrap_or_else(|e| panic!("{proc}: cannot open wal: {e}"));
+    if had_state {
+        replica.incarnation += 1;
+        let frame = WalRecord::Incarnation { incarnation: replica.incarnation }.encode();
+        disk.append(&frame).and_then(|()| disk.sync()).unwrap_or_else(|e| {
+            panic!("{proc}: cannot persist incarnation: {e}");
+        });
+        walc.appends.fetch_add(1, Ordering::Relaxed);
+        walc.synced.fetch_add(1, Ordering::Relaxed);
+        walc.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+    (replica, Some(disk), had_state)
 }
 
 /// One manager shard: receive (through the session filter), dispatch to
@@ -668,6 +829,16 @@ pub struct LiveCtx {
     link_clock_in: HashMap<NodeId, VClock>,
     recorder: Option<Arc<Mutex<HistoryBuilder>>>,
     timeout: Duration,
+    /// The write-ahead log (durability on only).
+    disk: Option<FileDisk>,
+    /// WAL records since the last snapshot (count-based cadence).
+    records_since_snap: u32,
+    /// When the last snapshot was installed (wall-clock cadence).
+    last_snap: Instant,
+    /// Highest reborn incarnation already answered, per peer — dedups
+    /// recovery requests.
+    recover_seen: HashMap<ProcId, u32>,
+    walc: Arc<WalCounters>,
 }
 
 impl fmt::Debug for LiveCtx {
@@ -686,6 +857,58 @@ impl LiveCtx {
         if let Some(rec) = &self.recorder {
             rec.lock().expect("recorder healthy").push(self.proc, kind);
         }
+    }
+
+    /// Appends one WAL record (staged until the next fsync).
+    fn wal_append(&mut self, rec: &WalRecord) {
+        let Some(disk) = &mut self.disk else { return };
+        disk.append(&rec.encode())
+            .unwrap_or_else(|e| panic!("{}: wal append failed: {e}", self.proc));
+        self.walc.appends.fetch_add(1, Ordering::Relaxed);
+        self.records_since_snap += 1;
+    }
+
+    /// fsyncs the WAL (no-op when durability is off or nothing staged).
+    fn wal_sync(&mut self) {
+        let Some(disk) = &mut self.disk else { return };
+        if disk.staged_records() == 0 {
+            return;
+        }
+        let n = disk.sync().unwrap_or_else(|e| panic!("{}: wal sync failed: {e}", self.proc));
+        self.walc.synced.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Installs a compacted snapshot once either cadence (record count or
+    /// wall-clock interval) is due. fsyncs first: compaction must never
+    /// discard staged records.
+    fn maybe_snapshot(&mut self) {
+        let Some(policy) = self.cfg.durability else { return };
+        if self.disk.is_none() || self.records_since_snap == 0 {
+            return;
+        }
+        let due = self.records_since_snap >= policy.snapshot_every
+            || self.last_snap.elapsed() >= Duration::from_micros(policy.snapshot_interval_micros);
+        if !due {
+            return;
+        }
+        self.wal_sync();
+        let me = self.proc.index();
+        let watermarks = match &mut self.session {
+            None => Vec::new(),
+            Some(s) => (0..self.cfg.nprocs)
+                .filter(|&j| j != me)
+                .map(|j| (ProcId(j as u32), s.receiver(nid(j), nid(me)).delivered()))
+                .collect(),
+        };
+        let snap = self.replica.to_snapshot(watermarks);
+        self.disk
+            .as_mut()
+            .expect("checked above")
+            .install_snapshot(&snap.encode())
+            .unwrap_or_else(|e| panic!("{}: snapshot install failed: {e}", self.proc));
+        self.records_since_snap = 0;
+        self.last_snap = Instant::now();
+        self.walc.snapshots.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Sends a protocol message, through the session layer when it is on.
@@ -711,6 +934,23 @@ impl LiveCtx {
     fn process(&mut self, msg: Msg) {
         match msg {
             Msg::Update { writer, loc, payload, deps } => {
+                // Recovery can re-deliver updates the durable log already
+                // holds (a RecoverResp overlapping an in-flight Update);
+                // an already-applied sequence is a ghost, not new work.
+                if self.cfg.durability.is_some() && writer.seq <= self.replica.applied[writer.proc]
+                {
+                    return;
+                }
+                if self.cfg.durability.is_some() {
+                    let rec = WalRecord::Ingest {
+                        writer,
+                        loc,
+                        payload: payload.clone(),
+                        deps: deps.clone(),
+                    };
+                    self.wal_append(&rec);
+                    self.maybe_snapshot();
+                }
                 if self.replica.ingest(writer, loc, payload, deps, self.cfg.mode) {
                     self.drain_flush_waiters();
                 }
@@ -719,14 +959,17 @@ impl LiveCtx {
                 // A piggybacked ack covers the reverse link, sparing a
                 // standalone SessAck's information (the standalone still
                 // travels; cumulative acks are idempotent).
-                if let Some(acked) = ack {
+                if let Some((acked, epoch)) = ack {
                     if let Some(s) = &mut self.session {
                         let scfg = s.cfg;
-                        s.sender(nid(self.proc.index()), nid(proc.index())).on_ack(acked, &scfg);
+                        s.sender(nid(self.proc.index()), nid(proc.index()))
+                            .on_ack(acked, epoch, &scfg);
                     }
                 }
                 // Reconstruct the full dependency clock from the
-                // per-link delta against this link's shadow copy.
+                // per-link delta against this link's shadow copy —
+                // before the ghost check, so even a skipped batch keeps
+                // the shadow in lock-step with the sender's.
                 let deps = delta.map(|dv| {
                     let prev = self
                         .link_clock_in
@@ -737,8 +980,103 @@ impl LiveCtx {
                     }
                     prev.clone()
                 });
+                // Ghost batch after recovery: the content is already
+                // durable (or covered by a RecoverResp); batch windows
+                // never partially overlap, so a whole-batch skip is
+                // exact.
+                if self.cfg.durability.is_some() && upto <= self.replica.applied[proc] {
+                    return;
+                }
+                if self.cfg.durability.is_some() {
+                    let rec = WalRecord::IngestBatch {
+                        proc,
+                        first_seq,
+                        upto,
+                        entries: entries.clone(),
+                        deps: deps.clone(),
+                    };
+                    self.wal_append(&rec);
+                    self.maybe_snapshot();
+                }
                 if self.replica.ingest_batch(proc, first_seq, upto, entries, deps, self.cfg.mode) {
                     self.drain_flush_waiters();
+                }
+            }
+            Msg::RecoverReq { proc, incarnation, applied } => {
+                // A reborn peer asks for whatever it never made durable.
+                if self.recover_seen.get(&proc).is_some_and(|&inc| incarnation <= inc) {
+                    return;
+                }
+                self.recover_seen.insert(proc, incarnation);
+                // Buffered writes are part of the history the delta is
+                // computed against — flush so the two agree.
+                self.flush_updates();
+                let seen = self.replica.applied[proc];
+                let resp = match self.replica.delta_entries(applied[self.proc]) {
+                    Some((first_seq, upto, entries, deps)) => {
+                        Msg::RecoverResp { proc: self.proc, first_seq, upto, entries, deps, seen }
+                    }
+                    None => {
+                        let after = applied[self.proc];
+                        Msg::RecoverResp {
+                            proc: self.proc,
+                            first_seq: after + 1,
+                            upto: after,
+                            entries: Vec::new(),
+                            deps: None,
+                            seen,
+                        }
+                    }
+                };
+                self.send(proc.index(), resp);
+            }
+            Msg::RecoverResp { proc, first_seq, upto, entries, deps, seen } => {
+                if upto >= first_seq && first_seq > self.replica.applied[proc] {
+                    let rec = WalRecord::IngestBatch {
+                        proc,
+                        first_seq,
+                        upto,
+                        entries: entries.clone(),
+                        deps: deps.clone(),
+                    };
+                    self.wal_append(&rec);
+                    self.maybe_snapshot();
+                    if self.replica.ingest_batch(
+                        proc,
+                        first_seq,
+                        upto,
+                        entries,
+                        deps,
+                        self.cfg.mode,
+                    ) {
+                        self.drain_flush_waiters();
+                    }
+                }
+                // Push back the suffix of own writes the peer has not
+                // seen — its durable log may be behind this node's.
+                if let Some((fs, u, es, d)) = self.replica.delta_entries(seen) {
+                    let delta = d.as_ref().map(|deps| {
+                        let prev = self
+                            .link_clock_out
+                            .entry(proc.index())
+                            .or_insert_with(|| VClock::new(self.cfg.nprocs));
+                        let changed: Vec<(ProcId, u32)> = (0..self.cfg.nprocs as u32)
+                            .map(ProcId)
+                            .filter(|&q| deps[q] != prev[q])
+                            .map(|q| (q, deps[q]))
+                            .collect();
+                        *prev = deps.clone();
+                        changed
+                    });
+                    let msg = Msg::UpdateBatch {
+                        proc: self.proc,
+                        first_seq: fs,
+                        upto: u,
+                        entries: es,
+                        delta,
+                        ack: None,
+                    };
+                    self.send(proc.index(), msg);
                 }
             }
             Msg::Flush { from_proc, upto } => {
@@ -847,6 +1185,14 @@ impl LiveCtx {
             }
         }
         let (id, deps) = self.replica.local_write(loc, payload.clone(), &self.cfg);
+        if self.cfg.durability.is_some() {
+            // Append-before-ack: the own write is durable before this
+            // operation returns (and before any peer can observe it).
+            let rec = WalRecord::OwnWrite { loc, payload: payload.clone(), deps: deps.clone() };
+            self.wal_append(&rec);
+            self.wal_sync();
+            self.maybe_snapshot();
+        }
         if let Some(policy) = self.cfg.batch {
             self.buffer_write(loc, payload, id, deps, policy);
         } else {
@@ -941,8 +1287,9 @@ impl LiveCtx {
                 changed
             });
             let ack = self.session.as_mut().and_then(|s| {
-                let acked = s.receiver(nid(to), nid(me)).delivered();
-                (acked > 0).then_some(acked)
+                let rx = s.receiver(nid(to), nid(me));
+                let acked = rx.delivered();
+                (acked > 0).then_some((acked, rx.epoch()))
             });
             let msg = Msg::UpdateBatch {
                 proc: self.proc,

@@ -394,6 +394,74 @@ fn batched_writes_cut_live_traffic() {
 }
 
 #[test]
+fn durable_cluster_recovers_from_disk_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("mc-live-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First incarnation: a clean run that leaves durable state behind.
+    let mut sys =
+        LiveSystem::new(2, Mode::Causal).durability(mc_proto::DurabilityPolicy::new(4), &dir);
+    sys.spawn(|ctx| {
+        ctx.write(Loc(0), 42);
+        ctx.write(Loc(1), 1);
+    });
+    sys.spawn(|ctx| {
+        ctx.await_eq(Loc(1), Value::Int(1));
+        assert_eq!(ctx.read_causal(Loc(0)), Value::Int(42));
+    });
+    let first = sys.run().expect("first incarnation");
+    assert!(first.wal.appends > 0, "durable writes must hit the log");
+    assert_eq!(first.wal.appends, first.wal.synced, "shutdown leaves nothing staged");
+    assert_eq!(first.wal.recoveries, 0);
+    assert_eq!(first.incarnation(ProcId(0)), 0);
+
+    // Second incarnation from the same directory: both replicas replay
+    // snapshot + log, bump their incarnation, and still hold the
+    // pre-restart writes even though no process writes them again.
+    let mut sys =
+        LiveSystem::new(2, Mode::Causal).durability(mc_proto::DurabilityPolicy::new(4), &dir);
+    sys.spawn(|ctx| {
+        assert_eq!(ctx.read_causal(Loc(0)), Value::Int(42), "own durable write lost");
+        ctx.write(Loc(2), 7);
+    });
+    sys.spawn(|ctx| {
+        ctx.await_eq(Loc(2), Value::Int(7));
+        assert_eq!(ctx.read_causal(Loc(0)), Value::Int(42), "ingested durable write lost");
+    });
+    let second = sys.run().expect("second incarnation");
+    assert_eq!(second.wal.recoveries, 2, "both replicas restart from disk");
+    assert!(
+        second.wal.replayed > 0 || first.wal.snapshots > 0,
+        "recovery must come from the log tail or a snapshot"
+    );
+    assert_eq!(second.incarnation(ProcId(0)), 1);
+    assert_eq!(second.incarnation(ProcId(1)), 1);
+    assert_eq!(second.final_value(ProcId(1), Loc(0)), Value::Int(42));
+
+    // Third incarnation with replica 1's disk wiped: the reborn node 0
+    // learns from its RecoverReq round that the fresh peer has none of
+    // its writes and pushes its whole own suffix back, so the peer
+    // converges to a durable prefix it never observed in this process.
+    let _ = std::fs::remove_dir_all(dir.join("replica-1"));
+    let mut sys =
+        LiveSystem::new(2, Mode::Causal).durability(mc_proto::DurabilityPolicy::new(4), &dir);
+    sys.spawn(|ctx| {
+        ctx.write(Loc(3), 1);
+    });
+    sys.spawn(|ctx| {
+        ctx.await_eq(Loc(0), Value::Int(42));
+        ctx.await_eq(Loc(2), Value::Int(7));
+    });
+    let third = sys.run().expect("third incarnation");
+    assert_eq!(third.wal.recoveries, 1, "only replica 0 had state on disk");
+    assert_eq!(third.incarnation(ProcId(0)), 2);
+    assert_eq!(third.incarnation(ProcId(1)), 0);
+    assert_eq!(third.final_value(ProcId(1), Loc(0)), Value::Int(42));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn batched_lossy_session_still_converges() {
     // Batching stacked under the session layer on lossy links: the
     // piggybacked acks ride batch frames and retransmission masks every

@@ -151,6 +151,13 @@ pub struct DsmConfig {
     /// checks. Accesses beyond this hint still work (the store grows on
     /// the write path).
     pub locations: usize,
+    /// Durable crash recovery (see [`crate::durability`]). `None` (the
+    /// default) keeps the paper's amnesia crash model; `Some` gives
+    /// every replica a write-ahead log with append-before-ack for own
+    /// writes plus compacted snapshots per the policy, so a
+    /// crash-recover fault rebuilds the replica from disk and fetches
+    /// only the missing delta from peers.
+    pub durability: Option<crate::durability::DurabilityPolicy>,
 }
 
 impl DsmConfig {
@@ -165,12 +172,19 @@ impl DsmConfig {
             reliable: false,
             batch: None,
             locations: 64,
+            durability: None,
         }
     }
 
     /// Enables or disables the reliable-delivery session layer.
     pub fn with_reliable(mut self, reliable: bool) -> Self {
         self.reliable = reliable;
+        self
+    }
+
+    /// Enables (`Some`) or disables (`None`) durable crash recovery.
+    pub fn with_durability(mut self, policy: Option<crate::durability::DurabilityPolicy>) -> Self {
+        self.durability = policy;
         self
     }
 

@@ -1,0 +1,1212 @@
+//! Durable storage for replicas: a per-replica write-ahead log plus
+//! compacted snapshots.
+//!
+//! The paper's crash model is amnesia — a crashed process simply vanishes
+//! and a restarted one re-earns the memory from its peers. This module
+//! earns durability back from disk instead: every ingested update is
+//! framed as a CRC-guarded [`WalRecord`] and appended to a log
+//! (append-before-ack for own writes), and the log is periodically
+//! compacted into a [`Snapshot`] of the full replica state. Recovery
+//! replays `snapshot + log` and then fetches only the missing delta from
+//! peers, so the bytes transferred on recovery are bounded by the log
+//! tail, not the store size.
+//!
+//! Two backends share the codec: [`MemDisk`] models a disk inside the
+//! deterministic simulator (with an explicit staged-vs-durable boundary so
+//! crash points between append, fsync, and ack are explorable), and
+//! [`FileDisk`] is the real thing for `mc-live` (append-only `wal.log`,
+//! `sync_all` fsyncs, atomic tmp-then-rename snapshot installs).
+//!
+//! The log format is truncation-tolerant: decoding stops at the first
+//! torn or corrupt frame and returns the valid prefix plus a
+//! [`WalTail`] diagnostic — a corrupt record is never applied.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read as _, Seek as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use mc_model::{Loc, ProcId, VClock, Value, WriteId};
+
+use crate::msg::{BatchEntry, UpdatePayload};
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, no external deps.
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of `data`. Guards every WAL frame and the snapshot body.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = (c >> 8) ^ CRC_TABLE[((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Durability policy
+// ---------------------------------------------------------------------------
+
+/// When to compact the write-ahead log into a snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurabilityPolicy {
+    /// Compact after this many log records (simulator and live).
+    pub snapshot_every: u32,
+    /// Additionally compact on this wall-clock cadence (live only; the
+    /// simulator's notion of time is logical, so it compacts by count).
+    pub snapshot_interval_micros: u64,
+}
+
+impl DurabilityPolicy {
+    /// Snapshot after every `snapshot_every` log records, with the
+    /// default wall-clock cadence for live clusters.
+    pub fn new(snapshot_every: u32) -> Self {
+        DurabilityPolicy { snapshot_every, ..Default::default() }
+    }
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        DurabilityPolicy { snapshot_every: 64, snapshot_interval_micros: 10_000 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------------
+
+/// One write-ahead-log record. Records are written at *ingest* time (not
+/// apply time), so replay feeds them back through the replica's normal
+/// ingest machinery and the causal pending buffers reconstruct naturally.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A local write by the owning process (append-before-ack: this is
+    /// fsynced before the write's outcome is acknowledged to the program).
+    OwnWrite {
+        /// Location written.
+        loc: Loc,
+        /// Overwrite or increment.
+        payload: UpdatePayload,
+        /// Dependency vector minted at the write (vector modes only).
+        deps: Option<VClock>,
+    },
+    /// A remote singleton update as ingested.
+    Ingest {
+        /// Identity of the remote write.
+        writer: WriteId,
+        /// Location written.
+        loc: Loc,
+        /// Overwrite or increment.
+        payload: UpdatePayload,
+        /// The writer's vector timestamp (vector modes only).
+        deps: Option<VClock>,
+    },
+    /// A remote coalesced batch as ingested.
+    IngestBatch {
+        /// The writing process.
+        proc: ProcId,
+        /// First own-write sequence covered.
+        first_seq: u32,
+        /// Last own-write sequence covered.
+        upto: u32,
+        /// Coalesced per-location entries.
+        entries: Vec<BatchEntry>,
+        /// Dependency vector of the last member (vector modes only).
+        deps: Option<VClock>,
+    },
+    /// The replica's incarnation number, persisted (and fsynced) on every
+    /// rebirth so stale pre-crash session state can never be mistaken for
+    /// the reborn node's.
+    Incarnation {
+        /// The new incarnation.
+        incarnation: u32,
+    },
+}
+
+/// How the tail of a write-ahead log ended during decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalTail {
+    /// Every frame decoded; the log ends on a record boundary.
+    Clean,
+    /// The last frame is incomplete (fewer bytes than its header
+    /// promised, or a bare partial header) — the classic torn write.
+    /// `at` is the byte offset where the torn frame starts.
+    Torn {
+        /// Byte offset of the start of the torn frame.
+        at: usize,
+    },
+    /// A frame's CRC failed or its body was malformed. `at` is the byte
+    /// offset where the corrupt frame starts. Nothing at or after `at`
+    /// was decoded.
+    Corrupt {
+        /// Byte offset of the start of the corrupt frame.
+        at: usize,
+    },
+}
+
+impl WalTail {
+    /// `true` when the log ended cleanly on a record boundary.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, WalTail::Clean)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level codec helpers
+// ---------------------------------------------------------------------------
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_value(b: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            b.push(0);
+            b.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::F64(f) => {
+            b.push(1);
+            b.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Bool(x) => {
+            b.push(2);
+            b.extend_from_slice(&(*x as u64).to_le_bytes());
+        }
+    }
+}
+
+fn put_payload(b: &mut Vec<u8>, p: &UpdatePayload) {
+    match p {
+        UpdatePayload::Set(v) => {
+            b.push(0);
+            put_value(b, v);
+        }
+        UpdatePayload::Add(v) => {
+            b.push(1);
+            put_value(b, v);
+        }
+    }
+}
+
+fn put_writer(b: &mut Vec<u8>, w: WriteId) {
+    put_u32(b, w.proc.0);
+    put_u32(b, w.seq);
+}
+
+fn put_clock(b: &mut Vec<u8>, c: &VClock) {
+    put_u32(b, c.len() as u32);
+    for (p, n) in c.iter() {
+        let _ = p;
+        put_u32(b, n);
+    }
+}
+
+fn put_opt_clock(b: &mut Vec<u8>, c: &Option<VClock>) {
+    match c {
+        Some(c) => {
+            b.push(1);
+            put_clock(b, c);
+        }
+        None => b.push(0),
+    }
+}
+
+fn put_entry(b: &mut Vec<u8>, e: &BatchEntry) {
+    put_u32(b, e.loc.0);
+    put_payload(b, &e.payload);
+    put_writer(b, e.writer);
+    put_u32(b, e.adds.len() as u32);
+    for &s in &e.adds {
+        put_u32(b, s);
+    }
+}
+
+/// Bounded cursor over an encoded body; every getter fails (None) on
+/// truncation instead of panicking, so corruption surfaces as a decode
+/// error rather than a crash.
+struct Rd<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Rd { b, i: 0 }
+    }
+
+    fn done(&self) -> bool {
+        self.i == self.b.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.i.checked_add(n)?;
+        if end > self.b.len() {
+            return None;
+        }
+        let s = &self.b[self.i..end];
+        self.i = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        let tag = self.u8()?;
+        let raw = self.u64()?;
+        match tag {
+            0 => Some(Value::Int(raw as i64)),
+            1 => Some(Value::F64(f64::from_bits(raw))),
+            2 => Some(Value::Bool(raw != 0)),
+            _ => None,
+        }
+    }
+
+    fn payload(&mut self) -> Option<UpdatePayload> {
+        match self.u8()? {
+            0 => Some(UpdatePayload::Set(self.value()?)),
+            1 => Some(UpdatePayload::Add(self.value()?)),
+            _ => None,
+        }
+    }
+
+    fn writer(&mut self) -> Option<WriteId> {
+        let proc = ProcId(self.u32()?);
+        let seq = self.u32()?;
+        Some(WriteId { proc, seq })
+    }
+
+    fn clock(&mut self) -> Option<VClock> {
+        let len = self.u32()? as usize;
+        // A clock component is 4 bytes; refuse lengths the buffer cannot hold.
+        if len > self.b.len().saturating_sub(self.i) / 4 {
+            return None;
+        }
+        let mut c = VClock::new(len);
+        for i in 0..len {
+            c.set(ProcId(i as u32), self.u32()?);
+        }
+        Some(c)
+    }
+
+    fn opt_clock(&mut self) -> Option<Option<VClock>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.clock()?)),
+            _ => None,
+        }
+    }
+
+    fn entry(&mut self) -> Option<BatchEntry> {
+        let loc = Loc(self.u32()?);
+        let payload = self.payload()?;
+        let writer = self.writer()?;
+        let n = self.u32()? as usize;
+        if n > self.b.len().saturating_sub(self.i) / 4 {
+            return None;
+        }
+        let mut adds = Vec::with_capacity(n);
+        for _ in 0..n {
+            adds.push(self.u32()?);
+        }
+        Some(BatchEntry { loc, payload, writer, adds })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL record framing
+// ---------------------------------------------------------------------------
+
+const TAG_OWN_WRITE: u8 = 1;
+const TAG_INGEST: u8 = 2;
+const TAG_INGEST_BATCH: u8 = 3;
+const TAG_INCARNATION: u8 = 4;
+
+impl WalRecord {
+    /// Encodes the record body (tag + fields, little-endian, no frame).
+    fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            WalRecord::OwnWrite { loc, payload, deps } => {
+                b.push(TAG_OWN_WRITE);
+                put_u32(&mut b, loc.0);
+                put_payload(&mut b, payload);
+                put_opt_clock(&mut b, deps);
+            }
+            WalRecord::Ingest { writer, loc, payload, deps } => {
+                b.push(TAG_INGEST);
+                put_writer(&mut b, *writer);
+                put_u32(&mut b, loc.0);
+                put_payload(&mut b, payload);
+                put_opt_clock(&mut b, deps);
+            }
+            WalRecord::IngestBatch { proc, first_seq, upto, entries, deps } => {
+                b.push(TAG_INGEST_BATCH);
+                put_u32(&mut b, proc.0);
+                put_u32(&mut b, *first_seq);
+                put_u32(&mut b, *upto);
+                put_u32(&mut b, entries.len() as u32);
+                for e in entries {
+                    put_entry(&mut b, e);
+                }
+                put_opt_clock(&mut b, deps);
+            }
+            WalRecord::Incarnation { incarnation } => {
+                b.push(TAG_INCARNATION);
+                put_u32(&mut b, *incarnation);
+            }
+        }
+        b
+    }
+
+    /// Encodes one framed record: `len:u32 | crc:u32 | body`, with the
+    /// CRC covering the body.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(8 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        put_u32(&mut out, crc32(&body));
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn decode_body(body: &[u8]) -> Option<WalRecord> {
+        let mut r = Rd::new(body);
+        let rec = match r.u8()? {
+            TAG_OWN_WRITE => {
+                let loc = Loc(r.u32()?);
+                let payload = r.payload()?;
+                let deps = r.opt_clock()?;
+                WalRecord::OwnWrite { loc, payload, deps }
+            }
+            TAG_INGEST => {
+                let writer = r.writer()?;
+                let loc = Loc(r.u32()?);
+                let payload = r.payload()?;
+                let deps = r.opt_clock()?;
+                WalRecord::Ingest { writer, loc, payload, deps }
+            }
+            TAG_INGEST_BATCH => {
+                let proc = ProcId(r.u32()?);
+                let first_seq = r.u32()?;
+                let upto = r.u32()?;
+                let n = r.u32()? as usize;
+                if n > body.len() {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(r.entry()?);
+                }
+                let deps = r.opt_clock()?;
+                WalRecord::IngestBatch { proc, first_seq, upto, entries, deps }
+            }
+            TAG_INCARNATION => WalRecord::Incarnation { incarnation: r.u32()? },
+            _ => return None,
+        };
+        if !r.done() {
+            return None;
+        }
+        Some(rec)
+    }
+}
+
+/// Decodes a write-ahead log into its valid record prefix plus a tail
+/// diagnostic. Decoding stops at the first frame that is incomplete
+/// ([`WalTail::Torn`]) or fails its CRC / body parse
+/// ([`WalTail::Corrupt`]); records before that point are always returned.
+pub fn decode_wal(bytes: &[u8]) -> (Vec<WalRecord>, WalTail) {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes.len() - i < 8 {
+            return (out, WalTail::Torn { at: i });
+        }
+        let len = u32::from_le_bytes(bytes[i..i + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[i + 4..i + 8].try_into().unwrap());
+        let Some(end) = i.checked_add(8).and_then(|s| s.checked_add(len)) else {
+            return (out, WalTail::Torn { at: i });
+        };
+        if end > bytes.len() {
+            // Could be a torn append or a corrupted length field; either
+            // way the valid prefix is everything before this frame.
+            return (out, WalTail::Torn { at: i });
+        }
+        let body = &bytes[i + 8..end];
+        if crc32(body) != crc {
+            return (out, WalTail::Corrupt { at: i });
+        }
+        match WalRecord::decode_body(body) {
+            Some(rec) => out.push(rec),
+            None => return (out, WalTail::Corrupt { at: i }),
+        }
+        i = end;
+    }
+    (out, WalTail::Clean)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// A buffered (causally not yet ready) singleton update, as persisted in
+/// a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapPending {
+    /// Identity of the write.
+    pub writer: WriteId,
+    /// Location.
+    pub loc: Loc,
+    /// Overwrite or increment.
+    pub payload: UpdatePayload,
+    /// The writer's vector timestamp.
+    pub deps: VClock,
+}
+
+/// A buffered (causally not yet ready) batch, as persisted in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapBatch {
+    /// The writing process.
+    pub proc: ProcId,
+    /// First own-write sequence covered.
+    pub first_seq: u32,
+    /// Last own-write sequence covered.
+    pub upto: u32,
+    /// Coalesced per-location entries.
+    pub entries: Vec<BatchEntry>,
+    /// Dependency vector of the last member.
+    pub deps: VClock,
+}
+
+/// One of this replica's own writes, retained (with its dependency
+/// vector) so a reborn peer can be pushed exactly the suffix it misses —
+/// even past log compaction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OwnUpdate {
+    /// Own-write sequence number (1-based).
+    pub seq: u32,
+    /// Location written.
+    pub loc: Loc,
+    /// Overwrite or increment.
+    pub payload: UpdatePayload,
+    /// Dependency vector minted at the write (vector modes only).
+    pub deps: Option<VClock>,
+}
+
+/// A compacted image of one replica: everything `snapshot + empty log`
+/// must reproduce. Installing a snapshot truncates the write-ahead log.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Replica incarnation at snapshot time.
+    pub incarnation: u32,
+    /// The applied vector.
+    pub applied: VClock,
+    /// Non-initial store contents: `(loc, value, last_writer)`.
+    pub store: Vec<(Loc, Value, Option<WriteId>)>,
+    /// Applied updates per counter location.
+    pub counter_updates: Vec<(Loc, Vec<WriteId>)>,
+    /// Every own write `(loc, seq)` in order (demand-driven bookkeeping).
+    pub write_log: Vec<(Loc, u32)>,
+    /// Full own-write history with dependency vectors (recovery push-back).
+    pub own_updates: Vec<OwnUpdate>,
+    /// Buffered singleton updates.
+    pub pending: Vec<SnapPending>,
+    /// Buffered batches.
+    pub pending_batches: Vec<SnapBatch>,
+    /// Session receiver watermarks per peer (in-order delivered counts),
+    /// kept for post-recovery diagnostics.
+    pub watermarks: Vec<(ProcId, u64)>,
+}
+
+/// Why a snapshot failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The magic prefix is wrong — not a snapshot file.
+    BadMagic,
+    /// Fewer bytes than the header promised.
+    Truncated,
+    /// The body CRC failed.
+    BadCrc,
+    /// The CRC passed but the body did not parse (codec bug or a
+    /// collision-grade corruption).
+    Malformed,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "snapshot: bad magic (not a snapshot file)"),
+            SnapshotError::Truncated => write!(f, "snapshot: truncated"),
+            SnapshotError::BadCrc => write!(f, "snapshot: body CRC mismatch"),
+            SnapshotError::Malformed => write!(f, "snapshot: malformed body"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+const SNAP_MAGIC: &[u8; 8] = b"MCSNAP01";
+
+impl Snapshot {
+    /// Encodes the snapshot: `magic | len:u32 | crc:u32 | body`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        put_u32(&mut b, self.incarnation);
+        put_clock(&mut b, &self.applied);
+        put_u32(&mut b, self.store.len() as u32);
+        for &(loc, v, w) in &self.store {
+            put_u32(&mut b, loc.0);
+            put_value(&mut b, &v);
+            match w {
+                Some(w) => {
+                    b.push(1);
+                    put_writer(&mut b, w);
+                }
+                None => b.push(0),
+            }
+        }
+        put_u32(&mut b, self.counter_updates.len() as u32);
+        for (loc, ws) in &self.counter_updates {
+            put_u32(&mut b, loc.0);
+            put_u32(&mut b, ws.len() as u32);
+            for &w in ws {
+                put_writer(&mut b, w);
+            }
+        }
+        put_u32(&mut b, self.write_log.len() as u32);
+        for &(loc, seq) in &self.write_log {
+            put_u32(&mut b, loc.0);
+            put_u32(&mut b, seq);
+        }
+        put_u32(&mut b, self.own_updates.len() as u32);
+        for u in &self.own_updates {
+            put_u32(&mut b, u.seq);
+            put_u32(&mut b, u.loc.0);
+            put_payload(&mut b, &u.payload);
+            put_opt_clock(&mut b, &u.deps);
+        }
+        put_u32(&mut b, self.pending.len() as u32);
+        for p in &self.pending {
+            put_writer(&mut b, p.writer);
+            put_u32(&mut b, p.loc.0);
+            put_payload(&mut b, &p.payload);
+            put_clock(&mut b, &p.deps);
+        }
+        put_u32(&mut b, self.pending_batches.len() as u32);
+        for pb in &self.pending_batches {
+            put_u32(&mut b, pb.proc.0);
+            put_u32(&mut b, pb.first_seq);
+            put_u32(&mut b, pb.upto);
+            put_u32(&mut b, pb.entries.len() as u32);
+            for e in &pb.entries {
+                put_entry(&mut b, e);
+            }
+            put_clock(&mut b, &pb.deps);
+        }
+        put_u32(&mut b, self.watermarks.len() as u32);
+        for &(p, d) in &self.watermarks {
+            put_u32(&mut b, p.0);
+            put_u64(&mut b, d);
+        }
+
+        let mut out = Vec::with_capacity(16 + b.len());
+        out.extend_from_slice(SNAP_MAGIC);
+        put_u32(&mut out, b.len() as u32);
+        put_u32(&mut out, crc32(&b));
+        out.extend_from_slice(&b);
+        out
+    }
+
+    /// Decodes a snapshot, validating magic, length, and CRC.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < 16 {
+            if bytes.len() >= 8 && &bytes[..8] != SNAP_MAGIC {
+                return Err(SnapshotError::BadMagic);
+            }
+            return Err(SnapshotError::Truncated);
+        }
+        if &bytes[..8] != SNAP_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let Some(end) = 16usize.checked_add(len) else {
+            return Err(SnapshotError::Truncated);
+        };
+        if end > bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let body = &bytes[16..end];
+        if crc32(body) != crc {
+            return Err(SnapshotError::BadCrc);
+        }
+        Self::decode_body(body).ok_or(SnapshotError::Malformed)
+    }
+
+    fn decode_body(body: &[u8]) -> Option<Snapshot> {
+        let mut r = Rd::new(body);
+        let incarnation = r.u32()?;
+        let applied = r.clock()?;
+        let n = r.u32()? as usize;
+        let mut store = Vec::new();
+        for _ in 0..n {
+            let loc = Loc(r.u32()?);
+            let v = r.value()?;
+            let w = match r.u8()? {
+                0 => None,
+                1 => Some(r.writer()?),
+                _ => return None,
+            };
+            store.push((loc, v, w));
+        }
+        let n = r.u32()? as usize;
+        let mut counter_updates = Vec::new();
+        for _ in 0..n {
+            let loc = Loc(r.u32()?);
+            let m = r.u32()? as usize;
+            if m > body.len() {
+                return None;
+            }
+            let mut ws = Vec::with_capacity(m);
+            for _ in 0..m {
+                ws.push(r.writer()?);
+            }
+            counter_updates.push((loc, ws));
+        }
+        let n = r.u32()? as usize;
+        let mut write_log = Vec::new();
+        for _ in 0..n {
+            write_log.push((Loc(r.u32()?), r.u32()?));
+        }
+        let n = r.u32()? as usize;
+        let mut own_updates = Vec::new();
+        for _ in 0..n {
+            own_updates.push(OwnUpdate {
+                seq: r.u32()?,
+                loc: Loc(r.u32()?),
+                payload: r.payload()?,
+                deps: r.opt_clock()?,
+            });
+        }
+        let n = r.u32()? as usize;
+        let mut pending = Vec::new();
+        for _ in 0..n {
+            pending.push(SnapPending {
+                writer: r.writer()?,
+                loc: Loc(r.u32()?),
+                payload: r.payload()?,
+                deps: r.clock()?,
+            });
+        }
+        let n = r.u32()? as usize;
+        let mut pending_batches = Vec::new();
+        for _ in 0..n {
+            let proc = ProcId(r.u32()?);
+            let first_seq = r.u32()?;
+            let upto = r.u32()?;
+            let m = r.u32()? as usize;
+            if m > body.len() {
+                return None;
+            }
+            let mut entries = Vec::with_capacity(m);
+            for _ in 0..m {
+                entries.push(r.entry()?);
+            }
+            let deps = r.clock()?;
+            pending_batches.push(SnapBatch { proc, first_seq, upto, entries, deps });
+        }
+        let n = r.u32()? as usize;
+        let mut watermarks = Vec::new();
+        for _ in 0..n {
+            watermarks.push((ProcId(r.u32()?), r.u64()?));
+        }
+        if !r.done() {
+            return None;
+        }
+        Some(Snapshot {
+            incarnation,
+            applied,
+            store,
+            counter_updates,
+            write_log,
+            own_updates,
+            pending,
+            pending_batches,
+            watermarks,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated disk
+// ---------------------------------------------------------------------------
+
+/// A simulated per-replica disk with an explicit staged-vs-durable
+/// boundary: [`MemDisk::append`] stages a framed record, [`MemDisk::sync`]
+/// makes the staged tail durable (the modeled fsync), and
+/// [`MemDisk::crash`] drops whatever was staged — exactly the crash point
+/// between append and fsync that the explorer injects.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MemDisk {
+    snapshot: Option<Vec<u8>>,
+    log: Vec<u8>,
+    staged: Vec<u8>,
+    staged_records: u64,
+}
+
+impl MemDisk {
+    /// An empty disk.
+    pub fn new() -> Self {
+        MemDisk::default()
+    }
+
+    /// Stages one framed record (not yet durable).
+    pub fn append(&mut self, frame: &[u8]) {
+        self.staged.extend_from_slice(frame);
+        self.staged_records += 1;
+    }
+
+    /// The modeled fsync: moves the staged tail into the durable log.
+    /// Returns the number of records made durable.
+    pub fn sync(&mut self) -> u64 {
+        self.log.append(&mut self.staged);
+        std::mem::take(&mut self.staged_records)
+    }
+
+    /// Number of staged (appended but not yet fsynced) records.
+    pub fn staged_records(&self) -> u64 {
+        self.staged_records
+    }
+
+    /// Atomically installs a snapshot and truncates the durable log.
+    /// The caller must [`MemDisk::sync`] first — compaction must never
+    /// silently discard staged records.
+    pub fn install_snapshot(&mut self, bytes: Vec<u8>) {
+        debug_assert_eq!(self.staged_records, 0, "sync before snapshotting");
+        self.snapshot = Some(bytes);
+        self.log.clear();
+    }
+
+    /// A crash: the staged tail is lost, the durable log and snapshot
+    /// survive. Returns the number of records lost.
+    pub fn crash(&mut self) -> u64 {
+        self.staged.clear();
+        std::mem::take(&mut self.staged_records)
+    }
+
+    /// What recovery reads: the installed snapshot (if any) and the
+    /// durable log bytes.
+    pub fn load(&self) -> (Option<&[u8]>, &[u8]) {
+        (self.snapshot.as_deref(), &self.log)
+    }
+
+    /// Durable size in bytes (snapshot + log), for accounting.
+    pub fn durable_bytes(&self) -> u64 {
+        self.snapshot.as_ref().map_or(0, |s| s.len() as u64) + self.log.len() as u64
+    }
+
+    /// Serializes the durable state (snapshot + log, staged excluded) into
+    /// one image, for repro artifacts that capture disk contents.
+    pub fn image(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match &self.snapshot {
+            Some(s) => {
+                out.push(1);
+                put_u32(&mut out, s.len() as u32);
+                out.extend_from_slice(s);
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&self.log);
+        out
+    }
+
+    /// Rebuilds a disk from an [`MemDisk::image`] (staged state is empty,
+    /// as after a crash).
+    pub fn from_image(bytes: &[u8]) -> Option<MemDisk> {
+        let mut r = Rd::new(bytes);
+        let snapshot = match r.u8()? {
+            0 => None,
+            1 => {
+                let n = r.u32()? as usize;
+                Some(r.take(n)?.to_vec())
+            }
+            _ => return None,
+        };
+        let log = bytes[r.i..].to_vec();
+        Some(MemDisk { snapshot, log, staged: Vec::new(), staged_records: 0 })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real files (mc-live)
+// ---------------------------------------------------------------------------
+
+/// A real per-replica disk directory for `mc-live`: an append-only
+/// `wal.log` (made durable with `sync_all`) and a snapshot installed
+/// atomically via write-tmp-then-rename. The staged-vs-durable boundary
+/// here is the page cache: records appended but not yet fsynced may or
+/// may not survive `kill -9`, and recovery tolerates either via the
+/// truncation-tolerant decoder.
+#[derive(Debug)]
+pub struct FileDisk {
+    dir: PathBuf,
+    wal: fs::File,
+    staged_records: u64,
+}
+
+impl FileDisk {
+    /// Opens (creating if needed) the replica directory `dir`.
+    pub fn open(dir: &Path) -> io::Result<FileDisk> {
+        fs::create_dir_all(dir)?;
+        let wal = fs::OpenOptions::new().create(true).append(true).open(dir.join("wal.log"))?;
+        Ok(FileDisk { dir: dir.to_path_buf(), wal, staged_records: 0 })
+    }
+
+    /// The replica directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one framed record to `wal.log` (durable only after
+    /// [`FileDisk::sync`]).
+    pub fn append(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.wal.write_all(frame)?;
+        self.staged_records += 1;
+        Ok(())
+    }
+
+    /// fsyncs the log. Returns the number of records covered by this sync.
+    pub fn sync(&mut self) -> io::Result<u64> {
+        self.wal.sync_all()?;
+        Ok(std::mem::take(&mut self.staged_records))
+    }
+
+    /// Number of appended-but-not-fsynced records.
+    pub fn staged_records(&self) -> u64 {
+        self.staged_records
+    }
+
+    /// Atomically installs a snapshot (write `snapshot.tmp`, fsync,
+    /// rename over `snapshot.bin`) and truncates `wal.log`.
+    pub fn install_snapshot(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.wal.sync_all()?;
+        self.staged_records = 0;
+        let tmp = self.dir.join("snapshot.tmp");
+        let fin = self.dir.join("snapshot.bin");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &fin)?;
+        self.wal.set_len(0)?;
+        self.wal.seek(io::SeekFrom::Start(0))?;
+        self.wal.sync_all()?;
+        Ok(())
+    }
+
+    /// What recovery reads from `dir`: the installed snapshot (if any)
+    /// and the raw log bytes. Static so it runs before the directory is
+    /// re-opened for writing by the reborn process.
+    pub fn load(dir: &Path) -> io::Result<(Option<Vec<u8>>, Vec<u8>)> {
+        let snap = match fs::File::open(dir.join("snapshot.bin")) {
+            Ok(mut f) => {
+                let mut b = Vec::new();
+                f.read_to_end(&mut b)?;
+                Some(b)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        let log = match fs::File::open(dir.join("wal.log")) {
+            Ok(mut f) => {
+                let mut b = Vec::new();
+                f.read_to_end(&mut b)?;
+                b
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        Ok((snap, log))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        let mut deps = VClock::new(3);
+        deps.set(p(0), 2);
+        deps.set(p(1), 1);
+        vec![
+            WalRecord::Incarnation { incarnation: 3 },
+            WalRecord::OwnWrite {
+                loc: Loc(4),
+                payload: UpdatePayload::Set(Value::Int(-9)),
+                deps: Some(deps.clone()),
+            },
+            WalRecord::OwnWrite {
+                loc: Loc(0),
+                payload: UpdatePayload::Add(Value::F64(0.5)),
+                deps: None,
+            },
+            WalRecord::Ingest {
+                writer: WriteId::new(p(1), 7),
+                loc: Loc(2),
+                payload: UpdatePayload::Set(Value::Bool(true)),
+                deps: Some(deps.clone()),
+            },
+            WalRecord::IngestBatch {
+                proc: p(2),
+                first_seq: 1,
+                upto: 3,
+                entries: vec![BatchEntry {
+                    loc: Loc(1),
+                    payload: UpdatePayload::Add(Value::Int(3)),
+                    writer: WriteId::new(p(2), 3),
+                    adds: vec![1, 2, 3],
+                }],
+                deps: Some(deps),
+            },
+        ]
+    }
+
+    fn encode_all(recs: &[WalRecord]) -> Vec<u8> {
+        recs.iter().flat_map(|r| r.encode()).collect()
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn wal_roundtrip_every_kind() {
+        let recs = sample_records();
+        let bytes = encode_all(&recs);
+        let (decoded, tail) = decode_wal(&bytes);
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(decoded, recs);
+    }
+
+    #[test]
+    fn torn_tail_yields_valid_prefix() {
+        let recs = sample_records();
+        let bytes = encode_all(&recs);
+        // Chop mid-way through the last frame.
+        let cut = bytes.len() - 3;
+        let (decoded, tail) = decode_wal(&bytes[..cut]);
+        assert_eq!(decoded, recs[..recs.len() - 1]);
+        assert!(matches!(tail, WalTail::Torn { .. }));
+    }
+
+    #[test]
+    fn bit_flip_yields_corrupt_not_garbage() {
+        let recs = sample_records();
+        let mut bytes = encode_all(&recs);
+        // Flip a bit inside the second record's body.
+        let second_start = recs[0].encode().len();
+        bytes[second_start + 10] ^= 0x40;
+        let (decoded, tail) = decode_wal(&bytes);
+        assert_eq!(decoded, recs[..1]);
+        assert_eq!(tail, WalTail::Corrupt { at: second_start });
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut applied = VClock::new(2);
+        applied.set(p(0), 4);
+        let mut deps = VClock::new(2);
+        deps.set(p(1), 1);
+        let snap = Snapshot {
+            incarnation: 2,
+            applied,
+            store: vec![
+                (Loc(0), Value::Int(7), Some(WriteId::new(p(1), 1))),
+                (Loc(3), Value::F64(1.5), None),
+            ],
+            counter_updates: vec![(Loc(0), vec![WriteId::new(p(0), 1), WriteId::new(p(1), 1)])],
+            write_log: vec![(Loc(0), 1), (Loc(3), 2)],
+            own_updates: vec![OwnUpdate {
+                seq: 1,
+                loc: Loc(0),
+                payload: UpdatePayload::Add(Value::Int(4)),
+                deps: Some(deps.clone()),
+            }],
+            pending: vec![SnapPending {
+                writer: WriteId::new(p(1), 9),
+                loc: Loc(5),
+                payload: UpdatePayload::Set(Value::Bool(false)),
+                deps: deps.clone(),
+            }],
+            pending_batches: vec![SnapBatch {
+                proc: p(1),
+                first_seq: 2,
+                upto: 2,
+                entries: vec![BatchEntry {
+                    loc: Loc(1),
+                    payload: UpdatePayload::Set(Value::Int(1)),
+                    writer: WriteId::new(p(1), 2),
+                    adds: vec![],
+                }],
+                deps,
+            }],
+            watermarks: vec![(p(1), 17)],
+        };
+        let bytes = snap.encode();
+        assert_eq!(Snapshot::decode(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_rejects_damage() {
+        let snap = Snapshot { incarnation: 1, applied: VClock::new(2), ..Default::default() };
+        let bytes = snap.encode();
+        assert_eq!(Snapshot::decode(&bytes[..10]), Err(SnapshotError::Truncated));
+        let mut magic = bytes.clone();
+        magic[0] ^= 0xFF;
+        assert_eq!(Snapshot::decode(&magic), Err(SnapshotError::BadMagic));
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert_eq!(Snapshot::decode(&flipped), Err(SnapshotError::BadCrc));
+    }
+
+    #[test]
+    fn memdisk_staged_vs_durable() {
+        let mut d = MemDisk::new();
+        let rec = WalRecord::Incarnation { incarnation: 1 }.encode();
+        d.append(&rec);
+        d.append(&rec);
+        assert_eq!(d.staged_records(), 2);
+        assert_eq!(d.load().1.len(), 0, "staged bytes are not durable");
+        assert_eq!(d.sync(), 2);
+        d.append(&rec);
+        assert_eq!(d.crash(), 1, "the unsynced tail is lost");
+        let (snap, log) = d.load();
+        assert!(snap.is_none());
+        let (recs, tail) = decode_wal(log);
+        assert_eq!(recs.len(), 2);
+        assert!(tail.is_clean());
+    }
+
+    #[test]
+    fn memdisk_snapshot_truncates_log() {
+        let mut d = MemDisk::new();
+        d.append(&WalRecord::Incarnation { incarnation: 1 }.encode());
+        d.sync();
+        let snap = Snapshot { incarnation: 1, applied: VClock::new(1), ..Default::default() };
+        d.install_snapshot(snap.encode());
+        let (s, log) = d.load();
+        assert!(log.is_empty());
+        assert_eq!(Snapshot::decode(s.unwrap()).unwrap(), snap);
+    }
+
+    #[test]
+    fn memdisk_image_roundtrip() {
+        let mut d = MemDisk::new();
+        d.append(&WalRecord::Incarnation { incarnation: 2 }.encode());
+        d.sync();
+        d.install_snapshot(
+            Snapshot { incarnation: 2, applied: VClock::new(1), ..Default::default() }.encode(),
+        );
+        d.append(&WalRecord::Incarnation { incarnation: 3 }.encode());
+        d.sync();
+        d.append(&WalRecord::Incarnation { incarnation: 9 }.encode()); // staged: excluded
+        let img = d.image();
+        let back = MemDisk::from_image(&img).unwrap();
+        assert_eq!(back.staged_records(), 0);
+        let (s, log) = back.load();
+        assert!(s.is_some());
+        let (recs, tail) = decode_wal(log);
+        assert!(tail.is_clean());
+        assert_eq!(recs, vec![WalRecord::Incarnation { incarnation: 3 }]);
+    }
+
+    #[test]
+    fn filedisk_roundtrip() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mc-filedisk-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+
+        let mut d = FileDisk::open(&dir).unwrap();
+        d.append(&WalRecord::Incarnation { incarnation: 1 }.encode()).unwrap();
+        assert_eq!(d.staged_records(), 1);
+        assert_eq!(d.sync().unwrap(), 1);
+        let snap = Snapshot { incarnation: 1, applied: VClock::new(2), ..Default::default() };
+        d.install_snapshot(&snap.encode()).unwrap();
+        d.append(
+            &WalRecord::OwnWrite {
+                loc: Loc(0),
+                payload: UpdatePayload::Set(Value::Int(5)),
+                deps: None,
+            }
+            .encode(),
+        )
+        .unwrap();
+        d.sync().unwrap();
+        drop(d);
+
+        let (s, log) = FileDisk::load(&dir).unwrap();
+        assert_eq!(Snapshot::decode(&s.unwrap()).unwrap(), snap);
+        let (recs, tail) = decode_wal(&log);
+        assert!(tail.is_clean());
+        assert_eq!(recs.len(), 1, "snapshot install truncated the pre-snapshot log");
+
+        // Re-open appends after the existing tail.
+        let mut d = FileDisk::open(&dir).unwrap();
+        d.append(&WalRecord::Incarnation { incarnation: 2 }.encode()).unwrap();
+        d.sync().unwrap();
+        drop(d);
+        let (_, log) = FileDisk::load(&dir).unwrap();
+        let (recs, tail) = decode_wal(&log);
+        assert!(tail.is_clean());
+        assert_eq!(recs.len(), 2);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

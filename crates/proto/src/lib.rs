@@ -28,6 +28,7 @@
 
 pub mod config;
 pub mod dsm;
+pub mod durability;
 pub mod manager;
 pub mod msg;
 pub mod replica;
@@ -35,6 +36,9 @@ pub mod session;
 
 pub use config::{BatchPolicy, DsmConfig, LockPropagation, Mode};
 pub use dsm::{Dsm, Req, Resp};
+pub use durability::{
+    decode_wal, DurabilityPolicy, FileDisk, MemDisk, Snapshot, SnapshotError, WalRecord, WalTail,
+};
 pub use manager::Manager;
 pub use msg::{BatchEntry, GrantInfo, Msg, UpdatePayload};
 pub use replica::Replica;

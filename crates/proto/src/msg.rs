@@ -103,10 +103,12 @@ pub enum Msg {
         /// reconstructs the full clock from its per-link shadow copy.
         /// `None` in PRAM mode.
         delta: Option<Vec<(ProcId, u32)>>,
-        /// Piggybacked session acknowledgement for the reverse link
-        /// (highest in-order sequence number delivered), when the
-        /// session layer is running.
-        ack: Option<u64>,
+        /// Piggybacked session acknowledgement for the reverse link —
+        /// `(upto, epoch)`: highest in-order sequence number delivered,
+        /// tagged with the receiver's link epoch so a pre-crash ack can
+        /// never advance a reborn sender's watermark. Present only when
+        /// the session layer is running.
+        ack: Option<(u64, u64)>,
     },
     /// Eager unlock: "flush all updates" probe from a releasing process.
     Flush {
@@ -213,18 +215,60 @@ pub enum Msg {
         writers: Vec<WriteId>,
     },
     /// Reliable-session wrapper (see [`crate::session`]): `inner` is the
-    /// `seq`-th payload on its directed sender→receiver link.
+    /// `seq`-th payload on its directed sender→receiver link within
+    /// session epoch `epoch`.
     SessData {
         /// Per-link sequence number (first payload is 1).
         seq: u64,
+        /// Session epoch: high 32 bits are the sender's persisted
+        /// incarnation, low 32 bits a volatile reset counter. Strictly
+        /// monotone per directed link across crashes, so a reborn node's
+        /// link can never be confused with its pre-crash self.
+        epoch: u64,
         /// The wrapped protocol message.
         inner: Box<Msg>,
     },
     /// Cumulative session acknowledgement: every payload with sequence
-    /// number ≤ `upto` on this link has been delivered in order.
+    /// number ≤ `upto` in epoch `epoch` on this link has been delivered
+    /// in order.
     SessAck {
         /// Highest in-order sequence number delivered.
         upto: u64,
+        /// The receiver's current epoch for this link. Senders ignore
+        /// acks from any other epoch — a pre-crash cumulative ack must
+        /// never advance a post-crash watermark.
+        epoch: u64,
+    },
+    /// Recovery bootstrap, broadcast by a reborn replica after replaying
+    /// its disk. Always sent raw (never session-wrapped): it is the
+    /// message that resets the session.
+    RecoverReq {
+        /// The reborn process.
+        proc: ProcId,
+        /// Its new (post-bump) incarnation.
+        incarnation: u32,
+        /// Its applied vector after snapshot+log replay: peers answer
+        /// with only the missing delta.
+        applied: VClock,
+    },
+    /// A peer's answer to [`Msg::RecoverReq`]: the suffix of the peer's
+    /// own writes the reborn replica is missing, batched.
+    RecoverResp {
+        /// The responding process.
+        proc: ProcId,
+        /// First own-write sequence covered (`applied[proc] + 1` from
+        /// the request).
+        first_seq: u32,
+        /// Last own-write sequence covered (the peer's own count).
+        upto: u32,
+        /// One entry per missing own write, in sequence order.
+        entries: Vec<BatchEntry>,
+        /// Dependency vector of the last member (vector modes only).
+        deps: Option<VClock>,
+        /// How many of the *reborn* process's own writes the responder
+        /// has applied — the reborn side pushes back its own suffix
+        /// after this point.
+        seen: u32,
     },
 }
 
@@ -235,11 +279,11 @@ impl Msg {
             Msg::Update { deps, .. } => 24 + deps.as_ref().map_or(0, |d| 4 * d.len() as u64),
             // Batch header: proc + first_seq + upto + entry count (16),
             // then the entries, 8 per transmitted clock-delta component,
-            // and 8 for a piggybacked ack when present.
+            // and 16 for a piggybacked (upto, epoch) ack when present.
             Msg::UpdateBatch { entries, delta, ack, .. } => {
                 16 + entries.iter().map(BatchEntry::wire_bytes).sum::<u64>()
                     + delta.as_ref().map_or(0, |d| 8 * d.len() as u64)
-                    + ack.map_or(0, |_| 8)
+                    + ack.map_or(0, |_| 16)
             }
             Msg::Flush { .. } => 12,
             Msg::FlushAck => 8,
@@ -259,9 +303,15 @@ impl Msg {
             Msg::ScWriteAck => 8,
             Msg::ScAwait { .. } => 20,
             Msg::ScAwaitResp { writers, .. } => 16 + 8 * writers.len() as u64,
-            // Session header: 8-byte sequence number on top of the payload.
-            Msg::SessData { inner, .. } => 8 + inner.wire_bytes(),
-            Msg::SessAck { .. } => 12,
+            // Session header: 8-byte sequence number plus 8-byte epoch
+            // on top of the payload.
+            Msg::SessData { inner, .. } => 16 + inner.wire_bytes(),
+            Msg::SessAck { .. } => 20,
+            Msg::RecoverReq { applied, .. } => 16 + 4 * applied.len() as u64,
+            Msg::RecoverResp { entries, deps, .. } => {
+                24 + entries.iter().map(BatchEntry::wire_bytes).sum::<u64>()
+                    + deps.as_ref().map_or(0, |d| 4 * d.len() as u64)
+            }
         }
     }
 
@@ -285,6 +335,8 @@ impl Msg {
             Msg::ScAwaitResp { .. } => "sc_await_resp",
             Msg::SessData { .. } => "sess_data",
             Msg::SessAck { .. } => "session_ack",
+            Msg::RecoverReq { .. } => "recover_req",
+            Msg::RecoverResp { .. } => "recover_resp",
         }
     }
 }
@@ -352,7 +404,7 @@ mod tests {
         assert_eq!(m.wire_bytes(), 24 + 4 * 3);
 
         // UpdateBatch: 16 header + Σ entry (16 + 4·adds) + 8 per delta
-        // component + 8 if an ack rides along.
+        // component + 16 if an epoch-tagged ack rides along.
         let entries = vec![
             BatchEntry { loc: Loc(0), payload: set.clone(), writer: wid, adds: vec![] },
             BatchEntry {
@@ -377,9 +429,9 @@ mod tests {
             upto: 7,
             entries,
             delta: Some(vec![(ProcId(1), 7), (ProcId(2), 4)]),
-            ack: Some(9),
+            ack: Some((9, 1 << 32)),
         };
-        assert_eq!(m.wire_bytes(), 16 + 16 + (16 + 4 * 3) + 8 * 2 + 8);
+        assert_eq!(m.wire_bytes(), 16 + 16 + (16 + 4 * 3) + 8 * 2 + 16);
         assert_eq!(m.kind(), "update_batch");
 
         assert_eq!(Msg::Flush { from_proc: ProcId(0), upto: 1 }.wire_bytes(), 12);
@@ -439,9 +491,49 @@ mod tests {
             16 + 8 * 2
         );
 
-        // Session wrapper: 8-byte sequence header on the inner payload.
-        let m = Msg::SessData { seq: 3, inner: Box::new(Msg::FlushAck) };
-        assert_eq!(m.wire_bytes(), 8 + 8);
-        assert_eq!(Msg::SessAck { upto: 3 }.wire_bytes(), 12);
+        // Session wrapper: 8-byte sequence + 8-byte epoch header on the
+        // inner payload.
+        let m = Msg::SessData { seq: 3, epoch: 1 << 32, inner: Box::new(Msg::FlushAck) };
+        assert_eq!(m.wire_bytes(), 16 + 8);
+        assert_eq!(Msg::SessAck { upto: 3, epoch: 1 << 32 }.wire_bytes(), 20);
+
+        // Recovery: 16-byte request header + 4 per applied component;
+        // 24-byte response header + entries + 4 per deps component.
+        let m = Msg::RecoverReq { proc: ProcId(2), incarnation: 3, applied: vc(3) };
+        assert_eq!(m.wire_bytes(), 16 + 4 * 3);
+        assert_eq!(m.kind(), "recover_req");
+        let entries = vec![
+            BatchEntry {
+                loc: Loc(0),
+                payload: UpdatePayload::Set(Value::Int(1)),
+                writer: wid,
+                adds: vec![],
+            },
+            BatchEntry {
+                loc: Loc(1),
+                payload: UpdatePayload::Add(Value::Int(2)),
+                writer: wid,
+                adds: vec![6, 7],
+            },
+        ];
+        let m = Msg::RecoverResp {
+            proc: ProcId(1),
+            first_seq: 6,
+            upto: 7,
+            entries,
+            deps: Some(vc(3)),
+            seen: 2,
+        };
+        assert_eq!(m.wire_bytes(), 24 + 16 + (16 + 4 * 2) + 4 * 3);
+        assert_eq!(m.kind(), "recover_resp");
+        let m = Msg::RecoverResp {
+            proc: ProcId(1),
+            first_seq: 1,
+            upto: 0,
+            entries: vec![],
+            deps: None,
+            seen: 0,
+        };
+        assert_eq!(m.wire_bytes(), 24, "an empty delta costs only the header");
     }
 }

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use mc_model::{Loc, ProcId, VClock, Value, WriteId};
 
 use crate::config::{DsmConfig, Mode};
+use crate::durability::{OwnUpdate, SnapBatch, SnapPending, Snapshot, WalRecord};
 use crate::msg::{BatchEntry, UpdatePayload};
 
 /// A pending (causally not yet ready) remote update.
@@ -82,6 +83,14 @@ pub struct Replica {
     /// Per-lock watermark into `write_log` (entries before it were already
     /// shipped on an earlier release of that lock).
     pub lock_watermarks: HashMap<mc_model::LockId, usize>,
+    /// Full own-write history with dependency vectors, retained only
+    /// when the configuration enables durability: it is what lets this
+    /// replica answer a reborn peer with exactly the suffix it misses,
+    /// even past log compaction.
+    own_updates: Vec<OwnUpdate>,
+    /// Replica incarnation: bumped (and persisted) on every
+    /// crash-recover so stale session state is recognizably stale.
+    pub incarnation: u32,
 }
 
 impl Replica {
@@ -101,6 +110,8 @@ impl Replica {
             counter_updates: HashMap::new(),
             write_log: Vec::new(),
             lock_watermarks: HashMap::new(),
+            own_updates: Vec::new(),
+            incarnation: 0,
         }
     }
 
@@ -183,6 +194,9 @@ impl Replica {
         let id = WriteId::new(self.proc, self.own_count());
         self.apply_to_store(id, loc, &payload);
         self.write_log.push((loc, id.seq));
+        if cfg.durability.is_some() {
+            self.own_updates.push(OwnUpdate { seq: id.seq, loc, payload, deps: deps.clone() });
+        }
         (id, deps)
     }
 
@@ -388,6 +402,151 @@ impl Replica {
     /// The number of processes.
     pub fn nprocs(&self) -> usize {
         self.nprocs
+    }
+
+    // -- durability ---------------------------------------------------------
+
+    /// Captures the replica as a compacted [`Snapshot`] (everything that
+    /// `snapshot + empty log` must reproduce). `watermarks` are the
+    /// session receiver watermarks to persist alongside.
+    pub fn to_snapshot(&self, watermarks: Vec<(ProcId, u64)>) -> Snapshot {
+        let mut store = Vec::new();
+        for i in 0..self.store.len() {
+            let v = self.store[i];
+            let w = self.last_writer[i];
+            if v != Value::INITIAL || w.is_some() {
+                store.push((Loc(i as u32), v, w));
+            }
+        }
+        let mut counter_updates: Vec<(Loc, Vec<WriteId>)> =
+            self.counter_updates.iter().map(|(&l, ws)| (l, ws.clone())).collect();
+        counter_updates.sort_unstable_by_key(|&(l, _)| l);
+        Snapshot {
+            incarnation: self.incarnation,
+            applied: self.applied.clone(),
+            store,
+            counter_updates,
+            write_log: self.write_log.clone(),
+            own_updates: self.own_updates.clone(),
+            pending: self
+                .pending
+                .iter()
+                .map(|u| SnapPending {
+                    writer: u.writer,
+                    loc: u.loc,
+                    payload: u.payload.clone(),
+                    deps: u.deps.clone(),
+                })
+                .collect(),
+            pending_batches: self
+                .pending_batches
+                .iter()
+                .map(|b| SnapBatch {
+                    proc: b.proc,
+                    first_seq: b.first_seq,
+                    upto: b.upto,
+                    entries: b.entries.clone(),
+                    deps: b.deps.clone(),
+                })
+                .collect(),
+            watermarks,
+        }
+    }
+
+    /// Rebuilds a replica from a decoded [`Snapshot`]. The read gates
+    /// (`must_see`, `pram_wait`, `invalid`) and lock watermarks are
+    /// *not* part of the snapshot: in the simulator they survive the
+    /// crash with the client program, and a restarted live process
+    /// starts its program afresh.
+    pub fn from_snapshot(proc: ProcId, nprocs: usize, snap: &Snapshot) -> Replica {
+        let mut r = Replica::new(proc, nprocs);
+        r.incarnation = snap.incarnation;
+        r.applied = snap.applied.clone();
+        for &(loc, v, w) in &snap.store {
+            r.ensure_loc(loc);
+            r.store[loc.index()] = v;
+            r.last_writer[loc.index()] = w;
+        }
+        r.counter_updates = snap.counter_updates.iter().cloned().collect();
+        r.write_log = snap.write_log.clone();
+        r.own_updates = snap.own_updates.clone();
+        r.pending = snap
+            .pending
+            .iter()
+            .map(|u| PendingUpdate {
+                writer: u.writer,
+                loc: u.loc,
+                payload: u.payload.clone(),
+                deps: u.deps.clone(),
+            })
+            .collect();
+        r.pending_batches = snap
+            .pending_batches
+            .iter()
+            .map(|b| PendingBatch {
+                proc: b.proc,
+                first_seq: b.first_seq,
+                upto: b.upto,
+                entries: b.entries.clone(),
+                deps: b.deps.clone(),
+            })
+            .collect();
+        r
+    }
+
+    /// Replays one write-ahead-log record through the normal ingest
+    /// machinery (recovery path). Own writes re-mint their original
+    /// identities because replay preserves order; remote records re-run
+    /// ingest, so causally premature updates land back in the pending
+    /// buffers exactly as they were.
+    pub fn replay_record(&mut self, rec: WalRecord, mode: Mode) {
+        match rec {
+            WalRecord::OwnWrite { loc, payload, deps } => {
+                self.applied.tick(self.proc);
+                let id = WriteId::new(self.proc, self.own_count());
+                self.apply_to_store(id, loc, &payload);
+                self.write_log.push((loc, id.seq));
+                self.own_updates.push(OwnUpdate { seq: id.seq, loc, payload, deps });
+            }
+            WalRecord::Ingest { writer, loc, payload, deps } => {
+                self.ingest(writer, loc, payload, deps, mode);
+            }
+            WalRecord::IngestBatch { proc, first_seq, upto, entries, deps } => {
+                self.ingest_batch(proc, first_seq, upto, entries, deps, mode);
+            }
+            WalRecord::Incarnation { incarnation } => {
+                self.incarnation = self.incarnation.max(incarnation);
+            }
+        }
+    }
+
+    /// The suffix of this replica's own writes after sequence `after`,
+    /// as batch entries for a [`RecoverResp`](crate::Msg::RecoverResp)
+    /// (or the reborn side's push-back batch): `(first_seq, upto,
+    /// entries, deps-of-last-member)`. `None` when the peer already has
+    /// everything.
+    pub fn delta_entries(&self, after: u32) -> Option<(u32, u32, Vec<BatchEntry>, Option<VClock>)> {
+        let missing: Vec<&OwnUpdate> = self.own_updates.iter().filter(|u| u.seq > after).collect();
+        let last = missing.last()?;
+        let (upto, deps) = (last.seq, last.deps.clone());
+        let entries = missing
+            .iter()
+            .map(|u| BatchEntry {
+                loc: u.loc,
+                payload: u.payload.clone(),
+                writer: WriteId::new(self.proc, u.seq),
+                adds: match u.payload {
+                    UpdatePayload::Add(_) => vec![u.seq],
+                    UpdatePayload::Set(_) => vec![],
+                },
+            })
+            .collect();
+        Some((after + 1, upto, entries, deps))
+    }
+
+    /// Number of own writes retained for recovery push-back.
+    pub fn own_updates_len(&self) -> usize {
+        self.own_updates.len()
     }
 }
 
@@ -693,6 +852,145 @@ mod tests {
         let writers = r.await_writers(Loc(0));
         assert_eq!(writers.len(), 3);
         assert!(writers.contains(&WriteId::new(p(0), 2)));
+    }
+
+    fn durable_cfg(mode: Mode) -> DsmConfig {
+        DsmConfig { durability: Some(crate::durability::DurabilityPolicy::default()), ..cfg(mode) }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_reconstructs_replica() {
+        let c = durable_cfg(Mode::Mixed);
+        let mut r = Replica::new(p(0), 3);
+        r.local_write(Loc(0), UpdatePayload::Set(Value::Int(5)), &c);
+        r.local_write(Loc(1), UpdatePayload::Add(Value::Int(2)), &c);
+        // A causally premature remote write lands in pending.
+        let mut deps = VClock::new(3);
+        deps.set(p(1), 2);
+        r.ingest(
+            WriteId::new(p(1), 2),
+            Loc(2),
+            UpdatePayload::Set(Value::Int(9)),
+            Some(deps),
+            Mode::Mixed,
+        );
+        assert_eq!(r.pending_len(), 1);
+        r.incarnation = 3;
+
+        let bytes = r.to_snapshot(vec![(p(1), 7)]).encode();
+        let snap = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(snap.watermarks, vec![(p(1), 7)]);
+        let mut back = Replica::from_snapshot(p(0), 3, &snap);
+        assert_eq!(back.incarnation, 3);
+        assert_eq!(back.value(Loc(0)), Value::Int(5));
+        assert_eq!(back.value(Loc(1)), Value::Int(2));
+        assert_eq!(back.own_count(), 2);
+        assert_eq!(back.write_log, r.write_log);
+        assert_eq!(back.pending_len(), 1);
+        assert_eq!(back.await_writers(Loc(1)), r.await_writers(Loc(1)));
+        // The buffered write still drains once its predecessor arrives.
+        let mut d1 = VClock::new(3);
+        d1.set(p(1), 1);
+        assert!(back.ingest(
+            WriteId::new(p(1), 1),
+            Loc(2),
+            UpdatePayload::Set(Value::Int(8)),
+            Some(d1),
+            Mode::Mixed,
+        ));
+        assert_eq!(back.value(Loc(2)), Value::Int(9));
+    }
+
+    #[test]
+    fn replay_reminits_own_write_identities() {
+        let c = durable_cfg(Mode::Mixed);
+        let mut live = Replica::new(p(0), 2);
+        let (id1, deps1) = live.local_write(Loc(0), UpdatePayload::Set(Value::Int(1)), &c);
+        let (id2, deps2) = live.local_write(Loc(1), UpdatePayload::Add(Value::Int(4)), &c);
+
+        let mut reborn = Replica::new(p(0), 2);
+        reborn.replay_record(
+            WalRecord::OwnWrite {
+                loc: Loc(0),
+                payload: UpdatePayload::Set(Value::Int(1)),
+                deps: deps1,
+            },
+            Mode::Mixed,
+        );
+        reborn.replay_record(
+            WalRecord::OwnWrite {
+                loc: Loc(1),
+                payload: UpdatePayload::Add(Value::Int(4)),
+                deps: deps2,
+            },
+            Mode::Mixed,
+        );
+        reborn.replay_record(WalRecord::Incarnation { incarnation: 2 }, Mode::Mixed);
+        assert_eq!(reborn.own_count(), 2);
+        assert_eq!(reborn.writer_of(Loc(0)), Some(id1));
+        assert_eq!(reborn.writer_of(Loc(1)), Some(id2));
+        assert_eq!(reborn.incarnation, 2);
+        assert_eq!(reborn.value(Loc(1)), Value::Int(4));
+        assert_eq!(reborn.write_log, live.write_log);
+    }
+
+    #[test]
+    fn replay_ingests_reenter_pending_buffers() {
+        let mut r = Replica::new(p(1), 2);
+        let mut deps = VClock::new(2);
+        deps.set(p(0), 2);
+        // A logged ingest whose predecessor never made it to disk: it
+        // must wait in pending again, not apply out of order.
+        r.replay_record(
+            WalRecord::Ingest {
+                writer: WriteId::new(p(0), 2),
+                loc: Loc(0),
+                payload: UpdatePayload::Set(Value::Int(2)),
+                deps: Some(deps),
+            },
+            Mode::Causal,
+        );
+        assert_eq!(r.pending_len(), 1);
+        assert_eq!(r.value(Loc(0)), Value::INITIAL);
+    }
+
+    #[test]
+    fn delta_entries_cover_exactly_the_missing_suffix() {
+        let c = durable_cfg(Mode::Pram);
+        let mut r = Replica::new(p(0), 2);
+        r.local_write(Loc(0), UpdatePayload::Set(Value::Int(1)), &c);
+        r.local_write(Loc(1), UpdatePayload::Add(Value::Int(2)), &c);
+        r.local_write(Loc(0), UpdatePayload::Set(Value::Int(3)), &c);
+        assert!(r.delta_entries(3).is_none(), "peer already has everything");
+        let (first, upto, entries, deps) = r.delta_entries(1).unwrap();
+        assert_eq!((first, upto), (2, 3));
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].adds, vec![2], "Add entries credit their member");
+        assert_eq!(entries[1].adds, Vec::<u32>::new());
+        assert!(deps.is_none(), "PRAM carries no vectors");
+        // Applying the suffix at a peer that has the prefix converges it.
+        let mut peer = Replica::new(p(1), 2);
+        peer.ingest(
+            WriteId::new(p(0), 1),
+            Loc(0),
+            UpdatePayload::Set(Value::Int(1)),
+            None,
+            Mode::Pram,
+        );
+        peer.ingest_batch(p(0), first, upto, entries, deps, Mode::Pram);
+        assert_eq!(peer.value(Loc(0)), Value::Int(3));
+        assert_eq!(peer.value(Loc(1)), Value::Int(2));
+        assert_eq!(peer.applied[p(0)], 3);
+    }
+
+    #[test]
+    fn own_history_is_kept_only_under_durability() {
+        let mut r = Replica::new(p(0), 2);
+        r.local_write(Loc(0), UpdatePayload::Set(Value::Int(1)), &cfg(Mode::Pram));
+        assert_eq!(r.own_updates_len(), 0, "no durability, no history");
+        let mut r = Replica::new(p(0), 2);
+        r.local_write(Loc(0), UpdatePayload::Set(Value::Int(1)), &durable_cfg(Mode::Pram));
+        assert_eq!(r.own_updates_len(), 1);
     }
 
     #[test]

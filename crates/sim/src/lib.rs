@@ -36,7 +36,7 @@ mod time;
 pub mod trace;
 
 pub use kernel::{Kernel, Poll, ProcCtx, ProcToken, Protocol, RunReport, SimError};
-pub use metrics::{FaultStats, Histogram, KindStats, Metrics, ProcStats};
+pub use metrics::{DurabilityStats, FaultStats, Histogram, KindStats, Metrics, ProcStats};
 pub use net::{Crash, FaultBudget, FaultPlan, LatencyModel, NetCtx, NodeId, Partition, SimConfig};
 pub use schedule::{
     ActionId, DecisionTrace, RandomSchedule, ReplaySchedule, Schedule, StepInfo, StepKind, Touch,

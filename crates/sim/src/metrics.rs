@@ -58,6 +58,29 @@ impl FaultStats {
     }
 }
 
+/// Counters of the durability subsystem: write-ahead-log records and
+/// compacted snapshots (see `mc_proto::durability`).
+///
+/// Appends obey their own conservation law, checked at the end of every
+/// run: every record staged by an append is either made durable by an
+/// fsync, lost to a crash before its fsync, or still staged when the run
+/// ends. All four terms are zero when durability is off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// WAL records appended (staged) to a replica's log.
+    pub appends: u64,
+    /// Staged records made durable by an fsync.
+    pub synced: u64,
+    /// Staged records lost to a crash before their fsync.
+    pub lost: u64,
+    /// Durable records replayed during recoveries.
+    pub replayed: u64,
+    /// Compacted snapshots installed.
+    pub snapshots: u64,
+    /// Crash-recoveries completed.
+    pub recoveries: u64,
+}
+
 /// Number of log₂ buckets in a [`Histogram`] (covers the full `u64`
 /// nanosecond range).
 const HIST_BUCKETS: usize = 65;
@@ -205,6 +228,11 @@ pub struct Metrics {
     pub timers_cancelled: u64,
     /// Protocol timers still armed when the run ended.
     pub timers_pending: u64,
+    /// Durability counters (WAL records, snapshots, recoveries).
+    pub wal: DurabilityStats,
+    /// WAL records still staged (appended, never fsynced) when the run
+    /// ended, reported by [`Protocol::durable_staged`](crate::Protocol::durable_staged).
+    pub wal_staged: u64,
     /// Distribution of per-stall blocked durations.
     pub stall_hist: Histogram,
     /// Distribution of message delivery latencies (send to delivery).
@@ -283,6 +311,14 @@ impl Metrics {
                 self.timers_set, self.timers_fired, self.timers_cancelled, self.timers_pending,
             ));
         }
+        let wal_accounted = self.wal.synced + self.wal.lost + self.wal_staged;
+        if self.wal.appends != wal_accounted {
+            return Err(format!(
+                "WAL conservation violated: {} appended != {} synced + \
+                 {} lost + {} staged",
+                self.wal.appends, self.wal.synced, self.wal.lost, self.wal_staged,
+            ));
+        }
         Ok(())
     }
 
@@ -354,6 +390,18 @@ impl fmt::Display for Metrics {
                 f,
                 "  timers: set={} fired={} cancelled={} pending={}",
                 self.timers_set, self.timers_fired, self.timers_cancelled, self.timers_pending
+            )?;
+        }
+        if self.wal.appends > 0 || self.wal.recoveries > 0 {
+            writeln!(
+                f,
+                "  wal: appended={} synced={} lost={} replayed={} snapshots={} recoveries={}",
+                self.wal.appends,
+                self.wal.synced,
+                self.wal.lost,
+                self.wal.replayed,
+                self.wal.snapshots,
+                self.wal.recoveries
             )?;
         }
         if !self.stall_hist.is_empty() {
@@ -491,5 +539,20 @@ mod tests {
         m.timers_cancelled = 1;
         m.timers_pending = 1;
         assert!(m.check_conservation(0).is_ok());
+    }
+
+    #[test]
+    fn wal_conservation_law() {
+        let mut m = Metrics::new();
+        assert!(m.check_conservation(0).is_ok(), "all-zero WAL terms balance");
+        m.wal.appends = 5;
+        m.wal.synced = 3;
+        let err = m.check_conservation(0).unwrap_err();
+        assert!(err.contains("WAL conservation"), "{err}");
+        m.wal.lost = 1;
+        m.wal_staged = 1;
+        assert!(m.check_conservation(0).is_ok());
+        let s = m.to_string();
+        assert!(s.contains("wal: appended=5"), "{s}");
     }
 }

@@ -174,6 +174,11 @@ pub struct FaultPlan {
     pub partitions: Vec<Partition>,
     /// Scheduled node outages.
     pub crashes: Vec<Crash>,
+    /// Scheduled crash-recover events: at each `(node, at)` the node
+    /// atomically loses its volatile state and in-flight deliveries, then
+    /// recovers from whatever the protocol persisted (see
+    /// [`Protocol::on_crash_recover`](crate::Protocol::on_crash_recover)).
+    pub crash_recovers: Vec<(NodeId, SimTime)>,
 }
 
 impl FaultPlan {
@@ -231,6 +236,16 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules an atomic crash-recover of `node` at `at`: volatile
+    /// protocol state and in-flight deliveries to the node are wiped at
+    /// that instant, and the node immediately rejoins from its durable
+    /// storage. Unlike [`FaultPlan::crash`] with a restart, the node's
+    /// disk contents survive and the protocol's recovery path runs.
+    pub fn crash_recover(mut self, node: NodeId, at: SimTime) -> Self {
+        self.crash_recovers.push((node, at));
+        self
+    }
+
     /// `true` if the plan injects no faults at all.
     pub fn is_quiet(&self) -> bool {
         self.drop == 0.0
@@ -238,6 +253,7 @@ impl FaultPlan {
             && self.reorder.is_none()
             && self.partitions.is_empty()
             && self.crashes.is_empty()
+            && self.crash_recovers.is_empty()
     }
 
     /// `true` if `node` is crashed at time `at`.
@@ -277,6 +293,9 @@ pub struct FaultBudget {
     pub max_duplicates: u32,
     /// Nodes that may crash (permanently) at any scheduling point.
     pub crashes: Vec<NodeId>,
+    /// Nodes that may crash *and recover from durable storage* (once per
+    /// run) at any scheduling point.
+    pub recovers: Vec<NodeId>,
 }
 
 impl FaultBudget {
@@ -305,9 +324,23 @@ impl FaultBudget {
         self
     }
 
+    /// Allows `node` to crash and recover from durable storage (once per
+    /// run) at any scheduling point. Exploration enumerates the recovery
+    /// timing alongside every schedule, which is how the "no acknowledged
+    /// write is lost" property gets checked under crash-recover faults.
+    pub fn crash_recover_of(mut self, node: NodeId) -> Self {
+        if !self.recovers.contains(&node) {
+            self.recovers.push(node);
+        }
+        self
+    }
+
     /// `true` if the budget admits no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.max_drops == 0 && self.max_duplicates == 0 && self.crashes.is_empty()
+        self.max_drops == 0
+            && self.max_duplicates == 0
+            && self.crashes.is_empty()
+            && self.recovers.is_empty()
     }
 }
 
@@ -421,6 +454,10 @@ pub(crate) struct Network<M> {
     pub dups_used: u32,
     /// Nodes crashed by *explored* crash actions (permanent).
     pub downed: Vec<NodeId>,
+    /// Nodes that already spent their explored crash-recover this run
+    /// (each [`FaultBudget::crash_recover_of`] node recovers at most once
+    /// per run, keeping the candidate set finite).
+    pub recovers_used: Vec<NodeId>,
     /// State and queue accesses since the last footprint flush: every
     /// send destination and timer target of the currently executing step
     /// (queue touches), plus whatever the kernel attributes to the step
@@ -443,6 +480,7 @@ impl<M> Network<M> {
             drops_used: 0,
             dups_used: 0,
             downed: Vec::new(),
+            recovers_used: Vec::new(),
             touched: Vec::new(),
             tracer: None,
         }
@@ -475,6 +513,13 @@ impl<M> Network<M> {
         self.timers = timers.into_iter().filter(|Reverse(t)| t.node != node).collect();
         let cancelled = (armed - self.timers.len()) as u64;
         (wiped, cancelled)
+    }
+
+    /// Brings a downed node back up (the second half of a crash-recover:
+    /// [`Network::crash_node`] wipes, `revive` rejoins). The node's wiped
+    /// queue and cancelled timers stay wiped — only future I/O resumes.
+    pub fn revive(&mut self, node: NodeId) {
+        self.downed.retain(|&n| n != node);
     }
 }
 
@@ -548,6 +593,32 @@ impl<M> NetCtx<'_, M> {
     /// RTO histogram in [`Metrics`].
     pub fn record_rto(&mut self, rto: SimTime) {
         self.metrics.record_rto(rto);
+    }
+
+    /// Records `n` write-ahead-log records appended (staged) by the
+    /// protocol's durable storage.
+    pub fn record_wal_append(&mut self, n: u64) {
+        self.metrics.wal.appends += n;
+    }
+
+    /// Records `n` staged WAL records made durable by an fsync.
+    pub fn record_wal_sync(&mut self, n: u64) {
+        self.metrics.wal.synced += n;
+    }
+
+    /// Records `n` staged WAL records lost to a crash before their fsync.
+    pub fn record_wal_lost(&mut self, n: u64) {
+        self.metrics.wal.lost += n;
+    }
+
+    /// Records `n` durable WAL records replayed during a recovery.
+    pub fn record_wal_replayed(&mut self, n: u64) {
+        self.metrics.wal.replayed += n;
+    }
+
+    /// Records one compacted snapshot installed by the protocol.
+    pub fn record_snapshot(&mut self) {
+        self.metrics.wal.snapshots += 1;
     }
 
     /// Records a fault instant in the trace (no-op when tracing is off).

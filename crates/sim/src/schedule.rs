@@ -58,6 +58,15 @@ pub enum ActionId {
         /// The crashing node.
         node: NodeId,
     },
+    /// Crash `node` and immediately recover it from durable storage
+    /// (offered under fault exploration, see
+    /// [`crate::FaultBudget::crash_recover_of`], and scheduled by
+    /// [`crate::FaultPlan::crash_recover`]). Volatile state and in-flight
+    /// deliveries are lost; whatever the protocol persisted survives.
+    CrashRecover {
+        /// The node that crashes and recovers.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for ActionId {
@@ -67,6 +76,7 @@ impl fmt::Display for ActionId {
             ActionId::Deliver { from, to, seq } => write!(f, "deliver({from}->{to}#{seq})"),
             ActionId::Timer { node, seq } => write!(f, "timer({node}#{seq})"),
             ActionId::Crash { node } => write!(f, "crash({node})"),
+            ActionId::CrashRecover { node } => write!(f, "recover({node})"),
         }
     }
 }
@@ -469,5 +479,6 @@ mod tests {
         );
         assert_eq!(ActionId::Timer { node: NodeId(3), seq: 1 }.to_string(), "timer(n3#1)");
         assert_eq!(ActionId::Crash { node: NodeId(2) }.to_string(), "crash(n2)");
+        assert_eq!(ActionId::CrashRecover { node: NodeId(4) }.to_string(), "recover(n4)");
     }
 }
