@@ -75,7 +75,7 @@ pub use mc_model as model;
 
 pub use mc_model::{
     check, commute, litmus, programs, sc, trace, viz, BarrierId, History, Loc, LockId, LockMode,
-    OpKind, ProcId, ReadLabel, Value, WriteId,
+    ModelAssignment, ModelSpec, OpKind, ProcId, ProcModel, ReadLabel, Value, WriteId,
 };
 pub use mc_proto::{
     BatchPolicy, DsmConfig, DurabilityPolicy, LockPropagation, MemDisk, Mode, SessionConfig,

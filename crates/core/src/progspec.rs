@@ -80,6 +80,10 @@ pub struct ProgSpec {
     /// every `n` records (and the session layer, which recovery's epoch
     /// fencing rides on).
     pub durability: Option<u32>,
+    /// Per-process lattice assignment: `Some(ms)` judges (and runs)
+    /// process `i` under `ms[i]` instead of the single [`Mode`]. Length
+    /// must equal the process count once processes are appended.
+    pub models: Option<Vec<mc_model::ProcModel>>,
     /// Per-process operation lists (process ids follow index order).
     pub procs: Vec<Vec<SpecOp>>,
 }
@@ -92,6 +96,7 @@ impl ProgSpec {
             mode,
             lock_propagation: LockPropagation::Lazy,
             durability: None,
+            models: None,
             procs: Vec::new(),
         }
     }
@@ -100,6 +105,14 @@ impl ProgSpec {
     /// `snapshot_every` records.
     pub fn durable(mut self, snapshot_every: u32) -> Self {
         self.durability = Some(snapshot_every);
+        self
+    }
+
+    /// Assigns one lattice point per process. The assignment overrides
+    /// the `mode` substrate (which is re-derived from the models) and
+    /// routes verification through the declarative validator.
+    pub fn models(mut self, models: Vec<mc_model::ProcModel>) -> Self {
+        self.models = Some(models);
         self
     }
 
@@ -130,6 +143,9 @@ impl ProgSpec {
         if let Some(every) = self.durability {
             sys = sys.reliable(true).durability(Some(mc_proto::DurabilityPolicy::new(every)));
         }
+        if let Some(models) = &self.models {
+            sys = sys.models(mc_model::ModelAssignment::per_proc(models.clone()));
+        }
         for ops in &self.procs {
             let ops = ops.clone();
             sys.spawn(move |ctx| run_ops(ctx, &ops));
@@ -145,6 +161,10 @@ impl ProgSpec {
         let _ = writeln!(out, "locks {}", prop_name(self.lock_propagation));
         if let Some(every) = self.durability {
             let _ = writeln!(out, "durability {every}");
+        }
+        if let Some(models) = &self.models {
+            let names: Vec<&str> = models.iter().map(mc_model::ProcModel::name).collect();
+            let _ = writeln!(out, "models {}", names.join(" "));
         }
         for (p, ops) in self.procs.iter().enumerate() {
             let _ = writeln!(out, "proc {p}");
@@ -164,6 +184,7 @@ impl ProgSpec {
         let mut mode = None;
         let mut prop = LockPropagation::Lazy;
         let mut durability = None;
+        let mut models = None;
         let mut procs: Vec<Vec<SpecOp>> = Vec::new();
         for (ln, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -191,6 +212,15 @@ impl ProgSpec {
                             .ok_or_else(|| err("bad snapshot cadence"))?,
                     );
                 }
+                "models" => {
+                    let parsed: Option<Vec<mc_model::ProcModel>> =
+                        words[1..].iter().map(|w| mc_model::ProcModel::named(w)).collect();
+                    let parsed = parsed.ok_or_else(|| err("unknown model name"))?;
+                    if parsed.is_empty() {
+                        return Err(err("empty model list"));
+                    }
+                    models = Some(parsed);
+                }
                 "proc" => {
                     let idx: usize =
                         words.get(1).and_then(|w| w.parse().ok()).ok_or_else(|| err("bad proc"))?;
@@ -205,10 +235,20 @@ impl ProgSpec {
                 }
             }
         }
+        if let Some(ms) = &models {
+            if ms.len() != procs.len() {
+                return Err(format!(
+                    "`models` names {} processes but the program has {}",
+                    ms.len(),
+                    procs.len()
+                ));
+            }
+        }
         Ok(ProgSpec {
             mode: mode.ok_or("missing `mode` line")?,
             lock_propagation: prop,
             durability,
+            models,
             procs,
         })
     }
@@ -365,6 +405,32 @@ mod tests {
         assert_eq!(h.nprocs(), 2);
         assert_eq!(h.len(), sample().len());
         check::check_mixed(&h).unwrap();
+    }
+
+    #[test]
+    fn models_round_trip_and_build() {
+        let spec = ProgSpec::new(Mode::Mixed)
+            .models(vec![
+                mc_model::ProcModel::Fixed(mc_model::ModelSpec::SLOW),
+                mc_model::ProcModel::Fixed(mc_model::ModelSpec::CAUSAL),
+            ])
+            .proc(vec![SpecOp::Write { loc: Loc(0), value: 1 }])
+            .proc(vec![SpecOp::Read { loc: Loc(0), label: ReadLabel::Causal }]);
+        let text = spec.to_text();
+        assert!(text.contains("models slow causal"), "{text}");
+        assert_eq!(ProgSpec::parse(&text).unwrap(), spec);
+        // The built system runs and verifies under the declarative
+        // validator for the assigned lattice points.
+        let outcome = spec.build_system().run().unwrap();
+        outcome.verify().unwrap();
+    }
+
+    #[test]
+    fn models_length_must_match_process_count() {
+        let text = "mode mixed\nmodels slow\nproc 0\n  w 0 1\nproc 1\n  r 0 causal\n";
+        let e = ProgSpec::parse(text).unwrap_err();
+        assert!(e.contains("names 1 processes but the program has 2"), "{e}");
+        assert!(ProgSpec::parse("mode mixed\nmodels frob\nproc 0\n  w 0 1\n").is_err());
     }
 
     #[test]

@@ -86,19 +86,28 @@ impl Outcome {
     /// if recording was off.
     pub fn verify(&self) -> Result<(), VerifyError> {
         let h = self.history.as_ref().ok_or(VerifyError::NotRecorded)?;
-        match self.dsm.config().mode {
-            Mode::Pram => mc_model::check::check_pram(h).map(|_| ()).map_err(VerifyError::Check),
+        let cfg = self.dsm.config();
+        // The mode enums survive as protocol substrates, but every
+        // verdict now comes from the declarative lattice validator: a
+        // legacy mode is judged as the uniform assignment of its
+        // equivalent lattice point.
+        let models = cfg.models.clone().unwrap_or_else(|| match cfg.mode {
+            Mode::Pram => mc_model::ModelAssignment::uniform(h.nprocs(), mc_model::ModelSpec::PRAM),
             Mode::Causal => {
-                mc_model::check::check_causal(h).map(|_| ()).map_err(VerifyError::Check)
+                mc_model::ModelAssignment::uniform(h.nprocs(), mc_model::ModelSpec::CAUSAL)
             }
-            Mode::Mixed => mc_model::check::check_mixed(h).map(|_| ()).map_err(VerifyError::Check),
-            Mode::Sc => match mc_model::sc::check_sequential(h) {
-                Err(e) => Err(VerifyError::Check(mc_model::check::CheckError::Causality(e))),
-                Ok(mc_model::sc::ScVerdict::NotSequentiallyConsistent) => {
-                    Err(VerifyError::NotSequentiallyConsistent)
-                }
-                Ok(_) => Ok(()),
-            },
+            Mode::Mixed => mc_model::ModelAssignment::mixed(h.nprocs()),
+            Mode::Sc => mc_model::ModelAssignment::uniform(h.nprocs(), mc_model::ModelSpec::SC),
+        });
+        match mc_model::spec::check_model(h, &models) {
+            Ok(_) => Ok(()),
+            Err(mc_model::check::CheckError::Violations(r))
+                if r.violations.is_empty()
+                    && r.global == [mc_model::check::GlobalViolation::NotSerializable] =>
+            {
+                Err(VerifyError::NotSequentiallyConsistent)
+            }
+            Err(e) => Err(VerifyError::Check(e)),
         }
     }
 }
@@ -297,6 +306,21 @@ impl System {
     /// locations the program uses).
     pub fn locations(mut self, locations: usize) -> Self {
         self.dsm_cfg.locations = locations;
+        self
+    }
+
+    /// Assigns a consistency-model lattice point to every process (see
+    /// [`mc_model::spec`]): the protocol substrate is derived from the
+    /// assignment (overriding the constructor's mode), reads are labeled
+    /// per process, and [`Outcome::verify`] judges each process's reads
+    /// against its own point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's process count differs from the
+    /// system's, or if it mixes `sc` with replicated points.
+    pub fn models(mut self, models: mc_model::ModelAssignment) -> Self {
+        self.dsm_cfg = self.dsm_cfg.with_models(models);
         self
     }
 

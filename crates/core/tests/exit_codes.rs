@@ -9,7 +9,7 @@ use std::process::Command;
 
 use mixed_consistency::model::{litmus, trace};
 use mixed_consistency::repro::FailureKind;
-use mixed_consistency::{Loc, Mode, ProgSpec, ReadLabel, Repro, SpecOp};
+use mixed_consistency::{Loc, Mode, ModelSpec, ProcModel, ProgSpec, ReadLabel, Repro, SpecOp};
 
 /// A well-formed replay artifact for a correct program: parses cleanly,
 /// does not reproduce any failure.
@@ -24,6 +24,27 @@ fn passing_artifact() -> String {
         spec: ProgSpec::new(Mode::Causal)
             .proc(vec![SpecOp::Write { loc: Loc(0), value: 1 }])
             .proc(vec![SpecOp::Read { loc: Loc(0), label: ReadLabel::Causal }]),
+    }
+    .to_text()
+}
+
+/// A lattice-parameterized replay artifact: the spec pins each process
+/// to a named lattice point (`models causal slow`), so the replay is
+/// verified by the declarative lattice validator under exactly that
+/// assignment. The program is consistent, so the failure is not
+/// reproduced.
+fn lattice_artifact() -> String {
+    Repro {
+        kind: FailureKind::Verify,
+        reason: "synthetic lattice case".to_string(),
+        allow_deadlock: false,
+        budget: None,
+        trace: Vec::new(),
+        disks: Vec::new(),
+        spec: ProgSpec::new(Mode::Mixed)
+            .proc(vec![SpecOp::Write { loc: Loc(0), value: 1 }])
+            .proc(vec![SpecOp::Read { loc: Loc(0), label: ReadLabel::Causal }])
+            .models(vec![ProcModel::Fixed(ModelSpec::CAUSAL), ProcModel::Fixed(ModelSpec::SLOW)]),
     }
     .to_text()
 }
@@ -93,6 +114,20 @@ fn mc_check_exit_codes_cover_the_documented_contract() {
             flags: &["--replay"],
             expect: 0,
             output_contains: "not reproduced",
+        },
+        Case {
+            name: "replay of a lattice artifact exits 0",
+            content: Some(lattice_artifact()),
+            flags: &["--replay"],
+            expect: 0,
+            output_contains: "not reproduced",
+        },
+        Case {
+            name: "lattice artifact with unknown model name exits 2",
+            content: Some(lattice_artifact().replace("models causal slow", "models causal banana")),
+            flags: &["--replay"],
+            expect: 2,
+            output_contains: "unknown model name",
         },
         Case {
             name: "recovery repro that reproduces exits 1",

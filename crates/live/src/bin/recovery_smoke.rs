@@ -1,10 +1,10 @@
 //! Kill-9 recovery smoke test: the live executor's durability claim under
 //! a real crash, not a simulated one.
 //!
-//! The parent re-executes itself with `--child DIR`; the child runs a
-//! three-process write storm with durability enabled and is `SIGKILL`ed
-//! mid-storm — no destructors, no final fsync, whatever the page cache
-//! holds is what survives. The parent then:
+//! The parent re-executes itself with `--child DIR [--group-commit]`; the
+//! child runs a three-process write storm with durability enabled and is
+//! `SIGKILL`ed mid-storm — no destructors, no final fsync, whatever the
+//! page cache holds is what survives. The parent then:
 //!
 //! 1. loads every `replica-{i}` directory and checks the invariant the
 //!    WAL format promises: the snapshot decodes, and the log is a valid
@@ -15,6 +15,12 @@
 //!    one of those acked writes survived into the new incarnation —
 //!    `applied[i][i] >= durable_own[i]` — the live analogue of the
 //!    DPOR-checked "no acknowledged write is ever lost".
+//!
+//! The cycle runs twice: once with the default per-write fsync, once
+//! with group commit plus update batching (`--group-commit`), where the
+//! fsync is deferred to the first outgoing send. The durable-prefix
+//! invariant is identical in both: a write any peer could have observed
+//! is on disk, so replaying the log can never lose an acked write.
 //!
 //! Exit code 0 and a final `RECOVERY SMOKE PASS` line on success; any
 //! assertion failure or corrupt frame aborts non-zero. CI runs this as
@@ -27,7 +33,9 @@ use std::time::Duration;
 
 use mc_live::LiveSystem;
 use mc_model::{Loc, ProcId};
-use mc_proto::{decode_wal, DurabilityPolicy, FileDisk, Mode, Replica, Snapshot, WalTail};
+use mc_proto::{
+    decode_wal, BatchPolicy, DurabilityPolicy, FileDisk, Mode, Replica, Snapshot, WalTail,
+};
 
 const NPROCS: usize = 3;
 /// Far more writes than fit before the kill lands: the storm must still
@@ -36,17 +44,22 @@ const NPROCS: usize = 3;
 const STORM_WRITES: i64 = 50_000;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
         Some("--child") => {
-            let dir = PathBuf::from(args.next().expect("--child needs a directory"));
-            child(&dir);
+            let dir = PathBuf::from(args.get(1).expect("--child needs a directory"));
+            let group_commit = args.iter().any(|a| a == "--group-commit");
+            child(&dir, group_commit);
         }
         Some(_) => {
-            eprintln!("usage: recovery_smoke [--child DIR]");
+            eprintln!("usage: recovery_smoke [--child DIR [--group-commit]]");
             std::process::exit(2);
         }
-        None => parent(),
+        None => {
+            cycle("per-write fsync", false);
+            cycle("group commit", true);
+            println!("RECOVERY SMOKE PASS");
+        }
     }
 }
 
@@ -54,8 +67,14 @@ fn main() {
 /// killed from outside. Process 0 announces `storming` only after its
 /// first writes have been durably acked, so the parent never kills a
 /// cluster that has not yet touched disk.
-fn child(dir: &Path) {
-    let mut sys = LiveSystem::new(NPROCS, Mode::Causal).durability(DurabilityPolicy::new(32), dir);
+fn child(dir: &Path, group_commit: bool) {
+    let policy = DurabilityPolicy::new(32).with_group_commit(group_commit);
+    let mut sys = LiveSystem::new(NPROCS, Mode::Causal).durability(policy, dir);
+    if group_commit {
+        // Group commit's point is amortizing fsyncs over deferred sends,
+        // so pair it with the batching it is designed for.
+        sys = sys.batching(Some(BatchPolicy::default()));
+    }
     for p in 0..NPROCS as u32 {
         sys.spawn(move |ctx| {
             for i in 0..STORM_WRITES {
@@ -69,18 +88,24 @@ fn child(dir: &Path) {
     sys.run().expect("storm run (should be killed before finishing)");
 }
 
-fn parent() {
-    let dir = std::env::temp_dir().join(format!("mc-recovery-smoke-{}", std::process::id()));
+/// One full kill-and-recover cycle under the given durability variant.
+fn cycle(label: &str, group_commit: bool) {
+    println!("--- cycle: {label} ---");
+    let dir = std::env::temp_dir().join(format!(
+        "mc-recovery-smoke-{}-{}",
+        std::process::id(),
+        group_commit as u8
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create smoke dir");
 
     let exe = std::env::current_exe().expect("own executable path");
-    let mut victim = Command::new(&exe)
-        .arg("--child")
-        .arg(&dir)
-        .stdout(Stdio::piped())
-        .spawn()
-        .expect("spawn child");
+    let mut cmd = Command::new(&exe);
+    cmd.arg("--child").arg(&dir);
+    if group_commit {
+        cmd.arg("--group-commit");
+    }
+    let mut victim = cmd.stdout(Stdio::piped()).spawn().expect("spawn child");
 
     let mut greeting = String::new();
     std::io::BufReader::new(victim.stdout.take().expect("piped stdout"))
@@ -134,7 +159,9 @@ fn parent() {
 
     // Phase 3: a fresh cluster reborn from the same directories. Each
     // process performs one more write so the run exercises the full
-    // recover-then-continue path (RecoverReq rounds included).
+    // recover-then-continue path (RecoverReq rounds included). The
+    // reboot always uses per-write fsync: recovery durability does not
+    // depend on the policy the victim died under.
     let mut sys = LiveSystem::new(NPROCS, Mode::Causal).durability(DurabilityPolicy::new(32), &dir);
     for p in 0..NPROCS as u32 {
         sys.spawn(move |ctx| {
@@ -158,5 +185,4 @@ fn parent() {
     }
 
     let _ = std::fs::remove_dir_all(&dir);
-    println!("RECOVERY SMOKE PASS");
 }

@@ -391,6 +391,15 @@ impl LiveSystem {
         self
     }
 
+    /// Assigns one consistency-lattice point per process. The substrate
+    /// mode is re-derived from the assignment and each process's reads
+    /// follow its own point's policy — the live twin of the simulator's
+    /// `System::models`.
+    pub fn models(mut self, models: mc_model::ModelAssignment) -> Self {
+        self.cfg = self.cfg.with_models(models);
+        self
+    }
+
     /// Selects the lock-propagation variant.
     pub fn lock_propagation(mut self, p: LockPropagation) -> Self {
         self.cfg.lock_propagation = p;
@@ -913,6 +922,12 @@ impl LiveCtx {
 
     /// Sends a protocol message, through the session layer when it is on.
     fn send(&mut self, to: NodeId, msg: Msg) {
+        // Group commit: staged own-write records must hit disk before any
+        // message that could let a peer observe (and act on) them leaves
+        // this node. `wal_sync` no-ops when nothing is staged.
+        if self.cfg.durability.is_some_and(|p| p.group_commit) {
+            self.wal_sync();
+        }
         sess_send(&self.net, &mut self.session, self.proc.index(), to, msg);
     }
 
@@ -1185,12 +1200,16 @@ impl LiveCtx {
             }
         }
         let (id, deps) = self.replica.local_write(loc, payload.clone(), &self.cfg);
-        if self.cfg.durability.is_some() {
-            // Append-before-ack: the own write is durable before this
-            // operation returns (and before any peer can observe it).
+        if let Some(policy) = self.cfg.durability {
             let rec = WalRecord::OwnWrite { loc, payload: payload.clone(), deps: deps.clone() };
             self.wal_append(&rec);
-            self.wal_sync();
+            if !policy.group_commit {
+                // Append-before-ack: the own write is durable before this
+                // operation returns (and before any peer can observe it).
+                self.wal_sync();
+            }
+            // Under group commit the record stays staged; `send` fsyncs
+            // before the first message that could let a peer observe it.
             self.maybe_snapshot();
         }
         if let Some(policy) = self.cfg.batch {
@@ -1346,11 +1365,7 @@ impl LiveCtx {
                 }
             }
         }
-        let effective = match self.cfg.mode {
-            Mode::Pram => ReadLabel::Pram,
-            Mode::Causal => ReadLabel::Causal,
-            _ => label,
-        };
+        let effective = self.cfg.read_policy(self.proc, label);
         loop {
             let ready = match effective {
                 ReadLabel::Causal => self.replica.causal_ready(loc),

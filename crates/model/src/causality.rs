@@ -396,6 +396,111 @@ impl<'h> Causality<'h> {
         let closure = g.transitive_closure().expect("subgraph of an acyclic relation is acyclic");
         Relation { members: self.members_for(i), closure }
     }
+
+    /// Builds the relation a [`ModelSpec`](crate::spec::ModelSpec)
+    /// declares for observer `p_i`: each ordering property admits a
+    /// subset of the generating edges of `;`, and the transitive closure
+    /// of the admitted set is the relation the read is judged under.
+    ///
+    /// * Program order: the observer's own order follows its
+    ///   read-your-writes / monotonic-reads properties; other processes'
+    ///   order follows the `monotonic_writes` scope. Pairs with a
+    ///   synchronization endpoint are always kept (release/acquire
+    ///   ordering is part of every point in the lattice).
+    /// * Synchronization order: the full `↦` generating sets
+    ///   (`sync = Full`, Definition 2) or their reductions restricted to
+    ///   edges incident to `p_i` (`sync = Incident`, Definition 3).
+    /// * Reads-from: all edges (`writes_follow_reads`) or only those
+    ///   incident to `p_i`. The edges into `p_i`'s own reads are always
+    ///   included, so a returned write is visible by construction.
+    ///
+    /// With [`ModelSpec::CAUSAL`](crate::spec::ModelSpec::CAUSAL) this
+    /// reproduces [`Causality::causal_relation`] exactly, and with
+    /// [`ModelSpec::PRAM`](crate::spec::ModelSpec::PRAM) it reproduces
+    /// [`Causality::pram_relation`] — the property tests pin both.
+    pub fn spec_relation(&self, i: ProcId, spec: &crate::spec::ModelSpec) -> Relation {
+        use crate::spec::{OrderScope, SyncScope};
+        let h = self.h;
+        let mut g = Digraph::new(h.len());
+        let sync_op = |o: OpId| h.op(o).kind.is_sync();
+
+        // Program order. The common fully-ordered case reuses the
+        // per-process chains; property subsets fall back to filtering
+        // each ordered pair.
+        let own_full = spec.read_your_writes
+            && spec.monotonic_reads
+            && spec.monotonic_writes == OrderScope::Global;
+        if own_full {
+            for &(a, b) in h.po_edges() {
+                g.add_edge(a.index(), b.index());
+            }
+        } else {
+            for p in 0..h.nprocs() {
+                let proc = ProcId(p as u32);
+                let ops = h.proc_ops(proc);
+                for (x, &a) in ops.iter().enumerate() {
+                    for &b in &ops[x + 1..] {
+                        if !self.po_precedes(a, b) {
+                            continue;
+                        }
+                        let keep = sync_op(a)
+                            || sync_op(b)
+                            || if proc == i {
+                                (h.op(a).kind.is_write_like() && spec.read_your_writes)
+                                    || (h.op(a).kind.is_read() && spec.monotonic_reads)
+                            } else {
+                                match spec.monotonic_writes {
+                                    OrderScope::Global => true,
+                                    OrderScope::PerLocation => {
+                                        h.op(a).kind.is_write_like()
+                                            && h.op(b).kind.is_write_like()
+                                            && h.op(a).kind.loc() == h.op(b).kind.loc()
+                                    }
+                                    OrderScope::None => false,
+                                }
+                            };
+                        if keep {
+                            g.add_edge(a.index(), b.index());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Synchronization order.
+        match spec.sync {
+            SyncScope::Full => {
+                for &(a, b) in
+                    self.lock_edges.iter().chain(&self.bar_edges).chain(&self.await_edges)
+                {
+                    g.add_edge(a.index(), b.index());
+                }
+            }
+            SyncScope::Incident => {
+                for &(a, b) in self
+                    .reduced_lock
+                    .iter()
+                    .chain(&self.reduced_bar)
+                    .chain(&self.reduced_await)
+                    .filter(|&&(a, b)| h.op(a).proc == i || h.op(b).proc == i)
+                {
+                    g.add_edge(a.index(), b.index());
+                }
+            }
+        }
+
+        // Reads-from.
+        for &(w, r) in self
+            .rf_edges
+            .iter()
+            .filter(|&&(w, r)| spec.writes_follow_reads || h.op(w).proc == i || h.op(r).proc == i)
+        {
+            g.add_edge(w.index(), r.index());
+        }
+
+        let closure = g.transitive_closure().expect("subgraph of an acyclic relation is acyclic");
+        Relation { members: self.members_for(i), closure }
+    }
 }
 
 #[cfg(test)]

@@ -99,12 +99,45 @@ impl fmt::Display for Violation {
     }
 }
 
+/// A violation of a whole-history property that no single read witnesses
+/// (produced by the declarative validator, [`crate::spec::check_model`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum GlobalViolation {
+    /// The writes to a location cannot be embedded in one total order
+    /// consistent with program order and every coherent process's
+    /// observations (cache coherence, the processor-consistency extra).
+    CoherenceCycle {
+        /// The incoherent location.
+        loc: Loc,
+    },
+    /// No serialization of the history is sequentially consistent (the
+    /// total-store-order property).
+    NotSerializable,
+}
+
+impl fmt::Display for GlobalViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalViolation::CoherenceCycle { loc } => {
+                write!(f, "writes to {loc} admit no coherent total order")
+            }
+            GlobalViolation::NotSerializable => {
+                write!(f, "no serialization of the history is sequentially consistent")
+            }
+        }
+    }
+}
+
 /// The outcome of a checker run: violations plus reads that could not be
 /// judged (mixed write/update locations).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CheckReport {
     /// All violations found, in operation order.
     pub violations: Vec<Violation>,
+    /// Whole-history violations (coherence, total store order). The
+    /// legacy per-definition checkers never produce these; only the
+    /// declarative validator does.
+    pub global: Vec<GlobalViolation>,
     /// Reads skipped because their location mixes plain writes with
     /// commutative updates or uses non-uniform deltas.
     pub skipped: Vec<OpId>,
@@ -113,7 +146,7 @@ pub struct CheckReport {
 impl CheckReport {
     /// Returns `true` if no violations were found.
     pub fn is_consistent(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.global.is_empty()
     }
 
     /// Converts the report into a `Result`, erring on any violation.
@@ -140,8 +173,11 @@ impl fmt::Display for CheckError {
         match self {
             CheckError::Causality(e) => write!(f, "{e}"),
             CheckError::Violations(r) => {
-                writeln!(f, "{} consistency violation(s):", r.violations.len())?;
+                writeln!(f, "{} consistency violation(s):", r.violations.len() + r.global.len())?;
                 for v in &r.violations {
+                    writeln!(f, "  {v}")?;
+                }
+                for v in &r.global {
                     writeln!(f, "  {v}")?;
                 }
                 Ok(())
@@ -323,7 +359,7 @@ fn check_with(h: &History, judging: Judging) -> Result<CheckReport, CheckError> 
 /// Definitions 2/3 for an ordinary read: the returned write must precede
 /// the read and no differently-valued operation on the location may lie
 /// strictly between them.
-fn check_plain_read(
+pub(crate) fn check_plain_read(
     h: &History,
     rel: &Relation,
     read: OpId,
@@ -393,7 +429,7 @@ fn counter_delta(h: &History, loc: Loc) -> Option<i64> {
 /// Returns `Err(())` when the read cannot be judged (non-uniform or
 /// non-integer delta, non-integer initial/returned value) — callers
 /// report those as skipped.
-fn check_counter_read(
+pub(crate) fn check_counter_read(
     h: &History,
     rel: &Relation,
     read: OpId,

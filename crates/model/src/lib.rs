@@ -14,6 +14,11 @@
 //! * **consistency checkers** for Definition 2 (causal reads), Definition 3
 //!   (PRAM reads), Definition 4 (mixed consistency), and Definition 1
 //!   (sequential consistency, exact search) — see [`check`] and [`sc`];
+//! * the **ordering-property lattice**: consistency models as data
+//!   ([`ModelSpec`]), per-process assignments ([`ModelAssignment`]), and
+//!   the declarative validator [`spec::check_model`] that subsumes the
+//!   per-definition checkers and adds slow memory, weak ordering, and
+//!   processor consistency — see [`spec`];
 //! * the **programming conditions** of Section 4: Definition 5
 //!   commutativity, the Theorem 1 sufficient condition for sequential
 //!   consistency, and the Corollary 1/2 entry-consistency and
@@ -56,6 +61,7 @@ pub mod litmus;
 mod op;
 pub mod programs;
 pub mod sc;
+pub mod spec;
 pub mod trace;
 mod value;
 mod vclock;
@@ -65,5 +71,6 @@ pub use causality::Causality;
 pub use history::{BarrierRoundOps, History, HistoryBuilder, LockEpoch, MalformedHistory};
 pub use ids::{BarrierId, BarrierRound, Loc, LockId, OpId, ProcId, WriteId};
 pub use op::{Edge, LockMode, Op, OpKind, ReadLabel};
+pub use spec::{ModelAssignment, ModelSpec, OrderScope, ProcModel, SyncScope};
 pub use value::Value;
 pub use vclock::VClock;

@@ -93,6 +93,13 @@ impl VClock {
         self.counts.iter().zip(&other.counts).all(|(a, b)| a >= b)
     }
 
+    /// The sum of all components: a scalar Lamport-style stamp that
+    /// strictly increases along causality (if `a < b` causally then
+    /// `a.sum() < b.sum()`), used as a last-writer-wins tie-break base.
+    pub fn sum(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
     /// Compares two clocks in the causal partial order.
     ///
     /// Returns `None` for concurrent (incomparable) clocks.

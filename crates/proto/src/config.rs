@@ -158,6 +158,13 @@ pub struct DsmConfig {
     /// crash-recover fault rebuilds the replica from disk and fetches
     /// only the missing delta from peers.
     pub durability: Option<crate::durability::DurabilityPolicy>,
+    /// Per-process consistency-model assignment (the ordering-property
+    /// lattice; see [`mc_model::spec`]). `None` keeps the legacy
+    /// behavior where [`DsmConfig::mode`] alone decides how reads are
+    /// labeled; `Some` makes `mode` a derived *substrate* (set by
+    /// [`DsmConfig::with_models`]) and each process's reads follow its
+    /// assigned lattice point.
+    pub models: Option<mc_model::ModelAssignment>,
 }
 
 impl DsmConfig {
@@ -173,6 +180,70 @@ impl DsmConfig {
             batch: None,
             locations: 64,
             durability: None,
+            models: None,
+        }
+    }
+
+    /// Assigns a consistency-model lattice point to every process and
+    /// derives the protocol substrate that implements the assignment:
+    ///
+    /// * any total-store-order point (`sc`) requires the central-server
+    ///   substrate and must be uniform — replicated points cannot share
+    ///   a run with a serialization guarantee;
+    /// * any point needing causal knowledge (writes-follow-reads, full
+    ///   synchronization visibility, or coherence tags) selects the
+    ///   vector-carrying [`Mode::Mixed`] substrate;
+    /// * otherwise the plain FIFO [`Mode::Pram`] substrate suffices.
+    ///
+    /// Reads are then labeled per process by
+    /// [`DsmConfig::read_policy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's process count differs from `nprocs`,
+    /// or if it mixes `sc` with non-`sc` points.
+    pub fn with_models(mut self, models: mc_model::ModelAssignment) -> Self {
+        assert_eq!(models.len(), self.nprocs, "one model per process");
+        self.mode = if models.any_tso() {
+            assert!(
+                models.all_tso(),
+                "a total-store-order point cannot mix with replicated lattice points"
+            );
+            Mode::Sc
+        } else {
+            let needs_vectors = models.iter().any(|m| match m {
+                mc_model::ProcModel::ByLabel => true,
+                mc_model::ProcModel::Fixed(s) => {
+                    s.writes_follow_reads || s.coherence || s.sync == mc_model::SyncScope::Full
+                }
+            });
+            if needs_vectors {
+                Mode::Mixed
+            } else {
+                Mode::Pram
+            }
+        };
+        self.models = Some(models);
+        self
+    }
+
+    /// The effective label of a read issued by `proc` with program label
+    /// `label`: under a model assignment, `ByLabel` processes keep their
+    /// program labels and `Fixed` processes read causally exactly when
+    /// their point includes writes-follow-reads; without one, the legacy
+    /// global mode decides.
+    pub fn read_policy(
+        &self,
+        proc: mc_model::ProcId,
+        label: mc_model::ReadLabel,
+    ) -> mc_model::ReadLabel {
+        match &self.models {
+            Some(models) => models.judged_as(proc, label),
+            None => match self.mode {
+                Mode::Pram => mc_model::ReadLabel::Pram,
+                Mode::Causal => mc_model::ReadLabel::Causal,
+                Mode::Mixed | Mode::Sc => label,
+            },
         }
     }
 

@@ -198,9 +198,22 @@ impl Dsm {
     /// Creates the protocol for a configuration.
     pub fn new(cfg: DsmConfig) -> Self {
         let n = cfg.nprocs;
+        if let Some(models) = &cfg.models {
+            assert!(
+                !models.any_coherent() || cfg.durability.is_none(),
+                "coherent lattice points cannot run with durability: \
+                 snapshots do not persist last-writer-wins tags"
+            );
+        }
+        let coherent =
+            |i: usize| cfg.models.as_ref().is_some_and(|m| m.is_coherent(ProcId(i as u32)));
         Dsm {
             replicas: (0..n)
-                .map(|i| Replica::new(ProcId(i as u32), n).with_store_capacity(cfg.locations))
+                .map(|i| {
+                    Replica::new(ProcId(i as u32), n)
+                        .with_store_capacity(cfg.locations)
+                        .with_coherent(coherent(i))
+                })
                 .collect(),
             managers: (0..cfg.manager_shards).map(|_| Manager::new(n)).collect(),
             blocked: vec![None; n],
@@ -492,14 +505,10 @@ impl Dsm {
         }
     }
 
-    /// The effective label of a read in the current mode.
-    fn effective_label(&self, label: ReadLabel) -> ReadLabel {
-        match self.cfg.mode {
-            Mode::Pram => ReadLabel::Pram,
-            Mode::Causal => ReadLabel::Causal,
-            Mode::Mixed => label,
-            Mode::Sc => label,
-        }
+    /// The effective label of a read issued by `proc` — per process
+    /// under a model assignment, per the global mode otherwise.
+    fn effective_label(&self, proc: ProcId, label: ReadLabel) -> ReadLabel {
+        self.cfg.read_policy(proc, label)
     }
 
     fn read_ready(
@@ -613,7 +622,7 @@ impl Protocol for Dsm {
                     self.blocked[p.index()] = Some(Blocked::Sc);
                     return Poll::Pending;
                 }
-                let label = self.effective_label(label);
+                let label = self.effective_label(p, label);
                 match self.read_ready(p, loc, label, net) {
                     Some(resp) => Poll::Ready(resp),
                     None => {

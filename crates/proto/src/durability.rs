@@ -73,6 +73,15 @@ pub struct DurabilityPolicy {
     /// Additionally compact on this wall-clock cadence (live only; the
     /// simulator's notion of time is logical, so it compacts by count).
     pub snapshot_interval_micros: u64,
+    /// Group commit (live only): own-write records are *staged* on
+    /// append and the fsync is deferred to the next outgoing protocol
+    /// send, batching many appends into one sync. The acked-write
+    /// discipline weakens from "durable before the write returns" to
+    /// "durable before any peer can observe it" — a crash can lose the
+    /// tail of purely-local writes, but never a write another process
+    /// acted on. Pairs naturally with update batching, which defers the
+    /// sends themselves.
+    pub group_commit: bool,
 }
 
 impl DurabilityPolicy {
@@ -81,11 +90,22 @@ impl DurabilityPolicy {
     pub fn new(snapshot_every: u32) -> Self {
         DurabilityPolicy { snapshot_every, ..Default::default() }
     }
+
+    /// Enables (or disables) group commit; see
+    /// [`DurabilityPolicy::group_commit`].
+    pub fn with_group_commit(mut self, group_commit: bool) -> Self {
+        self.group_commit = group_commit;
+        self
+    }
 }
 
 impl Default for DurabilityPolicy {
     fn default() -> Self {
-        DurabilityPolicy { snapshot_every: 64, snapshot_interval_micros: 10_000 }
+        DurabilityPolicy {
+            snapshot_every: 64,
+            snapshot_interval_micros: 10_000,
+            group_commit: false,
+        }
     }
 }
 

@@ -91,6 +91,16 @@ pub struct Replica {
     /// Replica incarnation: bumped (and persisted) on every
     /// crash-recover so stale session state is recognizably stale.
     pub incarnation: u32,
+    /// Last-writer-wins application for plain writes: set when this
+    /// process's lattice point demands per-location coherence. All
+    /// coherent replicas then install `Set`s in one total tag order, so
+    /// every observer agrees on the write order per location.
+    coherent: bool,
+    /// The tag of the currently installed write per location (coherent
+    /// replicas only): `(causal sum of deps, writer, seq)`, compared
+    /// lexicographically — a total order consistent with causality and
+    /// every writer's program order.
+    coh_tags: HashMap<Loc, (u64, u32, u32)>,
 }
 
 impl Replica {
@@ -112,7 +122,19 @@ impl Replica {
             lock_watermarks: HashMap::new(),
             own_updates: Vec::new(),
             incarnation: 0,
+            coherent: false,
+            coh_tags: HashMap::new(),
         }
+    }
+
+    /// Enables last-writer-wins coherent application (see
+    /// [`mc_model::ModelSpec::PROCESSOR`]): `Set`s with a tag older than
+    /// the installed one are dropped instead of regressing the store.
+    /// Requires a vector-carrying mode — tags are built from dependency
+    /// vectors.
+    pub fn with_coherent(mut self, coherent: bool) -> Self {
+        self.coherent = coherent;
+        self
     }
 
     /// Pre-sizes the store to `locations`, so the hot read path never
@@ -192,7 +214,7 @@ impl Replica {
         };
         self.applied.tick(self.proc);
         let id = WriteId::new(self.proc, self.own_count());
-        self.apply_to_store(id, loc, &payload);
+        self.apply_to_store(id, loc, &payload, deps.as_ref());
         self.write_log.push((loc, id.seq));
         if cfg.durability.is_some() {
             self.own_updates.push(OwnUpdate { seq: id.seq, loc, payload, deps: deps.clone() });
@@ -200,19 +222,50 @@ impl Replica {
         (id, deps)
     }
 
-    fn apply_to_store(&mut self, writer: WriteId, loc: Loc, payload: &UpdatePayload) {
+    fn apply_to_store(
+        &mut self,
+        writer: WriteId,
+        loc: Loc,
+        payload: &UpdatePayload,
+        deps: Option<&VClock>,
+    ) {
         self.ensure_loc(loc);
         match payload {
-            UpdatePayload::Set(v) => self.store[loc.index()] = *v,
+            UpdatePayload::Set(v) => {
+                if self.admit_set(loc, writer, deps) {
+                    self.store[loc.index()] = *v;
+                    self.last_writer[loc.index()] = Some(writer);
+                }
+            }
             UpdatePayload::Add(d) => {
                 let cur = self.store[loc.index()];
                 self.store[loc.index()] = cur.checked_add(*d).unwrap_or_else(|| {
                     panic!("update delta kind mismatch at {loc} ({cur:?} += {d:?})")
                 });
                 self.counter_updates.entry(loc).or_default().push(writer);
+                self.last_writer[loc.index()] = Some(writer);
             }
         }
-        self.last_writer[loc.index()] = Some(writer);
+    }
+
+    /// Last-writer-wins admission: on a coherent replica a `Set` is
+    /// installed only when its tag beats the installed one. Commutative
+    /// `Add`s and non-coherent replicas always admit. Own writes always
+    /// win locally: their dependency vector covers everything applied,
+    /// so their tag is strictly larger than any installed one.
+    fn admit_set(&mut self, loc: Loc, writer: WriteId, deps: Option<&VClock>) -> bool {
+        if !self.coherent {
+            return true;
+        }
+        let deps = deps.expect("coherent replicas run a vector-carrying mode");
+        let tag = (deps.sum(), writer.proc.0, writer.seq);
+        match self.coh_tags.get(&loc) {
+            Some(cur) if tag < *cur => false,
+            _ => {
+                self.coh_tags.insert(loc, tag);
+                true
+            }
+        }
     }
 
     /// Ingests a remote update. In PRAM mode it applies immediately; in
@@ -234,7 +287,7 @@ impl Replica {
             // must detect.
             let seen = self.applied.get(writer.proc).max(writer.seq);
             self.applied.set(writer.proc, seen);
-            self.apply_to_store(writer, loc, &payload);
+            self.apply_to_store(writer, loc, &payload, None);
             return true;
         }
         let deps = deps.expect("vector modes attach deps");
@@ -262,7 +315,7 @@ impl Replica {
         if !mode.carries_vectors() {
             let seen = self.applied.get(proc).max(upto);
             for e in &entries {
-                self.apply_batch_entry(proc, e);
+                self.apply_batch_entry(proc, e, None);
             }
             self.applied.set(proc, seen);
             return true;
@@ -281,14 +334,19 @@ impl Replica {
                 let u = self.pending.swap_remove(idx);
                 self.applied.tick(u.writer.proc);
                 debug_assert_eq!(self.applied[u.writer.proc], u.writer.seq);
-                self.apply_to_store(u.writer, u.loc, &u.payload);
+                self.apply_to_store(u.writer, u.loc, &u.payload, Some(&u.deps));
                 any = true;
                 continue;
             }
             if let Some(idx) = self.pending_batches.iter().position(|b| self.batch_ready(b)) {
                 let b = self.pending_batches.swap_remove(idx);
                 for e in &b.entries {
-                    self.apply_batch_entry(b.proc, e);
+                    // The batch vector covers every member's deps, and
+                    // anyone who observed a member applied the whole
+                    // batch first — so tagging each entry with the batch
+                    // vector keeps the tag order consistent with
+                    // causality.
+                    self.apply_batch_entry(b.proc, e, Some(&b.deps));
                 }
                 self.applied.set(b.proc, b.upto);
                 any = true;
@@ -301,10 +359,15 @@ impl Replica {
     /// Applies one coalesced batch entry: `Set` installs the surviving
     /// value, `Add` applies the summed delta and credits every member
     /// write identity to the counter.
-    fn apply_batch_entry(&mut self, proc: ProcId, e: &BatchEntry) {
+    fn apply_batch_entry(&mut self, proc: ProcId, e: &BatchEntry, deps: Option<&VClock>) {
         self.ensure_loc(e.loc);
         match &e.payload {
-            UpdatePayload::Set(v) => self.store[e.loc.index()] = *v,
+            UpdatePayload::Set(v) => {
+                if self.admit_set(e.loc, e.writer, deps) {
+                    self.store[e.loc.index()] = *v;
+                    self.last_writer[e.loc.index()] = Some(e.writer);
+                }
+            }
             UpdatePayload::Add(d) => {
                 let cur = self.store[e.loc.index()];
                 self.store[e.loc.index()] = cur.checked_add(*d).unwrap_or_else(|| {
@@ -312,9 +375,9 @@ impl Replica {
                 });
                 let ups = self.counter_updates.entry(e.loc).or_default();
                 ups.extend(e.adds.iter().map(|&s| WriteId::new(proc, s)));
+                self.last_writer[e.loc.index()] = Some(e.writer);
             }
         }
-        self.last_writer[e.loc.index()] = Some(e.writer);
     }
 
     fn causally_ready(&self, u: &PendingUpdate) -> bool {
@@ -504,7 +567,7 @@ impl Replica {
             WalRecord::OwnWrite { loc, payload, deps } => {
                 self.applied.tick(self.proc);
                 let id = WriteId::new(self.proc, self.own_count());
-                self.apply_to_store(id, loc, &payload);
+                self.apply_to_store(id, loc, &payload, deps.as_ref());
                 self.write_log.push((loc, id.seq));
                 self.own_updates.push(OwnUpdate { seq: id.seq, loc, payload, deps });
             }

@@ -241,10 +241,10 @@ fn injected_reordering_is_caught_on_pram() {
 }
 
 /// One persisted regression case for the random-fault property: the
-/// generator seed plus the exact fault plan that once produced a
-/// failure. Stored as a small `key = value` text file under
-/// `tests/corpus/` so every future run replays it before trying fresh
-/// random seeds.
+/// generator seed, the exact fault plan, and (since v2) the optional
+/// per-process lattice assignment that once produced a failure.
+/// Stored as a small `key = value` text file under `tests/corpus/` so
+/// every future run replays it before trying fresh random seeds.
 #[derive(Clone, Debug, PartialEq)]
 struct CorpusEntry {
     seed: u64,
@@ -253,17 +253,24 @@ struct CorpusEntry {
     reorder_us: u64,
     /// `(victim node, from µs, until µs)` of a timed partition, if any.
     partition: Option<(u32, u64, u64)>,
+    /// Per-process lattice points (`ProcModel` names, one per process);
+    /// `None` replays the legacy mixed-mode judgment.
+    models: Option<Vec<mc_model::ProcModel>>,
 }
 
 impl CorpusEntry {
     fn to_text(&self) -> String {
-        let mut s = String::from("# mixed-consistency regression seed v1\n");
+        let mut s = String::from("# mixed-consistency regression seed v2\n");
         s.push_str(&format!("seed = {}\n", self.seed));
         s.push_str(&format!("drop_rate = {}\n", self.drop_rate));
         s.push_str(&format!("duplicate_rate = {}\n", self.duplicate_rate));
         s.push_str(&format!("reorder_us = {}\n", self.reorder_us));
         if let Some((victim, from, until)) = self.partition {
             s.push_str(&format!("partition = {victim} {from} {until}\n"));
+        }
+        if let Some(models) = &self.models {
+            let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+            s.push_str(&format!("models = {}\n", names.join(" ")));
         }
         s
     }
@@ -275,6 +282,7 @@ impl CorpusEntry {
             duplicate_rate: 0.0,
             reorder_us: 0,
             partition: None,
+            models: None,
         };
         for line in text.lines() {
             let line = line.trim();
@@ -300,6 +308,16 @@ impl CorpusEntry {
                             .map_err(|e| bad(&e))
                     };
                     entry.partition = Some((next()? as u32, next()?, next()?));
+                }
+                "models" => {
+                    let models: Option<Vec<mc_model::ProcModel>> =
+                        value.split_whitespace().map(mc_model::ProcModel::named).collect();
+                    let models =
+                        models.ok_or_else(|| format!("unknown model name in: {value:?}"))?;
+                    if models.is_empty() {
+                        return Err("models key needs at least one name".to_string());
+                    }
+                    entry.models = Some(models);
                 }
                 _ => return Err(format!("unknown corpus key: {key}")),
             }
@@ -330,7 +348,9 @@ fn corpus_dir() -> std::path::PathBuf {
 }
 
 /// Runs one random-fault case end to end; `Err` is the verdict a
-/// corpus entry exists to guard against.
+/// corpus entry exists to guard against. An entry carrying a lattice
+/// assignment runs (and is judged) under exactly those per-process
+/// models; an entry without one replays the legacy mixed-mode judgment.
 fn fault_case(entry: &CorpusEntry) -> Result<(), String> {
     let progs = generate(3, 8, entry.seed);
     let mut sys = System::new(progs.len(), Mode::Mixed)
@@ -338,19 +358,43 @@ fn fault_case(entry: &CorpusEntry) -> Result<(), String> {
         .record(true)
         .faults(entry.plan())
         .reliable(true);
+    if let Some(models) = &entry.models {
+        if models.len() != progs.len() {
+            return Err(format!(
+                "models names {} processes but the program has {}",
+                models.len(),
+                progs.len()
+            ));
+        }
+        sys = sys.models(mc_model::ModelAssignment::per_proc(models.clone()));
+    }
     for prog in &progs {
         let prog = prog.clone();
         sys.spawn(move |ctx| execute(ctx, &prog));
     }
     let outcome = sys.run().map_err(|e| format!("run failed: {e}"))?;
     let h = outcome.history.expect("recording enabled");
-    check::check_mixed(&h).map_err(|e| {
-        format!("faults leaked through the session layer: {e}\n{}", h.to_pretty_string())
-    })?;
+    match &entry.models {
+        Some(models) => {
+            let assignment = mc_model::ModelAssignment::per_proc(models.clone());
+            mc_model::spec::check_model(&h, &assignment).map_err(|e| {
+                format!("faults leaked through the session layer: {e}\n{}", h.to_pretty_string())
+            })?;
+        }
+        None => {
+            check::check_mixed(&h).map_err(|e| {
+                format!("faults leaked through the session layer: {e}\n{}", h.to_pretty_string())
+            })?;
+        }
+    }
     Ok(())
 }
 
 /// Replays every persisted regression case before anything random runs.
+/// Lattice-parameterized entries (those carrying a `models` line) replay
+/// first: a verdict pinned at a specific lattice point is the sharper
+/// regression, so it should be the first thing a drifted checker or
+/// protocol trips over.
 fn replay_corpus() {
     let dir = corpus_dir();
     let Ok(entries) = std::fs::read_dir(&dir) else { return };
@@ -359,10 +403,18 @@ fn replay_corpus() {
         .filter(|p| p.extension().is_some_and(|x| x == "txt"))
         .collect();
     paths.sort();
-    for path in paths {
-        let text =
-            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let entry = CorpusEntry::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let mut cases: Vec<(std::path::PathBuf, CorpusEntry)> = paths
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let entry =
+                CorpusEntry::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            (path, entry)
+        })
+        .collect();
+    cases.sort_by_key(|(_, entry)| entry.models.is_none());
+    for (path, entry) in cases {
         if let Err(e) = fault_case(&entry) {
             panic!("corpus regression {}: seed {}: {e}", path.display(), entry.seed);
         }
@@ -381,6 +433,18 @@ fn random_programs_under_random_faults_with_session_stay_consistent() {
     // (seed, fault-plan) to `tests/corpus/` before panicking, so the
     // exact case stays pinned even after the random generator drifts.
     replay_corpus();
+    // Lattice points a random case may pin a process to. SC is excluded:
+    // a total-store-order point changes the protocol itself (and must be
+    // uniform), so it is exercised by the dedicated litmus matrix, not
+    // mixed freely here.
+    let model_pool: [mc_model::ProcModel; 6] = [
+        mc_model::ProcModel::Fixed(mc_model::ModelSpec::CAUSAL),
+        mc_model::ProcModel::Fixed(mc_model::ModelSpec::PROCESSOR),
+        mc_model::ProcModel::Fixed(mc_model::ModelSpec::PRAM),
+        mc_model::ProcModel::Fixed(mc_model::ModelSpec::WEAK_ORDERING),
+        mc_model::ProcModel::Fixed(mc_model::ModelSpec::SLOW),
+        mc_model::ProcModel::ByLabel,
+    ];
     for seed in 0..10u64 {
         let mut rng = StdRng::seed_from_u64(0xFA_0175 ^ seed);
         let mut entry = CorpusEntry {
@@ -389,6 +453,7 @@ fn random_programs_under_random_faults_with_session_stay_consistent() {
             duplicate_rate: rng.gen_range(0.0..0.15),
             reorder_us: rng.gen_range(1..60),
             partition: None,
+            models: None,
         };
         if rng.gen_bool(0.5) {
             // Cut one replica off from everyone (manager node 3
@@ -396,6 +461,14 @@ fn random_programs_under_random_faults_with_session_stay_consistent() {
             let victim = rng.gen_range(0..3u32);
             let from = rng.gen_range(0..200u64);
             entry.partition = Some((victim, from, from + rng.gen_range(50..300u64)));
+        }
+        if rng.gen_bool(0.5) {
+            // Pin each process to a random lattice point: the run is
+            // then judged against exactly that heterogeneous
+            // assignment, and a failure persists the full
+            // (seed, fault plan, models) triple.
+            entry.models =
+                Some((0..3).map(|_| model_pool[rng.gen_range(0..model_pool.len())]).collect());
         }
         if let Err(e) = fault_case(&entry) {
             let dir = corpus_dir();
@@ -415,13 +488,24 @@ fn corpus_entries_round_trip() {
         duplicate_rate: 0.0625,
         reorder_us: 17,
         partition: Some((2, 50, 217)),
+        models: None,
+    };
+    let with_models = CorpusEntry {
+        models: Some(vec![
+            mc_model::ProcModel::Fixed(mc_model::ModelSpec::CAUSAL),
+            mc_model::ProcModel::ByLabel,
+            mc_model::ProcModel::Fixed(mc_model::ModelSpec::SLOW),
+        ]),
+        ..with.clone()
     };
     let without = CorpusEntry { partition: None, ..with.clone() };
-    for entry in [with, without] {
+    for entry in [with, with_models, without] {
         assert_eq!(CorpusEntry::parse(&entry.to_text()).unwrap(), entry);
     }
     assert!(CorpusEntry::parse("seed = x").is_err());
     assert!(CorpusEntry::parse("mystery = 3").is_err());
+    assert!(CorpusEntry::parse("models = causal banana").is_err());
+    assert!(CorpusEntry::parse("models = ").is_err());
 }
 
 #[test]
