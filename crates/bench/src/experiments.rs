@@ -433,6 +433,70 @@ pub fn sharding_table() -> Table {
     }
 }
 
+/// One E10 run: an `n`-replica ring workload — every process writes
+/// `writes` values to its own location (its own shard, since
+/// `nshards = n`) and awaits its ring neighbor's last value — under
+/// either interest-sharded replication (interest = own shard plus the
+/// neighbor's) or classic full replication.
+fn ring_workload(n: usize, writes: u32, sharded: bool) -> Metrics {
+    let mut sys = System::new(n, Mode::Causal).seed(31).latency(ethernet_1994());
+    if sharded {
+        let interest: Vec<Vec<usize>> = (0..n).map(|p| vec![p, (p + 1) % n]).collect();
+        sys = sys.sharding(Some(mixed_consistency::ShardConfig::new(n, interest)));
+    }
+    for p in 0..n {
+        let (own, next) = (p as u32, ((p + 1) % n) as u32);
+        sys.spawn(move |ctx| {
+            for i in 1..=writes {
+                ctx.write(Loc(own), i64::from(i));
+            }
+            ctx.await_eq(Loc(next), i64::from(writes));
+        });
+    }
+    sys.run().expect("ring workload").metrics
+}
+
+/// One E10 datapoint: `(msgs/op, avg update wire bytes)` for an
+/// `n`-replica ring.
+fn interest_sharding_datapoint(n: usize, sharded: bool) -> (f64, f64) {
+    const WRITES: u32 = 50;
+    let m = ring_workload(n, WRITES, sharded);
+    let ops = (n as u64) * (u64::from(WRITES) + 1);
+    let upd = if sharded { m.kind("shard_update") } else { m.kind("update") };
+    (m.messages as f64 / ops as f64, upd.bytes as f64 / upd.count.max(1) as f64)
+}
+
+/// **E10** — interest-sharded partial replication vs full replication
+/// on a ring workload: per-operation message count and per-update wire
+/// size (header plus clock metadata) as the cluster grows 4 → 32.
+/// Under sharding both stay flat — each write reaches only the shard's
+/// subscribers, and dependency triples cover the writer's interest set,
+/// not the cluster — while full replication grows linearly on both
+/// axes (fan-out `n-1`, vector clocks of width `n`).
+pub fn interest_sharding_table() -> Table {
+    let mut rows = Vec::new();
+    for n in [4usize, 8, 16, 32] {
+        let (sh_msgs, sh_bytes) = interest_sharding_datapoint(n, true);
+        let (full_msgs, full_bytes) = interest_sharding_datapoint(n, false);
+        rows.push(Row::new(
+            vec![("replicas", n.to_string())],
+            vec![
+                ("sharded msgs/op", format!("{sh_msgs:.2}")),
+                ("full msgs/op", format!("{full_msgs:.2}")),
+                ("sharded B/update", format!("{sh_bytes:.1}")),
+                ("full B/update", format!("{full_bytes:.1}")),
+                ("msg ratio", format!("{:.1}x", full_msgs / sh_msgs)),
+            ],
+        ));
+    }
+    Table {
+        id: "E10",
+        title: "interest-sharded partial replication: flat per-replica cost vs cluster size",
+        paper_ref: "§6 demand-driven propagation — updates flow only where interest is declared",
+        rows,
+    }
+}
+
 /// **F4** — FDTD cost across protocols and worker counts (1-D line and
 /// 2-D grid).
 pub fn em_table() -> Table {
@@ -856,6 +920,42 @@ mod tests {
         assert!(steady.wal.appends > 0);
         assert_eq!(steady.wal.lost, 0);
         assert_eq!(steady.wal.recoveries, 0);
+    }
+
+    #[test]
+    fn interest_sharding_meets_acceptance() {
+        // The issue's acceptance floor: per-replica cost under interest
+        // sharding stays flat (±10%) from 4 to 32 replicas, on both the
+        // message and the clock-bytes axis, while full replication
+        // grows with the cluster.
+        let (sh4_msgs, sh4_bytes) = interest_sharding_datapoint(4, true);
+        let (sh32_msgs, sh32_bytes) = interest_sharding_datapoint(32, true);
+        assert!(
+            (sh32_msgs - sh4_msgs).abs() <= 0.1 * sh4_msgs,
+            "sharded msgs/op must stay flat 4 -> 32 replicas: {sh4_msgs:.2} -> {sh32_msgs:.2}"
+        );
+        assert!(
+            (sh32_bytes - sh4_bytes).abs() <= 0.1 * sh4_bytes,
+            "sharded update size must stay flat 4 -> 32 replicas: \
+             {sh4_bytes:.1} -> {sh32_bytes:.1}"
+        );
+        let (full4_msgs, full4_bytes) = interest_sharding_datapoint(4, false);
+        let (full32_msgs, full32_bytes) = interest_sharding_datapoint(32, false);
+        assert!(
+            full32_msgs >= 4.0 * full4_msgs,
+            "full replication fan-out must grow with the cluster: \
+             {full4_msgs:.2} -> {full32_msgs:.2}"
+        );
+        assert!(
+            full32_bytes >= 2.0 * full4_bytes,
+            "full replication clock bytes must grow with the cluster: \
+             {full4_bytes:.1} -> {full32_bytes:.1}"
+        );
+        assert!(
+            full32_msgs >= 5.0 * sh32_msgs,
+            "at 32 replicas sharding must cut messages >=5x: \
+             full {full32_msgs:.2} vs sharded {sh32_msgs:.2}"
+        );
     }
 
     #[test]

@@ -1126,6 +1126,136 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_crash_exploration_never_regresses_observed_reads() {
+        // The group-commit bugfix litmus: under group commit an ingest
+        // (or own write) is staged, not synced — the fsync happens at
+        // the next externalization point. A local read that returns a
+        // value IS such a point ([`Dsm::observe_sync`]): once the
+        // program has seen x=1, a crash of the reader must not
+        // un-happen it, or the surviving program would watch its own
+        // history regress. The budget crashes the reader at every
+        // explored step — including between its first and second read,
+        // the exact interleaving that lost the observed value before
+        // the fix. Every completing branch must verify (causal + RYW)
+        // and show both reads = 1.
+        let out = explore_with(
+            ExploreOptions::new().allow_deadlock(true).max_runs(50_000),
+            || {
+                let mut sys = System::new(2, Mode::Causal)
+                    .record(true)
+                    .sim_config(racing_config())
+                    .reliable(true)
+                    .durability(Some(mc_proto::DurabilityPolicy::new(64).with_group_commit(true)))
+                    .explore_faults(mc_sim::FaultBudget::new().crash_recover_of(mc_sim::NodeId(1)));
+                sys.spawn(|ctx| {
+                    ctx.write(Loc(0), 1);
+                    ctx.write(Loc(1), 1);
+                });
+                sys.spawn(|ctx| {
+                    ctx.await_eq(Loc(1), 1);
+                    let first = ctx.read_causal(Loc(0));
+                    let second = ctx.read_causal(Loc(0));
+                    assert_eq!(first, Value::Int(1), "flag write causally carries x=1");
+                    assert_eq!(second, Value::Int(1), "observed value regressed across crash");
+                });
+                sys
+            },
+            |o| o.verify().map_err(|e| e.to_string()),
+        )
+        .unwrap();
+        assert!(out.complete);
+        assert!(out.runs > 2, "crash timings must branch: {} runs", out.runs);
+    }
+
+    #[test]
+    fn group_commit_crash_exploration_never_loses_externalized_writes() {
+        // Writer-side group commit: the fsync rides the outgoing
+        // broadcast ([`Dsm::send`]'s externalization barrier), so by
+        // the time any peer can see a write it is durable, and a crash
+        // of the *writer* at any explored step must replay every acked
+        // write — same shape as the per-write-sync headline test, but
+        // with the sync deferred.
+        let out = explore_with(
+            ExploreOptions::new().allow_deadlock(true).max_runs(50_000),
+            || {
+                let mut sys = System::new(2, Mode::Causal)
+                    .record(true)
+                    .sim_config(racing_config())
+                    .reliable(true)
+                    .durability(Some(mc_proto::DurabilityPolicy::new(64).with_group_commit(true)))
+                    .explore_faults(mc_sim::FaultBudget::new().crash_recover_of(mc_sim::NodeId(0)));
+                sys.spawn(|ctx| {
+                    ctx.write(Loc(0), 1);
+                    ctx.write(Loc(0), 2);
+                    ctx.write(Loc(1), 1);
+                });
+                sys.spawn(|ctx| {
+                    ctx.await_eq(Loc(1), 1);
+                    let _ = ctx.read_causal(Loc(0));
+                });
+                sys
+            },
+            |o| {
+                o.verify().map_err(|e| e.to_string())?;
+                let writer = o.dsm().replica(ProcId(0));
+                if writer.applied[ProcId(0)] != 3 {
+                    return Err(format!(
+                        "externalized writes lost across recovery: writer replayed {} of 3",
+                        writer.applied[ProcId(0)]
+                    ));
+                }
+                if o.final_value(ProcId(1), Loc(0)) != Value::Int(2) {
+                    return Err(format!(
+                        "reader converged to {:?}, expected Int(2)",
+                        o.final_value(ProcId(1), Loc(0))
+                    ));
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(out.complete);
+        assert!(out.runs > 2, "recovery timings must branch: {} runs", out.runs);
+    }
+
+    #[test]
+    fn group_commit_amortizes_fsyncs() {
+        // The point of deferring the sync: one fsync call covers every
+        // record staged since the last externalization. On the same
+        // program, per-write durability pays one call per own-write
+        // record; group commit must pay strictly fewer calls while
+        // making the same records durable (none lost, none staged at
+        // exit — the conservation law is checked by the kernel).
+        fn fsyncs(group_commit: bool) -> (u64, u64) {
+            let mut sys = System::new(2, Mode::Causal)
+                .record(true)
+                .durability(Some(
+                    mc_proto::DurabilityPolicy::new(1024).with_group_commit(group_commit),
+                ))
+                .batching(Some(mc_proto::BatchPolicy::default()));
+            sys.spawn(|ctx| {
+                for i in 0..8 {
+                    ctx.write(Loc(0), i);
+                }
+                ctx.write(Loc(1), 1);
+            });
+            sys.spawn(|ctx| {
+                ctx.await_eq(Loc(1), 1);
+            });
+            let o = sys.run().unwrap();
+            assert_eq!(o.metrics.wal.lost, 0);
+            (o.metrics.wal.fsyncs, o.metrics.wal.appends)
+        }
+        let (per_write, appends) = fsyncs(false);
+        let (grouped, grouped_appends) = fsyncs(true);
+        assert_eq!(appends, grouped_appends, "same program, same log records");
+        assert!(
+            grouped < per_write,
+            "group commit must amortize fsync calls: {grouped} grouped vs {per_write} per-write"
+        );
+    }
+
+    #[test]
     fn batched_and_unbatched_crash_recovery_converge_identically() {
         // Satellite litmus: a crash can land between coalescing a batch
         // and flushing it. Whatever the batching policy, the *final*

@@ -79,6 +79,7 @@ pub use mc_model::{
 };
 pub use mc_proto::{
     BatchPolicy, DsmConfig, DurabilityPolicy, LockPropagation, MemDisk, Mode, SessionConfig,
+    ShardConfig,
 };
 pub use mc_sim::{
     ActionId, Crash, DecisionTrace, DurabilityStats, FaultBudget, FaultPlan, FaultStats, Histogram,

@@ -84,6 +84,17 @@ pub struct ProgSpec {
     /// process `i` under `ms[i]` instead of the single [`Mode`]. Length
     /// must equal the process count once processes are appended.
     pub models: Option<Vec<mc_model::ProcModel>>,
+    /// Sharded partial replication: `Some(n)` partitions the address
+    /// space into `n` shards (`loc % n`) and multicasts updates only to
+    /// a shard's subscribers. Interest sets default to each process's
+    /// footprint (the shards of the locations its operations touch) and
+    /// can be overridden per process via [`ProgSpec::interest`].
+    pub shards: Option<usize>,
+    /// Explicit per-process interest overrides, sorted by process id.
+    /// A process with an override subscribes statically to exactly
+    /// those shards; the subscribe-on-first-touch fallback is enabled
+    /// so accesses outside it block-and-subscribe instead of faulting.
+    pub interest: Vec<(usize, Vec<usize>)>,
     /// Per-process operation lists (process ids follow index order).
     pub procs: Vec<Vec<SpecOp>>,
 }
@@ -97,6 +108,8 @@ impl ProgSpec {
             lock_propagation: LockPropagation::Lazy,
             durability: None,
             models: None,
+            shards: None,
+            interest: Vec::new(),
             procs: Vec::new(),
         }
     }
@@ -113,6 +126,29 @@ impl ProgSpec {
     /// routes verification through the declarative validator.
     pub fn models(mut self, models: Vec<mc_model::ProcModel>) -> Self {
         self.models = Some(models);
+        self
+    }
+
+    /// Partitions the address space into `nshards` shards with
+    /// footprint-derived interest sets (see [`ProgSpec::shards`]).
+    pub fn sharded(mut self, nshards: usize) -> Self {
+        self.shards = Some(nshards);
+        self
+    }
+
+    /// Overrides process `proc`'s interest set (and enables the
+    /// subscribe-on-first-touch fallback for accesses outside it).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a second override for the same process.
+    pub fn interest(mut self, proc: usize, shards: Vec<usize>) -> Self {
+        assert!(
+            !self.interest.iter().any(|(p, _)| *p == proc),
+            "duplicate interest override for process {proc}"
+        );
+        self.interest.push((proc, shards));
+        self.interest.sort();
         self
     }
 
@@ -146,6 +182,21 @@ impl ProgSpec {
         if let Some(models) = &self.models {
             sys = sys.models(mc_model::ModelAssignment::per_proc(models.clone()));
         }
+        if let Some(nshards) = self.shards {
+            // Explicit overrides may under-subscribe on purpose (to
+            // exercise first-touch subscription), so their presence
+            // turns the dynamic fallback on; pure footprint interest
+            // covers every access statically.
+            let dynamic = !self.interest.is_empty();
+            let interest: Vec<Vec<usize>> = (0..self.procs.len())
+                .map(|p| match self.interest.iter().find(|(q, _)| *q == p) {
+                    Some((_, set)) => set.clone(),
+                    None => footprint(&self.procs[p], nshards),
+                })
+                .collect();
+            sys = sys
+                .sharding(Some(mc_proto::ShardConfig::new(nshards, interest).with_dynamic(dynamic)));
+        }
         for ops in &self.procs {
             let ops = ops.clone();
             sys.spawn(move |ctx| run_ops(ctx, &ops));
@@ -166,6 +217,13 @@ impl ProgSpec {
             let names: Vec<&str> = models.iter().map(mc_model::ProcModel::name).collect();
             let _ = writeln!(out, "models {}", names.join(" "));
         }
+        if let Some(n) = self.shards {
+            let _ = writeln!(out, "shards {n}");
+        }
+        for (p, set) in &self.interest {
+            let rendered: Vec<String> = set.iter().map(usize::to_string).collect();
+            let _ = writeln!(out, "interest {p} {}", rendered.join(" "));
+        }
         for (p, ops) in self.procs.iter().enumerate() {
             let _ = writeln!(out, "proc {p}");
             for op in ops {
@@ -185,6 +243,8 @@ impl ProgSpec {
         let mut prop = LockPropagation::Lazy;
         let mut durability = None;
         let mut models = None;
+        let mut shards = None;
+        let mut interest: Vec<(usize, Vec<usize>)> = Vec::new();
         let mut procs: Vec<Vec<SpecOp>> = Vec::new();
         for (ln, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -213,6 +273,12 @@ impl ProgSpec {
                     );
                 }
                 "models" => {
+                    // A second `models` line used to silently overwrite
+                    // the first — last-wins hid typos in hand-edited
+                    // artifacts, so duplicates are now a parse error.
+                    if models.is_some() {
+                        return Err(err("duplicate `models` line"));
+                    }
                     let parsed: Option<Vec<mc_model::ProcModel>> =
                         words[1..].iter().map(|w| mc_model::ProcModel::named(w)).collect();
                     let parsed = parsed.ok_or_else(|| err("unknown model name"))?;
@@ -220,6 +286,32 @@ impl ProgSpec {
                         return Err(err("empty model list"));
                     }
                     models = Some(parsed);
+                }
+                "shards" => {
+                    if shards.is_some() {
+                        return Err(err("duplicate `shards` line"));
+                    }
+                    let n: usize = words
+                        .get(1)
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad shard count"))?;
+                    if n == 0 || words.len() != 2 {
+                        return Err(err("bad shard count"));
+                    }
+                    shards = Some(n);
+                }
+                "interest" => {
+                    let p: usize = words
+                        .get(1)
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad interest process"))?;
+                    if interest.iter().any(|(q, _)| *q == p) {
+                        return Err(err("duplicate `interest` line for process"));
+                    }
+                    let set: Option<Vec<usize>> =
+                        words[2..].iter().map(|w| w.parse().ok()).collect();
+                    let set = set.ok_or_else(|| err("bad shard id in interest set"))?;
+                    interest.push((p, set));
                 }
                 "proc" => {
                     let idx: usize =
@@ -244,14 +336,63 @@ impl ProgSpec {
                 ));
             }
         }
+        interest.sort();
+        match shards {
+            Some(n) => {
+                for (p, set) in &interest {
+                    if *p >= procs.len() {
+                        return Err(format!(
+                            "`interest` names process {p} but the program has {}",
+                            procs.len()
+                        ));
+                    }
+                    if let Some(s) = set.iter().find(|s| **s >= n) {
+                        return Err(format!("`interest {p}` names shard {s} of only {n}"));
+                    }
+                }
+                let sync = procs.iter().flatten().any(|op| {
+                    matches!(
+                        op,
+                        SpecOp::Lock { .. } | SpecOp::Unlock { .. } | SpecOp::Barrier { .. }
+                    )
+                });
+                if sync {
+                    return Err("locks and barriers are not supported with `shards`".to_string());
+                }
+            }
+            None => {
+                if !interest.is_empty() {
+                    return Err("`interest` requires a `shards` line".to_string());
+                }
+            }
+        }
         Ok(ProgSpec {
             mode: mode.ok_or("missing `mode` line")?,
             lock_propagation: prop,
             durability,
             models,
+            shards,
+            interest,
             procs,
         })
     }
+}
+
+/// The shards a process's operations touch — its default interest set.
+fn footprint(ops: &[SpecOp], nshards: usize) -> Vec<usize> {
+    let mut shards: Vec<usize> = ops
+        .iter()
+        .filter_map(|op| match op {
+            SpecOp::Write { loc, .. }
+            | SpecOp::Add { loc, .. }
+            | SpecOp::Read { loc, .. }
+            | SpecOp::Await { loc, .. } => Some(loc.index() % nshards),
+            SpecOp::Lock { .. } | SpecOp::Unlock { .. } | SpecOp::Barrier { .. } => None,
+        })
+        .collect();
+    shards.sort_unstable();
+    shards.dedup();
+    shards
 }
 
 fn run_ops(ctx: &mut Ctx<'_>, ops: &[SpecOp]) {
@@ -431,6 +572,69 @@ mod tests {
         let e = ProgSpec::parse(text).unwrap_err();
         assert!(e.contains("names 1 processes but the program has 2"), "{e}");
         assert!(ProgSpec::parse("mode mixed\nmodels frob\nproc 0\n  w 0 1\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_models_line_is_rejected() {
+        let text = "mode mixed\nmodels slow causal\nmodels causal causal\n\
+                    proc 0\n  w 0 1\nproc 1\n  r 0 causal\n";
+        let e = ProgSpec::parse(text).unwrap_err();
+        assert!(e.contains("duplicate `models` line"), "{e}");
+    }
+
+    #[test]
+    fn shards_round_trip_and_build() {
+        let spec = ProgSpec::new(Mode::Causal)
+            .sharded(2)
+            .proc(vec![SpecOp::Write { loc: Loc(0), value: 1 }, SpecOp::Write {
+                loc: Loc(1),
+                value: 2,
+            }])
+            .proc(vec![SpecOp::Read { loc: Loc(0), label: ReadLabel::Causal }]);
+        let text = spec.to_text();
+        assert!(text.contains("shards 2"), "{text}");
+        assert_eq!(ProgSpec::parse(&text).unwrap(), spec);
+        let outcome = spec.build_system().run().unwrap();
+        outcome.verify().unwrap();
+    }
+
+    #[test]
+    fn interest_round_trips_and_enables_first_touch() {
+        // Process 1's override omits shard 1; its read of Loc(1) must
+        // subscribe on first touch rather than fault.
+        let spec = ProgSpec::new(Mode::Causal)
+            .sharded(2)
+            .interest(1, vec![0])
+            .proc(vec![SpecOp::Write { loc: Loc(1), value: 7 }])
+            .proc(vec![SpecOp::Read { loc: Loc(1), label: ReadLabel::Pram }]);
+        let text = spec.to_text();
+        assert!(text.contains("interest 1 0"), "{text}");
+        assert_eq!(ProgSpec::parse(&text).unwrap(), spec);
+        let outcome = spec.build_system().run().unwrap();
+        outcome.verify().unwrap();
+    }
+
+    #[test]
+    fn shard_stanza_garbage_is_rejected() {
+        let ok = "mode causal\nshards 2\nproc 0\n  w 0 1\n";
+        assert!(ProgSpec::parse(ok).is_ok());
+        for (bad, msg) in [
+            ("mode causal\nshards 0\nproc 0\n  w 0 1\n", "bad shard count"),
+            ("mode causal\nshards x\nproc 0\n  w 0 1\n", "bad shard count"),
+            ("mode causal\nshards 2\nshards 2\nproc 0\n  w 0 1\n", "duplicate `shards`"),
+            ("mode causal\nshards 2\ninterest 0 9\nproc 0\n  w 0 1\n", "names shard 9"),
+            ("mode causal\nshards 2\ninterest 5 0\nproc 0\n  w 0 1\n", "names process 5"),
+            ("mode causal\nshards 2\ninterest 0 banana\nproc 0\n  w 0 1\n", "bad shard id"),
+            (
+                "mode causal\nshards 2\ninterest 0 0\ninterest 0 1\nproc 0\n  w 0 1\n",
+                "duplicate `interest`",
+            ),
+            ("mode causal\ninterest 0 0\nproc 0\n  w 0 1\n", "requires a `shards` line"),
+            ("mode causal\nshards 2\nproc 0\n  l 0 w\n  u 0 w\n", "not supported"),
+        ] {
+            let e = ProgSpec::parse(bad).unwrap_err();
+            assert!(e.contains(msg), "{bad:?}: {e}");
+        }
     }
 
     #[test]

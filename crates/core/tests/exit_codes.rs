@@ -49,6 +49,27 @@ fn lattice_artifact() -> String {
     .to_text()
 }
 
+/// A sharded replay artifact: the spec partitions the address space
+/// (`shards 2`) with an explicit interest override, so the replay runs
+/// the partial-replication protocol and is judged per shard. The
+/// program is consistent, so the failure is not reproduced.
+fn sharded_artifact() -> String {
+    Repro {
+        kind: FailureKind::Verify,
+        reason: "synthetic sharded case".to_string(),
+        allow_deadlock: false,
+        budget: None,
+        trace: Vec::new(),
+        disks: Vec::new(),
+        spec: ProgSpec::new(Mode::Causal)
+            .sharded(2)
+            .interest(1, vec![0])
+            .proc(vec![SpecOp::Write { loc: Loc(1), value: 1 }])
+            .proc(vec![SpecOp::Read { loc: Loc(1), label: ReadLabel::Causal }]),
+    }
+    .to_text()
+}
+
 /// A recovery repro: a durable single-process program that deadlocks
 /// (awaits a value nobody writes), carrying a crash-recover fault budget
 /// and the pre-crash durable disk image of replica 0.
@@ -128,6 +149,44 @@ fn mc_check_exit_codes_cover_the_documented_contract() {
             flags: &["--replay"],
             expect: 2,
             output_contains: "unknown model name",
+        },
+        Case {
+            name: "lattice artifact with duplicate models line exits 2",
+            content: Some(
+                lattice_artifact()
+                    .replace("models causal slow", "models causal slow\nmodels causal slow"),
+            ),
+            flags: &["--replay"],
+            expect: 2,
+            output_contains: "duplicate `models` line",
+        },
+        Case {
+            name: "replay of a sharded artifact exits 0",
+            content: Some(sharded_artifact()),
+            flags: &["--replay"],
+            expect: 0,
+            output_contains: "not reproduced",
+        },
+        Case {
+            name: "sharded artifact with bad shard count exits 2",
+            content: Some(sharded_artifact().replace("shards 2", "shards banana")),
+            flags: &["--replay"],
+            expect: 2,
+            output_contains: "bad shard count",
+        },
+        Case {
+            name: "sharded artifact with out-of-range interest exits 2",
+            content: Some(sharded_artifact().replace("interest 1 0", "interest 1 9")),
+            flags: &["--replay"],
+            expect: 2,
+            output_contains: "names shard 9",
+        },
+        Case {
+            name: "sharded artifact with bad interest token exits 2",
+            content: Some(sharded_artifact().replace("interest 1 0", "interest 1 zap")),
+            flags: &["--replay"],
+            expect: 2,
+            output_contains: "bad shard id",
         },
         Case {
             name: "recovery repro that reproduces exits 1",

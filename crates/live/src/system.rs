@@ -16,8 +16,8 @@ use mc_model::{
 };
 use mc_proto::{
     decode_wal, BatchEntry, BatchPolicy, DsmConfig, DurabilityPolicy, FileDisk, GrantInfo,
-    LockPropagation, Manager, Mode, Msg, Replica, Session, SessionConfig, Snapshot, UpdatePayload,
-    WalRecord, WalTail,
+    LockPropagation, Manager, Mode, Msg, Replica, Session, SessionConfig, ShardConfig, Snapshot,
+    UpdatePayload, WalRecord, WalTail,
 };
 use mc_sim::{DurabilityStats, SimTime, TraceEvent, Tracer};
 
@@ -55,12 +55,29 @@ struct LiveBatch {
     since: Option<Instant>,
 }
 
+/// One process's outgoing buffer for a single shard (sharding with
+/// batching) — the live twin of the simulator's per-shard batch state,
+/// sharing one wall-clock flush window across all shards.
+#[derive(Default)]
+struct LiveShardBatch {
+    prev: u32,
+    upto: u32,
+    entries: Vec<BatchEntry>,
+    /// Latest entry index per location (coalescing target).
+    last_idx: HashMap<Loc, usize>,
+    /// Sparse dependency triples of the last buffered write.
+    deps: Vec<(u32, ProcId, u32)>,
+}
+
 /// Shared durability counters, aggregated into [`LiveOutcome::wal`] at
 /// teardown (the live twin of the simulator's `Metrics::wal`).
 #[derive(Default)]
 struct WalCounters {
     appends: AtomicU64,
     synced: AtomicU64,
+    /// Fsync calls that made at least one record durable (`fsyncs <
+    /// synced` is the signature of effective group-commit batching).
+    fsyncs: AtomicU64,
     replayed: AtomicU64,
     snapshots: AtomicU64,
     recoveries: AtomicU64,
@@ -295,6 +312,12 @@ impl LiveOutcome {
     pub fn applied(&self, proc: ProcId) -> &VClock {
         &self.replicas[proc.index()].applied
     }
+
+    /// Read access to `proc`'s final replica state (tests, invariant
+    /// checks — e.g. shard subscriptions after a dynamic first touch).
+    pub fn replica(&self, proc: ProcId) -> &Replica {
+        &self.replicas[proc.index()]
+    }
 }
 
 /// Builder for a live (threaded) mixed-consistency system. Mirrors the
@@ -382,6 +405,23 @@ impl LiveSystem {
     /// about to block).
     pub fn batching(mut self, batch: Option<BatchPolicy>) -> Self {
         self.cfg.batch = batch;
+        self
+    }
+
+    /// Partitions the address space into shards with interest-based
+    /// partial replication (the live twin of the simulator's
+    /// `System::sharding`): each process subscribes to the shards in
+    /// its interest set, updates multicast only to subscribers, and a
+    /// first touch outside the set either performs a directory
+    /// round-trip ([`ShardConfig::dynamic`]) or is a program error.
+    ///
+    /// # Panics
+    ///
+    /// [`LiveSystem::run`] panics if the interest table's length does
+    /// not match the process count, or if the program uses locks or
+    /// barriers (unsupported with sharding).
+    pub fn sharding(mut self, sharding: Option<ShardConfig>) -> Self {
+        self.cfg = self.cfg.with_sharding(sharding);
         self
     }
 
@@ -526,6 +566,21 @@ impl LiveSystem {
             proc_handles.push(std::thread::spawn(move || {
                 let (replica, disk, recovered) =
                     open_replica(ProcId(i as u32), &cfg, durability_dir.as_deref(), &walc);
+                // Seed multicast routes from the static interest sets;
+                // dynamic joiners merge in from SubAck/SubNotify and
+                // recovery answers, exactly as in the simulator.
+                let shard_routes: Vec<Vec<ProcId>> =
+                    match cfg.sharding.as_ref().filter(|_| cfg.mode.is_replicated()) {
+                        None => Vec::new(),
+                        Some(sc) => (0..sc.nshards)
+                            .map(|s| {
+                                (0..cfg.nprocs as u32)
+                                    .map(ProcId)
+                                    .filter(|&q| q.index() != i && sc.subscribed(q, s))
+                                    .collect()
+                            })
+                            .collect(),
+                    };
                 let mut session = cfg.reliable.then(|| Session::new(SessionConfig::default()));
                 if let Some(s) = &mut session {
                     // The reborn incarnation fences this node's session
@@ -556,16 +611,30 @@ impl LiveSystem {
                     records_since_snap: 0,
                     last_snap: Instant::now(),
                     recover_seen: HashMap::new(),
+                    shard_routes,
+                    shard_out: HashMap::new(),
+                    shard_since: None,
                     walc,
                 };
                 if recovered {
                     // Ask every peer for the updates this node's disk
                     // never made durable; responses arrive during (or
                     // after) the program and unblock its read gates.
-                    let req = Msg::RecoverReq {
-                        proc: ctx.proc,
-                        incarnation: ctx.replica.incarnation,
-                        applied: ctx.replica.applied.clone(),
+                    // Sharded recovery ships the per-shard applied
+                    // summary instead of the global vector — peers
+                    // answer only for the shards they share.
+                    let req = if ctx.sharded() {
+                        Msg::ShardRecoverReq {
+                            proc: ctx.proc,
+                            incarnation: ctx.replica.incarnation,
+                            applied: ctx.replica.shards().expect("sharded").applied_summary(),
+                        }
+                    } else {
+                        Msg::RecoverReq {
+                            proc: ctx.proc,
+                            incarnation: ctx.replica.incarnation,
+                            applied: ctx.replica.applied.clone(),
+                        }
                     };
                     for peer in 0..ctx.cfg.nprocs {
                         if peer != i {
@@ -675,6 +744,7 @@ impl LiveSystem {
         let wal = DurabilityStats {
             appends: walc.appends.load(Ordering::Relaxed),
             synced: walc.synced.load(Ordering::Relaxed),
+            fsyncs: walc.fsyncs.load(Ordering::Relaxed),
             lost: 0,
             replayed: walc.replayed.load(Ordering::Relaxed),
             snapshots: walc.snapshots.load(Ordering::Relaxed),
@@ -711,7 +781,16 @@ fn open_replica(
     dir: Option<&std::path::Path>,
     walc: &WalCounters,
 ) -> (Replica, Option<FileDisk>, bool) {
-    let fresh = || Replica::new(proc, cfg.nprocs).with_store_capacity(cfg.locations);
+    // Sharded replicas rebuild with the static interest set; WAL replay
+    // re-mints own chains and restores dynamic subscriptions.
+    let sharded = cfg.sharding.as_ref().filter(|_| cfg.mode.is_replicated());
+    let fresh = || {
+        let r = Replica::new(proc, cfg.nprocs).with_store_capacity(cfg.locations);
+        match sharded {
+            Some(sc) => r.with_sharding(sc.nshards, sc.interest[proc.index()].clone()),
+            None => r,
+        }
+    };
     let (Some(_), Some(dir)) = (cfg.durability, dir) else { return (fresh(), None, false) };
     let rdir = dir.join(format!("replica-{}", proc.index()));
     let (snap_bytes, log_bytes) =
@@ -720,7 +799,14 @@ fn open_replica(
     let mut replica = match &snap_bytes {
         Some(b) => match Snapshot::decode(b) {
             Ok(snap) => {
-                Replica::from_snapshot(proc, cfg.nprocs, &snap).with_store_capacity(cfg.locations)
+                let r = Replica::from_snapshot(proc, cfg.nprocs, &snap)
+                    .with_store_capacity(cfg.locations);
+                // Unreachable for sharded runs today (sharded replicas
+                // are log-only), kept in lock-step with the simulator.
+                match sharded {
+                    Some(sc) => r.with_sharding(sc.nshards, sc.interest[proc.index()].clone()),
+                    None => r,
+                }
             }
             Err(e) => panic!("{proc}: snapshot in {rdir:?} is corrupt: {e}"),
         },
@@ -758,6 +844,7 @@ fn open_replica(
         });
         walc.appends.fetch_add(1, Ordering::Relaxed);
         walc.synced.fetch_add(1, Ordering::Relaxed);
+        walc.fsyncs.fetch_add(1, Ordering::Relaxed);
         walc.recoveries.fetch_add(1, Ordering::Relaxed);
     }
     (replica, Some(disk), had_state)
@@ -801,6 +888,7 @@ fn manager_loop(rx: Receiver<Wire>, net: Net, cfg: DsmConfig, node: NodeId) -> M
                             manager.sc_write(writer, loc, payload)
                         }
                         Msg::ScAwait { proc, loc, value } => manager.sc_await(proc, loc, value),
+                        Msg::SubReq { proc, shard } => manager.sub_req(proc, shard, &cfg),
                         other => unreachable!("manager received {other:?}"),
                     };
                     for (proc, msg) in out {
@@ -847,6 +935,15 @@ pub struct LiveCtx {
     /// Highest reborn incarnation already answered, per peer — dedups
     /// recovery requests.
     recover_seen: HashMap<ProcId, u32>,
+    /// Multicast routes (sharding only): `shard_routes[s]` lists the
+    /// peers this node knows to subscribe to shard `s` (self excluded,
+    /// kept sorted for deterministic multicast order).
+    shard_routes: Vec<Vec<ProcId>>,
+    /// Per-shard outgoing buffers (sharding with batching).
+    shard_out: HashMap<u32, LiveShardBatch>,
+    /// When a shard buffer last became non-empty (one wall-clock flush
+    /// window shared across shards, like the simulator's one timer).
+    shard_since: Option<Instant>,
     walc: Arc<WalCounters>,
 }
 
@@ -884,7 +981,10 @@ impl LiveCtx {
             return;
         }
         let n = disk.sync().unwrap_or_else(|e| panic!("{}: wal sync failed: {e}", self.proc));
-        self.walc.synced.fetch_add(n, Ordering::Relaxed);
+        if n > 0 {
+            self.walc.synced.fetch_add(n, Ordering::Relaxed);
+            self.walc.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Installs a compacted snapshot once either cadence (record count or
@@ -892,6 +992,12 @@ impl LiveCtx {
     /// discard staged records.
     fn maybe_snapshot(&mut self) {
         let Some(policy) = self.cfg.durability else { return };
+        // Snapshots do not capture per-shard clocks, own chains, or
+        // subscriptions: sharded replicas stay log-only, and recovery
+        // replays the full WAL.
+        if self.sharded() {
+            return;
+        }
         if self.disk.is_none() || self.records_since_snap == 0 {
             return;
         }
@@ -943,6 +1049,73 @@ impl LiveCtx {
     /// Retransmits every unacknowledged session payload.
     fn retransmit(&mut self) {
         sess_retransmit(&self.net, &mut self.session, self.proc.index());
+    }
+
+    /// Whether sharded interest-based replication is active (a shard
+    /// map on a replicated mode).
+    fn sharded(&self) -> bool {
+        self.cfg.sharding.is_some() && self.cfg.mode.is_replicated()
+    }
+
+    /// Fsync before an observation returns. Remote ingests are staged
+    /// (appended, unsynced) until some local read or await could expose
+    /// them to the program; past that point a crash must not un-happen
+    /// them, or a surviving reader would watch its own history regress.
+    fn observe_sync(&mut self) {
+        if self.cfg.durability.is_some() {
+            self.wal_sync();
+        }
+    }
+
+    /// Sends `msg` to every peer this node knows to subscribe to
+    /// `shard` (subscriber-only routing — the point of sharding).
+    fn multicast_shard(&mut self, shard: u32, msg: Msg) {
+        let peers = self.shard_routes[shard as usize].clone();
+        for q in peers {
+            self.send(q.index(), msg.clone());
+        }
+    }
+
+    /// Records that `q` subscribes to `shard` (routes never list this
+    /// node's own process; insertion keeps them sorted).
+    fn add_shard_route(&mut self, shard: u32, q: ProcId) {
+        if q == self.proc {
+            return;
+        }
+        let routes = &mut self.shard_routes[shard as usize];
+        if let Err(i) = routes.binary_search(&q) {
+            routes.insert(i, q);
+        }
+    }
+
+    /// Gates a sharded access to `loc` on a subscription to its shard.
+    /// A first touch outside the interest set blocks on a directory
+    /// round-trip when the dynamic fallback is enabled, and is a
+    /// program error otherwise.
+    fn shard_gate(&mut self, loc: Loc) {
+        if !self.sharded() {
+            return;
+        }
+        let (shard, dynamic) = {
+            let sc = self.cfg.sharding.as_ref().expect("sharded");
+            (sc.shard_of(loc), sc.dynamic)
+        };
+        if self.replica.shards().expect("sharded").subscribed(shard) {
+            return;
+        }
+        assert!(
+            dynamic,
+            "{} touches {loc} (shard {shard}) outside its interest set \
+             and the dynamic subscribe-on-first-touch fallback is off",
+            self.proc
+        );
+        self.send(
+            self.cfg.manager_node().index(),
+            Msg::SubReq { proc: self.proc, shard: shard as u32 },
+        );
+        while !self.replica.shards().expect("sharded").subscribed(shard) {
+            self.step("shard subscription");
+        }
     }
 
     /// Applies one incoming protocol message to local state.
@@ -1111,6 +1284,171 @@ impl LiveCtx {
             other @ (Msg::ScReadResp { .. } | Msg::ScWriteAck | Msg::ScAwaitResp { .. }) => {
                 self.sc_resp = Some(other);
             }
+            Msg::ShardUpdate { writer, loc, payload, prev, deps } => {
+                let shard = self.replica.shards().expect("sharded").shard_of(loc);
+                if self.cfg.durability.is_some() {
+                    // Recovery ghost: content already on disk (or covered
+                    // by a ShardRecoverResp) — skip the re-log and
+                    // re-apply.
+                    let have = self.replica.shards().expect("sharded").applied(shard).get(writer.proc);
+                    if writer.seq <= have {
+                        return;
+                    }
+                    let rec = WalRecord::IngestSharded {
+                        writer,
+                        loc,
+                        payload: payload.clone(),
+                        prev,
+                        deps: deps.clone(),
+                    };
+                    self.wal_append(&rec);
+                }
+                self.replica.ingest_sharded(writer, loc, payload, prev, deps, self.cfg.mode);
+            }
+            Msg::ShardUpdateBatch { proc, shard, prev, upto, entries, deps } => {
+                if self.cfg.durability.is_some() {
+                    let have = self.replica.shards().expect("sharded").applied(shard as usize).get(proc);
+                    if upto <= have {
+                        return;
+                    }
+                    let rec = WalRecord::IngestShardChain {
+                        proc,
+                        shard,
+                        prev,
+                        upto,
+                        entries: entries.clone(),
+                        deps: deps.clone(),
+                        trim: false,
+                    };
+                    self.wal_append(&rec);
+                }
+                self.replica.ingest_shard_chain(
+                    proc,
+                    shard,
+                    prev,
+                    upto,
+                    entries,
+                    deps,
+                    self.cfg.mode,
+                    false,
+                );
+            }
+            Msg::SubAck { shard, subs } => {
+                // Persist the subscription before any access can depend
+                // on it: replay must filter dependency triples with the
+                // same interest set the replica had live.
+                if self.replica.shard_subscribe(shard as usize) && self.cfg.durability.is_some() {
+                    self.wal_append(&WalRecord::Subscribe { shard });
+                    self.wal_sync();
+                }
+                for q in subs {
+                    self.add_shard_route(shard, q);
+                }
+                // The first-touch operation retries in its gate loop.
+            }
+            Msg::SubNotify { shard, proc } => {
+                // A new subscriber joined: route future updates to it
+                // and push our own write suffix for the shard directly,
+                // so the join window closes without third-party state.
+                // One update per write — an atomic chain can deadlock
+                // against another parked chain whose dependency triples
+                // point back into this shard.
+                self.add_shard_route(shard, proc);
+                for (writer, loc, payload, prev, deps) in
+                    self.replica.shard_updates_after(&[(shard, 0)])
+                {
+                    self.send(proc.index(), Msg::ShardUpdate { writer, loc, payload, prev, deps });
+                }
+            }
+            Msg::ShardRecoverReq { proc: reborn, incarnation, applied } => {
+                if self.recover_seen.get(&reborn).is_some_and(|&inc| incarnation <= inc) {
+                    return;
+                }
+                self.recover_seen.insert(reborn, incarnation);
+                // Buffered shard batches are already in our durable own
+                // chains; flush so the recovery delta covers them.
+                self.flush_updates();
+                // Answer once per shard we share. The triples' shard ids
+                // double as the reborn's subscription set (zeros kept),
+                // so this also re-learns a dynamic subscriber's routes.
+                // Each answer carries only the watermark metadata (the
+                // push-back trigger); the write suffix itself follows as
+                // individual ShardUpdates interleaved across shards in
+                // global sequence order — per-shard atomic chains with
+                // mutual cross-shard triples would park against each
+                // other forever on a reborn replica that lost both.
+                let mut shards: Vec<u32> = applied.iter().map(|&(s, _, _)| s).collect();
+                shards.dedup();
+                let mut wants = Vec::new();
+                for s in shards {
+                    if !self.replica.shards().expect("sharded").subscribed(s as usize) {
+                        continue;
+                    }
+                    self.add_shard_route(s, reborn);
+                    let after = applied
+                        .iter()
+                        .find(|&&(ds, q, _)| ds == s && q == self.proc)
+                        .map_or(0, |&(_, _, c)| c);
+                    let seen =
+                        self.replica.shards().expect("sharded").applied(s as usize).get(reborn);
+                    let me = self.proc;
+                    self.send(
+                        reborn.index(),
+                        Msg::ShardRecoverResp {
+                            proc: me,
+                            shard: s,
+                            prev: after,
+                            upto: after,
+                            entries: Vec::new(),
+                            deps: Vec::new(),
+                            seen,
+                        },
+                    );
+                    wants.push((s, after));
+                }
+                for (writer, loc, payload, prev, deps) in self.replica.shard_updates_after(&wants) {
+                    self.send(reborn.index(), Msg::ShardUpdate { writer, loc, payload, prev, deps });
+                }
+            }
+            Msg::ShardRecoverResp { proc, shard, prev, upto, entries, deps, seen } => {
+                // The responder subscribes to the shard, or it would not
+                // answer for it — merge the route (recovery re-learning,
+                // and the join-backfill path where it is already known).
+                self.add_shard_route(shard, proc);
+                let have = self.replica.shards().expect("sharded").applied(shard as usize).get(proc);
+                if upto > have {
+                    if self.cfg.durability.is_some() {
+                        let rec = WalRecord::IngestShardChain {
+                            proc,
+                            shard,
+                            prev,
+                            upto,
+                            entries: entries.clone(),
+                            deps: deps.clone(),
+                            trim: true,
+                        };
+                        self.wal_append(&rec);
+                    }
+                    self.replica.ingest_shard_chain(
+                        proc,
+                        shard,
+                        prev,
+                        upto,
+                        entries,
+                        deps,
+                        self.cfg.mode,
+                        true,
+                    );
+                }
+                // Push back our own suffix the responder has not seen,
+                // one update per write for the same acyclicity reason
+                // as the recovery answers themselves.
+                for (writer, loc, payload, prev, deps) in
+                    self.replica.shard_updates_after(&[(shard, seen)])
+                {
+                    self.send(proc.index(), Msg::ShardUpdate { writer, loc, payload, prev, deps });
+                }
+            }
             other => unreachable!("replica received {other:?}"),
         }
     }
@@ -1199,6 +1537,10 @@ impl LiveCtx {
                 }
             }
         }
+        if self.sharded() {
+            self.shard_gate(loc);
+            return self.do_sharded_write(loc, payload);
+        }
         let (id, deps) = self.replica.local_write(loc, payload.clone(), &self.cfg);
         if let Some(policy) = self.cfg.durability {
             let rec = WalRecord::OwnWrite { loc, payload: payload.clone(), deps: deps.clone() };
@@ -1276,12 +1618,148 @@ impl LiveCtx {
         }
     }
 
+    /// The sharded write path: mint through the per-shard chain, log,
+    /// and multicast (or buffer) to the shard's subscribers only.
+    fn do_sharded_write(&mut self, loc: Loc, payload: UpdatePayload) -> WriteId {
+        let (id, prev, deps) = self.replica.sharded_write(loc, payload.clone(), &self.cfg);
+        if let Some(policy) = self.cfg.durability {
+            let rec =
+                WalRecord::OwnWriteSharded { loc, payload: payload.clone(), deps: deps.clone() };
+            self.wal_append(&rec);
+            if !policy.group_commit {
+                self.wal_sync();
+            }
+        }
+        if self.cfg.batch.is_some() {
+            self.buffer_shard_write(loc, payload, id, prev, deps);
+        } else {
+            let shard = self.cfg.sharding.as_ref().expect("sharded").shard_of(loc) as u32;
+            self.multicast_shard(shard, Msg::ShardUpdate { writer: id, loc, payload, prev, deps });
+        }
+        id
+    }
+
+    /// Buffers a sharded write into the per-shard outgoing batch,
+    /// coalescing like [`LiveCtx::buffer_write`] and sharing one
+    /// wall-clock flush window across shards.
+    fn buffer_shard_write(
+        &mut self,
+        loc: Loc,
+        payload: UpdatePayload,
+        id: WriteId,
+        prev: u32,
+        deps: Vec<(u32, ProcId, u32)>,
+    ) {
+        let policy = self.cfg.batch.expect("batching enabled");
+        let shard = self.cfg.sharding.as_ref().expect("sharded").shard_of(loc) as u32;
+        // Program order crosses shards: this write's dependency triples
+        // cover the process's own *buffered* writes in other shards, so
+        // two chains buffered concurrently could each require a member
+        // of the other and deadlock every receiver. Ship the other
+        // shards' buffers first — a chain then only references own
+        // writes already on the wire, and coalescing still collapses
+        // runs of same-shard writes (the locality case sharding is
+        // built around).
+        let mut others: Vec<u32> = self
+            .shard_out
+            .iter()
+            .filter(|&(&s, b)| s != shard && !b.entries.is_empty())
+            .map(|(&s, _)| s)
+            .collect();
+        others.sort_unstable();
+        for s in others {
+            self.flush_shard(s);
+        }
+        if self.shard_since.is_none() {
+            self.shard_since = Some(Instant::now());
+        }
+        let b = self.shard_out.entry(shard).or_default();
+        if b.entries.is_empty() {
+            b.prev = prev;
+        }
+        b.upto = id.seq;
+        b.deps = deps;
+        let coalesced = match b.last_idx.get(&loc) {
+            Some(&idx) => {
+                let e = &mut b.entries[idx];
+                match (&mut e.payload, &payload) {
+                    (UpdatePayload::Set(cur), UpdatePayload::Set(v)) => {
+                        *cur = *v;
+                        e.writer = id;
+                        true
+                    }
+                    (UpdatePayload::Add(cur), UpdatePayload::Add(d)) => match cur.checked_add(*d) {
+                        Some(sum) => {
+                            *cur = sum;
+                            e.adds.push(id.seq);
+                            e.writer = id;
+                            true
+                        }
+                        None => false,
+                    },
+                    _ => false,
+                }
+            }
+            None => false,
+        };
+        if !coalesced {
+            let adds = match &payload {
+                UpdatePayload::Add(_) => vec![id.seq],
+                UpdatePayload::Set(_) => Vec::new(),
+            };
+            b.last_idx.insert(loc, b.entries.len());
+            b.entries.push(BatchEntry { loc, payload, writer: id, adds });
+        }
+        if b.entries.len() >= policy.max_updates {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Flushes one shard's outgoing buffer to its subscribers.
+    fn flush_shard(&mut self, shard: u32) {
+        let Some(b) = self.shard_out.get_mut(&shard) else { return };
+        if b.entries.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut b.entries);
+        b.last_idx.clear();
+        let (prev, upto) = (b.prev, b.upto);
+        let deps = std::mem::take(&mut b.deps);
+        let me = self.proc;
+        self.multicast_shard(
+            shard,
+            Msg::ShardUpdateBatch { proc: me, shard, prev, upto, entries, deps },
+        );
+    }
+
+    /// Flushes every non-empty per-shard buffer, in shard order.
+    fn flush_shards(&mut self) {
+        let mut shards: Vec<u32> = self
+            .shard_out
+            .iter()
+            .filter(|(_, b)| !b.entries.is_empty())
+            .map(|(&s, _)| s)
+            .collect();
+        shards.sort_unstable();
+        for s in shards {
+            self.flush_shard(s);
+        }
+        self.shard_since = None;
+    }
+
     /// Sends the buffered batch to every peer, delta-compressing the
     /// dependency vector against each link's shadow clock and
     /// piggybacking a cumulative session ack when the session layer has
     /// delivered anything from that peer.
     fn flush_updates(&mut self) {
-        if self.cfg.batch.is_none() || self.batch.entries.is_empty() {
+        if self.cfg.batch.is_none() {
+            return;
+        }
+        if self.sharded() {
+            self.flush_shards();
+            return;
+        }
+        if self.batch.entries.is_empty() {
             return;
         }
         let entries = std::mem::take(&mut self.batch.entries);
@@ -1322,13 +1800,13 @@ impl LiveCtx {
         }
     }
 
-    /// Flushes if the buffered batch has outlived its wall-clock window.
+    /// Flushes if a buffered batch has outlived its wall-clock window.
     fn maybe_flush_aged(&mut self) {
         let Some(policy) = self.cfg.batch else { return };
-        if let Some(since) = self.batch.since {
-            if since.elapsed() >= Duration::from_micros(policy.max_delay_micros) {
-                self.flush_updates();
-            }
+        let window = Duration::from_micros(policy.max_delay_micros);
+        let aged = |since: Option<Instant>| since.is_some_and(|t| t.elapsed() >= window);
+        if aged(self.batch.since) || aged(self.shard_since) {
+            self.flush_updates();
         }
     }
 
@@ -1365,6 +1843,7 @@ impl LiveCtx {
                 }
             }
         }
+        self.shard_gate(loc);
         let effective = self.cfg.read_policy(self.proc, label);
         loop {
             let ready = match effective {
@@ -1378,6 +1857,10 @@ impl LiveCtx {
         }
         let value = self.replica.value(loc);
         let writer = Some(self.replica.writer_of(loc).unwrap_or(WriteId::initial(loc)));
+        // Observation barrier: the value returned here may expose remote
+        // ingests (and, under group commit, own writes) still staged on
+        // the WAL — make them durable before the program can act on them.
+        self.observe_sync();
         self.push(OpKind::Read { loc, label, value, writer });
         value
     }
@@ -1394,6 +1877,7 @@ impl LiveCtx {
 
     /// Acquires a lock.
     pub fn lock(&mut self, lock: LockId, mode: LockMode) {
+        assert!(!self.sharded(), "locks are not supported with sharding");
         assert!(!self.held.contains_key(&lock), "{} re-acquires {lock}", self.proc);
         self.drain();
         self.send(
@@ -1514,6 +1998,7 @@ impl LiveCtx {
 
     /// Arrives at (and passes) a barrier object.
     pub fn barrier_on(&mut self, barrier: BarrierId) {
+        assert!(!self.sharded(), "barriers are not supported with sharding");
         self.drain();
         // Pre-barrier writes must precede the arrival: the release's
         // knowledge vector points peers at them.
@@ -1570,6 +2055,7 @@ impl LiveCtx {
                 }
             }
         }
+        self.shard_gate(loc);
         while self.replica.value(loc) != value {
             self.step("await condition");
         }
@@ -1577,6 +2063,9 @@ impl LiveCtx {
         if writers.is_empty() {
             writers.push(WriteId::initial(loc));
         }
+        // Same observation barrier as `read`: the awaited value must be
+        // durable before the program acts on having seen it.
+        self.observe_sync();
         self.push(OpKind::Await { loc, value, writers });
         value
     }

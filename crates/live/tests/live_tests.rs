@@ -489,3 +489,219 @@ fn batched_lossy_session_still_converges() {
         check::check_mixed(&h).unwrap_or_else(|e| panic!("rep {rep}: {e}"));
     }
 }
+
+#[test]
+fn sharded_producer_consumer_live() {
+    // The live twin of the simulator's sharded producer/consumer: locs
+    // 0 and 1 land in shards 0 and 1, both active procs subscribe to
+    // both, the third proc to neither — so it must receive nothing.
+    for mode in [Mode::Pram, Mode::Causal, Mode::Mixed] {
+        for _ in 0..REPS {
+            let sc = mc_proto::ShardConfig::new(2, vec![vec![0, 1], vec![0, 1], vec![]]);
+            let mut sys = LiveSystem::new(3, mode).sharding(Some(sc));
+            let seen = Arc::new(Mutex::new(Value::Int(-1)));
+            let seen2 = seen.clone();
+            sys.spawn(|ctx| {
+                ctx.write(Loc(0), 42);
+                ctx.write(Loc(1), 1);
+            });
+            sys.spawn(move |ctx| {
+                ctx.await_eq(Loc(1), Value::Int(1));
+                *seen2.lock().unwrap() = ctx.read_causal(Loc(0));
+            });
+            sys.spawn(|_ctx| {});
+            let outcome = sys.run().unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert_eq!(*seen.lock().unwrap(), Value::Int(42), "{mode}");
+            // The uninterested third replica saw none of p0's writes.
+            assert_eq!(outcome.applied(ProcId(2))[ProcId(0)], 0, "{mode}");
+            assert_eq!(outcome.final_value(ProcId(2), Loc(0)), Value::INITIAL, "{mode}");
+        }
+    }
+}
+
+#[test]
+fn sharded_interest_cuts_live_traffic() {
+    // Four procs, four shards. With full replication every write fans
+    // out to 3 peers; with ring interest ({p, p+1}) each shard has two
+    // subscribers, so each write travels to exactly one — the message
+    // count must drop well below the full run's.
+    let run = |interest: Vec<Vec<usize>>| {
+        let sc = mc_proto::ShardConfig::new(4, interest);
+        let mut sys = LiveSystem::new(4, Mode::Causal).sharding(Some(sc));
+        for p in 0..4u32 {
+            sys.spawn(move |ctx| {
+                for i in 0..10i64 {
+                    ctx.write(Loc(p), i);
+                }
+            });
+        }
+        sys.run().expect("clean run")
+    };
+    let full = run((0..4).map(|_| vec![0, 1, 2, 3]).collect());
+    let ring = run((0..4).map(|p| vec![p, (p + 1) % 4]).collect());
+    assert!(
+        ring.messages * 2 <= full.messages,
+        "ring interest {} vs full replication {} messages",
+        ring.messages,
+        full.messages
+    );
+}
+
+#[test]
+fn sharded_dynamic_first_touch_live() {
+    // p1 statically subscribes only to shard 0; its await of loc 1
+    // first-touches shard 1, subscribes through the directory, and the
+    // backfill push delivers p0's earlier write.
+    for _ in 0..REPS {
+        let sc =
+            mc_proto::ShardConfig::new(2, vec![vec![0, 1], vec![0]]).with_dynamic(true);
+        let mut sys = LiveSystem::new(2, Mode::Causal).sharding(Some(sc));
+        sys.spawn(|ctx| {
+            ctx.write(Loc(1), 9); // shard 1
+            ctx.write(Loc(0), 1); // shard 0 flag
+        });
+        sys.spawn(|ctx| {
+            ctx.await_eq(Loc(0), Value::Int(1));
+            ctx.await_eq(Loc(1), Value::Int(9));
+            assert_eq!(ctx.read_causal(Loc(1)), Value::Int(9));
+        });
+        let outcome = sys.run().unwrap();
+        assert!(
+            outcome.replica(ProcId(1)).shards().unwrap().subscribed(1),
+            "the first touch must leave a durable subscription behind"
+        );
+    }
+}
+
+#[test]
+fn sharded_batched_writes_coalesce_live() {
+    // Batching stacked on sharding: interleaved writes to two shards
+    // coalesce into per-shard chains, and the cross-shard dependency
+    // triples still deliver causality on real threads.
+    for _ in 0..REPS {
+        let sc = mc_proto::ShardConfig::full(2, 2);
+        let mut sys = LiveSystem::new(2, Mode::Causal)
+            .sharding(Some(sc))
+            .batching(Some(mc_proto::BatchPolicy::default()));
+        sys.spawn(|ctx| {
+            for i in 0..8i64 {
+                ctx.write(Loc((i % 4) as u32), i); // shards 0 and 1 interleaved
+            }
+            ctx.write(Loc(5), 99); // flag in shard 1
+        });
+        sys.spawn(|ctx| {
+            ctx.await_eq(Loc(5), Value::Int(99));
+            for (loc, want) in [(0u32, 4i64), (1, 5), (2, 6), (3, 7)] {
+                assert_eq!(ctx.read_causal(Loc(loc)), Value::Int(want), "loc {loc} stale");
+            }
+        });
+        sys.run().unwrap();
+    }
+}
+
+#[test]
+fn sharded_durable_cluster_recovers_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("mc-live-shard-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sc = || mc_proto::ShardConfig::new(2, vec![vec![0, 1], vec![0, 1]]);
+
+    // First incarnation: a clean sharded run leaves durable per-shard
+    // chains behind. `snapshot_every = 1` would compact eagerly in the
+    // unsharded protocol; sharded replicas must stay log-only.
+    let mut sys = LiveSystem::new(2, Mode::Causal)
+        .sharding(Some(sc()))
+        .durability(mc_proto::DurabilityPolicy::new(1), &dir);
+    sys.spawn(|ctx| {
+        ctx.write(Loc(0), 42); // shard 0
+        ctx.write(Loc(1), 1); // shard 1 flag
+    });
+    sys.spawn(|ctx| {
+        ctx.await_eq(Loc(1), Value::Int(1));
+        assert_eq!(ctx.read_causal(Loc(0)), Value::Int(42));
+    });
+    let first = sys.run().expect("first incarnation");
+    assert!(first.wal.appends > 0, "durable sharded writes must hit the log");
+    assert_eq!(first.wal.snapshots, 0, "sharded replicas are log-only");
+    assert_eq!(first.wal.recoveries, 0);
+
+    // Second incarnation from the same directory: both replicas replay
+    // their WALs (own chains re-minted, remote chains re-ingested) and
+    // still hold the pre-restart writes.
+    let mut sys = LiveSystem::new(2, Mode::Causal)
+        .sharding(Some(sc()))
+        .durability(mc_proto::DurabilityPolicy::new(1), &dir);
+    sys.spawn(|ctx| {
+        assert_eq!(ctx.read_causal(Loc(0)), Value::Int(42), "own durable write lost");
+        ctx.write(Loc(2), 7); // shard 0
+    });
+    sys.spawn(|ctx| {
+        ctx.await_eq(Loc(2), Value::Int(7));
+        assert_eq!(ctx.read_causal(Loc(0)), Value::Int(42), "ingested durable write lost");
+    });
+    let second = sys.run().expect("second incarnation");
+    assert_eq!(second.wal.recoveries, 2, "both replicas restart from disk");
+    assert!(second.wal.replayed > 0, "sharded recovery replays the log");
+    assert_eq!(second.incarnation(ProcId(0)), 1);
+    assert_eq!(second.incarnation(ProcId(1)), 1);
+    assert_eq!(second.final_value(ProcId(1), Loc(0)), Value::Int(42));
+
+    // Third incarnation with replica 1's disk wiped: the fresh peer
+    // re-fetches the shards it subscribes to through the per-shard
+    // recovery answers of the reborn node 0.
+    let _ = std::fs::remove_dir_all(dir.join("replica-1"));
+    let mut sys = LiveSystem::new(2, Mode::Causal)
+        .sharding(Some(sc()))
+        .durability(mc_proto::DurabilityPolicy::new(1), &dir);
+    sys.spawn(|ctx| {
+        ctx.write(Loc(3), 1); // shard 1
+    });
+    sys.spawn(|ctx| {
+        ctx.await_eq(Loc(0), Value::Int(42));
+        ctx.await_eq(Loc(2), Value::Int(7));
+    });
+    let third = sys.run().expect("third incarnation");
+    assert_eq!(third.wal.recoveries, 1, "only replica 0 had state on disk");
+    assert_eq!(third.final_value(ProcId(1), Loc(0)), Value::Int(42));
+    assert_eq!(third.final_value(ProcId(1), Loc(2)), Value::Int(7));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn group_commit_amortizes_live_fsyncs() {
+    // Same program, per-write fsync vs group commit: the grouped run
+    // must reach disk in fewer fsync calls — the amortization the
+    // policy exists for. (Append counts vary run to run: consumer-side
+    // ingest records depend on wall-clock batch flush timing.) Reads
+    // and awaits are observation barriers, so nothing externalized is
+    // ever staged when the program acts on it.
+    let run = |gc: bool| {
+        let dir = std::env::temp_dir()
+            .join(format!("mc-live-gc-{}-{}", gc, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sys = LiveSystem::new(2, Mode::Causal)
+            .durability(mc_proto::DurabilityPolicy::new(1024).with_group_commit(gc), &dir)
+            .batching(Some(mc_proto::BatchPolicy::default()));
+        sys.spawn(|ctx| {
+            for i in 0..8i64 {
+                ctx.write(Loc(0), i);
+            }
+            ctx.write(Loc(1), 1);
+        });
+        sys.spawn(|ctx| {
+            ctx.await_eq(Loc(1), Value::Int(1));
+            assert_eq!(ctx.read_causal(Loc(0)), Value::Int(7));
+        });
+        let outcome = sys.run().expect("clean run");
+        let _ = std::fs::remove_dir_all(&dir);
+        outcome
+    };
+    let per_write = run(false);
+    let grouped = run(true);
+    assert!(
+        grouped.wal.fsyncs < per_write.wal.fsyncs,
+        "group commit {} fsyncs vs per-write {}",
+        grouped.wal.fsyncs,
+        per_write.wal.fsyncs
+    );
+}

@@ -298,6 +298,79 @@ impl History {
         }
         s
     }
+
+    /// Projects the history onto one shard of a sharded address space.
+    ///
+    /// Under interest-based partial replication the address space is
+    /// partitioned by `shard(loc) = loc.index() % nshards`, each shard
+    /// carries its own per-shard vector clock, and the consistency
+    /// guarantees of the paper are promised *per shard*: updates to a
+    /// shard flow FIFO/causally among its subscribers, while accesses
+    /// to distinct shards are unordered unless a causal chain through a
+    /// shared shard relates them. The projection keeps exactly the
+    /// operations on locations of `shard` (in program order, with their
+    /// original [`WriteId`]s and recorded reads-from edges) and drops
+    /// everything else, so a model checker run on the projection judges
+    /// the per-shard guarantee.
+    ///
+    /// Synchronization operations (locks and barriers) order accesses
+    /// across the whole address space and therefore have no per-shard
+    /// meaning; the DSM rejects them when sharding is on, and this
+    /// projection drops them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MalformedHistory`] from re-validation; a projection
+    /// of a well-formed history is itself well-formed, so an error here
+    /// indicates a bug in the caller's shard arithmetic (e.g. a
+    /// recorded reads-from edge crossing shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards` is zero or `shard >= nshards`.
+    pub fn project_shard(
+        &self,
+        nshards: usize,
+        shard: usize,
+    ) -> Result<History, MalformedHistory> {
+        assert!(nshards > 0, "nshards must be positive");
+        assert!(shard < nshards, "shard {shard} out of range for {nshards} shards");
+        let in_shard = |loc: Loc| loc.index() % nshards == shard;
+        let mut b = HistoryBuilder::new(self.nprocs);
+        for (&loc, &v) in &self.initial {
+            if in_shard(loc) {
+                b.set_initial(loc, v);
+            }
+        }
+        for p in 0..self.nprocs {
+            for &id in self.proc_ops(ProcId(p as u32)) {
+                let op = &self.ops[id.index()];
+                match &op.kind {
+                    OpKind::Read { loc, label, value, .. } if in_shard(*loc) => {
+                        b.push_read_from(op.proc, *loc, *label, *value, self.reads_from(id));
+                    }
+                    OpKind::Write { loc, value, id: w } if in_shard(*loc) => {
+                        b.push(op.proc, OpKind::Write { loc: *loc, value: *value, id: *w });
+                    }
+                    OpKind::Update { loc, delta, id: w } if in_shard(*loc) => {
+                        b.push(op.proc, OpKind::Update { loc: *loc, delta: *delta, id: *w });
+                    }
+                    OpKind::Await { loc, value, .. } if in_shard(*loc) => {
+                        b.push(
+                            op.proc,
+                            OpKind::Await {
+                                loc: *loc,
+                                value: *value,
+                                writers: self.await_sources(id).to_vec(),
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        b.build()
+    }
 }
 
 /// Incremental builder for [`History`].
@@ -889,6 +962,56 @@ mod tests {
         b.push_write(p(1), Loc(0), Value::Int(5));
         b.push_read(p(0), Loc(0), ReadLabel::Causal, Value::Int(5));
         assert!(matches!(b.build(), Err(MalformedHistory::AmbiguousRead(_))));
+    }
+
+    #[test]
+    fn project_shard_keeps_only_shard_locations() {
+        let mut b = HistoryBuilder::new(2);
+        b.set_initial(Loc(1), Value::Int(9));
+        let (_, w0) = b.push_write(p(0), Loc(0), Value::Int(1)); // shard 0
+        let (_, w1) = b.push_write(p(0), Loc(1), Value::Int(2)); // shard 1
+        let r0 = b.push_read_from(p(1), Loc(0), ReadLabel::Causal, Value::Int(1), w0);
+        b.push_read_from(p(1), Loc(1), ReadLabel::Causal, Value::Int(2), w1);
+        let h = b.build().unwrap();
+
+        let h0 = h.project_shard(2, 0).unwrap();
+        assert_eq!(h0.len(), 2);
+        assert_eq!(h0.nprocs(), 2);
+        // Op ids are renumbered, but write ids and reads-from survive.
+        let r0p = h0
+            .iter()
+            .find(|(_, op)| matches!(op.kind, OpKind::Read { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(h0.reads_from(r0p), w0);
+        assert_eq!(h.reads_from(r0), w0);
+        assert!(h0.iter().all(|(_, op)| op.kind.loc() == Some(Loc(0))));
+
+        let h1 = h.project_shard(2, 1).unwrap();
+        assert_eq!(h1.len(), 2);
+        assert_eq!(h1.initial(Loc(1)), Value::Int(9));
+        assert!(h1.iter().all(|(_, op)| op.kind.loc() == Some(Loc(1))));
+    }
+
+    #[test]
+    fn project_shard_preserves_await_sources() {
+        let mut b = HistoryBuilder::new(2);
+        let (_, w0) = b.push_write(p(0), Loc(2), Value::Int(7)); // shard 0 of 2
+        b.push_write(p(0), Loc(1), Value::Int(3)); // shard 1
+        let a = b.push_await(p(1), Loc(2), Value::Int(7));
+        let h = b.build().unwrap();
+        assert_eq!(h.await_sources(a), &[w0]);
+
+        let h0 = h.project_shard(2, 0).unwrap();
+        let ap = h0
+            .iter()
+            .find(|(_, op)| matches!(op.kind, OpKind::Await { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(h0.await_sources(ap), &[w0]);
+        // The shard-1 projection has the lone write and nothing else.
+        let h1 = h.project_shard(2, 1).unwrap();
+        assert_eq!(h1.len(), 1);
     }
 
     #[test]

@@ -114,6 +114,76 @@ impl BatchPolicy {
     }
 }
 
+/// Sharded interest-based partial replication: the address space is
+/// partitioned into `nshards` shards (`shard(loc) = loc mod nshards`)
+/// and every process declares an *interest set* — the shards it
+/// subscribes to. Updates multicast only to subscribers, and dependency
+/// clocks travel as sparse per-shard entries, so wire clock width is
+/// O(interested replicas) instead of O(cluster). This generalizes the
+/// paper's Section 6 demand-driven variant from lock-protected data to
+/// the whole address space: a replica pulls (subscribes to) exactly the
+/// state it touches instead of receiving every write pushed everywhere.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardConfig {
+    /// Number of address-space shards.
+    pub nshards: usize,
+    /// Per-process interest sets: `interest[p]` lists the shards process
+    /// `p` subscribes to (sorted and deduplicated by the constructor).
+    pub interest: Vec<Vec<usize>>,
+    /// Subscribe-on-first-touch fallback: an access to a shard outside
+    /// the static interest set blocks while the process subscribes
+    /// through the directory, instead of being rejected.
+    pub dynamic: bool,
+}
+
+impl ShardConfig {
+    /// A shard map with explicit per-process interest sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards` is zero or any interest entry names an
+    /// out-of-range shard.
+    pub fn new(nshards: usize, interest: Vec<Vec<usize>>) -> Self {
+        assert!(nshards >= 1, "at least one shard");
+        let interest = interest
+            .into_iter()
+            .map(|mut set| {
+                assert!(
+                    set.iter().all(|&s| s < nshards),
+                    "interest set names a shard >= nshards ({nshards})"
+                );
+                set.sort_unstable();
+                set.dedup();
+                set
+            })
+            .collect();
+        ShardConfig { nshards, interest, dynamic: false }
+    }
+
+    /// Every process interested in every shard (full replication
+    /// expressed through the sharded machinery; useful as a conformance
+    /// baseline).
+    pub fn full(nshards: usize, nprocs: usize) -> Self {
+        ShardConfig::new(nshards, vec![(0..nshards).collect(); nprocs])
+    }
+
+    /// Enables (or disables) the subscribe-on-first-touch fallback.
+    pub fn with_dynamic(mut self, dynamic: bool) -> Self {
+        self.dynamic = dynamic;
+        self
+    }
+
+    /// The shard owning `loc`.
+    pub fn shard_of(&self, loc: mc_model::Loc) -> usize {
+        loc.index() % self.nshards
+    }
+
+    /// Whether process `p` statically subscribes to `shard`.
+    pub fn subscribed(&self, p: mc_model::ProcId, shard: usize) -> bool {
+        self.interest[p.index()].binary_search(&shard).is_ok()
+    }
+}
+
 /// Configuration of a [`Dsm`](crate::Dsm) instance.
 #[derive(Clone, Debug)]
 pub struct DsmConfig {
@@ -165,6 +235,14 @@ pub struct DsmConfig {
     /// [`DsmConfig::with_models`]) and each process's reads follow its
     /// assigned lattice point.
     pub models: Option<mc_model::ModelAssignment>,
+    /// Sharded interest-based partial replication. `None` (the default)
+    /// keeps full replication: every write broadcast to every peer.
+    /// `Some` routes each update only to the subscribers of its shard
+    /// and switches dependency tracking to sparse per-shard clocks.
+    /// Only meaningful on the replicated modes (the SC substrate's
+    /// central server is untouched); locks and barriers are not yet
+    /// supported together with sharding.
+    pub sharding: Option<ShardConfig>,
 }
 
 impl DsmConfig {
@@ -181,7 +259,23 @@ impl DsmConfig {
             locations: 64,
             durability: None,
             models: None,
+            sharding: None,
         }
+    }
+
+    /// Enables (`Some`) or disables (`None`) sharded interest-based
+    /// partial replication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interest table's process count differs from
+    /// `nprocs`.
+    pub fn with_sharding(mut self, sharding: Option<ShardConfig>) -> Self {
+        if let Some(sc) = &sharding {
+            assert_eq!(sc.interest.len(), self.nprocs, "one interest set per process");
+        }
+        self.sharding = sharding;
+        self
     }
 
     /// Assigns a consistency-model lattice point to every process and
@@ -365,6 +459,27 @@ mod tests {
         assert_eq!(c.nnodes(), 5);
         assert_eq!(c.manager_node(), mc_sim::NodeId(4));
         assert_eq!(c.lock_propagation, LockPropagation::DemandDriven);
+    }
+
+    #[test]
+    fn shard_config_normalizes_and_maps() {
+        let sc = ShardConfig::new(4, vec![vec![2, 0, 2], vec![1, 3]]);
+        assert_eq!(sc.interest[0], vec![0, 2], "sorted and deduplicated");
+        assert!(sc.subscribed(mc_model::ProcId(0), 2));
+        assert!(!sc.subscribed(mc_model::ProcId(0), 1));
+        assert_eq!(sc.shard_of(mc_model::Loc(6)), 2);
+        let full = ShardConfig::full(3, 2);
+        assert!((0..3).all(|s| full.subscribed(mc_model::ProcId(1), s)));
+        assert!(!sc.dynamic);
+        assert!(sc.with_dynamic(true).dynamic);
+        let cfg = DsmConfig::new(2, Mode::Causal).with_sharding(Some(ShardConfig::full(3, 2)));
+        assert_eq!(cfg.sharding.as_ref().unwrap().nshards, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one interest set per process")]
+    fn sharding_interest_must_cover_every_process() {
+        let _ = DsmConfig::new(3, Mode::Causal).with_sharding(Some(ShardConfig::full(2, 2)));
     }
 
     #[test]

@@ -47,6 +47,25 @@ struct OutBatch {
     timer_armed: bool,
 }
 
+/// One process's outgoing buffer for a single shard (sharding with
+/// batching enabled). Entries coalesce exactly like [`OutBatch`]; the
+/// chain link `prev` anchors the batch in the writer's per-shard FIFO
+/// chain, and dependencies are the sparse triples of the last member
+/// (per-shard clocks are monotone, so the last member's knowledge
+/// dominates every earlier member's).
+#[derive(Debug, Default)]
+struct ShardOutBatch {
+    /// The writer's own seq in the shard before the first member.
+    prev: u32,
+    /// Last own-write sequence buffered.
+    upto: u32,
+    entries: Vec<BatchEntry>,
+    /// Latest entry index per location (coalescing target).
+    last_idx: HashMap<Loc, usize>,
+    /// Dependency triples of the last buffered write.
+    deps: Vec<(u32, ProcId, u32)>,
+}
+
 /// A memory or synchronization operation submitted by a process.
 #[derive(Clone, Debug)]
 pub enum Req {
@@ -155,6 +174,12 @@ enum Blocked {
     },
     /// Waiting for an SC server RPC response.
     Sc,
+    /// Waiting for a dynamic shard subscription to be acknowledged by
+    /// the directory; the first-touch request retries once it is.
+    Subscribe {
+        shard: u32,
+        retry: Box<Req>,
+    },
 }
 
 /// The complete DSM protocol state.
@@ -192,6 +217,17 @@ pub struct Dsm {
     /// process)` — a duplicated raw [`Msg::RecoverReq`] must not reset
     /// the link (and resend the delta) twice.
     recover_seen: HashMap<(NodeId, ProcId), u32>,
+    /// Per-node multicast routes (sharding only): `shard_routes[i][s]`
+    /// lists the peer processes node `i` knows to subscribe to shard
+    /// `s` (self excluded). Seeded from the static interest sets;
+    /// dynamic joiners are merged in from [`Msg::SubNotify`],
+    /// [`Msg::SubAck`], and recovery answers. Kept sorted so multicast
+    /// order is deterministic under DPOR.
+    shard_routes: Vec<Vec<Vec<ProcId>>>,
+    /// Per-process per-shard outgoing buffers (sharding with batching).
+    /// The per-process flush timer in [`OutBatch::timer_armed`] is
+    /// shared: one firing flushes every shard's buffer.
+    shard_out: Vec<HashMap<u32, ShardOutBatch>>,
 }
 
 impl Dsm {
@@ -207,12 +243,35 @@ impl Dsm {
         }
         let coherent =
             |i: usize| cfg.models.as_ref().is_some_and(|m| m.is_coherent(ProcId(i as u32)));
+        // Sharding binds to the replicated modes only: the SC
+        // substrate's central server holds the one authoritative copy,
+        // so a shard map is accepted but inert there.
+        let sharded = cfg.sharding.clone().filter(|_| cfg.mode.is_replicated());
+        let shard_routes = match &sharded {
+            None => Vec::new(),
+            Some(sc) => (0..n)
+                .map(|i| {
+                    (0..sc.nshards)
+                        .map(|s| {
+                            (0..n as u32)
+                                .map(ProcId)
+                                .filter(|&q| q.index() != i && sc.subscribed(q, s))
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect(),
+        };
         Dsm {
             replicas: (0..n)
                 .map(|i| {
-                    Replica::new(ProcId(i as u32), n)
+                    let r = Replica::new(ProcId(i as u32), n)
                         .with_store_capacity(cfg.locations)
-                        .with_coherent(coherent(i))
+                        .with_coherent(coherent(i));
+                    match &sharded {
+                        Some(sc) => r.with_sharding(sc.nshards, sc.interest[i].clone()),
+                        None => r,
+                    }
                 })
                 .collect(),
             managers: (0..cfg.manager_shards).map(|_| Manager::new(n)).collect(),
@@ -232,8 +291,16 @@ impl Dsm {
             disks: vec![MemDisk::new(); n],
             records_since_snap: vec![0; n],
             recover_seen: HashMap::new(),
+            shard_routes,
+            shard_out: (0..n).map(|_| HashMap::new()).collect(),
             cfg,
         }
+    }
+
+    /// Whether sharded interest-based replication is active (a shard
+    /// map on a replicated mode).
+    fn sharded(&self) -> bool {
+        self.cfg.sharding.is_some() && self.cfg.mode.is_replicated()
     }
 
     /// The session layer (if enabled) — tests and invariant checks.
@@ -286,6 +353,16 @@ impl Dsm {
     /// annotated with their member writes instead (sequence range plus
     /// the coalesced per-location entries).
     fn send(&mut self, net: &mut NetCtx<'_, Msg>, from: NodeId, to: NodeId, msg: Msg) {
+        // Group-commit externalization barrier: no protocol message may
+        // leave a replica node while log records are still staged — a
+        // peer (or, transitively, the program) could otherwise observe
+        // a write that a crash then un-happens. Per-write policies sync
+        // at the write itself; group commit relies on this barrier (and
+        // on [`Dsm::observe_sync`] for local reads) to amortize one
+        // fsync over every record staged since the last.
+        if self.cfg.durability.is_some_and(|d| d.group_commit) && from.index() < self.disks.len() {
+            self.wal_sync(ProcId(from.0), net);
+        }
         let annotation: Option<(&'static str, String)> = if net.tracing() {
             match &msg {
                 Msg::Update { deps: Some(deps), .. } => Some(("vclock", deps.to_string())),
@@ -364,6 +441,12 @@ impl Dsm {
     /// covers records a crash could still drop.
     fn maybe_snapshot(&mut self, p: ProcId, net: &mut NetCtx<'_, Msg>) {
         let Some(policy) = self.cfg.durability else { return };
+        // Snapshots do not capture per-shard clocks, own chains, or
+        // subscriptions: sharded replicas stay log-only, and recovery
+        // replays the full WAL.
+        if self.sharded() {
+            return;
+        }
         if self.records_since_snap[p.index()] < policy.snapshot_every {
             return;
         }
@@ -470,6 +553,10 @@ impl Dsm {
         if self.cfg.batch.is_none() {
             return;
         }
+        if self.sharded() {
+            self.flush_shards(p, net);
+            return;
+        }
         let b = &mut self.out_batches[p.index()];
         if b.entries.is_empty() {
             return;
@@ -502,6 +589,172 @@ impl Dsm {
             if i != from.0 {
                 self.send(net, Self::proc_node(from), NodeId(i), msg.clone());
             }
+        }
+    }
+
+    /// Multicasts a sharded message to the peers node `from` knows to
+    /// subscribe to `shard` — the partial-replication replacement for
+    /// [`Dsm::broadcast_update`].
+    fn multicast_shard(&mut self, net: &mut NetCtx<'_, Msg>, from: ProcId, shard: u32, msg: Msg) {
+        let peers = self.shard_routes[from.index()][shard as usize].clone();
+        for q in peers {
+            self.send(net, Self::proc_node(from), Self::proc_node(q), msg.clone());
+        }
+    }
+
+    /// Records at `node` that `q` subscribes to `shard` (route tables
+    /// never list the node's own process; insertion keeps them sorted
+    /// for deterministic multicast order).
+    fn add_shard_route(&mut self, node: NodeId, shard: u32, q: ProcId) {
+        if q.0 == node.0 {
+            return;
+        }
+        let routes = &mut self.shard_routes[node.index()][shard as usize];
+        if let Err(i) = routes.binary_search(&q) {
+            routes.insert(i, q);
+        }
+    }
+
+    /// Gates a sharded access to `loc` on a subscription to its shard.
+    /// Returns `true` when the access may proceed (not sharded, or
+    /// already subscribed). A first touch outside the interest set
+    /// parks the process on a directory round-trip when the dynamic
+    /// fallback is enabled, and is a program error otherwise.
+    fn shard_gate(
+        &mut self,
+        p: ProcId,
+        node: NodeId,
+        loc: Loc,
+        req: &Req,
+        net: &mut NetCtx<'_, Msg>,
+    ) -> bool {
+        if !self.sharded() {
+            return true;
+        }
+        let (shard, dynamic) = {
+            let sc = self.cfg.sharding.as_ref().expect("sharded");
+            (sc.shard_of(loc), sc.dynamic)
+        };
+        if self.replicas[p.index()].shards().expect("sharded").subscribed(shard) {
+            return true;
+        }
+        assert!(
+            dynamic,
+            "{p} touches {loc} (shard {shard}) outside its interest set \
+             and the dynamic subscribe-on-first-touch fallback is off"
+        );
+        let shard = shard as u32;
+        let mgr = self.manager_node();
+        self.send(net, node, mgr, Msg::SubReq { proc: p, shard });
+        self.blocked[p.index()] = Some(Blocked::Subscribe { shard, retry: Box::new(req.clone()) });
+        false
+    }
+
+    /// Buffers a sharded local write into the process's per-shard
+    /// outgoing batch (sharding with batching), coalescing like
+    /// [`Dsm::buffer_write`] and sharing the per-process flush timer.
+    #[allow(clippy::too_many_arguments)]
+    fn buffer_shard_write(
+        &mut self,
+        p: ProcId,
+        loc: Loc,
+        payload: UpdatePayload,
+        id: WriteId,
+        prev: u32,
+        deps: Vec<(u32, ProcId, u32)>,
+        net: &mut NetCtx<'_, Msg>,
+    ) {
+        let policy = self.cfg.batch.expect("batching enabled");
+        let shard = self.cfg.sharding.as_ref().expect("sharded").shard_of(loc) as u32;
+        // Program order crosses shards: this write's dependency triples
+        // cover the process's own *buffered* writes in other shards, so
+        // two chains buffered concurrently could each require a member
+        // of the other and deadlock every receiver. Ship the other
+        // shards' buffers first — a chain then only references own
+        // writes already on the wire, and coalescing still collapses
+        // runs of same-shard writes (the locality case sharding is
+        // built around).
+        let mut others: Vec<u32> = self.shard_out[p.index()]
+            .iter()
+            .filter(|&(&s, b)| s != shard && !b.entries.is_empty())
+            .map(|(&s, _)| s)
+            .collect();
+        others.sort_unstable();
+        for s in others {
+            self.flush_shard(p, s, net);
+        }
+        if !self.out_batches[p.index()].timer_armed {
+            self.out_batches[p.index()].timer_armed = true;
+            let delay = mc_sim::SimTime::from_micros(policy.max_delay_micros);
+            net.set_timer(Self::proc_node(p), delay, flush_token(p));
+        }
+        let b = self.shard_out[p.index()].entry(shard).or_default();
+        if b.entries.is_empty() {
+            b.prev = prev;
+        }
+        b.upto = id.seq;
+        b.deps = deps;
+        let coalesced = match b.last_idx.get(&loc) {
+            Some(&idx) => {
+                let e = &mut b.entries[idx];
+                match (&mut e.payload, &payload) {
+                    (UpdatePayload::Set(cur), UpdatePayload::Set(v)) => {
+                        *cur = *v;
+                        e.writer = id;
+                        true
+                    }
+                    (UpdatePayload::Add(cur), UpdatePayload::Add(d)) => match cur.checked_add(*d) {
+                        Some(sum) => {
+                            *cur = sum;
+                            e.adds.push(id.seq);
+                            e.writer = id;
+                            true
+                        }
+                        None => false,
+                    },
+                    _ => false,
+                }
+            }
+            None => false,
+        };
+        if !coalesced {
+            let adds = match &payload {
+                UpdatePayload::Add(_) => vec![id.seq],
+                UpdatePayload::Set(_) => Vec::new(),
+            };
+            b.last_idx.insert(loc, b.entries.len());
+            b.entries.push(BatchEntry { loc, payload, writer: id, adds });
+        }
+        if b.entries.len() >= policy.max_updates {
+            self.flush_shard(p, shard, net);
+        }
+    }
+
+    /// Flushes one shard's outgoing buffer to its subscribers.
+    fn flush_shard(&mut self, p: ProcId, shard: u32, net: &mut NetCtx<'_, Msg>) {
+        let Some(b) = self.shard_out[p.index()].get_mut(&shard) else { return };
+        if b.entries.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut b.entries);
+        b.last_idx.clear();
+        let (prev, upto) = (b.prev, b.upto);
+        let deps = std::mem::take(&mut b.deps);
+        let msg = Msg::ShardUpdateBatch { proc: p, shard, prev, upto, entries, deps };
+        self.multicast_shard(net, p, shard, msg);
+    }
+
+    /// Flushes every non-empty per-shard buffer of `p`, in shard order
+    /// (deterministic under DPOR).
+    fn flush_shards(&mut self, p: ProcId, net: &mut NetCtx<'_, Msg>) {
+        let mut shards: Vec<u32> = self.shard_out[p.index()]
+            .iter()
+            .filter(|(_, b)| !b.entries.is_empty())
+            .map(|(&s, _)| s)
+            .collect();
+        shards.sort_unstable();
+        for s in shards {
+            self.flush_shard(p, s, net);
         }
     }
 
@@ -622,6 +875,9 @@ impl Protocol for Dsm {
                     self.blocked[p.index()] = Some(Blocked::Sc);
                     return Poll::Pending;
                 }
+                if !self.shard_gate(p, node, loc, &Req::Read { loc, label }, net) {
+                    return Poll::Pending;
+                }
                 let label = self.effective_label(p, label);
                 match self.read_ready(p, loc, label, net) {
                     Some(resp) => Poll::Ready(resp),
@@ -638,6 +894,7 @@ impl Protocol for Dsm {
                 self.do_write(p, node, loc, UpdatePayload::Add(delta), net)
             }
             Req::Lock { lock, mode } => {
+                assert!(!self.sharded(), "locks are not supported with sharding");
                 assert!(!self.held[p.index()].contains_key(&lock), "{p} re-acquires {lock}");
                 self.send(
                     net,
@@ -673,6 +930,7 @@ impl Protocol for Dsm {
                 }
             }
             Req::Barrier { barrier } => {
+                assert!(!self.sharded(), "barriers are not supported with sharding");
                 let round = {
                     let e = self.barrier_next[p.index()].entry(barrier).or_insert(0);
                     let r = *e;
@@ -697,6 +955,9 @@ impl Protocol for Dsm {
                 if self.cfg.mode == Mode::Sc {
                     self.send(net, node, self.manager_node(), Msg::ScAwait { proc: p, loc, value });
                     self.blocked[p.index()] = Some(Blocked::Sc);
+                    return Poll::Pending;
+                }
+                if !self.shard_gate(p, node, loc, &Req::Await { loc, value }, net) {
                     return Poll::Pending;
                 }
                 match self.await_ready(p, loc, value, net) {
@@ -815,6 +1076,13 @@ impl Protocol for Dsm {
             }
             None => Replica::new(p, self.cfg.nprocs).with_store_capacity(self.cfg.locations),
         };
+        // Sharded replicas are log-only (no snapshots): rebuild with the
+        // static interest set, then let WAL replay re-mint own writes,
+        // re-ingest remote chains, and restore dynamic subscriptions.
+        let fresh = match self.cfg.sharding.as_ref().filter(|_| self.cfg.mode.is_replicated()) {
+            Some(sc) => fresh.with_sharding(sc.nshards, sc.interest[i].clone()),
+            None => fresh,
+        };
         let old = std::mem::replace(&mut self.replicas[i], fresh);
         let (records, tail) = decode_wal(&log_bytes);
         debug_assert!(
@@ -855,10 +1123,29 @@ impl Protocol for Dsm {
             s.forget_node_links(node);
         }
         self.out_batches[i] = OutBatch::default();
+        self.shard_out[i].clear();
         self.link_clock_out.retain(|&(f, _), _| f != node);
         self.link_clock_in.retain(|&(_, t), _| t != node);
         // Fetch the missing delta: a raw (never sessioned) request to
-        // every peer replica with the rebuilt applied vector.
+        // every peer replica. Sharded recovery ships the per-shard
+        // applied summary instead of the global vector — peers answer
+        // only for the shards they share, so the reborn replica
+        // re-fetches exactly its subscribed state.
+        if self.sharded() {
+            let summary = self.replicas[i].shards().expect("sharded").applied_summary();
+            for j in 0..self.cfg.nprocs as u32 {
+                if j == node.0 {
+                    continue;
+                }
+                let msg = Msg::ShardRecoverReq {
+                    proc: p,
+                    incarnation: inc,
+                    applied: summary.clone(),
+                };
+                net.send(node, NodeId(j), msg.kind(), msg.wire_bytes(), msg);
+            }
+            return;
+        }
         let applied = self.replicas[i].applied.clone();
         for j in 0..self.cfg.nprocs as u32 {
             if j == node.0 {
@@ -896,6 +1183,7 @@ impl Dsm {
                 Msg::ScRead { proc, loc } => manager.sc_read(proc, loc),
                 Msg::ScWrite { writer, loc, payload } => manager.sc_write(writer, loc, payload),
                 Msg::ScAwait { proc, loc, value } => manager.sc_await(proc, loc, value),
+                Msg::SubReq { proc, shard } => manager.sub_req(proc, shard, &self.cfg),
                 other => panic!("manager received unexpected {other:?}"),
             };
             self.deliver_outbox(net, to, out);
@@ -1125,6 +1413,210 @@ impl Dsm {
             Msg::ScAwaitResp { value, writers } => {
                 self.sc_resp[i] = Some(Resp::Awaited { value, writers });
             }
+            Msg::ShardUpdate { writer, loc, payload, prev, deps } => {
+                let p = ProcId(to.0);
+                let shard = self.replicas[i].shards().expect("sharded").shard_of(loc);
+                // Recovery ghost: content already on disk (or covered by
+                // a ShardRecoverResp) — skip the re-log and re-apply.
+                if self.cfg.durability.is_some() {
+                    let have =
+                        self.replicas[i].shards().expect("sharded").applied(shard).get(writer.proc);
+                    if writer.seq <= have {
+                        return;
+                    }
+                    let rec = WalRecord::IngestSharded {
+                        writer,
+                        loc,
+                        payload: payload.clone(),
+                        prev,
+                        deps: deps.clone(),
+                    };
+                    self.wal_append(p, &rec, net);
+                }
+                self.replicas[i].ingest_sharded(writer, loc, payload, prev, deps, self.cfg.mode);
+            }
+            Msg::ShardUpdateBatch { proc, shard, prev, upto, entries, deps } => {
+                let p = ProcId(to.0);
+                if self.cfg.durability.is_some() {
+                    let have =
+                        self.replicas[i].shards().expect("sharded").applied(shard as usize).get(proc);
+                    if upto <= have {
+                        return;
+                    }
+                    let rec = WalRecord::IngestShardChain {
+                        proc,
+                        shard,
+                        prev,
+                        upto,
+                        entries: entries.clone(),
+                        deps: deps.clone(),
+                        trim: false,
+                    };
+                    self.wal_append(p, &rec, net);
+                }
+                self.replicas[i].ingest_shard_chain(
+                    proc,
+                    shard,
+                    prev,
+                    upto,
+                    entries,
+                    deps,
+                    self.cfg.mode,
+                    false,
+                );
+            }
+            Msg::SubAck { shard, subs } => {
+                let p = ProcId(to.0);
+                // Persist the subscription before any access can depend
+                // on it: replay must filter dependency triples with the
+                // same interest set the replica had live.
+                if self.replicas[i].shard_subscribe(shard as usize)
+                    && self.cfg.durability.is_some()
+                {
+                    let rec = WalRecord::Subscribe { shard };
+                    self.wal_append(p, &rec, net);
+                    self.wal_sync(p, net);
+                }
+                for q in subs {
+                    self.add_shard_route(to, shard, q);
+                }
+                // The first-touch request retries via poll_blocked.
+            }
+            Msg::SubNotify { shard, proc } => {
+                // A new subscriber joined: route future updates to it
+                // and push our own write suffix for the shard directly,
+                // so the join window closes without third-party state.
+                // One update per write — an atomic chain can deadlock
+                // against another parked chain whose dependency triples
+                // point back into this shard.
+                self.add_shard_route(to, shard, proc);
+                for (writer, loc, payload, prev, deps) in
+                    self.replicas[i].shard_updates_after(&[(shard, 0)])
+                {
+                    let msg = Msg::ShardUpdate { writer, loc, payload, prev, deps };
+                    self.send(net, to, Self::proc_node(proc), msg);
+                }
+            }
+            Msg::ShardRecoverReq { proc: reborn, incarnation, applied } => {
+                debug_assert_eq!(Self::proc_node(reborn), from, "requests come from the reborn");
+                let handled = self.recover_seen.entry((to, reborn)).or_insert(0);
+                if incarnation <= *handled {
+                    return;
+                }
+                *handled = incarnation;
+                let p = ProcId(to.0);
+                // Buffered shard batches are already in our durable own
+                // chains; flush so the recovery delta covers them.
+                self.flush_updates(p, net);
+                // Reset the session link toward the reborn node,
+                // dropping sharded update-class payloads: their content
+                // travels in the per-shard answers below.
+                if let Some(s) = &mut self.session {
+                    let wire = s.reset_sender_with(to, from, |m| {
+                        !matches!(
+                            m,
+                            Msg::ShardUpdate { .. }
+                                | Msg::ShardUpdateBatch { .. }
+                                | Msg::ShardRecoverResp { .. }
+                        )
+                    });
+                    let resend = !wire.is_empty();
+                    for m in wire {
+                        net.send(to, from, "retransmit", m.wire_bytes(), m);
+                    }
+                    if resend {
+                        let tx = s.sender(to, from);
+                        if !tx.timer_armed {
+                            tx.timer_armed = true;
+                            let rto = tx.rto();
+                            net.set_timer(to, rto, session::link_token(to, from));
+                        }
+                    }
+                }
+                // Answer once per shard we share. The triples' shard ids
+                // double as the reborn's subscription set (zeros kept),
+                // so this also re-learns a dynamic subscriber's routes.
+                // Each answer carries only the watermark metadata (the
+                // push-back trigger); the write suffix itself follows as
+                // individual ShardUpdates interleaved across shards in
+                // global sequence order — per-shard atomic chains with
+                // mutual cross-shard triples would park against each
+                // other forever on a reborn replica that lost both.
+                let mut shards: Vec<u32> = applied.iter().map(|&(s, _, _)| s).collect();
+                shards.dedup();
+                let mut wants = Vec::new();
+                for s in shards {
+                    if !self.replicas[i].shards().expect("sharded").subscribed(s as usize) {
+                        continue;
+                    }
+                    self.add_shard_route(to, s, reborn);
+                    let after = applied
+                        .iter()
+                        .find(|&&(ds, q, _)| ds == s && q == p)
+                        .map_or(0, |&(_, _, c)| c);
+                    let seen =
+                        self.replicas[i].shards().expect("sharded").applied(s as usize).get(reborn);
+                    let msg = Msg::ShardRecoverResp {
+                        proc: p,
+                        shard: s,
+                        prev: after,
+                        upto: after,
+                        entries: Vec::new(),
+                        deps: Vec::new(),
+                        seen,
+                    };
+                    self.send(net, to, from, msg);
+                    wants.push((s, after));
+                }
+                for (writer, loc, payload, prev, deps) in
+                    self.replicas[i].shard_updates_after(&wants)
+                {
+                    let msg = Msg::ShardUpdate { writer, loc, payload, prev, deps };
+                    self.send(net, to, from, msg);
+                }
+            }
+            Msg::ShardRecoverResp { proc, shard, prev, upto, entries, deps, seen } => {
+                let p = ProcId(to.0);
+                // The responder subscribes to the shard, or it would not
+                // answer for it — merge the route (recovery re-learning,
+                // and the join-backfill path where it is already known).
+                self.add_shard_route(to, shard, proc);
+                let have =
+                    self.replicas[i].shards().expect("sharded").applied(shard as usize).get(proc);
+                if upto > have {
+                    if self.cfg.durability.is_some() {
+                        let rec = WalRecord::IngestShardChain {
+                            proc,
+                            shard,
+                            prev,
+                            upto,
+                            entries: entries.clone(),
+                            deps: deps.clone(),
+                            trim: true,
+                        };
+                        self.wal_append(p, &rec, net);
+                    }
+                    self.replicas[i].ingest_shard_chain(
+                        proc,
+                        shard,
+                        prev,
+                        upto,
+                        entries,
+                        deps,
+                        self.cfg.mode,
+                        true,
+                    );
+                }
+                // Push back our own suffix the responder has not seen,
+                // one update per write for the same acyclicity reason
+                // as the recovery answers themselves.
+                for (writer, loc, payload, prev, deps) in
+                    self.replicas[i].shard_updates_after(&[(shard, seen)])
+                {
+                    let msg = Msg::ShardUpdate { writer, loc, payload, prev, deps };
+                    self.send(net, to, Self::proc_node(proc), msg);
+                }
+            }
             other => {
                 let _ = from;
                 panic!("replica received unexpected {other:?}")
@@ -1195,6 +1687,65 @@ impl Dsm {
                     }
                 }
             }
+            Blocked::Subscribe { shard, retry } => {
+                let subbed = self.replicas[i]
+                    .shards()
+                    .is_some_and(|st| st.subscribed(shard as usize));
+                if !subbed {
+                    None
+                } else {
+                    // Subscribed: retry the stashed first-touch request.
+                    // The retry may park again on its own account (an
+                    // await, a not-yet-ready read) — it cannot re-enter
+                    // the subscribe gate for this shard.
+                    self.blocked[i] = None;
+                    match *retry {
+                        Req::Read { loc, label } => {
+                            let label = self.effective_label(p, label);
+                            match self.read_ready(p, loc, label, net) {
+                                Some(r) => Some(r),
+                                None => {
+                                    self.blocked[i] = Some(Blocked::Read { loc, label });
+                                    None
+                                }
+                            }
+                        }
+                        Req::Write { loc, value } => {
+                            match self.do_write(
+                                p,
+                                Self::proc_node(p),
+                                loc,
+                                UpdatePayload::Set(value),
+                                net,
+                            ) {
+                                Poll::Ready(r) => Some(r),
+                                Poll::Pending => None,
+                            }
+                        }
+                        Req::Update { loc, delta } => {
+                            match self.do_write(
+                                p,
+                                Self::proc_node(p),
+                                loc,
+                                UpdatePayload::Add(delta),
+                                net,
+                            ) {
+                                Poll::Ready(r) => Some(r),
+                                Poll::Pending => None,
+                            }
+                        }
+                        Req::Await { loc, value } => match self.await_ready(p, loc, value, net) {
+                            Some(r) => Some(r),
+                            None => {
+                                self.flush_updates(p, net);
+                                self.blocked[i] = Some(Blocked::Await { loc, value });
+                                None
+                            }
+                        },
+                        other => unreachable!("subscribe gate stashed {other:?}"),
+                    }
+                }
+            }
         };
         if resp.is_some() {
             self.blocked[i] = None;
@@ -1221,13 +1772,29 @@ impl Dsm {
             self.blocked[p.index()] = Some(Blocked::Sc);
             return Poll::Pending;
         }
+        if self.sharded() {
+            let req = match payload {
+                UpdatePayload::Set(value) => Req::Write { loc, value },
+                UpdatePayload::Add(delta) => Req::Update { loc, delta },
+            };
+            if !self.shard_gate(p, node, loc, &req, net) {
+                return Poll::Pending;
+            }
+            return self.do_sharded_write(p, loc, payload, net);
+        }
         let (id, deps) = self.replicas[p.index()].local_write(loc, payload.clone(), &self.cfg);
-        if self.cfg.durability.is_some() {
-            // Append-before-ack: the write's log record is durable
-            // before `Wrote` reaches the program (or any peer).
+        if let Some(policy) = self.cfg.durability {
+            // Append-before-ack: the write's log record is staged
+            // before `Wrote` reaches the program. Per-write policies
+            // fsync here; group commit defers to the next outgoing
+            // message ([`Dsm::send`]) or observation
+            // ([`Dsm::observe_sync`]), amortizing one sync over every
+            // record staged since the last.
             let rec = WalRecord::OwnWrite { loc, payload: payload.clone(), deps: deps.clone() };
             self.wal_append(p, &rec, net);
-            self.wal_sync(p, net);
+            if !policy.group_commit {
+                self.wal_sync(p, net);
+            }
             self.maybe_snapshot(p, net);
         }
         if self.cfg.batch.is_some() {
@@ -1238,6 +1805,35 @@ impl Dsm {
         }
         // The local apply may satisfy pending flush probes.
         self.drain_flush_waiters(node, net);
+        Poll::Ready(Resp::Wrote { id })
+    }
+
+    /// The sharded write path: mint through the per-shard chain, log,
+    /// and multicast (or buffer) to the shard's subscribers only.
+    fn do_sharded_write(
+        &mut self,
+        p: ProcId,
+        loc: Loc,
+        payload: UpdatePayload,
+        net: &mut NetCtx<'_, Msg>,
+    ) -> Poll<Resp> {
+        let (id, prev, deps) =
+            self.replicas[p.index()].sharded_write(loc, payload.clone(), &self.cfg);
+        if let Some(policy) = self.cfg.durability {
+            let rec =
+                WalRecord::OwnWriteSharded { loc, payload: payload.clone(), deps: deps.clone() };
+            self.wal_append(p, &rec, net);
+            if !policy.group_commit {
+                self.wal_sync(p, net);
+            }
+        }
+        if self.cfg.batch.is_some() {
+            self.buffer_shard_write(p, loc, payload, id, prev, deps, net);
+        } else {
+            let shard = self.cfg.sharding.as_ref().expect("sharded").shard_of(loc) as u32;
+            let msg = Msg::ShardUpdate { writer: id, loc, payload, prev, deps };
+            self.multicast_shard(net, p, shard, msg);
+        }
         Poll::Ready(Resp::Wrote { id })
     }
 }
@@ -1273,6 +1869,100 @@ mod tests {
 
     fn barrier(ctx: &mut mc_sim::ProcCtx<Dsm>) {
         ctx.request(Req::Barrier { barrier: BarrierId(0) });
+    }
+
+    #[test]
+    fn sharded_producer_consumer_await() {
+        use crate::config::ShardConfig;
+        for mode in [Mode::Pram, Mode::Causal, Mode::Mixed] {
+            // Locs 0 and 1 land in shards 0 and 1; both procs subscribe
+            // to both, the third proc to neither.
+            let sc = ShardConfig::new(2, vec![vec![0, 1], vec![0, 1], vec![]]);
+            let cfg = DsmConfig::new(3, mode).with_sharding(Some(sc));
+            let mut k = kernel_cfg(cfg, 11);
+            let seen = Arc::new(Mutex::new(Value::Int(-1)));
+            let seen2 = seen.clone();
+            k.spawn(NodeId(0), |ctx| {
+                write(ctx, 0, 42);
+                write(ctx, 1, 1);
+            });
+            k.spawn(NodeId(1), move |ctx| {
+                ctx.request(Req::Await { loc: Loc(1), value: Value::Int(1) });
+                *seen2.lock().unwrap() = read(ctx, 0, ReadLabel::Causal);
+            });
+            let report = k.run().unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert_eq!(*seen.lock().unwrap(), Value::Int(42), "{mode}");
+            // The uninterested third replica received nothing.
+            assert!(report.metrics.messages > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_updates_reach_only_subscribers() {
+        let sc = crate::config::ShardConfig::new(2, vec![vec![0], vec![0], vec![1]]);
+        let cfg = DsmConfig::new(3, Mode::Causal).with_sharding(Some(sc));
+        let mut k = kernel_cfg(cfg, 3);
+        k.spawn(NodeId(0), |ctx| {
+            write(ctx, 0, 7); // shard 0: subscriber set {p0, p1}
+        });
+        k.spawn(NodeId(1), |ctx| {
+            ctx.request(Req::Await { loc: Loc(0), value: Value::Int(7) });
+        });
+        k.spawn(NodeId(2), |_ctx| {});
+        let report = k.run().unwrap();
+        let dsm = &report.protocol;
+        assert_eq!(dsm.replica(ProcId(1)).value(Loc(0)), Value::Int(7));
+        // p2 subscribes only to shard 1: the write never reached it.
+        assert_eq!(dsm.replica(ProcId(2)).value(Loc(0)), Value::INITIAL);
+        assert_eq!(dsm.replica(ProcId(2)).applied[ProcId(0)], 0);
+    }
+
+    #[test]
+    fn dynamic_subscribe_on_first_touch() {
+        let sc = crate::config::ShardConfig::new(2, vec![vec![0, 1], vec![0, 1], vec![0]])
+            .with_dynamic(true);
+        let cfg = DsmConfig::new(3, Mode::Causal).with_sharding(Some(sc));
+        let mut k = kernel_cfg(cfg, 5);
+        let got = Arc::new(Mutex::new(Value::Int(-1)));
+        let got2 = got.clone();
+        k.spawn(NodeId(0), |ctx| {
+            write(ctx, 1, 9); // shard 1
+            write(ctx, 0, 1); // shard 0 flag
+        });
+        k.spawn(NodeId(1), |_ctx| {});
+        k.spawn(NodeId(2), move |ctx| {
+            // p2 statically subscribes only to shard 0; the read of loc 1
+            // first-touches shard 1, subscribes through the directory,
+            // and the backfill push delivers p0's write.
+            ctx.request(Req::Await { loc: Loc(0), value: Value::Int(1) });
+            ctx.request(Req::Await { loc: Loc(1), value: Value::Int(9) });
+            *got2.lock().unwrap() = read(ctx, 1, ReadLabel::Causal);
+        });
+        let report = k.run().unwrap();
+        assert_eq!(*got.lock().unwrap(), Value::Int(9));
+        assert!(report.protocol.replica(ProcId(2)).shards().unwrap().subscribed(1));
+    }
+
+    #[test]
+    fn sharded_batching_coalesces_per_shard() {
+        let sc = crate::config::ShardConfig::full(2, 2);
+        let cfg = DsmConfig::new(2, Mode::Causal)
+            .with_sharding(Some(sc))
+            .with_batching(Some(crate::config::BatchPolicy::default()));
+        let mut k = kernel_cfg(cfg, 9);
+        k.spawn(NodeId(0), |ctx| {
+            for i in 0..8 {
+                write(ctx, i % 4, i as i64); // shards 0 and 1 interleaved
+            }
+            write(ctx, 5, 99); // flag in shard 1
+        });
+        k.spawn(NodeId(1), |ctx| {
+            ctx.request(Req::Await { loc: Loc(5), value: Value::Int(99) });
+        });
+        let report = k.run().unwrap();
+        assert_eq!(report.protocol.replica(ProcId(1)).value(Loc(5)), Value::Int(99));
+        let batches = report.metrics.kind("shard_update_batch").count;
+        assert!(batches > 0, "sharded batching sends shard_update_batch frames");
     }
 
     #[test]

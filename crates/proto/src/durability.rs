@@ -73,14 +73,15 @@ pub struct DurabilityPolicy {
     /// Additionally compact on this wall-clock cadence (live only; the
     /// simulator's notion of time is logical, so it compacts by count).
     pub snapshot_interval_micros: u64,
-    /// Group commit (live only): own-write records are *staged* on
-    /// append and the fsync is deferred to the next outgoing protocol
-    /// send, batching many appends into one sync. The acked-write
-    /// discipline weakens from "durable before the write returns" to
-    /// "durable before any peer can observe it" — a crash can lose the
-    /// tail of purely-local writes, but never a write another process
-    /// acted on. Pairs naturally with update batching, which defers the
-    /// sends themselves.
+    /// Group commit: own-write records are *staged* on append and the
+    /// fsync is deferred to the next externalization point — an
+    /// outgoing protocol send, or a local read/await returning — so
+    /// many appends share one sync. The acked-write discipline weakens
+    /// from "durable before the write returns" to "durable before
+    /// anything can observe it": a crash can lose the tail of
+    /// purely-local unobserved writes, but never a write another
+    /// process (or a local read) acted on. Pairs naturally with update
+    /// batching, which defers the sends themselves.
     pub group_commit: bool,
 }
 
@@ -158,6 +159,53 @@ pub enum WalRecord {
     Incarnation {
         /// The new incarnation.
         incarnation: u32,
+    },
+    /// A local write in sharded mode (chain link recomputed at replay).
+    OwnWriteSharded {
+        /// Location written.
+        loc: Loc,
+        /// Overwrite or increment.
+        payload: UpdatePayload,
+        /// Sparse `(shard, proc, seq)` dependency triples.
+        deps: Vec<(u32, ProcId, u32)>,
+    },
+    /// A remote sharded singleton update as ingested.
+    IngestSharded {
+        /// Identity of the remote write.
+        writer: WriteId,
+        /// Location written.
+        loc: Loc,
+        /// Overwrite or increment.
+        payload: UpdatePayload,
+        /// The writer's previous own seq in the target shard.
+        prev: u32,
+        /// Sparse `(shard, proc, seq)` dependency triples.
+        deps: Vec<(u32, ProcId, u32)>,
+    },
+    /// A remote sharded chain (coalesced batch, recovery delta, or
+    /// subscription backfill) as ingested.
+    IngestShardChain {
+        /// The writing process.
+        proc: ProcId,
+        /// The shard the chain lives in.
+        shard: u32,
+        /// Chain link before the first member.
+        prev: u32,
+        /// Last member's global seq.
+        upto: u32,
+        /// Chain entries (coalesced or one-per-write).
+        entries: Vec<BatchEntry>,
+        /// Dependency triples of the last member.
+        deps: Vec<(u32, ProcId, u32)>,
+        /// Whether the already-applied prefix may be trimmed at replay
+        /// (uncoalesced recovery/backfill chains only).
+        trim: bool,
+    },
+    /// A dynamic shard subscription, persisted so replay filters
+    /// dependency triples with the same interest set it had live.
+    Subscribe {
+        /// The newly subscribed shard.
+        shard: u32,
     },
 }
 
@@ -254,6 +302,15 @@ fn put_opt_clock(b: &mut Vec<u8>, c: &Option<VClock>) {
     }
 }
 
+fn put_triples(b: &mut Vec<u8>, t: &[(u32, ProcId, u32)]) {
+    put_u32(b, t.len() as u32);
+    for &(s, q, c) in t {
+        put_u32(b, s);
+        put_u32(b, q.0);
+        put_u32(b, c);
+    }
+}
+
 fn put_entry(b: &mut Vec<u8>, e: &BatchEntry) {
     put_u32(b, e.loc.0);
     put_payload(b, &e.payload);
@@ -279,6 +336,14 @@ impl<'a> Rd<'a> {
 
     fn done(&self) -> bool {
         self.i == self.b.len()
+    }
+
+    /// Bytes left in the buffer. Every element-count read from the wire
+    /// is clamped against this before any allocation or loop, so a
+    /// corrupted length field near `u32::MAX` fails the decode instead
+    /// of attempting a huge reservation.
+    fn remaining(&self) -> usize {
+        self.b.len() - self.i
     }
 
     fn take(&mut self, n: usize) -> Option<&'a [u8]> {
@@ -331,7 +396,7 @@ impl<'a> Rd<'a> {
     fn clock(&mut self) -> Option<VClock> {
         let len = self.u32()? as usize;
         // A clock component is 4 bytes; refuse lengths the buffer cannot hold.
-        if len > self.b.len().saturating_sub(self.i) / 4 {
+        if len > self.remaining() / 4 {
             return None;
         }
         let mut c = VClock::new(len);
@@ -354,7 +419,7 @@ impl<'a> Rd<'a> {
         let payload = self.payload()?;
         let writer = self.writer()?;
         let n = self.u32()? as usize;
-        if n > self.b.len().saturating_sub(self.i) / 4 {
+        if n > self.remaining() / 4 {
             return None;
         }
         let mut adds = Vec::with_capacity(n);
@@ -362,6 +427,19 @@ impl<'a> Rd<'a> {
             adds.push(self.u32()?);
         }
         Some(BatchEntry { loc, payload, writer, adds })
+    }
+
+    fn triples(&mut self) -> Option<Vec<(u32, ProcId, u32)>> {
+        let n = self.u32()? as usize;
+        // A triple is 12 bytes on the wire.
+        if n > self.remaining() / 12 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push((self.u32()?, ProcId(self.u32()?), self.u32()?));
+        }
+        Some(out)
     }
 }
 
@@ -373,6 +451,10 @@ const TAG_OWN_WRITE: u8 = 1;
 const TAG_INGEST: u8 = 2;
 const TAG_INGEST_BATCH: u8 = 3;
 const TAG_INCARNATION: u8 = 4;
+const TAG_OWN_WRITE_SHARDED: u8 = 5;
+const TAG_INGEST_SHARDED: u8 = 6;
+const TAG_INGEST_SHARD_CHAIN: u8 = 7;
+const TAG_SUBSCRIBE: u8 = 8;
 
 impl WalRecord {
     /// Encodes the record body (tag + fields, little-endian, no frame).
@@ -406,6 +488,37 @@ impl WalRecord {
             WalRecord::Incarnation { incarnation } => {
                 b.push(TAG_INCARNATION);
                 put_u32(&mut b, *incarnation);
+            }
+            WalRecord::OwnWriteSharded { loc, payload, deps } => {
+                b.push(TAG_OWN_WRITE_SHARDED);
+                put_u32(&mut b, loc.0);
+                put_payload(&mut b, payload);
+                put_triples(&mut b, deps);
+            }
+            WalRecord::IngestSharded { writer, loc, payload, prev, deps } => {
+                b.push(TAG_INGEST_SHARDED);
+                put_writer(&mut b, *writer);
+                put_u32(&mut b, loc.0);
+                put_payload(&mut b, payload);
+                put_u32(&mut b, *prev);
+                put_triples(&mut b, deps);
+            }
+            WalRecord::IngestShardChain { proc, shard, prev, upto, entries, deps, trim } => {
+                b.push(TAG_INGEST_SHARD_CHAIN);
+                put_u32(&mut b, proc.0);
+                put_u32(&mut b, *shard);
+                put_u32(&mut b, *prev);
+                put_u32(&mut b, *upto);
+                put_u32(&mut b, entries.len() as u32);
+                for e in entries {
+                    put_entry(&mut b, e);
+                }
+                put_triples(&mut b, deps);
+                b.push(*trim as u8);
+            }
+            WalRecord::Subscribe { shard } => {
+                b.push(TAG_SUBSCRIBE);
+                put_u32(&mut b, *shard);
             }
         }
         b
@@ -443,7 +556,9 @@ impl WalRecord {
                 let first_seq = r.u32()?;
                 let upto = r.u32()?;
                 let n = r.u32()? as usize;
-                if n > body.len() {
+                // An entry is at least 17 bytes (loc + payload + writer
+                // + adds count); clamp loosely to the remaining buffer.
+                if n > r.remaining() / 17 {
                     return None;
                 }
                 let mut entries = Vec::with_capacity(n);
@@ -454,6 +569,42 @@ impl WalRecord {
                 WalRecord::IngestBatch { proc, first_seq, upto, entries, deps }
             }
             TAG_INCARNATION => WalRecord::Incarnation { incarnation: r.u32()? },
+            TAG_OWN_WRITE_SHARDED => {
+                let loc = Loc(r.u32()?);
+                let payload = r.payload()?;
+                let deps = r.triples()?;
+                WalRecord::OwnWriteSharded { loc, payload, deps }
+            }
+            TAG_INGEST_SHARDED => {
+                let writer = r.writer()?;
+                let loc = Loc(r.u32()?);
+                let payload = r.payload()?;
+                let prev = r.u32()?;
+                let deps = r.triples()?;
+                WalRecord::IngestSharded { writer, loc, payload, prev, deps }
+            }
+            TAG_INGEST_SHARD_CHAIN => {
+                let proc = ProcId(r.u32()?);
+                let shard = r.u32()?;
+                let prev = r.u32()?;
+                let upto = r.u32()?;
+                let n = r.u32()? as usize;
+                if n > r.remaining() / 17 {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(r.entry()?);
+                }
+                let deps = r.triples()?;
+                let trim = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                WalRecord::IngestShardChain { proc, shard, prev, upto, entries, deps, trim }
+            }
+            TAG_SUBSCRIBE => WalRecord::Subscribe { shard: r.u32()? },
             _ => return None,
         };
         if !r.done() {
@@ -699,8 +850,15 @@ impl Snapshot {
         let mut r = Rd::new(body);
         let incarnation = r.u32()?;
         let applied = r.clock()?;
+        // Every element count below is clamped to what the remaining
+        // buffer could possibly hold (divided by the element's minimum
+        // wire size) before reserving or looping, so a corrupted count
+        // near u32::MAX fails cleanly instead of allocating.
         let n = r.u32()? as usize;
-        let mut store = Vec::new();
+        if n > r.remaining() / 14 {
+            return None;
+        }
+        let mut store = Vec::with_capacity(n);
         for _ in 0..n {
             let loc = Loc(r.u32()?);
             let v = r.value()?;
@@ -712,11 +870,14 @@ impl Snapshot {
             store.push((loc, v, w));
         }
         let n = r.u32()? as usize;
-        let mut counter_updates = Vec::new();
+        if n > r.remaining() / 8 {
+            return None;
+        }
+        let mut counter_updates = Vec::with_capacity(n);
         for _ in 0..n {
             let loc = Loc(r.u32()?);
             let m = r.u32()? as usize;
-            if m > body.len() {
+            if m > r.remaining() / 8 {
                 return None;
             }
             let mut ws = Vec::with_capacity(m);
@@ -726,12 +887,18 @@ impl Snapshot {
             counter_updates.push((loc, ws));
         }
         let n = r.u32()? as usize;
-        let mut write_log = Vec::new();
+        if n > r.remaining() / 8 {
+            return None;
+        }
+        let mut write_log = Vec::with_capacity(n);
         for _ in 0..n {
             write_log.push((Loc(r.u32()?), r.u32()?));
         }
         let n = r.u32()? as usize;
-        let mut own_updates = Vec::new();
+        if n > r.remaining() / 19 {
+            return None;
+        }
+        let mut own_updates = Vec::with_capacity(n);
         for _ in 0..n {
             own_updates.push(OwnUpdate {
                 seq: r.u32()?,
@@ -741,7 +908,10 @@ impl Snapshot {
             });
         }
         let n = r.u32()? as usize;
-        let mut pending = Vec::new();
+        if n > r.remaining() / 26 {
+            return None;
+        }
+        let mut pending = Vec::with_capacity(n);
         for _ in 0..n {
             pending.push(SnapPending {
                 writer: r.writer()?,
@@ -751,13 +921,16 @@ impl Snapshot {
             });
         }
         let n = r.u32()? as usize;
-        let mut pending_batches = Vec::new();
+        if n > r.remaining() / 20 {
+            return None;
+        }
+        let mut pending_batches = Vec::with_capacity(n);
         for _ in 0..n {
             let proc = ProcId(r.u32()?);
             let first_seq = r.u32()?;
             let upto = r.u32()?;
             let m = r.u32()? as usize;
-            if m > body.len() {
+            if m > r.remaining() / 17 {
                 return None;
             }
             let mut entries = Vec::with_capacity(m);
@@ -768,7 +941,10 @@ impl Snapshot {
             pending_batches.push(SnapBatch { proc, first_seq, upto, entries, deps });
         }
         let n = r.u32()? as usize;
-        let mut watermarks = Vec::new();
+        if n > r.remaining() / 12 {
+            return None;
+        }
+        let mut watermarks = Vec::with_capacity(n);
         for _ in 0..n {
             watermarks.push((ProcId(r.u32()?), r.u64()?));
         }
@@ -1026,6 +1202,33 @@ mod tests {
                 }],
                 deps: Some(deps),
             },
+            WalRecord::OwnWriteSharded {
+                loc: Loc(6),
+                payload: UpdatePayload::Set(Value::Int(11)),
+                deps: vec![(0, p(1), 2), (2, p(0), 5)],
+            },
+            WalRecord::IngestSharded {
+                writer: WriteId::new(p(1), 4),
+                loc: Loc(3),
+                payload: UpdatePayload::Add(Value::Int(1)),
+                prev: 2,
+                deps: vec![(1, p(0), 3)],
+            },
+            WalRecord::IngestShardChain {
+                proc: p(0),
+                shard: 1,
+                prev: 0,
+                upto: 5,
+                entries: vec![BatchEntry {
+                    loc: Loc(5),
+                    payload: UpdatePayload::Set(Value::Bool(false)),
+                    writer: WriteId::new(p(0), 5),
+                    adds: vec![],
+                }],
+                deps: vec![],
+                trim: true,
+            },
+            WalRecord::Subscribe { shard: 3 },
         ]
     }
 

@@ -34,12 +34,13 @@ pub mod msg;
 pub mod replica;
 pub mod session;
 
-pub use config::{BatchPolicy, DsmConfig, LockPropagation, Mode};
+pub use config::{BatchPolicy, DsmConfig, LockPropagation, Mode, ShardConfig};
 pub use dsm::{Dsm, Req, Resp};
 pub use durability::{
-    decode_wal, DurabilityPolicy, FileDisk, MemDisk, Snapshot, SnapshotError, WalRecord, WalTail,
+    crc32, decode_wal, DurabilityPolicy, FileDisk, MemDisk, Snapshot, SnapshotError, WalRecord,
+    WalTail,
 };
 pub use manager::Manager;
 pub use msg::{BatchEntry, GrantInfo, Msg, UpdatePayload};
-pub use replica::Replica;
+pub use replica::{Replica, ShardState};
 pub use session::{LinkReceiver, LinkSender, Session, SessionConfig};

@@ -45,6 +45,10 @@ pub struct Manager {
     locks: HashMap<LockId, LockState>,
     /// Barrier arrivals per (object, round).
     arrivals: HashMap<(BarrierId, u32), Vec<(ProcId, VClock)>>,
+    /// Shard-interest directory (sharded mode): current subscribers per
+    /// shard, seeded lazily from the static interest sets and grown by
+    /// dynamic first-touch subscriptions.
+    shard_subs: HashMap<u32, Vec<ProcId>>,
     // --- SC server ---
     store: Vec<Value>,
     last_writer: Vec<Option<WriteId>>,
@@ -63,11 +67,43 @@ impl Manager {
             nprocs,
             locks: HashMap::new(),
             arrivals: HashMap::new(),
+            shard_subs: HashMap::new(),
             store: Vec::new(),
             last_writer: Vec::new(),
             counter_updates: HashMap::new(),
             watches: Vec::new(),
         }
+    }
+
+    // -------------------------------------------------------------- directory
+
+    /// Handles a dynamic shard subscription request (first-touch
+    /// fallback): registers `proc` as a subscriber of `shard`, acks it
+    /// with the *pre-existing* subscriber list (each of those will push
+    /// its own chain as backfill on the matching notify), and notifies
+    /// those subscribers so their future updates multicast to `proc`
+    /// too. A duplicate request (retransmission, or a reborn replica
+    /// re-announcing its subscriptions) is acked with the current other
+    /// subscribers and triggers no new notifications.
+    pub fn sub_req(&mut self, proc: ProcId, shard: u32, cfg: &DsmConfig) -> Outbox {
+        let sc = cfg.sharding.as_ref().expect("sub_req requires sharding");
+        let nprocs = self.nprocs;
+        let subs = self.shard_subs.entry(shard).or_insert_with(|| {
+            (0..nprocs as u32).map(ProcId).filter(|&q| sc.subscribed(q, shard as usize)).collect()
+        });
+        let mut out = Vec::new();
+        if subs.contains(&proc) {
+            let others: Vec<ProcId> = subs.iter().copied().filter(|&q| q != proc).collect();
+            out.push((proc, Msg::SubAck { shard, subs: others }));
+        } else {
+            let existing = subs.clone();
+            subs.push(proc);
+            out.push((proc, Msg::SubAck { shard, subs: existing.clone() }));
+            for q in existing {
+                out.push((q, Msg::SubNotify { shard, proc }));
+            }
+        }
+        out
     }
 
     // ------------------------------------------------------------------ locks

@@ -270,6 +270,109 @@ pub enum Msg {
         /// after this point.
         seen: u32,
     },
+    /// Sharded-replication update, multicast only to the subscribers of
+    /// its shard. Dependencies are a *sparse per-shard clock*: triples
+    /// `(shard, proc, seq)` naming the latest write per writer per shard
+    /// the sender had applied when it wrote — O(interested replicas) on
+    /// the wire instead of O(cluster).
+    ShardUpdate {
+        /// Identity of the write (sequence numbers are global per
+        /// process, shared with the full-replication protocol).
+        writer: WriteId,
+        /// Location updated.
+        loc: Loc,
+        /// Overwrite or increment.
+        payload: UpdatePayload,
+        /// The writer's previous own sequence number *in this shard*
+        /// (0 if this is its first write there) — the per-shard FIFO
+        /// chain receivers apply in order.
+        prev: u32,
+        /// Sparse per-shard dependency clock (empty in PRAM mode).
+        deps: Vec<(u32, ProcId, u32)>,
+    },
+    /// A per-shard batch of coalesced sharded updates from one process;
+    /// also the carrier of recovery and subscription backfills. Entries
+    /// chain from `prev` (the writer's own sequence in the shard before
+    /// the first member) to `upto`.
+    ShardUpdateBatch {
+        /// The writing process.
+        proc: ProcId,
+        /// The shard every entry belongs to.
+        shard: u32,
+        /// The writer's own sequence in this shard before the batch.
+        prev: u32,
+        /// Last own-write sequence covered by the batch.
+        upto: u32,
+        /// Coalesced per-location entries, in batch-buffer order.
+        entries: Vec<BatchEntry>,
+        /// Sparse per-shard dependency clock of the last member (empty
+        /// in PRAM mode).
+        deps: Vec<(u32, ProcId, u32)>,
+    },
+    /// Directory: subscribe `proc` to `shard` (dynamic first-touch).
+    SubReq {
+        /// The subscribing process.
+        proc: ProcId,
+        /// The shard of interest.
+        shard: u32,
+    },
+    /// Directory answer to [`Msg::SubReq`]: the current subscriber set,
+    /// unblocking the requester's first-touch access.
+    SubAck {
+        /// The shard subscribed.
+        shard: u32,
+        /// Every subscriber (including the requester).
+        subs: Vec<ProcId>,
+    },
+    /// Directory notification to existing subscribers of `shard`: `proc`
+    /// has joined. Each existing subscriber adds `proc` to its multicast
+    /// set and pushes its *own* write suffix for the shard directly, so
+    /// no third party's state is needed to close the join window.
+    SubNotify {
+        /// The shard joined.
+        shard: u32,
+        /// The new subscriber.
+        proc: ProcId,
+    },
+    /// Sharded recovery bootstrap: like [`Msg::RecoverReq`] but carrying
+    /// the reborn replica's *per-shard* applied clock, sent only to
+    /// peers sharing at least one shard. Peers answer per shared shard,
+    /// so recovery re-fetches only subscribed state.
+    ShardRecoverReq {
+        /// The reborn process.
+        proc: ProcId,
+        /// Its new (post-bump) incarnation.
+        incarnation: u32,
+        /// Sparse per-shard applied clock after log replay.
+        applied: Vec<(u32, ProcId, u32)>,
+    },
+    /// A peer's per-shard answer to [`Msg::ShardRecoverReq`]: watermark
+    /// metadata for one shared shard, plus how much of the reborn
+    /// process's writes to that shard the responder has seen (the
+    /// reborn side pushes back its own suffix past that point). The
+    /// responder's missing writes travel separately as individual
+    /// [`Msg::ShardUpdate`]s interleaved across shards in global
+    /// sequence order — one atomic chain per shard can deadlock when
+    /// two chains carry dependency triples into each other's shards.
+    ShardRecoverResp {
+        /// The responding process.
+        proc: ProcId,
+        /// The shared shard this answer covers.
+        shard: u32,
+        /// The responder's own sequence in the shard as known to the
+        /// requester (chain start of `entries`).
+        prev: u32,
+        /// The responder's own sequence in the shard now.
+        upto: u32,
+        /// One entry per missing own write, in sequence order (empty in
+        /// the metadata-only answers current senders emit).
+        entries: Vec<BatchEntry>,
+        /// Sparse per-shard dependency clock of the last member.
+        deps: Vec<(u32, ProcId, u32)>,
+        /// The responder's applied sequence for the *reborn* process in
+        /// this shard.
+        seen: u32,
+    },
 }
 
 impl Msg {
@@ -312,6 +415,24 @@ impl Msg {
                 24 + entries.iter().map(BatchEntry::wire_bytes).sum::<u64>()
                     + deps.as_ref().map_or(0, |d| 4 * d.len() as u64)
             }
+            // Sharded update: 28 header (writer + loc + payload + prev)
+            // + 12 per sparse dependency triple.
+            Msg::ShardUpdate { deps, .. } => 28 + 12 * deps.len() as u64,
+            // Sharded batch: 20 header (proc + shard + prev + upto +
+            // count) + entries + 12 per dependency triple.
+            Msg::ShardUpdateBatch { entries, deps, .. } => {
+                20 + entries.iter().map(BatchEntry::wire_bytes).sum::<u64>()
+                    + 12 * deps.len() as u64
+            }
+            Msg::SubReq { .. } | Msg::SubNotify { .. } => 12,
+            Msg::SubAck { subs, .. } => 12 + 4 * subs.len() as u64,
+            Msg::ShardRecoverReq { applied, .. } => 16 + 12 * applied.len() as u64,
+            // Sharded recovery answer: 28 header (proc + shard + prev +
+            // upto + seen + count) + entries + 12 per dependency triple.
+            Msg::ShardRecoverResp { entries, deps, .. } => {
+                28 + entries.iter().map(BatchEntry::wire_bytes).sum::<u64>()
+                    + 12 * deps.len() as u64
+            }
         }
     }
 
@@ -337,6 +458,13 @@ impl Msg {
             Msg::SessAck { .. } => "session_ack",
             Msg::RecoverReq { .. } => "recover_req",
             Msg::RecoverResp { .. } => "recover_resp",
+            Msg::ShardUpdate { .. } => "shard_update",
+            Msg::ShardUpdateBatch { .. } => "shard_update_batch",
+            Msg::SubReq { .. } => "sub_req",
+            Msg::SubAck { .. } => "sub_ack",
+            Msg::SubNotify { .. } => "sub_notify",
+            Msg::ShardRecoverReq { .. } => "shard_recover_req",
+            Msg::ShardRecoverResp { .. } => "shard_recover_resp",
         }
     }
 }
@@ -535,5 +663,61 @@ mod tests {
             seen: 0,
         };
         assert_eq!(m.wire_bytes(), 24, "an empty delta costs only the header");
+
+        // Sharded update: 28 header + 12 per sparse dependency triple —
+        // the wire width tracks the *interest* set, never the cluster.
+        let sdeps = vec![(0u32, ProcId(0), 3u32), (1, ProcId(2), 5)];
+        let m = Msg::ShardUpdate {
+            writer: wid,
+            loc: Loc(2),
+            payload: UpdatePayload::Set(Value::Int(5)),
+            prev: 4,
+            deps: sdeps.clone(),
+        };
+        assert_eq!(m.wire_bytes(), 28 + 12 * 2);
+        assert_eq!(m.kind(), "shard_update");
+
+        // Sharded batch: 20 header + entries + 12 per dependency triple.
+        let entries = vec![BatchEntry {
+            loc: Loc(0),
+            payload: UpdatePayload::Set(Value::Int(1)),
+            writer: wid,
+            adds: vec![],
+        }];
+        let m = Msg::ShardUpdateBatch {
+            proc: ProcId(1),
+            shard: 0,
+            prev: 2,
+            upto: 7,
+            entries: entries.clone(),
+            deps: sdeps.clone(),
+        };
+        assert_eq!(m.wire_bytes(), 20 + 16 + 12 * 2);
+        assert_eq!(m.kind(), "shard_update_batch");
+
+        // Subscription traffic: fixed 12-byte requests/notifies, acks
+        // carry 4 bytes per subscriber.
+        assert_eq!(Msg::SubReq { proc: ProcId(0), shard: 1 }.wire_bytes(), 12);
+        assert_eq!(Msg::SubNotify { shard: 1, proc: ProcId(0) }.wire_bytes(), 12);
+        let m = Msg::SubAck { shard: 1, subs: vec![ProcId(0), ProcId(2), ProcId(3)] };
+        assert_eq!(m.wire_bytes(), 12 + 4 * 3);
+        assert_eq!(m.kind(), "sub_ack");
+
+        // Sharded recovery: 16 + 12 per applied triple on the request;
+        // 28 + entries + 12 per dependency triple on the answer.
+        let m = Msg::ShardRecoverReq { proc: ProcId(2), incarnation: 3, applied: sdeps.clone() };
+        assert_eq!(m.wire_bytes(), 16 + 12 * 2);
+        assert_eq!(m.kind(), "shard_recover_req");
+        let m = Msg::ShardRecoverResp {
+            proc: ProcId(1),
+            shard: 0,
+            prev: 2,
+            upto: 3,
+            entries,
+            deps: sdeps,
+            seen: 1,
+        };
+        assert_eq!(m.wire_bytes(), 28 + 16 + 12 * 2);
+        assert_eq!(m.kind(), "shard_recover_resp");
     }
 }

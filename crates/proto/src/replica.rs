@@ -52,6 +52,126 @@ struct PendingBatch {
     deps: VClock,
 }
 
+/// One own write in a shard's chain, retained (in sharded mode) for
+/// subscription backfill and sharded recovery deltas.
+#[derive(Clone, Debug)]
+pub struct ShardOwnUpdate {
+    /// The write's global per-process sequence number.
+    pub seq: u32,
+    /// Location (determines the shard).
+    pub loc: Loc,
+    /// Overwrite or increment.
+    pub payload: UpdatePayload,
+    /// Sparse cross-shard dependency triples attached at write time.
+    pub deps: Vec<(u32, ProcId, u32)>,
+}
+
+/// A buffered sharded update or chain that is not yet ready.
+#[derive(Clone, Debug)]
+enum PendingShard {
+    Single {
+        writer: WriteId,
+        loc: Loc,
+        payload: UpdatePayload,
+        prev: u32,
+        deps: Vec<(u32, ProcId, u32)>,
+    },
+    Chain {
+        proc: ProcId,
+        shard: u32,
+        prev: u32,
+        upto: u32,
+        entries: Vec<BatchEntry>,
+        deps: Vec<(u32, ProcId, u32)>,
+    },
+}
+
+/// A suffix of one process's per-shard write chain: `(prev, upto,
+/// one-entry-per-write, dependency triples of the last member)`.
+pub type ShardChain = (u32, u32, Vec<BatchEntry>, Vec<(u32, ProcId, u32)>);
+
+/// One own write re-shipped for a recovery delta or a subscription
+/// backfill: `(writer, loc, payload, chain link, dependency triples)` —
+/// the fields of a [`ShardUpdate`](crate::Msg::ShardUpdate).
+pub type ShardPush = (WriteId, Loc, UpdatePayload, u32, Vec<(u32, ProcId, u32)>);
+
+/// Per-shard replication state. The address space is partitioned by
+/// `loc.index() % nshards`; a replica receives only the shards it
+/// subscribes to, and clocks are kept per shard so knowledge width is
+/// proportional to the replica's interest set, not the cluster.
+///
+/// Sequence numbers stay *global* per process (the same counter that
+/// mints [`WriteId`]s), so a write's identity is mode-independent; each
+/// shard's per-writer FIFO is a chain of global sequence numbers linked
+/// by `prev` (the writer's previous own seq in that shard). Cross-shard
+/// causality travels as sparse `(shard, proc, seq)` triples; a receiver
+/// checks only triples for shards it subscribes to — any process that
+/// can *observe* both sides of a causal edge necessarily subscribes to
+/// both shards, so observable causality is preserved.
+#[derive(Clone, Debug)]
+pub struct ShardState {
+    nshards: usize,
+    /// `applied[s][q]` = global sequence number of `q`'s last write
+    /// applied locally in shard `s` (own writes included).
+    applied: Vec<VClock>,
+    /// `own_prev[s]` = this process's last own global seq in shard `s`.
+    own_prev: Vec<u32>,
+    /// Own write chains per shard (subscription backfill + recovery).
+    own_log: Vec<Vec<ShardOwnUpdate>>,
+    /// Shards this replica is currently subscribed to (sorted).
+    subs: Vec<usize>,
+    /// Buffered not-yet-ready sharded updates and chains.
+    pending: Vec<PendingShard>,
+}
+
+impl ShardState {
+    /// Number of shards.
+    pub fn nshards(&self) -> usize {
+        self.nshards
+    }
+
+    /// The shard of `loc`.
+    pub fn shard_of(&self, loc: Loc) -> usize {
+        loc.index() % self.nshards
+    }
+
+    /// Whether this replica currently subscribes to `shard`.
+    pub fn subscribed(&self, shard: usize) -> bool {
+        self.subs.binary_search(&shard).is_ok()
+    }
+
+    /// The current subscription set (sorted).
+    pub fn subs(&self) -> &[usize] {
+        &self.subs
+    }
+
+    /// The per-shard applied clock (global seqs).
+    pub fn applied(&self, shard: usize) -> &VClock {
+        &self.applied[shard]
+    }
+
+    /// Number of buffered (not yet ready) sharded updates and chains.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Summary of everything applied in the *subscribed* shards, as
+    /// `(shard, proc, seq)` triples — the payload of a sharded recovery
+    /// request. Zero entries are kept: the shard ids present double as
+    /// the subscription set, so a peer answering the request learns
+    /// which shards the reborn replica needs without a separate
+    /// membership exchange.
+    pub fn applied_summary(&self) -> Vec<(u32, ProcId, u32)> {
+        let mut out = Vec::new();
+        for &s in &self.subs {
+            for (q, c) in self.applied[s].iter() {
+                out.push((s as u32, q, c));
+            }
+        }
+        out
+    }
+}
+
 /// One process's local copy of the shared memory plus its consistency
 /// gates.
 #[derive(Debug)]
@@ -101,6 +221,8 @@ pub struct Replica {
     /// lexicographically — a total order consistent with causality and
     /// every writer's program order.
     coh_tags: HashMap<Loc, (u64, u32, u32)>,
+    /// Sharded interest-based mode, when enabled.
+    shards: Option<ShardState>,
 }
 
 impl Replica {
@@ -124,7 +246,24 @@ impl Replica {
             incarnation: 0,
             coherent: false,
             coh_tags: HashMap::new(),
+            shards: None,
         }
+    }
+
+    /// Switches this replica into sharded interest-based mode with
+    /// `nshards` shards, initially subscribed to `subs`.
+    pub fn with_sharding(mut self, nshards: usize, mut subs: Vec<usize>) -> Self {
+        subs.sort_unstable();
+        subs.dedup();
+        self.shards = Some(ShardState {
+            nshards,
+            applied: vec![VClock::new(self.nprocs); nshards],
+            own_prev: vec![0; nshards],
+            own_log: vec![Vec::new(); nshards],
+            subs,
+            pending: Vec::new(),
+        });
+        self
     }
 
     /// Enables last-writer-wins coherent application (see
@@ -258,7 +397,11 @@ impl Replica {
             return true;
         }
         let deps = deps.expect("coherent replicas run a vector-carrying mode");
-        let tag = (deps.sum(), writer.proc.0, writer.seq);
+        self.admit_tag(loc, (deps.sum(), writer.proc.0, writer.seq))
+    }
+
+    /// Lexicographic last-writer-wins admission on a precomputed tag.
+    fn admit_tag(&mut self, loc: Loc, tag: (u64, u32, u32)) -> bool {
         match self.coh_tags.get(&loc) {
             Some(cur) if tag < *cur => false,
             _ => {
@@ -467,6 +610,323 @@ impl Replica {
         self.nprocs
     }
 
+    // -- sharding -----------------------------------------------------------
+
+    /// The sharded-mode state, when sharding is enabled.
+    pub fn shards(&self) -> Option<&ShardState> {
+        self.shards.as_ref()
+    }
+
+    /// Whether sharded interest-based mode is enabled.
+    pub fn is_sharded(&self) -> bool {
+        self.shards.is_some()
+    }
+
+    /// Subscribes to `shard` (dynamic first-touch fallback). Returns
+    /// `true` when the subscription is new.
+    pub fn shard_subscribe(&mut self, shard: usize) -> bool {
+        let st = self.shards.as_mut().expect("sharding enabled");
+        match st.subs.binary_search(&shard) {
+            Ok(_) => false,
+            Err(i) => {
+                st.subs.insert(i, shard);
+                true
+            }
+        }
+    }
+
+    /// Performs a local write in sharded mode. The minted [`WriteId`]
+    /// keeps the global per-process sequence; the returned chain link
+    /// `prev` is this process's previous own seq in the target shard,
+    /// and the dependency triples are the writer's full current
+    /// per-shard knowledge (its own target-shard entry excluded —
+    /// `prev` already carries it).
+    pub fn sharded_write(
+        &mut self,
+        loc: Loc,
+        payload: UpdatePayload,
+        cfg: &DsmConfig,
+    ) -> (WriteId, u32, Vec<(u32, ProcId, u32)>) {
+        self.applied.tick(self.proc);
+        let id = WriteId::new(self.proc, self.own_count());
+        let st = self.shards.as_mut().expect("sharded_write requires sharding");
+        let s = st.shard_of(loc);
+        let prev = st.own_prev[s];
+        let mut deps = Vec::new();
+        if cfg.mode.carries_vectors() {
+            for (ds, clock) in st.applied.iter().enumerate() {
+                for (q, c) in clock.iter() {
+                    if c > 0 && !(ds == s && q == self.proc) {
+                        deps.push((ds as u32, q, c));
+                    }
+                }
+            }
+        }
+        st.own_prev[s] = id.seq;
+        st.applied[s].set(self.proc, id.seq);
+        st.own_log[s].push(ShardOwnUpdate {
+            seq: id.seq,
+            loc,
+            payload: payload.clone(),
+            deps: deps.clone(),
+        });
+        let sum = st.applied[s].sum();
+        self.apply_sharded(id, loc, &payload, sum, &[id.seq]);
+        self.write_log.push((loc, id.seq));
+        (id, prev, deps)
+    }
+
+    /// Installs one sharded write into the store. `sum` is the write's
+    /// shard-local knowledge total (the writer's post-write shard clock
+    /// summed), which orders coherent `Set`s: if `w1` causally precedes
+    /// `w2` in the same shard, `w2`'s post-write clock strictly
+    /// dominates `w1`'s component-wise, so its sum is strictly larger —
+    /// the `(sum, proc, seq)` tag is a total order consistent with
+    /// per-shard causality. `adds` are the member seqs credited to a
+    /// counter location.
+    fn apply_sharded(
+        &mut self,
+        writer: WriteId,
+        loc: Loc,
+        payload: &UpdatePayload,
+        sum: u64,
+        adds: &[u32],
+    ) {
+        self.ensure_loc(loc);
+        match payload {
+            UpdatePayload::Set(v) => {
+                let admit =
+                    !self.coherent || self.admit_tag(loc, (sum, writer.proc.0, writer.seq));
+                if admit {
+                    self.store[loc.index()] = *v;
+                    self.last_writer[loc.index()] = Some(writer);
+                }
+            }
+            UpdatePayload::Add(d) => {
+                let cur = self.store[loc.index()];
+                self.store[loc.index()] = cur.checked_add(*d).unwrap_or_else(|| {
+                    panic!("update delta kind mismatch at {loc} ({cur:?} += {d:?})")
+                });
+                let ups = self.counter_updates.entry(loc).or_default();
+                ups.extend(adds.iter().map(|&s| WriteId::new(writer.proc, s)));
+                self.last_writer[loc.index()] = Some(writer);
+            }
+        }
+    }
+
+    /// Ingests one remote sharded update. Non-vector modes apply on
+    /// receipt (mirroring the unsharded PRAM path); vector modes buffer
+    /// until the shard chain link matches and every dependency triple
+    /// for a *subscribed* shard is dominated. Stale duplicates (already
+    /// at or past the writer's seq in this shard) are discarded.
+    /// Returns `true` if anything was applied.
+    pub fn ingest_sharded(
+        &mut self,
+        writer: WriteId,
+        loc: Loc,
+        payload: UpdatePayload,
+        prev: u32,
+        deps: Vec<(u32, ProcId, u32)>,
+        mode: Mode,
+    ) -> bool {
+        let st = self.shards.as_mut().expect("sharding enabled");
+        let s = st.shard_of(loc);
+        if !mode.carries_vectors() {
+            let seen = st.applied[s].get(writer.proc).max(writer.seq);
+            st.applied[s].set(writer.proc, seen);
+            let global = self.applied.get(writer.proc).max(writer.seq);
+            self.applied.set(writer.proc, global);
+            let sum = self.shards.as_ref().unwrap().applied[s].sum();
+            self.apply_sharded(writer, loc, &payload, sum, &[writer.seq]);
+            return true;
+        }
+        if st.applied[s].get(writer.proc) >= writer.seq {
+            return false;
+        }
+        st.pending.push(PendingShard::Single { writer, loc, payload, prev, deps });
+        self.drain_shard_pending()
+    }
+
+    /// Ingests a sharded chain (a coalesced per-shard batch, a recovery
+    /// delta, or a subscription backfill) covering the sender's own
+    /// writes in `shard` from chain link `prev` up to `upto`. When
+    /// `trim` is set the entries are one-per-write (uncoalesced), and
+    /// any prefix this replica already has is discarded with `prev`
+    /// re-anchored — recovery and backfill pushes may overlap what the
+    /// receiver already applied. Returns `true` if anything applied.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ingest_shard_chain(
+        &mut self,
+        proc: ProcId,
+        shard: u32,
+        mut prev: u32,
+        upto: u32,
+        mut entries: Vec<BatchEntry>,
+        deps: Vec<(u32, ProcId, u32)>,
+        mode: Mode,
+        trim: bool,
+    ) -> bool {
+        let st = self.shards.as_mut().expect("sharding enabled");
+        let have = st.applied[shard as usize].get(proc);
+        if have >= upto {
+            return false;
+        }
+        if trim {
+            while entries.first().is_some_and(|e| e.writer.seq <= have) {
+                prev = entries.remove(0).writer.seq;
+            }
+        }
+        if !mode.carries_vectors() {
+            let seen = have.max(upto);
+            st.applied[shard as usize].set(proc, seen);
+            let global = self.applied.get(proc).max(upto);
+            self.applied.set(proc, global);
+            let entries = std::mem::take(&mut entries);
+            for e in &entries {
+                let sum = self.shards.as_ref().unwrap().applied[shard as usize].sum();
+                self.apply_sharded(e.writer, e.loc, &e.payload, sum, &e.adds);
+            }
+            return true;
+        }
+        st.pending.push(PendingShard::Chain { proc, shard, prev, upto, entries, deps });
+        self.drain_shard_pending()
+    }
+
+    /// Applies every ready buffered sharded update or chain (each can
+    /// unblock the other); returns `true` if any applied.
+    fn drain_shard_pending(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            let st = self.shards.as_ref().expect("sharding enabled");
+            let idx = st.pending.iter().position(|p| Self::shard_ready(st, p));
+            let Some(idx) = idx else { return any };
+            let p = self.shards.as_mut().unwrap().pending.swap_remove(idx);
+            any = true;
+            match p {
+                PendingShard::Single { writer, loc, payload, prev: _, deps } => {
+                    let st = self.shards.as_mut().unwrap();
+                    let s = st.shard_of(loc);
+                    st.applied[s].set(writer.proc, writer.seq);
+                    let global = self.applied.get(writer.proc).max(writer.seq);
+                    self.applied.set(writer.proc, global);
+                    let sum = Self::dep_sum(&deps, s) + writer.seq as u64;
+                    self.apply_sharded(writer, loc, &payload, sum, &[writer.seq]);
+                }
+                PendingShard::Chain { proc, shard, prev: _, upto, entries, deps } => {
+                    let st = self.shards.as_mut().unwrap();
+                    st.applied[shard as usize].set(proc, upto);
+                    let global = self.applied.get(proc).max(upto);
+                    self.applied.set(proc, global);
+                    for e in &entries {
+                        // The chain triples cover every member's deps
+                        // (monotone in chain order), so tagging each
+                        // entry with them keeps coherent tag order
+                        // consistent with per-shard causality.
+                        let sum = Self::dep_sum(&deps, shard as usize) + e.writer.seq as u64;
+                        self.apply_sharded(e.writer, e.loc, &e.payload, sum, &e.adds);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sum of the dependency triples that land in `shard` — the
+    /// sender's pre-existing knowledge of the write's own shard.
+    fn dep_sum(deps: &[(u32, ProcId, u32)], shard: usize) -> u64 {
+        deps.iter().filter(|&&(ds, _, _)| ds as usize == shard).map(|&(_, _, c)| c as u64).sum()
+    }
+
+    /// Readiness of one buffered sharded item: the chain link must
+    /// match exactly, and every dependency triple for a shard this
+    /// replica subscribes to must be dominated. Triples for shards it
+    /// does not subscribe to are skipped — it can never observe those
+    /// writes, so they are outside its causal past's visible image.
+    fn shard_ready(st: &ShardState, p: &PendingShard) -> bool {
+        let (sender, shard, prev, deps) = match p {
+            PendingShard::Single { writer, loc, prev, deps, .. } => {
+                (writer.proc, st.shard_of(*loc), *prev, deps)
+            }
+            PendingShard::Chain { proc, shard, prev, deps, .. } => {
+                (*proc, *shard as usize, *prev, deps)
+            }
+        };
+        if st.applied[shard].get(sender) != prev {
+            return false;
+        }
+        deps.iter().all(|&(ds, q, c)| {
+            let ds = ds as usize;
+            (ds == shard && q == sender)
+                || !st.subscribed(ds)
+                || st.applied[ds].get(q) >= c
+        })
+    }
+
+    /// The suffix of this replica's own chain in `shard` after global
+    /// seq `after`, as uncoalesced one-per-write entries: `(prev, upto,
+    /// entries, deps-of-last-member)`. `None` when the peer already has
+    /// everything.
+    ///
+    /// A chain applies *atomically* at the receiver, so this shape is
+    /// only safe when at most one chain can be in flight per causal
+    /// cut (live batches guarantee it by flushing other shards first).
+    /// Recovery and backfill answer with [`Self::shard_updates_after`]
+    /// instead: two atomic chains whose last-member triples point into
+    /// each other's shards deadlock a receiver that lacks both.
+    pub fn shard_chain_after(&self, shard: usize, after: u32) -> Option<ShardChain> {
+        let st = self.shards.as_ref()?;
+        let missing: Vec<&ShardOwnUpdate> =
+            st.own_log[shard].iter().filter(|u| u.seq > after).collect();
+        let last = missing.last()?;
+        let (upto, deps) = (last.seq, last.deps.clone());
+        let entries = missing
+            .iter()
+            .map(|u| BatchEntry {
+                loc: u.loc,
+                payload: u.payload.clone(),
+                writer: WriteId::new(self.proc, u.seq),
+                adds: match u.payload {
+                    UpdatePayload::Add(_) => vec![u.seq],
+                    UpdatePayload::Set(_) => vec![],
+                },
+            })
+            .collect();
+        Some((after, upto, entries, deps))
+    }
+
+    /// This replica's own writes after each `(shard, after)` watermark,
+    /// re-shipped one [`ShardUpdate`](crate::Msg::ShardUpdate) at a
+    /// time with their original chain links and write-time dependency
+    /// triples, interleaved across shards in global sequence order.
+    ///
+    /// Recovery deltas and subscription backfills use this per-write
+    /// form rather than one atomic chain per shard: a shard-A chain may
+    /// carry a triple into shard B while B's chain carries one back
+    /// into A, and since chains apply atomically a receiver that lacks
+    /// both parks each on the other forever. Individual writes follow
+    /// the (acyclic) causal order, so in-sequence delivery always
+    /// drains — exactly like live traffic.
+    pub fn shard_updates_after(&self, wants: &[(u32, u32)]) -> Vec<ShardPush> {
+        let Some(st) = self.shards.as_ref() else { return Vec::new() };
+        let mut out = Vec::new();
+        for &(shard, after) in wants {
+            let mut prev = 0;
+            for u in &st.own_log[shard as usize] {
+                if u.seq > after {
+                    out.push((
+                        WriteId::new(self.proc, u.seq),
+                        u.loc,
+                        u.payload.clone(),
+                        prev,
+                        u.deps.clone(),
+                    ));
+                }
+                prev = u.seq;
+            }
+        }
+        out.sort_unstable_by_key(|&(w, ..)| w.seq);
+        out
+    }
+
     // -- durability ---------------------------------------------------------
 
     /// Captures the replica as a compacted [`Snapshot`] (everything that
@@ -579,6 +1039,32 @@ impl Replica {
             }
             WalRecord::Incarnation { incarnation } => {
                 self.incarnation = self.incarnation.max(incarnation);
+            }
+            WalRecord::OwnWriteSharded { loc, payload, deps } => {
+                self.applied.tick(self.proc);
+                let id = WriteId::new(self.proc, self.own_count());
+                let st = self.shards.as_mut().expect("sharded WAL record on a sharded replica");
+                let s = st.shard_of(loc);
+                st.own_prev[s] = id.seq;
+                st.applied[s].set(self.proc, id.seq);
+                st.own_log[s].push(ShardOwnUpdate {
+                    seq: id.seq,
+                    loc,
+                    payload: payload.clone(),
+                    deps,
+                });
+                let sum = st.applied[s].sum();
+                self.apply_sharded(id, loc, &payload, sum, &[id.seq]);
+                self.write_log.push((loc, id.seq));
+            }
+            WalRecord::IngestSharded { writer, loc, payload, prev, deps } => {
+                self.ingest_sharded(writer, loc, payload, prev, deps, mode);
+            }
+            WalRecord::IngestShardChain { proc, shard, prev, upto, entries, deps, trim } => {
+                self.ingest_shard_chain(proc, shard, prev, upto, entries, deps, mode, trim);
+            }
+            WalRecord::Subscribe { shard } => {
+                self.shard_subscribe(shard as usize);
             }
         }
     }
@@ -1066,5 +1552,52 @@ mod tests {
         let know = r.knowledge();
         assert_eq!(know[p(0)], 1);
         assert_eq!(know[p(1)], 5);
+    }
+
+    /// Regression: recovery and backfill must re-ship own suffixes one
+    /// write at a time. A writer that alternates shards mints chains
+    /// whose last members carry triples into each other's shards; a
+    /// receiver that lacks both (fresh disk) parks each atomic chain on
+    /// the other forever, while the per-write form drains in sequence
+    /// order.
+    #[test]
+    fn per_write_recovery_pushes_avoid_cross_shard_chain_cycle() {
+        let c = cfg(Mode::Causal);
+        let mut w = Replica::new(p(0), 2).with_sharding(2, vec![0, 1]);
+        w.sharded_write(Loc(0), UpdatePayload::Set(Value::Int(42)), &c); // shard 0, seq 1
+        w.sharded_write(Loc(1), UpdatePayload::Set(Value::Int(1)), &c); // shard 1, seq 2
+        w.sharded_write(Loc(2), UpdatePayload::Set(Value::Int(7)), &c); // shard 0, seq 3
+
+        // Whole-chain shipment: shard 0's chain {1,3} depends on
+        // (1,p0,2) and shard 1's chain {2} on (0,p0,1) — both park.
+        let mut fresh = Replica::new(p(1), 2).with_sharding(2, vec![0, 1]);
+        for shard in [0u32, 1] {
+            let (prev, upto, entries, deps) = w.shard_chain_after(shard as usize, 0).unwrap();
+            fresh.ingest_shard_chain(p(0), shard, prev, upto, entries, deps, Mode::Causal, true);
+        }
+        assert_eq!(fresh.shards().unwrap().pending_len(), 2, "atomic chains deadlock");
+        assert_eq!(fresh.value(Loc(0)), Value::INITIAL);
+
+        // Per-write shipment in global sequence order always drains.
+        let mut fresh = Replica::new(p(1), 2).with_sharding(2, vec![0, 1]);
+        let pushes = w.shard_updates_after(&[(0, 0), (1, 0)]);
+        assert_eq!(pushes.len(), 3);
+        assert!(pushes.windows(2).all(|ab| ab[0].0.seq < ab[1].0.seq), "seq order");
+        for (writer, loc, payload, prev, deps) in pushes {
+            fresh.ingest_sharded(writer, loc, payload, prev, deps, Mode::Causal);
+        }
+        assert_eq!(fresh.shards().unwrap().pending_len(), 0);
+        assert_eq!(fresh.value(Loc(0)), Value::Int(42));
+        assert_eq!(fresh.value(Loc(1)), Value::Int(1));
+        assert_eq!(fresh.value(Loc(2)), Value::Int(7));
+        assert_eq!(fresh.shards().unwrap().applied(0).get(p(0)), 3);
+        assert_eq!(fresh.shards().unwrap().applied(1).get(p(0)), 2);
+
+        // A partial watermark re-anchors the chain link past the
+        // already-held prefix instead of restarting from zero.
+        let tail = w.shard_updates_after(&[(0, 1)]);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].0.seq, 3);
+        assert_eq!(tail[0].3, 1, "chain link anchored at the held prefix");
     }
 }

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use mc_model::{Loc, ProcId, VClock, Value, WriteId};
-use mc_proto::{decode_wal, BatchEntry, Snapshot, UpdatePayload, WalRecord, WalTail};
+use mc_proto::{crc32, decode_wal, BatchEntry, Snapshot, UpdatePayload, WalRecord, WalTail};
 
 fn gen_clock() -> impl Strategy<Value = VClock> {
     proptest::collection::vec(0..20u32, 3usize).prop_map(|counts| {
@@ -139,6 +139,107 @@ proptest! {
             tail == WalTail::Torn { at: start } || tail == WalTail::Corrupt { at: start },
             "flip in frame {} went undiagnosed: {:?}", k, tail
         );
+    }
+
+    /// A corrupted frame *length* field — including values near
+    /// `u32::MAX` that a random bit-flip almost never produces — must
+    /// yield `Torn` at that frame with the prefix intact, and must not
+    /// attempt an allocation or slice anywhere near the poisoned size.
+    #[test]
+    fn huge_frame_length_fields_yield_torn_not_oom(
+        records in proptest::collection::vec(gen_record(), 1..8),
+        frame_sel in any::<u64>(),
+        poison in (0u32..4).prop_map(|i| {
+            [u32::MAX, u32::MAX - 7, i32::MAX as u32, 1u32 << 30][i as usize]
+        }),
+    ) {
+        let (mut log, starts) = frames(&records);
+        let k = (frame_sel % records.len() as u64) as usize;
+        let s = starts[k];
+        log[s..s + 4].copy_from_slice(&poison.to_le_bytes());
+        let (decoded, tail) = decode_wal(&log);
+        prop_assert_eq!(&decoded[..], &records[..k]);
+        prop_assert_eq!(tail, WalTail::Torn { at: s });
+    }
+
+    /// A poisoned 32-bit word *inside* a frame body — element counts
+    /// included — with the CRC refreshed so the body parser (not the
+    /// checksum) confronts the damage: frames before the mutation decode
+    /// unchanged, and the mutated frame either still parses (the word
+    /// was a benign field, and later frames are untouched) or is flagged
+    /// `Corrupt`/`Torn` exactly at its boundary. Either way, no panic
+    /// and no huge reservation.
+    #[test]
+    fn poisoned_interior_counts_never_allocate_or_panic(
+        records in proptest::collection::vec(gen_record(), 1..8),
+        frame_sel in any::<u64>(),
+        word_sel in any::<u64>(),
+        poison in (0u32..4).prop_map(|i| {
+            [u32::MAX, u32::MAX - 1, i32::MAX as u32, 0xDEAD_BEEFu32][i as usize]
+        }),
+    ) {
+        let (mut log, starts) = frames(&records);
+        let k = (frame_sel % records.len() as u64) as usize;
+        let s = starts[k];
+        let end = starts.get(k + 1).copied().unwrap_or(log.len());
+        let body = s + 8..end;
+        // Every record body is at least 5 bytes (tag + one u32 field).
+        let off = body.start + (word_sel % (body.len() as u64 - 3)) as usize;
+        log[off..off + 4].copy_from_slice(&poison.to_le_bytes());
+        let crc = crc32(&log[body.clone()]);
+        log[s + 4..s + 8].copy_from_slice(&crc.to_le_bytes());
+
+        let (decoded, tail) = decode_wal(&log);
+        prop_assert!(decoded.len() >= k, "mutation in frame {} damaged the prefix", k);
+        prop_assert_eq!(&decoded[..k], &records[..k]);
+        if tail == WalTail::Clean {
+            prop_assert_eq!(decoded.len(), records.len());
+            prop_assert_eq!(&decoded[k + 1..], &records[k + 1..]);
+        } else {
+            prop_assert_eq!(decoded.len(), k);
+            prop_assert!(
+                tail == WalTail::Torn { at: s } || tail == WalTail::Corrupt { at: s },
+                "damage in frame {} misattributed: {:?}", k, tail
+            );
+        }
+    }
+
+    /// The same poisoning for snapshots: a huge header length is
+    /// `Truncated`, and a poisoned interior count (CRC refreshed) is
+    /// rejected as `Malformed` or decodes benignly — never a panic or an
+    /// attempted allocation near the poisoned size.
+    #[test]
+    fn snapshot_length_field_poison_is_rejected_cleanly(
+        store in proptest::collection::vec((0..8u32, -100i64..100), 1..6),
+        word_sel in any::<u64>(),
+        header in any::<bool>(),
+        poison in (0u32..3).prop_map(|i| {
+            [u32::MAX, i32::MAX as u32, 0xFFFF_0000u32][i as usize]
+        }),
+    ) {
+        let snap = Snapshot {
+            incarnation: 1,
+            applied: VClock::new(3),
+            store: store.into_iter().map(|(l, v)| (Loc(l), Value::Int(v), None)).collect(),
+            counter_updates: vec![(Loc(0), vec![WriteId::new(ProcId(0), 1)])],
+            write_log: vec![(Loc(0), 1)],
+            ..Snapshot::default()
+        };
+        let mut bytes = snap.encode();
+        if header {
+            // magic(8) | len(4) | crc(4) | body
+            bytes[8..12].copy_from_slice(&poison.to_le_bytes());
+            prop_assert!(Snapshot::decode(&bytes).is_err(), "huge header length accepted");
+        } else {
+            let body = 16..bytes.len();
+            let off = body.start + (word_sel % (body.len() as u64 - 3)) as usize;
+            bytes[off..off + 4].copy_from_slice(&poison.to_le_bytes());
+            let crc = crc32(&bytes[body.clone()]);
+            bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+            // Either cleanly rejected or a benign field changed — the
+            // property is completing without panic or huge reservation.
+            let _ = Snapshot::decode(&bytes);
+        }
     }
 
     /// Snapshots are all-or-nothing: any single bit flip or truncation

@@ -71,6 +71,11 @@ pub struct DurabilityStats {
     pub appends: u64,
     /// Staged records made durable by an fsync.
     pub synced: u64,
+    /// Fsync calls that made at least one record durable. Per-write
+    /// durability pays one per record; group commit amortizes one call
+    /// over every record staged since the last externalization, so
+    /// `fsyncs < synced` is the signature of effective batching.
+    pub fsyncs: u64,
     /// Staged records lost to a crash before their fsync.
     pub lost: u64,
     /// Durable records replayed during recoveries.
@@ -395,9 +400,11 @@ impl fmt::Display for Metrics {
         if self.wal.appends > 0 || self.wal.recoveries > 0 {
             writeln!(
                 f,
-                "  wal: appended={} synced={} lost={} replayed={} snapshots={} recoveries={}",
+                "  wal: appended={} synced={} fsyncs={} lost={} replayed={} snapshots={} \
+                 recoveries={}",
                 self.wal.appends,
                 self.wal.synced,
+                self.wal.fsyncs,
                 self.wal.lost,
                 self.wal.replayed,
                 self.wal.snapshots,

@@ -601,9 +601,14 @@ impl<M> NetCtx<'_, M> {
         self.metrics.wal.appends += n;
     }
 
-    /// Records `n` staged WAL records made durable by an fsync.
+    /// Records `n` staged WAL records made durable by an fsync. Calls
+    /// with `n == 0` are no-ops (an fsync of an empty tail is free and
+    /// not counted).
     pub fn record_wal_sync(&mut self, n: u64) {
-        self.metrics.wal.synced += n;
+        if n > 0 {
+            self.metrics.wal.synced += n;
+            self.metrics.wal.fsyncs += 1;
+        }
     }
 
     /// Records `n` staged WAL records lost to a crash before their fsync.
