@@ -86,7 +86,8 @@ impl Table {
 /// hardware-dependent: a baseline diff compares them with a tolerance
 /// band instead of exactly. Every other column is deterministic (fixed
 /// seeds, virtual time) and must match a committed baseline byte-for-byte.
-pub const WALL_COLS: &[&str] = &["check wall time", "ops/s", "dpor scheds/s", "naive scheds/s"];
+pub const WALL_COLS: &[&str] =
+    &["check wall time", "ops/s", "dpor scheds/s", "naive scheds/s", "p99 read us"];
 
 /// True when `col` holds a wall-clock (nondeterministic) measurement.
 pub fn is_wall_col(col: &str) -> bool {

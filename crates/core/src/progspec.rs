@@ -194,8 +194,9 @@ impl ProgSpec {
                     None => footprint(&self.procs[p], nshards),
                 })
                 .collect();
-            sys = sys
-                .sharding(Some(mc_proto::ShardConfig::new(nshards, interest).with_dynamic(dynamic)));
+            sys = sys.sharding(Some(
+                mc_proto::ShardConfig::new(nshards, interest).with_dynamic(dynamic),
+            ));
         }
         for ops in &self.procs {
             let ops = ops.clone();
@@ -586,10 +587,10 @@ mod tests {
     fn shards_round_trip_and_build() {
         let spec = ProgSpec::new(Mode::Causal)
             .sharded(2)
-            .proc(vec![SpecOp::Write { loc: Loc(0), value: 1 }, SpecOp::Write {
-                loc: Loc(1),
-                value: 2,
-            }])
+            .proc(vec![
+                SpecOp::Write { loc: Loc(0), value: 1 },
+                SpecOp::Write { loc: Loc(1), value: 2 },
+            ])
             .proc(vec![SpecOp::Read { loc: Loc(0), label: ReadLabel::Causal }]);
         let text = spec.to_text();
         assert!(text.contains("shards 2"), "{text}");

@@ -108,9 +108,7 @@ impl Outcome {
         // shard's own accesses.
         if let Some(sc) = cfg.sharding.as_ref().filter(|_| cfg.mode.is_replicated()) {
             for shard in 0..sc.nshards {
-                let hs = h
-                    .project_shard(sc.nshards, shard)
-                    .map_err(VerifyError::Projection)?;
+                let hs = h.project_shard(sc.nshards, shard).map_err(VerifyError::Projection)?;
                 Self::judge(&hs, &models)?;
             }
             return Ok(());
@@ -118,10 +116,7 @@ impl Outcome {
         Self::judge(h, &models)
     }
 
-    fn judge(
-        h: &mc_model::History,
-        models: &mc_model::ModelAssignment,
-    ) -> Result<(), VerifyError> {
+    fn judge(h: &mc_model::History, models: &mc_model::ModelAssignment) -> Result<(), VerifyError> {
         match mc_model::spec::check_model(h, models) {
             Ok(_) => Ok(()),
             Err(mc_model::check::CheckError::Violations(r))

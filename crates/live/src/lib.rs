@@ -43,4 +43,7 @@
 
 mod system;
 
-pub use system::{LiveCtx, LiveError, LiveOutcome, LiveSystem};
+pub use system::{
+    run_manager_node, run_proc_node, ChannelTransport, LiveCtx, LiveError, LiveOutcome, LiveSystem,
+    Net, NodeConfig, NodeId, Transport, WalCounters, Wire,
+};

@@ -21,17 +21,64 @@ use mc_proto::{
 };
 use mc_sim::{DurabilityStats, SimTime, TraceEvent, Tracer};
 
-/// What travels on a channel: a protocol message (tagged with the sending
-/// node, which the session layer needs to identify the link) or the
-/// shutdown signal.
-enum Wire {
-    Proto { from: NodeId, msg: Msg },
+/// What travels on a node's inbox: a protocol message (tagged with the
+/// sending node, which the session layer needs to identify the link) or
+/// the shutdown signal.
+///
+/// Public so alternative transports (e.g. the TCP runtime in `mc-net`)
+/// can feed decoded frames into the same node mains.
+pub enum Wire {
+    /// A protocol message from node `from`.
+    Proto {
+        /// The sending node.
+        from: NodeId,
+        /// The message itself.
+        msg: Msg,
+    },
+    /// Drain-and-exit: the coordinator saw every process finish.
     Shutdown,
 }
 
 /// Node id in the live topology (same layout as the simulator: process
 /// `i` on node `i`, manager shards after).
-type NodeId = usize;
+pub type NodeId = usize;
+
+/// How a live node's outgoing messages reach their destination. The
+/// in-process executor wires nodes with crossbeam channels
+/// ([`ChannelTransport`]); `mc-net` substitutes TCP links carrying
+/// length-prefixed binary frames. Everything above this seam — session
+/// fencing, retransmission, batching, recovery — is shared.
+pub trait Transport: Send + Sync {
+    /// Delivers one protocol message. Returns `false` if the
+    /// destination's inbox is gone (counted as a lost send unless the
+    /// run is already shutting down).
+    fn deliver(&self, from: NodeId, to: NodeId, msg: Msg) -> bool;
+
+    /// Tells node `to` to drain its inbox and exit.
+    fn shutdown(&self, to: NodeId);
+}
+
+/// The in-process transport: one unbounded channel per node.
+pub struct ChannelTransport {
+    senders: Vec<Sender<Wire>>,
+}
+
+impl ChannelTransport {
+    /// Wraps the per-node inbox senders.
+    pub fn new(senders: Vec<Sender<Wire>>) -> Self {
+        ChannelTransport { senders }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn deliver(&self, from: NodeId, to: NodeId, msg: Msg) -> bool {
+        self.senders[to].send(Wire::Proto { from, msg }).is_ok()
+    }
+
+    fn shutdown(&self, to: NodeId) {
+        let _ = self.senders[to].send(Wire::Shutdown);
+    }
+}
 
 /// How often a node with unacknowledged session payloads retransmits.
 /// Wall-clock ticks stand in for the simulator's per-link timers; the
@@ -72,7 +119,7 @@ struct LiveShardBatch {
 /// Shared durability counters, aggregated into [`LiveOutcome::wal`] at
 /// teardown (the live twin of the simulator's `Metrics::wal`).
 #[derive(Default)]
-struct WalCounters {
+pub struct WalCounters {
     appends: AtomicU64,
     synced: AtomicU64,
     /// Fsync calls that made at least one record durable (`fsyncs <
@@ -83,6 +130,22 @@ struct WalCounters {
     recoveries: AtomicU64,
 }
 
+impl WalCounters {
+    /// Snapshots the counters into the simulator's stats shape (`lost`
+    /// is a simulator-only notion and reads zero here).
+    pub fn stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            synced: self.synced.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            lost: 0,
+            replayed: self.replayed.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// SplitMix64: a statistically solid 64-bit mixer, enough for loss rolls.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -91,9 +154,11 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The send side every live node shares: counters, the lossy shim, the
+/// optional tracer — all in front of a pluggable [`Transport`].
 #[derive(Clone)]
-struct Net {
-    senders: Vec<Sender<Wire>>,
+pub struct Net {
+    transport: Arc<dyn Transport>,
     messages: Arc<AtomicU64>,
     bytes: Arc<AtomicU64>,
     /// Drop probability per message (the lossy-channel shim).
@@ -114,6 +179,50 @@ struct Net {
 }
 
 impl Net {
+    /// Builds a loss-free, untraced net over `transport` — what an
+    /// external transport (TCP) wants; the in-process executor fills in
+    /// the lossy shim and tracer itself.
+    pub fn new(transport: Arc<dyn Transport>) -> Net {
+        Net {
+            transport,
+            messages: Arc::new(AtomicU64::new(0)),
+            bytes: Arc::new(AtomicU64::new(0)),
+            loss: 0.0,
+            seed: 0,
+            rolls: Arc::new(AtomicU64::new(0)),
+            lost: Arc::new(AtomicU64::new(0)),
+            closed_dropped: Arc::new(AtomicU64::new(0)),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            tracer: None,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Modeled wire bytes sent so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Sends that hit a closed inbox before shutdown began (a bug).
+    pub fn dropped_sends(&self) -> u64 {
+        self.closed_dropped.load(Ordering::SeqCst)
+    }
+
+    /// Flips the run into shutdown mode (closed-inbox sends stop
+    /// counting as losses) and tells every one of the `nnodes` nodes to
+    /// drain and exit.
+    pub fn begin_shutdown(&self, nnodes: usize) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for node in 0..nnodes {
+            self.transport.shutdown(node);
+        }
+    }
+
     /// Records an instant event on the shared tracer (no-op when tracing
     /// is off), stamped with the wall-clock offset from the run start.
     fn trace_instant(
@@ -159,9 +268,7 @@ impl Net {
             m => m.kind(),
         };
         self.trace_instant("msg", kind, from, to, msg.wire_bytes());
-        if self.senders[to].send(Wire::Proto { from, msg }).is_err()
-            && !self.shutting_down.load(Ordering::SeqCst)
-        {
+        if !self.transport.deliver(from, to, msg) && !self.shutting_down.load(Ordering::SeqCst) {
             // A closed inbox before shutdown begins means a message was
             // silently lost while the run still depended on it.
             self.closed_dropped.fetch_add(1, Ordering::SeqCst);
@@ -291,6 +398,37 @@ pub struct LiveOutcome {
 }
 
 impl LiveOutcome {
+    /// Assembles an outcome from externally-run nodes. The TCP runtime
+    /// (`mc-net`) drives the same [`run_proc_node`]/[`run_manager_node`]
+    /// mains on its own threads and collects the identical parts; the
+    /// lossy-shim (`lost`) and closed-inbox (`dropped_sends`) counters
+    /// are in-process notions and read zero there.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        history: Option<History>,
+        wal: DurabilityStats,
+        messages: u64,
+        bytes: u64,
+        wall: Duration,
+        replicas: Vec<Replica>,
+        server: Manager,
+        mode: Mode,
+    ) -> LiveOutcome {
+        LiveOutcome {
+            history,
+            wal,
+            messages,
+            bytes,
+            lost: 0,
+            dropped_sends: 0,
+            wall,
+            trace: None,
+            replicas,
+            server,
+            mode,
+        }
+    }
+
     /// The final value of `loc`: from `proc`'s replica in the replicated
     /// modes (all in-flight updates are drained before shutdown), from
     /// the server in SC mode.
@@ -522,7 +660,7 @@ impl LiveSystem {
             receivers.push(rx);
         }
         let net = Net {
-            senders,
+            transport: Arc::new(ChannelTransport::new(senders)),
             messages: Arc::new(AtomicU64::new(0)),
             bytes: Arc::new(AtomicU64::new(0)),
             loss: self.loss,
@@ -548,7 +686,7 @@ impl LiveSystem {
             let net = net.clone();
             let cfg = cfg.clone();
             let node = cfg.nprocs + shard;
-            manager_handles.push(std::thread::spawn(move || manager_loop(rx, net, cfg, node)));
+            manager_handles.push(std::thread::spawn(move || run_manager_node(rx, net, cfg, node)));
         }
 
         // Process threads.
@@ -556,134 +694,20 @@ impl LiveSystem {
         let mut proc_handles = Vec::new();
         for (i, f) in self.procs.drain(..).enumerate() {
             let rx = proc_rx.remove(0);
+            let opts = NodeConfig {
+                proc: ProcId(i as u32),
+                cfg: cfg.clone(),
+                timeout: self.timeout,
+                durability_dir: self.durability_dir.clone(),
+            };
             let ctx_net = net.clone();
-            let cfg = cfg.clone();
             let recorder = recorder.clone();
             let done_tx = done_tx.clone();
-            let timeout = self.timeout;
             let walc = walc.clone();
-            let durability_dir = self.durability_dir.clone();
             proc_handles.push(std::thread::spawn(move || {
-                let (replica, disk, recovered) =
-                    open_replica(ProcId(i as u32), &cfg, durability_dir.as_deref(), &walc);
-                // Seed multicast routes from the static interest sets;
-                // dynamic joiners merge in from SubAck/SubNotify and
-                // recovery answers, exactly as in the simulator.
-                let shard_routes: Vec<Vec<ProcId>> =
-                    match cfg.sharding.as_ref().filter(|_| cfg.mode.is_replicated()) {
-                        None => Vec::new(),
-                        Some(sc) => (0..sc.nshards)
-                            .map(|s| {
-                                (0..cfg.nprocs as u32)
-                                    .map(ProcId)
-                                    .filter(|&q| q.index() != i && sc.subscribed(q, s))
-                                    .collect()
-                            })
-                            .collect(),
-                    };
-                let mut session = cfg.reliable.then(|| Session::new(SessionConfig::default()));
-                if let Some(s) = &mut session {
-                    // The reborn incarnation fences this node's session
-                    // epochs above anything a previous life could have
-                    // acked (matters once transports outlive processes).
-                    s.set_base_epoch(nid(i), replica.incarnation);
-                }
-                let mut ctx = LiveCtx {
-                    proc: ProcId(i as u32),
-                    replica,
-                    session,
-                    cfg,
-                    inbox: rx,
-                    net: ctx_net,
-                    held: HashMap::new(),
-                    granted: HashMap::new(),
-                    flush_acks: 0,
-                    flush_waiters: Vec::new(),
-                    barrier_next: HashMap::new(),
-                    barrier_released: HashMap::new(),
-                    sc_resp: None,
-                    batch: LiveBatch::default(),
-                    link_clock_out: HashMap::new(),
-                    link_clock_in: HashMap::new(),
-                    recorder,
-                    timeout,
-                    disk,
-                    records_since_snap: 0,
-                    last_snap: Instant::now(),
-                    recover_seen: HashMap::new(),
-                    shard_routes,
-                    shard_out: HashMap::new(),
-                    shard_since: None,
-                    walc,
-                };
-                if recovered {
-                    // Ask every peer for the updates this node's disk
-                    // never made durable; responses arrive during (or
-                    // after) the program and unblock its read gates.
-                    // Sharded recovery ships the per-shard applied
-                    // summary instead of the global vector — peers
-                    // answer only for the shards they share.
-                    let req = if ctx.sharded() {
-                        Msg::ShardRecoverReq {
-                            proc: ctx.proc,
-                            incarnation: ctx.replica.incarnation,
-                            applied: ctx.replica.shards().expect("sharded").applied_summary(),
-                        }
-                    } else {
-                        Msg::RecoverReq {
-                            proc: ctx.proc,
-                            incarnation: ctx.replica.incarnation,
-                            applied: ctx.replica.applied.clone(),
-                        }
-                    };
-                    for peer in 0..ctx.cfg.nprocs {
-                        if peer != i {
-                            // Raw: recovery must not ride the sessions it
-                            // is in the middle of re-fencing.
-                            ctx.net.send(i, peer, req.clone());
-                        }
-                    }
-                }
-                // The done signal must fire even on panic (op timeouts
-                // panic by design): the coordinator below waits for
-                // exactly one signal per process, with no wall-clock
-                // limit of its own — long-running programs are fine.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
-                // Push out any still-buffered writes before signalling
-                // done: the coordinator broadcasts shutdown once every
-                // done signal is in, and sends racing that broadcast may
-                // land after a peer's ingest loop has exited.
-                ctx.flush_updates();
-                let _ = done_tx.send(i as u32);
-                if let Err(payload) = result {
-                    std::panic::resume_unwind(payload);
-                }
-                // Keep ingesting until shutdown so the replica converges
-                // and other nodes' sends never hit a closed channel. With
-                // the session layer on, keep retransmitting too: a peer
-                // may still be blocked on a payload the network ate.
-                loop {
-                    let wire = if ctx.session.is_some() {
-                        match ctx.inbox.recv_timeout(RETX_TICK) {
-                            Ok(w) => Some(w),
-                            Err(RecvTimeoutError::Timeout) => {
-                                ctx.retransmit();
-                                continue;
-                            }
-                            Err(RecvTimeoutError::Disconnected) => None,
-                        }
-                    } else {
-                        ctx.inbox.recv().ok()
-                    };
-                    match wire {
-                        Some(Wire::Proto { from, msg }) => ctx.receive(from, msg),
-                        Some(Wire::Shutdown) | None => break,
-                    }
-                }
-                // Final fsync: a clean shutdown leaves no staged records
-                // behind (only a kill can lose appended work).
-                ctx.wal_sync();
-                ctx.replica
+                run_proc_node(opts, rx, ctx_net, walc, recorder, f, move || {
+                    let _ = done_tx.send(i as u32);
+                })
             }));
         }
         drop(done_tx);
@@ -701,10 +725,7 @@ impl LiveSystem {
         // From here on, sends may legitimately race closing inboxes
         // (e.g. a retransmission of an already-consumed grant whose ack
         // was lost), so stop treating them as silent losses.
-        net.shutting_down.store(true, Ordering::SeqCst);
-        for tx in &net.senders {
-            let _ = tx.send(Wire::Shutdown);
-        }
+        net.begin_shutdown(nnodes);
 
         let mut replicas = Vec::new();
         for (i, h) in proc_handles.into_iter().enumerate() {
@@ -741,15 +762,7 @@ impl LiveSystem {
             "messages were silently lost on closed inboxes before shutdown"
         );
         let trace = net.tracer.as_ref().map(|tr| tr.lock().expect("tracer healthy").clone());
-        let wal = DurabilityStats {
-            appends: walc.appends.load(Ordering::Relaxed),
-            synced: walc.synced.load(Ordering::Relaxed),
-            fsyncs: walc.fsyncs.load(Ordering::Relaxed),
-            lost: 0,
-            replayed: walc.replayed.load(Ordering::Relaxed),
-            snapshots: walc.snapshots.load(Ordering::Relaxed),
-            recoveries: walc.recoveries.load(Ordering::Relaxed),
-        };
+        let wal = walc.stats();
         Ok(LiveOutcome {
             history,
             wal,
@@ -850,11 +863,164 @@ fn open_replica(
     (replica, Some(disk), had_state)
 }
 
+/// Per-node options for [`run_proc_node`] — everything a process node
+/// needs besides its inbox, the shared net, and its program body.
+pub struct NodeConfig {
+    /// Which process this node runs.
+    pub proc: ProcId,
+    /// The shared protocol configuration.
+    pub cfg: DsmConfig,
+    /// Blocked-operation timeout (panics past it).
+    pub timeout: Duration,
+    /// Durability root; each process keeps its WAL under
+    /// `dir/replica-{i}`.
+    pub durability_dir: Option<PathBuf>,
+}
+
+/// One process node's whole life, transport-agnostic: open (and maybe
+/// recover) the replica, run the program body, flush, signal `done`,
+/// then keep ingesting — retransmitting on session ticks — until the
+/// shutdown signal, and fsync on the way out. Both the in-process
+/// executor and the TCP runtime (`mc-net`) call this; only the
+/// [`Transport`] behind `net` and the inbox feeding `rx` differ.
+pub fn run_proc_node(
+    opts: NodeConfig,
+    rx: Receiver<Wire>,
+    net: Net,
+    walc: Arc<WalCounters>,
+    recorder: Option<Arc<Mutex<HistoryBuilder>>>,
+    body: impl FnOnce(&mut LiveCtx),
+    done: impl FnOnce(),
+) -> Replica {
+    let NodeConfig { proc, cfg, timeout, durability_dir } = opts;
+    let i = proc.index();
+    let (replica, disk, recovered) = open_replica(proc, &cfg, durability_dir.as_deref(), &walc);
+    // Seed multicast routes from the static interest sets; dynamic
+    // joiners merge in from SubAck/SubNotify and recovery answers,
+    // exactly as in the simulator.
+    let shard_routes: Vec<Vec<ProcId>> =
+        match cfg.sharding.as_ref().filter(|_| cfg.mode.is_replicated()) {
+            None => Vec::new(),
+            Some(sc) => (0..sc.nshards)
+                .map(|s| {
+                    (0..cfg.nprocs as u32)
+                        .map(ProcId)
+                        .filter(|&q| q.index() != i && sc.subscribed(q, s))
+                        .collect()
+                })
+                .collect(),
+        };
+    let mut session = cfg.reliable.then(|| Session::new(SessionConfig::default()));
+    if let Some(s) = &mut session {
+        // The reborn incarnation fences this node's session epochs above
+        // anything a previous life could have acked (matters once
+        // transports outlive processes).
+        s.set_base_epoch(nid(i), replica.incarnation);
+    }
+    let mut ctx = LiveCtx {
+        proc,
+        replica,
+        session,
+        cfg,
+        inbox: rx,
+        net,
+        held: HashMap::new(),
+        granted: HashMap::new(),
+        flush_acks: 0,
+        flush_waiters: Vec::new(),
+        barrier_next: HashMap::new(),
+        barrier_released: HashMap::new(),
+        sc_resp: None,
+        batch: LiveBatch::default(),
+        link_clock_out: HashMap::new(),
+        link_clock_in: HashMap::new(),
+        recorder,
+        timeout,
+        disk,
+        records_since_snap: 0,
+        last_snap: Instant::now(),
+        recover_seen: HashMap::new(),
+        recover_pushed: HashMap::new(),
+        shard_routes,
+        shard_out: HashMap::new(),
+        shard_since: None,
+        walc,
+    };
+    if recovered {
+        // Ask every peer for the updates this node's disk never made
+        // durable; responses arrive during (or after) the program and
+        // unblock its read gates. Sharded recovery ships the per-shard
+        // applied summary instead of the global vector — peers answer
+        // only for the shards they share.
+        let req = if ctx.sharded() {
+            Msg::ShardRecoverReq {
+                proc: ctx.proc,
+                incarnation: ctx.replica.incarnation,
+                applied: ctx.replica.shards().expect("sharded").applied_summary(),
+            }
+        } else {
+            Msg::RecoverReq {
+                proc: ctx.proc,
+                incarnation: ctx.replica.incarnation,
+                applied: ctx.replica.applied.clone(),
+            }
+        };
+        for peer in 0..ctx.cfg.nprocs {
+            if peer != i {
+                // Raw: recovery must not ride the sessions it is in the
+                // middle of re-fencing.
+                ctx.net.send(i, peer, req.clone());
+            }
+        }
+    }
+    // The done signal must fire even on panic (op timeouts panic by
+    // design): the coordinator waits for exactly one signal per process,
+    // with no wall-clock limit of its own — long-running programs are
+    // fine.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+    // Push out any still-buffered writes before signalling done: the
+    // coordinator broadcasts shutdown once every done signal is in, and
+    // sends racing that broadcast may land after a peer's ingest loop
+    // has exited.
+    ctx.flush_updates();
+    done();
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+    // Keep ingesting until shutdown so the replica converges and other
+    // nodes' sends never hit a closed channel. With the session layer
+    // on, keep retransmitting too: a peer may still be blocked on a
+    // payload the network ate.
+    loop {
+        let wire = if ctx.session.is_some() {
+            match ctx.inbox.recv_timeout(RETX_TICK) {
+                Ok(w) => Some(w),
+                Err(RecvTimeoutError::Timeout) => {
+                    ctx.retransmit();
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => None,
+            }
+        } else {
+            ctx.inbox.recv().ok()
+        };
+        match wire {
+            Some(Wire::Proto { from, msg }) => ctx.receive(from, msg),
+            Some(Wire::Shutdown) | None => break,
+        }
+    }
+    // Final fsync: a clean shutdown leaves no staged records behind
+    // (only a kill can lose appended work).
+    ctx.wal_sync();
+    ctx.replica
+}
+
 /// One manager shard: receive (through the session filter), dispatch to
 /// the shared [`Manager`] state machine, forward its outbox — and, with
 /// the session layer on, retransmit unacknowledged grants/releases on
-/// wall-clock ticks.
-fn manager_loop(rx: Receiver<Wire>, net: Net, cfg: DsmConfig, node: NodeId) -> Manager {
+/// wall-clock ticks. Transport-agnostic for the same reason as
+/// [`run_proc_node`].
+pub fn run_manager_node(rx: Receiver<Wire>, net: Net, cfg: DsmConfig, node: NodeId) -> Manager {
     let mut manager = Manager::new(cfg.nprocs);
     let mut session = cfg.reliable.then(|| Session::new(SessionConfig::default()));
     loop {
@@ -935,6 +1101,10 @@ pub struct LiveCtx {
     /// Highest reborn incarnation already answered, per peer — dedups
     /// recovery requests.
     recover_seen: HashMap<ProcId, u32>,
+    /// High-water of own-write sequences already pushed back to each
+    /// reborn peer (chunked recovery responses repeat `seen`; the
+    /// push-back must not repeat with them).
+    recover_pushed: HashMap<ProcId, u32>,
     /// Multicast routes (sharding only): `shard_routes[s]` lists the
     /// peers this node knows to subscribe to shard `s` (self excluded,
     /// kept sorted for deterministic multicast order).
@@ -1049,6 +1219,37 @@ impl LiveCtx {
     /// Retransmits every unacknowledged session payload.
     fn retransmit(&mut self) {
         sess_retransmit(&self.net, &mut self.session, self.proc.index());
+    }
+
+    /// Survivor-side session glue for a reborn peer (the live twin of
+    /// the simulator's recovery reset, `dsm.rs`): the link toward the
+    /// reborn node is reset into a fresh, higher epoch — its newborn
+    /// receiver would otherwise buffer forever behind sequence numbers
+    /// that died with the old incarnation. Non-update payloads are
+    /// re-wrapped and resent; update-class payloads are dropped (their
+    /// content travels in the recovery answer, with full dependency
+    /// vectors). The delta-compression shadow clocks for the link are
+    /// cleared on this side to match the reborn node's empty ones.
+    fn reset_reborn_link(&mut self, reborn: ProcId) {
+        let me = self.proc.index();
+        if let Some(s) = &mut self.session {
+            let wire = s.reset_sender_with(nid(me), nid(reborn.index()), |m| {
+                !matches!(
+                    m,
+                    Msg::Update { .. }
+                        | Msg::UpdateBatch { .. }
+                        | Msg::RecoverResp { .. }
+                        | Msg::ShardUpdate { .. }
+                        | Msg::ShardUpdateBatch { .. }
+                        | Msg::ShardRecoverResp { .. }
+                )
+            });
+            for m in wire {
+                self.net.send(me, reborn.index(), m);
+            }
+        }
+        self.link_clock_out.remove(&reborn.index());
+        self.link_clock_in.remove(&reborn.index());
     }
 
     /// Whether sharded interest-based replication is active (a shard
@@ -1180,7 +1381,7 @@ impl LiveCtx {
                         proc,
                         first_seq,
                         upto,
-                        entries: entries.clone(),
+                        entries: entries.to_vec(),
                         deps: deps.clone(),
                     };
                     self.wal_append(&rec);
@@ -1199,13 +1400,19 @@ impl LiveCtx {
                 // Buffered writes are part of the history the delta is
                 // computed against — flush so the two agree.
                 self.flush_updates();
+                self.reset_reborn_link(proc);
+                self.recover_pushed.remove(&proc);
                 let seen = self.replica.applied[proc];
-                let resp = match self.replica.delta_entries(applied[self.proc]) {
-                    Some((first_seq, upto, entries, deps)) => {
-                        Msg::RecoverResp { proc: self.proc, first_seq, upto, entries, deps, seen }
-                    }
-                    None => {
-                        let after = applied[self.proc];
+                // One response per dependency-homogeneous chunk: a single
+                // batch gated on its last member's vector deadlocks when
+                // two survivors' deltas cross-reference each other's
+                // writes (see `Replica::delta_chunks`). Every chunk
+                // carries `seen` — the push-back dedups on its side.
+                let chunks = self.replica.delta_chunks(applied[self.proc]);
+                if chunks.is_empty() {
+                    let after = applied[self.proc];
+                    self.send(
+                        proc.index(),
                         Msg::RecoverResp {
                             proc: self.proc,
                             first_seq: after + 1,
@@ -1213,10 +1420,23 @@ impl LiveCtx {
                             entries: Vec::new(),
                             deps: None,
                             seen,
-                        }
+                        },
+                    );
+                } else {
+                    for (first_seq, upto, entries, deps) in chunks {
+                        self.send(
+                            proc.index(),
+                            Msg::RecoverResp {
+                                proc: self.proc,
+                                first_seq,
+                                upto,
+                                entries,
+                                deps,
+                                seen,
+                            },
+                        );
                     }
-                };
-                self.send(proc.index(), resp);
+                }
             }
             Msg::RecoverResp { proc, first_seq, upto, entries, deps, seen } => {
                 if upto >= first_seq && first_seq > self.replica.applied[proc] {
@@ -1233,7 +1453,7 @@ impl LiveCtx {
                         proc,
                         first_seq,
                         upto,
-                        entries,
+                        entries.into(),
                         deps,
                         self.cfg.mode,
                     ) {
@@ -1242,7 +1462,16 @@ impl LiveCtx {
                 }
                 // Push back the suffix of own writes the peer has not
                 // seen — its durable log may be behind this node's.
-                if let Some((fs, u, es, d)) = self.replica.delta_entries(seen) {
+                // Chunked at dependency boundaries like the recovery
+                // delta, and high-watered: one RecoverResp arrives per
+                // chunk from that peer and each repeats `seen`, so the
+                // suffix must be pushed exactly once.
+                let pushed = self.recover_pushed.get(&proc).copied().unwrap_or(0);
+                let chunks = self.replica.delta_chunks(seen.max(pushed));
+                if let Some(&(_, last_upto, _, _)) = chunks.last() {
+                    self.recover_pushed.insert(proc, last_upto);
+                }
+                for (fs, u, es, d) in chunks {
                     let delta = d.as_ref().map(|deps| {
                         let prev = self
                             .link_clock_out
@@ -1260,7 +1489,7 @@ impl LiveCtx {
                         proc: self.proc,
                         first_seq: fs,
                         upto: u,
-                        entries: es,
+                        entries: es.into(),
                         delta,
                         ack: None,
                     };
@@ -1290,7 +1519,8 @@ impl LiveCtx {
                     // Recovery ghost: content already on disk (or covered
                     // by a ShardRecoverResp) — skip the re-log and
                     // re-apply.
-                    let have = self.replica.shards().expect("sharded").applied(shard).get(writer.proc);
+                    let have =
+                        self.replica.shards().expect("sharded").applied(shard).get(writer.proc);
                     if writer.seq <= have {
                         return;
                     }
@@ -1307,7 +1537,8 @@ impl LiveCtx {
             }
             Msg::ShardUpdateBatch { proc, shard, prev, upto, entries, deps } => {
                 if self.cfg.durability.is_some() {
-                    let have = self.replica.shards().expect("sharded").applied(shard as usize).get(proc);
+                    let have =
+                        self.replica.shards().expect("sharded").applied(shard as usize).get(proc);
                     if upto <= have {
                         return;
                     }
@@ -1316,7 +1547,7 @@ impl LiveCtx {
                         shard,
                         prev,
                         upto,
-                        entries: entries.clone(),
+                        entries: entries.to_vec(),
                         deps: deps.clone(),
                         trim: false,
                     };
@@ -1368,6 +1599,7 @@ impl LiveCtx {
                 // Buffered shard batches are already in our durable own
                 // chains; flush so the recovery delta covers them.
                 self.flush_updates();
+                self.reset_reborn_link(reborn);
                 // Answer once per shard we share. The triples' shard ids
                 // double as the reborn's subscription set (zeros kept),
                 // so this also re-learns a dynamic subscriber's routes.
@@ -1407,7 +1639,10 @@ impl LiveCtx {
                     wants.push((s, after));
                 }
                 for (writer, loc, payload, prev, deps) in self.replica.shard_updates_after(&wants) {
-                    self.send(reborn.index(), Msg::ShardUpdate { writer, loc, payload, prev, deps });
+                    self.send(
+                        reborn.index(),
+                        Msg::ShardUpdate { writer, loc, payload, prev, deps },
+                    );
                 }
             }
             Msg::ShardRecoverResp { proc, shard, prev, upto, entries, deps, seen } => {
@@ -1415,7 +1650,8 @@ impl LiveCtx {
                 // answer for it — merge the route (recovery re-learning,
                 // and the join-backfill path where it is already known).
                 self.add_shard_route(shard, proc);
-                let have = self.replica.shards().expect("sharded").applied(shard as usize).get(proc);
+                let have =
+                    self.replica.shards().expect("sharded").applied(shard as usize).get(proc);
                 if upto > have {
                     if self.cfg.durability.is_some() {
                         let rec = WalRecord::IngestShardChain {
@@ -1434,7 +1670,7 @@ impl LiveCtx {
                         shard,
                         prev,
                         upto,
-                        entries,
+                        entries.into(),
                         deps,
                         self.cfg.mode,
                         true,
@@ -1507,10 +1743,19 @@ impl LiveCtx {
                 Err(RecvTimeoutError::Timeout) if Instant::now() < deadline => {
                     self.retransmit();
                 }
-                Err(_) => panic!(
-                    "{} timed out after {:?} waiting for {waiting_for}",
-                    self.proc, self.timeout
-                ),
+                Err(_) => {
+                    // The session dump is the post-mortem for stuck
+                    // clusters: which links stopped acking, and where.
+                    panic!(
+                        "{} timed out after {:?} waiting for {waiting_for} \
+                         (applied={:?} pending={} links={:?})",
+                        self.proc,
+                        self.timeout,
+                        self.replica.applied,
+                        self.replica.pending_len(),
+                        self.session.as_ref().map(|s| s.debug_links()),
+                    )
+                }
             }
         }
     }
@@ -1721,7 +1966,10 @@ impl LiveCtx {
         if b.entries.is_empty() {
             return;
         }
-        let entries = std::mem::take(&mut b.entries);
+        // One shared entry buffer for the whole multicast: each
+        // subscriber's copy (and any retransmit) bumps a refcount
+        // instead of deep-cloning the entries.
+        let entries: std::sync::Arc<[BatchEntry]> = std::mem::take(&mut b.entries).into();
         b.last_idx.clear();
         let (prev, upto) = (b.prev, b.upto);
         let deps = std::mem::take(&mut b.deps);
@@ -1734,12 +1982,8 @@ impl LiveCtx {
 
     /// Flushes every non-empty per-shard buffer, in shard order.
     fn flush_shards(&mut self) {
-        let mut shards: Vec<u32> = self
-            .shard_out
-            .iter()
-            .filter(|(_, b)| !b.entries.is_empty())
-            .map(|(&s, _)| s)
-            .collect();
+        let mut shards: Vec<u32> =
+            self.shard_out.iter().filter(|(_, b)| !b.entries.is_empty()).map(|(&s, _)| s).collect();
         shards.sort_unstable();
         for s in shards {
             self.flush_shard(s);
@@ -1762,7 +2006,10 @@ impl LiveCtx {
         if self.batch.entries.is_empty() {
             return;
         }
-        let entries = std::mem::take(&mut self.batch.entries);
+        // One encoded-once buffer for the fan-out: every peer's
+        // message and every session retransmit share it by refcount
+        // (the fix for per-peer-per-retransmit deep clones).
+        let entries: std::sync::Arc<[BatchEntry]> = std::mem::take(&mut self.batch.entries).into();
         self.batch.last_idx.clear();
         self.batch.since = None;
         let (first_seq, upto) = (self.batch.first_seq, self.batch.upto);

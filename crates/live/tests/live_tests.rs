@@ -553,8 +553,7 @@ fn sharded_dynamic_first_touch_live() {
     // first-touches shard 1, subscribes through the directory, and the
     // backfill push delivers p0's earlier write.
     for _ in 0..REPS {
-        let sc =
-            mc_proto::ShardConfig::new(2, vec![vec![0, 1], vec![0]]).with_dynamic(true);
+        let sc = mc_proto::ShardConfig::new(2, vec![vec![0, 1], vec![0]]).with_dynamic(true);
         let mut sys = LiveSystem::new(2, Mode::Causal).sharding(Some(sc));
         sys.spawn(|ctx| {
             ctx.write(Loc(1), 9); // shard 1
@@ -676,8 +675,7 @@ fn group_commit_amortizes_live_fsyncs() {
     // and awaits are observation barriers, so nothing externalized is
     // ever staged when the program acts on it.
     let run = |gc: bool| {
-        let dir = std::env::temp_dir()
-            .join(format!("mc-live-gc-{}-{}", gc, std::process::id()));
+        let dir = std::env::temp_dir().join(format!("mc-live-gc-{}-{}", gc, std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut sys = LiveSystem::new(2, Mode::Causal)
             .durability(mc_proto::DurabilityPolicy::new(1024).with_group_commit(gc), &dir)

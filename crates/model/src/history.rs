@@ -328,11 +328,7 @@ impl History {
     /// # Panics
     ///
     /// Panics if `nshards` is zero or `shard >= nshards`.
-    pub fn project_shard(
-        &self,
-        nshards: usize,
-        shard: usize,
-    ) -> Result<History, MalformedHistory> {
+    pub fn project_shard(&self, nshards: usize, shard: usize) -> Result<History, MalformedHistory> {
         assert!(nshards > 0, "nshards must be positive");
         assert!(shard < nshards, "shard {shard} out of range for {nshards} shards");
         let in_shard = |loc: Loc| loc.index() % nshards == shard;

@@ -205,6 +205,10 @@ pub struct Dsm {
     /// Sender-side shadow of the dependency clock last transmitted on
     /// each directed replica link (vector-clock delta compression).
     link_clock_out: HashMap<(NodeId, NodeId), VClock>,
+    /// High-water of own-write sequences already pushed back per
+    /// `(this node, reborn peer)` link — chunked recovery responses
+    /// repeat `seen`, and the push-back must not repeat with them.
+    recover_pushed: HashMap<(NodeId, NodeId), u32>,
     /// Receiver-side shadow clocks reconstructing full vectors from
     /// per-link deltas.
     link_clock_in: HashMap<(NodeId, NodeId), VClock>,
@@ -287,6 +291,7 @@ impl Dsm {
             session: cfg.reliable.then(|| Session::new(SessionConfig::default())),
             out_batches: (0..n).map(|_| OutBatch::default()).collect(),
             link_clock_out: HashMap::new(),
+            recover_pushed: HashMap::new(),
             link_clock_in: HashMap::new(),
             disks: vec![MemDisk::new(); n],
             records_since_snap: vec![0; n],
@@ -561,7 +566,10 @@ impl Dsm {
         if b.entries.is_empty() {
             return;
         }
-        let entries = std::mem::take(&mut b.entries);
+        // One shared buffer for the whole fan-out: each peer's message
+        // (and any session retransmit copy) bumps a refcount instead of
+        // deep-cloning the entries.
+        let entries: std::sync::Arc<[BatchEntry]> = std::mem::take(&mut b.entries).into();
         b.last_idx.clear();
         let (first_seq, upto) = (b.first_seq, b.upto);
         let deps = b.deps.take();
@@ -740,7 +748,8 @@ impl Dsm {
         b.last_idx.clear();
         let (prev, upto) = (b.prev, b.upto);
         let deps = std::mem::take(&mut b.deps);
-        let msg = Msg::ShardUpdateBatch { proc: p, shard, prev, upto, entries, deps };
+        let msg =
+            Msg::ShardUpdateBatch { proc: p, shard, prev, upto, entries: entries.into(), deps };
         self.multicast_shard(net, p, shard, msg);
     }
 
@@ -1137,11 +1146,8 @@ impl Protocol for Dsm {
                 if j == node.0 {
                     continue;
                 }
-                let msg = Msg::ShardRecoverReq {
-                    proc: p,
-                    incarnation: inc,
-                    applied: summary.clone(),
-                };
+                let msg =
+                    Msg::ShardRecoverReq { proc: p, incarnation: inc, applied: summary.clone() };
                 net.send(node, NodeId(j), msg.kind(), msg.wire_bytes(), msg);
             }
             return;
@@ -1259,7 +1265,7 @@ impl Dsm {
                         proc,
                         first_seq,
                         upto,
-                        entries: entries.clone(),
+                        entries: entries.to_vec(),
                         deps: deps.clone(),
                     };
                     self.wal_append(ProcId(to.0), &rec, net);
@@ -1323,23 +1329,32 @@ impl Dsm {
                 // replica is missing — full dependency vectors, no link
                 // delta — plus how much of *its* history we hold, so it
                 // can push back its own suffix.
+                self.recover_pushed.remove(&(to, from));
                 let r = &self.replicas[i];
                 let after = applied[p];
                 let seen = r.applied[reborn];
-                let resp = match r.delta_entries(after) {
-                    Some((first_seq, upto, entries, deps)) => {
-                        Msg::RecoverResp { proc: p, first_seq, upto, entries, deps, seen }
-                    }
-                    None => Msg::RecoverResp {
+                // One response per dependency-homogeneous chunk: a
+                // single batch gated on its last member's vector
+                // deadlocks when two survivors' deltas cross-reference
+                // each other's writes (see `Replica::delta_chunks`).
+                let chunks = r.delta_chunks(after);
+                if chunks.is_empty() {
+                    let resp = Msg::RecoverResp {
                         proc: p,
                         first_seq: after + 1,
                         upto: after,
                         entries: Vec::new(),
                         deps: None,
                         seen,
-                    },
-                };
-                self.send(net, to, from, resp);
+                    };
+                    self.send(net, to, from, resp);
+                } else {
+                    for (first_seq, upto, entries, deps) in chunks {
+                        let resp =
+                            Msg::RecoverResp { proc: p, first_seq, upto, entries, deps, seen };
+                        self.send(net, to, from, resp);
+                    }
+                }
             }
             Msg::RecoverResp { proc, first_seq, upto, entries, deps, seen } => {
                 let p = ProcId(to.0);
@@ -1362,7 +1377,7 @@ impl Dsm {
                         proc,
                         first_seq,
                         upto,
-                        entries,
+                        entries.into(),
                         deps,
                         self.cfg.mode,
                     );
@@ -1371,16 +1386,24 @@ impl Dsm {
                     }
                 }
                 // Push back our own suffix the responder has not seen,
-                // as a plain batch: the shadow clocks for this link were
-                // cleared on both sides, so the delta degenerates to the
-                // full vector.
-                if let Some((fs, u, es, d)) = self.replicas[i].delta_entries(seen) {
+                // as plain batches chunked at dependency boundaries: the
+                // shadow clocks for this link were cleared on both
+                // sides, so the first delta degenerates to the full
+                // vector. High-watered — one RecoverResp arrives per
+                // chunk and each repeats `seen`, so the suffix must be
+                // pushed exactly once.
+                let pushed = self.recover_pushed.get(&(to, from)).copied().unwrap_or(0);
+                let chunks = self.replicas[i].delta_chunks(seen.max(pushed));
+                if let Some(&(_, last_upto, _, _)) = chunks.last() {
+                    self.recover_pushed.insert((to, from), last_upto);
+                }
+                for (fs, u, es, d) in chunks {
                     let delta = d.as_ref().map(|deps| self.batch_delta(to, from, deps));
                     let msg = Msg::UpdateBatch {
                         proc: p,
                         first_seq: fs,
                         upto: u,
-                        entries: es,
+                        entries: es.into(),
                         delta,
                         ack: None,
                     };
@@ -1438,8 +1461,11 @@ impl Dsm {
             Msg::ShardUpdateBatch { proc, shard, prev, upto, entries, deps } => {
                 let p = ProcId(to.0);
                 if self.cfg.durability.is_some() {
-                    let have =
-                        self.replicas[i].shards().expect("sharded").applied(shard as usize).get(proc);
+                    let have = self.replicas[i]
+                        .shards()
+                        .expect("sharded")
+                        .applied(shard as usize)
+                        .get(proc);
                     if upto <= have {
                         return;
                     }
@@ -1448,7 +1474,7 @@ impl Dsm {
                         shard,
                         prev,
                         upto,
-                        entries: entries.clone(),
+                        entries: entries.to_vec(),
                         deps: deps.clone(),
                         trim: false,
                     };
@@ -1470,8 +1496,7 @@ impl Dsm {
                 // Persist the subscription before any access can depend
                 // on it: replay must filter dependency triples with the
                 // same interest set the replica had live.
-                if self.replicas[i].shard_subscribe(shard as usize)
-                    && self.cfg.durability.is_some()
+                if self.replicas[i].shard_subscribe(shard as usize) && self.cfg.durability.is_some()
                 {
                     let rec = WalRecord::Subscribe { shard };
                     self.wal_append(p, &rec, net);
@@ -1601,7 +1626,7 @@ impl Dsm {
                         shard,
                         prev,
                         upto,
-                        entries,
+                        entries.into(),
                         deps,
                         self.cfg.mode,
                         true,
@@ -1688,9 +1713,8 @@ impl Dsm {
                 }
             }
             Blocked::Subscribe { shard, retry } => {
-                let subbed = self.replicas[i]
-                    .shards()
-                    .is_some_and(|st| st.subscribed(shard as usize));
+                let subbed =
+                    self.replicas[i].shards().is_some_and(|st| st.subscribed(shard as usize));
                 if !subbed {
                     None
                 } else {

@@ -33,6 +33,7 @@ pub mod manager;
 pub mod msg;
 pub mod replica;
 pub mod session;
+pub mod wire;
 
 pub use config::{BatchPolicy, DsmConfig, LockPropagation, Mode, ShardConfig};
 pub use dsm::{Dsm, Req, Resp};
@@ -44,3 +45,7 @@ pub use manager::Manager;
 pub use msg::{BatchEntry, GrantInfo, Msg, UpdatePayload};
 pub use replica::{Replica, ShardState};
 pub use session::{LinkReceiver, LinkSender, Session, SessionConfig};
+pub use wire::{
+    decode_frame, encode_control, encode_frame, next_frame, Control, Frame, WireError,
+    CONTROL_TAG_BASE, FRAME_HEADER,
+};

@@ -5,6 +5,8 @@
 //! its update messages need no vector timestamps, so the models differ per
 //! mode.
 
+use std::sync::Arc;
+
 use mc_model::{BarrierId, Loc, LockId, LockMode, ProcId, VClock, Value, WriteId};
 
 /// The payload of a memory update: overwrite or commutative increment
@@ -60,10 +62,15 @@ pub struct BatchEntry {
 }
 
 impl BatchEntry {
-    /// Modeled wire size in bytes: location + tagged payload + writer
-    /// sequence (16), plus 4 per extra coalesced `Add` member.
+    /// Modeled wire size in bytes: location (4) + tagged payload (9:
+    /// kind byte + 8-byte operand) + writer sequence (4) + member count
+    /// (2) + padding (20 total; the writer's process id is implied by
+    /// the enclosing batch header), plus 4 per extra coalesced `Add`
+    /// member. Widened from the earlier modeled 16 when the binary
+    /// codec made frames real: 16 bytes cannot physically hold the
+    /// fields, and the model is pinned to what actually travels.
     pub fn wire_bytes(&self) -> u64 {
-        16 + 4 * self.adds.len() as u64
+        20 + 4 * self.adds.len() as u64
     }
 }
 
@@ -95,7 +102,10 @@ pub enum Msg {
         /// Last own-write sequence number covered by this batch.
         upto: u32,
         /// Coalesced per-location entries, in batch-buffer order.
-        entries: Vec<BatchEntry>,
+        /// Reference-counted so the per-peer broadcast fan-out and
+        /// session retransmit copies share one buffer instead of deep-
+        /// cloning the entries per peer.
+        entries: Arc<[BatchEntry]>,
         /// Delta-compressed dependency clock (causal/mixed only): the
         /// components of the sender's vector timestamp *at the last
         /// member write* that changed since the previous update message
@@ -304,7 +314,9 @@ pub enum Msg {
         /// Last own-write sequence covered by the batch.
         upto: u32,
         /// Coalesced per-location entries, in batch-buffer order.
-        entries: Vec<BatchEntry>,
+        /// Reference-counted for the same fan-out sharing as
+        /// [`Msg::UpdateBatch`].
+        entries: Arc<[BatchEntry]>,
         /// Sparse per-shard dependency clock of the last member (empty
         /// in PRAM mode).
         deps: Vec<(u32, ProcId, u32)>,
@@ -531,9 +543,9 @@ mod tests {
         let m = Msg::Update { writer: wid, loc: Loc(2), payload: set.clone(), deps: Some(vc(3)) };
         assert_eq!(m.wire_bytes(), 24 + 4 * 3);
 
-        // UpdateBatch: 16 header + Σ entry (16 + 4·adds) + 8 per delta
+        // UpdateBatch: 16 header + Σ entry (20 + 4·adds) + 8 per delta
         // component + 16 if an epoch-tagged ack rides along.
-        let entries = vec![
+        let entries: Arc<[BatchEntry]> = vec![
             BatchEntry { loc: Loc(0), payload: set.clone(), writer: wid, adds: vec![] },
             BatchEntry {
                 loc: Loc(1),
@@ -541,7 +553,8 @@ mod tests {
                 writer: wid,
                 adds: vec![5, 6, 7],
             },
-        ];
+        ]
+        .into();
         let m = Msg::UpdateBatch {
             proc: ProcId(1),
             first_seq: 5,
@@ -550,7 +563,7 @@ mod tests {
             delta: None,
             ack: None,
         };
-        assert_eq!(m.wire_bytes(), 16 + 16 + (16 + 4 * 3));
+        assert_eq!(m.wire_bytes(), 16 + 20 + (20 + 4 * 3));
         let m = Msg::UpdateBatch {
             proc: ProcId(1),
             first_seq: 5,
@@ -559,7 +572,7 @@ mod tests {
             delta: Some(vec![(ProcId(1), 7), (ProcId(2), 4)]),
             ack: Some((9, 1 << 32)),
         };
-        assert_eq!(m.wire_bytes(), 16 + 16 + (16 + 4 * 3) + 8 * 2 + 16);
+        assert_eq!(m.wire_bytes(), 16 + 20 + (20 + 4 * 3) + 8 * 2 + 16);
         assert_eq!(m.kind(), "update_batch");
 
         assert_eq!(Msg::Flush { from_proc: ProcId(0), upto: 1 }.wire_bytes(), 12);
@@ -626,7 +639,8 @@ mod tests {
         assert_eq!(Msg::SessAck { upto: 3, epoch: 1 << 32 }.wire_bytes(), 20);
 
         // Recovery: 16-byte request header + 4 per applied component;
-        // 24-byte response header + entries + 4 per deps component.
+        // 24-byte response header + entries (20 + 4·adds each) + 4 per
+        // deps component.
         let m = Msg::RecoverReq { proc: ProcId(2), incarnation: 3, applied: vc(3) };
         assert_eq!(m.wire_bytes(), 16 + 4 * 3);
         assert_eq!(m.kind(), "recover_req");
@@ -652,7 +666,7 @@ mod tests {
             deps: Some(vc(3)),
             seen: 2,
         };
-        assert_eq!(m.wire_bytes(), 24 + 16 + (16 + 4 * 2) + 4 * 3);
+        assert_eq!(m.wire_bytes(), 24 + 20 + (20 + 4 * 2) + 4 * 3);
         assert_eq!(m.kind(), "recover_resp");
         let m = Msg::RecoverResp {
             proc: ProcId(1),
@@ -677,7 +691,8 @@ mod tests {
         assert_eq!(m.wire_bytes(), 28 + 12 * 2);
         assert_eq!(m.kind(), "shard_update");
 
-        // Sharded batch: 20 header + entries + 12 per dependency triple.
+        // Sharded batch: 20 header + entries (20 + 4·adds each) + 12 per
+        // dependency triple.
         let entries = vec![BatchEntry {
             loc: Loc(0),
             payload: UpdatePayload::Set(Value::Int(1)),
@@ -689,10 +704,10 @@ mod tests {
             shard: 0,
             prev: 2,
             upto: 7,
-            entries: entries.clone(),
+            entries: entries.clone().into(),
             deps: sdeps.clone(),
         };
-        assert_eq!(m.wire_bytes(), 20 + 16 + 12 * 2);
+        assert_eq!(m.wire_bytes(), 20 + 20 + 12 * 2);
         assert_eq!(m.kind(), "shard_update_batch");
 
         // Subscription traffic: fixed 12-byte requests/notifies, acks
@@ -717,7 +732,7 @@ mod tests {
             deps: sdeps,
             seen: 1,
         };
-        assert_eq!(m.wire_bytes(), 28 + 16 + 12 * 2);
+        assert_eq!(m.wire_bytes(), 28 + 20 + 12 * 2);
         assert_eq!(m.kind(), "shard_recover_resp");
     }
 }

@@ -17,6 +17,7 @@
 //!   grants; reads of exactly those locations block.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mc_model::{Loc, ProcId, VClock, Value, WriteId};
 
@@ -45,7 +46,7 @@ struct PendingBatch {
     proc: ProcId,
     first_seq: u32,
     upto: u32,
-    entries: Vec<BatchEntry>,
+    entries: Arc<[BatchEntry]>,
     /// Dependency vector of the *last* member write. Deps are monotone
     /// in batch order (same sender, program order), so the last
     /// member's vector covers every member's cross-process needs.
@@ -81,7 +82,11 @@ enum PendingShard {
         shard: u32,
         prev: u32,
         upto: u32,
-        entries: Vec<BatchEntry>,
+        entries: Arc<[BatchEntry]>,
+        /// Leading members already applied before buffering (recovery
+        /// and backfill overlap) — skipped without copying the shared
+        /// entry buffer.
+        skip: usize,
         deps: Vec<(u32, ProcId, u32)>,
     },
 }
@@ -451,13 +456,13 @@ impl Replica {
         proc: ProcId,
         first_seq: u32,
         upto: u32,
-        entries: Vec<BatchEntry>,
+        entries: Arc<[BatchEntry]>,
         deps: Option<VClock>,
         mode: Mode,
     ) -> bool {
         if !mode.carries_vectors() {
             let seen = self.applied.get(proc).max(upto);
-            for e in &entries {
+            for e in entries.iter() {
                 self.apply_batch_entry(proc, e, None);
             }
             self.applied.set(proc, seen);
@@ -471,6 +476,11 @@ impl Replica {
     /// Applies every causally ready buffered update or batch (each can
     /// unblock the other); returns `true` if any applied.
     fn drain_pending(&mut self) -> bool {
+        // Prune ghosts first: a buffered update or batch fully covered
+        // by the applied watermark (recovery re-delivered it) can never
+        // become ready and would otherwise sit buffered forever.
+        self.pending.retain(|u| u.writer.seq > self.applied[u.writer.proc]);
+        self.pending_batches.retain(|b| b.upto > self.applied[b.proc]);
         let mut any = false;
         loop {
             if let Some(idx) = self.pending.iter().position(|u| self.causally_ready(u)) {
@@ -483,13 +493,17 @@ impl Replica {
             }
             if let Some(idx) = self.pending_batches.iter().position(|b| self.batch_ready(b)) {
                 let b = self.pending_batches.swap_remove(idx);
-                for e in &b.entries {
+                for e in b.entries.iter() {
                     // The batch vector covers every member's deps, and
                     // anyone who observed a member applied the whole
                     // batch first — so tagging each entry with the batch
                     // vector keeps the tag order consistent with
-                    // causality.
-                    self.apply_batch_entry(b.proc, e, Some(&b.deps));
+                    // causality. An already-applied prefix (recovery
+                    // overlapping an in-flight pre-crash copy) is a set
+                    // of ghosts — skip, apply only the genuine suffix.
+                    if e.writer.seq > self.applied[b.proc] {
+                        self.apply_batch_entry(b.proc, e, Some(&b.deps));
+                    }
                 }
                 self.applied.set(b.proc, b.upto);
                 any = true;
@@ -531,7 +545,11 @@ impl Replica {
     }
 
     fn batch_ready(&self, b: &PendingBatch) -> bool {
-        if self.applied[b.proc] + 1 != b.first_seq {
+        // Ready when the next expected sequence falls inside the batch:
+        // `first_seq` may sit below the watermark when recovery overlaps
+        // an in-flight pre-crash copy (the covered prefix is skipped at
+        // application time).
+        if self.applied[b.proc] + 1 < b.first_seq || self.applied[b.proc] >= b.upto {
             return false;
         }
         b.deps.iter().all(|(p, c)| p == b.proc || self.applied[p] >= c)
@@ -695,8 +713,7 @@ impl Replica {
         self.ensure_loc(loc);
         match payload {
             UpdatePayload::Set(v) => {
-                let admit =
-                    !self.coherent || self.admit_tag(loc, (sum, writer.proc.0, writer.seq));
+                let admit = !self.coherent || self.admit_tag(loc, (sum, writer.proc.0, writer.seq));
                 if admit {
                     self.store[loc.index()] = *v;
                     self.last_writer[loc.index()] = Some(writer);
@@ -761,7 +778,7 @@ impl Replica {
         shard: u32,
         mut prev: u32,
         upto: u32,
-        mut entries: Vec<BatchEntry>,
+        entries: Arc<[BatchEntry]>,
         deps: Vec<(u32, ProcId, u32)>,
         mode: Mode,
         trim: bool,
@@ -771,9 +788,15 @@ impl Replica {
         if have >= upto {
             return false;
         }
+        // The entry buffer is shared with every other recipient of the
+        // chain, so an already-applied prefix is skipped by index (the
+        // chain re-anchors at the last skipped member) instead of
+        // popping from an owned vector.
+        let mut skip = 0;
         if trim {
-            while entries.first().is_some_and(|e| e.writer.seq <= have) {
-                prev = entries.remove(0).writer.seq;
+            while entries.get(skip).is_some_and(|e| e.writer.seq <= have) {
+                prev = entries[skip].writer.seq;
+                skip += 1;
             }
         }
         if !mode.carries_vectors() {
@@ -781,14 +804,13 @@ impl Replica {
             st.applied[shard as usize].set(proc, seen);
             let global = self.applied.get(proc).max(upto);
             self.applied.set(proc, global);
-            let entries = std::mem::take(&mut entries);
-            for e in &entries {
+            for e in entries[skip..].iter() {
                 let sum = self.shards.as_ref().unwrap().applied[shard as usize].sum();
                 self.apply_sharded(e.writer, e.loc, &e.payload, sum, &e.adds);
             }
             return true;
         }
-        st.pending.push(PendingShard::Chain { proc, shard, prev, upto, entries, deps });
+        st.pending.push(PendingShard::Chain { proc, shard, prev, upto, entries, skip, deps });
         self.drain_shard_pending()
     }
 
@@ -812,12 +834,12 @@ impl Replica {
                     let sum = Self::dep_sum(&deps, s) + writer.seq as u64;
                     self.apply_sharded(writer, loc, &payload, sum, &[writer.seq]);
                 }
-                PendingShard::Chain { proc, shard, prev: _, upto, entries, deps } => {
+                PendingShard::Chain { proc, shard, prev: _, upto, entries, skip, deps } => {
                     let st = self.shards.as_mut().unwrap();
                     st.applied[shard as usize].set(proc, upto);
                     let global = self.applied.get(proc).max(upto);
                     self.applied.set(proc, global);
-                    for e in &entries {
+                    for e in entries[skip..].iter() {
                         // The chain triples cover every member's deps
                         // (monotone in chain order), so tagging each
                         // entry with them keeps coherent tag order
@@ -855,9 +877,7 @@ impl Replica {
         }
         deps.iter().all(|&(ds, q, c)| {
             let ds = ds as usize;
-            (ds == shard && q == sender)
-                || !st.subscribed(ds)
-                || st.applied[ds].get(q) >= c
+            (ds == shard && q == sender) || !st.subscribed(ds) || st.applied[ds].get(q) >= c
         })
     }
 
@@ -968,7 +988,7 @@ impl Replica {
                     proc: b.proc,
                     first_seq: b.first_seq,
                     upto: b.upto,
-                    entries: b.entries.clone(),
+                    entries: b.entries.to_vec(),
                     deps: b.deps.clone(),
                 })
                 .collect(),
@@ -1010,7 +1030,7 @@ impl Replica {
                 proc: b.proc,
                 first_seq: b.first_seq,
                 upto: b.upto,
-                entries: b.entries.clone(),
+                entries: b.entries.clone().into(),
                 deps: b.deps.clone(),
             })
             .collect();
@@ -1035,7 +1055,7 @@ impl Replica {
                 self.ingest(writer, loc, payload, deps, mode);
             }
             WalRecord::IngestBatch { proc, first_seq, upto, entries, deps } => {
-                self.ingest_batch(proc, first_seq, upto, entries, deps, mode);
+                self.ingest_batch(proc, first_seq, upto, entries.into(), deps, mode);
             }
             WalRecord::Incarnation { incarnation } => {
                 self.incarnation = self.incarnation.max(incarnation);
@@ -1061,7 +1081,7 @@ impl Replica {
                 self.ingest_sharded(writer, loc, payload, prev, deps, mode);
             }
             WalRecord::IngestShardChain { proc, shard, prev, upto, entries, deps, trim } => {
-                self.ingest_shard_chain(proc, shard, prev, upto, entries, deps, mode, trim);
+                self.ingest_shard_chain(proc, shard, prev, upto, entries.into(), deps, mode, trim);
             }
             WalRecord::Subscribe { shard } => {
                 self.shard_subscribe(shard as usize);
@@ -1091,6 +1111,57 @@ impl Replica {
             })
             .collect();
         Some((after + 1, upto, entries, deps))
+    }
+
+    /// [`Replica::delta_entries`] split at dependency boundaries: one
+    /// batch per maximal run of own writes whose *cross-process*
+    /// dependencies are identical (the own coordinate grows within a
+    /// run but never gates).
+    ///
+    /// A single batch gated on the deps of its last member deadlocks
+    /// when two peers' recovery deltas cross-reference each other's
+    /// recent writes: neither batch is ever ready at the recovering
+    /// node, even though the underlying per-write causal order is
+    /// acyclic and an interleaved application order exists. Runs with
+    /// unchanged external deps have no incoming dependency except at
+    /// their head, so contracting each run to one atomic batch
+    /// preserves acyclicity — chunked deltas always admit a topological
+    /// application order, which `drain_pending`'s fixpoint finds.
+    pub fn delta_chunks(&self, after: u32) -> Vec<(u32, u32, Vec<BatchEntry>, Option<VClock>)> {
+        let missing: Vec<&OwnUpdate> = self.own_updates.iter().filter(|u| u.seq > after).collect();
+        let external_eq = |a: &Option<VClock>, b: &Option<VClock>| match (a, b) {
+            (Some(a), Some(b)) => {
+                a.iter().all(|(p, c)| p == self.proc || b[p] == c)
+                    && b.iter().all(|(p, c)| p == self.proc || a[p] == c)
+            }
+            (None, None) => true,
+            _ => false,
+        };
+        let mut chunks: Vec<(u32, u32, Vec<BatchEntry>, Option<VClock>)> = Vec::new();
+        for u in missing {
+            let entry = BatchEntry {
+                loc: u.loc,
+                payload: u.payload.clone(),
+                writer: WriteId::new(self.proc, u.seq),
+                adds: match u.payload {
+                    UpdatePayload::Add(_) => vec![u.seq],
+                    UpdatePayload::Set(_) => vec![],
+                },
+            };
+            match chunks.last_mut() {
+                Some((_, upto, entries, deps)) if external_eq(deps, &u.deps) => {
+                    *upto = u.seq;
+                    // The run's shared vector is its last member's: the
+                    // external coordinates are identical across the run
+                    // and the own coordinate is maximal, matching what a
+                    // single-batch delta would carry.
+                    *deps = u.deps.clone();
+                    entries.push(entry);
+                }
+                _ => chunks.push((u.seq, u.seq, vec![entry], u.deps.clone())),
+            }
+        }
+        chunks
     }
 
     /// Number of own writes retained for recovery push-back.
@@ -1324,7 +1395,7 @@ mod tests {
             writer: WriteId::new(p(0), seq),
             adds: vec![],
         };
-        assert!(r.ingest_batch(p(0), 1, 3, vec![e(0, 7, 2), e(1, 9, 3)], None, Mode::Pram));
+        assert!(r.ingest_batch(p(0), 1, 3, vec![e(0, 7, 2), e(1, 9, 3)].into(), None, Mode::Pram));
         assert_eq!(r.value(Loc(0)), Value::Int(7));
         assert_eq!(r.value(Loc(1)), Value::Int(9));
         assert_eq!(r.applied[p(0)], 3);
@@ -1343,7 +1414,7 @@ mod tests {
             writer: WriteId::new(p(0), 3),
             adds: vec![],
         };
-        assert!(!r.ingest_batch(p(0), 2, 3, vec![e], Some(deps), Mode::Causal));
+        assert!(!r.ingest_batch(p(0), 2, 3, vec![e].into(), Some(deps), Mode::Causal));
         assert_eq!(r.pending_len(), 1);
         // Write 1 (as a singleton) unblocks the batch atomically.
         let mut d1 = VClock::new(3);
@@ -1373,7 +1444,7 @@ mod tests {
             writer: WriteId::new(p(1), 1),
             adds: vec![],
         };
-        assert!(!r.ingest_batch(p(1), 1, 1, vec![e], Some(deps), Mode::Mixed));
+        assert!(!r.ingest_batch(p(1), 1, 1, vec![e].into(), Some(deps), Mode::Mixed));
         let mut d0 = VClock::new(3);
         d0.set(p(0), 1);
         assert!(r.ingest(
@@ -1396,7 +1467,7 @@ mod tests {
             writer: WriteId::new(p(0), 3),
             adds: vec![1, 2, 3],
         };
-        assert!(r.ingest_batch(p(0), 1, 3, vec![e], None, Mode::Pram));
+        assert!(r.ingest_batch(p(0), 1, 3, vec![e].into(), None, Mode::Pram));
         assert_eq!(r.value(Loc(0)), Value::Int(3));
         let writers = r.await_writers(Loc(0));
         assert_eq!(writers.len(), 3);
@@ -1526,10 +1597,58 @@ mod tests {
             None,
             Mode::Pram,
         );
-        peer.ingest_batch(p(0), first, upto, entries, deps, Mode::Pram);
+        peer.ingest_batch(p(0), first, upto, entries.into(), deps, Mode::Pram);
         assert_eq!(peer.value(Loc(0)), Value::Int(3));
         assert_eq!(peer.value(Loc(1)), Value::Int(2));
         assert_eq!(peer.applied[p(0)], 3);
+    }
+
+    /// Regression: whole-suffix recovery batches deadlock when two
+    /// survivors' deltas cross-reference each other's recent writes —
+    /// each batch is gated on the deps of its *last* member, so neither
+    /// can go first at a fresh reborn node even though the per-write
+    /// causal order is acyclic. `delta_chunks` splits the suffix at
+    /// external-dependency boundaries and always drains.
+    #[test]
+    fn chunked_deltas_break_cross_gated_recovery_deadlock() {
+        let c = durable_cfg(Mode::Causal);
+        let mut a = Replica::new(p(0), 3);
+        let mut b = Replica::new(p(2), 3);
+        // Interleaved exchange: each survivor's second write causally
+        // depends on the other's first.
+        let (id, deps) = a.local_write(Loc(0), UpdatePayload::Set(Value::Int(1)), &c);
+        b.ingest(id, Loc(0), UpdatePayload::Set(Value::Int(1)), deps, Mode::Causal);
+        let (id, deps) = b.local_write(Loc(2), UpdatePayload::Set(Value::Int(1)), &c);
+        a.ingest(id, Loc(2), UpdatePayload::Set(Value::Int(1)), deps, Mode::Causal);
+        let (id, deps) = a.local_write(Loc(0), UpdatePayload::Set(Value::Int(2)), &c);
+        b.ingest(id, Loc(0), UpdatePayload::Set(Value::Int(2)), deps, Mode::Causal);
+        b.local_write(Loc(2), UpdatePayload::Set(Value::Int(2)), &c);
+
+        // Single-batch deltas: a's batch carries {p0:2, p2:1}, b's
+        // {p0:2, p2:2} — each waits on the other, forever.
+        let mut fresh = Replica::new(p(1), 3);
+        let (f, u, e, d) = a.delta_entries(0).unwrap();
+        fresh.ingest_batch(p(0), f, u, e.into(), d, Mode::Causal);
+        let (f, u, e, d) = b.delta_entries(0).unwrap();
+        fresh.ingest_batch(p(2), f, u, e.into(), d, Mode::Causal);
+        assert_eq!(fresh.applied[p(0)], 0, "cross-gated batches must deadlock");
+        assert_eq!(fresh.applied[p(2)], 0);
+        assert_eq!(fresh.pending_len(), 2);
+
+        // Chunked deltas split where the external deps change; the
+        // fixpoint interleaves the runs and converges.
+        assert_eq!(a.delta_chunks(0).len(), 2, "one chunk per external-deps run");
+        let mut fresh = Replica::new(p(1), 3);
+        for (proc, r) in [(p(0), &a), (p(2), &b)] {
+            for (f, u, e, d) in r.delta_chunks(0) {
+                fresh.ingest_batch(proc, f, u, e.into(), d, Mode::Causal);
+            }
+        }
+        assert_eq!(fresh.applied[p(0)], 2);
+        assert_eq!(fresh.applied[p(2)], 2);
+        assert_eq!(fresh.value(Loc(0)), Value::Int(2));
+        assert_eq!(fresh.value(Loc(2)), Value::Int(2));
+        assert_eq!(fresh.pending_len(), 0);
     }
 
     #[test]
@@ -1573,7 +1692,16 @@ mod tests {
         let mut fresh = Replica::new(p(1), 2).with_sharding(2, vec![0, 1]);
         for shard in [0u32, 1] {
             let (prev, upto, entries, deps) = w.shard_chain_after(shard as usize, 0).unwrap();
-            fresh.ingest_shard_chain(p(0), shard, prev, upto, entries, deps, Mode::Causal, true);
+            fresh.ingest_shard_chain(
+                p(0),
+                shard,
+                prev,
+                upto,
+                entries.into(),
+                deps,
+                Mode::Causal,
+                true,
+            );
         }
         assert_eq!(fresh.shards().unwrap().pending_len(), 2, "atomic chains deadlock");
         assert_eq!(fresh.value(Loc(0)), Value::INITIAL);

@@ -257,6 +257,32 @@ impl Session {
         self.base_epochs.get(&node).copied().unwrap_or(0)
     }
 
+    /// One-line link-state dump (diagnostics only).
+    pub fn debug_links(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for ((f, t), s) in &self.senders {
+            let _ = write!(
+                out,
+                "snd {f}->{t} ep={} next={} unacked={} acked={}; ",
+                s.epoch,
+                s.next_seq,
+                s.unacked.len(),
+                s.acked_upto
+            );
+        }
+        for ((f, t), r) in &self.receivers {
+            let _ = write!(
+                out,
+                "rcv {f}->{t} ep={} dlv={} buf={}; ",
+                r.epoch,
+                r.delivered,
+                r.buffer.len()
+            );
+        }
+        out
+    }
+
     /// The sender state of the directed link `from → to`.
     pub fn sender(&mut self, from: NodeId, to: NodeId) -> &mut LinkSender {
         let cfg = self.cfg;

@@ -230,10 +230,12 @@ fn sharded_litmus_survives_faulty_network() {
                 .drop_rate(0.3)
                 .duplicate_rate(0.2)
                 .reorder(SimTime::from_micros(80));
-            let sys =
-                sharded.build_system().sim_config(SimConfig::with_seed(seed)).faults(lossy).reliable(true);
-            let outcome =
-                sys.run().unwrap_or_else(|e| panic!("{name} seed {seed} (lossy): {e}"));
+            let sys = sharded
+                .build_system()
+                .sim_config(SimConfig::with_seed(seed))
+                .faults(lossy)
+                .reliable(true);
+            let outcome = sys.run().unwrap_or_else(|e| panic!("{name} seed {seed} (lossy): {e}"));
             outcome.verify().unwrap_or_else(|e| panic!("{name} seed {seed} (lossy): {e}"));
 
             let split = FaultPlan::new().partition(
@@ -242,8 +244,11 @@ fn sharded_litmus_survives_faulty_network() {
                 SimTime::from_micros(10),
                 SimTime::from_micros(400),
             );
-            let sys =
-                sharded.build_system().sim_config(SimConfig::with_seed(seed)).faults(split).reliable(true);
+            let sys = sharded
+                .build_system()
+                .sim_config(SimConfig::with_seed(seed))
+                .faults(split)
+                .reliable(true);
             let outcome =
                 sys.run().unwrap_or_else(|e| panic!("{name} seed {seed} (partition): {e}"));
             outcome.verify().unwrap_or_else(|e| panic!("{name} seed {seed} (partition): {e}"));
@@ -264,13 +269,11 @@ fn sharded_crash_recover_preserves_outcomes() {
     let spec = store_buffer().sharded(NSHARDS).durable(2);
     let (quiet, quiet_set) = outcomes(opts(), || spec.build_system());
     assert!(quiet.complete, "fault-free durable sharded DPOR must exhaust the tree");
-    let (crashed, crashed_set) = outcomes(
-        ExploreOptions::new().allow_deadlock(true).max_runs(3_000_000),
-        || {
+    let (crashed, crashed_set) =
+        outcomes(ExploreOptions::new().allow_deadlock(true).max_runs(3_000_000), || {
             spec.build_system()
                 .explore_faults(mixed_consistency::FaultBudget::new().crash_recover_of(NodeId(0)))
-        },
-    );
+        });
     assert!(crashed.complete, "crash-recover exploration must exhaust the tree");
     assert!(
         crashed_set.is_subset(&quiet_set),
